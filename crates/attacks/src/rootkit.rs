@@ -1,0 +1,82 @@
+//! Inside-VM threats for the runtime-integrity case study (Section 4.3):
+//! malware that runs as a hidden background service, concealed from
+//! guest-visible process listings by a rootkit — but not from VM
+//! introspection.
+
+use monatt_hypervisor::engine::ServerSim;
+use monatt_hypervisor::ids::VmId;
+
+/// Infects `vm` with a rootkit-hidden malware service. Returns the
+/// malware's pid, or `None` if the VM does not exist.
+pub fn infect_with_rootkit(sim: &mut ServerSim, vm: VmId, service_name: &str) -> Option<u32> {
+    sim.vm_mut(vm)
+        .map(|v| v.guest.spawn_task(service_name, true))
+}
+
+/// Plants *visible* (non-hidden) malware — detectable even by in-guest
+/// tools, useful as the easy-case control.
+pub fn infect_visible(sim: &mut ServerSim, vm: VmId, service_name: &str) -> Option<u32> {
+    sim.vm_mut(vm)
+        .map(|v| v.guest.spawn_task(service_name, false))
+}
+
+/// Disinfects: kills the task with `pid`. Returns whether it existed.
+pub fn remove_malware(sim: &mut ServerSim, vm: VmId, pid: u32) -> bool {
+    sim.vm_mut(vm)
+        .map(|v| v.guest.kill_task(pid))
+        .unwrap_or(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use monatt_hypervisor::driver::IdleDriver;
+    use monatt_hypervisor::scheduler::SchedParams;
+    use monatt_hypervisor::vm::VmConfig;
+    use monatt_hypervisor::vmi::VmiTool;
+
+    fn sim_with_vm() -> (ServerSim, VmId) {
+        let mut sim = ServerSim::new(1, SchedParams::default());
+        let vm = sim.create_vm(VmConfig::new("target", vec![Box::new(IdleDriver)]));
+        (sim, vm)
+    }
+
+    #[test]
+    fn rootkit_malware_hidden_from_guest_but_not_vmi() {
+        let (mut sim, vm) = sim_with_vm();
+        let pid = infect_with_rootkit(&mut sim, vm, "botnet-agent").expect("vm exists");
+        let vmi = VmiTool::new(&sim);
+        let visible = vmi.guest_visible_task_list(vm).unwrap();
+        assert!(!visible.iter().any(|t| t.pid == pid));
+        let kernel = vmi.kernel_task_list(vm).unwrap();
+        assert!(kernel.iter().any(|t| t.pid == pid));
+    }
+
+    #[test]
+    fn visible_malware_shows_everywhere() {
+        let (mut sim, vm) = sim_with_vm();
+        let pid = infect_visible(&mut sim, vm, "obvious-miner").expect("vm exists");
+        let vmi = VmiTool::new(&sim);
+        assert!(vmi
+            .guest_visible_task_list(vm)
+            .unwrap()
+            .iter()
+            .any(|t| t.pid == pid));
+    }
+
+    #[test]
+    fn removal_restores_clean_state() {
+        let (mut sim, vm) = sim_with_vm();
+        let pid = infect_with_rootkit(&mut sim, vm, "x").unwrap();
+        assert!(remove_malware(&mut sim, vm, pid));
+        let vmi = VmiTool::new(&sim);
+        assert!(vmi.hidden_tasks(vm).unwrap().is_empty());
+    }
+
+    #[test]
+    fn unknown_vm_is_none() {
+        let (mut sim, _) = sim_with_vm();
+        assert_eq!(infect_with_rootkit(&mut sim, VmId(99), "x"), None);
+        assert!(!remove_malware(&mut sim, VmId(99), 1));
+    }
+}

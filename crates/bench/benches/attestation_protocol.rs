@@ -1,0 +1,75 @@
+//! Criterion benchmarks of the attestation machinery itself: how fast our
+//! implementation executes the Figure 3 protocol pieces (independent of
+//! the simulated latency model), and how it scales with cloud size — the
+//! scalability argument of Section 3.2.3.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use monatt_core::{
+    AttestationServer, CloudBuilder, CloudServerNode, Flavor, Image, MeasurementSpec, ReferenceDb,
+    SecurityProperty, ServerId, Vid, VmRequest,
+};
+use monatt_crypto::drbg::Drbg;
+use monatt_hypervisor::driver::IdleDriver;
+use monatt_hypervisor::scheduler::SchedParams;
+
+fn bench_quote_roundtrip(c: &mut Criterion) {
+    let mut rng = Drbg::from_seed(1);
+    let mut attserver = AttestationServer::new(&mut rng);
+    let refs = ReferenceDb::new();
+    let mut node = CloudServerNode::boot(
+        ServerId(0),
+        1,
+        SchedParams::default(),
+        Drbg::from_seed(2),
+        refs.platform_components(),
+        &[SecurityProperty::StartupIntegrity],
+    );
+    attserver.register_cloud_server(node.identity_key());
+    node.launch_vm(
+        Vid(1),
+        Image::Cirros,
+        Image::Cirros.pristine_bytes(),
+        vec![Box::new(IdleDriver)],
+        256,
+    );
+    c.bench_function("measure_quote_validate", |b| {
+        b.iter(|| {
+            let resp: monatt_core::messages::MeasureResponse = node
+                .attest(Vid(1), MeasurementSpec::BootIntegrity, [3u8; 32])
+                .unwrap()
+                .into();
+            attserver
+                .validate_response(&resp, Vid(1), MeasurementSpec::BootIntegrity, [3u8; 32])
+                .unwrap();
+        })
+    });
+}
+
+fn bench_full_attestation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end_attestation");
+    group.sample_size(20);
+    for servers in [2usize, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(servers),
+            &servers,
+            |b, &servers| {
+                let mut cloud = CloudBuilder::new().servers(servers).seed(9).build();
+                let vid = cloud
+                    .request_vm(
+                        VmRequest::new(Flavor::Small, Image::Cirros)
+                            .require(SecurityProperty::RuntimeIntegrity),
+                    )
+                    .unwrap();
+                b.iter(|| {
+                    cloud
+                        .runtime_attest_current(vid, SecurityProperty::RuntimeIntegrity)
+                        .unwrap()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_quote_roundtrip, bench_full_attestation);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Criterion benchmarks of the covert-channel detector: histogram
+//! clustering cost per attestation (it must be cheap, since the
+//! Attestation Server interprets every periodic report).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use monatt_core::analyze_intervals;
+
+fn bench_analyze(c: &mut Criterion) {
+    // A realistic bimodal histogram.
+    let mut covert = vec![0u64; 30];
+    covert[0] = 320;
+    covert[3] = 290;
+    covert[29] = 5;
+    let mut benign = vec![0u64; 30];
+    benign[29] = 330;
+    c.bench_function("analyze_intervals_covert", |b| {
+        b.iter(|| analyze_intervals(std::hint::black_box(&covert), 1_000))
+    });
+    c.bench_function("analyze_intervals_benign", |b| {
+        b.iter(|| analyze_intervals(std::hint::black_box(&benign), 1_000))
+    });
+}
+
+criterion_group!(benches, bench_analyze);
+criterion_main!(benches);

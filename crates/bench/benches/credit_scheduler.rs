@@ -1,0 +1,33 @@
+//! Criterion benchmarks of the hypervisor simulator: wall-clock cost of
+//! simulating one second for contended and uncontended servers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use monatt_hypervisor::driver::BusyLoop;
+use monatt_hypervisor::engine::ServerSim;
+use monatt_hypervisor::ids::PcpuId;
+use monatt_hypervisor::scheduler::SchedParams;
+use monatt_hypervisor::vm::VmConfig;
+
+fn bench_simulated_second(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_one_second");
+    group.sample_size(20);
+    for vms in [1usize, 4, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(vms), &vms, |b, &vms| {
+            b.iter(|| {
+                let mut sim = ServerSim::new(4, SchedParams::default());
+                for i in 0..vms {
+                    sim.create_vm(
+                        VmConfig::new(&format!("vm{i}"), vec![Box::new(BusyLoop::new(500))])
+                            .pin(vec![PcpuId(i % 4)]),
+                    );
+                }
+                sim.run_for(1_000_000);
+                sim.now()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulated_second);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Criterion benchmarks of the cryptographic substrate: the per-operation
+//! costs behind the attestation protocol's latency model.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use monatt_crypto::drbg::Drbg;
+use monatt_crypto::schnorr::SigningKey;
+use monatt_crypto::sha256::sha256;
+use monatt_crypto::{EphemeralSecret, SealKey};
+
+fn bench_sha256(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sha256");
+    for size in [64usize, 1024, 16 * 1024] {
+        let data = vec![0xabu8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_function(format!("{size}B"), |b| {
+            b.iter(|| sha256(std::hint::black_box(&data)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_schnorr(c: &mut Criterion) {
+    let mut rng = Drbg::from_seed(1);
+    let key = SigningKey::generate(&mut rng);
+    let msg = b"attestation report for vid-42";
+    let sig = key.sign(msg);
+    c.bench_function("schnorr_sign", |b| b.iter(|| key.sign(std::hint::black_box(msg))));
+    c.bench_function("schnorr_verify", |b| {
+        b.iter(|| key.verifying_key().verify(std::hint::black_box(msg), &sig).unwrap())
+    });
+}
+
+fn bench_dh(c: &mut Criterion) {
+    let mut rng = Drbg::from_seed(2);
+    let alice = EphemeralSecret::generate(&mut rng);
+    let bob = EphemeralSecret::generate(&mut rng);
+    c.bench_function("dh_agree", |b| {
+        b.iter(|| alice.agree(std::hint::black_box(&bob.public_share()), b"bench").unwrap())
+    });
+}
+
+fn bench_seal(c: &mut Criterion) {
+    let key = SealKey::derive(&[7u8; 32], b"bench");
+    let payload = vec![0u8; 1024];
+    let nonce = [1u8; 12];
+    let sealed = key.seal(&nonce, b"", &payload);
+    c.bench_function("seal_1KiB", |b| {
+        b.iter(|| key.seal(&nonce, b"", std::hint::black_box(&payload)))
+    });
+    c.bench_function("open_1KiB", |b| {
+        b.iter(|| key.open(&nonce, b"", std::hint::black_box(&sealed)).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_sha256, bench_schnorr, bench_dh, bench_seal);
+criterion_main!(benches);

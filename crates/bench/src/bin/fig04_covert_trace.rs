@@ -1,0 +1,6 @@
+//! Regenerates Figure 4: the cross-VM covert channel trace.
+
+fn main() {
+    let trace = monatt_bench::fig04::run(3, b"\xA5");
+    monatt_bench::fig04::print(&trace);
+}

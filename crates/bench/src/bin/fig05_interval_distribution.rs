@@ -1,0 +1,6 @@
+//! Regenerates Figure 5: covert vs benign CPU usage-interval distributions.
+
+fn main() {
+    let d = monatt_bench::fig05::run(3, 30);
+    monatt_bench::fig05::print(&d);
+}

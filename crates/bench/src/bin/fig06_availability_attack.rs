@@ -1,0 +1,16 @@
+//! Regenerates Figure 6: victim slowdown under co-resident workloads.
+//! Pass `--precise-accounting` to run the scheduler-hardening ablation.
+
+use monatt_hypervisor::scheduler::SchedParams;
+
+fn main() {
+    let precise = std::env::args().any(|a| a == "--precise-accounting");
+    let params = if precise {
+        println!("(ablation: precise credit accounting)");
+        SchedParams::with_precise_accounting()
+    } else {
+        SchedParams::default()
+    };
+    let cells = monatt_bench::fig06::run(params);
+    monatt_bench::fig06::print(&cells);
+}

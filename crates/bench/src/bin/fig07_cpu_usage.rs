@@ -1,0 +1,6 @@
+//! Regenerates Figure 7: relative CPU usage of attacker and victim.
+
+fn main() {
+    let rows = monatt_bench::fig07::run(10);
+    monatt_bench::fig07::print(&rows);
+}

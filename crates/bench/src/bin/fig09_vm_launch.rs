@@ -1,0 +1,6 @@
+//! Regenerates Figure 9: VM launch stage breakdown with attestation.
+
+fn main() {
+    let rows = monatt_bench::fig09::run();
+    monatt_bench::fig09::print(&rows);
+}

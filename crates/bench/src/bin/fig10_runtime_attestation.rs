@@ -1,0 +1,6 @@
+//! Regenerates Figure 10: benchmark throughput under periodic attestation.
+
+fn main() {
+    let rows = monatt_bench::fig10::run(60);
+    monatt_bench::fig10::print(&rows);
+}

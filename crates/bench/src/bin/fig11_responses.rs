@@ -1,0 +1,6 @@
+//! Regenerates Figure 11: attestation + response reaction times.
+
+fn main() {
+    let rows = monatt_bench::fig11::run();
+    monatt_bench::fig11::print(&rows);
+}

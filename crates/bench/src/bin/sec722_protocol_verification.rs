@@ -1,0 +1,7 @@
+//! Re-runs the Section 7.2.2 protocol verification and the weakened
+//! variants.
+
+fn main() {
+    let results = monatt_bench::sec722::run();
+    monatt_bench::sec722::print(&results);
+}

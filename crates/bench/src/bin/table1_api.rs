@@ -1,0 +1,6 @@
+//! Exercises the four Table 1 monitoring/attestation APIs.
+
+fn main() {
+    let demo = monatt_bench::table1::run();
+    monatt_bench::table1::print(&demo);
+}

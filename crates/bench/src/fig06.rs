@@ -1,0 +1,175 @@
+//! **Figure 6** — Performance for CPU availability attacks: relative
+//! execution time of the victim's programs (bzip2, hmmer, astar) when
+//! co-resident with different attacker workloads. The paper's shape:
+//! I/O-bound attackers ≈1×, CPU-bound attackers ≈2×, the CPU availability
+//! attack >10×.
+
+use monatt_attacks::boost::boost_attack_drivers;
+use monatt_hypervisor::driver::WorkloadDriver;
+use monatt_hypervisor::engine::ServerSim;
+use monatt_hypervisor::ids::PcpuId;
+use monatt_hypervisor::scheduler::SchedParams;
+use monatt_workloads::programs::SpecProgram;
+use monatt_workloads::services::CloudService;
+
+/// The attacker workload column of Figures 6 and 7.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AttackerKind {
+    /// No co-resident VM (solo baseline).
+    Baseline,
+    /// A cloud service workload.
+    Service(CloudService),
+    /// The CPU availability attack of Section 4.5.1.
+    CpuAvail,
+}
+
+impl AttackerKind {
+    /// The full column set of Figure 6, in paper order.
+    pub fn all() -> Vec<AttackerKind> {
+        let mut kinds = vec![AttackerKind::Baseline];
+        kinds.extend(CloudService::ALL.into_iter().map(AttackerKind::Service));
+        kinds.push(AttackerKind::CpuAvail);
+        kinds
+    }
+
+    /// Display label.
+    pub fn label(&self) -> String {
+        match self {
+            AttackerKind::Baseline => "baseline".into(),
+            AttackerKind::Service(s) => s.name().into(),
+            AttackerKind::CpuAvail => "CPU_avail".into(),
+        }
+    }
+
+    fn drivers(&self, seed: u64) -> Option<Vec<Box<dyn WorkloadDriver>>> {
+        match self {
+            AttackerKind::Baseline => None,
+            AttackerKind::Service(svc) => Some(vec![Box::new(svc.driver(seed))]),
+            AttackerKind::CpuAvail => Some(boost_attack_drivers()),
+        }
+    }
+}
+
+/// One cell of Figure 6.
+#[derive(Clone, Debug)]
+pub struct Cell {
+    /// The victim's program.
+    pub program: SpecProgram,
+    /// The co-resident workload.
+    pub attacker: AttackerKind,
+    /// Victim execution time relative to the solo baseline.
+    pub relative_time: f64,
+}
+
+/// Runs one victim/attacker pairing and returns the victim's relative
+/// execution time. `boost` toggles the scheduler-ablation variant.
+pub fn run_cell(program: SpecProgram, attacker: AttackerKind, params: SchedParams) -> f64 {
+    let mut sim = ServerSim::new(1, params);
+    let victim_prog = program.driver();
+    let stats = victim_prog.stats();
+    sim.create_vm(
+        monatt_hypervisor::vm::VmConfig::new("victim", vec![Box::new(victim_prog)])
+            .pin(vec![PcpuId(0)]),
+    );
+    if let Some(drivers) = attacker.drivers(42) {
+        let pins = vec![PcpuId(0); drivers.len()];
+        sim.create_vm(monatt_hypervisor::vm::VmConfig::new("attacker", drivers).pin(pins));
+    }
+    // Run until the victim finishes (cap at 60x the solo time).
+    let baseline_us = program.work_us();
+    let cap = baseline_us * 60;
+    let mut elapsed = 0u64;
+    while stats.borrow().finished_at.is_none() && elapsed < cap {
+        sim.run_for(500_000);
+        elapsed += 500_000;
+    }
+    let finish = stats
+        .borrow()
+        .elapsed_us()
+        .unwrap_or(cap) as f64;
+    finish / baseline_us as f64
+}
+
+/// Runs the full Figure 6 matrix.
+pub fn run(params: SchedParams) -> Vec<Cell> {
+    let mut cells = Vec::new();
+    for program in SpecProgram::ALL {
+        for attacker in AttackerKind::all() {
+            cells.push(Cell {
+                program,
+                attacker,
+                relative_time: run_cell(program, attacker, params),
+            });
+        }
+    }
+    cells
+}
+
+/// Prints the paper-style matrix.
+pub fn print(cells: &[Cell]) {
+    println!("Figure 6: Performance for CPU Availability Attacks");
+    println!("victim\tattacker\trelative_execution_time");
+    for cell in cells {
+        println!(
+            "{}\t{}\t{:.2}x",
+            cell.program,
+            cell.attacker.label(),
+            cell.relative_time
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(program: SpecProgram, attacker: AttackerKind) -> f64 {
+        run_cell(program, attacker, SchedParams::default())
+    }
+
+    #[test]
+    fn baseline_is_one() {
+        let r = cell(SpecProgram::Bzip2, AttackerKind::Baseline);
+        assert!((r - 1.0).abs() < 0.02, "baseline = {r}");
+    }
+
+    #[test]
+    fn io_bound_attackers_barely_hurt() {
+        for svc in [CloudService::File, CloudService::Stream, CloudService::Mail] {
+            let r = cell(SpecProgram::Bzip2, AttackerKind::Service(svc));
+            assert!(r < 1.4, "{svc}: relative time {r} should be near 1x");
+        }
+    }
+
+    #[test]
+    fn cpu_bound_attackers_double_the_time() {
+        for svc in [CloudService::Database, CloudService::Web, CloudService::App] {
+            let r = cell(SpecProgram::Bzip2, AttackerKind::Service(svc));
+            assert!(
+                (1.5..2.6).contains(&r),
+                "{svc}: relative time {r} should be near 2x (fair share)"
+            );
+        }
+    }
+
+    #[test]
+    fn availability_attack_degrades_more_than_ten_times() {
+        // The paper's headline: "the victim's performance is degraded by
+        // more than ten times".
+        let r = cell(SpecProgram::Bzip2, AttackerKind::CpuAvail);
+        assert!(r > 10.0, "attack slowdown was only {r}x");
+    }
+
+    #[test]
+    fn precise_accounting_ablation_restores_fairness() {
+        let r = run_cell(
+            SpecProgram::Bzip2,
+            AttackerKind::CpuAvail,
+            SchedParams::with_precise_accounting(),
+        );
+        assert!(
+            r < 4.0,
+            "with precise accounting the attack should collapse, got {r}x"
+        );
+    }
+}

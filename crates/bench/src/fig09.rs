@@ -1,0 +1,117 @@
+//! **Figure 9** — Performance of VM launching: the per-stage time
+//! breakdown (scheduling, networking, block-device-mapping, spawning,
+//! attestation) across three images × three flavors. The paper reports an
+//! attestation-stage overhead of about 20 %.
+
+use monatt_core::{
+    CloudBuilder, Flavor, Image, LaunchTiming, SecurityProperty, VmRequest,
+};
+
+/// One bar of Figure 9.
+#[derive(Clone, Debug)]
+pub struct LaunchRow {
+    /// Image used.
+    pub image: Image,
+    /// Flavor used.
+    pub flavor: Flavor,
+    /// Stage breakdown.
+    pub timing: LaunchTiming,
+}
+
+impl LaunchRow {
+    /// Attestation stage as a fraction of total launch time.
+    pub fn attestation_fraction(&self) -> f64 {
+        self.timing.attestation_us as f64 / self.timing.total_us() as f64
+    }
+}
+
+/// Launches one VM per image × flavor combination and records the stage
+/// breakdown.
+pub fn run() -> Vec<LaunchRow> {
+    let mut rows = Vec::new();
+    for image in Image::ALL {
+        for flavor in Flavor::ALL {
+            // Fresh cloud per launch so placements don't interact.
+            let mut cloud = CloudBuilder::new().servers(3).seed(17).build();
+            cloud
+                .request_vm(
+                    VmRequest::new(flavor, image).require(SecurityProperty::StartupIntegrity),
+                )
+                .expect("launch succeeds");
+            rows.push(LaunchRow {
+                image,
+                flavor,
+                timing: cloud.last_launch_timing().expect("timing recorded"),
+            });
+        }
+    }
+    rows
+}
+
+/// Prints the paper-style stacked-bar data.
+pub fn print(rows: &[LaunchRow]) {
+    println!("Figure 9: Performance for VM launching");
+    println!("image\tflavor\tscheduling\tnetworking\tmapping\tspawning\tattestation\ttotal\tattest%");
+    for row in rows {
+        let t = &row.timing;
+        println!(
+            "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{:.1}%",
+            row.image,
+            row.flavor,
+            crate::fmt_secs(t.scheduling_us),
+            crate::fmt_secs(t.networking_us),
+            crate::fmt_secs(t.block_device_us),
+            crate::fmt_secs(t.spawning_us),
+            crate::fmt_secs(t.attestation_us),
+            crate::fmt_secs(t.total_us()),
+            row.attestation_fraction() * 100.0
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attestation_overhead_is_about_twenty_percent() {
+        let rows = run();
+        assert_eq!(rows.len(), 9);
+        for row in &rows {
+            let frac = row.attestation_fraction();
+            assert!(
+                (0.08..0.35).contains(&frac),
+                "{}/{}: attestation fraction {frac}",
+                row.image,
+                row.flavor
+            );
+        }
+        let avg: f64 =
+            rows.iter().map(LaunchRow::attestation_fraction).sum::<f64>() / rows.len() as f64;
+        assert!((0.10..0.30).contains(&avg), "average fraction {avg}");
+    }
+
+    #[test]
+    fn totals_are_seconds_scale_and_ordered() {
+        let rows = run();
+        for row in &rows {
+            let total = row.timing.total_us();
+            assert!(
+                (1_500_000..9_000_000).contains(&total),
+                "{}/{}: total {total}us",
+                row.image,
+                row.flavor
+            );
+        }
+        // Bigger images and flavors take longer.
+        let find = |image: Image, flavor: Flavor| {
+            rows.iter()
+                .find(|r| r.image == image && r.flavor == flavor)
+                .unwrap()
+                .timing
+                .total_us()
+        };
+        assert!(find(Image::Ubuntu, Flavor::Large) > find(Image::Cirros, Flavor::Small));
+        assert!(find(Image::Fedora, Flavor::Small) > find(Image::Cirros, Flavor::Small));
+    }
+}

@@ -1,0 +1,139 @@
+//! **Figure 11** — Attestation and reaction times during VM runtime: for
+//! each response strategy (Termination, Suspension, Migration) and VM
+//! flavor, the attestation time plus the response time. The paper's
+//! shape: Termination is fastest, Migration slowest and growing with VM
+//! size.
+
+use monatt_core::{
+    CloudBuilder, Flavor, Image, ResponseAction, SecurityProperty, ServerId, VmRequest,
+    WorkloadSpec,
+};
+
+/// One bar of Figure 11.
+#[derive(Clone, Debug)]
+pub struct ResponseRow {
+    /// The response strategy.
+    pub action: ResponseAction,
+    /// The VM flavor.
+    pub flavor: Flavor,
+    /// Time to detect (one runtime attestation round).
+    pub attestation_us: u64,
+    /// Time to execute the response.
+    pub response_us: u64,
+}
+
+impl ResponseRow {
+    /// Total reaction time.
+    pub fn total_us(&self) -> u64 {
+        self.attestation_us + self.response_us
+    }
+}
+
+/// Runs the response-timing sweep: for each strategy × flavor, launch a
+/// VM, co-locate the availability attacker, detect it by attestation and
+/// execute the response.
+pub fn run() -> Vec<ResponseRow> {
+    let mut rows = Vec::new();
+    for action in [
+        ResponseAction::Termination,
+        ResponseAction::Suspension,
+        ResponseAction::Migration,
+    ] {
+        for flavor in Flavor::ALL {
+            rows.push(run_one(action, flavor));
+        }
+    }
+    rows
+}
+
+fn run_one(action: ResponseAction, flavor: Flavor) -> ResponseRow {
+    let mut cloud = CloudBuilder::new().servers(2).seed(31).build();
+    let victim = cloud
+        .request_vm(
+            VmRequest::new(flavor, Image::Ubuntu)
+                .require(SecurityProperty::CpuAvailability { min_share_pct: 50 })
+                .workload(WorkloadSpec::Busy)
+                .on_server(ServerId(0))
+                .pin_pcpu(0),
+        )
+        .expect("launch victim");
+    let _attacker = cloud
+        .request_vm(
+            VmRequest::new(Flavor::Medium, Image::Cirros)
+                .workload(WorkloadSpec::BoostAttack)
+                .on_server(ServerId(0))
+                .pin_pcpu(0),
+        )
+        .expect("launch attacker");
+    cloud.advance(1_000_000);
+    let report = cloud
+        .runtime_attest_current(victim, SecurityProperty::CpuAvailability { min_share_pct: 50 })
+        .expect("attestation");
+    assert!(!report.healthy(), "the attack should be detected");
+    let timing = cloud.respond(victim, action).expect("response");
+    ResponseRow {
+        action,
+        flavor,
+        attestation_us: report.elapsed_us,
+        response_us: timing.response_us,
+    }
+}
+
+/// Prints the paper-style table.
+pub fn print(rows: &[ResponseRow]) {
+    println!("Figure 11: Attestation reaction times during VM runtime");
+    println!("response\tflavor\tattestation\tresponse\ttotal");
+    for row in rows {
+        println!(
+            "{}\t{}\t{}\t{}\t{}",
+            row.action,
+            row.flavor,
+            crate::fmt_secs(row.attestation_us),
+            crate::fmt_secs(row.response_us),
+            crate::fmt_secs(row.total_us())
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn response_ordering_matches_paper() {
+        let rows = run();
+        assert_eq!(rows.len(), 9);
+        let response_of = |action: ResponseAction, flavor: Flavor| {
+            rows.iter()
+                .find(|r| r.action == action && r.flavor == flavor)
+                .unwrap()
+                .response_us
+        };
+        for flavor in Flavor::ALL {
+            // Termination < Suspension < Migration.
+            assert!(
+                response_of(ResponseAction::Termination, flavor)
+                    < response_of(ResponseAction::Suspension, flavor)
+            );
+            assert!(
+                response_of(ResponseAction::Suspension, flavor)
+                    < response_of(ResponseAction::Migration, flavor)
+            );
+        }
+        // Migration grows with VM size.
+        assert!(
+            response_of(ResponseAction::Migration, Flavor::Large)
+                > response_of(ResponseAction::Migration, Flavor::Small)
+        );
+    }
+
+    #[test]
+    fn migration_is_seconds_scale() {
+        let row = run_one(ResponseAction::Migration, Flavor::Large);
+        let total = row.total_us();
+        assert!(
+            (5_000_000..25_000_000).contains(&total),
+            "large migration total {total}us"
+        );
+    }
+}

@@ -1,0 +1,346 @@
+//! The Attestation Server (Section 3.2.3): the attestation requester and
+//! appraiser. Holds the oat database (reference values, server registry),
+//! the Property Interpretation Module, the Property Certification Module,
+//! and works with the privacy CA to authenticate cloud servers
+//! anonymously.
+
+use crate::error::CloudError;
+use crate::interpret::{interpret, property_to_spec, ReferenceDb};
+use crate::measurements::MeasurementSpec;
+use crate::messages::{AttestationReportMsg, MeasureRequest, MeasureResponse};
+use crate::pca::PrivacyCa;
+use crate::types::{HealthStatus, Image, SecurityProperty, ServerId, Vid};
+use monatt_crypto::drbg::Drbg;
+use monatt_crypto::schnorr::{SigningKey, VerifyingKey};
+use monatt_net::wire::Wire;
+use monatt_tpm::quote::Quote;
+
+/// The Attestation Server.
+pub struct AttestationServer {
+    identity: SigningKey,
+    pca: PrivacyCa,
+    references: ReferenceDb,
+}
+
+impl std::fmt::Debug for AttestationServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AttestationServer").finish_non_exhaustive()
+    }
+}
+
+impl AttestationServer {
+    /// Creates the Attestation Server with its own identity key and an
+    /// embedded privacy CA.
+    pub fn new(rng: &mut Drbg) -> Self {
+        AttestationServer {
+            identity: SigningKey::generate(rng),
+            pca: PrivacyCa::new(rng),
+            references: ReferenceDb::new(),
+        }
+    }
+
+    /// The server's public identity key (VKa).
+    pub fn identity_key(&self) -> VerifyingKey {
+        self.identity.verifying_key()
+    }
+
+    /// Registers a cloud server's identity key with the pCA (deployment
+    /// time).
+    pub fn register_cloud_server(&mut self, identity: VerifyingKey) {
+        self.pca.register_server(identity);
+    }
+
+    /// The reference database used by the interpretation module.
+    pub fn references(&self) -> &ReferenceDb {
+        &self.references
+    }
+
+    /// Builds the measurement request for a property (the P → rM mapping).
+    pub fn build_measure_request(
+        &self,
+        vid: Vid,
+        property: SecurityProperty,
+        nonce3: [u8; 32],
+    ) -> MeasureRequest {
+        MeasureRequest {
+            vid,
+            spec: property_to_spec(property),
+            nonce3,
+        }
+    }
+
+    /// Validates a cloud server's response: certifies the session key via
+    /// the pCA, then checks the quote digest and signature and the nonce
+    /// and vid echoes.
+    ///
+    /// # Errors
+    ///
+    /// [`CloudError::ProtocolFailure`] naming the failed check.
+    pub fn validate_response(
+        &self,
+        response: &MeasureResponse,
+        expected_vid: Vid,
+        expected_spec: MeasurementSpec,
+        expected_nonce3: [u8; 32],
+    ) -> Result<(), CloudError> {
+        if response.vid != expected_vid {
+            return Err(CloudError::ProtocolFailure {
+                reason: format!("vid mismatch: expected {expected_vid}, got {}", response.vid),
+            });
+        }
+        if response.spec != expected_spec {
+            return Err(CloudError::ProtocolFailure {
+                reason: "measurement spec mismatch".into(),
+            });
+        }
+        if response.nonce3 != expected_nonce3 {
+            return Err(CloudError::ProtocolFailure {
+                reason: "nonce N3 mismatch (possible replay)".into(),
+            });
+        }
+        let cert = self
+            .pca
+            .certify(&response.cert_request)
+            .map_err(|e| CloudError::ProtocolFailure {
+                reason: format!("attestation key certification failed: {e}"),
+            })?;
+        let vid_bytes = response.vid.0.to_be_bytes();
+        let spec_bytes = response.spec.to_wire();
+        let meas_bytes = response.measurement.to_wire();
+        response
+            .quote
+            .verify(
+                &cert.attestation_key,
+                &[&vid_bytes, &spec_bytes, &meas_bytes, &response.nonce3],
+            )
+            .map_err(|e| CloudError::ProtocolFailure {
+                reason: format!("quote Q3 verification failed: {e}"),
+            })
+    }
+
+    /// Runs the Property Interpretation Module on a validated response.
+    pub fn interpret_response(
+        &self,
+        property: SecurityProperty,
+        response: &MeasureResponse,
+        expected_image: Image,
+    ) -> HealthStatus {
+        interpret(
+            property,
+            &response.measurement,
+            expected_image,
+            &self.references,
+        )
+    }
+
+    /// The Property Certification Module: packages and signs the report
+    /// for the controller (message 5, quote Q2 under SKa).
+    pub fn certify_report(
+        &self,
+        vid: Vid,
+        server: ServerId,
+        property: SecurityProperty,
+        status: HealthStatus,
+        nonce2: [u8; 32],
+    ) -> AttestationReportMsg {
+        let vid_bytes = vid.0.to_be_bytes();
+        let server_bytes = server.0.to_be_bytes();
+        let prop_bytes = property.to_wire();
+        let status_bytes = status.to_wire();
+        let quote = Quote::create(
+            &self.identity,
+            &[
+                &vid_bytes,
+                &server_bytes,
+                &prop_bytes,
+                &status_bytes,
+                &nonce2,
+            ],
+        );
+        AttestationReportMsg {
+            vid,
+            server,
+            property,
+            status,
+            nonce2,
+            quote,
+        }
+    }
+
+    /// Verifies a message-5 report (used by the controller).
+    ///
+    /// # Errors
+    ///
+    /// [`CloudError::ProtocolFailure`] if the quote or nonce fails.
+    pub fn verify_report_msg(
+        msg: &AttestationReportMsg,
+        attserver_key: &VerifyingKey,
+        expected_nonce2: [u8; 32],
+    ) -> Result<(), CloudError> {
+        if msg.nonce2 != expected_nonce2 {
+            return Err(CloudError::ProtocolFailure {
+                reason: "nonce N2 mismatch (possible replay)".into(),
+            });
+        }
+        let vid_bytes = msg.vid.0.to_be_bytes();
+        let server_bytes = msg.server.0.to_be_bytes();
+        let prop_bytes = msg.property.to_wire();
+        let status_bytes = msg.status.to_wire();
+        msg.quote
+            .verify(
+                attserver_key,
+                &[
+                    &vid_bytes,
+                    &server_bytes,
+                    &prop_bytes,
+                    &status_bytes,
+                    &msg.nonce2,
+                ],
+            )
+            .map_err(|e| CloudError::ProtocolFailure {
+                reason: format!("quote Q2 verification failed: {e}"),
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::CloudServerNode;
+    use monatt_hypervisor::driver::IdleDriver;
+    use monatt_hypervisor::scheduler::SchedParams;
+
+    fn setup() -> (AttestationServer, CloudServerNode) {
+        let mut rng = Drbg::from_seed(40);
+        let mut attserver = AttestationServer::new(&mut rng);
+        let refs = ReferenceDb::new();
+        let mut node = CloudServerNode::boot(
+            ServerId(0),
+            1,
+            SchedParams::default(),
+            Drbg::from_seed(41),
+            refs.platform_components(),
+            &[SecurityProperty::StartupIntegrity],
+        );
+        attserver.register_cloud_server(node.identity_key());
+        node.launch_vm(
+            Vid(1),
+            Image::Cirros,
+            Image::Cirros.pristine_bytes(),
+            vec![Box::new(IdleDriver)],
+            256,
+        );
+        (attserver, node)
+    }
+
+    #[test]
+    fn end_to_end_measure_validate_interpret() {
+        let (attserver, mut node) = setup();
+        let nonce3 = [3u8; 32];
+        let req = attserver.build_measure_request(Vid(1), SecurityProperty::StartupIntegrity, nonce3);
+        let resp: crate::messages::MeasureResponse =
+            node.attest(req.vid, req.spec, req.nonce3).unwrap().into();
+        attserver
+            .validate_response(&resp, Vid(1), req.spec, nonce3)
+            .unwrap();
+        let status =
+            attserver.interpret_response(SecurityProperty::StartupIntegrity, &resp, Image::Cirros);
+        assert!(status.is_healthy());
+    }
+
+    #[test]
+    fn tampered_measurement_fails_validation() {
+        let (attserver, mut node) = setup();
+        let nonce3 = [3u8; 32];
+        let req = attserver.build_measure_request(Vid(1), SecurityProperty::StartupIntegrity, nonce3);
+        let mut resp: crate::messages::MeasureResponse =
+            node.attest(req.vid, req.spec, req.nonce3).unwrap().into();
+        // Forge the measurement after quoting.
+        resp.measurement = crate::measurements::Measurement::BootIntegrity {
+            platform_pcr: [0; 32],
+            image_hash: [0; 32],
+        };
+        let err = attserver
+            .validate_response(&resp, Vid(1), req.spec, nonce3)
+            .unwrap_err();
+        assert!(matches!(err, CloudError::ProtocolFailure { .. }));
+    }
+
+    #[test]
+    fn replayed_nonce_fails_validation() {
+        let (attserver, mut node) = setup();
+        let req = attserver.build_measure_request(Vid(1), SecurityProperty::StartupIntegrity, [3u8; 32]);
+        let resp: crate::messages::MeasureResponse =
+            node.attest(req.vid, req.spec, req.nonce3).unwrap().into();
+        let err = attserver
+            .validate_response(&resp, Vid(1), req.spec, [4u8; 32])
+            .unwrap_err();
+        let CloudError::ProtocolFailure { reason } = err else {
+            panic!("wrong error");
+        };
+        assert!(reason.contains("N3"));
+    }
+
+    #[test]
+    fn unregistered_server_fails_validation() {
+        let mut rng = Drbg::from_seed(42);
+        let attserver = AttestationServer::new(&mut rng);
+        let refs = ReferenceDb::new();
+        let mut node = CloudServerNode::boot(
+            ServerId(5),
+            1,
+            SchedParams::default(),
+            Drbg::from_seed(43),
+            refs.platform_components(),
+            &[],
+        );
+        node.launch_vm(
+            Vid(1),
+            Image::Cirros,
+            Image::Cirros.pristine_bytes(),
+            vec![Box::new(IdleDriver)],
+            256,
+        );
+        let resp: crate::messages::MeasureResponse = node
+            .attest(Vid(1), MeasurementSpec::BootIntegrity, [0u8; 32])
+            .unwrap()
+            .into();
+        let err = attserver
+            .validate_response(&resp, Vid(1), MeasurementSpec::BootIntegrity, [0u8; 32])
+            .unwrap_err();
+        let CloudError::ProtocolFailure { reason } = err else {
+            panic!("wrong error");
+        };
+        assert!(reason.contains("certification"));
+    }
+
+    #[test]
+    fn report_certification_roundtrip() {
+        let mut rng = Drbg::from_seed(44);
+        let attserver = AttestationServer::new(&mut rng);
+        let msg = attserver.certify_report(
+            Vid(9),
+            ServerId(1),
+            SecurityProperty::RuntimeIntegrity,
+            HealthStatus::Healthy,
+            [8u8; 32],
+        );
+        AttestationServer::verify_report_msg(&msg, &attserver.identity_key(), [8u8; 32]).unwrap();
+        // Tampering with the status breaks the quote.
+        let mut forged = msg.clone();
+        forged.status = HealthStatus::Compromised {
+            reason: "flip".into(),
+        };
+        assert!(AttestationServer::verify_report_msg(
+            &forged,
+            &attserver.identity_key(),
+            [8u8; 32]
+        )
+        .is_err());
+        // Wrong nonce is a replay.
+        assert!(
+            AttestationServer::verify_report_msg(&msg, &attserver.identity_key(), [9u8; 32])
+                .is_err()
+        );
+    }
+}

@@ -1,0 +1,1565 @@
+//! The `Cloud` facade: wires customer, Cloud Controller, Attestation
+//! Server and Cloud Servers together over the simulated network, and
+//! exposes the paper's monitoring/attestation APIs (Table 1), the VM
+//! launch pipeline (Section 7.1.1), periodic attestation (Section 3.2.1)
+//! and remediation responses (Section 5).
+
+use crate::attestation::AttestationServer;
+use crate::controller::{
+    CloudController, ResponseAction, ServerInfo, VmLifecycle, VmRecord,
+};
+use crate::error::CloudError;
+use crate::interpret::ReferenceDb;
+use crate::latency::LatencyParams;
+use crate::measurements::MeasurementSpec;
+use crate::messages::{
+    ControllerForward, CustomerReportMsg, CustomerRequest, MeasureRequest, MeasureResponse,
+};
+use crate::server::CloudServerNode;
+use crate::types::{Flavor, HealthStatus, Image, SecurityProperty, ServerId, Vid};
+use monatt_attacks::boost::{boost_attack_drivers, BoostAttackVcpu};
+use monatt_attacks::covert::CovertSender;
+use monatt_crypto::drbg::Drbg;
+use monatt_crypto::schnorr::SigningKey;
+use monatt_hypervisor::driver::{BusyLoop, IdleDriver, WorkloadDriver};
+use monatt_hypervisor::scheduler::SchedParams;
+use monatt_net::channel::{handshake_pair, SecureChannel};
+use monatt_net::sim::SimNetwork;
+use monatt_net::wire::Wire;
+use monatt_workloads::programs::SpecProgram;
+use monatt_workloads::services::CloudService;
+use std::collections::BTreeMap;
+
+/// The guest workload to run in a requested VM. Kept as a declarative
+/// spec so migration can re-instantiate it on the destination server.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WorkloadSpec {
+    /// All vCPUs idle.
+    Idle,
+    /// CPU-bound busy loop on every vCPU.
+    Busy,
+    /// A cloud benchmark service on vCPU 0.
+    Service(CloudService),
+    /// A SPEC-like CPU-bound program on vCPU 0.
+    Program(SpecProgram),
+    /// The covert-channel sender of Case Study III (transmits a fixed
+    /// pattern).
+    CovertSender,
+    /// The IPI-boost availability attacker of Case Study IV.
+    BoostAttack,
+}
+
+/// Observation handles exported by a workload (for throughput and
+/// completion measurements in experiments).
+#[derive(Clone, Debug, Default)]
+pub struct WorkloadHandles {
+    /// Request counter of a [`WorkloadSpec::Service`] workload.
+    pub service: Option<monatt_hypervisor::driver::Shared<monatt_workloads::ServiceStats>>,
+    /// Completion record of a [`WorkloadSpec::Program`] workload.
+    pub program: Option<monatt_hypervisor::driver::Shared<monatt_workloads::ProgramStats>>,
+}
+
+impl WorkloadSpec {
+    fn drivers(&self, vcpus: usize, seed: u64) -> (Vec<Box<dyn WorkloadDriver>>, WorkloadHandles) {
+        let mut drivers: Vec<Box<dyn WorkloadDriver>> = Vec::with_capacity(vcpus);
+        let mut handles = WorkloadHandles::default();
+        match self {
+            WorkloadSpec::Idle => {
+                for _ in 0..vcpus {
+                    drivers.push(Box::new(IdleDriver));
+                }
+            }
+            WorkloadSpec::Busy => {
+                for _ in 0..vcpus {
+                    drivers.push(Box::new(BusyLoop::default()));
+                }
+            }
+            WorkloadSpec::Service(svc) => {
+                let driver = svc.driver(seed);
+                handles.service = Some(driver.stats());
+                drivers.push(Box::new(driver));
+                for _ in 1..vcpus {
+                    drivers.push(Box::new(IdleDriver));
+                }
+            }
+            WorkloadSpec::Program(prog) => {
+                let driver = prog.driver();
+                handles.program = Some(driver.stats());
+                drivers.push(Box::new(driver));
+                for _ in 1..vcpus {
+                    drivers.push(Box::new(IdleDriver));
+                }
+            }
+            WorkloadSpec::CovertSender => {
+                drivers.push(Box::new(CovertSender::new(b"\xA5")));
+                for _ in 1..vcpus {
+                    drivers.push(Box::new(IdleDriver));
+                }
+            }
+            WorkloadSpec::BoostAttack => {
+                if vcpus >= 2 {
+                    drivers.extend(boost_attack_drivers());
+                    for _ in 2..vcpus {
+                        drivers.push(Box::new(IdleDriver));
+                    }
+                } else {
+                    drivers.push(Box::new(BoostAttackVcpu::new(0)));
+                }
+            }
+        }
+        (drivers, handles)
+    }
+}
+
+/// A VM request, as submitted by the customer.
+#[derive(Clone, Debug)]
+pub struct VmRequest {
+    /// VM size.
+    pub flavor: Flavor,
+    /// Boot image.
+    pub image: Image,
+    /// Security properties to provision monitoring for.
+    pub properties: Vec<SecurityProperty>,
+    /// Guest workload.
+    pub workload: WorkloadSpec,
+    /// Experiment hook: corrupt the image in storage before launch
+    /// (Case Study I attack).
+    pub tampered_image: bool,
+    /// Experiment hook: force placement on a specific server.
+    pub on_server: Option<ServerId>,
+    /// Experiment hook: pin all vCPUs to one pCPU (co-residency).
+    pub pin_pcpu: Option<usize>,
+}
+
+impl VmRequest {
+    /// Creates a request with no security properties and an idle guest.
+    pub fn new(flavor: Flavor, image: Image) -> Self {
+        VmRequest {
+            flavor,
+            image,
+            properties: Vec::new(),
+            workload: WorkloadSpec::Idle,
+            tampered_image: false,
+            on_server: None,
+            pin_pcpu: None,
+        }
+    }
+
+    /// Adds a required security property.
+    pub fn require(mut self, property: SecurityProperty) -> Self {
+        self.properties.push(property);
+        self
+    }
+
+    /// Sets the guest workload.
+    pub fn workload(mut self, workload: WorkloadSpec) -> Self {
+        self.workload = workload;
+        self
+    }
+
+    /// Corrupts the image in storage (attack experiment).
+    pub fn with_tampered_image(mut self) -> Self {
+        self.tampered_image = true;
+        self
+    }
+
+    /// Forces placement on `server` (experiment hook).
+    pub fn on_server(mut self, server: ServerId) -> Self {
+        self.on_server = Some(server);
+        self
+    }
+
+    /// Pins all vCPUs to pCPU `p` of the chosen server (experiment hook).
+    pub fn pin_pcpu(mut self, p: usize) -> Self {
+        self.pin_pcpu = Some(p);
+        self
+    }
+}
+
+/// Stage breakdown of one VM launch (Figure 9).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LaunchTiming {
+    /// Scheduling stage (incl. the CloudMonatt property filter).
+    pub scheduling_us: u64,
+    /// Networking stage.
+    pub networking_us: u64,
+    /// Block-device-mapping stage.
+    pub block_device_us: u64,
+    /// Spawning stage.
+    pub spawning_us: u64,
+    /// The new Attestation stage.
+    pub attestation_us: u64,
+}
+
+impl LaunchTiming {
+    /// Total launch time.
+    pub fn total_us(&self) -> u64 {
+        self.scheduling_us
+            + self.networking_us
+            + self.block_device_us
+            + self.spawning_us
+            + self.attestation_us
+    }
+}
+
+/// The customer-facing attestation result.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AttestationReport {
+    /// The attested VM.
+    pub vid: Vid,
+    /// The property checked.
+    pub property: SecurityProperty,
+    /// The verdict.
+    pub status: HealthStatus,
+    /// End-to-end attestation latency (protocol + measurement window).
+    pub elapsed_us: u64,
+    /// At what cloud wall-clock time the report was issued.
+    pub issued_at_us: u64,
+}
+
+impl AttestationReport {
+    /// True if the property was judged to hold.
+    pub fn healthy(&self) -> bool {
+        self.status.is_healthy()
+    }
+}
+
+/// Timing of a remediation response (Figure 11).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ResponseTiming {
+    /// Which response ran.
+    pub action: ResponseAction,
+    /// Time the response itself took.
+    pub response_us: u64,
+}
+
+/// The cadence of a periodic attestation (Table 1: "at the frequency of
+/// freq or at random intervals").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Frequency {
+    /// A fixed period.
+    Fixed(u64),
+    /// Uniformly random intervals in `[min_us, max_us]` — randomized
+    /// monitoring is harder for an attacker to schedule around.
+    Random {
+        /// Shortest interval.
+        min_us: u64,
+        /// Longest interval.
+        max_us: u64,
+    },
+}
+
+impl Frequency {
+    /// Convenience constructor for a fixed period in seconds.
+    pub fn secs(s: u64) -> Self {
+        Frequency::Fixed(s * 1_000_000)
+    }
+
+    fn next_interval(&self, rng: &mut Drbg) -> u64 {
+        match *self {
+            Frequency::Fixed(us) => us,
+            Frequency::Random { min_us, max_us } => {
+                min_us + rng.next_u64_below(max_us.saturating_sub(min_us).max(1) + 1)
+            }
+        }
+    }
+}
+
+/// A periodic attestation subscription.
+#[derive(Debug)]
+struct Subscription {
+    vid: Vid,
+    property: SecurityProperty,
+    frequency: Frequency,
+    next_due_us: u64,
+    reports: Vec<AttestationReport>,
+}
+
+struct ChannelPair {
+    initiator: SecureChannel,
+    responder: SecureChannel,
+}
+
+/// Builder for a [`Cloud`].
+#[derive(Clone, Debug)]
+pub struct CloudBuilder {
+    servers: usize,
+    pcpus_per_server: usize,
+    seed: u64,
+    latency: LatencyParams,
+    sched: SchedParams,
+    auto_response: bool,
+    corrupted_platforms: Vec<usize>,
+}
+
+impl Default for CloudBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CloudBuilder {
+    /// Starts a builder with 3 servers of 4 pCPUs (the paper's testbed
+    /// scale).
+    pub fn new() -> Self {
+        CloudBuilder {
+            servers: 3,
+            pcpus_per_server: 4,
+            seed: 0,
+            latency: LatencyParams::default(),
+            sched: SchedParams::default(),
+            auto_response: false,
+            corrupted_platforms: Vec::new(),
+        }
+    }
+
+    /// Sets the number of cloud servers.
+    pub fn servers(mut self, n: usize) -> Self {
+        self.servers = n;
+        self
+    }
+
+    /// Sets pCPUs per server.
+    pub fn pcpus_per_server(mut self, n: usize) -> Self {
+        self.pcpus_per_server = n;
+        self
+    }
+
+    /// Seeds all randomness (key generation, nonces, workload jitter).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Overrides the latency model.
+    pub fn latency(mut self, latency: LatencyParams) -> Self {
+        self.latency = latency;
+        self
+    }
+
+    /// Overrides the hypervisor scheduler parameters.
+    pub fn sched(mut self, sched: SchedParams) -> Self {
+        self.sched = sched;
+        self
+    }
+
+    /// Enables automatic remediation responses on failed attestations.
+    pub fn auto_response(mut self, on: bool) -> Self {
+        self.auto_response = on;
+        self
+    }
+
+    /// Boots server `index` with a corrupted hypervisor (Case Study I
+    /// platform attack).
+    pub fn corrupt_platform(mut self, index: usize) -> Self {
+        self.corrupted_platforms.push(index);
+        self
+    }
+
+    /// Builds the cloud: provisions keys, boots servers, registers them
+    /// with the controller and pCA, and establishes the secure channels.
+    pub fn build(self) -> Cloud {
+        let mut rng = Drbg::from_seed(self.seed);
+        let mut controller = CloudController::new(&mut rng);
+        let mut attserver = AttestationServer::new(&mut rng);
+        let customer_identity = SigningKey::generate(&mut rng);
+        let references = ReferenceDb::new();
+        let all_properties = [
+            SecurityProperty::StartupIntegrity,
+            SecurityProperty::RuntimeIntegrity,
+            SecurityProperty::CovertChannelFreedom,
+            SecurityProperty::CpuAvailability { min_share_pct: 0 },
+            SecurityProperty::SchedulerFairness,
+        ];
+        let mut servers = BTreeMap::new();
+        for i in 0..self.servers {
+            let id = ServerId(i as u32);
+            let corrupted = self.corrupted_platforms.contains(&i);
+            let components: Vec<&str> = if corrupted {
+                vec!["firmware-v2", "trojaned-xen-4.4", "dom0-linux-3.13"]
+            } else {
+                references.platform_components().to_vec()
+            };
+            let node = CloudServerNode::boot(
+                id,
+                self.pcpus_per_server,
+                self.sched,
+                Drbg::from_seed(self.seed ^ (0xABCD + i as u64)),
+                &components,
+                &all_properties,
+            );
+            attserver.register_cloud_server(node.identity_key());
+            controller.register_server(ServerInfo {
+                id,
+                free_vcpus: node.free_vcpus(),
+                supported_properties: all_properties.iter().map(|p| p.label()).collect(),
+            });
+            servers.insert(id, node);
+        }
+        // Establish the SSL-like channels (session keys Kx, Ky, Kz).
+        let controller_identity = SigningKey::generate(&mut rng);
+        let attserver_identity = SigningKey::generate(&mut rng);
+        let make_pair = |rng: &mut Drbg, a: &SigningKey, b: &SigningKey| {
+            let (i, r) = handshake_pair(rng, a, b).expect("handshake between honest parties");
+            ChannelPair {
+                initiator: i,
+                responder: r,
+            }
+        };
+        let cust_ctrl = make_pair(&mut rng, &customer_identity, &controller_identity);
+        let ctrl_as = make_pair(&mut rng, &controller_identity, &attserver_identity);
+        let mut as_server = BTreeMap::new();
+        for id in servers.keys() {
+            // In deployment the server end terminates inside the
+            // Attestation Client; the channel key is Kz.
+            let server_chan_identity = SigningKey::generate(&mut rng);
+            as_server.insert(
+                *id,
+                make_pair(&mut rng, &attserver_identity, &server_chan_identity),
+            );
+        }
+        Cloud {
+            rng,
+            controller,
+            attserver,
+            servers,
+            network: SimNetwork::default(),
+            cust_ctrl,
+            ctrl_as,
+            as_server,
+            latency: self.latency,
+            wall_clock_us: 0,
+            last_launch: None,
+            subscriptions: BTreeMap::new(),
+            next_subscription: 1,
+            auto_response: self.auto_response,
+            vm_meta: BTreeMap::new(),
+            seed: self.seed,
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+struct VmMeta {
+    workload: WorkloadSpec,
+    tampered: bool,
+    pin_pcpu: Option<usize>,
+    handles: WorkloadHandles,
+}
+
+/// The assembled CloudMonatt cloud.
+pub struct Cloud {
+    rng: Drbg,
+    controller: CloudController,
+    attserver: AttestationServer,
+    servers: BTreeMap<ServerId, CloudServerNode>,
+    network: SimNetwork,
+    cust_ctrl: ChannelPair,
+    ctrl_as: ChannelPair,
+    as_server: BTreeMap<ServerId, ChannelPair>,
+    latency: LatencyParams,
+    wall_clock_us: u64,
+    last_launch: Option<LaunchTiming>,
+    subscriptions: BTreeMap<u64, Subscription>,
+    next_subscription: u64,
+    auto_response: bool,
+    vm_meta: BTreeMap<Vid, VmMeta>,
+    seed: u64,
+}
+
+impl std::fmt::Debug for Cloud {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cloud")
+            .field("servers", &self.servers.len())
+            .field("wall_clock_us", &self.wall_clock_us)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Seals `payload` on `send`, transmits it, and opens it on `recv`.
+fn hop(
+    network: &mut SimNetwork,
+    send: &mut SecureChannel,
+    recv: &mut SecureChannel,
+    from: &str,
+    to: &str,
+    payload: &[u8],
+) -> Result<(Vec<u8>, u64), CloudError> {
+    let record = send.seal(b"", payload);
+    let delivery = network.transmit(from, to, &record);
+    let Some(delivered) = delivery.payload else {
+        return Err(CloudError::ProtocolFailure {
+            reason: format!("message from {from} to {to} was dropped in transit"),
+        });
+    };
+    let plaintext = recv.open(b"", &delivered).map_err(|e| CloudError::ProtocolFailure {
+        reason: format!("secure channel {from}->{to}: {e}"),
+    })?;
+    Ok((plaintext, delivery.latency_us))
+}
+
+impl Cloud {
+    /// Current cloud wall-clock time in microseconds.
+    pub fn wall_clock_us(&self) -> u64 {
+        self.wall_clock_us
+    }
+
+    /// Number of cloud servers.
+    pub fn server_count(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// The server currently hosting `vid`.
+    pub fn server_of(&self, vid: Vid) -> Option<ServerId> {
+        self.controller.vm(vid).map(|r| r.server)
+    }
+
+    /// Lifecycle state of `vid`.
+    pub fn vm_state(&self, vid: Vid) -> Option<VmLifecycle> {
+        self.controller.vm(vid).map(|r| r.state)
+    }
+
+    /// Read access to a server node (monitor tools, experiment checks).
+    pub fn server(&self, id: ServerId) -> Option<&CloudServerNode> {
+        self.servers.get(&id)
+    }
+
+    /// Mutable server access — used by attack injection in experiments.
+    pub fn server_mut(&mut self, id: ServerId) -> Option<&mut CloudServerNode> {
+        self.servers.get_mut(&id)
+    }
+
+    /// The network, for installing Dolev-Yao adversaries in experiments.
+    pub fn network_mut(&mut self) -> &mut SimNetwork {
+        &mut self.network
+    }
+
+    /// The stage breakdown of the most recent launch (Figure 9).
+    pub fn last_launch_timing(&self) -> Option<LaunchTiming> {
+        self.last_launch
+    }
+
+    /// Advances all server simulators and the wall clock by
+    /// `duration_us`.
+    pub fn advance(&mut self, duration_us: u64) {
+        for node in self.servers.values_mut() {
+            node.advance(duration_us);
+        }
+        self.wall_clock_us += duration_us;
+    }
+
+    fn fresh_nonce(&mut self) -> [u8; 32] {
+        self.rng.next_bytes32()
+    }
+
+    /// Requests a VM (the paper's launch pipeline, Section 7.1.1):
+    /// Scheduling → Networking → Block-device-mapping → Spawning →
+    /// Attestation. If startup attestation finds a compromised platform,
+    /// another server is tried; a compromised image rejects the launch.
+    ///
+    /// # Errors
+    ///
+    /// [`CloudError::NoQualifiedServer`] or
+    /// [`CloudError::LaunchRejected`].
+    pub fn request_vm(&mut self, request: VmRequest) -> Result<Vid, CloudError> {
+        let vid = self.controller.allocate_vid();
+        let wants_attestation = !request.properties.is_empty();
+        let mut timing = LaunchTiming::default();
+        let mut excluded: Option<ServerId> = None;
+        // Try servers until one passes platform attestation.
+        for _attempt in 0..self.servers.len().max(1) {
+            // Scheduling.
+            let server_id = match request.on_server {
+                Some(forced) if excluded != Some(forced) => forced,
+                Some(_) => {
+                    return Err(CloudError::LaunchRejected {
+                        reason: "forced server failed platform attestation".into(),
+                    })
+                }
+                None => self.controller.select_server(
+                    request.flavor,
+                    &request.properties,
+                    excluded,
+                )?,
+            };
+            timing.scheduling_us +=
+                self.latency.scheduling_us(self.servers.len(), wants_attestation);
+            // Networking, block device mapping, spawning.
+            timing.networking_us += self.latency.networking_us();
+            timing.block_device_us += self.latency.block_device_us(request.image);
+            timing.spawning_us += self.latency.spawning_us(request.image, request.flavor);
+            let mut image_bytes = request.image.pristine_bytes();
+            if request.tampered_image {
+                image_bytes[0] ^= 0xff;
+            }
+            let (drivers, handles) = request
+                .workload
+                .drivers(request.flavor.vcpus(), self.seed ^ vid.0);
+            let node = self
+                .servers
+                .get_mut(&server_id)
+                .ok_or(CloudError::UnknownServer(server_id))?;
+            node.launch_vm_pinned(
+                vid,
+                request.image,
+                image_bytes,
+                drivers,
+                256,
+                request.pin_pcpu,
+            );
+            // Attestation stage.
+            if wants_attestation {
+                let (status, elapsed) = self.attest_internal(
+                    vid,
+                    server_id,
+                    SecurityProperty::StartupIntegrity,
+                    request.image,
+                )?;
+                timing.attestation_us += elapsed;
+                match status {
+                    HealthStatus::Healthy => {}
+                    HealthStatus::Compromised { reason } if reason.contains("platform") => {
+                        // Try another server for this VM.
+                        if let Some(node) = self.servers.get_mut(&server_id) {
+                            node.remove_vm(vid);
+                        }
+                        excluded = Some(server_id);
+                        continue;
+                    }
+                    HealthStatus::Compromised { reason } => {
+                        if let Some(node) = self.servers.get_mut(&server_id) {
+                            node.remove_vm(vid);
+                        }
+                        self.last_launch = Some(timing);
+                        return Err(CloudError::LaunchRejected { reason });
+                    }
+                }
+            }
+            self.controller.record_deployment(VmRecord {
+                vid,
+                flavor: request.flavor,
+                image: request.image,
+                properties: request.properties.clone(),
+                server: server_id,
+                state: VmLifecycle::Active,
+            });
+            self.vm_meta.insert(
+                vid,
+                VmMeta {
+                    workload: request.workload,
+                    tampered: request.tampered_image,
+                    pin_pcpu: request.pin_pcpu,
+                    handles,
+                },
+            );
+            // The attestation stage already advanced time inside
+            // attest_internal; advance the management stages now.
+            self.advance(timing.total_us().saturating_sub(timing.attestation_us));
+            self.last_launch = Some(timing);
+            return Ok(vid);
+        }
+        self.last_launch = Some(timing);
+        Err(CloudError::NoQualifiedServer {
+            requested: request.properties,
+        })
+    }
+
+    /// The controller-to-server attestation core (messages 2-5 of Figure
+    /// 3). Returns the interpreted status and the elapsed time.
+    fn attest_internal(
+        &mut self,
+        vid: Vid,
+        server_id: ServerId,
+        property: SecurityProperty,
+        expected_image: Image,
+    ) -> Result<(HealthStatus, u64), CloudError> {
+        let mut elapsed = 0u64;
+        let nonce2 = self.fresh_nonce();
+        // Message 2: CC -> AS.
+        let fwd = ControllerForward {
+            vid,
+            server: server_id,
+            property,
+            nonce2,
+        };
+        let (bytes, latency) = hop(
+            &mut self.network,
+            &mut self.ctrl_as.initiator,
+            &mut self.ctrl_as.responder,
+            "controller",
+            "attserver",
+            &fwd.to_wire(),
+        )?;
+        elapsed += latency + self.latency.hop_processing_us;
+        let fwd = ControllerForward::from_wire(&bytes).map_err(|e| CloudError::ProtocolFailure {
+            reason: format!("malformed forward: {e}"),
+        })?;
+        // Message 3: AS -> CS.
+        let nonce3 = self.fresh_nonce();
+        let measure_req = self
+            .attserver
+            .build_measure_request(fwd.vid, fwd.property, nonce3);
+        let pair = self
+            .as_server
+            .get_mut(&server_id)
+            .ok_or(CloudError::UnknownServer(server_id))?;
+        let (bytes, latency) = hop(
+            &mut self.network,
+            &mut pair.initiator,
+            &mut pair.responder,
+            "attserver",
+            &format!("{server_id}"),
+            &measure_req.to_wire(),
+        )?;
+        elapsed += latency + self.latency.hop_processing_us;
+        let req = MeasureRequest::from_wire(&bytes).map_err(|e| CloudError::ProtocolFailure {
+            reason: format!("malformed measure request: {e}"),
+        })?;
+        // The server opens the measurement window; runtime windows run
+        // concurrently with all VMs (non-intrusive monitoring).
+        let window = req.spec.window_us();
+        {
+            let node = self
+                .servers
+                .get_mut(&server_id)
+                .ok_or(CloudError::UnknownServer(server_id))?;
+            node.begin_window(req.spec, req.vid);
+        }
+        if window > 0 {
+            self.advance(window);
+            elapsed += window;
+        }
+        // Measurement + quote cost.
+        if matches!(req.spec, MeasurementSpec::BootIntegrity) {
+            elapsed += self.latency.hash_us(expected_image.size_mb());
+        }
+        elapsed += self.latency.quote_generation_us + self.latency.signature_us;
+        let response = {
+            let node = self
+                .servers
+                .get_mut(&server_id)
+                .ok_or(CloudError::UnknownServer(server_id))?;
+            node.attest(req.vid, req.spec, req.nonce3)
+                .ok_or(CloudError::UnknownVm(vid))?
+        };
+        // Message 4: CS -> AS.
+        let msg4 = MeasureResponse {
+            vid: response.vid,
+            spec: response.spec,
+            measurement: response.measurement,
+            nonce3: response.nonce,
+            quote: response.quote,
+            cert_request: response.cert_request,
+        };
+        let pair = self
+            .as_server
+            .get_mut(&server_id)
+            .ok_or(CloudError::UnknownServer(server_id))?;
+        let (bytes, latency) = hop(
+            &mut self.network,
+            &mut pair.responder,
+            &mut pair.initiator,
+            &format!("{server_id}"),
+            "attserver",
+            &msg4.to_wire(),
+        )?;
+        elapsed += latency + self.latency.hop_processing_us + self.latency.signature_us;
+        let msg4 = MeasureResponse::from_wire(&bytes).map_err(|e| CloudError::ProtocolFailure {
+            reason: format!("malformed measure response: {e}"),
+        })?;
+        self.attserver
+            .validate_response(&msg4, vid, measure_req.spec, nonce3)?;
+        let status = self
+            .attserver
+            .interpret_response(property, &msg4, expected_image);
+        // Message 5: AS -> CC.
+        let report_msg =
+            self.attserver
+                .certify_report(vid, server_id, property, status, nonce2);
+        let (bytes, latency) = hop(
+            &mut self.network,
+            &mut self.ctrl_as.responder,
+            &mut self.ctrl_as.initiator,
+            "attserver",
+            "controller",
+            &report_msg.to_wire(),
+        )?;
+        elapsed += latency + self.latency.hop_processing_us + self.latency.signature_us;
+        let report_msg = crate::messages::AttestationReportMsg::from_wire(&bytes).map_err(|e| {
+            CloudError::ProtocolFailure {
+                reason: format!("malformed report: {e}"),
+            }
+        })?;
+        AttestationServer::verify_report_msg(
+            &report_msg,
+            &self.attserver.identity_key(),
+            nonce2,
+        )?;
+        // Real time passes everywhere while the protocol runs: advance
+        // the simulators too (the window portion was already advanced).
+        self.advance(elapsed.saturating_sub(window));
+        Ok((report_msg.status, elapsed))
+    }
+
+    /// The full customer-facing attestation (all six messages of Figure
+    /// 3), shared by the Table 1 APIs.
+    fn customer_attest(
+        &mut self,
+        vid: Vid,
+        property: SecurityProperty,
+    ) -> Result<AttestationReport, CloudError> {
+        let record = self
+            .controller
+            .vm(vid)
+            .ok_or(CloudError::UnknownVm(vid))?
+            .clone();
+        if record.state == VmLifecycle::Terminated {
+            return Err(CloudError::UnknownVm(vid));
+        }
+        let mut elapsed = 0u64;
+        // Message 1: C -> CC.
+        let nonce1 = self.fresh_nonce();
+        let request = CustomerRequest {
+            vid,
+            property,
+            nonce1,
+        };
+        let (bytes, latency) = hop(
+            &mut self.network,
+            &mut self.cust_ctrl.initiator,
+            &mut self.cust_ctrl.responder,
+            "customer",
+            "controller",
+            &request.to_wire(),
+        )?;
+        elapsed += latency + self.latency.hop_processing_us;
+        let request = CustomerRequest::from_wire(&bytes).map_err(|e| {
+            CloudError::ProtocolFailure {
+                reason: format!("malformed request: {e}"),
+            }
+        })?;
+        // Messages 2-5.
+        let (status, core_elapsed) =
+            self.attest_internal(request.vid, record.server, request.property, record.image)?;
+        elapsed += core_elapsed;
+        // Message 6: CC -> C.
+        let report_msg = self.controller.certify_customer_report(
+            vid,
+            property,
+            status.clone(),
+            request.nonce1,
+        );
+        let (bytes, latency) = hop(
+            &mut self.network,
+            &mut self.cust_ctrl.responder,
+            &mut self.cust_ctrl.initiator,
+            "controller",
+            "customer",
+            &report_msg.to_wire(),
+        )?;
+        elapsed += latency + self.latency.hop_processing_us + 2 * self.latency.signature_us;
+        let report_msg =
+            CustomerReportMsg::from_wire(&bytes).map_err(|e| CloudError::ProtocolFailure {
+                reason: format!("malformed customer report: {e}"),
+            })?;
+        // The customer verifies quote Q1 and the nonce.
+        CloudController::verify_customer_report(
+            &report_msg,
+            &self.controller.identity_key(),
+            nonce1,
+        )?;
+        // attest_internal already advanced time by its share.
+        self.advance(elapsed.saturating_sub(core_elapsed));
+        Ok(AttestationReport {
+            vid,
+            property,
+            status: report_msg.status,
+            elapsed_us: elapsed,
+            issued_at_us: self.wall_clock_us,
+        })
+    }
+
+    /// Table 1: `startup_attest_current(Vid, P, N)` — attestation before
+    /// / at launch time.
+    ///
+    /// # Errors
+    ///
+    /// [`CloudError::UnknownVm`] or a protocol failure.
+    pub fn startup_attest_current(
+        &mut self,
+        vid: Vid,
+        property: SecurityProperty,
+    ) -> Result<AttestationReport, CloudError> {
+        self.customer_attest(vid, property)
+    }
+
+    /// Table 1: `runtime_attest_current(Vid, P, N)` — an immediate
+    /// runtime attestation.
+    ///
+    /// # Errors
+    ///
+    /// [`CloudError::UnknownVm`] or a protocol failure.
+    pub fn runtime_attest_current(
+        &mut self,
+        vid: Vid,
+        property: SecurityProperty,
+    ) -> Result<AttestationReport, CloudError> {
+        let report = self.customer_attest(vid, property)?;
+        if !report.healthy() && self.auto_response {
+            let action = self.controller.choose_response(property);
+            let _ = self.respond(vid, action);
+        }
+        Ok(report)
+    }
+
+    /// Table 1: `runtime_attest_periodic(Vid, P, freq, N)` — subscribes
+    /// to periodic attestation. Reports accumulate as the cloud
+    /// [`Cloud::run`]s.
+    ///
+    /// # Errors
+    ///
+    /// [`CloudError::UnknownVm`] if the VM does not exist.
+    pub fn runtime_attest_periodic(
+        &mut self,
+        vid: Vid,
+        property: SecurityProperty,
+        freq_us: u64,
+    ) -> Result<u64, CloudError> {
+        self.runtime_attest_with_frequency(vid, property, Frequency::Fixed(freq_us))
+    }
+
+    /// Table 1's random-interval mode: periodic attestation at uniformly
+    /// random intervals, which an attacker cannot schedule around.
+    ///
+    /// # Errors
+    ///
+    /// [`CloudError::UnknownVm`] if the VM does not exist.
+    pub fn runtime_attest_with_frequency(
+        &mut self,
+        vid: Vid,
+        property: SecurityProperty,
+        frequency: Frequency,
+    ) -> Result<u64, CloudError> {
+        if self.controller.vm(vid).is_none() {
+            return Err(CloudError::UnknownVm(vid));
+        }
+        let id = self.next_subscription;
+        self.next_subscription += 1;
+        let first = frequency.next_interval(&mut self.rng);
+        self.subscriptions.insert(
+            id,
+            Subscription {
+                vid,
+                property,
+                frequency,
+                next_due_us: self.wall_clock_us + first,
+                reports: Vec::new(),
+            },
+        );
+        Ok(id)
+    }
+
+    /// Table 1: `stop_attest_periodic(Vid, P, N)` — ends a subscription
+    /// and returns the accumulated reports.
+    ///
+    /// # Errors
+    ///
+    /// [`CloudError::UnknownSubscription`] for an unknown id.
+    pub fn stop_attest_periodic(
+        &mut self,
+        subscription: u64,
+    ) -> Result<Vec<AttestationReport>, CloudError> {
+        self.subscriptions
+            .remove(&subscription)
+            .map(|s| s.reports)
+            .ok_or(CloudError::UnknownSubscription(subscription))
+    }
+
+    /// Runs the cloud for `duration_us`, firing periodic attestations as
+    /// they come due.
+    pub fn run(&mut self, duration_us: u64) {
+        let end = self.wall_clock_us + duration_us;
+        loop {
+            let next_due = self
+                .subscriptions
+                .values()
+                .map(|s| s.next_due_us)
+                .min()
+                .unwrap_or(u64::MAX);
+            if next_due >= end {
+                let remaining = end.saturating_sub(self.wall_clock_us);
+                if remaining > 0 {
+                    self.advance(remaining);
+                }
+                return;
+            }
+            let gap = next_due.saturating_sub(self.wall_clock_us);
+            if gap > 0 {
+                self.advance(gap);
+            }
+            let due: Vec<u64> = self
+                .subscriptions
+                .iter()
+                .filter(|(_, s)| s.next_due_us <= self.wall_clock_us)
+                .map(|(id, _)| *id)
+                .collect();
+            for id in due {
+                let (vid, property, frequency) = {
+                    let s = &self.subscriptions[&id];
+                    (s.vid, s.property, s.frequency)
+                };
+                let report = self.runtime_attest_current(vid, property);
+                let interval = frequency.next_interval(&mut self.rng);
+                if let Some(s) = self.subscriptions.get_mut(&id) {
+                    s.next_due_us = self.wall_clock_us + interval;
+                    if let Ok(r) = report {
+                        s.reports.push(r);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Executes a remediation response (Section 5.2) and reports its
+    /// timing (Figure 11).
+    ///
+    /// # Errors
+    ///
+    /// [`CloudError::UnknownVm`] or [`CloudError::MigrationFailed`].
+    pub fn respond(
+        &mut self,
+        vid: Vid,
+        action: ResponseAction,
+    ) -> Result<ResponseTiming, CloudError> {
+        let record = self
+            .controller
+            .vm(vid)
+            .ok_or(CloudError::UnknownVm(vid))?
+            .clone();
+        let response_us = match action {
+            ResponseAction::Termination => {
+                if let Some(node) = self.servers.get_mut(&record.server) {
+                    node.remove_vm(vid);
+                }
+                self.controller.release_capacity(vid);
+                if let Some(r) = self.controller.vm_mut(vid) {
+                    r.state = VmLifecycle::Terminated;
+                }
+                self.latency.terminate_us(record.flavor)
+            }
+            ResponseAction::Suspension => {
+                if let Some(node) = self.servers.get_mut(&record.server) {
+                    node.suspend_vm(vid);
+                }
+                if let Some(r) = self.controller.vm_mut(vid) {
+                    r.state = VmLifecycle::Suspended;
+                }
+                self.latency.suspend_us(record.flavor)
+            }
+            ResponseAction::Migration => {
+                let destination = self
+                    .controller
+                    .select_server(record.flavor, &record.properties, Some(record.server))
+                    .map_err(|_| CloudError::MigrationFailed { vid })?;
+                let meta = self.vm_meta.get(&vid).cloned().unwrap_or(VmMeta {
+                    workload: WorkloadSpec::Idle,
+                    tampered: false,
+                    pin_pcpu: None,
+                    handles: WorkloadHandles::default(),
+                });
+                if let Some(node) = self.servers.get_mut(&record.server) {
+                    node.remove_vm(vid);
+                }
+                self.controller.release_capacity(vid);
+                let mut image_bytes = record.image.pristine_bytes();
+                if meta.tampered {
+                    image_bytes[0] ^= 0xff;
+                }
+                let (drivers, handles) =
+                    meta.workload.drivers(record.flavor.vcpus(), self.seed ^ vid.0);
+                if let Some(m) = self.vm_meta.get_mut(&vid) {
+                    m.handles = handles;
+                }
+                let node = self
+                    .servers
+                    .get_mut(&destination)
+                    .ok_or(CloudError::UnknownServer(destination))?;
+                node.launch_vm_pinned(
+                    vid,
+                    record.image,
+                    image_bytes,
+                    drivers,
+                    256,
+                    meta.pin_pcpu,
+                );
+                if let Some(r) = self.controller.vm_mut(vid) {
+                    r.server = destination;
+                    r.state = VmLifecycle::Active;
+                }
+                self.controller.take_capacity(destination, record.flavor);
+                self.latency.migrate_us(record.flavor)
+            }
+        };
+        self.advance(response_us);
+        Ok(ResponseTiming {
+            action,
+            response_us,
+        })
+    }
+
+    /// The Section 5.2 suspension recheck: briefly resumes a suspended
+    /// VM, re-attests the property, and keeps it running only if the
+    /// security health has recovered (re-suspending otherwise). Returns
+    /// the recheck report.
+    ///
+    /// # Errors
+    ///
+    /// [`CloudError::UnknownVm`] or a protocol failure.
+    pub fn recheck_and_resume(
+        &mut self,
+        vid: Vid,
+        property: SecurityProperty,
+    ) -> Result<AttestationReport, CloudError> {
+        if self.vm_state(vid) != Some(VmLifecycle::Suspended) {
+            return self.runtime_attest_current(vid, property);
+        }
+        self.resume(vid)?;
+        let report = self.customer_attest(vid, property)?;
+        if !report.healthy() {
+            let record = self
+                .controller
+                .vm(vid)
+                .ok_or(CloudError::UnknownVm(vid))?
+                .clone();
+            if let Some(node) = self.servers.get_mut(&record.server) {
+                node.suspend_vm(vid);
+            }
+            if let Some(r) = self.controller.vm_mut(vid) {
+                r.state = VmLifecycle::Suspended;
+            }
+        }
+        Ok(report)
+    }
+
+    /// Resumes a suspended VM (after the platform re-attests healthy).
+    ///
+    /// # Errors
+    ///
+    /// [`CloudError::UnknownVm`] if the VM does not exist.
+    pub fn resume(&mut self, vid: Vid) -> Result<(), CloudError> {
+        let record = self
+            .controller
+            .vm(vid)
+            .ok_or(CloudError::UnknownVm(vid))?
+            .clone();
+        if let Some(node) = self.servers.get_mut(&record.server) {
+            node.resume_vm(vid);
+        }
+        if let Some(r) = self.controller.vm_mut(vid) {
+            r.state = VmLifecycle::Active;
+        }
+        Ok(())
+    }
+
+    /// Completed service requests of a [`WorkloadSpec::Service`] VM
+    /// (throughput measurements, Figure 10).
+    pub fn service_requests(&self, vid: Vid) -> Option<u64> {
+        self.vm_meta
+            .get(&vid)?
+            .handles
+            .service
+            .as_ref()
+            .map(|s| s.borrow().requests)
+    }
+
+    /// Completion time of a [`WorkloadSpec::Program`] VM, if finished.
+    pub fn program_elapsed_us(&self, vid: Vid) -> Option<u64> {
+        self.vm_meta
+            .get(&vid)?
+            .handles
+            .program
+            .as_ref()
+            .and_then(|s| s.borrow().elapsed_us())
+    }
+
+    /// Experiment hook: infects a VM with rootkit-hidden malware (Case
+    /// Study II).
+    ///
+    /// # Errors
+    ///
+    /// [`CloudError::UnknownVm`] if the VM is not hosted anywhere.
+    pub fn infect_vm(&mut self, vid: Vid, service_name: &str) -> Result<u32, CloudError> {
+        let server = self.server_of(vid).ok_or(CloudError::UnknownVm(vid))?;
+        let node = self
+            .servers
+            .get_mut(&server)
+            .ok_or(CloudError::UnknownServer(server))?;
+        let local = node.local_vm(vid).ok_or(CloudError::UnknownVm(vid))?;
+        let pid = monatt_attacks::rootkit::infect_with_rootkit(node.sim_mut(), local, service_name)
+            .ok_or(CloudError::UnknownVm(vid))?;
+        Ok(pid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cloud() -> Cloud {
+        CloudBuilder::new().servers(3).seed(7).build()
+    }
+
+    #[test]
+    fn launch_and_startup_attest() {
+        let mut c = cloud();
+        let vid = c
+            .request_vm(
+                VmRequest::new(Flavor::Small, Image::Cirros)
+                    .require(SecurityProperty::StartupIntegrity),
+            )
+            .unwrap();
+        let timing = c.last_launch_timing().unwrap();
+        assert!(timing.attestation_us > 0);
+        assert!(timing.total_us() > 0);
+        // Attestation overhead is roughly the paper's ~20%.
+        let frac = timing.attestation_us as f64 / timing.total_us() as f64;
+        assert!((0.05..0.40).contains(&frac), "attestation fraction {frac}");
+        let report = c
+            .startup_attest_current(vid, SecurityProperty::StartupIntegrity)
+            .unwrap();
+        assert!(report.healthy());
+    }
+
+    #[test]
+    fn tampered_image_rejected_at_launch() {
+        let mut c = cloud();
+        let err = c
+            .request_vm(
+                VmRequest::new(Flavor::Small, Image::Ubuntu)
+                    .require(SecurityProperty::StartupIntegrity)
+                    .with_tampered_image(),
+            )
+            .unwrap_err();
+        let CloudError::LaunchRejected { reason } = err else {
+            panic!("expected rejection, got {err:?}");
+        };
+        assert!(reason.contains("image"), "{reason}");
+    }
+
+    #[test]
+    fn corrupted_platform_is_avoided() {
+        let mut c = CloudBuilder::new().servers(3).seed(8).corrupt_platform(0).build();
+        // OpenStack's balance heuristic would pick any server; platform
+        // attestation steers the VM away from server 0.
+        for _ in 0..3 {
+            let vid = c
+                .request_vm(
+                    VmRequest::new(Flavor::Small, Image::Cirros)
+                        .require(SecurityProperty::StartupIntegrity),
+                )
+                .unwrap();
+            assert_ne!(c.server_of(vid), Some(ServerId(0)));
+        }
+    }
+
+    #[test]
+    fn launch_without_properties_skips_attestation() {
+        let mut c = cloud();
+        let _vid = c
+            .request_vm(VmRequest::new(Flavor::Small, Image::Cirros))
+            .unwrap();
+        let timing = c.last_launch_timing().unwrap();
+        assert_eq!(timing.attestation_us, 0);
+    }
+
+    #[test]
+    fn runtime_integrity_detects_rootkit() {
+        let mut c = cloud();
+        let vid = c
+            .request_vm(
+                VmRequest::new(Flavor::Small, Image::Ubuntu)
+                    .require(SecurityProperty::RuntimeIntegrity),
+            )
+            .unwrap();
+        let clean = c
+            .runtime_attest_current(vid, SecurityProperty::RuntimeIntegrity)
+            .unwrap();
+        assert!(clean.healthy());
+        c.infect_vm(vid, "cryptominer").unwrap();
+        let infected = c
+            .runtime_attest_current(vid, SecurityProperty::RuntimeIntegrity)
+            .unwrap();
+        assert!(!infected.healthy());
+        let HealthStatus::Compromised { reason } = &infected.status else {
+            panic!()
+        };
+        assert!(reason.contains("cryptominer"));
+    }
+
+    #[test]
+    fn responses_change_lifecycle() {
+        let mut c = cloud();
+        let vid = c
+            .request_vm(VmRequest::new(Flavor::Medium, Image::Fedora))
+            .unwrap();
+        let original_server = c.server_of(vid).unwrap();
+        let t = c.respond(vid, ResponseAction::Suspension).unwrap();
+        assert!(t.response_us > 0);
+        assert_eq!(c.vm_state(vid), Some(VmLifecycle::Suspended));
+        c.resume(vid).unwrap();
+        assert_eq!(c.vm_state(vid), Some(VmLifecycle::Active));
+        let t = c.respond(vid, ResponseAction::Migration).unwrap();
+        assert!(t.response_us > 0);
+        assert_ne!(c.server_of(vid), Some(original_server));
+        assert_eq!(c.vm_state(vid), Some(VmLifecycle::Active));
+        let t = c.respond(vid, ResponseAction::Termination).unwrap();
+        assert!(t.response_us > 0);
+        assert_eq!(c.vm_state(vid), Some(VmLifecycle::Terminated));
+        // A terminated VM cannot be attested.
+        assert!(c
+            .runtime_attest_current(vid, SecurityProperty::RuntimeIntegrity)
+            .is_err());
+    }
+
+    #[test]
+    fn periodic_attestation_accumulates_reports() {
+        let mut c = cloud();
+        let vid = c
+            .request_vm(
+                VmRequest::new(Flavor::Small, Image::Cirros)
+                    .require(SecurityProperty::RuntimeIntegrity)
+                    .workload(WorkloadSpec::Busy),
+            )
+            .unwrap();
+        let sub = c
+            .runtime_attest_periodic(vid, SecurityProperty::RuntimeIntegrity, 5_000_000)
+            .unwrap();
+        c.run(21_000_000);
+        let reports = c.stop_attest_periodic(sub).unwrap();
+        assert!(
+            (3..=5).contains(&reports.len()),
+            "expected ~4 periodic reports, got {}",
+            reports.len()
+        );
+        assert!(reports.iter().all(|r| r.healthy()));
+        assert!(c.stop_attest_periodic(sub).is_err());
+    }
+
+    #[test]
+    fn cpu_availability_detects_boost_attack() {
+        let mut c = CloudBuilder::new().servers(2).seed(9).build();
+        let victim = c
+            .request_vm(
+                VmRequest::new(Flavor::Small, Image::Ubuntu)
+                    .require(SecurityProperty::CpuAvailability { min_share_pct: 50 })
+                    .workload(WorkloadSpec::Busy)
+                    .on_server(ServerId(0))
+                    .pin_pcpu(0),
+            )
+            .unwrap();
+        // Healthy before the attack: sole user of the pCPU.
+        let before = c
+            .runtime_attest_current(victim, SecurityProperty::CpuAvailability { min_share_pct: 50 })
+            .unwrap();
+        assert!(before.healthy(), "{:?}", before.status);
+        // Co-locate the attacker.
+        let _attacker = c
+            .request_vm(
+                VmRequest::new(Flavor::Medium, Image::Ubuntu)
+                    .workload(WorkloadSpec::BoostAttack)
+                    .on_server(ServerId(0))
+                    .pin_pcpu(0),
+            )
+            .unwrap();
+        c.advance(1_000_000);
+        let after = c
+            .runtime_attest_current(victim, SecurityProperty::CpuAvailability { min_share_pct: 50 })
+            .unwrap();
+        assert!(!after.healthy(), "victim should be starved");
+    }
+
+    #[test]
+    fn covert_channel_detected_on_sender() {
+        let mut c = CloudBuilder::new().servers(2).seed(10).build();
+        let sender = c
+            .request_vm(
+                VmRequest::new(Flavor::Small, Image::Cirros)
+                    .require(SecurityProperty::CovertChannelFreedom)
+                    .workload(WorkloadSpec::CovertSender)
+                    .on_server(ServerId(0))
+                    .pin_pcpu(0),
+            )
+            .unwrap();
+        let _receiver = c
+            .request_vm(
+                VmRequest::new(Flavor::Small, Image::Cirros)
+                    .workload(WorkloadSpec::Busy)
+                    .on_server(ServerId(0))
+                    .pin_pcpu(0),
+            )
+            .unwrap();
+        c.advance(500_000);
+        let report = c
+            .runtime_attest_current(sender, SecurityProperty::CovertChannelFreedom)
+            .unwrap();
+        assert!(!report.healthy(), "covert channel should be detected");
+        // A benign busy VM co-resident shows no covert pattern.
+        let benign = c
+            .request_vm(
+                VmRequest::new(Flavor::Small, Image::Cirros)
+                    .require(SecurityProperty::CovertChannelFreedom)
+                    .workload(WorkloadSpec::Busy)
+                    .on_server(ServerId(1))
+                    .pin_pcpu(0),
+            )
+            .unwrap();
+        let report = c
+            .runtime_attest_current(benign, SecurityProperty::CovertChannelFreedom)
+            .unwrap();
+        assert!(report.healthy(), "{:?}", report.status);
+    }
+
+    #[test]
+    fn network_tampering_is_detected_not_accepted() {
+        use monatt_net::sim::Tamperer;
+        let mut c = cloud();
+        let vid = c
+            .request_vm(
+                VmRequest::new(Flavor::Small, Image::Cirros)
+                    .require(SecurityProperty::RuntimeIntegrity),
+            )
+            .unwrap();
+        c.network_mut().set_attacker(Box::new(Tamperer::new("")));
+        let err = c
+            .runtime_attest_current(vid, SecurityProperty::RuntimeIntegrity)
+            .unwrap_err();
+        assert!(matches!(err, CloudError::ProtocolFailure { .. }));
+        c.network_mut().clear_attacker();
+        let ok = c
+            .runtime_attest_current(vid, SecurityProperty::RuntimeIntegrity)
+            .unwrap();
+        assert!(ok.healthy());
+    }
+
+    #[test]
+    fn auto_response_migrates_starved_vm() {
+        let mut c = CloudBuilder::new().servers(2).seed(12).auto_response(true).build();
+        let victim = c
+            .request_vm(
+                VmRequest::new(Flavor::Small, Image::Cirros)
+                    .require(SecurityProperty::CpuAvailability { min_share_pct: 50 })
+                    .workload(WorkloadSpec::Busy)
+                    .on_server(ServerId(0))
+                    .pin_pcpu(0),
+            )
+            .unwrap();
+        let _attacker = c
+            .request_vm(
+                VmRequest::new(Flavor::Medium, Image::Cirros)
+                    .workload(WorkloadSpec::BoostAttack)
+                    .on_server(ServerId(0))
+                    .pin_pcpu(0),
+            )
+            .unwrap();
+        c.advance(1_000_000);
+        let report = c
+            .runtime_attest_current(victim, SecurityProperty::CpuAvailability { min_share_pct: 50 })
+            .unwrap();
+        assert!(!report.healthy());
+        // The response module migrated the victim away.
+        assert_eq!(c.server_of(victim), Some(ServerId(1)));
+        // And it now attests healthy again.
+        let after = c
+            .runtime_attest_current(victim, SecurityProperty::CpuAvailability { min_share_pct: 50 })
+            .unwrap();
+        assert!(after.healthy(), "{:?}", after.status);
+    }
+
+    #[test]
+    fn random_interval_periodic_attestation() {
+        let mut c = cloud();
+        let vid = c
+            .request_vm(
+                VmRequest::new(Flavor::Small, Image::Cirros)
+                    .require(SecurityProperty::RuntimeIntegrity)
+                    .workload(WorkloadSpec::Busy),
+            )
+            .unwrap();
+        let sub = c
+            .runtime_attest_with_frequency(
+                vid,
+                SecurityProperty::RuntimeIntegrity,
+                Frequency::Random {
+                    min_us: 2_000_000,
+                    max_us: 8_000_000,
+                },
+            )
+            .unwrap();
+        c.run(30_000_000);
+        let reports = c.stop_attest_periodic(sub).unwrap();
+        // Expected count between 30/8 ≈ 3 and 30/2 = 15.
+        assert!(
+            (3..=15).contains(&reports.len()),
+            "got {} reports",
+            reports.len()
+        );
+        // Intervals actually vary.
+        let times: Vec<u64> = reports.iter().map(|r| r.issued_at_us).collect();
+        let deltas: Vec<u64> = times.windows(2).map(|w| w[1] - w[0]).collect();
+        if deltas.len() >= 2 {
+            assert!(
+                deltas.iter().any(|&d| d != deltas[0]),
+                "intervals should vary: {deltas:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn suspension_recheck_resumes_only_when_healthy() {
+        let mut c = CloudBuilder::new().servers(2).seed(13).build();
+        let prop = SecurityProperty::CpuAvailability { min_share_pct: 50 };
+        let victim = c
+            .request_vm(
+                VmRequest::new(Flavor::Small, Image::Cirros)
+                    .require(prop)
+                    .workload(WorkloadSpec::Busy)
+                    .on_server(ServerId(0))
+                    .pin_pcpu(0),
+            )
+            .unwrap();
+        let attacker = c
+            .request_vm(
+                VmRequest::new(Flavor::Medium, Image::Cirros)
+                    .workload(WorkloadSpec::BoostAttack)
+                    .on_server(ServerId(0))
+                    .pin_pcpu(0),
+            )
+            .unwrap();
+        c.advance(1_000_000);
+        c.respond(victim, ResponseAction::Suspension).unwrap();
+        // The attacker is still there: the recheck re-suspends.
+        let report = c.recheck_and_resume(victim, prop).unwrap();
+        assert!(!report.healthy());
+        assert_eq!(c.vm_state(victim), Some(VmLifecycle::Suspended));
+        // Terminate the attacker; now the recheck resumes the victim.
+        c.respond(attacker, ResponseAction::Termination).unwrap();
+        c.advance(1_000_000);
+        let report = c.recheck_and_resume(victim, prop).unwrap();
+        assert!(report.healthy(), "{:?}", report.status);
+        assert_eq!(c.vm_state(victim), Some(VmLifecycle::Active));
+    }
+
+    #[test]
+    fn launch_timing_scales_with_image_and_flavor() {
+        let mut c = cloud();
+        let mut totals = Vec::new();
+        for (image, flavor) in [(Image::Cirros, Flavor::Small), (Image::Ubuntu, Flavor::Large)] {
+            c.request_vm(
+                VmRequest::new(flavor, image).require(SecurityProperty::StartupIntegrity),
+            )
+            .unwrap();
+            totals.push(c.last_launch_timing().unwrap().total_us());
+        }
+        assert!(totals[1] > totals[0], "{totals:?}");
+    }
+}

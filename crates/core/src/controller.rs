@@ -1,0 +1,404 @@
+//! The Cloud Controller (Section 3.2.2): VM management. Contains the nova
+//! database (VM records, server capability tables), the Policy Validation
+//! Module (`property_filter`), the Deployment Module, and the Response
+//! Module that executes remediation (Section 5.2).
+
+use crate::error::CloudError;
+use crate::messages::CustomerReportMsg;
+use crate::types::{Flavor, HealthStatus, Image, SecurityProperty, ServerId, Vid};
+use monatt_crypto::drbg::Drbg;
+use monatt_crypto::schnorr::{SigningKey, VerifyingKey};
+use monatt_net::wire::Wire;
+use monatt_tpm::quote::Quote;
+use std::collections::BTreeMap;
+
+/// Lifecycle state of a VM as tracked in the nova database.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VmLifecycle {
+    /// Running on its assigned server.
+    Active,
+    /// Suspended by a remediation response.
+    Suspended,
+    /// Terminated (by request or remediation).
+    Terminated,
+}
+
+/// A VM record in the nova database.
+#[derive(Clone, Debug)]
+pub struct VmRecord {
+    /// The VM id.
+    pub vid: Vid,
+    /// Requested flavor.
+    pub flavor: Flavor,
+    /// Image it was launched from.
+    pub image: Image,
+    /// Security properties the customer requested monitoring for.
+    pub properties: Vec<SecurityProperty>,
+    /// Current host server.
+    pub server: ServerId,
+    /// Lifecycle state.
+    pub state: VmLifecycle,
+}
+
+/// A server record: capacity and monitoring capabilities.
+#[derive(Clone, Debug)]
+pub struct ServerInfo {
+    /// The server id.
+    pub id: ServerId,
+    /// Free vCPU slots (kept in sync by the deployment module).
+    pub free_vcpus: usize,
+    /// Property labels the server's Monitor Module supports.
+    pub supported_properties: Vec<&'static str>,
+}
+
+impl ServerInfo {
+    /// Whether the server can monitor `property`.
+    pub fn supports(&self, property: SecurityProperty) -> bool {
+        self.supported_properties.contains(&property.label())
+    }
+}
+
+/// The remediation responses of Section 5.2.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ResponseAction {
+    /// #1: shut the VM down.
+    Termination,
+    /// #2: suspend pending further checks.
+    Suspension,
+    /// #3: move to another qualified server.
+    Migration,
+}
+
+impl std::fmt::Display for ResponseAction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ResponseAction::Termination => write!(f, "termination"),
+            ResponseAction::Suspension => write!(f, "suspension"),
+            ResponseAction::Migration => write!(f, "migration"),
+        }
+    }
+}
+
+/// The Cloud Controller.
+pub struct CloudController {
+    identity: SigningKey,
+    vms: BTreeMap<Vid, VmRecord>,
+    servers: BTreeMap<ServerId, ServerInfo>,
+    next_vid: u64,
+}
+
+impl std::fmt::Debug for CloudController {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CloudController")
+            .field("vms", &self.vms.len())
+            .field("servers", &self.servers.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl CloudController {
+    /// Creates a controller with a fresh identity key.
+    pub fn new(rng: &mut Drbg) -> Self {
+        CloudController {
+            identity: SigningKey::generate(rng),
+            vms: BTreeMap::new(),
+            servers: BTreeMap::new(),
+            next_vid: 1,
+        }
+    }
+
+    /// The controller's public identity key (VKc).
+    pub fn identity_key(&self) -> VerifyingKey {
+        self.identity.verifying_key()
+    }
+
+    /// Registers a server in the capability table.
+    pub fn register_server(&mut self, info: ServerInfo) {
+        self.servers.insert(info.id, info);
+    }
+
+    /// Number of registered servers.
+    pub fn server_count(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// Allocates a fresh vid.
+    pub fn allocate_vid(&mut self) -> Vid {
+        let vid = Vid(self.next_vid);
+        self.next_vid += 1;
+        vid
+    }
+
+    /// The Policy Validation Module's `property_filter`: selects a server
+    /// with enough free vCPUs that supports every requested property.
+    /// Prefers the emptiest qualified server (OpenStack's balance
+    /// heuristic), excluding `exclude` (used when migrating away).
+    ///
+    /// # Errors
+    ///
+    /// [`CloudError::NoQualifiedServer`] when no server qualifies.
+    pub fn select_server(
+        &self,
+        flavor: Flavor,
+        properties: &[SecurityProperty],
+        exclude: Option<ServerId>,
+    ) -> Result<ServerId, CloudError> {
+        self.servers
+            .values()
+            .filter(|s| Some(s.id) != exclude)
+            .filter(|s| s.free_vcpus >= flavor.vcpus())
+            .filter(|s| properties.iter().all(|p| s.supports(*p)))
+            .max_by_key(|s| s.free_vcpus)
+            .map(|s| s.id)
+            .ok_or_else(|| CloudError::NoQualifiedServer {
+                requested: properties.to_vec(),
+            })
+    }
+
+    /// Records a successful deployment.
+    pub fn record_deployment(&mut self, record: VmRecord) {
+        if let Some(server) = self.servers.get_mut(&record.server) {
+            server.free_vcpus = server.free_vcpus.saturating_sub(record.flavor.vcpus());
+        }
+        self.vms.insert(record.vid, record);
+    }
+
+    /// Looks up a VM record.
+    pub fn vm(&self, vid: Vid) -> Option<&VmRecord> {
+        self.vms.get(&vid)
+    }
+
+    /// Mutable VM record access.
+    pub fn vm_mut(&mut self, vid: Vid) -> Option<&mut VmRecord> {
+        self.vms.get_mut(&vid)
+    }
+
+    /// All VM records.
+    pub fn vms(&self) -> impl Iterator<Item = &VmRecord> {
+        self.vms.values()
+    }
+
+    /// Takes `flavor`'s capacity on `server` (used when a VM arrives by
+    /// migration rather than deployment).
+    pub fn take_capacity(&mut self, server: ServerId, flavor: Flavor) {
+        if let Some(info) = self.servers.get_mut(&server) {
+            info.free_vcpus = info.free_vcpus.saturating_sub(flavor.vcpus());
+        }
+    }
+
+    /// Releases a VM's capacity on its server (termination/migration).
+    pub fn release_capacity(&mut self, vid: Vid) {
+        if let Some(record) = self.vms.get(&vid) {
+            let vcpus = record.flavor.vcpus();
+            if let Some(server) = self.servers.get_mut(&record.server) {
+                server.free_vcpus += vcpus;
+            }
+        }
+    }
+
+    /// Picks the remediation response for a failed attestation — the
+    /// policy of Section 5.2: integrity failures kill the VM, platform
+    /// health issues suspend, availability/covert-channel problems (bad
+    /// neighbours) migrate.
+    pub fn choose_response(&self, property: SecurityProperty) -> ResponseAction {
+        match property {
+            SecurityProperty::StartupIntegrity | SecurityProperty::RuntimeIntegrity => {
+                ResponseAction::Termination
+            }
+            SecurityProperty::CovertChannelFreedom => ResponseAction::Migration,
+            SecurityProperty::CpuAvailability { .. } => ResponseAction::Migration,
+            // The abusive VM itself is the subject: kill it.
+            SecurityProperty::SchedulerFairness => ResponseAction::Termination,
+        }
+    }
+
+    /// Builds and signs the customer report (message 6, quote Q1 under
+    /// SKc).
+    pub fn certify_customer_report(
+        &self,
+        vid: Vid,
+        property: SecurityProperty,
+        status: HealthStatus,
+        nonce1: [u8; 32],
+    ) -> CustomerReportMsg {
+        let vid_bytes = vid.0.to_be_bytes();
+        let prop_bytes = property.to_wire();
+        let status_bytes = status.to_wire();
+        let quote = Quote::create(
+            &self.identity,
+            &[&vid_bytes, &prop_bytes, &status_bytes, &nonce1],
+        );
+        CustomerReportMsg {
+            vid,
+            property,
+            status,
+            nonce1,
+            quote,
+        }
+    }
+
+    /// Customer-side verification of message 6.
+    ///
+    /// # Errors
+    ///
+    /// [`CloudError::ProtocolFailure`] naming the failed check.
+    pub fn verify_customer_report(
+        msg: &CustomerReportMsg,
+        controller_key: &VerifyingKey,
+        expected_nonce1: [u8; 32],
+    ) -> Result<(), CloudError> {
+        if msg.nonce1 != expected_nonce1 {
+            return Err(CloudError::ProtocolFailure {
+                reason: "nonce N1 mismatch (possible replay)".into(),
+            });
+        }
+        let vid_bytes = msg.vid.0.to_be_bytes();
+        let prop_bytes = msg.property.to_wire();
+        let status_bytes = msg.status.to_wire();
+        msg.quote
+            .verify(
+                controller_key,
+                &[&vid_bytes, &prop_bytes, &status_bytes, &msg.nonce1],
+            )
+            .map_err(|e| CloudError::ProtocolFailure {
+                reason: format!("quote Q1 verification failed: {e}"),
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn controller_with_servers() -> CloudController {
+        let mut c = CloudController::new(&mut Drbg::from_seed(50));
+        c.register_server(ServerInfo {
+            id: ServerId(0),
+            free_vcpus: 3,
+            supported_properties: vec!["startup-integrity", "runtime-integrity"],
+        });
+        c.register_server(ServerInfo {
+            id: ServerId(1),
+            free_vcpus: 16,
+            supported_properties: vec![
+                "startup-integrity",
+                "runtime-integrity",
+                "covert-channel-freedom",
+                "cpu-availability",
+            ],
+        });
+        c.register_server(ServerInfo {
+            id: ServerId(2),
+            free_vcpus: 2,
+            supported_properties: vec![],
+        });
+        c
+    }
+
+    #[test]
+    fn property_filter_selects_qualified_server() {
+        let c = controller_with_servers();
+        // Covert-channel monitoring only on server 1.
+        let s = c
+            .select_server(
+                Flavor::Small,
+                &[SecurityProperty::CovertChannelFreedom],
+                None,
+            )
+            .unwrap();
+        assert_eq!(s, ServerId(1));
+        // No property requirement: picks the emptiest (server 1).
+        let s = c.select_server(Flavor::Small, &[], None).unwrap();
+        assert_eq!(s, ServerId(1));
+        // Excluding server 1 falls back to server 0 for integrity.
+        let s = c
+            .select_server(
+                Flavor::Small,
+                &[SecurityProperty::RuntimeIntegrity],
+                Some(ServerId(1)),
+            )
+            .unwrap();
+        assert_eq!(s, ServerId(0));
+    }
+
+    #[test]
+    fn no_qualified_server_is_an_error() {
+        let c = controller_with_servers();
+        let err = c
+            .select_server(
+                Flavor::Small,
+                &[SecurityProperty::CovertChannelFreedom],
+                Some(ServerId(1)),
+            )
+            .unwrap_err();
+        assert!(matches!(err, CloudError::NoQualifiedServer { .. }));
+        // Capacity filter: a huge flavor nowhere fits.
+        let err = c
+            .select_server(Flavor::Large, &[], Some(ServerId(1)))
+            .unwrap_err();
+        assert!(matches!(err, CloudError::NoQualifiedServer { .. }));
+    }
+
+    #[test]
+    fn capacity_bookkeeping() {
+        let mut c = controller_with_servers();
+        let vid = c.allocate_vid();
+        c.record_deployment(VmRecord {
+            vid,
+            flavor: Flavor::Large,
+            image: Image::Ubuntu,
+            properties: vec![],
+            server: ServerId(1),
+            state: VmLifecycle::Active,
+        });
+        assert_eq!(c.servers[&ServerId(1)].free_vcpus, 12);
+        c.release_capacity(vid);
+        assert_eq!(c.servers[&ServerId(1)].free_vcpus, 16);
+    }
+
+    #[test]
+    fn vids_are_unique() {
+        let mut c = controller_with_servers();
+        let a = c.allocate_vid();
+        let b = c.allocate_vid();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn response_policy() {
+        let c = controller_with_servers();
+        assert_eq!(
+            c.choose_response(SecurityProperty::RuntimeIntegrity),
+            ResponseAction::Termination
+        );
+        assert_eq!(
+            c.choose_response(SecurityProperty::CovertChannelFreedom),
+            ResponseAction::Migration
+        );
+    }
+
+    #[test]
+    fn customer_report_roundtrip() {
+        let c = controller_with_servers();
+        let msg = c.certify_customer_report(
+            Vid(3),
+            SecurityProperty::StartupIntegrity,
+            HealthStatus::Healthy,
+            [1u8; 32],
+        );
+        CloudController::verify_customer_report(&msg, &c.identity_key(), [1u8; 32]).unwrap();
+        // Forged status fails.
+        let mut forged = msg.clone();
+        forged.status = HealthStatus::Compromised {
+            reason: "fake".into(),
+        };
+        assert!(
+            CloudController::verify_customer_report(&forged, &c.identity_key(), [1u8; 32])
+                .is_err()
+        );
+        // Stale nonce fails.
+        assert!(
+            CloudController::verify_customer_report(&msg, &c.identity_key(), [2u8; 32]).is_err()
+        );
+    }
+}

@@ -1,0 +1,90 @@
+//! Error types for the CloudMonatt core.
+
+use crate::types::{SecurityProperty, ServerId, Vid};
+use std::error::Error;
+use std::fmt;
+
+/// Errors surfaced by the cloud facade and its components.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CloudError {
+    /// No server satisfies the VM's resource and property requirements.
+    NoQualifiedServer {
+        /// The properties that could not be satisfied.
+        requested: Vec<SecurityProperty>,
+    },
+    /// The VM does not exist (or was terminated).
+    UnknownVm(Vid),
+    /// The server does not exist.
+    UnknownServer(ServerId),
+    /// Startup attestation failed; the launch was rejected.
+    LaunchRejected {
+        /// Why the attestation failed.
+        reason: String,
+    },
+    /// The attestation protocol failed (signature, quote or nonce check).
+    ProtocolFailure {
+        /// Which check failed.
+        reason: String,
+    },
+    /// The requested property is not monitored on the VM's server.
+    PropertyNotSupported {
+        /// The unsupported property.
+        property: SecurityProperty,
+        /// The server lacking support.
+        server: ServerId,
+    },
+    /// No periodic attestation with this id is active.
+    UnknownSubscription(u64),
+    /// A migration could not find a destination server.
+    MigrationFailed {
+        /// The VM that could not be migrated.
+        vid: Vid,
+    },
+}
+
+impl fmt::Display for CloudError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CloudError::NoQualifiedServer { requested } => {
+                let names: Vec<String> = requested.iter().map(|p| p.to_string()).collect();
+                write!(f, "no qualified server for properties [{}]", names.join(", "))
+            }
+            CloudError::UnknownVm(vid) => write!(f, "unknown VM {vid}"),
+            CloudError::UnknownServer(s) => write!(f, "unknown server {s}"),
+            CloudError::LaunchRejected { reason } => write!(f, "VM launch rejected: {reason}"),
+            CloudError::ProtocolFailure { reason } => {
+                write!(f, "attestation protocol failure: {reason}")
+            }
+            CloudError::PropertyNotSupported { property, server } => {
+                write!(f, "property {property} not supported on {server}")
+            }
+            CloudError::UnknownSubscription(id) => {
+                write!(f, "no periodic attestation with id {id}")
+            }
+            CloudError::MigrationFailed { vid } => write!(f, "migration failed for {vid}"),
+        }
+    }
+}
+
+impl Error for CloudError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = CloudError::NoQualifiedServer {
+            requested: vec![SecurityProperty::StartupIntegrity],
+        };
+        assert!(e.to_string().contains("startup-integrity"));
+        assert!(CloudError::UnknownVm(Vid(9)).to_string().contains("vid-9"));
+    }
+
+    #[test]
+    fn is_std_error_send_sync() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<CloudError>();
+    }
+}

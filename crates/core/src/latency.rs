@@ -1,0 +1,189 @@
+//! The latency model behind the management-plane timings of Figures 9-11.
+//!
+//! The paper measured these on a three-server OpenStack Havana testbed;
+//! our simulator replaces the testbed with calibrated cost formulas. The
+//! calibration targets the paper's *shapes*: launch stages of hundreds of
+//! milliseconds to seconds with attestation ≈20 % of the total (Fig. 9),
+//! and response times ordered Termination < Suspension < Migration with
+//! migration dominated by memory copy over a 1 Gbps link (Fig. 11).
+
+use crate::types::{Flavor, Image};
+
+/// Microseconds per millisecond.
+const MS: u64 = 1_000;
+
+/// Cost parameters for cloud management operations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LatencyParams {
+    /// Fixed scheduling cost (filter evaluation etc.).
+    pub scheduling_base_us: u64,
+    /// Additional scheduling cost per candidate server.
+    pub scheduling_per_server_us: u64,
+    /// Extra scheduling cost when the property filter consults the
+    /// attestation database (CloudMonatt's addition).
+    pub property_filter_us: u64,
+    /// Network (port/DHCP) setup cost.
+    pub networking_us: u64,
+    /// Base block-device mapping cost.
+    pub block_device_base_us: u64,
+    /// Block-device cost per MB of image.
+    pub block_device_per_mb_us: u64,
+    /// Base spawning cost.
+    pub spawn_base_us: u64,
+    /// Spawning cost per MB of image.
+    pub spawn_per_mb_us: u64,
+    /// Spawning cost per vCPU of the flavor (device model setup).
+    pub spawn_per_vcpu_us: u64,
+    /// Hashing throughput for integrity measurement, MB per second.
+    pub hash_mb_per_sec: u64,
+    /// Cost of one signature (sign or verify) in the Trust Module or a
+    /// server.
+    pub signature_us: u64,
+    /// Cost of generating a TPM-style quote in the Trust Module (key
+    /// generation plus signing on a slow security processor).
+    pub quote_generation_us: u64,
+    /// Per-hop processing overhead in the attestation protocol.
+    pub hop_processing_us: u64,
+    /// Termination: base cost.
+    pub terminate_base_us: u64,
+    /// Termination: cost per GB of RAM to tear down.
+    pub terminate_per_gb_us: u64,
+    /// Suspension: base cost.
+    pub suspend_base_us: u64,
+    /// Suspension: state-save cost per GB of RAM.
+    pub suspend_per_gb_us: u64,
+    /// Migration: base cost (pre-copy setup + switchover).
+    pub migrate_base_us: u64,
+    /// Migration: memory-copy cost per GB of RAM (1 Gbps-ish effective).
+    pub migrate_per_gb_us: u64,
+}
+
+impl Default for LatencyParams {
+    fn default() -> Self {
+        LatencyParams {
+            scheduling_base_us: 120 * MS,
+            scheduling_per_server_us: 8 * MS,
+            property_filter_us: 60 * MS,
+            networking_us: 700 * MS,
+            block_device_base_us: 250 * MS,
+            block_device_per_mb_us: 2 * MS,
+            spawn_base_us: 800 * MS,
+            spawn_per_mb_us: 4 * MS,
+            spawn_per_vcpu_us: 150 * MS,
+            hash_mb_per_sec: 400,
+            signature_us: 15 * MS,
+            quote_generation_us: 120 * MS,
+            hop_processing_us: 40 * MS,
+            terminate_base_us: 400 * MS,
+            terminate_per_gb_us: 80 * MS,
+            suspend_base_us: 500 * MS,
+            suspend_per_gb_us: 450 * MS,
+            migrate_base_us: 1_000 * MS,
+            migrate_per_gb_us: 1_500 * MS,
+        }
+    }
+}
+
+impl LatencyParams {
+    /// Scheduling-stage latency for a pool of `servers`, with or without
+    /// the CloudMonatt property filter.
+    pub fn scheduling_us(&self, servers: usize, with_property_filter: bool) -> u64 {
+        self.scheduling_base_us
+            + self.scheduling_per_server_us * servers as u64
+            + if with_property_filter {
+                self.property_filter_us
+            } else {
+                0
+            }
+    }
+
+    /// Networking-stage latency.
+    pub fn networking_us(&self) -> u64 {
+        self.networking_us
+    }
+
+    /// Block-device-mapping-stage latency.
+    pub fn block_device_us(&self, image: Image) -> u64 {
+        self.block_device_base_us + self.block_device_per_mb_us * image.size_mb()
+    }
+
+    /// Spawning-stage latency.
+    pub fn spawning_us(&self, image: Image, flavor: Flavor) -> u64 {
+        self.spawn_base_us
+            + self.spawn_per_mb_us * image.size_mb()
+            + self.spawn_per_vcpu_us * flavor.vcpus() as u64
+    }
+
+    /// Time to hash `mb` megabytes in the integrity measurement unit.
+    pub fn hash_us(&self, mb: u64) -> u64 {
+        mb * 1_000_000 / self.hash_mb_per_sec
+    }
+
+    /// Termination response latency.
+    pub fn terminate_us(&self, flavor: Flavor) -> u64 {
+        self.terminate_base_us + self.terminate_per_gb_us * flavor.memory_gb()
+    }
+
+    /// Suspension response latency.
+    pub fn suspend_us(&self, flavor: Flavor) -> u64 {
+        self.suspend_base_us + self.suspend_per_gb_us * flavor.memory_gb()
+    }
+
+    /// Migration response latency.
+    pub fn migrate_us(&self, flavor: Flavor) -> u64 {
+        self.migrate_base_us + self.migrate_per_gb_us * flavor.memory_gb()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn launch_stage_shapes_match_figure9() {
+        let p = LatencyParams::default();
+        // Stages are hundreds of ms to seconds.
+        for image in Image::ALL {
+            for flavor in Flavor::ALL {
+                let total = p.scheduling_us(3, true)
+                    + p.networking_us()
+                    + p.block_device_us(image)
+                    + p.spawning_us(image, flavor);
+                assert!(
+                    (1_500 * MS..7_000 * MS).contains(&total),
+                    "{image}/{flavor}: {total}"
+                );
+            }
+        }
+        // Bigger images cost more.
+        assert!(p.block_device_us(Image::Ubuntu) > p.block_device_us(Image::Cirros));
+        assert!(
+            p.spawning_us(Image::Ubuntu, Flavor::Large)
+                > p.spawning_us(Image::Cirros, Flavor::Small)
+        );
+    }
+
+    #[test]
+    fn response_ordering_matches_figure11() {
+        let p = LatencyParams::default();
+        for flavor in Flavor::ALL {
+            assert!(p.terminate_us(flavor) < p.suspend_us(flavor));
+            assert!(p.suspend_us(flavor) < p.migrate_us(flavor));
+        }
+        // Larger VMs migrate slower.
+        assert!(p.migrate_us(Flavor::Large) > p.migrate_us(Flavor::Small));
+    }
+
+    #[test]
+    fn property_filter_adds_cost() {
+        let p = LatencyParams::default();
+        assert!(p.scheduling_us(3, true) > p.scheduling_us(3, false));
+    }
+
+    #[test]
+    fn hashing_scales() {
+        let p = LatencyParams::default();
+        assert_eq!(p.hash_us(400), 1_000_000);
+        assert!(p.hash_us(Image::Ubuntu.size_mb()) > p.hash_us(Image::Cirros.size_mb()));
+    }
+}

@@ -1,0 +1,167 @@
+//! The privacy Certificate Authority (Section 3.2.3 / 3.4.2).
+//!
+//! Cloud servers register their long-term identity keys VKs at deployment
+//! time. For each attestation session, a server submits its fresh public
+//! attestation key AVKs signed by its identity key; the pCA verifies the
+//! binding and issues a certificate for AVKs. The Attestation Server then
+//! authenticates the quote *without learning which server produced it
+//! from the key alone* — preserving the server anonymity that prevents
+//! co-location probing (Section 3.4.2).
+
+use monatt_crypto::drbg::Drbg;
+use monatt_crypto::schnorr::{Signature, SigningKey, VerifyingKey};
+use monatt_tpm::module::CertificationRequest;
+use std::collections::BTreeSet;
+
+/// A certificate for a session attestation key.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AvkCertificate {
+    /// The certified attestation key.
+    pub attestation_key: VerifyingKey,
+    /// The pCA's signature over the key.
+    pub signature: Signature,
+}
+
+/// Errors from certification.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PcaError {
+    /// The identity key is not registered with the pCA.
+    UnregisteredServer,
+    /// The identity signature over the attestation key is invalid.
+    BadBinding,
+}
+
+impl std::fmt::Display for PcaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PcaError::UnregisteredServer => write!(f, "server identity key not registered"),
+            PcaError::BadBinding => write!(f, "identity signature over attestation key invalid"),
+        }
+    }
+}
+
+impl std::error::Error for PcaError {}
+
+/// The privacy CA.
+pub struct PrivacyCa {
+    key: SigningKey,
+    registered: BTreeSet<[u8; 32]>,
+}
+
+impl std::fmt::Debug for PrivacyCa {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PrivacyCa")
+            .field("registered", &self.registered.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl PrivacyCa {
+    /// Creates a pCA with a fresh key pair.
+    pub fn new(rng: &mut Drbg) -> Self {
+        PrivacyCa {
+            key: SigningKey::generate(rng),
+            registered: BTreeSet::new(),
+        }
+    }
+
+    /// The pCA's public key, distributed to verifiers.
+    pub fn public_key(&self) -> VerifyingKey {
+        self.key.verifying_key()
+    }
+
+    /// Registers a cloud server's identity key at deployment time.
+    pub fn register_server(&mut self, identity: VerifyingKey) {
+        self.registered.insert(identity.to_bytes());
+    }
+
+    /// Certifies a session attestation key.
+    ///
+    /// # Errors
+    ///
+    /// [`PcaError::UnregisteredServer`] if the identity key is unknown,
+    /// [`PcaError::BadBinding`] if the identity signature is invalid.
+    pub fn certify(&self, request: &CertificationRequest) -> Result<AvkCertificate, PcaError> {
+        if !self.registered.contains(&request.identity_key.to_bytes()) {
+            return Err(PcaError::UnregisteredServer);
+        }
+        if !request.verify() {
+            return Err(PcaError::BadBinding);
+        }
+        let signature = self.key.sign(&request.attestation_key.to_bytes());
+        Ok(AvkCertificate {
+            attestation_key: request.attestation_key,
+            signature,
+        })
+    }
+}
+
+impl AvkCertificate {
+    /// Verifies this certificate against the pCA's public key.
+    pub fn verify(&self, pca_key: &VerifyingKey) -> bool {
+        pca_key
+            .verify(&self.attestation_key.to_bytes(), &self.signature)
+            .is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use monatt_tpm::module::TrustModule;
+
+    #[test]
+    fn registered_server_gets_certified() {
+        let mut rng = Drbg::from_seed(30);
+        let mut pca = PrivacyCa::new(&mut rng);
+        let mut tm = TrustModule::provision(Drbg::from_seed(31));
+        pca.register_server(tm.identity_key());
+        let session = tm.begin_attestation();
+        let cert = pca.certify(session.certification_request()).unwrap();
+        assert!(cert.verify(&pca.public_key()));
+        assert_eq!(cert.attestation_key, session.attestation_key());
+    }
+
+    #[test]
+    fn unregistered_server_rejected() {
+        let mut rng = Drbg::from_seed(32);
+        let pca = PrivacyCa::new(&mut rng);
+        let mut tm = TrustModule::provision(Drbg::from_seed(33));
+        let session = tm.begin_attestation();
+        assert_eq!(
+            pca.certify(session.certification_request()),
+            Err(PcaError::UnregisteredServer)
+        );
+    }
+
+    #[test]
+    fn bad_binding_rejected() {
+        let mut rng = Drbg::from_seed(34);
+        let mut pca = PrivacyCa::new(&mut rng);
+        let mut tm1 = TrustModule::provision(Drbg::from_seed(35));
+        let mut tm2 = TrustModule::provision(Drbg::from_seed(36));
+        pca.register_server(tm1.identity_key());
+        let s1 = tm1.begin_attestation();
+        let s2 = tm2.begin_attestation();
+        // Splice: claim tm1's identity but present tm2's attestation key.
+        let forged = CertificationRequest {
+            attestation_key: s2.attestation_key(),
+            identity_signature: s1.certification_request().identity_signature,
+            identity_key: tm1.identity_key(),
+        };
+        assert_eq!(pca.certify(&forged), Err(PcaError::BadBinding));
+    }
+
+    #[test]
+    fn forged_certificate_fails_verification() {
+        let mut rng = Drbg::from_seed(37);
+        let mut pca = PrivacyCa::new(&mut rng);
+        let other_pca = PrivacyCa::new(&mut rng);
+        let mut tm = TrustModule::provision(Drbg::from_seed(38));
+        pca.register_server(tm.identity_key());
+        let session = tm.begin_attestation();
+        let cert = pca.certify(session.certification_request()).unwrap();
+        assert!(!cert.verify(&other_pca.public_key()));
+    }
+}

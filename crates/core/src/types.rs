@@ -1,0 +1,290 @@
+//! Core identifier and domain types for the CloudMonatt architecture.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A customer-visible VM identifier (the paper's `Vid`), unique across
+/// the cloud.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize,
+)]
+pub struct Vid(pub u64);
+
+impl fmt::Display for Vid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "vid-{}", self.0)
+    }
+}
+
+/// A cloud server identifier (the paper's `I`).
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize,
+)]
+pub struct ServerId(pub u32);
+
+impl fmt::Display for ServerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "server-{}", self.0)
+    }
+}
+
+/// A 32-byte freshness nonce.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Nonce(pub [u8; 32]);
+
+impl fmt::Debug for Nonce {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Nonce({:02x}{:02x}{:02x}{:02x}..)", self.0[0], self.0[1], self.0[2], self.0[3])
+    }
+}
+
+/// The security properties a customer can request for a VM — the paper's
+/// four concrete case studies (Section 4).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum SecurityProperty {
+    /// Case Study I: measured-boot integrity of the platform and VM image.
+    StartupIntegrity,
+    /// Case Study II: no hidden malware at runtime (VMI task-list check).
+    RuntimeIntegrity,
+    /// Case Study III: no CPU-timing covert channel involving this VM's
+    /// server (interval-histogram check).
+    CovertChannelFreedom,
+    /// Case Study IV: the VM receives at least this percentage of its
+    /// contracted CPU share.
+    CpuAvailability {
+        /// Minimum acceptable relative CPU share, percent of the SLA
+        /// entitlement.
+        min_share_pct: u8,
+    },
+    /// Extension property (the paper's framework supports "an arbitrary
+    /// number of security properties"): this VM does not abuse the credit
+    /// scheduler's wake-up boost — a CC-Hunter-style event-density check
+    /// on the PMU's boost counters that catches the *attacker* side of
+    /// Case Studies III and IV.
+    SchedulerFairness,
+}
+
+impl SecurityProperty {
+    /// A stable wire label for the property (used in request encoding and
+    /// capability tables).
+    pub fn label(&self) -> &'static str {
+        match self {
+            SecurityProperty::StartupIntegrity => "startup-integrity",
+            SecurityProperty::RuntimeIntegrity => "runtime-integrity",
+            SecurityProperty::CovertChannelFreedom => "covert-channel-freedom",
+            SecurityProperty::CpuAvailability { .. } => "cpu-availability",
+            SecurityProperty::SchedulerFairness => "scheduler-fairness",
+        }
+    }
+
+    /// True if monitoring this property requires a runtime observation
+    /// window (as opposed to boot-time measurements).
+    pub fn needs_runtime_window(&self) -> bool {
+        !matches!(self, SecurityProperty::StartupIntegrity)
+    }
+}
+
+impl fmt::Display for SecurityProperty {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SecurityProperty::CpuAvailability { min_share_pct } => {
+                write!(f, "cpu-availability(min {min_share_pct}%)")
+            }
+            other => f.write_str(other.label()),
+        }
+    }
+}
+
+/// The verdict of a property interpretation.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum HealthStatus {
+    /// The property holds.
+    Healthy,
+    /// The property is violated; the reason is human-readable evidence.
+    Compromised {
+        /// Why the property was judged violated.
+        reason: String,
+    },
+}
+
+impl HealthStatus {
+    /// True for [`HealthStatus::Healthy`].
+    pub fn is_healthy(&self) -> bool {
+        matches!(self, HealthStatus::Healthy)
+    }
+}
+
+/// VM sizes offered by the cloud (Figure 9 and 11 sweep these).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum Flavor {
+    /// 1 vCPU, 2 GB RAM, 10 GB disk.
+    Small,
+    /// 2 vCPUs, 4 GB RAM, 20 GB disk.
+    Medium,
+    /// 4 vCPUs, 8 GB RAM, 40 GB disk.
+    Large,
+}
+
+impl Flavor {
+    /// All flavors in figure order.
+    pub const ALL: [Flavor; 3] = [Flavor::Small, Flavor::Medium, Flavor::Large];
+
+    /// Number of vCPUs.
+    pub fn vcpus(&self) -> usize {
+        match self {
+            Flavor::Small => 1,
+            Flavor::Medium => 2,
+            Flavor::Large => 4,
+        }
+    }
+
+    /// RAM in gigabytes.
+    pub fn memory_gb(&self) -> u64 {
+        match self {
+            Flavor::Small => 2,
+            Flavor::Medium => 4,
+            Flavor::Large => 8,
+        }
+    }
+
+    /// Disk in gigabytes.
+    pub fn disk_gb(&self) -> u64 {
+        match self {
+            Flavor::Small => 10,
+            Flavor::Medium => 20,
+            Flavor::Large => 40,
+        }
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Flavor::Small => "small",
+            Flavor::Medium => "medium",
+            Flavor::Large => "large",
+        }
+    }
+}
+
+impl fmt::Display for Flavor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// VM images offered by the cloud (Figure 9 sweeps these).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum Image {
+    /// Tiny test image (~13 MB).
+    Cirros,
+    /// Fedora cloud image (~200 MB).
+    Fedora,
+    /// Ubuntu cloud image (~250 MB).
+    Ubuntu,
+}
+
+impl Image {
+    /// All images in figure order.
+    pub const ALL: [Image; 3] = [Image::Cirros, Image::Fedora, Image::Ubuntu];
+
+    /// Image size in megabytes (drives copy and hash costs).
+    pub fn size_mb(&self) -> u64 {
+        match self {
+            Image::Cirros => 13,
+            Image::Fedora => 200,
+            Image::Ubuntu => 250,
+        }
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Image::Cirros => "cirros",
+            Image::Fedora => "fedora",
+            Image::Ubuntu => "ubuntu",
+        }
+    }
+
+    /// The canonical (pristine) image bytes. Only the hash matters; the
+    /// content is a deterministic function of the image name and size.
+    pub fn pristine_bytes(&self) -> Vec<u8> {
+        // A small representative blob: hashing cost is modelled by the
+        // latency model, not by actually hashing hundreds of megabytes.
+        let mut out = Vec::with_capacity(4096);
+        while out.len() < 4096 {
+            out.extend_from_slice(self.name().as_bytes());
+            out.extend_from_slice(&self.size_mb().to_be_bytes());
+        }
+        out.truncate(4096);
+        out
+    }
+
+    /// The initial guest task list booted from this image.
+    pub fn initial_tasks(&self) -> &'static [&'static str] {
+        match self {
+            Image::Cirros => &["init", "sh"],
+            Image::Fedora => &["systemd", "sshd", "journald"],
+            Image::Ubuntu => &["systemd", "sshd", "cron", "rsyslogd"],
+        }
+    }
+}
+
+impl fmt::Display for Image {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Vid(3).to_string(), "vid-3");
+        assert_eq!(ServerId(1).to_string(), "server-1");
+        assert_eq!(Flavor::Large.to_string(), "large");
+        assert_eq!(Image::Ubuntu.to_string(), "ubuntu");
+        assert_eq!(
+            SecurityProperty::CpuAvailability { min_share_pct: 40 }.to_string(),
+            "cpu-availability(min 40%)"
+        );
+    }
+
+    #[test]
+    fn property_classification() {
+        assert!(!SecurityProperty::StartupIntegrity.needs_runtime_window());
+        assert!(SecurityProperty::RuntimeIntegrity.needs_runtime_window());
+        assert!(SecurityProperty::CovertChannelFreedom.needs_runtime_window());
+    }
+
+    #[test]
+    fn flavors_scale() {
+        assert!(Flavor::Small.vcpus() < Flavor::Large.vcpus());
+        assert!(Flavor::Small.memory_gb() < Flavor::Large.memory_gb());
+    }
+
+    #[test]
+    fn image_bytes_deterministic_and_distinct() {
+        assert_eq!(Image::Ubuntu.pristine_bytes(), Image::Ubuntu.pristine_bytes());
+        assert_ne!(Image::Ubuntu.pristine_bytes(), Image::Fedora.pristine_bytes());
+        assert_eq!(Image::Cirros.pristine_bytes().len(), 4096);
+    }
+
+    #[test]
+    fn health_status() {
+        assert!(HealthStatus::Healthy.is_healthy());
+        assert!(!HealthStatus::Compromised {
+            reason: "x".into()
+        }
+        .is_healthy());
+    }
+
+    #[test]
+    fn nonce_debug_is_short() {
+        let n = Nonce([0xab; 32]);
+        let repr = format!("{:?}", n);
+        assert!(repr.len() < 30);
+        assert!(repr.contains("abab"));
+    }
+}

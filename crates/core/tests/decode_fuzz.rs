@@ -1,0 +1,67 @@
+//! Decode-robustness tests: protocol message and measurement decoders
+//! must reject (never panic on) arbitrary bytes — the attacker controls
+//! the network, so every byte of input is adversarial.
+
+use monatt_core::measurements::{Measurement, MeasurementSpec};
+use monatt_core::messages::{
+    AttestationReportMsg, ControllerForward, CustomerReportMsg, CustomerRequest, MeasureRequest,
+    MeasureResponse,
+};
+use monatt_core::types::{HealthStatus, SecurityProperty};
+use monatt_net::wire::Wire;
+use proptest::prelude::*;
+
+fn arb_bytes() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(any::<u8>(), 0..256)
+}
+
+proptest! {
+    /// No decoder panics on arbitrary input; they return errors.
+    #[test]
+    fn decoders_never_panic(bytes in arb_bytes()) {
+        let _ = CustomerRequest::from_wire(&bytes);
+        let _ = ControllerForward::from_wire(&bytes);
+        let _ = MeasureRequest::from_wire(&bytes);
+        let _ = MeasureResponse::from_wire(&bytes);
+        let _ = AttestationReportMsg::from_wire(&bytes);
+        let _ = CustomerReportMsg::from_wire(&bytes);
+        let _ = Measurement::from_wire(&bytes);
+        let _ = MeasurementSpec::from_wire(&bytes);
+        let _ = SecurityProperty::from_wire(&bytes);
+        let _ = HealthStatus::from_wire(&bytes);
+    }
+
+    /// Bit-flipping a valid encoding either still decodes (to a different
+    /// value at worst — signatures catch that) or errors; never panics.
+    #[test]
+    fn bitflipped_messages_never_panic(
+        vid in any::<u64>(),
+        nonce in any::<[u8; 32]>(),
+        flip_at in any::<proptest::sample::Index>(),
+        flip_bit in 0u8..8,
+    ) {
+        let msg = CustomerRequest {
+            vid: monatt_core::Vid(vid),
+            property: SecurityProperty::RuntimeIntegrity,
+            nonce1: nonce,
+        };
+        let mut bytes = msg.to_wire();
+        let idx = flip_at.index(bytes.len());
+        bytes[idx] ^= 1 << flip_bit;
+        let _ = CustomerRequest::from_wire(&bytes);
+    }
+
+    /// Valid property/status values always roundtrip.
+    #[test]
+    fn property_roundtrip(pct in any::<u8>()) {
+        let p = SecurityProperty::CpuAvailability { min_share_pct: pct };
+        prop_assert_eq!(SecurityProperty::from_wire(&p.to_wire()).unwrap(), p);
+    }
+
+    /// Health statuses with arbitrary reason strings roundtrip.
+    #[test]
+    fn status_roundtrip(reason in ".*") {
+        let s = HealthStatus::Compromised { reason: reason.clone() };
+        prop_assert_eq!(HealthStatus::from_wire(&s.to_wire()).unwrap(), s);
+    }
+}

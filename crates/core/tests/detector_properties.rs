@@ -1,0 +1,59 @@
+//! Property-based tests of the covert-channel detector: total functions
+//! over arbitrary histograms, and invariance guarantees.
+
+use monatt_core::analyze_intervals;
+use proptest::prelude::*;
+
+proptest! {
+    /// The detector is total: any histogram analyzes without panicking,
+    /// and the low-cluster mass is a probability.
+    #[test]
+    fn analysis_is_total(
+        bins in proptest::collection::vec(0u64..10_000, 1..64),
+        width in 1u64..100_000,
+    ) {
+        let a = analyze_intervals(&bins, width);
+        prop_assert!((0.0..=1.0).contains(&a.low_mass));
+        prop_assert_eq!(a.samples, bins.iter().sum::<u64>());
+    }
+
+    /// Degenerate inputs are never flagged.
+    #[test]
+    fn degenerate_inputs_are_benign(width in 1u64..10_000) {
+        prop_assert!(!analyze_intervals(&[], width).covert);
+        prop_assert!(!analyze_intervals(&[0; 30], width).covert);
+        // All mass in one bin can never be bimodal.
+        for bin in 0..30 {
+            let mut bins = vec![0u64; 30];
+            bins[bin] = 1_000;
+            prop_assert!(!analyze_intervals(&bins, width).covert);
+        }
+    }
+
+    /// Scaling all counts by a constant does not change the verdict
+    /// (the detector looks at the distribution, not the volume).
+    #[test]
+    fn verdict_is_scale_invariant(
+        bins in proptest::collection::vec(0u64..100, 30),
+        scale in 1u64..50,
+    ) {
+        let scaled: Vec<u64> = bins.iter().map(|&b| b * scale).collect();
+        let a = analyze_intervals(&bins, 1_000);
+        let b = analyze_intervals(&scaled, 1_000);
+        // Only comparable when both have enough samples to analyze.
+        if a.samples >= 50 && b.samples >= 50 {
+            prop_assert_eq!(a.covert, b.covert);
+        }
+    }
+
+    /// Sub-threshold sample counts never alarm (insufficient evidence).
+    #[test]
+    fn sparse_histograms_never_alarm(
+        bins in proptest::collection::vec(0u64..2, 30),
+    ) {
+        let a = analyze_intervals(&bins, 1_000);
+        if a.samples < 50 {
+            prop_assert!(!a.covert);
+        }
+    }
+}

@@ -1,0 +1,500 @@
+//! Fixed-width unsigned big integers: [`U256`] and the crate-internal
+//! [`U512`] used as an intermediate for 256-bit modular multiplication.
+//!
+//! Limbs are stored little-endian (`limbs[0]` is least significant). The
+//! implementation favours clarity over speed: modular reduction uses binary
+//! long division, which is plenty fast for a protocol simulator and easy to
+//! audit. None of this code is constant-time; the crate is a simulation
+//! substrate, not a production cryptography library.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A 256-bit unsigned integer (four little-endian `u64` limbs).
+///
+/// # Examples
+///
+/// ```
+/// use monatt_crypto::bigint::U256;
+///
+/// let a = U256::from_u64(7);
+/// let b = U256::from_u64(5);
+/// let (sum, carry) = a.overflowing_add(&b);
+/// assert_eq!(sum, U256::from_u64(12));
+/// assert!(!carry);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct U256(pub(crate) [u64; 4]);
+
+/// A 512-bit unsigned integer, produced by [`U256::full_mul`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct U512(pub(crate) [u64; 8]);
+
+impl U256 {
+    /// The value zero.
+    pub const ZERO: U256 = U256([0; 4]);
+    /// The value one.
+    pub const ONE: U256 = U256([1, 0, 0, 0]);
+    /// The largest representable value, `2^256 - 1`.
+    pub const MAX: U256 = U256([u64::MAX; 4]);
+
+    /// Creates a `U256` from a `u64`.
+    pub const fn from_u64(v: u64) -> Self {
+        U256([v, 0, 0, 0])
+    }
+
+    /// Creates a `U256` from little-endian limbs.
+    pub const fn from_limbs(limbs: [u64; 4]) -> Self {
+        U256(limbs)
+    }
+
+    /// Returns the little-endian limbs.
+    pub const fn limbs(&self) -> [u64; 4] {
+        self.0
+    }
+
+    /// Parses a big-endian hexadecimal string (with or without a `0x`
+    /// prefix).
+    ///
+    /// # Errors
+    ///
+    /// Returns `None` if the string is empty, longer than 64 hex digits, or
+    /// contains a non-hexadecimal character.
+    pub fn from_hex(s: &str) -> Option<Self> {
+        let s = s.strip_prefix("0x").unwrap_or(s);
+        if s.is_empty() || s.len() > 64 {
+            return None;
+        }
+        let mut out = U256::ZERO;
+        for c in s.chars() {
+            let d = c.to_digit(16)? as u64;
+            out = out.shl_small(4);
+            out.0[0] |= d;
+        }
+        Some(out)
+    }
+
+    /// Encodes as 32 big-endian bytes.
+    pub fn to_be_bytes(&self) -> [u8; 32] {
+        let mut out = [0u8; 32];
+        for (i, limb) in self.0.iter().rev().enumerate() {
+            out[i * 8..(i + 1) * 8].copy_from_slice(&limb.to_be_bytes());
+        }
+        out
+    }
+
+    /// Decodes from 32 big-endian bytes.
+    pub fn from_be_bytes(bytes: &[u8; 32]) -> Self {
+        let mut limbs = [0u64; 4];
+        for i in 0..4 {
+            let mut chunk = [0u8; 8];
+            chunk.copy_from_slice(&bytes[i * 8..(i + 1) * 8]);
+            limbs[3 - i] = u64::from_be_bytes(chunk);
+        }
+        U256(limbs)
+    }
+
+    /// Returns true if the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.0 == [0; 4]
+    }
+
+    /// Returns true if the value is even.
+    pub fn is_even(&self) -> bool {
+        self.0[0] & 1 == 0
+    }
+
+    /// Returns bit `i` (0 = least significant).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 256`.
+    pub fn bit(&self, i: usize) -> bool {
+        assert!(i < 256, "bit index out of range");
+        (self.0[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Returns the number of significant bits (0 for zero).
+    pub fn bits(&self) -> usize {
+        for (i, limb) in self.0.iter().enumerate().rev() {
+            if *limb != 0 {
+                return i * 64 + (64 - limb.leading_zeros() as usize);
+            }
+        }
+        0
+    }
+
+    /// Adds, returning the wrapped sum and whether a carry out occurred.
+    #[allow(clippy::needless_range_loop)] // parallel limb indexing is clearer
+    pub fn overflowing_add(&self, rhs: &U256) -> (U256, bool) {
+        let mut out = [0u64; 4];
+        let mut carry = false;
+        for i in 0..4 {
+            let (s1, c1) = self.0[i].overflowing_add(rhs.0[i]);
+            let (s2, c2) = s1.overflowing_add(carry as u64);
+            out[i] = s2;
+            carry = c1 || c2;
+        }
+        (U256(out), carry)
+    }
+
+    /// Subtracts, returning the wrapped difference and whether a borrow
+    /// occurred (i.e. `rhs > self`).
+    #[allow(clippy::needless_range_loop)] // parallel limb indexing is clearer
+    pub fn overflowing_sub(&self, rhs: &U256) -> (U256, bool) {
+        let mut out = [0u64; 4];
+        let mut borrow = false;
+        for i in 0..4 {
+            let (d1, b1) = self.0[i].overflowing_sub(rhs.0[i]);
+            let (d2, b2) = d1.overflowing_sub(borrow as u64);
+            out[i] = d2;
+            borrow = b1 || b2;
+        }
+        (U256(out), borrow)
+    }
+
+    /// Wrapping addition (discards the carry).
+    pub fn wrapping_add(&self, rhs: &U256) -> U256 {
+        self.overflowing_add(rhs).0
+    }
+
+    /// Wrapping subtraction (discards the borrow).
+    pub fn wrapping_sub(&self, rhs: &U256) -> U256 {
+        self.overflowing_sub(rhs).0
+    }
+
+    /// Checked addition: `None` on overflow.
+    pub fn checked_add(&self, rhs: &U256) -> Option<U256> {
+        match self.overflowing_add(rhs) {
+            (v, false) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Checked subtraction: `None` if `rhs > self`.
+    pub fn checked_sub(&self, rhs: &U256) -> Option<U256> {
+        match self.overflowing_sub(rhs) {
+            (v, false) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Shifts left by `n < 64` bits, discarding bits shifted out.
+    #[allow(clippy::needless_range_loop)] // parallel limb indexing is clearer
+    fn shl_small(&self, n: u32) -> U256 {
+        debug_assert!(n < 64);
+        if n == 0 {
+            return *self;
+        }
+        let mut out = [0u64; 4];
+        let mut carry = 0u64;
+        for i in 0..4 {
+            out[i] = (self.0[i] << n) | carry;
+            carry = self.0[i] >> (64 - n);
+        }
+        U256(out)
+    }
+
+    /// Multiplies two `U256` values into a full 512-bit product.
+    pub fn full_mul(&self, rhs: &U256) -> U512 {
+        let mut out = [0u64; 8];
+        for i in 0..4 {
+            let mut carry = 0u128;
+            for j in 0..4 {
+                let cur = out[i + j] as u128
+                    + (self.0[i] as u128) * (rhs.0[j] as u128)
+                    + carry;
+                out[i + j] = cur as u64;
+                carry = cur >> 64;
+            }
+            out[i + 4] = carry as u64;
+        }
+        U512(out)
+    }
+
+    /// Computes `self mod m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is zero.
+    pub fn rem(&self, m: &U256) -> U256 {
+        U512::from_u256(self).rem(m)
+    }
+
+    /// Divides by `m`, returning `(quotient, remainder)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is zero.
+    pub fn div_rem(&self, m: &U256) -> (U256, U256) {
+        assert!(!m.is_zero(), "division by zero");
+        if self < m {
+            return (U256::ZERO, *self);
+        }
+        let mut quotient = U256::ZERO;
+        let mut rem = U256::ZERO;
+        for i in (0..self.bits()).rev() {
+            // rem < m before the shift, so rem << 1 | bit fits in 257 bits:
+            // track the shifted-out bit explicitly.
+            let carry = rem.bit(255);
+            rem = rem.shl_small(1);
+            if self.bit(i) {
+                rem.0[0] |= 1;
+            }
+            if carry || rem >= *m {
+                rem = rem.wrapping_sub(m);
+                quotient.0[i / 64] |= 1 << (i % 64);
+            }
+        }
+        (quotient, rem)
+    }
+}
+
+impl U512 {
+    /// The value zero.
+    pub const ZERO: U512 = U512([0; 8]);
+
+    /// Widens a `U256` into the low half of a `U512`.
+    pub fn from_u256(v: &U256) -> Self {
+        let mut limbs = [0u64; 8];
+        limbs[..4].copy_from_slice(&v.0);
+        U512(limbs)
+    }
+
+    /// Returns bit `i` (0 = least significant).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 512`.
+    pub fn bit(&self, i: usize) -> bool {
+        assert!(i < 512, "bit index out of range");
+        (self.0[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Returns the number of significant bits (0 for zero).
+    pub fn bits(&self) -> usize {
+        for (i, limb) in self.0.iter().enumerate().rev() {
+            if *limb != 0 {
+                return i * 64 + (64 - limb.leading_zeros() as usize);
+            }
+        }
+        0
+    }
+
+    /// Computes `self mod m` by binary long division.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is zero.
+    pub fn rem(&self, m: &U256) -> U256 {
+        assert!(!m.is_zero(), "division by zero");
+        // The running remainder fits in 257 bits before each conditional
+        // subtraction, so track a single extra carry bit alongside a U256.
+        let mut rem = U256::ZERO;
+        for i in (0..self.bits()).rev() {
+            let carry = rem.bit(255);
+            rem = rem.shl_small(1);
+            if self.bit(i) {
+                rem.0[0] |= 1;
+            }
+            if carry || rem >= *m {
+                rem = rem.wrapping_sub(m);
+            }
+        }
+        rem
+    }
+}
+
+impl PartialOrd for U256 {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for U256 {
+    fn cmp(&self, other: &Self) -> Ordering {
+        for i in (0..4).rev() {
+            match self.0[i].cmp(&other.0[i]) {
+                Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+}
+
+impl From<u64> for U256 {
+    fn from(v: u64) -> Self {
+        U256::from_u64(v)
+    }
+}
+
+impl fmt::Debug for U256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "U256(0x{:x})", self)
+    }
+}
+
+impl fmt::Display for U256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{:x}", self)
+    }
+}
+
+impl fmt::LowerHex for U256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut started = false;
+        for limb in self.0.iter().rev() {
+            if started {
+                write!(f, "{:016x}", limb)?;
+            } else if *limb != 0 {
+                write!(f, "{:x}", limb)?;
+                started = true;
+            }
+        }
+        if !started {
+            write!(f, "0")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for U512 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "U512(")?;
+        for limb in self.0.iter().rev() {
+            write!(f, "{:016x}", limb)?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_u64_roundtrip() {
+        assert_eq!(U256::from_u64(0).limbs(), [0, 0, 0, 0]);
+        assert_eq!(U256::from_u64(42).limbs(), [42, 0, 0, 0]);
+    }
+
+    #[test]
+    fn hex_roundtrip() {
+        let v = U256::from_hex("deadbeef").unwrap();
+        assert_eq!(v, U256::from_u64(0xdead_beef));
+        assert_eq!(format!("{:x}", v), "deadbeef");
+        let big = U256::from_hex(
+            "b7e9f735f74bf461eb409d67747a627534f17ded4ba95a60790f978549c8c24f",
+        )
+        .unwrap();
+        assert_eq!(
+            format!("{:x}", big),
+            "b7e9f735f74bf461eb409d67747a627534f17ded4ba95a60790f978549c8c24f"
+        );
+    }
+
+    #[test]
+    fn hex_rejects_bad_input() {
+        assert!(U256::from_hex("").is_none());
+        assert!(U256::from_hex("xyz").is_none());
+        assert!(U256::from_hex(&"f".repeat(65)).is_none());
+    }
+
+    #[test]
+    fn be_bytes_roundtrip() {
+        let v = U256::from_hex("0102030405060708090a0b0c0d0e0f10").unwrap();
+        let bytes = v.to_be_bytes();
+        assert_eq!(U256::from_be_bytes(&bytes), v);
+        assert_eq!(bytes[31], 0x10);
+        assert_eq!(bytes[16], 0x01);
+    }
+
+    #[test]
+    fn add_with_carry() {
+        let (v, carry) = U256::MAX.overflowing_add(&U256::ONE);
+        assert!(carry);
+        assert_eq!(v, U256::ZERO);
+        let (v, carry) = U256::from_u64(u64::MAX).overflowing_add(&U256::ONE);
+        assert!(!carry);
+        assert_eq!(v.limbs(), [0, 1, 0, 0]);
+    }
+
+    #[test]
+    fn sub_with_borrow() {
+        let (v, borrow) = U256::ZERO.overflowing_sub(&U256::ONE);
+        assert!(borrow);
+        assert_eq!(v, U256::MAX);
+        let a = U256::from_limbs([0, 1, 0, 0]);
+        let (v, borrow) = a.overflowing_sub(&U256::ONE);
+        assert!(!borrow);
+        assert_eq!(v, U256::from_u64(u64::MAX));
+    }
+
+    #[test]
+    fn checked_ops() {
+        assert_eq!(U256::MAX.checked_add(&U256::ONE), None);
+        assert_eq!(U256::ZERO.checked_sub(&U256::ONE), None);
+        assert_eq!(
+            U256::from_u64(5).checked_sub(&U256::from_u64(3)),
+            Some(U256::from_u64(2))
+        );
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(U256::from_u64(1) < U256::from_u64(2));
+        assert!(U256::from_limbs([0, 0, 0, 1]) > U256::from_limbs([u64::MAX, u64::MAX, u64::MAX, 0]));
+    }
+
+    #[test]
+    fn bits_and_bit() {
+        assert_eq!(U256::ZERO.bits(), 0);
+        assert_eq!(U256::ONE.bits(), 1);
+        assert_eq!(U256::from_u64(0x80).bits(), 8);
+        assert_eq!(U256::MAX.bits(), 256);
+        assert!(U256::from_u64(4).bit(2));
+        assert!(!U256::from_u64(4).bit(1));
+    }
+
+    #[test]
+    fn full_mul_small() {
+        let p = U256::from_u64(1 << 32).full_mul(&U256::from_u64(1 << 32));
+        assert_eq!(p.0[1], 1);
+        assert_eq!(p.0[0], 0);
+        let p = U256::MAX.full_mul(&U256::MAX);
+        // (2^256-1)^2 = 2^512 - 2^257 + 1
+        assert_eq!(p.0[0], 1);
+        assert_eq!(p.0[4], u64::MAX - 1);
+        assert_eq!(p.0[7], u64::MAX);
+    }
+
+    #[test]
+    fn rem_512() {
+        let m = U256::from_u64(97);
+        let big = U256::from_u64(12345).full_mul(&U256::from_u64(67890));
+        assert_eq!(big.rem(&m), U256::from_u64((12345u64 * 67890) % 97));
+    }
+
+    #[test]
+    fn div_rem_basic() {
+        let (q, r) = U256::from_u64(100).div_rem(&U256::from_u64(7));
+        assert_eq!(q, U256::from_u64(14));
+        assert_eq!(r, U256::from_u64(2));
+        let (q, r) = U256::from_u64(3).div_rem(&U256::from_u64(7));
+        assert_eq!(q, U256::ZERO);
+        assert_eq!(r, U256::from_u64(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_rem_by_zero_panics() {
+        let _ = U256::ONE.div_rem(&U256::ZERO);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        assert!(!format!("{:?}", U256::ZERO).is_empty());
+        assert!(!format!("{:?}", U512::ZERO).is_empty());
+    }
+}

@@ -1,0 +1,166 @@
+//! Diffie-Hellman key agreement over the crate's safe-prime [`Group`],
+//! with HKDF-based session-key derivation.
+
+use crate::bigint::U256;
+use crate::drbg::Drbg;
+use crate::error::CryptoError;
+use crate::group::Group;
+use crate::hmac::hkdf;
+
+/// An ephemeral Diffie-Hellman secret.
+///
+/// # Examples
+///
+/// ```
+/// use monatt_crypto::dh::EphemeralSecret;
+/// use monatt_crypto::drbg::Drbg;
+///
+/// # fn main() -> Result<(), monatt_crypto::error::CryptoError> {
+/// let mut rng = Drbg::from_seed(1);
+/// let alice = EphemeralSecret::generate(&mut rng);
+/// let bob = EphemeralSecret::generate(&mut rng);
+/// let k1 = alice.agree(&bob.public_share(), b"demo")?;
+/// let k2 = bob.agree(&alice.public_share(), b"demo")?;
+/// assert_eq!(k1, k2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone)]
+pub struct EphemeralSecret {
+    exponent: U256,
+    share: PublicShare,
+}
+
+impl std::fmt::Debug for EphemeralSecret {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EphemeralSecret")
+            .field("share", &self.share)
+            .finish_non_exhaustive()
+    }
+}
+
+/// The public half of a Diffie-Hellman exchange: `g^x mod p`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PublicShare(U256);
+
+impl std::fmt::Debug for PublicShare {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "PublicShare({:x})", self.0)
+    }
+}
+
+/// A derived 32-byte symmetric session secret.
+pub type SessionSecret = [u8; 32];
+
+impl EphemeralSecret {
+    /// Generates a fresh ephemeral secret.
+    pub fn generate(rng: &mut Drbg) -> Self {
+        let grp = Group::default_group();
+        let exponent = rng.next_u256_in_group(&grp.q);
+        let share = PublicShare(grp.pow_g(&exponent));
+        EphemeralSecret { exponent, share }
+    }
+
+    /// Returns the public share to send to the peer.
+    pub fn public_share(&self) -> PublicShare {
+        self.share
+    }
+
+    /// Combines with the peer's share and derives a session secret bound to
+    /// `context` (e.g. a protocol label plus the transcript hash).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::InvalidKey`] if the peer's share is not a
+    /// valid element of the prime-order subgroup (small-subgroup attack
+    /// defence).
+    pub fn agree(&self, peer: &PublicShare, context: &[u8]) -> Result<SessionSecret, CryptoError> {
+        let grp = Group::default_group();
+        if !grp.is_element(&peer.0) {
+            return Err(CryptoError::InvalidKey);
+        }
+        let shared = grp.pow(&peer.0, &self.exponent);
+        let okm = hkdf(b"monatt-dh-v1", &shared.to_be_bytes(), context, 32);
+        let mut out = [0u8; 32];
+        out.copy_from_slice(&okm);
+        Ok(out)
+    }
+}
+
+impl PublicShare {
+    /// Encodes as 32 big-endian bytes.
+    pub fn to_bytes(&self) -> [u8; 32] {
+        self.0.to_be_bytes()
+    }
+
+    /// Decodes and validates a share.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::InvalidKey`] for elements outside the
+    /// prime-order subgroup.
+    pub fn from_bytes(bytes: &[u8; 32]) -> Result<Self, CryptoError> {
+        let elem = U256::from_be_bytes(bytes);
+        if Group::default_group().is_element(&elem) {
+            Ok(PublicShare(elem))
+        } else {
+            Err(CryptoError::InvalidKey)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn agreement_is_symmetric() {
+        let mut rng = Drbg::from_seed(20);
+        let a = EphemeralSecret::generate(&mut rng);
+        let b = EphemeralSecret::generate(&mut rng);
+        let k_ab = a.agree(&b.public_share(), b"ctx").unwrap();
+        let k_ba = b.agree(&a.public_share(), b"ctx").unwrap();
+        assert_eq!(k_ab, k_ba);
+    }
+
+    #[test]
+    fn context_separates_keys() {
+        let mut rng = Drbg::from_seed(21);
+        let a = EphemeralSecret::generate(&mut rng);
+        let b = EphemeralSecret::generate(&mut rng);
+        let k1 = a.agree(&b.public_share(), b"ctx-1").unwrap();
+        let k2 = a.agree(&b.public_share(), b"ctx-2").unwrap();
+        assert_ne!(k1, k2);
+    }
+
+    #[test]
+    fn different_peers_different_keys() {
+        let mut rng = Drbg::from_seed(22);
+        let a = EphemeralSecret::generate(&mut rng);
+        let b = EphemeralSecret::generate(&mut rng);
+        let c = EphemeralSecret::generate(&mut rng);
+        let k_ab = a.agree(&b.public_share(), b"ctx").unwrap();
+        let k_ac = a.agree(&c.public_share(), b"ctx").unwrap();
+        assert_ne!(k_ab, k_ac);
+    }
+
+    #[test]
+    fn rejects_invalid_share() {
+        let mut rng = Drbg::from_seed(23);
+        let a = EphemeralSecret::generate(&mut rng);
+        let zero = [0u8; 32];
+        assert!(PublicShare::from_bytes(&zero).is_err());
+        // Small-subgroup element p-1 (order 2) must be rejected by agree.
+        let grp = Group::default_group();
+        let small = PublicShare(grp.p.wrapping_sub(&U256::ONE));
+        assert_eq!(a.agree(&small, b"ctx"), Err(CryptoError::InvalidKey));
+    }
+
+    #[test]
+    fn share_serialization_roundtrip() {
+        let mut rng = Drbg::from_seed(24);
+        let a = EphemeralSecret::generate(&mut rng);
+        let share = a.public_share();
+        assert_eq!(PublicShare::from_bytes(&share.to_bytes()).unwrap(), share);
+    }
+}

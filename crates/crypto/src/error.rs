@@ -1,0 +1,66 @@
+//! Error types for the cryptographic substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by cryptographic operations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CryptoError {
+    /// A signature failed verification.
+    InvalidSignature,
+    /// An authenticated-encryption tag failed verification (or the message
+    /// was too short to contain one).
+    InvalidTag,
+    /// A public key or Diffie-Hellman share was not a valid group element.
+    InvalidKey,
+    /// Input had an unexpected length.
+    InvalidLength {
+        /// The expected byte length.
+        expected: usize,
+        /// The actual byte length.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for CryptoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CryptoError::InvalidSignature => write!(f, "signature verification failed"),
+            CryptoError::InvalidTag => write!(f, "authentication tag verification failed"),
+            CryptoError::InvalidKey => write!(f, "key is not a valid group element"),
+            CryptoError::InvalidLength { expected, actual } => {
+                write!(f, "invalid input length: expected {expected}, got {actual}")
+            }
+        }
+    }
+}
+
+impl Error for CryptoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            CryptoError::InvalidSignature.to_string(),
+            "signature verification failed"
+        );
+        assert_eq!(
+            CryptoError::InvalidLength {
+                expected: 32,
+                actual: 16
+            }
+            .to_string(),
+            "invalid input length: expected 32, got 16"
+        );
+    }
+
+    #[test]
+    fn is_std_error_send_sync() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<CryptoError>();
+    }
+}

@@ -1,0 +1,179 @@
+//! Modular arithmetic over 256-bit moduli: addition, subtraction,
+//! multiplication, exponentiation and inversion (via Fermat's little
+//! theorem, so inversion requires a prime modulus).
+
+use crate::bigint::U256;
+
+/// Computes `(a + b) mod m`.
+///
+/// Inputs need not be reduced; the result always is.
+///
+/// # Panics
+///
+/// Panics if `m` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use monatt_crypto::bigint::U256;
+/// use monatt_crypto::modmath::mod_add;
+///
+/// let m = U256::from_u64(97);
+/// assert_eq!(mod_add(&U256::from_u64(90), &U256::from_u64(10), &m), U256::from_u64(3));
+/// ```
+pub fn mod_add(a: &U256, b: &U256, m: &U256) -> U256 {
+    let a = a.rem(m);
+    let b = b.rem(m);
+    let (sum, carry) = a.overflowing_add(&b);
+    if carry || sum >= *m {
+        sum.wrapping_sub(m)
+    } else {
+        sum
+    }
+}
+
+/// Computes `(a - b) mod m`.
+///
+/// Inputs need not be reduced; the result always is.
+///
+/// # Panics
+///
+/// Panics if `m` is zero.
+pub fn mod_sub(a: &U256, b: &U256, m: &U256) -> U256 {
+    let a = a.rem(m);
+    let b = b.rem(m);
+    match a.checked_sub(&b) {
+        Some(v) => v,
+        None => a.wrapping_add(m).wrapping_sub(&b),
+    }
+}
+
+/// Computes `(a * b) mod m` via a full 512-bit product.
+///
+/// # Panics
+///
+/// Panics if `m` is zero.
+pub fn mod_mul(a: &U256, b: &U256, m: &U256) -> U256 {
+    a.full_mul(b).rem(m)
+}
+
+/// Computes `base^exp mod m` by left-to-right square-and-multiply.
+///
+/// # Panics
+///
+/// Panics if `m` is zero. `mod_exp(_, _, 1)` is zero for all inputs.
+///
+/// # Examples
+///
+/// ```
+/// use monatt_crypto::bigint::U256;
+/// use monatt_crypto::modmath::mod_exp;
+///
+/// let m = U256::from_u64(1_000_000_007);
+/// assert_eq!(
+///     mod_exp(&U256::from_u64(2), &U256::from_u64(10), &m),
+///     U256::from_u64(1024)
+/// );
+/// ```
+pub fn mod_exp(base: &U256, exp: &U256, m: &U256) -> U256 {
+    assert!(!m.is_zero(), "modulus must be nonzero");
+    if *m == U256::ONE {
+        return U256::ZERO;
+    }
+    let mut result = U256::ONE;
+    let base = base.rem(m);
+    let nbits = exp.bits();
+    for i in (0..nbits).rev() {
+        result = mod_mul(&result, &result, m);
+        if exp.bit(i) {
+            result = mod_mul(&result, &base, m);
+        }
+    }
+    result
+}
+
+/// Computes the modular inverse `a^(-1) mod p` for a **prime** `p` using
+/// Fermat's little theorem (`a^(p-2) mod p`).
+///
+/// Returns `None` if `a ≡ 0 (mod p)`, which has no inverse.
+///
+/// # Panics
+///
+/// Panics if `p < 2`. The primality of `p` is the caller's responsibility;
+/// for composite `p` the result is meaningless.
+pub fn mod_inv_prime(a: &U256, p: &U256) -> Option<U256> {
+    assert!(*p >= U256::from_u64(2), "modulus must be at least 2");
+    let a = a.rem(p);
+    if a.is_zero() {
+        return None;
+    }
+    let exp = p.wrapping_sub(&U256::from_u64(2));
+    Some(mod_exp(&a, &exp, p))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn u(v: u64) -> U256 {
+        U256::from_u64(v)
+    }
+
+    #[test]
+    fn add_wraps() {
+        let m = u(97);
+        assert_eq!(mod_add(&u(96), &u(1), &m), U256::ZERO);
+        assert_eq!(mod_add(&u(50), &u(50), &m), u(3));
+    }
+
+    #[test]
+    fn add_handles_unreduced_inputs() {
+        let m = u(7);
+        assert_eq!(mod_add(&u(100), &u(100), &m), u(200 % 7));
+    }
+
+    #[test]
+    fn add_near_max_modulus() {
+        // Exercise the carry-out path: m close to 2^256.
+        let m = U256::MAX;
+        let a = U256::MAX.wrapping_sub(&u(1)); // m - 1
+        let s = mod_add(&a, &a, &m);
+        assert_eq!(s, U256::MAX.wrapping_sub(&u(2)));
+    }
+
+    #[test]
+    fn sub_wraps() {
+        let m = u(97);
+        assert_eq!(mod_sub(&u(3), &u(5), &m), u(95));
+        assert_eq!(mod_sub(&u(5), &u(3), &m), u(2));
+    }
+
+    #[test]
+    fn mul_matches_u64() {
+        let m = u(1_000_003);
+        assert_eq!(
+            mod_mul(&u(999_999), &u(999_998), &m),
+            u((999_999u64 * 999_998) % 1_000_003)
+        );
+    }
+
+    #[test]
+    fn exp_edge_cases() {
+        let m = u(13);
+        assert_eq!(mod_exp(&u(5), &U256::ZERO, &m), U256::ONE);
+        assert_eq!(mod_exp(&u(5), &U256::ONE, &m), u(5));
+        assert_eq!(mod_exp(&u(5), &u(12), &m), U256::ONE); // Fermat
+        assert_eq!(mod_exp(&u(5), &u(3), &U256::ONE), U256::ZERO);
+    }
+
+    #[test]
+    fn inv_prime() {
+        let p = u(97);
+        for a in 1..97u64 {
+            let inv = mod_inv_prime(&u(a), &p).unwrap();
+            assert_eq!(mod_mul(&u(a), &inv, &p), U256::ONE, "a = {a}");
+        }
+        assert_eq!(mod_inv_prime(&U256::ZERO, &p), None);
+        assert_eq!(mod_inv_prime(&u(97), &p), None);
+    }
+}

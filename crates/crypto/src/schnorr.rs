@@ -1,0 +1,278 @@
+//! Schnorr signatures over the crate's safe-prime [`Group`].
+//!
+//! Signing uses deterministic nonces (an HMAC of the secret key and the
+//! message, in the spirit of RFC 6979) so a broken RNG can never leak the
+//! key through nonce reuse.
+
+use crate::bigint::U256;
+use crate::drbg::Drbg;
+use crate::error::CryptoError;
+use crate::group::Group;
+use crate::hmac::hmac_sha256;
+use crate::modmath::{mod_add, mod_mul, mod_sub};
+use crate::sha256::Sha256;
+
+/// A Schnorr signing (private) key.
+#[derive(Clone, PartialEq, Eq)]
+pub struct SigningKey {
+    secret: U256,
+    public: VerifyingKey,
+}
+
+impl std::fmt::Debug for SigningKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Never print the secret scalar.
+        f.debug_struct("SigningKey")
+            .field("public", &self.public)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A Schnorr verifying (public) key.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VerifyingKey(pub(crate) U256);
+
+impl std::fmt::Debug for VerifyingKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "VerifyingKey({:x})", self.0)
+    }
+}
+
+/// A Schnorr signature `(e, s)` where `e = H(r || m) mod q` and
+/// `s = k + e·sk mod q`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Signature {
+    /// Challenge scalar.
+    pub e: U256,
+    /// Response scalar.
+    pub s: U256,
+}
+
+impl Signature {
+    /// Serializes to 64 bytes (`e || s`, each 32 bytes big-endian).
+    pub fn to_bytes(&self) -> [u8; 64] {
+        let mut out = [0u8; 64];
+        out[..32].copy_from_slice(&self.e.to_be_bytes());
+        out[32..].copy_from_slice(&self.s.to_be_bytes());
+        out
+    }
+
+    /// Deserializes from the 64-byte form produced by [`Self::to_bytes`].
+    pub fn from_bytes(bytes: &[u8; 64]) -> Self {
+        let mut e = [0u8; 32];
+        let mut s = [0u8; 32];
+        e.copy_from_slice(&bytes[..32]);
+        s.copy_from_slice(&bytes[32..]);
+        Signature {
+            e: U256::from_be_bytes(&e),
+            s: U256::from_be_bytes(&s),
+        }
+    }
+}
+
+impl SigningKey {
+    /// Generates a fresh key pair using randomness from `rng`.
+    pub fn generate(rng: &mut Drbg) -> Self {
+        let grp = Group::default_group();
+        let secret = rng.next_u256_in_group(&grp.q);
+        Self::from_secret(secret)
+    }
+
+    /// Builds a key pair from an existing secret scalar (reduced mod `q`;
+    /// must not reduce to zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the secret reduces to zero modulo the group order.
+    pub fn from_secret(secret: U256) -> Self {
+        let grp = Group::default_group();
+        let secret = secret.rem(&grp.q);
+        assert!(!secret.is_zero(), "secret key must be nonzero mod q");
+        let public = VerifyingKey(grp.pow_g(&secret));
+        SigningKey { secret, public }
+    }
+
+    /// Returns the corresponding verifying key.
+    pub fn verifying_key(&self) -> VerifyingKey {
+        self.public
+    }
+
+    /// Signs `message`.
+    pub fn sign(&self, message: &[u8]) -> Signature {
+        let grp = Group::default_group();
+        // Deterministic nonce: k = HMAC(sk, message) mod q, retried with a
+        // counter in the (cryptographically negligible) zero case.
+        let sk_bytes = self.secret.to_be_bytes();
+        let mut counter = 0u8;
+        let k = loop {
+            let mut keyed = Vec::with_capacity(message.len() + 1);
+            keyed.extend_from_slice(message);
+            keyed.push(counter);
+            let k = U256::from_be_bytes(&hmac_sha256(&sk_bytes, &keyed)).rem(&grp.q);
+            if !k.is_zero() {
+                break k;
+            }
+            counter = counter.wrapping_add(1);
+        };
+        let r = grp.pow_g(&k);
+        let e = challenge(&r, message, &grp.q);
+        // s = k + e * sk mod q
+        let s = mod_add(&k, &mod_mul(&e, &self.secret, &grp.q), &grp.q);
+        Signature { e, s }
+    }
+}
+
+impl VerifyingKey {
+    /// Returns the key's group element.
+    pub fn element(&self) -> U256 {
+        self.0
+    }
+
+    /// Encodes as 32 big-endian bytes.
+    pub fn to_bytes(&self) -> [u8; 32] {
+        self.0.to_be_bytes()
+    }
+
+    /// Decodes a key and validates group membership.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::InvalidKey`] if the element is not in the
+    /// prime-order subgroup.
+    pub fn from_bytes(bytes: &[u8; 32]) -> Result<Self, CryptoError> {
+        let elem = U256::from_be_bytes(bytes);
+        if Group::default_group().is_element(&elem) {
+            Ok(VerifyingKey(elem))
+        } else {
+            Err(CryptoError::InvalidKey)
+        }
+    }
+
+    /// Verifies `signature` over `message`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::InvalidSignature`] if verification fails.
+    pub fn verify(&self, message: &[u8], signature: &Signature) -> Result<(), CryptoError> {
+        let grp = Group::default_group();
+        if signature.s >= grp.q || signature.e >= grp.q {
+            return Err(CryptoError::InvalidSignature);
+        }
+        // r' = g^s * pk^(q - e)  (pk has order q, so pk^(q-e) = pk^(-e))
+        let neg_e = mod_sub(&grp.q, &signature.e, &grp.q);
+        let r_prime = grp.mul(&grp.pow_g(&signature.s), &grp.pow(&self.0, &neg_e));
+        let e_prime = challenge(&r_prime, message, &grp.q);
+        if e_prime == signature.e {
+            Ok(())
+        } else {
+            Err(CryptoError::InvalidSignature)
+        }
+    }
+}
+
+/// The Fiat-Shamir challenge: `H(r || m) mod q`.
+fn challenge(r: &U256, message: &[u8], q: &U256) -> U256 {
+    let mut h = Sha256::new();
+    h.update(&r.to_be_bytes());
+    h.update(message);
+    U256::from_be_bytes(&h.finalize()).rem(q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keypair(seed: u64) -> SigningKey {
+        SigningKey::generate(&mut Drbg::from_seed(seed))
+    }
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let sk = keypair(1);
+        let sig = sk.sign(b"attestation report");
+        assert!(sk.verifying_key().verify(b"attestation report", &sig).is_ok());
+    }
+
+    #[test]
+    fn rejects_wrong_message() {
+        let sk = keypair(2);
+        let sig = sk.sign(b"original");
+        assert_eq!(
+            sk.verifying_key().verify(b"tampered", &sig),
+            Err(CryptoError::InvalidSignature)
+        );
+    }
+
+    #[test]
+    fn rejects_wrong_key() {
+        let sk1 = keypair(3);
+        let sk2 = keypair(4);
+        let sig = sk1.sign(b"msg");
+        assert!(sk2.verifying_key().verify(b"msg", &sig).is_err());
+    }
+
+    #[test]
+    fn rejects_tampered_signature() {
+        let sk = keypair(5);
+        let mut sig = sk.sign(b"msg");
+        sig.s = mod_add(
+            &sig.s,
+            &U256::ONE,
+            &Group::default_group().q,
+        );
+        assert!(sk.verifying_key().verify(b"msg", &sig).is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_range_scalars() {
+        let sk = keypair(6);
+        let mut sig = sk.sign(b"msg");
+        sig.s = Group::default_group().q; // == q is invalid
+        assert!(sk.verifying_key().verify(b"msg", &sig).is_err());
+    }
+
+    #[test]
+    fn deterministic_signatures() {
+        let sk = keypair(7);
+        assert_eq!(sk.sign(b"m"), sk.sign(b"m"));
+        assert_ne!(sk.sign(b"m"), sk.sign(b"n"));
+    }
+
+    #[test]
+    fn signature_serialization_roundtrip() {
+        let sk = keypair(8);
+        let sig = sk.sign(b"serialize me");
+        let restored = Signature::from_bytes(&sig.to_bytes());
+        assert_eq!(sig, restored);
+        assert!(sk.verifying_key().verify(b"serialize me", &restored).is_ok());
+    }
+
+    #[test]
+    fn verifying_key_serialization() {
+        let sk = keypair(9);
+        let vk = sk.verifying_key();
+        let restored = VerifyingKey::from_bytes(&vk.to_bytes()).unwrap();
+        assert_eq!(vk, restored);
+        // An element outside the subgroup is rejected.
+        let bad = Group::default_group().p.wrapping_sub(&U256::ONE);
+        assert_eq!(
+            VerifyingKey::from_bytes(&bad.to_be_bytes()),
+            Err(CryptoError::InvalidKey)
+        );
+    }
+
+    #[test]
+    fn empty_message() {
+        let sk = keypair(10);
+        let sig = sk.sign(b"");
+        assert!(sk.verifying_key().verify(b"", &sig).is_ok());
+        assert!(sk.verifying_key().verify(b"x", &sig).is_err());
+    }
+
+    #[test]
+    fn debug_hides_secret() {
+        let sk = keypair(11);
+        let repr = format!("{:?}", sk);
+        assert!(!repr.contains("secret"));
+    }
+}

@@ -1,0 +1,226 @@
+//! The workload driver interface: how guest code is modelled.
+//!
+//! Each vCPU is driven by a [`WorkloadDriver`]. Whenever the vCPU has
+//! exhausted its previously requested compute time, the engine asks the
+//! driver for its [`VcpuAction`]. Drivers observe only what real guest
+//! code could observe: the current (wall-clock) simulation time and their
+//! own accumulated CPU time — which is exactly what the paper's covert
+//! channel receiver exploits to infer co-resident activity.
+
+use crate::ids::VcpuId;
+use crate::time::SimTime;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// What a vCPU does next, as decided by its workload driver.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VcpuAction {
+    /// Occupy the CPU for this much *virtual* (on-CPU) time, then ask the
+    /// driver again. Preemption transparently pauses and resumes the work.
+    Compute {
+        /// On-CPU microseconds to consume.
+        duration_us: u64,
+    },
+    /// Block (sleep). `Some(d)` sets a timer wake after `d` microseconds;
+    /// `None` blocks indefinitely until an IPI arrives.
+    Block {
+        /// Timer duration, or `None` to wait for an IPI.
+        duration_us: Option<u64>,
+    },
+    /// Send an inter-processor interrupt to the `target_index`-th vCPU of
+    /// the same VM, then immediately ask the driver again. IPIs wake
+    /// blocked vCPUs and trigger the credit scheduler's BOOST mechanism.
+    SendIpi {
+        /// Target vCPU index within this VM.
+        target_index: usize,
+    },
+    /// Voluntarily yield the CPU (go to the back of the run queue) while
+    /// remaining runnable.
+    Yield,
+    /// Stop executing permanently (the guest program finished).
+    Halt,
+}
+
+/// Why a blocked vCPU woke up.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WakeReason {
+    /// A timer set by `Block { duration_us: Some(_) }` expired.
+    Timer,
+    /// Another vCPU sent an IPI.
+    Ipi,
+}
+
+/// Read-only view the engine exposes to drivers — the information real
+/// guest code could legitimately obtain.
+#[derive(Clone, Copy, Debug)]
+pub struct VcpuView {
+    /// This vCPU's identity.
+    pub id: VcpuId,
+    /// Current simulation (wall-clock) time.
+    pub now: SimTime,
+    /// Total on-CPU time this vCPU has consumed, in microseconds.
+    pub cpu_time_us: u64,
+}
+
+/// A guest workload. Implementations decide the compute/block/IPI pattern
+/// of one vCPU.
+pub trait WorkloadDriver {
+    /// Called whenever the vCPU needs a new action: at first schedule, and
+    /// after each completed `Compute`, `Block` wake, `Yield` re-schedule or
+    /// `SendIpi`.
+    fn next_action(&mut self, view: &VcpuView) -> VcpuAction;
+
+    /// Notification that the vCPU woke from a `Block` (before the next
+    /// `next_action` call).
+    fn on_wake(&mut self, _view: &VcpuView, _reason: WakeReason) {}
+}
+
+/// A driver that computes forever in fixed-size chunks — the busiest
+/// possible guest. A benign CPU-bound VM under the credit scheduler shows
+/// the paper's single 30 ms peak in its usage-interval histogram.
+#[derive(Clone, Debug)]
+pub struct BusyLoop {
+    chunk_us: u64,
+}
+
+impl BusyLoop {
+    /// Creates a busy loop that requests compute in `chunk_us` chunks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_us` is zero.
+    pub fn new(chunk_us: u64) -> Self {
+        assert!(chunk_us > 0, "chunk must be positive");
+        BusyLoop { chunk_us }
+    }
+}
+
+impl Default for BusyLoop {
+    fn default() -> Self {
+        BusyLoop::new(1_000)
+    }
+}
+
+impl WorkloadDriver for BusyLoop {
+    fn next_action(&mut self, _view: &VcpuView) -> VcpuAction {
+        VcpuAction::Compute {
+            duration_us: self.chunk_us,
+        }
+    }
+}
+
+/// A driver that never runs: blocks indefinitely immediately.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct IdleDriver;
+
+impl WorkloadDriver for IdleDriver {
+    fn next_action(&mut self, _view: &VcpuView) -> VcpuAction {
+        VcpuAction::Block { duration_us: None }
+    }
+}
+
+/// A driver that halts at first schedule.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct HaltDriver;
+
+impl WorkloadDriver for HaltDriver {
+    fn next_action(&mut self, _view: &VcpuView) -> VcpuAction {
+        VcpuAction::Halt
+    }
+}
+
+/// A driver scripted with a fixed sequence of actions, then halting.
+/// Useful for deterministic scheduler tests.
+#[derive(Clone, Debug)]
+pub struct ScriptedDriver {
+    actions: std::collections::VecDeque<VcpuAction>,
+}
+
+impl ScriptedDriver {
+    /// Creates a driver that performs `actions` in order, then halts.
+    pub fn new<I: IntoIterator<Item = VcpuAction>>(actions: I) -> Self {
+        ScriptedDriver {
+            actions: actions.into_iter().collect(),
+        }
+    }
+}
+
+impl WorkloadDriver for ScriptedDriver {
+    fn next_action(&mut self, _view: &VcpuView) -> VcpuAction {
+        self.actions.pop_front().unwrap_or(VcpuAction::Halt)
+    }
+}
+
+/// Shared handle type used by drivers that need to export observations
+/// (e.g. completion times, gap measurements) to the test or benchmark that
+/// owns the simulation. The simulator is single-threaded, so `Rc<RefCell>`
+/// is sufficient.
+pub type Shared<T> = Rc<RefCell<T>>;
+
+/// Convenience constructor for [`Shared`] state.
+pub fn shared<T>(value: T) -> Shared<T> {
+    Rc::new(RefCell::new(value))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::VmId;
+
+    fn view() -> VcpuView {
+        VcpuView {
+            id: VcpuId {
+                vm: VmId(0),
+                index: 0,
+            },
+            now: SimTime::ZERO,
+            cpu_time_us: 0,
+        }
+    }
+
+    #[test]
+    fn busy_loop_requests_compute() {
+        let mut d = BusyLoop::new(500);
+        assert_eq!(
+            d.next_action(&view()),
+            VcpuAction::Compute { duration_us: 500 }
+        );
+    }
+
+    #[test]
+    fn idle_blocks_forever() {
+        let mut d = IdleDriver;
+        assert_eq!(
+            d.next_action(&view()),
+            VcpuAction::Block { duration_us: None }
+        );
+    }
+
+    #[test]
+    fn scripted_sequence_then_halt() {
+        let mut d = ScriptedDriver::new([
+            VcpuAction::Compute { duration_us: 10 },
+            VcpuAction::Yield,
+        ]);
+        assert_eq!(
+            d.next_action(&view()),
+            VcpuAction::Compute { duration_us: 10 }
+        );
+        assert_eq!(d.next_action(&view()), VcpuAction::Yield);
+        assert_eq!(d.next_action(&view()), VcpuAction::Halt);
+        assert_eq!(d.next_action(&view()), VcpuAction::Halt);
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk must be positive")]
+    fn busy_loop_rejects_zero() {
+        let _ = BusyLoop::new(0);
+    }
+
+    #[test]
+    fn shared_state_roundtrip() {
+        let s = shared(vec![1, 2]);
+        s.borrow_mut().push(3);
+        assert_eq!(*s.borrow(), vec![1, 2, 3]);
+    }
+}

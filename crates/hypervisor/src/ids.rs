@@ -1,0 +1,69 @@
+//! Identifier newtypes for the hypervisor simulator.
+
+use std::fmt;
+
+/// A physical CPU index on a simulated server.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct PcpuId(pub usize);
+
+impl fmt::Display for PcpuId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pcpu{}", self.0)
+    }
+}
+
+/// A virtual machine identifier, unique within one simulated server.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct VmId(pub u32);
+
+impl fmt::Display for VmId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "vm{}", self.0)
+    }
+}
+
+/// A virtual CPU: the `index`-th vCPU of VM `vm`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct VcpuId {
+    /// Owning VM.
+    pub vm: VmId,
+    /// Index within the VM.
+    pub index: usize,
+}
+
+impl fmt::Display for VcpuId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.vcpu{}", self.vm, self.index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(PcpuId(2).to_string(), "pcpu2");
+        assert_eq!(VmId(7).to_string(), "vm7");
+        assert_eq!(
+            VcpuId {
+                vm: VmId(7),
+                index: 1
+            }
+            .to_string(),
+            "vm7.vcpu1"
+        );
+    }
+
+    #[test]
+    fn equality_and_hash() {
+        use std::collections::HashSet;
+        let a = VcpuId { vm: VmId(1), index: 0 };
+        let b = VcpuId { vm: VmId(1), index: 0 };
+        let c = VcpuId { vm: VmId(1), index: 1 };
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        let set: HashSet<_> = [a, b, c].into_iter().collect();
+        assert_eq!(set.len(), 2);
+    }
+}

@@ -1,0 +1,145 @@
+//! The VM Introspection tool (Section 2.1 and Case Study II): a
+//! hypervisor-level monitor that probes a target VM's memory to extract
+//! its kernel state from *outside* the VM — so even a compromised guest OS
+//! cannot hide from it.
+
+use crate::engine::ServerSim;
+use crate::guest::GuestTask;
+use crate::ids::VmId;
+
+/// Errors from introspection requests.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum VmiError {
+    /// The target VM does not exist on this server.
+    UnknownVm,
+}
+
+impl std::fmt::Display for VmiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VmiError::UnknownVm => write!(f, "target VM not present on this server"),
+        }
+    }
+}
+
+impl std::error::Error for VmiError {}
+
+/// The VM introspection tool bound to one simulated server.
+#[derive(Debug)]
+pub struct VmiTool<'a> {
+    sim: &'a ServerSim,
+}
+
+impl<'a> VmiTool<'a> {
+    /// Attaches the tool to a server.
+    pub fn new(sim: &'a ServerSim) -> Self {
+        VmiTool { sim }
+    }
+
+    /// Reads the *kernel* task list of `vm` from guest memory. Hidden
+    /// (rootkit-concealed) tasks are included — that is the point.
+    ///
+    /// # Errors
+    ///
+    /// [`VmiError::UnknownVm`] if the VM is not on this server.
+    pub fn kernel_task_list(&self, vm: VmId) -> Result<Vec<GuestTask>, VmiError> {
+        self.sim
+            .vm(vm)
+            .map(|v| v.guest.kernel_tasks().to_vec())
+            .ok_or(VmiError::UnknownVm)
+    }
+
+    /// What the guest itself would report (after rootkit filtering) — used
+    /// to compute the discrepancy that reveals hidden malware.
+    ///
+    /// # Errors
+    ///
+    /// [`VmiError::UnknownVm`] if the VM is not on this server.
+    pub fn guest_visible_task_list(&self, vm: VmId) -> Result<Vec<GuestTask>, VmiError> {
+        self.sim
+            .vm(vm)
+            .map(|v| v.guest.visible_tasks())
+            .ok_or(VmiError::UnknownVm)
+    }
+
+    /// Tasks present in the kernel list but hidden from guest queries —
+    /// direct evidence of a rootkit.
+    ///
+    /// # Errors
+    ///
+    /// [`VmiError::UnknownVm`] if the VM is not on this server.
+    pub fn hidden_tasks(&self, vm: VmId) -> Result<Vec<GuestTask>, VmiError> {
+        Ok(self
+            .kernel_task_list(vm)?
+            .into_iter()
+            .filter(|t| t.hidden)
+            .collect())
+    }
+
+    /// SHA-256 of the VM image the guest booted from (startup integrity
+    /// measurement input).
+    ///
+    /// # Errors
+    ///
+    /// [`VmiError::UnknownVm`] if the VM is not on this server.
+    pub fn image_hash(&self, vm: VmId) -> Result<[u8; 32], VmiError> {
+        self.sim
+            .vm(vm)
+            .map(|v| v.guest.image_hash())
+            .ok_or(VmiError::UnknownVm)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::IdleDriver;
+    use crate::guest::GuestOs;
+    use crate::scheduler::SchedParams;
+    use crate::vm::VmConfig;
+
+    fn sim_with_vm() -> (ServerSim, VmId) {
+        let mut sim = ServerSim::new(1, SchedParams::default());
+        let guest = GuestOs::boot(b"image".to_vec(), &["init", "sshd"]);
+        let vm = sim.create_vm(VmConfig::new("target", vec![Box::new(IdleDriver)]).guest(guest));
+        (sim, vm)
+    }
+
+    #[test]
+    fn sees_all_kernel_tasks() {
+        let (mut sim, vm) = sim_with_vm();
+        sim.vm_mut(vm).unwrap().guest.spawn_task("rootkit-svc", true);
+        let vmi = VmiTool::new(&sim);
+        assert_eq!(vmi.kernel_task_list(vm).unwrap().len(), 3);
+        assert_eq!(vmi.guest_visible_task_list(vm).unwrap().len(), 2);
+        let hidden = vmi.hidden_tasks(vm).unwrap();
+        assert_eq!(hidden.len(), 1);
+        assert_eq!(hidden[0].name, "rootkit-svc");
+    }
+
+    #[test]
+    fn clean_vm_has_no_hidden_tasks() {
+        let (sim, vm) = sim_with_vm();
+        let vmi = VmiTool::new(&sim);
+        assert!(vmi.hidden_tasks(vm).unwrap().is_empty());
+    }
+
+    #[test]
+    fn unknown_vm_errors() {
+        let (sim, _) = sim_with_vm();
+        let vmi = VmiTool::new(&sim);
+        assert_eq!(vmi.kernel_task_list(VmId(42)), Err(VmiError::UnknownVm));
+        assert_eq!(vmi.image_hash(VmId(42)), Err(VmiError::UnknownVm));
+    }
+
+    #[test]
+    fn image_hash_matches_guest() {
+        let (sim, vm) = sim_with_vm();
+        let vmi = VmiTool::new(&sim);
+        assert_eq!(
+            vmi.image_hash(vm).unwrap(),
+            sim.vm(vm).unwrap().guest.image_hash()
+        );
+    }
+}

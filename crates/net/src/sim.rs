@@ -1,0 +1,338 @@
+//! The simulated network joining the four CloudMonatt entities, with
+//! Dolev-Yao attacker hooks: the adversary "has full control of the
+//! network between different servers … able to eavesdrop as well as
+//! falsify the attestation messages" (Section 3.3).
+//!
+//! Transmission is synchronous (the architecture's flows are
+//! request/response RPCs); each transmit reports the latency it would have
+//! taken, which the core crate's latency model accumulates into the
+//! end-to-end timings of Figures 9-11.
+
+use std::collections::VecDeque;
+
+/// What the attacker does to a message in flight.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Intercept {
+    /// Deliver unmodified.
+    Pass,
+    /// Deliver a substituted payload.
+    Modify(Vec<u8>),
+    /// Drop the message (receiver sees nothing).
+    Drop,
+}
+
+/// A Dolev-Yao network adversary. Implementations see every message and
+/// decide its fate.
+pub trait NetworkAttacker {
+    /// Called for each message in flight.
+    fn intercept(&mut self, from: &str, to: &str, payload: &[u8]) -> Intercept;
+}
+
+/// A record of one transmission, kept in the network log.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TransmitRecord {
+    /// Sender endpoint name.
+    pub from: String,
+    /// Receiver endpoint name.
+    pub to: String,
+    /// Bytes as submitted by the sender.
+    pub sent: Vec<u8>,
+    /// Bytes as delivered (`None` if dropped).
+    pub delivered: Option<Vec<u8>>,
+    /// Simulated latency of the transmission, microseconds.
+    pub latency_us: u64,
+}
+
+/// A latency model: fixed per-message cost plus a per-kilobyte cost.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LatencyModel {
+    /// Base per-message latency (propagation + protocol overhead).
+    pub base_us: u64,
+    /// Additional latency per kilobyte of payload.
+    pub per_kb_us: u64,
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        // ~0.3 ms base on a LAN plus 1 Gbps-ish serialization cost
+        // (8 us/KB).
+        LatencyModel {
+            base_us: 300,
+            per_kb_us: 8,
+        }
+    }
+}
+
+impl LatencyModel {
+    /// Latency for a payload of `len` bytes.
+    pub fn latency_for(&self, len: usize) -> u64 {
+        self.base_us + (len as u64).div_ceil(1024) * self.per_kb_us
+    }
+}
+
+/// Delivery outcome of a transmit.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Delivery {
+    /// Delivered bytes, or `None` if the attacker dropped the message.
+    pub payload: Option<Vec<u8>>,
+    /// Simulated transmission latency.
+    pub latency_us: u64,
+}
+
+/// The simulated network.
+pub struct SimNetwork {
+    latency: LatencyModel,
+    attacker: Option<Box<dyn NetworkAttacker>>,
+    log: Vec<TransmitRecord>,
+}
+
+impl std::fmt::Debug for SimNetwork {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimNetwork")
+            .field("latency", &self.latency)
+            .field("messages", &self.log.len())
+            .field("attacker", &self.attacker.is_some())
+            .finish()
+    }
+}
+
+impl Default for SimNetwork {
+    fn default() -> Self {
+        Self::new(LatencyModel::default())
+    }
+}
+
+impl SimNetwork {
+    /// Creates a benign network with the given latency model.
+    pub fn new(latency: LatencyModel) -> Self {
+        SimNetwork {
+            latency,
+            attacker: None,
+            log: Vec::new(),
+        }
+    }
+
+    /// Installs (or replaces) the network adversary.
+    pub fn set_attacker(&mut self, attacker: Box<dyn NetworkAttacker>) {
+        self.attacker = Some(attacker);
+    }
+
+    /// Removes the adversary.
+    pub fn clear_attacker(&mut self) {
+        self.attacker = None;
+    }
+
+    /// Transmits `payload` from `from` to `to`, applying the adversary.
+    pub fn transmit(&mut self, from: &str, to: &str, payload: &[u8]) -> Delivery {
+        let action = match &mut self.attacker {
+            Some(att) => att.intercept(from, to, payload),
+            None => Intercept::Pass,
+        };
+        let delivered = match action {
+            Intercept::Pass => Some(payload.to_vec()),
+            Intercept::Modify(m) => Some(m),
+            Intercept::Drop => None,
+        };
+        let latency_us = self
+            .latency
+            .latency_for(delivered.as_ref().map_or(payload.len(), Vec::len));
+        self.log.push(TransmitRecord {
+            from: from.to_owned(),
+            to: to.to_owned(),
+            sent: payload.to_vec(),
+            delivered: delivered.clone(),
+            latency_us,
+        });
+        Delivery {
+            payload: delivered,
+            latency_us,
+        }
+    }
+
+    /// The full transmission log.
+    pub fn log(&self) -> &[TransmitRecord] {
+        &self.log
+    }
+
+    /// The latency model in use.
+    pub fn latency_model(&self) -> LatencyModel {
+        self.latency
+    }
+}
+
+/// A passive eavesdropper: records copies of everything, passes all
+/// messages through. Used to check confidentiality properties.
+#[derive(Debug, Default)]
+pub struct Eavesdropper {
+    /// Captured payloads in transmission order.
+    pub captured: Vec<Vec<u8>>,
+}
+
+impl NetworkAttacker for Eavesdropper {
+    fn intercept(&mut self, _from: &str, _to: &str, payload: &[u8]) -> Intercept {
+        self.captured.push(payload.to_vec());
+        Intercept::Pass
+    }
+}
+
+/// An active tamperer: flips a byte in every message between the
+/// configured endpoints.
+#[derive(Debug)]
+pub struct Tamperer {
+    /// Only tamper with messages whose destination contains this string
+    /// (empty = all).
+    pub target_to: String,
+    /// How many messages were modified.
+    pub modified: u64,
+}
+
+impl Tamperer {
+    /// Tampers with every message to destinations matching `target_to`.
+    pub fn new(target_to: &str) -> Self {
+        Tamperer {
+            target_to: target_to.to_owned(),
+            modified: 0,
+        }
+    }
+}
+
+impl NetworkAttacker for Tamperer {
+    fn intercept(&mut self, _from: &str, to: &str, payload: &[u8]) -> Intercept {
+        if !self.target_to.is_empty() && !to.contains(&self.target_to) {
+            return Intercept::Pass;
+        }
+        if payload.is_empty() {
+            return Intercept::Pass;
+        }
+        let mut m = payload.to_vec();
+        let mid = m.len() / 2;
+        m[mid] ^= 0x01;
+        self.modified += 1;
+        Intercept::Modify(m)
+    }
+}
+
+/// A replay attacker: records messages to a target, and from the `replay_after`-th
+/// message onward replaces each new message with the first recorded one.
+#[derive(Debug)]
+pub struct Replayer {
+    target_to: String,
+    recorded: VecDeque<Vec<u8>>,
+    seen: u64,
+    replay_after: u64,
+    /// How many replays were injected.
+    pub replayed: u64,
+}
+
+impl Replayer {
+    /// Replays the first captured message (to destinations matching
+    /// `target_to`) in place of every message after the first
+    /// `replay_after`.
+    pub fn new(target_to: &str, replay_after: u64) -> Self {
+        Replayer {
+            target_to: target_to.to_owned(),
+            recorded: VecDeque::new(),
+            seen: 0,
+            replay_after,
+            replayed: 0,
+        }
+    }
+}
+
+impl NetworkAttacker for Replayer {
+    fn intercept(&mut self, _from: &str, to: &str, payload: &[u8]) -> Intercept {
+        if !self.target_to.is_empty() && !to.contains(&self.target_to) {
+            return Intercept::Pass;
+        }
+        self.seen += 1;
+        self.recorded.push_back(payload.to_vec());
+        if self.seen > self.replay_after {
+            if let Some(old) = self.recorded.front() {
+                self.replayed += 1;
+                return Intercept::Modify(old.clone());
+            }
+        }
+        Intercept::Pass
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benign_delivery() {
+        let mut net = SimNetwork::default();
+        let d = net.transmit("customer", "controller", b"hello");
+        assert_eq!(d.payload.as_deref(), Some(b"hello".as_slice()));
+        assert!(d.latency_us >= 300);
+        assert_eq!(net.log().len(), 1);
+        assert_eq!(net.log()[0].from, "customer");
+    }
+
+    #[test]
+    fn latency_scales_with_size() {
+        let model = LatencyModel {
+            base_us: 100,
+            per_kb_us: 10,
+        };
+        assert_eq!(model.latency_for(0), 100);
+        assert_eq!(model.latency_for(1), 110);
+        assert_eq!(model.latency_for(1024), 110);
+        assert_eq!(model.latency_for(1025), 120);
+        assert_eq!(model.latency_for(10 * 1024), 200);
+    }
+
+    #[test]
+    fn eavesdropper_sees_but_passes() {
+        let mut net = SimNetwork::default();
+        net.set_attacker(Box::new(Eavesdropper::default()));
+        let d = net.transmit("a", "b", b"payload");
+        assert_eq!(d.payload.as_deref(), Some(b"payload".as_slice()));
+    }
+
+    #[test]
+    fn tamperer_modifies_targeted_messages() {
+        let mut net = SimNetwork::default();
+        net.set_attacker(Box::new(Tamperer::new("server")));
+        let d = net.transmit("attestation", "cloud-server-1", b"request");
+        assert_ne!(d.payload.as_deref(), Some(b"request".as_slice()));
+        let d2 = net.transmit("customer", "controller", b"request");
+        assert_eq!(d2.payload.as_deref(), Some(b"request".as_slice()));
+    }
+
+    #[test]
+    fn replayer_replays_first_message() {
+        let mut net = SimNetwork::default();
+        net.set_attacker(Box::new(Replayer::new("", 1)));
+        let d1 = net.transmit("a", "b", b"first");
+        assert_eq!(d1.payload.as_deref(), Some(b"first".as_slice()));
+        let d2 = net.transmit("a", "b", b"second");
+        assert_eq!(d2.payload.as_deref(), Some(b"first".as_slice()));
+    }
+
+    #[test]
+    fn drop_is_logged() {
+        struct Dropper;
+        impl NetworkAttacker for Dropper {
+            fn intercept(&mut self, _: &str, _: &str, _: &[u8]) -> Intercept {
+                Intercept::Drop
+            }
+        }
+        let mut net = SimNetwork::default();
+        net.set_attacker(Box::new(Dropper));
+        let d = net.transmit("a", "b", b"gone");
+        assert_eq!(d.payload, None);
+        assert_eq!(net.log()[0].delivered, None);
+    }
+
+    #[test]
+    fn clear_attacker_restores_benign() {
+        let mut net = SimNetwork::default();
+        net.set_attacker(Box::new(Tamperer::new("")));
+        net.transmit("a", "b", b"x");
+        net.clear_attacker();
+        let d = net.transmit("a", "b", b"y");
+        assert_eq!(d.payload.as_deref(), Some(b"y".as_slice()));
+    }
+}

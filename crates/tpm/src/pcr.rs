@@ -1,0 +1,194 @@
+//! Platform Configuration Registers (PCRs) with TPM extend semantics and a
+//! measurement event log.
+//!
+//! The paper's Integrity Measurement Unit accumulates hashes of software
+//! loaded onto the platform, in load order (Section 4.2.2). A PCR can only
+//! be *extended* — `pcr = SHA256(pcr || digest)` — never set, so the final
+//! value commits to the entire load sequence.
+
+use monatt_crypto::sha256::{Sha256, DIGEST_LEN};
+use std::fmt;
+
+/// Number of PCRs in a bank (matches TPM 1.2).
+pub const PCR_COUNT: usize = 24;
+
+/// A 32-byte measurement digest.
+pub type Digest = [u8; DIGEST_LEN];
+
+/// One entry in the measurement log: which PCR was extended, with what
+/// digest, and a human-readable description of the measured component.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MeasurementEvent {
+    /// The PCR index that was extended.
+    pub pcr_index: usize,
+    /// Digest of the measured component.
+    pub digest: Digest,
+    /// Description, e.g. `"hypervisor"` or `"vm-image:ubuntu"`.
+    pub description: String,
+}
+
+/// A bank of PCRs plus the event log that explains their values.
+///
+/// # Examples
+///
+/// ```
+/// use monatt_tpm::pcr::PcrBank;
+/// use monatt_crypto::sha256::sha256;
+///
+/// let mut bank = PcrBank::new();
+/// bank.extend(0, sha256(b"hypervisor v4.4"), "hypervisor");
+/// assert_ne!(bank.read(0), PcrBank::initial_value());
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct PcrBank {
+    pcrs: [Digest; PCR_COUNT],
+    log: Vec<MeasurementEvent>,
+}
+
+impl fmt::Debug for PcrBank {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PcrBank")
+            .field("events", &self.log.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for PcrBank {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PcrBank {
+    /// Creates a bank with all PCRs at the initial (all-zero) value.
+    pub fn new() -> Self {
+        PcrBank {
+            pcrs: [[0u8; DIGEST_LEN]; PCR_COUNT],
+            log: Vec::new(),
+        }
+    }
+
+    /// The reset value of every PCR.
+    pub fn initial_value() -> Digest {
+        [0u8; DIGEST_LEN]
+    }
+
+    /// Extends PCR `index` with `digest`: `pcr = SHA256(pcr || digest)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= PCR_COUNT`.
+    pub fn extend(&mut self, index: usize, digest: Digest, description: &str) {
+        assert!(index < PCR_COUNT, "PCR index out of range");
+        let mut h = Sha256::new();
+        h.update(&self.pcrs[index]);
+        h.update(&digest);
+        self.pcrs[index] = h.finalize();
+        self.log.push(MeasurementEvent {
+            pcr_index: index,
+            digest,
+            description: description.to_owned(),
+        });
+    }
+
+    /// Reads PCR `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= PCR_COUNT`.
+    pub fn read(&self, index: usize) -> Digest {
+        assert!(index < PCR_COUNT, "PCR index out of range");
+        self.pcrs[index]
+    }
+
+    /// Returns the measurement event log, oldest first.
+    pub fn log(&self) -> &[MeasurementEvent] {
+        &self.log
+    }
+
+    /// Resets every PCR and clears the log (platform reboot).
+    pub fn reset(&mut self) {
+        self.pcrs = [[0u8; DIGEST_LEN]; PCR_COUNT];
+        self.log.clear();
+    }
+
+    /// Recomputes the expected value of PCR `index` by replaying `digests`
+    /// from the initial value. Used by appraisers to validate a reported
+    /// PCR against a reference load sequence.
+    pub fn replay(digests: &[Digest]) -> Digest {
+        let mut acc = Self::initial_value();
+        for d in digests {
+            let mut h = Sha256::new();
+            h.update(&acc);
+            h.update(d);
+            acc = h.finalize();
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use monatt_crypto::sha256::sha256;
+
+    #[test]
+    fn starts_zeroed() {
+        let bank = PcrBank::new();
+        for i in 0..PCR_COUNT {
+            assert_eq!(bank.read(i), PcrBank::initial_value());
+        }
+        assert!(bank.log().is_empty());
+    }
+
+    #[test]
+    fn extend_changes_value_and_logs() {
+        let mut bank = PcrBank::new();
+        let d = sha256(b"component");
+        bank.extend(3, d, "component");
+        assert_ne!(bank.read(3), PcrBank::initial_value());
+        assert_eq!(bank.read(0), PcrBank::initial_value());
+        assert_eq!(bank.log().len(), 1);
+        assert_eq!(bank.log()[0].pcr_index, 3);
+        assert_eq!(bank.log()[0].description, "component");
+    }
+
+    #[test]
+    fn extend_order_matters() {
+        let mut a = PcrBank::new();
+        let mut b = PcrBank::new();
+        let d1 = sha256(b"one");
+        let d2 = sha256(b"two");
+        a.extend(0, d1, "1");
+        a.extend(0, d2, "2");
+        b.extend(0, d2, "2");
+        b.extend(0, d1, "1");
+        assert_ne!(a.read(0), b.read(0));
+    }
+
+    #[test]
+    fn replay_matches_extend() {
+        let mut bank = PcrBank::new();
+        let digests = [sha256(b"a"), sha256(b"b"), sha256(b"c")];
+        for d in &digests {
+            bank.extend(7, *d, "x");
+        }
+        assert_eq!(PcrBank::replay(&digests), bank.read(7));
+        assert_eq!(PcrBank::replay(&[]), PcrBank::initial_value());
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut bank = PcrBank::new();
+        bank.extend(0, sha256(b"x"), "x");
+        bank.reset();
+        assert_eq!(bank.read(0), PcrBank::initial_value());
+        assert!(bank.log().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "PCR index out of range")]
+    fn extend_out_of_range_panics() {
+        PcrBank::new().extend(PCR_COUNT, [0; 32], "bad");
+    }
+}

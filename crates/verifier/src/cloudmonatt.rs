@@ -1,0 +1,549 @@
+//! The CloudMonatt attestation protocol (Figure 3) as a symbolic model,
+//! with the weakened variants used to demonstrate that each protocol
+//! ingredient is load-bearing.
+//!
+//! Entities: Customer (C), Cloud Controller (CC), Attestation Server (AS),
+//! Cloud Server (CS). Message flow:
+//!
+//! ```text
+//! C  -> CC : { Vid, P, N1 }Kx
+//! CC -> AS : { Vid, I, P, N2 }Ky
+//! AS -> CS : { Vid, rM, N3 }Kz
+//! CS -> AS : { [ Vid, rM, M, N3, Q3 ]ASKs }Kz   Q3 = H(Vid,rM,M,N3)
+//! AS -> CC : { [ Vid, I, P, R, N2, Q2 ]SKa }Ky  Q2 = H(Vid,I,P,R,N2)
+//! CC -> C  : { [ Vid, P, R, N1, Q1 ]SKc }Kx     Q1 = H(Vid,P,R,N1)
+//! ```
+//!
+//! Verified properties (Section 7.2.2): secrecy of the session keys,
+//! private keys, property P, measurements M and report R; integrity /
+//! authentication as correspondence assertions (the report the customer
+//! accepts is the report the Attestation Server issued; the measurement
+//! the Attestation Server accepts is the one the Cloud Server's Trust
+//! Module produced).
+
+use crate::protocol::{Bindings, Pat, Protocol, Role, Step};
+use crate::search::{verify, Correspondence, Properties, SearchConfig, VerifyOutcome};
+use crate::term::{Kind, Term};
+
+/// Configuration of the protocol model — the full protocol and its
+/// weakened ablations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ModelConfig {
+    /// Sign the measurement/report messages (quotes) — the unforgeability
+    /// ingredient.
+    pub sign_quotes: bool,
+    /// Encrypt every hop with its session key — the secrecy ingredient.
+    pub encrypt_channels: bool,
+    /// Include nonces in the signed quotes — the freshness ingredient.
+    pub include_nonces: bool,
+    /// Use a fresh per-session attestation key ASKs (the paper's design)
+    /// instead of a long-term server signing key.
+    pub fresh_attestation_key: bool,
+    /// The attacker has compromised the cloud server's host VM and knows
+    /// the session key Kz of the AS↔CS hop.
+    pub leak_kz: bool,
+    /// The attacker recorded a complete previous attestation session
+    /// (for replay attacks).
+    pub preload_old_session: bool,
+}
+
+impl ModelConfig {
+    /// The full CloudMonatt protocol as deployed.
+    pub fn full() -> Self {
+        ModelConfig {
+            sign_quotes: true,
+            encrypt_channels: true,
+            include_nonces: true,
+            fresh_attestation_key: true,
+            leak_kz: false,
+            preload_old_session: false,
+        }
+    }
+
+    /// Full protocol facing a stronger adversary who recorded an old
+    /// session and compromised the server-hop session key.
+    pub fn full_under_strong_adversary() -> Self {
+        ModelConfig {
+            leak_kz: true,
+            preload_old_session: true,
+            ..Self::full()
+        }
+    }
+}
+
+fn maybe_senc(cfg: &ModelConfig, inner: Pat, key: Term) -> Pat {
+    if cfg.encrypt_channels {
+        Pat::senc(inner, Pat::lit(key))
+    } else {
+        inner
+    }
+}
+
+fn maybe_sign(cfg: &ModelConfig, inner: Pat, key: Term) -> Pat {
+    if cfg.sign_quotes {
+        Pat::sign(inner, Pat::lit(key))
+    } else {
+        inner
+    }
+}
+
+/// Builds a quoted tuple: the fields followed by their hash (the quote).
+fn quoted(fields: &[Pat]) -> Pat {
+    let mut parts = fields.to_vec();
+    parts.push(Pat::hash(Pat::tuple(fields)));
+    Pat::tuple(&parts)
+}
+
+/// Builds the protocol, properties and the attacker's initial knowledge
+/// for a model configuration.
+pub fn build(cfg: &ModelConfig) -> (Protocol, Properties, Vec<Term>) {
+    // Long-term values.
+    let vid = Term::id("vid");
+    let srv = Term::id("server_i");
+    let kx = Term::key("kx");
+    let ky = Term::key("ky");
+    let kz = Term::key("kz");
+    let skc = Term::key("skc");
+    let ska = Term::key("ska");
+    let asks = if cfg.fresh_attestation_key {
+        Term::key("asks_session")
+    } else {
+        Term::key("sks_longterm")
+    };
+    let n1 = Term::nonce("n1");
+    let n2 = Term::nonce("n2");
+    let n3 = Term::nonce("n3");
+    let prop = Term::data("prop_p");
+    let rm = Term::data("raw_measurement_spec");
+    let meas = Term::data("measurement_m");
+    let report = Term::data("report_r");
+
+    let lit = Pat::lit;
+
+    // --- Customer ---
+    let customer = Role {
+        name: "customer".into(),
+        initial: Bindings::new(),
+        steps: vec![
+            Step::Send(maybe_senc(
+                cfg,
+                Pat::tuple(&[lit(vid.clone()), lit(prop.clone()), lit(n1.clone())]),
+                kx.clone(),
+            )),
+            Step::Recv(maybe_senc(
+                cfg,
+                maybe_sign(
+                    cfg,
+                    quoted(&{
+                        let mut fields = vec![
+                            lit(vid.clone()),
+                            lit(prop.clone()),
+                            Pat::var("r_received", Kind::Data),
+                        ];
+                        if cfg.include_nonces {
+                            fields.push(lit(n1.clone()));
+                        }
+                        fields
+                    }),
+                    skc.clone(),
+                ),
+                kx.clone(),
+            )),
+            Step::Event(
+                "customer_accepts_report".into(),
+                vec![Pat::var("r_received", Kind::Data)],
+            ),
+        ],
+    };
+
+    // --- Cloud Controller ---
+    let controller = Role {
+        name: "controller".into(),
+        initial: Bindings::new(),
+        steps: vec![
+            Step::Recv(maybe_senc(
+                cfg,
+                Pat::tuple(&[
+                    Pat::var("c_vid", Kind::Id),
+                    Pat::var("c_p", Kind::Data),
+                    Pat::var("c_n1", Kind::Nonce),
+                ]),
+                kx.clone(),
+            )),
+            Step::Send(maybe_senc(
+                cfg,
+                Pat::tuple(&[
+                    Pat::var("c_vid", Kind::Id),
+                    lit(srv.clone()),
+                    Pat::var("c_p", Kind::Data),
+                    lit(n2.clone()),
+                ]),
+                ky.clone(),
+            )),
+            Step::Recv(maybe_senc(
+                cfg,
+                maybe_sign(
+                    cfg,
+                    quoted(&{
+                        let mut fields = vec![
+                            Pat::var("c_vid", Kind::Id),
+                            lit(srv.clone()),
+                            Pat::var("c_p", Kind::Data),
+                            Pat::var("c_r", Kind::Data),
+                        ];
+                        if cfg.include_nonces {
+                            fields.push(lit(n2.clone()));
+                        }
+                        fields
+                    }),
+                    ska.clone(),
+                ),
+                ky.clone(),
+            )),
+            Step::Send(maybe_senc(
+                cfg,
+                maybe_sign(
+                    cfg,
+                    quoted(&{
+                        let mut fields = vec![
+                            Pat::var("c_vid", Kind::Id),
+                            Pat::var("c_p", Kind::Data),
+                            Pat::var("c_r", Kind::Data),
+                        ];
+                        if cfg.include_nonces {
+                            fields.push(Pat::var("c_n1", Kind::Nonce));
+                        }
+                        fields
+                    }),
+                    skc.clone(),
+                ),
+                kx.clone(),
+            )),
+        ],
+    };
+
+    // --- Attestation Server ---
+    let attserver = Role {
+        name: "attserver".into(),
+        initial: Bindings::new(),
+        steps: vec![
+            Step::Recv(maybe_senc(
+                cfg,
+                Pat::tuple(&[
+                    Pat::var("a_vid", Kind::Id),
+                    Pat::var("a_i", Kind::Id),
+                    Pat::var("a_p", Kind::Data),
+                    Pat::var("a_n2", Kind::Nonce),
+                ]),
+                ky.clone(),
+            )),
+            Step::Send(maybe_senc(
+                cfg,
+                Pat::tuple(&[
+                    Pat::var("a_vid", Kind::Id),
+                    lit(rm.clone()),
+                    lit(n3.clone()),
+                ]),
+                kz.clone(),
+            )),
+            Step::Recv(maybe_senc(
+                cfg,
+                maybe_sign(
+                    cfg,
+                    quoted(&{
+                        let mut fields = vec![
+                            Pat::var("a_vid", Kind::Id),
+                            lit(rm.clone()),
+                            Pat::var("a_m", Kind::Data),
+                        ];
+                        if cfg.include_nonces {
+                            fields.push(lit(n3.clone()));
+                        }
+                        fields
+                    }),
+                    asks.clone(),
+                ),
+                kz.clone(),
+            )),
+            Step::Event(
+                "attserver_accepts_measurement".into(),
+                vec![Pat::var("a_m", Kind::Data)],
+            ),
+            Step::Event("attserver_issues_report".into(), vec![lit(report.clone())]),
+            Step::Send(maybe_senc(
+                cfg,
+                maybe_sign(
+                    cfg,
+                    quoted(&{
+                        let mut fields = vec![
+                            Pat::var("a_vid", Kind::Id),
+                            lit(srv.clone()),
+                            Pat::var("a_p", Kind::Data),
+                            lit(report.clone()),
+                        ];
+                        if cfg.include_nonces {
+                            fields.push(Pat::var("a_n2", Kind::Nonce));
+                        }
+                        fields
+                    }),
+                    ska.clone(),
+                ),
+                ky.clone(),
+            )),
+        ],
+    };
+
+    // --- Cloud Server (Trust Module + Attestation Client) ---
+    let server = Role {
+        name: "cloudserver".into(),
+        initial: Bindings::new(),
+        steps: vec![
+            Step::Recv(maybe_senc(
+                cfg,
+                Pat::tuple(&[
+                    Pat::var("s_vid", Kind::Id),
+                    Pat::var("s_rm", Kind::Data),
+                    Pat::var("s_n3", Kind::Nonce),
+                ]),
+                kz.clone(),
+            )),
+            Step::Event(
+                "server_reports_measurement".into(),
+                vec![lit(meas.clone())],
+            ),
+            Step::Send(maybe_senc(
+                cfg,
+                maybe_sign(
+                    cfg,
+                    quoted(&{
+                        let mut fields = vec![
+                            Pat::var("s_vid", Kind::Id),
+                            Pat::var("s_rm", Kind::Data),
+                            lit(meas.clone()),
+                        ];
+                        if cfg.include_nonces {
+                            fields.push(Pat::var("s_n3", Kind::Nonce));
+                        }
+                        fields
+                    }),
+                    asks.clone(),
+                ),
+                kz.clone(),
+            )),
+        ],
+    };
+
+    // Execution order of Figure 3 (role indices: 0=C, 1=CC, 2=AS, 3=CS).
+    let schedule = vec![
+        0, // C: send request
+        1, // CC: recv
+        1, // CC: forward to AS
+        2, // AS: recv
+        2, // AS: request measurements
+        3, // CS: recv
+        3, // CS: event (Trust Module measures)
+        3, // CS: send signed quote
+        2, // AS: recv quote
+        2, // AS: event accept measurement
+        2, // AS: event issue report
+        2, // AS: send report
+        1, // CC: recv report
+        1, // CC: send to customer
+        0, // C: recv report
+        0, // C: event accept report
+    ];
+
+    let protocol = Protocol {
+        roles: vec![customer, controller, attserver, server],
+        schedule,
+    };
+
+    let mut secrets = vec![kx, ky, skc, ska, asks.clone(), prop, meas.clone(), report];
+    if !cfg.leak_kz {
+        secrets.push(kz.clone());
+    }
+
+    let properties = Properties {
+        secrets,
+        correspondences: vec![
+            Correspondence {
+                commit: "customer_accepts_report".into(),
+                running: "attserver_issues_report".into(),
+            },
+            Correspondence {
+                commit: "attserver_accepts_measurement".into(),
+                running: "server_reports_measurement".into(),
+            },
+        ],
+    };
+
+    // Attacker's initial knowledge: public identities, plus leaks.
+    let mut initial = vec![vid.clone(), srv, Term::data("forged_report")];
+    if cfg.leak_kz {
+        initial.push(kz.clone());
+    }
+    if cfg.preload_old_session {
+        // The signed measurement message of a recorded earlier session.
+        let old_meas = Term::data("old_measurement");
+        let old_n3 = Term::nonce("old_n3");
+        let old_key = if cfg.fresh_attestation_key {
+            Term::key("asks_old_session")
+        } else {
+            asks
+        };
+        let mut fields = vec![vid, rm, old_meas];
+        if cfg.include_nonces {
+            fields.push(old_n3);
+        }
+        let mut quote_fields = fields.clone();
+        quote_fields.push(Term::hash(Term::tuple(&fields)));
+        let mut msg = Term::tuple(&quote_fields);
+        if cfg.sign_quotes {
+            msg = Term::sign(msg, old_key);
+        }
+        if cfg.encrypt_channels {
+            msg = Term::senc(msg, kz);
+        }
+        initial.push(msg);
+    }
+    (protocol, properties, initial)
+}
+
+/// Runs the verifier on a model configuration.
+pub fn verify_cloudmonatt(cfg: &ModelConfig) -> VerifyOutcome {
+    let (protocol, properties, initial) = build(cfg);
+    verify(&protocol, &initial, &properties, SearchConfig::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_protocol_verifies() {
+        let outcome = verify_cloudmonatt(&ModelConfig::full());
+        assert!(outcome.verified(), "violations: {:#?}", outcome.violations);
+    }
+
+    #[test]
+    fn full_protocol_survives_replay_and_kz_leak_except_hop_secrecy() {
+        // Even with a recorded old session and a compromised server-hop
+        // key, the signed quotes and nonces keep integrity: the only
+        // failures possible are secrecy of data carried on the leaked hop,
+        // which the model excludes from the secret list when kz leaks...
+        let outcome = verify_cloudmonatt(&ModelConfig::full_under_strong_adversary());
+        // ...except the measurement M, which does transit the kz hop.
+        let non_meas: Vec<_> = outcome
+            .violations
+            .iter()
+            .filter(|v| !v.detail.contains("measurement_m"))
+            .collect();
+        assert!(
+            non_meas.is_empty(),
+            "only M's hop secrecy may fail under a leaked Kz: {:#?}",
+            outcome.violations
+        );
+        // Integrity must hold: no correspondence violations.
+        assert!(outcome
+            .violations
+            .iter()
+            .all(|v| v.property != "correspondence"));
+    }
+
+    #[test]
+    fn unsigned_quotes_with_leaked_kz_are_forgeable() {
+        let cfg = ModelConfig {
+            sign_quotes: false,
+            leak_kz: true,
+            ..ModelConfig::full()
+        };
+        let outcome = verify_cloudmonatt(&cfg);
+        assert!(
+            outcome
+                .violations
+                .iter()
+                .any(|v| v.property == "correspondence"
+                    && v.detail.contains("attserver_accepts_measurement")),
+            "attacker should forge a measurement: {:#?}",
+            outcome.violations
+        );
+    }
+
+    #[test]
+    fn unencrypted_channels_leak_everything() {
+        let cfg = ModelConfig {
+            encrypt_channels: false,
+            ..ModelConfig::full()
+        };
+        let outcome = verify_cloudmonatt(&cfg);
+        let leaked: Vec<&str> = outcome
+            .violations
+            .iter()
+            .filter(|v| v.property == "secrecy")
+            .map(|v| v.detail.as_str())
+            .collect();
+        assert!(leaked.iter().any(|d| d.contains("prop_p")), "{leaked:?}");
+        assert!(leaked.iter().any(|d| d.contains("measurement_m")));
+        assert!(leaked.iter().any(|d| d.contains("report_r")));
+    }
+
+    #[test]
+    fn missing_nonces_with_longterm_key_allow_replay() {
+        let cfg = ModelConfig {
+            include_nonces: false,
+            fresh_attestation_key: false,
+            preload_old_session: true,
+            ..ModelConfig::full()
+        };
+        let outcome = verify_cloudmonatt(&cfg);
+        assert!(
+            outcome
+                .violations
+                .iter()
+                .any(|v| v.property == "correspondence"
+                    && v.detail.contains("old_measurement")),
+            "stale measurement should be replayable: {:#?}",
+            outcome.violations
+        );
+    }
+
+    #[test]
+    fn fresh_session_keys_block_replay_even_without_nonces() {
+        // Defence in depth: the per-session attestation key alone defeats
+        // cross-session replay.
+        let cfg = ModelConfig {
+            include_nonces: false,
+            fresh_attestation_key: true,
+            preload_old_session: true,
+            ..ModelConfig::full()
+        };
+        let outcome = verify_cloudmonatt(&cfg);
+        assert!(
+            outcome
+                .violations
+                .iter()
+                .all(|v| !v.detail.contains("old_measurement")),
+            "{:#?}",
+            outcome.violations
+        );
+    }
+
+    #[test]
+    fn nonces_block_replay_with_longterm_key() {
+        let cfg = ModelConfig {
+            include_nonces: true,
+            fresh_attestation_key: false,
+            preload_old_session: true,
+            ..ModelConfig::full()
+        };
+        let outcome = verify_cloudmonatt(&cfg);
+        assert!(
+            outcome
+                .violations
+                .iter()
+                .all(|v| !v.detail.contains("old_measurement")),
+            "{:#?}",
+            outcome.violations
+        );
+    }
+}

@@ -1,0 +1,197 @@
+//! The attacker's knowledge set and Dolev-Yao deduction.
+//!
+//! Knowledge grows by observing messages; [`Knowledge::saturate`] applies
+//! the decomposition rules (projection, decryption with known keys,
+//! signature content extraction) to a fixpoint, and
+//! [`Knowledge::can_derive`] checks composition (pairing, encrypting,
+//! signing and hashing with known material).
+
+use crate::term::Term;
+use std::collections::BTreeSet;
+
+/// The attacker's (saturated) knowledge.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Knowledge {
+    known: BTreeSet<Term>,
+}
+
+impl Knowledge {
+    /// Creates empty knowledge.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates knowledge from initial terms and saturates.
+    pub fn from_initial<I: IntoIterator<Item = Term>>(terms: I) -> Self {
+        let mut k = Knowledge::new();
+        for t in terms {
+            k.learn(t);
+        }
+        k
+    }
+
+    /// Adds an observed term and re-saturates.
+    pub fn learn(&mut self, term: Term) {
+        self.known.insert(term);
+        self.saturate();
+    }
+
+    /// Number of distinct known terms.
+    pub fn len(&self) -> usize {
+        self.known.len()
+    }
+
+    /// True if nothing is known.
+    pub fn is_empty(&self) -> bool {
+        self.known.is_empty()
+    }
+
+    /// Iterates over the known terms.
+    pub fn iter(&self) -> impl Iterator<Item = &Term> {
+        self.known.iter()
+    }
+
+    /// Applies decomposition rules to a fixpoint.
+    pub fn saturate(&mut self) {
+        loop {
+            let mut new_terms: Vec<Term> = Vec::new();
+            for t in &self.known {
+                match t {
+                    Term::Pair(a, b) => {
+                        if !self.known.contains(a) {
+                            new_terms.push((**a).clone());
+                        }
+                        if !self.known.contains(b) {
+                            new_terms.push((**b).clone());
+                        }
+                    }
+                    Term::SEnc(m, k) => {
+                        if !self.known.contains(m) && self.can_derive(k) {
+                            new_terms.push((**m).clone());
+                        }
+                    }
+                    // A signature reveals the signed message.
+                    Term::Sign(m, _) => {
+                        if !self.known.contains(m) {
+                            new_terms.push((**m).clone());
+                        }
+                    }
+                    Term::Atom(..) | Term::Hash(_) | Term::Pk(_) => {}
+                }
+            }
+            if new_terms.is_empty() {
+                return;
+            }
+            for t in new_terms {
+                self.known.insert(t);
+            }
+        }
+    }
+
+    /// Can the attacker construct `term` from its knowledge?
+    pub fn can_derive(&self, term: &Term) -> bool {
+        if self.known.contains(term) {
+            return true;
+        }
+        match term {
+            Term::Atom(..) => false,
+            Term::Pair(a, b) => self.can_derive(a) && self.can_derive(b),
+            Term::SEnc(m, k) => self.can_derive(m) && self.can_derive(k),
+            Term::Sign(m, sk) => self.can_derive(m) && self.can_derive(sk),
+            Term::Hash(m) => self.can_derive(m),
+            Term::Pk(sk) => self.can_derive(sk),
+        }
+    }
+
+    /// All subterms of the knowledge — the candidate universe for typed
+    /// hole filling in the bounded search.
+    pub fn subterm_universe(&self) -> BTreeSet<Term> {
+        let mut out = Vec::new();
+        for t in &self.known {
+            t.collect_subterms(&mut out);
+        }
+        out.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Kind;
+
+    #[test]
+    fn projection() {
+        let k = Knowledge::from_initial([Term::pair(Term::id("a"), Term::nonce("n"))]);
+        assert!(k.can_derive(&Term::id("a")));
+        assert!(k.can_derive(&Term::nonce("n")));
+    }
+
+    #[test]
+    fn decryption_needs_key() {
+        let ct = Term::senc(Term::data("secret"), Term::key("k"));
+        let without = Knowledge::from_initial([ct.clone()]);
+        assert!(!without.can_derive(&Term::data("secret")));
+        let with = Knowledge::from_initial([ct, Term::key("k")]);
+        assert!(with.can_derive(&Term::data("secret")));
+    }
+
+    #[test]
+    fn late_key_triggers_resaturation() {
+        let mut k = Knowledge::from_initial([Term::senc(Term::data("m"), Term::key("k"))]);
+        assert!(!k.can_derive(&Term::data("m")));
+        k.learn(Term::key("k"));
+        assert!(k.can_derive(&Term::data("m")));
+    }
+
+    #[test]
+    fn nested_decryption() {
+        // senc(senc(m, k2), k1) with both keys learnable.
+        let inner = Term::senc(Term::data("m"), Term::key("k2"));
+        let outer = Term::senc(Term::pair(inner, Term::key("k2")), Term::key("k1"));
+        let k = Knowledge::from_initial([outer, Term::key("k1")]);
+        assert!(k.can_derive(&Term::data("m")));
+    }
+
+    #[test]
+    fn signature_reveals_but_cannot_be_forged() {
+        let sig = Term::sign(Term::data("report"), Term::key("sk"));
+        let k = Knowledge::from_initial([sig]);
+        assert!(k.can_derive(&Term::data("report")));
+        // Cannot sign a different message without sk.
+        assert!(!k.can_derive(&Term::sign(Term::data("forged"), Term::key("sk"))));
+    }
+
+    #[test]
+    fn forgery_possible_with_leaked_key() {
+        let k = Knowledge::from_initial([Term::key("sk"), Term::data("forged")]);
+        assert!(k.can_derive(&Term::sign(Term::data("forged"), Term::key("sk"))));
+    }
+
+    #[test]
+    fn hash_is_one_way() {
+        let k = Knowledge::from_initial([Term::hash(Term::data("m"))]);
+        assert!(!k.can_derive(&Term::data("m")));
+        // But hashing known material is possible.
+        let k2 = Knowledge::from_initial([Term::data("m")]);
+        assert!(k2.can_derive(&Term::hash(Term::data("m"))));
+    }
+
+    #[test]
+    fn composition() {
+        let k = Knowledge::from_initial([Term::data("a"), Term::key("k")]);
+        assert!(k.can_derive(&Term::senc(Term::data("a"), Term::key("k"))));
+        assert!(k.can_derive(&Term::pair(Term::data("a"), Term::data("a"))));
+        assert!(k.can_derive(&Term::pk(Term::key("k"))));
+    }
+
+    #[test]
+    fn universe_contains_buried_subterms() {
+        let k = Knowledge::from_initial([Term::senc(
+            Term::pair(Term::id("deep"), Term::nonce("n")),
+            Term::key("k"),
+        )]);
+        let uni = k.subterm_universe();
+        assert!(uni.contains(&Term::id("deep")));
+        assert!(uni.iter().any(|t| t.kind() == Kind::Nonce));
+    }
+}

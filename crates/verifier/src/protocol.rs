@@ -1,0 +1,326 @@
+//! Protocol roles, message patterns and bindings.
+//!
+//! A protocol is a set of roles, each a linear script of steps, plus an
+//! execution schedule. `Send` steps emit terms built from the role's
+//! bindings (the attacker observes every send); `Recv` steps
+//! pattern-match whatever the attacker chooses to deliver — pattern
+//! matching *is* the receiver's cryptographic verification (a pattern
+//! `sign(m, skA)` only matches genuine signatures by `skA`).
+
+use crate::term::{Kind, Term};
+use std::collections::BTreeMap;
+
+/// Variable bindings accumulated by one role.
+pub type Bindings = BTreeMap<String, Term>;
+
+/// A message pattern / template.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Pat {
+    /// A literal closed term.
+    Lit(Term),
+    /// A variable: on `Recv`, binds a term of the given kind (or checks
+    /// equality if already bound); on `Send`, must already be bound.
+    Var(String, Kind),
+    /// Pairing.
+    Pair(Box<Pat>, Box<Pat>),
+    /// Symmetric encryption.
+    SEnc(Box<Pat>, Box<Pat>),
+    /// Signature.
+    Sign(Box<Pat>, Box<Pat>),
+    /// Hash.
+    Hash(Box<Pat>),
+    /// Public key.
+    Pk(Box<Pat>),
+}
+
+impl Pat {
+    /// Literal pattern.
+    pub fn lit(t: Term) -> Pat {
+        Pat::Lit(t)
+    }
+
+    /// Variable pattern.
+    pub fn var(name: &str, kind: Kind) -> Pat {
+        Pat::Var(name.to_owned(), kind)
+    }
+
+    /// Pair pattern.
+    pub fn pair(a: Pat, b: Pat) -> Pat {
+        Pat::Pair(Box::new(a), Box::new(b))
+    }
+
+    /// Right-nested tuple pattern.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty slice.
+    pub fn tuple(parts: &[Pat]) -> Pat {
+        assert!(!parts.is_empty(), "tuple needs at least one element");
+        let mut iter = parts.iter().rev().cloned();
+        let mut acc = iter.next().expect("nonempty");
+        for p in iter {
+            acc = Pat::pair(p, acc);
+        }
+        acc
+    }
+
+    /// Symmetric-encryption pattern.
+    pub fn senc(m: Pat, k: Pat) -> Pat {
+        Pat::SEnc(Box::new(m), Box::new(k))
+    }
+
+    /// Signature pattern.
+    pub fn sign(m: Pat, sk: Pat) -> Pat {
+        Pat::Sign(Box::new(m), Box::new(sk))
+    }
+
+    /// Hash pattern.
+    pub fn hash(m: Pat) -> Pat {
+        Pat::Hash(Box::new(m))
+    }
+
+    /// Instantiates the pattern into a closed term using `bindings`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a variable is unbound — send templates must be closed by
+    /// the time they execute.
+    pub fn instantiate(&self, bindings: &Bindings) -> Term {
+        match self {
+            Pat::Lit(t) => t.clone(),
+            Pat::Var(name, _) => bindings
+                .get(name)
+                .unwrap_or_else(|| panic!("unbound variable {name} in send template"))
+                .clone(),
+            Pat::Pair(a, b) => Term::pair(a.instantiate(bindings), b.instantiate(bindings)),
+            Pat::SEnc(m, k) => Term::senc(m.instantiate(bindings), k.instantiate(bindings)),
+            Pat::Sign(m, k) => Term::sign(m.instantiate(bindings), k.instantiate(bindings)),
+            Pat::Hash(m) => Term::hash(m.instantiate(bindings)),
+            Pat::Pk(k) => Term::pk(k.instantiate(bindings)),
+        }
+    }
+
+    /// Matches `term` against the pattern, extending `bindings` on
+    /// success. Returns false (leaving `bindings` possibly partially
+    /// extended — callers clone first) on mismatch.
+    pub fn matches(&self, term: &Term, bindings: &mut Bindings) -> bool {
+        match (self, term) {
+            (Pat::Lit(t), _) => t == term,
+            (Pat::Var(name, kind), _) => {
+                if let Some(bound) = bindings.get(name) {
+                    bound == term
+                } else if term.kind() == *kind || *kind == Kind::Composite {
+                    bindings.insert(name.clone(), term.clone());
+                    true
+                } else {
+                    false
+                }
+            }
+            (Pat::Pair(pa, pb), Term::Pair(ta, tb)) => {
+                pa.matches(ta, bindings) && pb.matches(tb, bindings)
+            }
+            (Pat::SEnc(pm, pk), Term::SEnc(tm, tk)) => {
+                pm.matches(tm, bindings) && pk.matches(tk, bindings)
+            }
+            (Pat::Sign(pm, pk), Term::Sign(tm, tk)) => {
+                pm.matches(tm, bindings) && pk.matches(tk, bindings)
+            }
+            (Pat::Hash(pm), Term::Hash(tm)) => pm.matches(tm, bindings),
+            (Pat::Pk(pk), Term::Pk(tk)) => pk.matches(tk, bindings),
+            _ => false,
+        }
+    }
+
+    /// Collects the names of variables not yet bound in `bindings`.
+    pub fn unbound_vars(&self, bindings: &Bindings, out: &mut Vec<(String, Kind)>) {
+        match self {
+            Pat::Lit(_) => {}
+            Pat::Var(name, kind) => {
+                if !bindings.contains_key(name) && !out.iter().any(|(n, _)| n == name) {
+                    out.push((name.clone(), *kind));
+                }
+            }
+            Pat::Pair(a, b) | Pat::SEnc(a, b) | Pat::Sign(a, b) => {
+                a.unbound_vars(bindings, out);
+                b.unbound_vars(bindings, out);
+            }
+            Pat::Hash(a) | Pat::Pk(a) => a.unbound_vars(bindings, out),
+        }
+    }
+}
+
+/// One step of a role script.
+#[derive(Clone, Debug)]
+pub enum Step {
+    /// Emit a message built from the bindings. The attacker observes it.
+    Send(Pat),
+    /// Receive a message: the attacker delivers any derivable term
+    /// matching the pattern.
+    Recv(Pat),
+    /// Record a labelled event with instantiated arguments (for
+    /// correspondence assertions).
+    Event(String, Vec<Pat>),
+}
+
+/// A protocol role: a name, initial knowledge (bindings) and a linear
+/// script.
+#[derive(Clone, Debug)]
+pub struct Role {
+    /// Role name, e.g. `"customer"`.
+    pub name: String,
+    /// Initial variable bindings (long-term keys, identities, fresh
+    /// nonces — freshness is modelled by unique atom names).
+    pub initial: Bindings,
+    /// The script.
+    pub steps: Vec<Step>,
+}
+
+/// A protocol: roles plus the global execution schedule (a sequence of
+/// role indices; each entry advances that role by one step).
+#[derive(Clone, Debug)]
+pub struct Protocol {
+    /// The roles.
+    pub roles: Vec<Role>,
+    /// Execution order: `schedule[i]` is the index of the role that takes
+    /// its next step at position `i`.
+    pub schedule: Vec<usize>,
+}
+
+impl Protocol {
+    /// Validates that the schedule covers each role's steps exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a malformed schedule (wrong counts or bad indices).
+    pub fn validate(&self) {
+        let mut counts = vec![0usize; self.roles.len()];
+        for &r in &self.schedule {
+            assert!(r < self.roles.len(), "schedule references unknown role");
+            counts[r] += 1;
+        }
+        for (i, role) in self.roles.iter().enumerate() {
+            assert_eq!(
+                counts[i],
+                role.steps.len(),
+                "schedule step count mismatch for role {}",
+                role.name
+            );
+        }
+    }
+}
+
+/// A recorded protocol event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EventRecord {
+    /// The emitting role.
+    pub role: String,
+    /// The event label.
+    pub label: String,
+    /// Instantiated arguments.
+    pub args: Vec<Term>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_match() {
+        let mut b = Bindings::new();
+        assert!(Pat::lit(Term::id("a")).matches(&Term::id("a"), &mut b));
+        assert!(!Pat::lit(Term::id("a")).matches(&Term::id("b"), &mut b));
+    }
+
+    #[test]
+    fn var_binds_and_checks_kind() {
+        let mut b = Bindings::new();
+        let p = Pat::var("n", Kind::Nonce);
+        assert!(!p.matches(&Term::id("a"), &mut b), "kind mismatch");
+        assert!(p.matches(&Term::nonce("n1"), &mut b));
+        assert_eq!(b["n"], Term::nonce("n1"));
+        // Re-match requires equality.
+        assert!(!p.matches(&Term::nonce("n2"), &mut b));
+        assert!(p.matches(&Term::nonce("n1"), &mut b));
+    }
+
+    #[test]
+    fn structured_match_extracts() {
+        let mut b = Bindings::new();
+        let pat = Pat::senc(
+            Pat::tuple(&[
+                Pat::var("vid", Kind::Id),
+                Pat::var("m", Kind::Data),
+                Pat::lit(Term::nonce("n3")),
+            ]),
+            Pat::lit(Term::key("kz")),
+        );
+        let msg = Term::senc(
+            Term::tuple(&[Term::id("vm1"), Term::data("meas"), Term::nonce("n3")]),
+            Term::key("kz"),
+        );
+        assert!(pat.matches(&msg, &mut b));
+        assert_eq!(b["m"], Term::data("meas"));
+        // Wrong key fails.
+        let mut b2 = Bindings::new();
+        let bad = Term::senc(
+            Term::tuple(&[Term::id("vm1"), Term::data("meas"), Term::nonce("n3")]),
+            Term::key("other"),
+        );
+        assert!(!pat.matches(&bad, &mut b2));
+    }
+
+    #[test]
+    fn instantiate_roundtrip() {
+        let mut b = Bindings::new();
+        b.insert("x".into(), Term::data("payload"));
+        let pat = Pat::sign(Pat::var("x", Kind::Data), Pat::lit(Term::key("sk")));
+        let t = pat.instantiate(&b);
+        assert_eq!(t, Term::sign(Term::data("payload"), Term::key("sk")));
+        let mut b2 = Bindings::new();
+        assert!(pat.matches(&t, &mut b2));
+    }
+
+    #[test]
+    #[should_panic(expected = "unbound variable")]
+    fn instantiate_unbound_panics() {
+        Pat::var("x", Kind::Data).instantiate(&Bindings::new());
+    }
+
+    #[test]
+    fn unbound_vars_listed_once() {
+        let pat = Pat::pair(
+            Pat::var("a", Kind::Id),
+            Pat::pair(Pat::var("a", Kind::Id), Pat::var("b", Kind::Data)),
+        );
+        let mut out = Vec::new();
+        pat.unbound_vars(&Bindings::new(), &mut out);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn protocol_validation() {
+        let p = Protocol {
+            roles: vec![Role {
+                name: "a".into(),
+                initial: Bindings::new(),
+                steps: vec![Step::Send(Pat::lit(Term::id("x")))],
+            }],
+            schedule: vec![0],
+        };
+        p.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "schedule step count mismatch")]
+    fn bad_schedule_panics() {
+        let p = Protocol {
+            roles: vec![Role {
+                name: "a".into(),
+                initial: Bindings::new(),
+                steps: vec![Step::Send(Pat::lit(Term::id("x")))],
+            }],
+            schedule: vec![],
+        };
+        p.validate();
+    }
+}

@@ -1,0 +1,194 @@
+//! Symbolic terms of the Dolev-Yao model.
+//!
+//! Messages are terms over a free algebra: atoms (names, nonces, keys),
+//! pairing, symmetric and asymmetric encryption, signatures and hashing.
+//! Cryptography is perfect: the only way to open `senc(m, k)` is to know
+//! `k`; the only way to produce `sign(m, sk)` is to know `sk`.
+//!
+//! Atoms carry a [`Kind`] tag. The search is *typed*: a protocol variable
+//! of kind `Nonce` only unifies with nonce-kinded terms. This is the
+//! standard typed Dolev-Yao restriction that keeps bounded verification
+//! tractable; type-flaw attacks are out of scope (and prevented in the
+//! implementation by the length-framed wire encoding).
+
+use std::fmt;
+
+/// The type tag of an atom or term.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Kind {
+    /// Entity or object identifiers (VM ids, server ids).
+    Id,
+    /// Freshness nonces.
+    Nonce,
+    /// Cryptographic keys (symmetric keys and private keys).
+    Key,
+    /// Payload data: properties, measurements, reports.
+    Data,
+    /// Composite terms (pairs, ciphertexts, signatures, hashes).
+    Composite,
+}
+
+/// A symbolic term.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Term {
+    /// A named atom with a kind tag.
+    Atom(String, Kind),
+    /// Pairing (tuples are right-nested pairs).
+    Pair(Box<Term>, Box<Term>),
+    /// Symmetric encryption `senc(msg, key)`.
+    SEnc(Box<Term>, Box<Term>),
+    /// Signature `sign(msg, sk)` — reveals `msg` to anyone (signatures do
+    /// not hide), but can only be constructed with `sk`.
+    Sign(Box<Term>, Box<Term>),
+    /// Cryptographic hash.
+    Hash(Box<Term>),
+    /// The public key corresponding to a private key.
+    Pk(Box<Term>),
+}
+
+impl Term {
+    /// Creates an atom of the given kind.
+    pub fn atom(name: &str, kind: Kind) -> Term {
+        Term::Atom(name.to_owned(), kind)
+    }
+
+    /// Shorthand for an identifier atom.
+    pub fn id(name: &str) -> Term {
+        Term::atom(name, Kind::Id)
+    }
+
+    /// Shorthand for a nonce atom.
+    pub fn nonce(name: &str) -> Term {
+        Term::atom(name, Kind::Nonce)
+    }
+
+    /// Shorthand for a key atom.
+    pub fn key(name: &str) -> Term {
+        Term::atom(name, Kind::Key)
+    }
+
+    /// Shorthand for a data atom.
+    pub fn data(name: &str) -> Term {
+        Term::atom(name, Kind::Data)
+    }
+
+    /// Pairs two terms.
+    pub fn pair(a: Term, b: Term) -> Term {
+        Term::Pair(Box::new(a), Box::new(b))
+    }
+
+    /// Builds a right-nested tuple from a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty slice.
+    pub fn tuple(parts: &[Term]) -> Term {
+        assert!(!parts.is_empty(), "tuple needs at least one element");
+        let mut iter = parts.iter().rev().cloned();
+        let mut acc = iter.next().expect("nonempty");
+        for t in iter {
+            acc = Term::pair(t, acc);
+        }
+        acc
+    }
+
+    /// Symmetric encryption.
+    pub fn senc(msg: Term, key: Term) -> Term {
+        Term::SEnc(Box::new(msg), Box::new(key))
+    }
+
+    /// Signature by `sk`.
+    pub fn sign(msg: Term, sk: Term) -> Term {
+        Term::Sign(Box::new(msg), Box::new(sk))
+    }
+
+    /// Hash.
+    pub fn hash(msg: Term) -> Term {
+        Term::Hash(Box::new(msg))
+    }
+
+    /// Public key of `sk`.
+    pub fn pk(sk: Term) -> Term {
+        Term::Pk(Box::new(sk))
+    }
+
+    /// The kind of this term (composites are [`Kind::Composite`]).
+    pub fn kind(&self) -> Kind {
+        match self {
+            Term::Atom(_, k) => *k,
+            _ => Kind::Composite,
+        }
+    }
+
+    /// Collects all subterms (including `self`) into `out`.
+    pub fn collect_subterms(&self, out: &mut Vec<Term>) {
+        out.push(self.clone());
+        match self {
+            Term::Atom(..) => {}
+            Term::Pair(a, b) | Term::SEnc(a, b) | Term::Sign(a, b) => {
+                a.collect_subterms(out);
+                b.collect_subterms(out);
+            }
+            Term::Hash(a) | Term::Pk(a) => a.collect_subterms(out),
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Atom(name, _) => write!(f, "{name}"),
+            Term::Pair(a, b) => write!(f, "({a}, {b})"),
+            Term::SEnc(m, k) => write!(f, "senc({m}, {k})"),
+            Term::Sign(m, k) => write!(f, "sign({m}, {k})"),
+            Term::Hash(m) => write!(f, "h({m})"),
+            Term::Pk(k) => write!(f, "pk({k})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tuple_right_nests() {
+        let t = Term::tuple(&[Term::id("a"), Term::id("b"), Term::id("c")]);
+        assert_eq!(
+            t,
+            Term::pair(Term::id("a"), Term::pair(Term::id("b"), Term::id("c")))
+        );
+    }
+
+    #[test]
+    fn kinds() {
+        assert_eq!(Term::nonce("n").kind(), Kind::Nonce);
+        assert_eq!(Term::key("k").kind(), Kind::Key);
+        assert_eq!(
+            Term::pair(Term::id("a"), Term::id("b")).kind(),
+            Kind::Composite
+        );
+    }
+
+    #[test]
+    fn subterms() {
+        let t = Term::senc(Term::pair(Term::id("a"), Term::nonce("n")), Term::key("k"));
+        let mut subs = Vec::new();
+        t.collect_subterms(&mut subs);
+        assert_eq!(subs.len(), 5);
+        assert!(subs.contains(&Term::nonce("n")));
+        assert!(subs.contains(&Term::key("k")));
+    }
+
+    #[test]
+    fn display() {
+        let t = Term::sign(Term::hash(Term::id("m")), Term::key("sk"));
+        assert_eq!(t.to_string(), "sign(h(m), sk)");
+    }
+
+    #[test]
+    #[should_panic(expected = "tuple needs at least one element")]
+    fn empty_tuple_panics() {
+        let _ = Term::tuple(&[]);
+    }
+}

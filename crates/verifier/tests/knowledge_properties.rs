@@ -1,0 +1,100 @@
+//! Property-based tests of the Dolev-Yao deduction engine.
+
+use monatt_verifier::knowledge::Knowledge;
+use monatt_verifier::term::{Kind, Term};
+use proptest::prelude::*;
+
+/// Random terms up to a small depth.
+fn arb_term() -> impl Strategy<Value = Term> {
+    let leaf = prop_oneof![
+        (0u8..6).prop_map(|i| Term::atom(&format!("a{i}"), Kind::Data)),
+        (0u8..4).prop_map(|i| Term::atom(&format!("k{i}"), Kind::Key)),
+        (0u8..4).prop_map(|i| Term::atom(&format!("n{i}"), Kind::Nonce)),
+    ];
+    leaf.prop_recursive(3, 24, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Term::pair(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(m, k)| Term::senc(m, k)),
+            (inner.clone(), inner.clone()).prop_map(|(m, k)| Term::sign(m, k)),
+            inner.clone().prop_map(Term::hash),
+            inner.prop_map(Term::pk),
+        ]
+    })
+}
+
+proptest! {
+    /// Anything observed is derivable.
+    #[test]
+    fn observed_terms_are_derivable(terms in proptest::collection::vec(arb_term(), 1..8)) {
+        let k = Knowledge::from_initial(terms.clone());
+        for t in &terms {
+            prop_assert!(k.can_derive(t));
+        }
+    }
+
+    /// Learning more never removes derivability (monotonicity).
+    #[test]
+    fn knowledge_is_monotonic(
+        base in proptest::collection::vec(arb_term(), 1..6),
+        extra in arb_term(),
+        probe in arb_term(),
+    ) {
+        let k1 = Knowledge::from_initial(base.clone());
+        let mut k2 = Knowledge::from_initial(base);
+        k2.learn(extra);
+        if k1.can_derive(&probe) {
+            prop_assert!(k2.can_derive(&probe));
+        }
+    }
+
+    /// Saturation is idempotent: re-saturating changes nothing.
+    #[test]
+    fn saturation_is_idempotent(terms in proptest::collection::vec(arb_term(), 1..8)) {
+        let mut k = Knowledge::from_initial(terms);
+        let before = k.len();
+        k.saturate();
+        prop_assert_eq!(k.len(), before);
+    }
+
+    /// A secret encrypted under an unknown atomic key stays secret, no
+    /// matter what public junk the attacker also observes — as long as
+    /// the junk cannot contain the key (different kind namespace).
+    #[test]
+    fn encryption_protects_against_unrelated_knowledge(
+        junk in proptest::collection::vec(
+            (0u8..6).prop_map(|i| Term::atom(&format!("a{i}"), Kind::Data)),
+            0..6,
+        ),
+    ) {
+        let secret = Term::atom("the_secret", Kind::Data);
+        let key = Term::atom("hidden_key", Kind::Key);
+        let mut initial = junk;
+        initial.push(Term::senc(secret.clone(), key.clone()));
+        let k = Knowledge::from_initial(initial);
+        prop_assert!(!k.can_derive(&secret));
+        prop_assert!(!k.can_derive(&key));
+    }
+
+    /// Derivability of composites follows from derivability of parts.
+    #[test]
+    fn composition_is_sound(a in arb_term(), b in arb_term()) {
+        let k = Knowledge::from_initial([a.clone(), b.clone()]);
+        prop_assert!(k.can_derive(&Term::pair(a.clone(), b.clone())));
+        prop_assert!(k.can_derive(&Term::senc(a.clone(), b.clone())));
+        prop_assert!(k.can_derive(&Term::hash(a)));
+    }
+
+    /// The subterm universe contains every atom of every observed term.
+    #[test]
+    fn universe_is_complete(terms in proptest::collection::vec(arb_term(), 1..6)) {
+        let k = Knowledge::from_initial(terms.clone());
+        let universe = k.subterm_universe();
+        for t in &terms {
+            let mut subs = Vec::new();
+            t.collect_subterms(&mut subs);
+            for s in subs {
+                prop_assert!(universe.contains(&s));
+            }
+        }
+    }
+}

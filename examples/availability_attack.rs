@@ -1,0 +1,53 @@
+//! Case Study IV end to end: the IPI-boost CPU availability attack
+//! starves a victim VM; the VMM Profile Tool's CPU-time measurement
+//! reveals the starvation, and the automatic Response Module migrates
+//! the victim to a healthy server.
+//!
+//! ```sh
+//! cargo run --example availability_attack
+//! ```
+
+use cloudmonatt::core::{
+    CloudBuilder, Flavor, Image, SecurityProperty, ServerId, VmRequest, WorkloadSpec,
+};
+
+const SLA: SecurityProperty = SecurityProperty::CpuAvailability { min_share_pct: 50 };
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut cloud = CloudBuilder::new()
+        .servers(2)
+        .seed(23)
+        .auto_response(true) // remediation fires automatically
+        .build();
+
+    let victim = cloud.request_vm(
+        VmRequest::new(Flavor::Small, Image::Ubuntu)
+            .require(SLA)
+            .workload(WorkloadSpec::Busy)
+            .on_server(ServerId(0))
+            .pin_pcpu(0),
+    )?;
+    let healthy = cloud.runtime_attest_current(victim, SLA)?;
+    println!("before attack: {:?}", healthy.status);
+
+    // The attacker VM arrives on the same pCPU.
+    let attacker = cloud.request_vm(
+        VmRequest::new(Flavor::Medium, Image::Cirros)
+            .workload(WorkloadSpec::BoostAttack)
+            .on_server(ServerId(0))
+            .pin_pcpu(0),
+    )?;
+    println!("attacker {attacker} co-located with {victim}");
+    cloud.advance(1_000_000);
+
+    // The next attestation detects the starvation and (auto_response)
+    // migrates the victim.
+    let report = cloud.runtime_attest_current(victim, SLA)?;
+    println!("\nunder attack: {:?}", report.status);
+    println!("victim now on {}", cloud.server_of(victim).expect("placed"));
+
+    let after = cloud.runtime_attest_current(victim, SLA)?;
+    println!("after migration: {:?}", after.status);
+    assert!(after.healthy());
+    Ok(())
+}

@@ -1,0 +1,64 @@
+//! The VM security lifecycle of Section 5: launch with startup
+//! attestation (rejecting a tampered image), runtime monitoring, and the
+//! three remediation responses with their Figure 11 timings.
+//!
+//! ```sh
+//! cargo run --example lifecycle
+//! ```
+
+use cloudmonatt::core::{
+    CloudBuilder, CloudError, Flavor, Image, ResponseAction, SecurityProperty, VmRequest,
+    WorkloadSpec,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut cloud = CloudBuilder::new().servers(3).seed(77).corrupt_platform(0).build();
+
+    // 1. A tampered image is rejected at launch.
+    let rejected = cloud.request_vm(
+        VmRequest::new(Flavor::Small, Image::Fedora)
+            .require(SecurityProperty::StartupIntegrity)
+            .with_tampered_image(),
+    );
+    match rejected {
+        Err(CloudError::LaunchRejected { reason }) => {
+            println!("tampered image rejected at launch:\n  {reason}")
+        }
+        other => println!("unexpected: {other:?}"),
+    }
+
+    // 2. A clean VM avoids the corrupted platform (server 0).
+    let vid = cloud.request_vm(
+        VmRequest::new(Flavor::Medium, Image::Fedora)
+            .require(SecurityProperty::StartupIntegrity)
+            .require(SecurityProperty::RuntimeIntegrity)
+            .workload(WorkloadSpec::Busy),
+    )?;
+    println!(
+        "\nclean VM {vid} placed on {} (server-0 has a trojaned hypervisor)",
+        cloud.server_of(vid).expect("placed")
+    );
+
+    // 3. Runtime infection is caught by VM introspection.
+    cloud.infect_vm(vid, "stealth-rootkit")?;
+    let report = cloud.runtime_attest_current(vid, SecurityProperty::RuntimeIntegrity)?;
+    println!("\nafter infection: {:?}", report.status);
+
+    // 4. The three responses, timed (Figure 11).
+    for action in [
+        ResponseAction::Suspension,
+        ResponseAction::Migration,
+        ResponseAction::Termination,
+    ] {
+        if action == ResponseAction::Migration {
+            cloud.resume(vid)?; // resume before migrating
+        }
+        let timing = cloud.respond(vid, action)?;
+        println!(
+            "{action}: {:.2}s (VM state: {:?})",
+            timing.response_us as f64 / 1e6,
+            cloud.vm_state(vid).expect("known")
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,48 @@
+//! Quickstart: build a small cloud, launch a VM with security
+//! properties, and run the Table 1 attestation APIs.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use cloudmonatt::core::{
+    CloudBuilder, Flavor, Image, SecurityProperty, VmRequest, WorkloadSpec,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A three-server cloud, like the paper's testbed.
+    let mut cloud = CloudBuilder::new().servers(3).seed(42).build();
+
+    // The customer requests a VM and asks for monitoring of two
+    // security properties.
+    let vid = cloud.request_vm(
+        VmRequest::new(Flavor::Medium, Image::Ubuntu)
+            .require(SecurityProperty::StartupIntegrity)
+            .require(SecurityProperty::RuntimeIntegrity)
+            .workload(WorkloadSpec::Busy),
+    )?;
+    let timing = cloud.last_launch_timing().expect("launch recorded");
+    println!("launched {vid} in {:.2}s:", timing.total_us() as f64 / 1e6);
+    println!("  scheduling   {:.2}s", timing.scheduling_us as f64 / 1e6);
+    println!("  networking   {:.2}s", timing.networking_us as f64 / 1e6);
+    println!("  block-device {:.2}s", timing.block_device_us as f64 / 1e6);
+    println!("  spawning     {:.2}s", timing.spawning_us as f64 / 1e6);
+    println!("  attestation  {:.2}s (the CloudMonatt stage)", timing.attestation_us as f64 / 1e6);
+
+    // One-time startup attestation.
+    let report = cloud.startup_attest_current(vid, SecurityProperty::StartupIntegrity)?;
+    println!("\nstartup integrity: {:?}", report.status);
+
+    // One-time runtime attestation.
+    let report = cloud.runtime_attest_current(vid, SecurityProperty::RuntimeIntegrity)?;
+    println!("runtime integrity: {:?}", report.status);
+
+    // Periodic attestation at 5 s for half a minute.
+    let sub = cloud.runtime_attest_periodic(vid, SecurityProperty::RuntimeIntegrity, 5_000_000)?;
+    cloud.run(30_000_000);
+    let reports = cloud.stop_attest_periodic(sub)?;
+    println!("periodic attestation: {} fresh reports, all healthy: {}",
+        reports.len(),
+        reports.iter().all(|r| r.healthy()));
+    Ok(())
+}

@@ -1,0 +1,244 @@
+//! Integration tests for the four case studies of Section 4: each attack
+//! is mounted through the public API and must be caught by the matching
+//! property attestation — and only by it.
+
+use cloudmonatt::core::{
+    CloudBuilder, CloudError, Flavor, HealthStatus, Image, SecurityProperty, ServerId, VmRequest,
+    WorkloadSpec,
+};
+
+const AVAIL: SecurityProperty = SecurityProperty::CpuAvailability { min_share_pct: 50 };
+
+/// Case Study I: tampered image.
+#[test]
+fn case_i_tampered_image_rejected() {
+    let mut cloud = CloudBuilder::new().servers(2).seed(200).build();
+    for image in Image::ALL {
+        let err = cloud
+            .request_vm(
+                VmRequest::new(Flavor::Small, image)
+                    .require(SecurityProperty::StartupIntegrity)
+                    .with_tampered_image(),
+            )
+            .unwrap_err();
+        assert!(
+            matches!(err, CloudError::LaunchRejected { .. }),
+            "{image}: {err}"
+        );
+    }
+}
+
+/// Case Study I: corrupted platform — the scheduler routes around it,
+/// and when it is the only server, launch fails.
+#[test]
+fn case_i_corrupted_platform() {
+    let mut cloud = CloudBuilder::new()
+        .servers(1)
+        .seed(201)
+        .corrupt_platform(0)
+        .build();
+    let err = cloud
+        .request_vm(
+            VmRequest::new(Flavor::Small, Image::Cirros)
+                .require(SecurityProperty::StartupIntegrity),
+        )
+        .unwrap_err();
+    assert!(
+        matches!(err, CloudError::NoQualifiedServer { .. }),
+        "launch on a wholly corrupted cloud should fail: {err}"
+    );
+    // Without the startup-integrity requirement the VM launches blindly —
+    // the necessity of attestation.
+    assert!(cloud
+        .request_vm(VmRequest::new(Flavor::Small, Image::Cirros))
+        .is_ok());
+}
+
+/// Case Study II: rootkit-hidden malware caught by VMI; visible malware
+/// is not a *hiding* violation.
+#[test]
+fn case_ii_rootkit_detection() {
+    let mut cloud = CloudBuilder::new().servers(2).seed(202).build();
+    let vid = cloud
+        .request_vm(
+            VmRequest::new(Flavor::Small, Image::Ubuntu)
+                .require(SecurityProperty::RuntimeIntegrity),
+        )
+        .unwrap();
+    // Clean VM passes.
+    assert!(cloud
+        .runtime_attest_current(vid, SecurityProperty::RuntimeIntegrity)
+        .unwrap()
+        .healthy());
+    // Hidden malware fails the check and is named in the evidence.
+    cloud.infect_vm(vid, "keylogger").unwrap();
+    let report = cloud
+        .runtime_attest_current(vid, SecurityProperty::RuntimeIntegrity)
+        .unwrap();
+    let HealthStatus::Compromised { reason } = &report.status else {
+        panic!("expected detection");
+    };
+    assert!(reason.contains("keylogger"));
+}
+
+/// Case Study III: the covert channel is detected on the sender, while
+/// every benign workload passes (no false positives).
+#[test]
+fn case_iii_covert_channel_and_false_positives() {
+    let mut cloud = CloudBuilder::new().servers(2).seed(203).build();
+    let sender = cloud
+        .request_vm(
+            VmRequest::new(Flavor::Small, Image::Cirros)
+                .require(SecurityProperty::CovertChannelFreedom)
+                .workload(WorkloadSpec::CovertSender)
+                .on_server(ServerId(0))
+                .pin_pcpu(0),
+        )
+        .unwrap();
+    let _victim = cloud
+        .request_vm(
+            VmRequest::new(Flavor::Small, Image::Cirros)
+                .workload(WorkloadSpec::Busy)
+                .on_server(ServerId(0))
+                .pin_pcpu(0),
+        )
+        .unwrap();
+    cloud.advance(500_000);
+    assert!(!cloud
+        .runtime_attest_current(sender, SecurityProperty::CovertChannelFreedom)
+        .unwrap()
+        .healthy());
+    // Benign workloads on the other server never trip the detector.
+    for (i, svc) in cloudmonatt::workloads::CloudService::ALL.into_iter().enumerate() {
+        let benign = cloud
+            .request_vm(
+                VmRequest::new(Flavor::Small, Image::Cirros)
+                    .require(SecurityProperty::CovertChannelFreedom)
+                    .workload(WorkloadSpec::Service(svc))
+                    .on_server(ServerId(1))
+                    .pin_pcpu(i % 4),
+            )
+            .unwrap();
+        let report = cloud
+            .runtime_attest_current(benign, SecurityProperty::CovertChannelFreedom)
+            .unwrap();
+        assert!(report.healthy(), "{svc} false positive: {:?}", report.status);
+    }
+}
+
+/// Case Study IV: the boost attack starves the victim; a fair CPU-bound
+/// neighbour does not trip the SLA check.
+#[test]
+fn case_iv_availability() {
+    let mut cloud = CloudBuilder::new().servers(2).seed(204).build();
+    let victim = cloud
+        .request_vm(
+            VmRequest::new(Flavor::Small, Image::Ubuntu)
+                .require(AVAIL)
+                .workload(WorkloadSpec::Busy)
+                .on_server(ServerId(0))
+                .pin_pcpu(0),
+        )
+        .unwrap();
+    // Fair CPU-bound neighbour: victim gets its 50% entitlement.
+    let _fair = cloud
+        .request_vm(
+            VmRequest::new(Flavor::Small, Image::Cirros)
+                .workload(WorkloadSpec::Busy)
+                .on_server(ServerId(0))
+                .pin_pcpu(0),
+        )
+        .unwrap();
+    cloud.advance(1_000_000);
+    let report = cloud.runtime_attest_current(victim, AVAIL).unwrap();
+    assert!(report.healthy(), "fair sharing flagged: {:?}", report.status);
+    // Now the attacker arrives.
+    let _attacker = cloud
+        .request_vm(
+            VmRequest::new(Flavor::Medium, Image::Cirros)
+                .workload(WorkloadSpec::BoostAttack)
+                .on_server(ServerId(0))
+                .pin_pcpu(0),
+        )
+        .unwrap();
+    cloud.advance(1_000_000);
+    let report = cloud.runtime_attest_current(victim, AVAIL).unwrap();
+    assert!(!report.healthy(), "attack not detected");
+}
+
+/// Extension property: scheduler-fairness attestation flags the
+/// *attacker* VM directly (boost-density check), while every benign
+/// service stays below the threshold.
+#[test]
+fn extension_scheduler_fairness_flags_the_attacker() {
+    let mut cloud = CloudBuilder::new().servers(2).seed(206).build();
+    let attacker = cloud
+        .request_vm(
+            VmRequest::new(Flavor::Medium, Image::Cirros)
+                .require(SecurityProperty::SchedulerFairness)
+                .workload(WorkloadSpec::BoostAttack)
+                .on_server(ServerId(0))
+                .pin_pcpu(0),
+        )
+        .unwrap();
+    let victim = cloud
+        .request_vm(
+            VmRequest::new(Flavor::Small, Image::Cirros)
+                .require(SecurityProperty::SchedulerFairness)
+                .workload(WorkloadSpec::Busy)
+                .on_server(ServerId(0))
+                .pin_pcpu(0),
+        )
+        .unwrap();
+    cloud.advance(1_000_000);
+    let report = cloud
+        .runtime_attest_current(attacker, SecurityProperty::SchedulerFairness)
+        .unwrap();
+    assert!(!report.healthy(), "attacker not flagged: {:?}", report.status);
+    // The starved victim is not the abuser.
+    let report = cloud
+        .runtime_attest_current(victim, SecurityProperty::SchedulerFairness)
+        .unwrap();
+    assert!(report.healthy(), "victim wrongly flagged: {:?}", report.status);
+    // Benign services on the other server all pass.
+    for svc in cloudmonatt::workloads::CloudService::ALL {
+        let vm = cloud
+            .request_vm(
+                VmRequest::new(Flavor::Small, Image::Cirros)
+                    .require(SecurityProperty::SchedulerFairness)
+                    .workload(WorkloadSpec::Service(svc))
+                    .on_server(ServerId(1)),
+            )
+            .unwrap();
+        let report = cloud
+            .runtime_attest_current(vm, SecurityProperty::SchedulerFairness)
+            .unwrap();
+        assert!(report.healthy(), "{svc}: {:?}", report.status);
+    }
+}
+
+/// Cross-property isolation: an attack on one property does not corrupt
+/// verdicts for others.
+#[test]
+fn attacks_do_not_cross_contaminate_properties() {
+    let mut cloud = CloudBuilder::new().servers(2).seed(205).build();
+    let vid = cloud
+        .request_vm(
+            VmRequest::new(Flavor::Small, Image::Ubuntu)
+                .require(SecurityProperty::StartupIntegrity)
+                .require(SecurityProperty::RuntimeIntegrity)
+                .workload(WorkloadSpec::Busy),
+        )
+        .unwrap();
+    cloud.infect_vm(vid, "rootkit").unwrap();
+    // Runtime integrity fails...
+    assert!(!cloud
+        .runtime_attest_current(vid, SecurityProperty::RuntimeIntegrity)
+        .unwrap()
+        .healthy());
+    // ...but startup integrity (boot-time hashes) still holds.
+    assert!(cloud
+        .runtime_attest_current(vid, SecurityProperty::StartupIntegrity)
+        .unwrap()
+        .healthy());
+}

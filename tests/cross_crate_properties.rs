@@ -1,0 +1,84 @@
+//! Property-based integration tests over cross-crate invariants.
+
+use cloudmonatt::core::{
+    CloudBuilder, Flavor, Image, SecurityProperty, VmRequest, WorkloadSpec,
+};
+use cloudmonatt::crypto::drbg::Drbg;
+use cloudmonatt::tpm::TrustModule;
+use proptest::prelude::*;
+
+fn arb_flavor() -> impl Strategy<Value = Flavor> {
+    prop_oneof![
+        Just(Flavor::Small),
+        Just(Flavor::Medium),
+        Just(Flavor::Large)
+    ]
+}
+
+fn arb_image() -> impl Strategy<Value = Image> {
+    prop_oneof![Just(Image::Cirros), Just(Image::Fedora), Just(Image::Ubuntu)]
+}
+
+fn arb_property() -> impl Strategy<Value = SecurityProperty> {
+    prop_oneof![
+        Just(SecurityProperty::StartupIntegrity),
+        Just(SecurityProperty::RuntimeIntegrity),
+        Just(SecurityProperty::CovertChannelFreedom),
+        (1u8..=100).prop_map(|p| SecurityProperty::CpuAvailability { min_share_pct: p }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any clean launch with any property set attests healthy for its
+    /// boot-time properties and never errors unexpectedly.
+    #[test]
+    fn clean_launches_always_attest_healthy(
+        flavor in arb_flavor(),
+        image in arb_image(),
+        property in arb_property(),
+        seed in 0u64..1000,
+    ) {
+        // Availability thresholds above what an idle workload earns make
+        // no sense for this invariant; use a busy workload so the VM uses
+        // its full entitlement.
+        let mut cloud = CloudBuilder::new().servers(2).seed(seed).build();
+        let vid = cloud.request_vm(
+            VmRequest::new(flavor, image)
+                .require(property)
+                .workload(WorkloadSpec::Busy),
+        ).expect("clean launches always succeed");
+        let report = cloud.runtime_attest_current(vid, property).expect("attestation runs");
+        prop_assert!(report.healthy(), "{property}: {:?}", report.status);
+    }
+
+    /// Tampered images are rejected regardless of configuration.
+    #[test]
+    fn tampered_images_always_rejected(
+        flavor in arb_flavor(),
+        image in arb_image(),
+        seed in 0u64..1000,
+    ) {
+        let mut cloud = CloudBuilder::new().servers(2).seed(seed).build();
+        let result = cloud.request_vm(
+            VmRequest::new(flavor, image)
+                .require(SecurityProperty::StartupIntegrity)
+                .with_tampered_image(),
+        );
+        prop_assert!(result.is_err());
+    }
+
+    /// Quotes from one trust module never verify under another module's
+    /// session keys — attestation responses cannot be cross-spliced.
+    #[test]
+    fn quotes_are_not_transferable(seed_a in 0u64..500, seed_b in 500u64..1000) {
+        let mut tm_a = TrustModule::provision(Drbg::from_seed(seed_a));
+        let mut tm_b = TrustModule::provision(Drbg::from_seed(seed_b));
+        let session_a = tm_a.begin_attestation();
+        let session_b = tm_b.begin_attestation();
+        let quote = session_a.quote(&[b"fields"]);
+        prop_assert!(quote.verify(&session_a.attestation_key(), &[b"fields"]).is_ok());
+        prop_assert!(quote.verify(&session_b.attestation_key(), &[b"fields"]).is_err());
+    }
+}
