@@ -108,9 +108,8 @@ mod tests {
     fn run_attack(params: SchedParams) -> (f64, f64) {
         let mut sim = ServerSim::new(1, params);
         let victim_prog = CpuProgram::new(60_000_000, 1_000);
-        let victim = sim.create_vm(
-            VmConfig::new("victim", vec![Box::new(victim_prog)]).pin(vec![PcpuId(0)]),
-        );
+        let victim = sim
+            .create_vm(VmConfig::new("victim", vec![Box::new(victim_prog)]).pin(vec![PcpuId(0)]));
         let attacker = sim.create_vm(
             VmConfig::new("attacker", boost_attack_drivers()).pin(vec![PcpuId(0), PcpuId(0)]),
         );
@@ -161,9 +160,8 @@ mod tests {
     fn attacker_dodges_tick_debits() {
         let mut sim = ServerSim::new(1, SchedParams::default());
         let victim_prog = CpuProgram::new(60_000_000, 1_000);
-        let _victim = sim.create_vm(
-            VmConfig::new("victim", vec![Box::new(victim_prog)]).pin(vec![PcpuId(0)]),
-        );
+        let _victim = sim
+            .create_vm(VmConfig::new("victim", vec![Box::new(victim_prog)]).pin(vec![PcpuId(0)]));
         let attacker = sim.create_vm(
             VmConfig::new("attacker", boost_attack_drivers()).pin(vec![PcpuId(0), PcpuId(0)]),
         );

@@ -221,9 +221,9 @@ mod tests {
     fn bit_codec_roundtrip() {
         let msg = b"covert!";
         assert_eq!(bits_to_message(&message_to_bits(msg)), msg);
-        assert_eq!(message_to_bits(&[0b1010_0001])[0], true);
-        assert_eq!(message_to_bits(&[0b1010_0001])[7], true);
-        assert_eq!(message_to_bits(&[0b1010_0001])[1], false);
+        assert!(message_to_bits(&[0b1010_0001])[0]);
+        assert!(message_to_bits(&[0b1010_0001])[7]);
+        assert!(!message_to_bits(&[0b1010_0001])[1]);
     }
 
     fn run_channel(seconds: u64) -> (ServerSim, Shared<ReceiverLog>, u64) {
@@ -306,8 +306,10 @@ mod tests {
     #[test]
     fn sender_parameter_validation() {
         assert!(std::panic::catch_unwind(|| CovertSender::new(b"")).is_err());
-        assert!(std::panic::catch_unwind(|| CovertSender::with_timing(b"x", 5_000, 500, 1_000))
-            .is_err());
+        assert!(
+            std::panic::catch_unwind(|| CovertSender::with_timing(b"x", 5_000, 500, 1_000))
+                .is_err()
+        );
         assert!(
             std::panic::catch_unwind(|| CovertSender::with_timing(b"x", 1_000, 4_000, 1_00))
                 .is_err()

@@ -3,9 +3,54 @@
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use monatt_crypto::drbg::Drbg;
+use monatt_crypto::group::Group;
+use monatt_crypto::modmath::{mod_exp, mod_exp_ref, mod_mul, mod_mul_ref, mod_sub};
 use monatt_crypto::schnorr::SigningKey;
 use monatt_crypto::sha256::sha256;
 use monatt_crypto::{EphemeralSecret, SealKey};
+
+/// Before/after kernels of the modular-arithmetic hot path. The `_naive`
+/// variants are the seed implementation (binary long division); the
+/// Montgomery variants are what the protocol now runs. BENCH_crypto.json
+/// snapshots these numbers.
+fn bench_modmath(c: &mut Criterion) {
+    let grp = Group::default_group();
+    let mut rng = Drbg::from_seed(9);
+    let a = rng.next_u256_in_group(&grp.p);
+    let b = rng.next_u256_in_group(&grp.p);
+    let e = rng.next_u256_in_group(&grp.q);
+    c.bench_function("mod_mul_naive", |bch| {
+        bch.iter(|| mod_mul_ref(std::hint::black_box(&a), &b, &grp.p))
+    });
+    c.bench_function("mod_mul_montgomery", |bch| {
+        bch.iter(|| mod_mul(std::hint::black_box(&a), &b, &grp.p))
+    });
+    c.bench_function("mod_exp_naive", |bch| {
+        bch.iter(|| mod_exp_ref(std::hint::black_box(&a), &e, &grp.p))
+    });
+    c.bench_function("mod_exp_montgomery_w4", |bch| {
+        bch.iter(|| mod_exp(std::hint::black_box(&a), &e, &grp.p))
+    });
+    c.bench_function("pow_g_fixed_window", |bch| {
+        bch.iter(|| grp.pow_g(std::hint::black_box(&e)))
+    });
+}
+
+/// The two shapes of Schnorr verification's double exponentiation:
+/// two separate ladders (seed) vs. one shared Shamir chain (current).
+fn bench_double_exp(c: &mut Criterion) {
+    let grp = Group::default_group();
+    let mut rng = Drbg::from_seed(10);
+    let pk = grp.pow_g(&rng.next_u256_in_group(&grp.q));
+    let s = rng.next_u256_in_group(&grp.q);
+    let neg_e = mod_sub(&grp.q, &rng.next_u256_in_group(&grp.q), &grp.q);
+    c.bench_function("verify_core_two_ladders", |bch| {
+        bch.iter(|| grp.mul(&grp.pow_g(std::hint::black_box(&s)), &grp.pow(&pk, &neg_e)))
+    });
+    c.bench_function("schnorr_verify_shamir", |bch| {
+        bch.iter(|| grp.pow_double(&grp.g, std::hint::black_box(&s), &pk, &neg_e))
+    });
+}
 
 fn bench_sha256(c: &mut Criterion) {
     let mut group = c.benchmark_group("sha256");
@@ -24,9 +69,15 @@ fn bench_schnorr(c: &mut Criterion) {
     let key = SigningKey::generate(&mut rng);
     let msg = b"attestation report for vid-42";
     let sig = key.sign(msg);
-    c.bench_function("schnorr_sign", |b| b.iter(|| key.sign(std::hint::black_box(msg))));
+    c.bench_function("schnorr_sign", |b| {
+        b.iter(|| key.sign(std::hint::black_box(msg)))
+    });
     c.bench_function("schnorr_verify", |b| {
-        b.iter(|| key.verifying_key().verify(std::hint::black_box(msg), &sig).unwrap())
+        b.iter(|| {
+            key.verifying_key()
+                .verify(std::hint::black_box(msg), &sig)
+                .unwrap()
+        })
     });
 }
 
@@ -35,7 +86,11 @@ fn bench_dh(c: &mut Criterion) {
     let alice = EphemeralSecret::generate(&mut rng);
     let bob = EphemeralSecret::generate(&mut rng);
     c.bench_function("dh_agree", |b| {
-        b.iter(|| alice.agree(std::hint::black_box(&bob.public_share()), b"bench").unwrap())
+        b.iter(|| {
+            alice
+                .agree(std::hint::black_box(&bob.public_share()), b"bench")
+                .unwrap()
+        })
     });
 }
 
@@ -48,9 +103,20 @@ fn bench_seal(c: &mut Criterion) {
         b.iter(|| key.seal(&nonce, b"", std::hint::black_box(&payload)))
     });
     c.bench_function("open_1KiB", |b| {
-        b.iter(|| key.open(&nonce, b"", std::hint::black_box(&sealed)).unwrap())
+        b.iter(|| {
+            key.open(&nonce, b"", std::hint::black_box(&sealed))
+                .unwrap()
+        })
     });
 }
 
-criterion_group!(benches, bench_sha256, bench_schnorr, bench_dh, bench_seal);
+criterion_group!(
+    benches,
+    bench_modmath,
+    bench_double_exp,
+    bench_sha256,
+    bench_schnorr,
+    bench_dh,
+    bench_seal
+);
 criterion_main!(benches);

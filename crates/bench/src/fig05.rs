@@ -45,16 +45,20 @@ pub fn run(seconds: u64, bins: usize) -> IntervalDistributions {
     let benign_vm = sim.create_vm(
         VmConfig::new("benign", vec![Box::new(BusyLoop::default())]).pin(vec![PcpuId(0)]),
     );
-    sim.create_vm(
-        VmConfig::new("other", vec![Box::new(BusyLoop::default())]).pin(vec![PcpuId(0)]),
-    );
+    sim.create_vm(VmConfig::new("other", vec![Box::new(BusyLoop::default())]).pin(vec![PcpuId(0)]));
     sim.run_until(SimTime::from_secs(seconds));
     let benign_hist = sim.profile().interval_histogram(benign_vm, bins, 1_000);
 
     let normalize = |hist: &[u64]| {
         let total: u64 = hist.iter().sum();
         hist.iter()
-            .map(|&v| if total == 0 { 0.0 } else { v as f64 / total as f64 })
+            .map(|&v| {
+                if total == 0 {
+                    0.0
+                } else {
+                    v as f64 / total as f64
+                }
+            })
             .collect::<Vec<f64>>()
     };
     IntervalDistributions {
@@ -68,7 +72,10 @@ pub fn run(seconds: u64, bins: usize) -> IntervalDistributions {
 
 /// Prints the paper-style distribution table.
 pub fn print(d: &IntervalDistributions) {
-    println!("Figure 5: Measurements of Covert-channel Vulnerabilities ({} bins)", d.bins);
+    println!(
+        "Figure 5: Measurements of Covert-channel Vulnerabilities ({} bins)",
+        d.bins
+    );
     println!("interval_ms\tcovert_prob\tbenign_prob");
     for i in 0..d.bins {
         println!("({},{}]\t{:.3}\t{:.3}", i, i + 1, d.covert[i], d.benign[i]);

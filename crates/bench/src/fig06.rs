@@ -83,10 +83,7 @@ pub fn run_cell(program: SpecProgram, attacker: AttackerKind, params: SchedParam
         sim.run_for(500_000);
         elapsed += 500_000;
     }
-    let finish = stats
-        .borrow()
-        .elapsed_us()
-        .unwrap_or(cap) as f64;
+    let finish = stats.borrow().elapsed_us().unwrap_or(cap) as f64;
     finish / baseline_us as f64
 }
 

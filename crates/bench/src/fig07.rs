@@ -42,19 +42,14 @@ pub fn run_row(attacker: AttackerKind, seconds: u64) -> UsageRow {
         AttackerKind::Baseline => None,
         AttackerKind::Service(svc) => Some(
             sim.create_vm(
-                monatt_hypervisor::vm::VmConfig::new(
-                    "attacker",
-                    vec![Box::new(svc.driver(42))],
-                )
-                .pin(vec![PcpuId(0)]),
+                monatt_hypervisor::vm::VmConfig::new("attacker", vec![Box::new(svc.driver(42))])
+                    .pin(vec![PcpuId(0)]),
             ),
         ),
         AttackerKind::CpuAvail => {
             let drivers = monatt_attacks::boost::boost_attack_drivers();
             let pins = vec![PcpuId(0); drivers.len()];
-            Some(sim.create_vm(
-                monatt_hypervisor::vm::VmConfig::new("attacker", drivers).pin(pins),
-            ))
+            Some(sim.create_vm(monatt_hypervisor::vm::VmConfig::new("attacker", drivers).pin(pins)))
         }
     };
     // Warm up 1 s, then measure over the window.

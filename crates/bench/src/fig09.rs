@@ -3,9 +3,7 @@
 //! attestation) across three images × three flavors. The paper reports an
 //! attestation-stage overhead of about 20 %.
 
-use monatt_core::{
-    CloudBuilder, Flavor, Image, LaunchTiming, SecurityProperty, VmRequest,
-};
+use monatt_core::{CloudBuilder, Flavor, Image, LaunchTiming, SecurityProperty, VmRequest};
 
 /// One bar of Figure 9.
 #[derive(Clone, Debug)]
@@ -51,7 +49,9 @@ pub fn run() -> Vec<LaunchRow> {
 /// Prints the paper-style stacked-bar data.
 pub fn print(rows: &[LaunchRow]) {
     println!("Figure 9: Performance for VM launching");
-    println!("image\tflavor\tscheduling\tnetworking\tmapping\tspawning\tattestation\ttotal\tattest%");
+    println!(
+        "image\tflavor\tscheduling\tnetworking\tmapping\tspawning\tattestation\ttotal\tattest%"
+    );
     for row in rows {
         let t = &row.timing;
         println!(
@@ -86,8 +86,11 @@ mod tests {
                 row.flavor
             );
         }
-        let avg: f64 =
-            rows.iter().map(LaunchRow::attestation_fraction).sum::<f64>() / rows.len() as f64;
+        let avg: f64 = rows
+            .iter()
+            .map(LaunchRow::attestation_fraction)
+            .sum::<f64>()
+            / rows.len() as f64;
         assert!((0.10..0.30).contains(&avg), "average fraction {avg}");
     }
 

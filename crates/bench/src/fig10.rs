@@ -66,7 +66,11 @@ fn run_one(service: CloudService, freq: Option<u64>, seconds: u64) -> u64 {
         .expect("launch");
     let sub = freq.map(|f| {
         cloud
-            .runtime_attest_periodic(vid, SecurityProperty::CpuAvailability { min_share_pct: 0 }, f)
+            .runtime_attest_periodic(
+                vid,
+                SecurityProperty::CpuAvailability { min_share_pct: 0 },
+                f,
+            )
             .expect("subscribe")
     });
     cloud.run(seconds * 1_000_000);
@@ -74,7 +78,10 @@ fn run_one(service: CloudService, freq: Option<u64>, seconds: u64) -> u64 {
         let reports = cloud.stop_attest_periodic(sub).expect("reports");
         // Only frequencies shorter than the window are guaranteed to fire.
         if freq.is_some_and(|f| f < seconds * 1_000_000) {
-            assert!(!reports.is_empty(), "periodic attestation should have fired");
+            assert!(
+                !reports.is_empty(),
+                "periodic attestation should have fired"
+            );
         }
     }
     cloud.service_requests(vid).expect("service stats")

@@ -67,7 +67,10 @@ fn run_one(action: ResponseAction, flavor: Flavor) -> ResponseRow {
         .expect("launch attacker");
     cloud.advance(1_000_000);
     let report = cloud
-        .runtime_attest_current(victim, SecurityProperty::CpuAvailability { min_share_pct: 50 })
+        .runtime_attest_current(
+            victim,
+            SecurityProperty::CpuAvailability { min_share_pct: 50 },
+        )
         .expect("attestation");
     assert!(!report.healthy(), "the attack should be detected");
     let timing = cloud.respond(victim, action).expect("response");

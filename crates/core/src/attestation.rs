@@ -85,7 +85,10 @@ impl AttestationServer {
     ) -> Result<(), CloudError> {
         if response.vid != expected_vid {
             return Err(CloudError::ProtocolFailure {
-                reason: format!("vid mismatch: expected {expected_vid}, got {}", response.vid),
+                reason: format!(
+                    "vid mismatch: expected {expected_vid}, got {}",
+                    response.vid
+                ),
             });
         }
         if response.spec != expected_spec {
@@ -98,12 +101,12 @@ impl AttestationServer {
                 reason: "nonce N3 mismatch (possible replay)".into(),
             });
         }
-        let cert = self
-            .pca
-            .certify(&response.cert_request)
-            .map_err(|e| CloudError::ProtocolFailure {
-                reason: format!("attestation key certification failed: {e}"),
-            })?;
+        let cert =
+            self.pca
+                .certify(&response.cert_request)
+                .map_err(|e| CloudError::ProtocolFailure {
+                    reason: format!("attestation key certification failed: {e}"),
+                })?;
         let vid_bytes = response.vid.0.to_be_bytes();
         let spec_bytes = response.spec.to_wire();
         let meas_bytes = response.measurement.to_wire();
@@ -237,7 +240,8 @@ mod tests {
     fn end_to_end_measure_validate_interpret() {
         let (attserver, mut node) = setup();
         let nonce3 = [3u8; 32];
-        let req = attserver.build_measure_request(Vid(1), SecurityProperty::StartupIntegrity, nonce3);
+        let req =
+            attserver.build_measure_request(Vid(1), SecurityProperty::StartupIntegrity, nonce3);
         let resp: crate::messages::MeasureResponse =
             node.attest(req.vid, req.spec, req.nonce3).unwrap().into();
         attserver
@@ -252,7 +256,8 @@ mod tests {
     fn tampered_measurement_fails_validation() {
         let (attserver, mut node) = setup();
         let nonce3 = [3u8; 32];
-        let req = attserver.build_measure_request(Vid(1), SecurityProperty::StartupIntegrity, nonce3);
+        let req =
+            attserver.build_measure_request(Vid(1), SecurityProperty::StartupIntegrity, nonce3);
         let mut resp: crate::messages::MeasureResponse =
             node.attest(req.vid, req.spec, req.nonce3).unwrap().into();
         // Forge the measurement after quoting.
@@ -269,7 +274,8 @@ mod tests {
     #[test]
     fn replayed_nonce_fails_validation() {
         let (attserver, mut node) = setup();
-        let req = attserver.build_measure_request(Vid(1), SecurityProperty::StartupIntegrity, [3u8; 32]);
+        let req =
+            attserver.build_measure_request(Vid(1), SecurityProperty::StartupIntegrity, [3u8; 32]);
         let resp: crate::messages::MeasureResponse =
             node.attest(req.vid, req.spec, req.nonce3).unwrap().into();
         let err = attserver

@@ -5,9 +5,7 @@
 //! and remediation responses (Section 5).
 
 use crate::attestation::AttestationServer;
-use crate::controller::{
-    CloudController, ResponseAction, ServerInfo, VmLifecycle, VmRecord,
-};
+use crate::controller::{CloudController, ResponseAction, ServerInfo, VmLifecycle, VmRecord};
 use crate::error::CloudError;
 use crate::interpret::ReferenceDb;
 use crate::latency::LatencyParams;
@@ -275,6 +273,8 @@ struct Subscription {
     reports: Vec<AttestationReport>,
 }
 
+/// Both endpoints of one SSL-like link, with the peer names resolved once
+/// at build time so protocol hops never format endpoint identifiers.
 struct ChannelPair {
     initiator: SecureChannel,
     responder: SecureChannel,
@@ -399,15 +399,31 @@ impl CloudBuilder {
         // Establish the SSL-like channels (session keys Kx, Ky, Kz).
         let controller_identity = SigningKey::generate(&mut rng);
         let attserver_identity = SigningKey::generate(&mut rng);
-        let make_pair = |rng: &mut Drbg, a: &SigningKey, b: &SigningKey| {
-            let (i, r) = handshake_pair(rng, a, b).expect("handshake between honest parties");
-            ChannelPair {
-                initiator: i,
-                responder: r,
-            }
-        };
-        let cust_ctrl = make_pair(&mut rng, &customer_identity, &controller_identity);
-        let ctrl_as = make_pair(&mut rng, &controller_identity, &attserver_identity);
+        let make_pair =
+            |rng: &mut Drbg, a: &SigningKey, b: &SigningKey, a_name: &str, b_name: &str| {
+                let (mut i, mut r) =
+                    handshake_pair(rng, a, b).expect("handshake between honest parties");
+                i.set_peer(b_name);
+                r.set_peer(a_name);
+                ChannelPair {
+                    initiator: i,
+                    responder: r,
+                }
+            };
+        let cust_ctrl = make_pair(
+            &mut rng,
+            &customer_identity,
+            &controller_identity,
+            "customer",
+            "controller",
+        );
+        let ctrl_as = make_pair(
+            &mut rng,
+            &controller_identity,
+            &attserver_identity,
+            "controller",
+            "attserver",
+        );
         let mut as_server = BTreeMap::new();
         for id in servers.keys() {
             // In deployment the server end terminates inside the
@@ -415,7 +431,13 @@ impl CloudBuilder {
             let server_chan_identity = SigningKey::generate(&mut rng);
             as_server.insert(
                 *id,
-                make_pair(&mut rng, &attserver_identity, &server_chan_identity),
+                make_pair(
+                    &mut rng,
+                    &attserver_identity,
+                    &server_chan_identity,
+                    "attserver",
+                    &id.to_string(),
+                ),
             );
         }
         Cloud {
@@ -477,25 +499,33 @@ impl std::fmt::Debug for Cloud {
 }
 
 /// Seals `payload` on `send`, transmits it, and opens it on `recv`.
+///
+/// The endpoint names come from the channels' cached peer labels (the
+/// sender is the receiving channel's peer and vice versa), so the hot
+/// path does no name formatting; only error paths allocate.
 fn hop(
     network: &mut SimNetwork,
     send: &mut SecureChannel,
     recv: &mut SecureChannel,
-    from: &str,
-    to: &str,
     payload: &[u8],
 ) -> Result<(Vec<u8>, u64), CloudError> {
     let record = send.seal(b"", payload);
-    let delivery = network.transmit(from, to, &record);
+    let delivery = network.transmit(recv.peer(), send.peer(), &record);
     let Some(delivered) = delivery.payload else {
         return Err(CloudError::ProtocolFailure {
-            reason: format!("message from {from} to {to} was dropped in transit"),
+            reason: format!(
+                "message from {} to {} was dropped in transit",
+                recv.peer(),
+                send.peer()
+            ),
         });
     };
-    let plaintext = recv.open(b"", &delivered).map_err(|e| CloudError::ProtocolFailure {
-        reason: format!("secure channel {from}->{to}: {e}"),
-    })?;
-    Ok((plaintext, delivery.latency_us))
+    match recv.open(b"", &delivered) {
+        Ok(plaintext) => Ok((plaintext, delivery.latency_us)),
+        Err(e) => Err(CloudError::ProtocolFailure {
+            reason: format!("secure channel {}->{}: {e}", recv.peer(), send.peer()),
+        }),
+    }
 }
 
 impl Cloud {
@@ -576,14 +606,14 @@ impl Cloud {
                         reason: "forced server failed platform attestation".into(),
                     })
                 }
-                None => self.controller.select_server(
-                    request.flavor,
-                    &request.properties,
-                    excluded,
-                )?,
+                None => {
+                    self.controller
+                        .select_server(request.flavor, &request.properties, excluded)?
+                }
             };
-            timing.scheduling_us +=
-                self.latency.scheduling_us(self.servers.len(), wants_attestation);
+            timing.scheduling_us += self
+                .latency
+                .scheduling_us(self.servers.len(), wants_attestation);
             // Networking, block device mapping, spawning.
             timing.networking_us += self.latency.networking_us();
             timing.block_device_us += self.latency.block_device_us(request.image);
@@ -686,14 +716,13 @@ impl Cloud {
             &mut self.network,
             &mut self.ctrl_as.initiator,
             &mut self.ctrl_as.responder,
-            "controller",
-            "attserver",
             &fwd.to_wire(),
         )?;
         elapsed += latency + self.latency.hop_processing_us;
-        let fwd = ControllerForward::from_wire(&bytes).map_err(|e| CloudError::ProtocolFailure {
-            reason: format!("malformed forward: {e}"),
-        })?;
+        let fwd =
+            ControllerForward::from_wire(&bytes).map_err(|e| CloudError::ProtocolFailure {
+                reason: format!("malformed forward: {e}"),
+            })?;
         // Message 3: AS -> CS.
         let nonce3 = self.fresh_nonce();
         let measure_req = self
@@ -707,8 +736,6 @@ impl Cloud {
             &mut self.network,
             &mut pair.initiator,
             &mut pair.responder,
-            "attserver",
-            &format!("{server_id}"),
             &measure_req.to_wire(),
         )?;
         elapsed += latency + self.latency.hop_processing_us;
@@ -759,8 +786,6 @@ impl Cloud {
             &mut self.network,
             &mut pair.responder,
             &mut pair.initiator,
-            &format!("{server_id}"),
-            "attserver",
             &msg4.to_wire(),
         )?;
         elapsed += latency + self.latency.hop_processing_us + self.latency.signature_us;
@@ -773,15 +798,13 @@ impl Cloud {
             .attserver
             .interpret_response(property, &msg4, expected_image);
         // Message 5: AS -> CC.
-        let report_msg =
-            self.attserver
-                .certify_report(vid, server_id, property, status, nonce2);
+        let report_msg = self
+            .attserver
+            .certify_report(vid, server_id, property, status, nonce2);
         let (bytes, latency) = hop(
             &mut self.network,
             &mut self.ctrl_as.responder,
             &mut self.ctrl_as.initiator,
-            "attserver",
-            "controller",
             &report_msg.to_wire(),
         )?;
         elapsed += latency + self.latency.hop_processing_us + self.latency.signature_us;
@@ -790,11 +813,7 @@ impl Cloud {
                 reason: format!("malformed report: {e}"),
             }
         })?;
-        AttestationServer::verify_report_msg(
-            &report_msg,
-            &self.attserver.identity_key(),
-            nonce2,
-        )?;
+        AttestationServer::verify_report_msg(&report_msg, &self.attserver.identity_key(), nonce2)?;
         // Real time passes everywhere while the protocol runs: advance
         // the simulators too (the window portion was already advanced).
         self.advance(elapsed.saturating_sub(window));
@@ -828,33 +847,25 @@ impl Cloud {
             &mut self.network,
             &mut self.cust_ctrl.initiator,
             &mut self.cust_ctrl.responder,
-            "customer",
-            "controller",
             &request.to_wire(),
         )?;
         elapsed += latency + self.latency.hop_processing_us;
-        let request = CustomerRequest::from_wire(&bytes).map_err(|e| {
-            CloudError::ProtocolFailure {
+        let request =
+            CustomerRequest::from_wire(&bytes).map_err(|e| CloudError::ProtocolFailure {
                 reason: format!("malformed request: {e}"),
-            }
-        })?;
+            })?;
         // Messages 2-5.
         let (status, core_elapsed) =
             self.attest_internal(request.vid, record.server, request.property, record.image)?;
         elapsed += core_elapsed;
         // Message 6: CC -> C.
-        let report_msg = self.controller.certify_customer_report(
-            vid,
-            property,
-            status.clone(),
-            request.nonce1,
-        );
+        let report_msg =
+            self.controller
+                .certify_customer_report(vid, property, status.clone(), request.nonce1);
         let (bytes, latency) = hop(
             &mut self.network,
             &mut self.cust_ctrl.responder,
             &mut self.cust_ctrl.initiator,
-            "controller",
-            "customer",
             &report_msg.to_wire(),
         )?;
         elapsed += latency + self.latency.hop_processing_us + 2 * self.latency.signature_us;
@@ -1075,8 +1086,9 @@ impl Cloud {
                 if meta.tampered {
                     image_bytes[0] ^= 0xff;
                 }
-                let (drivers, handles) =
-                    meta.workload.drivers(record.flavor.vcpus(), self.seed ^ vid.0);
+                let (drivers, handles) = meta
+                    .workload
+                    .drivers(record.flavor.vcpus(), self.seed ^ vid.0);
                 if let Some(m) = self.vm_meta.get_mut(&vid) {
                     m.handles = handles;
                 }
@@ -1084,14 +1096,7 @@ impl Cloud {
                     .servers
                     .get_mut(&destination)
                     .ok_or(CloudError::UnknownServer(destination))?;
-                node.launch_vm_pinned(
-                    vid,
-                    record.image,
-                    image_bytes,
-                    drivers,
-                    256,
-                    meta.pin_pcpu,
-                );
+                node.launch_vm_pinned(vid, record.image, image_bytes, drivers, 256, meta.pin_pcpu);
                 if let Some(r) = self.controller.vm_mut(vid) {
                     r.server = destination;
                     r.state = VmLifecycle::Active;
@@ -1248,7 +1253,11 @@ mod tests {
 
     #[test]
     fn corrupted_platform_is_avoided() {
-        let mut c = CloudBuilder::new().servers(3).seed(8).corrupt_platform(0).build();
+        let mut c = CloudBuilder::new()
+            .servers(3)
+            .seed(8)
+            .corrupt_platform(0)
+            .build();
         // OpenStack's balance heuristic would pick any server; platform
         // attestation steers the VM away from server 0.
         for _ in 0..3 {
@@ -1359,7 +1368,10 @@ mod tests {
             .unwrap();
         // Healthy before the attack: sole user of the pCPU.
         let before = c
-            .runtime_attest_current(victim, SecurityProperty::CpuAvailability { min_share_pct: 50 })
+            .runtime_attest_current(
+                victim,
+                SecurityProperty::CpuAvailability { min_share_pct: 50 },
+            )
             .unwrap();
         assert!(before.healthy(), "{:?}", before.status);
         // Co-locate the attacker.
@@ -1373,7 +1385,10 @@ mod tests {
             .unwrap();
         c.advance(1_000_000);
         let after = c
-            .runtime_attest_current(victim, SecurityProperty::CpuAvailability { min_share_pct: 50 })
+            .runtime_attest_current(
+                victim,
+                SecurityProperty::CpuAvailability { min_share_pct: 50 },
+            )
             .unwrap();
         assert!(!after.healthy(), "victim should be starved");
     }
@@ -1443,7 +1458,11 @@ mod tests {
 
     #[test]
     fn auto_response_migrates_starved_vm() {
-        let mut c = CloudBuilder::new().servers(2).seed(12).auto_response(true).build();
+        let mut c = CloudBuilder::new()
+            .servers(2)
+            .seed(12)
+            .auto_response(true)
+            .build();
         let victim = c
             .request_vm(
                 VmRequest::new(Flavor::Small, Image::Cirros)
@@ -1463,14 +1482,20 @@ mod tests {
             .unwrap();
         c.advance(1_000_000);
         let report = c
-            .runtime_attest_current(victim, SecurityProperty::CpuAvailability { min_share_pct: 50 })
+            .runtime_attest_current(
+                victim,
+                SecurityProperty::CpuAvailability { min_share_pct: 50 },
+            )
             .unwrap();
         assert!(!report.healthy());
         // The response module migrated the victim away.
         assert_eq!(c.server_of(victim), Some(ServerId(1)));
         // And it now attests healthy again.
         let after = c
-            .runtime_attest_current(victim, SecurityProperty::CpuAvailability { min_share_pct: 50 })
+            .runtime_attest_current(
+                victim,
+                SecurityProperty::CpuAvailability { min_share_pct: 50 },
+            )
             .unwrap();
         assert!(after.healthy(), "{:?}", after.status);
     }
@@ -1553,11 +1578,12 @@ mod tests {
     fn launch_timing_scales_with_image_and_flavor() {
         let mut c = cloud();
         let mut totals = Vec::new();
-        for (image, flavor) in [(Image::Cirros, Flavor::Small), (Image::Ubuntu, Flavor::Large)] {
-            c.request_vm(
-                VmRequest::new(flavor, image).require(SecurityProperty::StartupIntegrity),
-            )
-            .unwrap();
+        for (image, flavor) in [
+            (Image::Cirros, Flavor::Small),
+            (Image::Ubuntu, Flavor::Large),
+        ] {
+            c.request_vm(VmRequest::new(flavor, image).require(SecurityProperty::StartupIntegrity))
+                .unwrap();
             totals.push(c.last_launch_timing().unwrap().total_us());
         }
         assert!(totals[1] > totals[0], "{totals:?}");

@@ -393,8 +393,7 @@ mod tests {
             reason: "fake".into(),
         };
         assert!(
-            CloudController::verify_customer_report(&forged, &c.identity_key(), [1u8; 32])
-                .is_err()
+            CloudController::verify_customer_report(&forged, &c.identity_key(), [1u8; 32]).is_err()
         );
         // Stale nonce fails.
         assert!(

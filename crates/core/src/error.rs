@@ -48,7 +48,11 @@ impl fmt::Display for CloudError {
         match self {
             CloudError::NoQualifiedServer { requested } => {
                 let names: Vec<String> = requested.iter().map(|p| p.to_string()).collect();
-                write!(f, "no qualified server for properties [{}]", names.join(", "))
+                write!(
+                    f,
+                    "no qualified server for properties [{}]",
+                    names.join(", ")
+                )
             }
             CloudError::UnknownVm(vid) => write!(f, "unknown VM {vid}"),
             CloudError::UnknownServer(s) => write!(f, "unknown server {s}"),

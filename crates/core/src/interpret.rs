@@ -5,8 +5,8 @@
 
 use crate::measurements::{Measurement, MeasurementSpec, TaskInfo};
 use crate::types::{HealthStatus, Image, SecurityProperty};
-use monatt_tpm::pcr::PcrBank;
 use monatt_crypto::sha256::sha256;
+use monatt_tpm::pcr::PcrBank;
 
 /// Default runtime observation window (1 s) for interval and CPU-time
 /// measurements — enough for ~200 covert-channel bit slots.
@@ -108,7 +108,12 @@ pub fn interpret(
                 window_us,
                 contending_vcpus,
             },
-        ) => interpret_cpu_time(*virtual_time_us, *window_us, *contending_vcpus, min_share_pct),
+        ) => interpret_cpu_time(
+            *virtual_time_us,
+            *window_us,
+            *contending_vcpus,
+            min_share_pct,
+        ),
         (
             SecurityProperty::SchedulerFairness,
             Measurement::SchedulerEvents {
@@ -234,7 +239,11 @@ pub fn analyze_intervals(bins: &[u64], bin_width_us: u64) -> IntervalAnalysis {
             }
         }
         let new_low = if w_low > 0.0 { sum_low / w_low } else { c_low };
-        let new_high = if w_high > 0.0 { sum_high / w_high } else { c_high };
+        let new_high = if w_high > 0.0 {
+            sum_high / w_high
+        } else {
+            c_high
+        };
         let converged = (new_low - c_low).abs() < 1e-9 && (new_high - c_high).abs() < 1e-9;
         c_low = new_low;
         c_high = new_high;
@@ -488,7 +497,14 @@ mod tests {
         // bins; 2-means will split it, but there is no valley between the
         // halves, so it must not be flagged.
         let mut bins = vec![0u64; 30];
-        for (i, count) in [(6usize, 40u64), (7, 120), (8, 160), (9, 140), (10, 60), (11, 20)] {
+        for (i, count) in [
+            (6usize, 40u64),
+            (7, 120),
+            (8, 160),
+            (9, 140),
+            (10, 60),
+            (11, 20),
+        ] {
             bins[i] = count;
         }
         let a = analyze_intervals(&bins, 1_000);

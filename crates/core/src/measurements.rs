@@ -325,10 +325,7 @@ mod tests {
     #[test]
     fn windows() {
         assert_eq!(MeasurementSpec::BootIntegrity.window_us(), 0);
-        assert_eq!(
-            MeasurementSpec::CpuTime { window_us: 77 }.window_us(),
-            77
-        );
+        assert_eq!(MeasurementSpec::CpuTime { window_us: 77 }.window_us(), 77);
     }
 
     #[test]

@@ -388,10 +388,7 @@ mod tests {
             nonce2: [6; 32],
             quote: quote.clone(),
         };
-        assert_eq!(
-            AttestationReportMsg::from_wire(&m5.to_wire()).unwrap(),
-            m5
-        );
+        assert_eq!(AttestationReportMsg::from_wire(&m5.to_wire()).unwrap(), m5);
         let m6 = CustomerReportMsg {
             vid: Vid(1),
             property: SecurityProperty::StartupIntegrity,

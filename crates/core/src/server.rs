@@ -287,7 +287,8 @@ impl CloudServerNode {
                 self.trust
                     .program_registers(RegisterLayout::Accumulators { count: 3 });
                 if let Some(local) = self.vms.get(&vid).map(|s| s.local) {
-                    self.window_start_pmu.insert(vid, self.sim.pmu().counters(local));
+                    self.window_start_pmu
+                        .insert(vid, self.sim.pmu().counters(local));
                 }
             }
             _ => {}
@@ -335,10 +336,11 @@ impl CloudServerNode {
             MeasurementSpec::UsageIntervals { window_us } => {
                 // Feed the profile tool's segments into the registers, as
                 // the Monitor Kernel does, then read them out.
-                let hist =
-                    self.sim
-                        .profile()
-                        .interval_histogram(local, INTERVAL_BINS, INTERVAL_BIN_WIDTH_US);
+                let hist = self.sim.profile().interval_histogram(
+                    local,
+                    INTERVAL_BINS,
+                    INTERVAL_BIN_WIDTH_US,
+                );
                 let regs = self.trust.registers_mut()?;
                 let token = regs.unlock();
                 regs.clear(&token);
@@ -458,10 +460,7 @@ mod tests {
         let n = node();
         let refs = ReferenceDb::new();
         assert_eq!(n.sim().pcpu_count(), 2);
-        assert_eq!(
-            n.identity_key(),
-            n.identity_key()
-        );
+        assert_eq!(n.identity_key(), n.identity_key());
         // PCR 0 should equal the pristine replay.
         let m = {
             let mut n = node();
@@ -474,7 +473,11 @@ mod tests {
             );
             n.collect(MeasurementSpec::BootIntegrity, Vid(1)).unwrap()
         };
-        let Measurement::BootIntegrity { platform_pcr, image_hash } = m else {
+        let Measurement::BootIntegrity {
+            platform_pcr,
+            image_hash,
+        } = m
+        else {
             panic!("wrong measurement");
         };
         assert_eq!(platform_pcr, refs.expected_platform_pcr());

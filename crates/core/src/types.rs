@@ -1,13 +1,10 @@
 //! Core identifier and domain types for the CloudMonatt architecture.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A customer-visible VM identifier (the paper's `Vid`), unique across
 /// the cloud.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct Vid(pub u64);
 
 impl fmt::Display for Vid {
@@ -17,9 +14,7 @@ impl fmt::Display for Vid {
 }
 
 /// A cloud server identifier (the paper's `I`).
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct ServerId(pub u32);
 
 impl fmt::Display for ServerId {
@@ -34,13 +29,17 @@ pub struct Nonce(pub [u8; 32]);
 
 impl fmt::Debug for Nonce {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Nonce({:02x}{:02x}{:02x}{:02x}..)", self.0[0], self.0[1], self.0[2], self.0[3])
+        write!(
+            f,
+            "Nonce({:02x}{:02x}{:02x}{:02x}..)",
+            self.0[0], self.0[1], self.0[2], self.0[3]
+        )
     }
 }
 
 /// The security properties a customer can request for a VM — the paper's
 /// four concrete case studies (Section 4).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum SecurityProperty {
     /// Case Study I: measured-boot integrity of the platform and VM image.
     StartupIntegrity,
@@ -96,7 +95,7 @@ impl fmt::Display for SecurityProperty {
 }
 
 /// The verdict of a property interpretation.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub enum HealthStatus {
     /// The property holds.
     Healthy,
@@ -115,7 +114,7 @@ impl HealthStatus {
 }
 
 /// VM sizes offered by the cloud (Figure 9 and 11 sweep these).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum Flavor {
     /// 1 vCPU, 2 GB RAM, 10 GB disk.
     Small,
@@ -173,7 +172,7 @@ impl fmt::Display for Flavor {
 }
 
 /// VM images offered by the cloud (Figure 9 sweeps these).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum Image {
     /// Tiny test image (~13 MB).
     Cirros,
@@ -266,18 +265,21 @@ mod tests {
 
     #[test]
     fn image_bytes_deterministic_and_distinct() {
-        assert_eq!(Image::Ubuntu.pristine_bytes(), Image::Ubuntu.pristine_bytes());
-        assert_ne!(Image::Ubuntu.pristine_bytes(), Image::Fedora.pristine_bytes());
+        assert_eq!(
+            Image::Ubuntu.pristine_bytes(),
+            Image::Ubuntu.pristine_bytes()
+        );
+        assert_ne!(
+            Image::Ubuntu.pristine_bytes(),
+            Image::Fedora.pristine_bytes()
+        );
         assert_eq!(Image::Cirros.pristine_bytes().len(), 4096);
     }
 
     #[test]
     fn health_status() {
         assert!(HealthStatus::Healthy.is_healthy());
-        assert!(!HealthStatus::Compromised {
-            reason: "x".into()
-        }
-        .is_healthy());
+        assert!(!HealthStatus::Compromised { reason: "x".into() }.is_healthy());
     }
 
     #[test]

@@ -1,0 +1,316 @@
+//! Offline stand-in for the subset of the `criterion` crate this
+//! workspace uses: `criterion_group!` / `criterion_main!`, bench groups,
+//! throughput annotation, and per-benchmark timing with an adaptive
+//! iteration count.
+//!
+//! It is a measurement harness, not a statistics engine: each benchmark
+//! is calibrated to ~10 ms batches, timed over a fixed number of batches,
+//! and reported as mean/min ns per iteration. Set `CRITERION_JSON=<path>`
+//! to also write a machine-readable summary of every benchmark that ran
+//! in the process (the repo commits such snapshots, e.g.
+//! `BENCH_crypto.json`, to track performance across PRs).
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Target wall-clock time for one timed batch.
+const BATCH_TARGET: Duration = Duration::from_millis(10);
+/// Timed batches per benchmark.
+const BATCHES: u32 = 7;
+
+static RESULTS: Mutex<Vec<Record>> = Mutex::new(Vec::new());
+
+#[derive(Clone, Debug)]
+struct Record {
+    id: String,
+    mean_ns: f64,
+    min_ns: f64,
+    iters: u64,
+    throughput: Option<Throughput>,
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier, optionally parameterized.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// An id that is just the parameter (within a named group).
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// The timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+    best_batch_ns: f64,
+}
+
+impl Bencher {
+    /// Times `f`, running it enough times for a stable estimate.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibrate: double the iteration count until one batch takes
+        // long enough to time reliably.
+        let mut iters_per_batch = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters_per_batch {
+                std::hint::black_box(f());
+            }
+            let took = start.elapsed();
+            if took >= BATCH_TARGET || iters_per_batch >= 1 << 40 {
+                break;
+            }
+            iters_per_batch = if took.is_zero() {
+                iters_per_batch * 128
+            } else {
+                let scale = BATCH_TARGET.as_secs_f64() / took.as_secs_f64();
+                (iters_per_batch as f64 * scale.clamp(1.5, 128.0)).ceil() as u64
+            };
+        }
+        let mut total = Duration::ZERO;
+        let mut best = Duration::MAX;
+        for _ in 0..BATCHES {
+            let start = Instant::now();
+            for _ in 0..iters_per_batch {
+                std::hint::black_box(f());
+            }
+            let took = start.elapsed();
+            total += took;
+            best = best.min(took);
+        }
+        self.iters = iters_per_batch * BATCHES as u64;
+        self.elapsed = total;
+        // Per-batch best gives the record a noise floor.
+        self.best_batch_ns = best.as_nanos() as f64 / iters_per_batch as f64;
+    }
+
+    fn mean_ns(&self) -> f64 {
+        if self.iters == 0 {
+            return 0.0;
+        }
+        self.elapsed.as_nanos() as f64 / self.iters as f64
+    }
+}
+
+/// The benchmark registry and runner.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        run_one(id.into(), None, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim sizes batches itself.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the throughput used to contextualize subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        run_one(format!("{}/{}", self.name, id.into()), self.throughput, f);
+        self
+    }
+
+    /// Runs a parameterized benchmark within the group.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(format!("{}/{}", self.name, id.id), self.throughput, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: String, throughput: Option<Throughput>, mut f: F) {
+    let mut bencher = Bencher {
+        iters: 0,
+        elapsed: Duration::ZERO,
+        best_batch_ns: 0.0,
+    };
+    f(&mut bencher);
+    let mean_ns = bencher.mean_ns();
+    let min_ns = if bencher.best_batch_ns > 0.0 {
+        bencher.best_batch_ns
+    } else {
+        mean_ns
+    };
+    let mut line = format!("{id:<48} {:>14}/iter", format_ns(mean_ns));
+    if let Some(tp) = throughput {
+        let per_sec = match tp {
+            Throughput::Bytes(n) | Throughput::Elements(n) => n as f64 * 1e9 / mean_ns.max(1e-9),
+        };
+        let unit = match tp {
+            Throughput::Bytes(_) => "B/s",
+            Throughput::Elements(_) => "elem/s",
+        };
+        line.push_str(&format!("  {per_sec:>12.3e} {unit}"));
+    }
+    println!("{line}");
+    RESULTS.lock().unwrap().push(Record {
+        id,
+        mean_ns,
+        min_ns,
+        iters: bencher.iters,
+        throughput,
+    });
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Writes the JSON summary if `CRITERION_JSON` is set. Called by the
+/// `criterion_main!`-generated `main` after all groups have run.
+pub fn write_summary() {
+    let Ok(path) = std::env::var("CRITERION_JSON") else {
+        return;
+    };
+    let results = RESULTS.lock().unwrap();
+    let mut out = String::from("{\n  \"benchmarks\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let tp = match r.throughput {
+            Some(Throughput::Bytes(n)) => format!(", \"throughput_bytes\": {n}"),
+            Some(Throughput::Elements(n)) => format!(", \"throughput_elements\": {n}"),
+            None => String::new(),
+        };
+        out.push_str(&format!(
+            "    {{\"id\": {:?}, \"mean_ns\": {:.1}, \"min_ns\": {:.1}, \"iters\": {}{}}}{}\n",
+            r.id,
+            r.mean_ns,
+            r.min_ns,
+            r.iters,
+            tp,
+            if i + 1 == results.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    if let Err(e) = std::fs::write(&path, out) {
+        eprintln!("criterion shim: failed to write {path}: {e}");
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+            $crate::write_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        c.bench_function("noop_add", |b| b.iter(|| std::hint::black_box(1u64 + 1)));
+        let results = RESULTS.lock().unwrap();
+        let rec = results.iter().find(|r| r.id == "noop_add").unwrap();
+        assert!(rec.iters > 0);
+        assert!(rec.mean_ns >= 0.0);
+    }
+
+    #[test]
+    fn group_prefixes_ids() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(10).throughput(Throughput::Bytes(64));
+        g.bench_function("inner", |b| b.iter(|| std::hint::black_box(2u64 * 2)));
+        g.bench_with_input(BenchmarkId::from_parameter(8), &8u64, |b, &n| {
+            b.iter(|| std::hint::black_box(n * n))
+        });
+        g.finish();
+        let results = RESULTS.lock().unwrap();
+        assert!(results.iter().any(|r| r.id == "grp/inner"));
+        assert!(results.iter().any(|r| r.id == "grp/8"));
+    }
+}

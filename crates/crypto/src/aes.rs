@@ -181,7 +181,10 @@ mod tests {
             .unwrap();
         let cipher = Aes128::new(&key);
         let ct = cipher.encrypt_block(&pt);
-        assert_eq!(ct.to_vec(), hex_to_bytes("3925841d02dc09fbdc118597196a0b32"));
+        assert_eq!(
+            ct.to_vec(),
+            hex_to_bytes("3925841d02dc09fbdc118597196a0b32")
+        );
     }
 
     #[test]
@@ -193,7 +196,10 @@ mod tests {
             .try_into()
             .unwrap();
         let ct = Aes128::new(&key).encrypt_block(&pt);
-        assert_eq!(ct.to_vec(), hex_to_bytes("69c4e0d86a7b0430d8cdb78070b4c55a"));
+        assert_eq!(
+            ct.to_vec(),
+            hex_to_bytes("69c4e0d86a7b0430d8cdb78070b4c55a")
+        );
     }
 
     #[test]

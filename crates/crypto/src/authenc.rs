@@ -103,7 +103,10 @@ mod tests {
         let k = key(b"c2s");
         let nonce = [1u8; NONCE_LEN];
         let sealed = k.seal(&nonce, b"header", b"secret payload");
-        assert_eq!(k.open(&nonce, b"header", &sealed).unwrap(), b"secret payload");
+        assert_eq!(
+            k.open(&nonce, b"header", &sealed).unwrap(),
+            b"secret payload"
+        );
     }
 
     #[test]
@@ -142,7 +145,10 @@ mod tests {
     #[test]
     fn rejects_truncated() {
         let k = key(b"c2s");
-        assert_eq!(k.open(&[0u8; NONCE_LEN], b"", &[0u8; 5]), Err(CryptoError::InvalidTag));
+        assert_eq!(
+            k.open(&[0u8; NONCE_LEN], b"", &[0u8; 5]),
+            Err(CryptoError::InvalidTag)
+        );
         assert!(k.open(&[0u8; NONCE_LEN], b"", &[]).is_err());
     }
 

@@ -1,11 +1,13 @@
 //! Fixed-width unsigned big integers: [`U256`] and the crate-internal
 //! [`U512`] used as an intermediate for 256-bit modular multiplication.
 //!
-//! Limbs are stored little-endian (`limbs[0]` is least significant). The
-//! implementation favours clarity over speed: modular reduction uses binary
-//! long division, which is plenty fast for a protocol simulator and easy to
-//! audit. None of this code is constant-time; the crate is a simulation
-//! substrate, not a production cryptography library.
+//! Limbs are stored little-endian (`limbs[0]` is least significant).
+//! Modular reduction uses word-level long division (Knuth's Algorithm D),
+//! which processes 64 bits per step instead of one; the original bit-by-bit
+//! binary division is retained as [`U512::rem_binary`] so differential tests
+//! can cross-check the fast path against the easy-to-audit one. None of this
+//! code is constant-time; the crate is a simulation substrate, not a
+//! production cryptography library.
 
 use std::cmp::Ordering;
 use std::fmt;
@@ -58,16 +60,22 @@ impl U256 {
     ///
     /// # Errors
     ///
-    /// Returns `None` if the string is empty, longer than 64 hex digits, or
-    /// contains a non-hexadecimal character.
+    /// Returns `None` if the string is empty, contains a non-hexadecimal
+    /// character, or encodes a value wider than 256 bits. Leading zeros are
+    /// allowed, so the digit count itself is not limited.
     pub fn from_hex(s: &str) -> Option<Self> {
         let s = s.strip_prefix("0x").unwrap_or(s);
-        if s.is_empty() || s.len() > 64 {
+        if s.is_empty() {
             return None;
         }
         let mut out = U256::ZERO;
         for c in s.chars() {
             let d = c.to_digit(16)? as u64;
+            // shl_small silently discards shifted-out bits, so detect
+            // overflow before shifting in the next digit.
+            if out.0[3] >> 60 != 0 {
+                return None;
+            }
             out = out.shl_small(4);
             out.0[0] |= d;
         }
@@ -201,9 +209,7 @@ impl U256 {
         for i in 0..4 {
             let mut carry = 0u128;
             for j in 0..4 {
-                let cur = out[i + j] as u128
-                    + (self.0[i] as u128) * (rhs.0[j] as u128)
-                    + carry;
+                let cur = out[i + j] as u128 + (self.0[i] as u128) * (rhs.0[j] as u128) + carry;
                 out[i + j] = cur as u64;
                 carry = cur >> 64;
             }
@@ -221,32 +227,26 @@ impl U256 {
         U512::from_u256(self).rem(m)
     }
 
+    /// Computes `self mod m` by the bit-by-bit reference path (see
+    /// [`U512::rem_binary`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is zero.
+    pub fn rem_binary(&self, m: &U256) -> U256 {
+        U512::from_u256(self).rem_binary(m)
+    }
+
     /// Divides by `m`, returning `(quotient, remainder)`.
     ///
     /// # Panics
     ///
     /// Panics if `m` is zero.
     pub fn div_rem(&self, m: &U256) -> (U256, U256) {
-        assert!(!m.is_zero(), "division by zero");
-        if self < m {
-            return (U256::ZERO, *self);
-        }
-        let mut quotient = U256::ZERO;
-        let mut rem = U256::ZERO;
-        for i in (0..self.bits()).rev() {
-            // rem < m before the shift, so rem << 1 | bit fits in 257 bits:
-            // track the shifted-out bit explicitly.
-            let carry = rem.bit(255);
-            rem = rem.shl_small(1);
-            if self.bit(i) {
-                rem.0[0] |= 1;
-            }
-            if carry || rem >= *m {
-                rem = rem.wrapping_sub(m);
-                quotient.0[i / 64] |= 1 << (i % 64);
-            }
-        }
-        (quotient, rem)
+        let (q, r) = U512::from_u256(self).div_rem(m);
+        // self < 2^256, so the quotient fits in the low four limbs.
+        debug_assert_eq!(q.0[4..], [0u64; 4]);
+        (U256(q.0[..4].try_into().unwrap()), r)
     }
 }
 
@@ -281,12 +281,129 @@ impl U512 {
         0
     }
 
-    /// Computes `self mod m` by binary long division.
+    /// Computes `self mod m`.
     ///
     /// # Panics
     ///
     /// Panics if `m` is zero.
     pub fn rem(&self, m: &U256) -> U256 {
+        self.div_rem(m).1
+    }
+
+    /// Divides by `m`, returning `(quotient, remainder)`, using word-level
+    /// long division (Knuth, TAOCP vol. 2, 4.3.1, Algorithm D). Each step
+    /// consumes one 64-bit limb of the dividend, so a full 512/256 division
+    /// takes at most five quotient digits instead of 512 bit iterations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is zero.
+    pub fn div_rem(&self, m: &U256) -> (U512, U256) {
+        assert!(!m.is_zero(), "division by zero");
+        let n = m.bits().div_ceil(64);
+        // Single-limb divisors reduce to schoolbook short division.
+        if n == 1 {
+            let d = m.0[0] as u128;
+            let mut q = [0u64; 8];
+            let mut rem = 0u64;
+            for i in (0..8).rev() {
+                let cur = ((rem as u128) << 64) | self.0[i] as u128;
+                q[i] = (cur / d) as u64;
+                rem = (cur % d) as u64;
+            }
+            return (U512(q), U256::from_u64(rem));
+        }
+        let ulen = self.bits().div_ceil(64);
+        if ulen < n {
+            // Fewer dividend limbs than divisor limbs: self < m.
+            return (U512::ZERO, U256(self.0[..4].try_into().unwrap()));
+        }
+        // Normalize so the divisor's top limb has its high bit set; this
+        // bounds the per-digit quotient estimate to within 2 of the truth.
+        let s = m.0[n - 1].leading_zeros();
+        let mut v = [0u64; 4];
+        for (i, vi) in v.iter_mut().enumerate().take(n) {
+            *vi = m.0[i] << s;
+            if s > 0 && i > 0 {
+                *vi |= m.0[i - 1] >> (64 - s);
+            }
+        }
+        let mut un = [0u64; 9];
+        for (i, ui) in un.iter_mut().enumerate().take(ulen) {
+            *ui = self.0[i] << s;
+            if s > 0 && i > 0 {
+                *ui |= self.0[i - 1] >> (64 - s);
+            }
+        }
+        if s > 0 {
+            un[ulen] = self.0[ulen - 1] >> (64 - s);
+        }
+        let mut q = [0u64; 8];
+        let vtop = v[n - 1] as u128;
+        let vnext = v[n - 2] as u128; // n >= 2 here
+        for j in (0..=ulen - n).rev() {
+            // Estimate the quotient digit from the top two remainder limbs,
+            // then correct it (at most twice) against the third limb.
+            let numer = ((un[j + n] as u128) << 64) | un[j + n - 1] as u128;
+            let mut qhat = numer / vtop;
+            let mut rhat = numer % vtop;
+            while qhat >> 64 != 0 || qhat * vnext > (rhat << 64) | un[j + n - 2] as u128 {
+                qhat -= 1;
+                rhat += vtop;
+                if rhat >> 64 != 0 {
+                    break;
+                }
+            }
+            // Multiply-and-subtract qhat * v from un[j..=j+n].
+            let mut borrow = 0u64;
+            let mut carry = 0u128;
+            for i in 0..n {
+                let p = qhat * v[i] as u128 + carry;
+                carry = p >> 64;
+                let (d1, b1) = un[j + i].overflowing_sub(p as u64);
+                let (d2, b2) = d1.overflowing_sub(borrow);
+                un[j + i] = d2;
+                borrow = (b1 || b2) as u64;
+            }
+            let (d1, b1) = un[j + n].overflowing_sub(carry as u64);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            un[j + n] = d2;
+            if b1 || b2 {
+                // Rare (~2/2^64): qhat was one too large; add the divisor
+                // back and decrement.
+                qhat -= 1;
+                let mut c = false;
+                for i in 0..n {
+                    let (s1, c1) = un[j + i].overflowing_add(v[i]);
+                    let (s2, c2) = s1.overflowing_add(c as u64);
+                    un[j + i] = s2;
+                    c = c1 || c2;
+                }
+                un[j + n] = un[j + n].wrapping_add(c as u64);
+            }
+            q[j] = qhat as u64;
+        }
+        // Denormalize the remainder.
+        let mut r = [0u64; 4];
+        for i in 0..n {
+            r[i] = un[i] >> s;
+            if s > 0 {
+                r[i] |= un[i + 1] << (64 - s);
+            }
+        }
+        (U512(q), U256(r))
+    }
+
+    /// Computes `self mod m` by bit-by-bit binary long division.
+    ///
+    /// This is the original, easy-to-audit reduction path. It is kept as a
+    /// reference oracle: differential tests and benchmarks compare the
+    /// word-level [`U512::rem`] and the Montgomery pipeline against it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is zero.
+    pub fn rem_binary(&self, m: &U256) -> U256 {
         assert!(!m.is_zero(), "division by zero");
         // The running remainder fits in 257 bits before each conditional
         // subtraction, so track a single extra carry bit alongside a U256.
@@ -384,10 +501,9 @@ mod tests {
         let v = U256::from_hex("deadbeef").unwrap();
         assert_eq!(v, U256::from_u64(0xdead_beef));
         assert_eq!(format!("{:x}", v), "deadbeef");
-        let big = U256::from_hex(
-            "b7e9f735f74bf461eb409d67747a627534f17ded4ba95a60790f978549c8c24f",
-        )
-        .unwrap();
+        let big =
+            U256::from_hex("b7e9f735f74bf461eb409d67747a627534f17ded4ba95a60790f978549c8c24f")
+                .unwrap();
         assert_eq!(
             format!("{:x}", big),
             "b7e9f735f74bf461eb409d67747a627534f17ded4ba95a60790f978549c8c24f"
@@ -399,6 +515,19 @@ mod tests {
         assert!(U256::from_hex("").is_none());
         assert!(U256::from_hex("xyz").is_none());
         assert!(U256::from_hex(&"f".repeat(65)).is_none());
+        // 65 significant digits overflow even when the low ones are zero.
+        assert!(U256::from_hex(&format!("1{}", "0".repeat(64))).is_none());
+    }
+
+    #[test]
+    fn hex_accepts_leading_zeros_and_full_width() {
+        // Leading zeros don't count against the width limit.
+        let padded = format!("{}ff", "0".repeat(64));
+        assert_eq!(U256::from_hex(&padded), Some(U256::from_u64(0xff)));
+        // A 0x-prefixed maximal value parses to MAX.
+        let max = format!("0x{}", "f".repeat(64));
+        assert_eq!(U256::from_hex(&max), Some(U256::MAX));
+        assert_eq!(U256::from_hex(&"0".repeat(100)), Some(U256::ZERO));
     }
 
     #[test]
@@ -444,7 +573,9 @@ mod tests {
     #[test]
     fn ordering() {
         assert!(U256::from_u64(1) < U256::from_u64(2));
-        assert!(U256::from_limbs([0, 0, 0, 1]) > U256::from_limbs([u64::MAX, u64::MAX, u64::MAX, 0]));
+        assert!(
+            U256::from_limbs([0, 0, 0, 1]) > U256::from_limbs([u64::MAX, u64::MAX, u64::MAX, 0])
+        );
     }
 
     #[test]
@@ -490,6 +621,93 @@ mod tests {
     #[should_panic(expected = "division by zero")]
     fn div_rem_by_zero_panics() {
         let _ = U256::ONE.div_rem(&U256::ZERO);
+    }
+
+    /// A deterministic value mixer for exercising the division paths on
+    /// varied limb patterns without pulling in an RNG.
+    fn mix(seed: u64) -> u64 {
+        let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    #[test]
+    fn knuth_division_matches_binary_reference() {
+        for t in 0..200u64 {
+            let a = U256::from_limbs([mix(t), mix(t + 1), mix(t + 2), mix(t + 3)]);
+            let b = U256::from_limbs([mix(t + 4), mix(t + 5), mix(t + 6), mix(t + 7)]);
+            let prod = a.full_mul(&b);
+            // Vary the divisor width from one limb up to four.
+            let w = (t % 4) as usize + 1;
+            let mut limbs = [0u64; 4];
+            for (i, l) in limbs.iter_mut().enumerate().take(w) {
+                *l = mix(t + 8 + i as u64);
+            }
+            if limbs == [0u64; 4] {
+                limbs[0] = 1;
+            }
+            let m = U256::from_limbs(limbs);
+            assert_eq!(prod.rem(&m), prod.rem_binary(&m), "t={t} m={m:?}");
+        }
+    }
+
+    #[test]
+    fn knuth_division_reconstructs_dividend() {
+        for t in 0..100u64 {
+            let a = U256::from_limbs([mix(t), mix(t + 10), mix(t + 20), mix(t + 30)]);
+            let b = U256::from_limbs([mix(t + 40), mix(t + 50), 0, 0]);
+            let m = U256::from_limbs([mix(t + 60), mix(t + 70), mix(t + 80) % 3, 0]);
+            if m.is_zero() {
+                continue;
+            }
+            let prod = a.full_mul(&b);
+            let (q, r) = prod.div_rem(&m);
+            assert!(r < m);
+            // q * m + r == prod, limb by limb (q can be wider than 256 bits,
+            // so multiply back in 64x256 chunks).
+            let mut acc = [0u64; 8];
+            for i in 0..8 {
+                let part = U256::from_u64(q.0[i]).full_mul(&m);
+                let mut carry = 0u128;
+                for j in 0..8 - i {
+                    let cur = acc[i + j] as u128 + part.0[j] as u128 + carry;
+                    acc[i + j] = cur as u64;
+                    carry = cur >> 64;
+                }
+            }
+            let mut carry = 0u128;
+            for (j, limb) in acc.iter_mut().enumerate() {
+                let cur = *limb as u128 + if j < 4 { r.0[j] as u128 } else { 0 } + carry;
+                *limb = cur as u64;
+                carry = cur >> 64;
+            }
+            assert_eq!(U512(acc), prod, "t={t}");
+        }
+    }
+
+    #[test]
+    fn division_edge_cases() {
+        // Dividend smaller than divisor.
+        let small = U512::from_u256(&U256::from_u64(5));
+        let (q, r) = small.div_rem(&U256::MAX);
+        assert_eq!(q, U512::ZERO);
+        assert_eq!(r, U256::from_u64(5));
+        // Divisor of exactly one limb with the high bit set.
+        let d = U256::from_u64(1 << 63);
+        let prod = U256::MAX.full_mul(&U256::MAX);
+        assert_eq!(prod.rem(&d), prod.rem_binary(&d));
+        // Maximal divisor.
+        assert_eq!(prod.rem(&U256::MAX), prod.rem_binary(&U256::MAX));
+        // Divisor with trailing zero limbs (stress the normalization shift).
+        let m = U256::from_limbs([0, 0, 0, 1]);
+        assert_eq!(prod.rem(&m), prod.rem_binary(&m));
+        let m = U256::from_limbs([0, 0, 1 << 63, 0]);
+        assert_eq!(prod.rem(&m), prod.rem_binary(&m));
+        // Self-division.
+        let (q, r) = U256::MAX.div_rem(&U256::MAX);
+        assert_eq!(q, U256::ONE);
+        assert_eq!(r, U256::ZERO);
     }
 
     #[test]

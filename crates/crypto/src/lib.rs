@@ -10,6 +10,8 @@
 //!
 //! * [`bigint`] — fixed-width 256/512-bit unsigned integers.
 //! * [`modmath`] — modular add/sub/mul/exp/inverse.
+//! * [`montgomery`] — Montgomery-form multiplication and windowed
+//!   exponentiation for odd moduli (the hot-path kernels).
 //! * [`group`] — a 256-bit safe-prime Schnorr group.
 //! * [`sha256`] — SHA-256 (FIPS 180-4).
 //! * [`hmac`] — HMAC-SHA256 and HKDF (RFCs 2104/5869).
@@ -49,6 +51,7 @@ pub mod error;
 pub mod group;
 pub mod hmac;
 pub mod modmath;
+pub mod montgomery;
 pub mod schnorr;
 pub mod sha256;
 

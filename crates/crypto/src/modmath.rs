@@ -1,8 +1,46 @@
 //! Modular arithmetic over 256-bit moduli: addition, subtraction,
 //! multiplication, exponentiation and inversion (via Fermat's little
 //! theorem, so inversion requires a prime modulus).
+//!
+//! Multiplication and exponentiation dispatch on the modulus: odd moduli
+//! (every prime the protocol uses) go through a thread-locally cached
+//! [`MontgomeryCtx`], which replaces per-step long division with REDC and
+//! windowed exponentiation; even moduli fall back to the word-level
+//! division in [`bigint`](crate::bigint). The original bit-by-bit paths
+//! are kept as [`mod_mul_ref`] / [`mod_exp_ref`] so differential tests and
+//! benchmarks can check the fast paths against a simple oracle.
 
 use crate::bigint::U256;
+use crate::montgomery::MontgomeryCtx;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// How many Montgomery contexts each thread keeps warm. The protocol only
+/// alternates between `p` and `q` (plus the occasional test modulus), so a
+/// handful suffices.
+const CTX_CACHE_CAP: usize = 4;
+
+thread_local! {
+    /// MRU-ordered cache of Montgomery contexts, keyed by modulus.
+    static CTX_CACHE: RefCell<Vec<Rc<MontgomeryCtx>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Returns a (cached) Montgomery context for `m`, or `None` when `m` is
+/// not Montgomery-friendly (even or `<= 1`).
+fn ctx_for(m: &U256) -> Option<Rc<MontgomeryCtx>> {
+    CTX_CACHE.with(|cache| {
+        let mut cache = cache.borrow_mut();
+        if let Some(pos) = cache.iter().position(|c| c.modulus() == m) {
+            let ctx = cache.remove(pos);
+            cache.insert(0, Rc::clone(&ctx));
+            return Some(ctx);
+        }
+        let ctx = Rc::new(MontgomeryCtx::new(m)?);
+        cache.insert(0, Rc::clone(&ctx));
+        cache.truncate(CTX_CACHE_CAP);
+        Some(ctx)
+    })
+}
 
 /// Computes `(a + b) mod m`.
 ///
@@ -48,13 +86,32 @@ pub fn mod_sub(a: &U256, b: &U256, m: &U256) -> U256 {
     }
 }
 
-/// Computes `(a * b) mod m` via a full 512-bit product.
+/// Computes `(a * b) mod m`.
+///
+/// Odd moduli use a cached Montgomery context (convert one factor, two
+/// REDC passes, no division); even moduli take the full 512-bit product
+/// and divide.
 ///
 /// # Panics
 ///
 /// Panics if `m` is zero.
 pub fn mod_mul(a: &U256, b: &U256, m: &U256) -> U256 {
-    a.full_mul(b).rem(m)
+    match ctx_for(m) {
+        Some(ctx) => ctx.mul(a, b),
+        None => a.full_mul(b).rem(m),
+    }
+}
+
+/// Computes `(a * b) mod m` by the original binary long-division path.
+///
+/// This is the reference oracle the Montgomery and word-division paths are
+/// differentially tested against; it is not used by the protocol.
+///
+/// # Panics
+///
+/// Panics if `m` is zero.
+pub fn mod_mul_ref(a: &U256, b: &U256, m: &U256) -> U256 {
+    a.full_mul(b).rem_binary(m)
 }
 
 /// Computes `base^exp mod m` by left-to-right square-and-multiply.
@@ -80,13 +137,41 @@ pub fn mod_exp(base: &U256, exp: &U256, m: &U256) -> U256 {
     if *m == U256::ONE {
         return U256::ZERO;
     }
+    if let Some(ctx) = ctx_for(m) {
+        return ctx.pow(base, exp);
+    }
+    // Even modulus: square-and-multiply over word-level division.
     let mut result = U256::ONE;
     let base = base.rem(m);
-    let nbits = exp.bits();
-    for i in (0..nbits).rev() {
-        result = mod_mul(&result, &result, m);
+    for i in (0..exp.bits()).rev() {
+        result = result.full_mul(&result).rem(m);
         if exp.bit(i) {
-            result = mod_mul(&result, &base, m);
+            result = result.full_mul(&base).rem(m);
+        }
+    }
+    result
+}
+
+/// Computes `base^exp mod m` by the original square-and-multiply over
+/// binary long division.
+///
+/// Kept as the reference oracle for differential tests and as the
+/// "before" kernel in benchmarks; it is not used by the protocol.
+///
+/// # Panics
+///
+/// Panics if `m` is zero. `mod_exp_ref(_, _, 1)` is zero for all inputs.
+pub fn mod_exp_ref(base: &U256, exp: &U256, m: &U256) -> U256 {
+    assert!(!m.is_zero(), "modulus must be nonzero");
+    if *m == U256::ONE {
+        return U256::ZERO;
+    }
+    let mut result = U256::ONE;
+    let base = base.rem_binary(m);
+    for i in (0..exp.bits()).rev() {
+        result = mod_mul_ref(&result, &result, m);
+        if exp.bit(i) {
+            result = mod_mul_ref(&result, &base, m);
         }
     }
     result
@@ -164,6 +249,30 @@ mod tests {
         assert_eq!(mod_exp(&u(5), &U256::ONE, &m), u(5));
         assert_eq!(mod_exp(&u(5), &u(12), &m), U256::ONE); // Fermat
         assert_eq!(mod_exp(&u(5), &u(3), &U256::ONE), U256::ZERO);
+    }
+
+    #[test]
+    fn even_modulus_falls_back_to_division() {
+        // 2^255 is about as Montgomery-hostile as a modulus gets.
+        let m = U256::from_limbs([0, 0, 0, 1 << 63]);
+        assert_eq!(mod_mul(&u(3), &u(5), &m), u(15));
+        assert_eq!(mod_exp(&u(2), &u(255), &m), U256::ZERO);
+        assert_eq!(mod_exp(&u(3), &u(4), &u(6)), u(81 % 6));
+        assert_eq!(mod_mul(&u(7), &u(8), &u(10)), u(6));
+    }
+
+    #[test]
+    fn fast_paths_match_reference() {
+        let odd = u(0xffff_fffb);
+        let even = u(0xffff_fffa);
+        for m in [odd, even, U256::MAX] {
+            for a in [u(0), u(1), u(12_345), U256::MAX.wrapping_sub(&u(9))] {
+                for b in [u(1), u(3), u(0xdead_beef)] {
+                    assert_eq!(mod_mul(&a, &b, &m), mod_mul_ref(&a, &b, &m));
+                    assert_eq!(mod_exp(&a, &b, &m), mod_exp_ref(&a, &b, &m));
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,291 @@
+//! Montgomery-form modular multiplication for odd 256-bit moduli.
+//!
+//! A [`MontgomeryCtx`] precomputes everything reduction needs for a fixed
+//! modulus `m`: the limb inverse `n0 = -m^{-1} mod 2^64` and the conversion
+//! constant `R^2 mod m` (with `R = 2^256`). In Montgomery form a value `a`
+//! is represented as `a·R mod m`, and the product of two such values can be
+//! reduced with shifts and multiplies only — no division — via REDC. That
+//! turns the inner loop of modular exponentiation from
+//! multiply-then-long-divide into multiply-then-REDC, which is what makes
+//! the attestation hot path (Schnorr sign/verify, DH agreement) fast.
+//!
+//! Montgomery reduction requires `gcd(m, R) = 1`, i.e. an odd modulus.
+//! [`MontgomeryCtx::new`] returns `None` for even (or trivial) moduli;
+//! callers fall back to plain division-based arithmetic there.
+//!
+//! Like the rest of the crate this is not constant-time: window lookups and
+//! conditional subtractions are data-dependent. See DESIGN.md.
+
+use crate::bigint::{U256, U512};
+
+/// Exponentiation window width in bits. Four bits means a 16-entry table
+/// and one potential multiply per four squarings.
+const WINDOW_BITS: usize = 4;
+/// Table size for one window: `2^WINDOW_BITS`.
+const WINDOW_TABLE: usize = 1 << WINDOW_BITS;
+
+/// Precomputed state for Montgomery arithmetic modulo a fixed odd `m`.
+#[derive(Clone, Debug)]
+pub struct MontgomeryCtx {
+    /// The modulus. Odd and greater than one.
+    m: U256,
+    /// `-m^{-1} mod 2^64`, the REDC folding constant.
+    n0: u64,
+    /// `R^2 mod m`, used to convert into Montgomery form.
+    r2: U256,
+    /// `R mod m`, the Montgomery form of one.
+    one: U256,
+}
+
+impl MontgomeryCtx {
+    /// Builds a context for modulus `m`.
+    ///
+    /// Returns `None` when `m` is even or `m <= 1`: Montgomery reduction
+    /// needs `gcd(m, 2^64) = 1`, and a modulus of one has no useful
+    /// residues.
+    pub fn new(m: &U256) -> Option<Self> {
+        if m.is_even() || *m <= U256::ONE {
+            return None;
+        }
+        // Invert the low limb mod 2^64 by Newton iteration: for odd x,
+        // x is its own inverse mod 8, and each step doubles the number of
+        // correct low bits (3 -> 6 -> 12 -> 24 -> 48 -> 96 >= 64).
+        let m0 = m.limbs()[0];
+        let mut inv = m0;
+        for _ in 0..5 {
+            inv = inv.wrapping_mul(2u64.wrapping_sub(m0.wrapping_mul(inv)));
+        }
+        debug_assert_eq!(m0.wrapping_mul(inv), 1);
+        let n0 = inv.wrapping_neg();
+        // one = R mod m, computed by dividing 2^256 (bit 256 of a U512).
+        let mut r_limbs = [0u64; 8];
+        r_limbs[4] = 1;
+        let one = U512(r_limbs).rem(m);
+        // r2 = R^2 mod m = (R mod m)^2 mod m.
+        let r2 = one.full_mul(&one).rem(m);
+        Some(MontgomeryCtx { m: *m, n0, r2, one })
+    }
+
+    /// Returns the modulus this context reduces by.
+    pub fn modulus(&self) -> &U256 {
+        &self.m
+    }
+
+    /// Returns the Montgomery form of one (`R mod m`).
+    pub fn one_mont(&self) -> U256 {
+        self.one
+    }
+
+    /// Converts `a` into Montgomery form (`a·R mod m`). `a` need not be
+    /// reduced.
+    pub fn to_mont(&self, a: &U256) -> U256 {
+        self.mont_mul(a, &self.r2)
+    }
+
+    /// Converts out of Montgomery form (`a·R^{-1} mod m`).
+    pub fn from_mont(&self, a: &U256) -> U256 {
+        self.redc(U512::from_u256(a))
+    }
+
+    /// Montgomery product: `a · b · R^{-1} mod m`.
+    ///
+    /// When both inputs are in Montgomery form the result is too; when
+    /// exactly one is, the result is the plain modular product.
+    pub fn mont_mul(&self, a: &U256, b: &U256) -> U256 {
+        self.redc(a.full_mul(b))
+    }
+
+    /// Plain modular product `a · b mod m` (inputs in ordinary form).
+    pub fn mul(&self, a: &U256, b: &U256) -> U256 {
+        // mont_mul(a·R, b) = a·R·b·R^{-1} = a·b mod m: one conversion, two
+        // REDCs, no division.
+        self.mont_mul(&self.to_mont(a), b)
+    }
+
+    /// Montgomery reduction (REDC): folds a 512-bit `t < m·R` down to
+    /// `t · R^{-1} mod m`, one limb at a time.
+    fn redc(&self, t: U512) -> U256 {
+        let m = self.m.limbs();
+        let mut t = t.0;
+        // The running value can exceed 512 bits by one bit when m is close
+        // to 2^256; track that bit separately.
+        let mut overflow = 0u64;
+        for i in 0..4 {
+            // Choose u so that t + u·m·B^i clears limb i, then add it in.
+            let u = t[i].wrapping_mul(self.n0) as u128;
+            let mut carry = 0u128;
+            for j in 0..4 {
+                let cur = t[i + j] as u128 + u * m[j] as u128 + carry;
+                t[i + j] = cur as u64;
+                carry = cur >> 64;
+            }
+            let mut k = i + 4;
+            while carry != 0 && k < 8 {
+                let cur = t[k] as u128 + carry;
+                t[k] = cur as u64;
+                carry = cur >> 64;
+                k += 1;
+            }
+            overflow += carry as u64;
+        }
+        // The low four limbs are now zero; the result is the high half,
+        // reduced once if it (plus the overflow bit) reaches m.
+        let res = U256([t[4], t[5], t[6], t[7]]);
+        if overflow != 0 || res >= self.m {
+            res.wrapping_sub(&self.m)
+        } else {
+            res
+        }
+    }
+
+    /// Computes `base^exp mod m` by fixed-window exponentiation in
+    /// Montgomery form: a 16-entry table of base powers, then four
+    /// squarings and at most one table multiply per exponent nibble.
+    pub fn pow(&self, base: &U256, exp: &U256) -> U256 {
+        self.from_mont(&self.pow_mont(&self.to_mont(base), exp))
+    }
+
+    /// The same fixed-window exponentiation staying entirely in the
+    /// Montgomery domain: `base_m` and the result are in Montgomery form.
+    /// Useful for composing multi-exponentiations without round-tripping
+    /// through ordinary representation.
+    pub fn pow_mont(&self, base_m: &U256, exp: &U256) -> U256 {
+        let nbits = exp.bits();
+        if nbits == 0 {
+            return self.one;
+        }
+        let table = self.window_table(base_m);
+        let top = (nbits - 1) / WINDOW_BITS;
+        let mut acc = table[Self::window(exp, top)];
+        for w in (0..top).rev() {
+            for _ in 0..WINDOW_BITS {
+                acc = self.mont_mul(&acc, &acc);
+            }
+            let d = Self::window(exp, w);
+            if d != 0 {
+                acc = self.mont_mul(&acc, &table[d]);
+            }
+        }
+        acc
+    }
+
+    /// Computes `a^x · b^y mod m` with a single shared squaring chain
+    /// (Straus/Shamir double-scalar exponentiation). The combined product
+    /// `a·b` is precomputed so each bit position costs one squaring plus at
+    /// most one multiply, instead of the two full chains separate
+    /// exponentiations would pay.
+    pub fn pow_double(&self, a: &U256, x: &U256, b: &U256, y: &U256) -> U256 {
+        let am = self.to_mont(a);
+        let bm = self.to_mont(b);
+        let abm = self.mont_mul(&am, &bm);
+        let mut acc = self.one;
+        for i in (0..x.bits().max(y.bits())).rev() {
+            acc = self.mont_mul(&acc, &acc);
+            match (x.bit(i), y.bit(i)) {
+                (true, true) => acc = self.mont_mul(&acc, &abm),
+                (true, false) => acc = self.mont_mul(&acc, &am),
+                (false, true) => acc = self.mont_mul(&acc, &bm),
+                (false, false) => {}
+            }
+        }
+        self.from_mont(&acc)
+    }
+
+    /// Builds the window table `[1, b, b^2, ..., b^15]` (Montgomery form).
+    fn window_table(&self, base_m: &U256) -> [U256; WINDOW_TABLE] {
+        let mut table = [self.one; WINDOW_TABLE];
+        table[1] = *base_m;
+        for d in 2..WINDOW_TABLE {
+            table[d] = self.mont_mul(&table[d - 1], base_m);
+        }
+        table
+    }
+
+    /// Extracts the `w`-th 4-bit window of `exp` (window 0 is least
+    /// significant). Window width divides the limb width, so no window
+    /// straddles a limb boundary.
+    fn window(exp: &U256, w: usize) -> usize {
+        let limb = exp.limbs()[w * WINDOW_BITS / 64];
+        ((limb >> ((w * WINDOW_BITS) % 64)) & (WINDOW_TABLE as u64 - 1)) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn u(v: u64) -> U256 {
+        U256::from_u64(v)
+    }
+
+    #[test]
+    fn rejects_even_and_trivial_moduli() {
+        assert!(MontgomeryCtx::new(&U256::ZERO).is_none());
+        assert!(MontgomeryCtx::new(&U256::ONE).is_none());
+        assert!(MontgomeryCtx::new(&u(100)).is_none());
+        assert!(MontgomeryCtx::new(&u(97)).is_some());
+        assert!(MontgomeryCtx::new(&U256::MAX).is_some());
+    }
+
+    #[test]
+    fn round_trip_through_montgomery_form() {
+        let ctx = MontgomeryCtx::new(&u(1_000_003)).unwrap();
+        for v in [0u64, 1, 2, 999_999, 1_000_002] {
+            let m = ctx.to_mont(&u(v));
+            assert_eq!(ctx.from_mont(&m), u(v), "v = {v}");
+        }
+    }
+
+    #[test]
+    fn mul_matches_u128_arithmetic() {
+        let ctx = MontgomeryCtx::new(&u(0xffff_fffb)).unwrap(); // prime
+        for a in [3u64, 12_345, 0xffff_fffa] {
+            for b in [1u64, 7, 0x8000_0000] {
+                let expect = (a as u128 * b as u128 % 0xffff_fffbu128) as u64;
+                assert_eq!(ctx.mul(&u(a), &u(b)), u(expect), "{a} * {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn unreduced_inputs_are_handled() {
+        let ctx = MontgomeryCtx::new(&u(97)).unwrap();
+        assert_eq!(ctx.mul(&u(1000), &u(1000)), u(1000 * 1000 % 97));
+        assert_eq!(ctx.pow(&u(1000), &u(3)), u(1000u64.pow(3) % 97));
+    }
+
+    #[test]
+    fn pow_edge_cases() {
+        let ctx = MontgomeryCtx::new(&u(13)).unwrap();
+        assert_eq!(ctx.pow(&u(5), &U256::ZERO), U256::ONE);
+        assert_eq!(ctx.pow(&u(5), &U256::ONE), u(5));
+        assert_eq!(ctx.pow(&u(5), &u(12)), U256::ONE); // Fermat
+        assert_eq!(ctx.pow(&U256::ZERO, &u(4)), U256::ZERO);
+        assert_eq!(ctx.pow(&U256::ZERO, &U256::ZERO), U256::ONE);
+    }
+
+    #[test]
+    fn maximal_modulus_overflow_path() {
+        // m = 2^256 - 1 forces the 513-bit intermediate inside REDC.
+        let ctx = MontgomeryCtx::new(&U256::MAX).unwrap();
+        let a = U256::MAX.wrapping_sub(&u(2));
+        let b = U256::MAX.wrapping_sub(&u(5));
+        let expect = a.full_mul(&b).rem_binary(&U256::MAX);
+        assert_eq!(ctx.mul(&a, &b), expect);
+    }
+
+    #[test]
+    fn pow_double_matches_separate_exponentiations() {
+        let p = U256::from_hex(crate::group::DEFAULT_P_HEX).unwrap();
+        let ctx = MontgomeryCtx::new(&p).unwrap();
+        let a = u(7);
+        let b = u(11);
+        let x = U256::from_hex("deadbeefcafef00d1234").unwrap();
+        let y = U256::from_hex("0123456789abcdef").unwrap();
+        let separate = ctx.mul(&ctx.pow(&a, &x), &ctx.pow(&b, &y));
+        assert_eq!(ctx.pow_double(&a, &x, &b, &y), separate);
+        // Degenerate exponents.
+        assert_eq!(ctx.pow_double(&a, &U256::ZERO, &b, &U256::ZERO), U256::ONE);
+        assert_eq!(ctx.pow_double(&a, &U256::ONE, &b, &U256::ZERO), a);
+    }
+}

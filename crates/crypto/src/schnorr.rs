@@ -158,9 +158,11 @@ impl VerifyingKey {
         if signature.s >= grp.q || signature.e >= grp.q {
             return Err(CryptoError::InvalidSignature);
         }
-        // r' = g^s * pk^(q - e)  (pk has order q, so pk^(q-e) = pk^(-e))
+        // r' = g^s * pk^(q - e)  (pk has order q, so pk^(q-e) = pk^(-e)),
+        // computed as one Shamir double exponentiation: both scalars share
+        // a single squaring chain instead of running two full ladders.
         let neg_e = mod_sub(&grp.q, &signature.e, &grp.q);
-        let r_prime = grp.mul(&grp.pow_g(&signature.s), &grp.pow(&self.0, &neg_e));
+        let r_prime = grp.pow_double(&grp.g, &signature.s, &self.0, &neg_e);
         let e_prime = challenge(&r_prime, message, &grp.q);
         if e_prime == signature.e {
             Ok(())
@@ -190,7 +192,10 @@ mod tests {
     fn sign_verify_roundtrip() {
         let sk = keypair(1);
         let sig = sk.sign(b"attestation report");
-        assert!(sk.verifying_key().verify(b"attestation report", &sig).is_ok());
+        assert!(sk
+            .verifying_key()
+            .verify(b"attestation report", &sig)
+            .is_ok());
     }
 
     #[test]
@@ -215,11 +220,7 @@ mod tests {
     fn rejects_tampered_signature() {
         let sk = keypair(5);
         let mut sig = sk.sign(b"msg");
-        sig.s = mod_add(
-            &sig.s,
-            &U256::ONE,
-            &Group::default_group().q,
-        );
+        sig.s = mod_add(&sig.s, &U256::ONE, &Group::default_group().q);
         assert!(sk.verifying_key().verify(b"msg", &sig).is_err());
     }
 
@@ -244,7 +245,10 @@ mod tests {
         let sig = sk.sign(b"serialize me");
         let restored = Signature::from_bytes(&sig.to_bytes());
         assert_eq!(sig, restored);
-        assert!(sk.verifying_key().verify(b"serialize me", &restored).is_ok());
+        assert!(sk
+            .verifying_key()
+            .verify(b"serialize me", &restored)
+            .is_ok());
     }
 
     #[test]

@@ -1,0 +1,162 @@
+//! Differential tests for the crypto fast paths.
+//!
+//! The seed implementation reduced everything through bit-by-bit binary
+//! long division; that path is retained as `mod_mul_ref` / `mod_exp_ref`
+//! / `U512::rem_binary` precisely so these tests can check the Montgomery
+//! pipeline and the word-level (Knuth Algorithm D) division against a
+//! simple oracle, bit for bit, on random 256-bit inputs and on the edge
+//! moduli where the fast paths have special cases (even moduli, 2^256-1,
+//! small primes).
+
+use monatt_crypto::bigint::U256;
+use monatt_crypto::group::Group;
+use monatt_crypto::modmath::{mod_exp, mod_exp_ref, mod_mul, mod_mul_ref};
+use monatt_crypto::montgomery::MontgomeryCtx;
+use proptest::prelude::*;
+
+fn arb_u256() -> impl Strategy<Value = U256> {
+    any::<[u64; 4]>().prop_map(U256::from_limbs)
+}
+
+/// An odd modulus > 1 — the Montgomery-eligible domain.
+fn arb_odd_modulus() -> impl Strategy<Value = U256> {
+    any::<[u64; 4]>().prop_map(|mut limbs| {
+        limbs[0] |= 1;
+        U256::from_limbs(limbs)
+    })
+}
+
+proptest! {
+    #[test]
+    fn montgomery_mul_matches_reference(
+        a in arb_u256(),
+        b in arb_u256(),
+        m in arb_odd_modulus(),
+    ) {
+        prop_assume!(m > U256::ONE);
+        let ctx = MontgomeryCtx::new(&m).expect("odd modulus > 1");
+        prop_assert_eq!(ctx.mul(&a, &b), mod_mul_ref(&a, &b, &m));
+    }
+
+    #[test]
+    fn montgomery_form_roundtrip(a in arb_u256(), m in arb_odd_modulus()) {
+        prop_assume!(m > U256::ONE);
+        let ctx = MontgomeryCtx::new(&m).expect("odd modulus > 1");
+        prop_assert_eq!(ctx.from_mont(&ctx.to_mont(&a)), a.rem(&m));
+    }
+
+    #[test]
+    fn mod_mul_dispatch_matches_reference(
+        a in arb_u256(),
+        b in arb_u256(),
+        m in arb_u256(),
+    ) {
+        // Covers both dispatch arms: odd m (Montgomery) and even m
+        // (word-level division).
+        prop_assume!(!m.is_zero());
+        prop_assert_eq!(mod_mul(&a, &b, &m), mod_mul_ref(&a, &b, &m));
+    }
+
+    #[test]
+    fn knuth_division_matches_binary(a in arb_u256(), b in arb_u256(), m in arb_u256()) {
+        prop_assume!(!m.is_zero());
+        let wide = a.full_mul(&b);
+        prop_assert_eq!(wide.rem(&m), wide.rem_binary(&m));
+    }
+
+    #[test]
+    fn pow_g_table_matches_generic_pow(exp in arb_u256()) {
+        let grp = Group::default_group();
+        prop_assert_eq!(grp.pow_g(&exp), grp.pow(&grp.g, &exp));
+    }
+}
+
+proptest! {
+    // The reference exponentiation runs a full binary-division ladder per
+    // case, so keep the case count moderate.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn mod_exp_matches_reference(base in arb_u256(), exp in arb_u256(), m in arb_u256()) {
+        prop_assume!(!m.is_zero());
+        prop_assert_eq!(mod_exp(&base, &exp, &m), mod_exp_ref(&base, &exp, &m));
+    }
+
+    #[test]
+    fn shamir_double_exp_matches_reference(x in arb_u256(), y in arb_u256()) {
+        let grp = Group::default_group();
+        let a = grp.pow_g(&U256::from_u64(5));
+        let b = grp.pow_g(&U256::from_u64(11));
+        let expect = mod_mul_ref(
+            &mod_exp_ref(&a, &x, &grp.p),
+            &mod_exp_ref(&b, &y, &grp.p),
+            &grp.p,
+        );
+        prop_assert_eq!(grp.pow_double(&a, &x, &b, &y), expect);
+    }
+}
+
+/// Moduli where the fast paths have corner cases: the largest odd value
+/// (forces the 513-bit REDC intermediate), small primes (single-limb
+/// divisor path), the default group primes, and a power of two plus the
+/// all-even-limb pattern (division fallback).
+const EDGE_MODULI_HEX: &[&str] = &[
+    "ffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff", // 2^256 - 1
+    "3",
+    "5",
+    "61", // 97
+    "fffffffb",
+    "b7e9f735f74bf461eb409d67747a627534f17ded4ba95a60790f978549c8c24f", // default p
+    "5bf4fb9afba5fa30f5a04eb3ba3d313a9a78bef6a5d4ad303c87cbc2a4e46127", // default q
+    "8000000000000000000000000000000000000000000000000000000000000000", // 2^255
+    "fffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffe", // 2^256 - 2
+];
+
+#[test]
+fn edge_moduli_differential() {
+    let values = [
+        U256::ZERO,
+        U256::ONE,
+        U256::from_u64(2),
+        U256::from_u64(0xdead_beef),
+        U256::from_hex("123456789abcdef0fedcba9876543210").unwrap(),
+        U256::MAX.wrapping_sub(&U256::ONE),
+        U256::MAX,
+    ];
+    for hex in EDGE_MODULI_HEX {
+        let m = U256::from_hex(hex).unwrap();
+        for a in &values {
+            for b in &values {
+                assert_eq!(
+                    mod_mul(a, b, &m),
+                    mod_mul_ref(a, b, &m),
+                    "mod_mul m={m:?} a={a:?} b={b:?}"
+                );
+            }
+            // One exponentiation per (modulus, value) keeps the reference
+            // ladder affordable.
+            let e = U256::from_u64(0xf0f1_f2f3);
+            assert_eq!(
+                mod_exp(a, &e, &m),
+                mod_exp_ref(a, &e, &m),
+                "mod_exp m={m:?} a={a:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn montgomery_eligibility() {
+    // Even or trivial moduli are rejected; odd moduli > 1 are accepted.
+    assert!(MontgomeryCtx::new(&U256::ZERO).is_none());
+    assert!(MontgomeryCtx::new(&U256::ONE).is_none());
+    assert!(MontgomeryCtx::new(&U256::from_u64(2)).is_none());
+    assert!(MontgomeryCtx::new(&U256::MAX.wrapping_sub(&U256::ONE)).is_none());
+    assert!(MontgomeryCtx::new(&U256::from_u64(3)).is_some());
+    assert!(MontgomeryCtx::new(&U256::MAX).is_some());
+    // The dispatching entry points still serve even moduli correctly.
+    let m = U256::from_u64(2);
+    assert_eq!(
+        mod_exp(&U256::from_u64(3), &U256::from_u64(8), &m),
+        U256::ONE
+    );
+}

@@ -198,10 +198,8 @@ mod tests {
 
     #[test]
     fn scripted_sequence_then_halt() {
-        let mut d = ScriptedDriver::new([
-            VcpuAction::Compute { duration_us: 10 },
-            VcpuAction::Yield,
-        ]);
+        let mut d =
+            ScriptedDriver::new([VcpuAction::Compute { duration_us: 10 }, VcpuAction::Yield]);
         assert_eq!(
             d.next_action(&view()),
             VcpuAction::Compute { duration_us: 10 }

@@ -119,7 +119,10 @@ impl ServerSim {
             next_pin: 0,
         };
         for i in 0..pcpu_count {
-            sim.push_event(SimTime::from_micros(params.tick_us), EventKind::Tick(PcpuId(i)));
+            sim.push_event(
+                SimTime::from_micros(params.tick_us),
+                EventKind::Tick(PcpuId(i)),
+            );
         }
         sim.push_event(
             SimTime::from_micros(params.acct_period_us),
@@ -399,9 +402,7 @@ impl ServerSim {
             EventKind::Tick(p) => self.on_tick(p),
             EventKind::Accounting => self.on_accounting(),
             EventKind::ComputeDone { vcpu, generation } => self.on_compute_done(vcpu, generation),
-            EventKind::SliceExpired { vcpu, generation } => {
-                self.on_slice_expired(vcpu, generation)
-            }
+            EventKind::SliceExpired { vcpu, generation } => self.on_slice_expired(vcpu, generation),
             EventKind::Wake { vcpu, generation } => {
                 let Some(vs) = self.vcpus.get(&vcpu) else {
                     return;
@@ -449,8 +450,8 @@ impl ServerSim {
             }
             for id in on_p {
                 let weight = self.vcpus[&id].weight as u64;
-                let share =
-                    (params.credits_per_acct as i128 * weight as i128 / total_weight as i128) as i64;
+                let share = (params.credits_per_acct as i128 * weight as i128
+                    / total_weight as i128) as i64;
                 self.vcpus
                     .get_mut(&id)
                     .expect("exists")
@@ -688,12 +689,7 @@ impl ServerSim {
 
     /// Takes the running vCPU off its pCPU, records the run segment, and
     /// moves it to `new_state`. Returns the vCPU's new generation.
-    fn deschedule(
-        &mut self,
-        vcpu: VcpuId,
-        reason: DescheduleReason,
-        new_state: RunState,
-    ) -> u64 {
+    fn deschedule(&mut self, vcpu: VcpuId, reason: DescheduleReason, new_state: RunState) -> u64 {
         let now = self.now;
         let (segment, gen, p) = {
             let vs = self.vcpus.get_mut(&vcpu).expect("vcpu exists");
@@ -703,8 +699,8 @@ impl ServerSim {
             let ran = now.duration_since(since);
             vs.cpu_time_us += ran;
             if self.params.precise_accounting {
-                let debit =
-                    (ran as i128 * self.params.credits_per_tick as i128 / self.params.tick_us as i128) as i64;
+                let debit = (ran as i128 * self.params.credits_per_tick as i128
+                    / self.params.tick_us as i128) as i64;
                 vs.adjust_credits(-debit, &self.params);
             }
             if vs.pending_compute_us > 0 {
@@ -1088,16 +1084,25 @@ mod tests {
             }
         }
         let mut sim = ServerSim::new(1, SchedParams::default());
-        let spinner = sim.create_vm(
-            VmConfig::new("spinner", vec![Box::new(YieldForever)]).pin(vec![PcpuId(0)]),
-        );
+        let spinner = sim
+            .create_vm(VmConfig::new("spinner", vec![Box::new(YieldForever)]).pin(vec![PcpuId(0)]));
         let coworker = busy_vm(&mut sim, "coworker", 0);
         sim.run_until(SimTime::from_millis(100));
         assert_eq!(sim.now(), SimTime::from_millis(100));
         // The yielding VM consumed its 1us quanta; the busy VM got real
         // time too.
-        assert!(sim.vcpu_cpu_time_us(VcpuId { vm: spinner, index: 0 }) > 0);
-        assert!(sim.vcpu_cpu_time_us(VcpuId { vm: coworker, index: 0 }) > 10_000);
+        assert!(
+            sim.vcpu_cpu_time_us(VcpuId {
+                vm: spinner,
+                index: 0
+            }) > 0
+        );
+        assert!(
+            sim.vcpu_cpu_time_us(VcpuId {
+                vm: coworker,
+                index: 0
+            }) > 10_000
+        );
     }
 
     #[test]

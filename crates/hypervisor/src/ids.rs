@@ -58,9 +58,18 @@ mod tests {
     #[test]
     fn equality_and_hash() {
         use std::collections::HashSet;
-        let a = VcpuId { vm: VmId(1), index: 0 };
-        let b = VcpuId { vm: VmId(1), index: 0 };
-        let c = VcpuId { vm: VmId(1), index: 1 };
+        let a = VcpuId {
+            vm: VmId(1),
+            index: 0,
+        };
+        let b = VcpuId {
+            vm: VmId(1),
+            index: 0,
+        };
+        let c = VcpuId {
+            vm: VmId(1),
+            index: 1,
+        };
         assert_eq!(a, b);
         assert_ne!(a, c);
         let set: HashSet<_> = [a, b, c].into_iter().collect();

@@ -109,7 +109,10 @@ mod tests {
     #[test]
     fn sees_all_kernel_tasks() {
         let (mut sim, vm) = sim_with_vm();
-        sim.vm_mut(vm).unwrap().guest.spawn_task("rootkit-svc", true);
+        sim.vm_mut(vm)
+            .unwrap()
+            .guest
+            .spawn_task("rootkit-svc", true);
         let vmi = VmiTool::new(&sim);
         assert_eq!(vmi.kernel_task_list(vm).unwrap().len(), 3);
         assert_eq!(vmi.guest_visible_task_list(vm).unwrap().len(), 2);

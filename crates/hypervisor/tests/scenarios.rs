@@ -63,21 +63,17 @@ fn io_service_fits_between_cpu_hogs() {
 #[test]
 fn slice_expiry_reason_is_recorded() {
     let mut sim = ServerSim::new(1, SchedParams::default());
-    let a = sim.create_vm(
-        VmConfig::new("a", vec![Box::new(BusyLoop::default())]).pin(vec![PcpuId(0)]),
-    );
+    let a =
+        sim.create_vm(VmConfig::new("a", vec![Box::new(BusyLoop::default())]).pin(vec![PcpuId(0)]));
     sim.create_vm(VmConfig::new("b", vec![Box::new(BusyLoop::default())]).pin(vec![PcpuId(0)]));
     sim.run_until(SimTime::from_secs(1));
-    let reasons: Vec<DescheduleReason> = sim
-        .profile()
-        .vm_segments(a)
-        .map(|s| s.reason)
-        .collect();
+    let reasons: Vec<DescheduleReason> = sim.profile().vm_segments(a).map(|s| s.reason).collect();
     assert!(!reasons.is_empty());
     assert!(
-        reasons
-            .iter()
-            .all(|r| matches!(r, DescheduleReason::SliceExpired | DescheduleReason::Preempted)),
+        reasons.iter().all(|r| matches!(
+            r,
+            DescheduleReason::SliceExpired | DescheduleReason::Preempted
+        )),
         "{reasons:?}"
     );
 }
@@ -106,10 +102,7 @@ fn halted_vm_releases_the_pcpu() {
             duration_us: 10_000,
         }]))],
     ));
-    let beneficiary = sim.create_vm(VmConfig::new(
-        "long",
-        vec![Box::new(BusyLoop::default())],
-    ));
+    let beneficiary = sim.create_vm(VmConfig::new("long", vec![Box::new(BusyLoop::default())]));
     sim.run_until(SimTime::from_secs(1));
     let share = sim.profile().relative_cpu_usage(beneficiary, sim.now());
     assert!(share > 0.95, "beneficiary should inherit the CPU: {share}");
@@ -119,7 +112,7 @@ fn halted_vm_releases_the_pcpu() {
 fn paused_vm_timer_does_not_fire_across_suspension() {
     // A VM sleeping on a timer is suspended past the timer's expiry; on
     // resume it must not act as if the wake fired during the pause.
-    use monatt_hypervisor::driver::{Shared, shared, VcpuView, WorkloadDriver};
+    use monatt_hypervisor::driver::{shared, Shared, VcpuView, WorkloadDriver};
     struct TimedWorker {
         wakes: Shared<Vec<u64>>,
         step: usize,

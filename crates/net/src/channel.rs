@@ -114,14 +114,20 @@ pub struct PendingHandshake {
     hello_share: PublicShare,
 }
 
-/// An established channel endpoint: directional keys + sequence numbers.
+/// An established channel endpoint: directional keys + sequence numbers,
+/// plus a cached label naming the remote endpoint so per-record paths
+/// never re-format peer names.
 #[derive(Debug)]
 pub struct SecureChannel {
     send_key: SealKey,
     recv_key: SealKey,
     send_seq: u64,
     recv_seq: u64,
+    peer: Box<str>,
 }
+
+/// Label used until [`SecureChannel::set_peer`] names the remote endpoint.
+const DEFAULT_PEER: &str = "peer";
 
 fn transcript_context(a: &PublicShare, b: &PublicShare) -> Vec<u8> {
     let mut ctx = Vec::with_capacity(64 + 16);
@@ -179,6 +185,7 @@ pub fn respond(
             recv_key: SealKey::derive(&session, b"i2r"),
             send_seq: 0,
             recv_seq: 0,
+            peer: DEFAULT_PEER.into(),
         },
     ))
 }
@@ -207,6 +214,7 @@ pub fn complete(
         recv_key: SealKey::derive(&session, b"r2i"),
         send_seq: 0,
         recv_seq: 0,
+        peer: DEFAULT_PEER.into(),
     })
 }
 
@@ -249,6 +257,19 @@ impl SecureChannel {
             .map_err(|_| ChannelError::RecordAuthentication)?;
         self.recv_seq = seq + 1;
         Ok(pt)
+    }
+
+    /// Names the remote endpoint. The label is cached on the channel so
+    /// hot paths (routing, error reporting) can borrow it instead of
+    /// formatting an identifier per record.
+    pub fn set_peer(&mut self, name: &str) {
+        self.peer = name.into();
+    }
+
+    /// The cached remote-endpoint label (`"peer"` until
+    /// [`Self::set_peer`] is called).
+    pub fn peer(&self) -> &str {
+        &self.peer
     }
 
     /// Records sent so far.
@@ -403,10 +424,18 @@ mod tests {
         let (mut a, _b) = handshake_pair(&mut rng, &alice, &bob).unwrap();
         let record = a.seal(b"", b"SECRET-MEASUREMENT");
         let needle = b"SECRET-MEASUREMENT";
-        let found = record
-            .windows(needle.len())
-            .any(|w| w == needle.as_slice());
+        let found = record.windows(needle.len()).any(|w| w == needle.as_slice());
         assert!(!found, "plaintext must not appear in the record");
+    }
+
+    #[test]
+    fn peer_labels_default_and_update() {
+        let (mut rng, alice, bob) = keys();
+        let (mut a, b) = handshake_pair(&mut rng, &alice, &bob).unwrap();
+        assert_eq!(a.peer(), "peer");
+        assert_eq!(b.peer(), "peer");
+        a.set_peer("bob");
+        assert_eq!(a.peer(), "bob");
     }
 
     #[test]

@@ -194,7 +194,10 @@ mod tests {
         let session = m.begin_attestation();
         let quote = session.quote(&[b"vid", b"measurement", b"nonce"]);
         assert!(quote
-            .verify(&session.attestation_key(), &[b"vid", b"measurement", b"nonce"])
+            .verify(
+                &session.attestation_key(),
+                &[b"vid", b"measurement", b"nonce"]
+            )
             .is_ok());
         assert!(quote
             .verify(&m.identity_key(), &[b"vid", b"measurement", b"nonce"])

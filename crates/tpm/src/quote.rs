@@ -89,7 +89,10 @@ mod tests {
         let sk = key(1);
         let quote = Quote::create(&sk, &[b"vid-7", b"cpu-usage", b"12345", b"nonce"]);
         assert!(quote
-            .verify(&sk.verifying_key(), &[b"vid-7", b"cpu-usage", b"12345", b"nonce"])
+            .verify(
+                &sk.verifying_key(),
+                &[b"vid-7", b"cpu-usage", b"12345", b"nonce"]
+            )
             .is_ok());
     }
 

@@ -142,7 +142,9 @@ impl TrustEvidenceRegisters {
 
     /// Returns the total count across all registers.
     pub fn total(&self) -> u64 {
-        self.values.iter().fold(0u64, |acc, v| acc.saturating_add(*v))
+        self.values
+            .iter()
+            .fold(0u64, |acc, v| acc.saturating_add(*v))
     }
 
     /// Clears every register (start of a new detection period).

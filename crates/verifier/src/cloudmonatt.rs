@@ -307,10 +307,7 @@ pub fn build(cfg: &ModelConfig) -> (Protocol, Properties, Vec<Term>) {
                 ]),
                 kz.clone(),
             )),
-            Step::Event(
-                "server_reports_measurement".into(),
-                vec![lit(meas.clone())],
-            ),
+            Step::Event("server_reports_measurement".into(), vec![lit(meas.clone())]),
             Step::Send(maybe_senc(
                 cfg,
                 maybe_sign(
@@ -500,8 +497,7 @@ mod tests {
             outcome
                 .violations
                 .iter()
-                .any(|v| v.property == "correspondence"
-                    && v.detail.contains("old_measurement")),
+                .any(|v| v.property == "correspondence" && v.detail.contains("old_measurement")),
             "stale measurement should be replayable: {:#?}",
             outcome.violations
         );

@@ -427,10 +427,11 @@ mod tests {
         let (protocol, properties) = toy(false);
         let outcome = verify(&protocol, &[], &properties, SearchConfig::default());
         assert!(!outcome.verified());
-        assert!(outcome
-            .violations
-            .iter()
-            .any(|v| v.property == "secrecy"), "{:?}", outcome.violations);
+        assert!(
+            outcome.violations.iter().any(|v| v.property == "secrecy"),
+            "{:?}",
+            outcome.violations
+        );
         // The attacker can substitute its own data atom, breaking the
         // correspondence.
         assert!(outcome

@@ -42,7 +42,10 @@ impl CpuProgram {
     ///
     /// Panics if either argument is zero.
     pub fn new(total_work_us: u64, chunk_us: u64) -> Self {
-        assert!(total_work_us > 0 && chunk_us > 0, "work and chunk must be positive");
+        assert!(
+            total_work_us > 0 && chunk_us > 0,
+            "work and chunk must be positive"
+        );
         CpuProgram {
             remaining_us: total_work_us,
             chunk_us,

@@ -12,7 +12,11 @@ use cloudmonatt::core::{
 };
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut cloud = CloudBuilder::new().servers(3).seed(77).corrupt_platform(0).build();
+    let mut cloud = CloudBuilder::new()
+        .servers(3)
+        .seed(77)
+        .corrupt_platform(0)
+        .build();
 
     // 1. A tampered image is rejected at launch.
     let rejected = cloud.request_vm(

@@ -11,7 +11,10 @@ use cloudmonatt::verifier::cloudmonatt::{verify_cloudmonatt, ModelConfig};
 fn check(name: &str, config: &ModelConfig) {
     let outcome = verify_cloudmonatt(config);
     if outcome.verified() {
-        println!("[VERIFIED]     {name} ({} branches explored)", outcome.branches);
+        println!(
+            "[VERIFIED]     {name} ({} branches explored)",
+            outcome.branches
+        );
     } else {
         println!("[ATTACK FOUND] {name}:");
         for v in &outcome.violations {

@@ -5,9 +5,7 @@
 //! cargo run --example quickstart
 //! ```
 
-use cloudmonatt::core::{
-    CloudBuilder, Flavor, Image, SecurityProperty, VmRequest, WorkloadSpec,
-};
+use cloudmonatt::core::{CloudBuilder, Flavor, Image, SecurityProperty, VmRequest, WorkloadSpec};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A three-server cloud, like the paper's testbed.
@@ -27,7 +25,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  networking   {:.2}s", timing.networking_us as f64 / 1e6);
     println!("  block-device {:.2}s", timing.block_device_us as f64 / 1e6);
     println!("  spawning     {:.2}s", timing.spawning_us as f64 / 1e6);
-    println!("  attestation  {:.2}s (the CloudMonatt stage)", timing.attestation_us as f64 / 1e6);
+    println!(
+        "  attestation  {:.2}s (the CloudMonatt stage)",
+        timing.attestation_us as f64 / 1e6
+    );
 
     // One-time startup attestation.
     let report = cloud.startup_attest_current(vid, SecurityProperty::StartupIntegrity)?;
@@ -41,8 +42,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sub = cloud.runtime_attest_periodic(vid, SecurityProperty::RuntimeIntegrity, 5_000_000)?;
     cloud.run(30_000_000);
     let reports = cloud.stop_attest_periodic(sub)?;
-    println!("periodic attestation: {} fresh reports, all healthy: {}",
+    println!(
+        "periodic attestation: {} fresh reports, all healthy: {}",
         reports.len(),
-        reports.iter().all(|r| r.healthy()));
+        reports.iter().all(|r| r.healthy())
+    );
     Ok(())
 }

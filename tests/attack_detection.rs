@@ -109,7 +109,10 @@ fn case_iii_covert_channel_and_false_positives() {
         .unwrap()
         .healthy());
     // Benign workloads on the other server never trip the detector.
-    for (i, svc) in cloudmonatt::workloads::CloudService::ALL.into_iter().enumerate() {
+    for (i, svc) in cloudmonatt::workloads::CloudService::ALL
+        .into_iter()
+        .enumerate()
+    {
         let benign = cloud
             .request_vm(
                 VmRequest::new(Flavor::Small, Image::Cirros)
@@ -122,7 +125,11 @@ fn case_iii_covert_channel_and_false_positives() {
         let report = cloud
             .runtime_attest_current(benign, SecurityProperty::CovertChannelFreedom)
             .unwrap();
-        assert!(report.healthy(), "{svc} false positive: {:?}", report.status);
+        assert!(
+            report.healthy(),
+            "{svc} false positive: {:?}",
+            report.status
+        );
     }
 }
 
@@ -151,7 +158,11 @@ fn case_iv_availability() {
         .unwrap();
     cloud.advance(1_000_000);
     let report = cloud.runtime_attest_current(victim, AVAIL).unwrap();
-    assert!(report.healthy(), "fair sharing flagged: {:?}", report.status);
+    assert!(
+        report.healthy(),
+        "fair sharing flagged: {:?}",
+        report.status
+    );
     // Now the attacker arrives.
     let _attacker = cloud
         .request_vm(
@@ -194,12 +205,20 @@ fn extension_scheduler_fairness_flags_the_attacker() {
     let report = cloud
         .runtime_attest_current(attacker, SecurityProperty::SchedulerFairness)
         .unwrap();
-    assert!(!report.healthy(), "attacker not flagged: {:?}", report.status);
+    assert!(
+        !report.healthy(),
+        "attacker not flagged: {:?}",
+        report.status
+    );
     // The starved victim is not the abuser.
     let report = cloud
         .runtime_attest_current(victim, SecurityProperty::SchedulerFairness)
         .unwrap();
-    assert!(report.healthy(), "victim wrongly flagged: {:?}", report.status);
+    assert!(
+        report.healthy(),
+        "victim wrongly flagged: {:?}",
+        report.status
+    );
     // Benign services on the other server all pass.
     for svc in cloudmonatt::workloads::CloudService::ALL {
         let vm = cloud

@@ -1,8 +1,6 @@
 //! Property-based integration tests over cross-crate invariants.
 
-use cloudmonatt::core::{
-    CloudBuilder, Flavor, Image, SecurityProperty, VmRequest, WorkloadSpec,
-};
+use cloudmonatt::core::{CloudBuilder, Flavor, Image, SecurityProperty, VmRequest, WorkloadSpec};
 use cloudmonatt::crypto::drbg::Drbg;
 use cloudmonatt::tpm::TrustModule;
 use proptest::prelude::*;
@@ -16,7 +14,11 @@ fn arb_flavor() -> impl Strategy<Value = Flavor> {
 }
 
 fn arb_image() -> impl Strategy<Value = Image> {
-    prop_oneof![Just(Image::Cirros), Just(Image::Fedora), Just(Image::Ubuntu)]
+    prop_oneof![
+        Just(Image::Cirros),
+        Just(Image::Fedora),
+        Just(Image::Ubuntu)
+    ]
 }
 
 fn arb_property() -> impl Strategy<Value = SecurityProperty> {

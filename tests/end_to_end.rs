@@ -152,13 +152,12 @@ fn periodic_attestation_detects_mid_run_infection() {
 #[test]
 fn service_throughput_is_observable_through_the_cloud() {
     let mut cloud = CloudBuilder::new().servers(2).seed(106).build();
-    let vid = cloud
-        .request_vm(
-            VmRequest::new(Flavor::Small, Image::Cirros).workload(WorkloadSpec::Service(
-                cloudmonatt::workloads::CloudService::Web,
-            )),
-        )
-        .expect("launch");
+    let vid =
+        cloud
+            .request_vm(VmRequest::new(Flavor::Small, Image::Cirros).workload(
+                WorkloadSpec::Service(cloudmonatt::workloads::CloudService::Web),
+            ))
+            .expect("launch");
     cloud.advance(10_000_000);
     let requests = cloud.service_requests(vid).expect("stats");
     assert!(requests > 500, "web service completed {requests} requests");
@@ -167,13 +166,12 @@ fn service_throughput_is_observable_through_the_cloud() {
 #[test]
 fn spec_program_completion_is_observable() {
     let mut cloud = CloudBuilder::new().servers(2).seed(107).build();
-    let vid = cloud
-        .request_vm(
-            VmRequest::new(Flavor::Small, Image::Cirros).workload(WorkloadSpec::Program(
-                cloudmonatt::workloads::SpecProgram::Bzip2,
-            )),
-        )
-        .expect("launch");
+    let vid =
+        cloud
+            .request_vm(VmRequest::new(Flavor::Small, Image::Cirros).workload(
+                WorkloadSpec::Program(cloudmonatt::workloads::SpecProgram::Bzip2),
+            ))
+            .expect("launch");
     assert_eq!(cloud.program_elapsed_us(vid), None);
     cloud.advance(10_000_000);
     let elapsed = cloud.program_elapsed_us(vid).expect("finished");
@@ -195,7 +193,11 @@ fn deterministic_cloud_given_seed() {
         let report = cloud
             .runtime_attest_current(vid, SecurityProperty::StartupIntegrity)
             .unwrap();
-        (cloud.server_of(vid), report.elapsed_us, cloud.wall_clock_us())
+        (
+            cloud.server_of(vid),
+            report.elapsed_us,
+            cloud.wall_clock_us(),
+        )
     };
     assert_eq!(run(55), run(55));
 }

@@ -2,9 +2,7 @@
 //! adversaries (Section 3.3's Dolev-Yao attacker, here actually running
 //! against the real implementation rather than the symbolic model).
 
-use cloudmonatt::core::{
-    CloudBuilder, CloudError, Flavor, Image, SecurityProperty, VmRequest,
-};
+use cloudmonatt::core::{CloudBuilder, CloudError, Flavor, Image, SecurityProperty, VmRequest};
 use cloudmonatt::net::sim::{Eavesdropper, Intercept, NetworkAttacker, Replayer, Tamperer};
 
 fn cloud_with_vm() -> (cloudmonatt::core::Cloud, cloudmonatt::core::Vid) {
@@ -91,12 +89,13 @@ fn eavesdropper_sees_no_plaintext() {
     // appear in the ciphertext.
     let log = cloud.network_mut().log().to_vec();
     assert!(log.len() >= 6, "expected all six protocol messages");
-    for needle in [b"init".as_slice(), b"sshd".as_slice(), b"runtime".as_slice()] {
+    for needle in [
+        b"init".as_slice(),
+        b"sshd".as_slice(),
+        b"runtime".as_slice(),
+    ] {
         for record in &log {
-            let found = record
-                .sent
-                .windows(needle.len())
-                .any(|w| w == needle);
+            let found = record.sent.windows(needle.len()).any(|w| w == needle);
             assert!(
                 !found,
                 "plaintext {:?} leaked in a network record",
