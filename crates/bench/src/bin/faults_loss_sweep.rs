@@ -1,0 +1,23 @@
+//! Runs the network-loss sweep: attestation success rate and latency at
+//! increasing message-drop probabilities, with and without per-hop
+//! retransmission.
+//!
+//! Usage: `faults_loss_sweep [--smoke] [--json <path>]`
+//! `--smoke` runs a reduced sample count for CI; `--json` additionally
+//! writes the machine-readable document (see `BENCH_faults.json`).
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1));
+    let samples = if smoke { 40 } else { 400 };
+    let rows = monatt_bench::faults::run(samples);
+    monatt_bench::faults::print(&rows);
+    if let Some(path) = json_path {
+        std::fs::write(path, monatt_bench::faults::to_json(&rows)).expect("write json");
+        eprintln!("wrote {path}");
+    }
+}

@@ -1,0 +1,233 @@
+//! **Loss sweep** — attestation success rate and latency on a lossy
+//! network, with and without per-hop retransmission. Not a paper figure:
+//! this harness validates the fault-tolerance layer added on top of the
+//! Figure-3 protocol. Each message is dropped independently with
+//! probability `p`; the retransmitting cloud uses the default
+//! [`RetryPolicy`], the fail-fast cloud a single attempt per hop (the
+//! pre-retransmit behaviour).
+
+use monatt_core::{
+    CloudBuilder, CloudError, Flavor, Image, RetryPolicy, SecurityProperty, Vid, VmRequest,
+};
+use monatt_net::sim::FaultModel;
+
+/// The drop probabilities swept (fraction of messages lost).
+pub const DROP_PROBS: [f64; 6] = [0.0, 0.02, 0.05, 0.1, 0.2, 0.3];
+
+/// One row of the loss sweep: both configurations at one drop rate.
+#[derive(Clone, Copy, Debug)]
+pub struct LossRow {
+    /// Per-message drop probability.
+    pub drop_prob: f64,
+    /// Attestations attempted per configuration.
+    pub samples: usize,
+    /// Successful attestations with retransmission enabled.
+    pub retry_success: usize,
+    /// Successful attestations with fail-fast hops.
+    pub fail_fast_success: usize,
+    /// Mean latency of successful retransmitting attestations.
+    pub retry_latency_us: u64,
+    /// Mean latency of successful fail-fast attestations.
+    pub fail_fast_latency_us: u64,
+    /// Total retransmissions performed by the retrying cloud.
+    pub retries: u64,
+    /// Retrying attestations that exhausted the budget (peer declared
+    /// unreachable).
+    pub unreachable: usize,
+}
+
+impl LossRow {
+    /// Success rate of the retransmitting configuration.
+    pub fn retry_success_rate(&self) -> f64 {
+        self.retry_success as f64 / self.samples as f64
+    }
+
+    /// Success rate of the fail-fast configuration.
+    pub fn fail_fast_success_rate(&self) -> f64 {
+        self.fail_fast_success as f64 / self.samples as f64
+    }
+}
+
+struct SweepCloud {
+    cloud: monatt_core::Cloud,
+    vid: Vid,
+}
+
+fn sweep_cloud(retry: RetryPolicy) -> SweepCloud {
+    let mut cloud = CloudBuilder::new().servers(3).seed(99).retry(retry).build();
+    let vid = cloud
+        .request_vm(
+            VmRequest::new(Flavor::Small, Image::Cirros)
+                .require(SecurityProperty::RuntimeIntegrity),
+        )
+        .expect("launch on a clean network");
+    SweepCloud { cloud, vid }
+}
+
+fn measure(sc: &mut SweepCloud, drop_prob: f64, samples: usize) -> (usize, u64, u64, usize) {
+    // Fresh fault stream per (policy, probability) cell so the two
+    // configurations face statistically identical networks.
+    let seed = 0xD0_0D + (drop_prob * 1000.0) as u64;
+    sc.cloud
+        .network_mut()
+        .set_fault_model(FaultModel::new(seed).drop_prob(drop_prob));
+    sc.cloud.reset_protocol_stats();
+    let mut successes = 0usize;
+    let mut latency_sum = 0u64;
+    let mut unreachable = 0usize;
+    for _ in 0..samples {
+        match sc
+            .cloud
+            .runtime_attest_current(sc.vid, SecurityProperty::RuntimeIntegrity)
+        {
+            Ok(report) => {
+                successes += 1;
+                latency_sum += report.elapsed_us;
+            }
+            Err(CloudError::Unreachable { .. }) => unreachable += 1,
+            Err(_) => {}
+        }
+    }
+    let mean_latency = if successes > 0 {
+        latency_sum / successes as u64
+    } else {
+        0
+    };
+    (
+        successes,
+        mean_latency,
+        sc.cloud.protocol_stats().retries,
+        unreachable,
+    )
+}
+
+/// Sweeps [`DROP_PROBS`] with `samples` attestations per configuration.
+pub fn run(samples: usize) -> Vec<LossRow> {
+    let mut rows = Vec::new();
+    for &drop_prob in &DROP_PROBS {
+        let mut retrying = sweep_cloud(RetryPolicy::default());
+        let mut fail_fast = sweep_cloud(RetryPolicy::disabled());
+        let (retry_success, retry_latency_us, retries, unreachable) =
+            measure(&mut retrying, drop_prob, samples);
+        let (fail_fast_success, fail_fast_latency_us, _, _) =
+            measure(&mut fail_fast, drop_prob, samples);
+        rows.push(LossRow {
+            drop_prob,
+            samples,
+            retry_success,
+            fail_fast_success,
+            retry_latency_us,
+            fail_fast_latency_us,
+            retries,
+            unreachable,
+        });
+    }
+    rows
+}
+
+/// Prints the sweep as a table.
+pub fn print(rows: &[LossRow]) {
+    println!("Loss sweep: attestation under message loss (retry vs fail-fast)");
+    println!("drop\tretry-ok\tfailfast-ok\tretry-lat\tfailfast-lat\tretries\tunreach");
+    for row in rows {
+        println!(
+            "{:.2}\t{}\t{}\t{}\t{}\t{}\t{}",
+            row.drop_prob,
+            crate::fmt_pct(row.retry_success_rate()),
+            crate::fmt_pct(row.fail_fast_success_rate()),
+            crate::fmt_secs(row.retry_latency_us),
+            crate::fmt_secs(row.fail_fast_latency_us),
+            row.retries,
+            row.unreachable,
+        );
+    }
+}
+
+/// Renders the sweep as the committed `BENCH_faults.json` document.
+pub fn to_json(rows: &[LossRow]) -> String {
+    let mut out = String::from("{\n  \"loss_sweep\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"drop_prob\": {:.2}, \"samples\": {}, \"retry_success_rate\": {:.4}, \
+             \"fail_fast_success_rate\": {:.4}, \"retry_latency_us\": {}, \
+             \"fail_fast_latency_us\": {}, \"retries\": {}, \"unreachable\": {}}}{}\n",
+            row.drop_prob,
+            row.samples,
+            row.retry_success_rate(),
+            row.fail_fast_success_rate(),
+            row.retry_latency_us,
+            row.fail_fast_latency_us,
+            row.retries,
+            row.unreachable,
+            if i + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retries_hold_ninety_nine_percent_at_ten_percent_loss() {
+        let rows = run(100);
+        let row = rows
+            .iter()
+            .find(|r| (r.drop_prob - 0.1).abs() < 1e-9)
+            .unwrap();
+        assert!(
+            row.retry_success_rate() >= 0.99,
+            "retry success at 10% loss: {}",
+            row.retry_success_rate()
+        );
+        // Fail-fast visibly degrades: one drop among six hops kills the
+        // attestation, so the expected rate is roughly 0.9^6 ≈ 0.53.
+        assert!(
+            row.fail_fast_success_rate() < 0.9,
+            "fail-fast at 10% loss: {}",
+            row.fail_fast_success_rate()
+        );
+        assert!(row.retries > 0);
+    }
+
+    #[test]
+    fn clean_network_is_bit_identical_across_policies() {
+        // With no loss the retransmit layer must add nothing: same
+        // success count, same mean latency, zero retries.
+        let rows = run(20);
+        let row = &rows[0];
+        assert_eq!(row.drop_prob, 0.0);
+        assert_eq!(row.retry_success, row.samples);
+        assert_eq!(row.fail_fast_success, row.samples);
+        assert_eq!(row.retry_latency_us, row.fail_fast_latency_us);
+        assert_eq!(row.retries, 0);
+    }
+
+    #[test]
+    fn success_rate_degrades_monotonically_without_retries() {
+        let rows = run(60);
+        // More loss never helps the fail-fast configuration (allow a
+        // small sampling wobble).
+        for pair in rows.windows(2) {
+            assert!(
+                pair[1].fail_fast_success_rate() <= pair[0].fail_fast_success_rate() + 0.05,
+                "{:?}",
+                pair
+            );
+        }
+        // And retries dominate fail-fast everywhere.
+        for row in &rows {
+            assert!(row.retry_success >= row.fail_fast_success, "{row:?}");
+        }
+    }
+
+    #[test]
+    fn json_document_is_well_formed() {
+        let rows = run(5);
+        let json = to_json(&rows);
+        assert!(json.starts_with('{') && json.ends_with("}\n"));
+        assert_eq!(json.matches("drop_prob").count(), DROP_PROBS.len());
+    }
+}

@@ -8,20 +8,20 @@ use crate::attestation::AttestationServer;
 use crate::controller::{CloudController, ResponseAction, ServerInfo, VmLifecycle, VmRecord};
 use crate::error::CloudError;
 use crate::interpret::ReferenceDb;
-use crate::latency::LatencyParams;
+use crate::latency::{LatencyParams, RetryPolicy};
 use crate::measurements::MeasurementSpec;
 use crate::messages::{
     ControllerForward, CustomerReportMsg, CustomerRequest, MeasureRequest, MeasureResponse,
 };
 use crate::server::CloudServerNode;
-use crate::types::{Flavor, HealthStatus, Image, SecurityProperty, ServerId, Vid};
+use crate::types::{Flavor, HealthStatus, Image, ProtocolStats, SecurityProperty, ServerId, Vid};
 use monatt_attacks::boost::{boost_attack_drivers, BoostAttackVcpu};
 use monatt_attacks::covert::CovertSender;
 use monatt_crypto::drbg::Drbg;
 use monatt_crypto::schnorr::SigningKey;
 use monatt_hypervisor::driver::{BusyLoop, IdleDriver, WorkloadDriver};
 use monatt_hypervisor::scheduler::SchedParams;
-use monatt_net::channel::{handshake_pair, SecureChannel};
+use monatt_net::channel::{handshake_pair, ChannelError, SecureChannel};
 use monatt_net::sim::SimNetwork;
 use monatt_net::wire::Wire;
 use monatt_workloads::programs::SpecProgram;
@@ -257,7 +257,14 @@ impl Frequency {
         match *self {
             Frequency::Fixed(us) => us,
             Frequency::Random { min_us, max_us } => {
-                min_us + rng.next_u64_below(max_us.saturating_sub(min_us).max(1) + 1)
+                // Sample from [min_us, max_us] exactly. A degenerate or
+                // inverted range (max_us <= min_us) clamps to min_us
+                // instead of silently overshooting max_us; a zero
+                // interval would never advance the clock, so floor at 1.
+                if max_us <= min_us {
+                    return min_us.max(1);
+                }
+                min_us + rng.next_u64_below(max_us - min_us + 1)
             }
         }
     }
@@ -271,6 +278,28 @@ struct Subscription {
     frequency: Frequency,
     next_due_us: u64,
     reports: Vec<AttestationReport>,
+    /// Samples that came due but failed (protocol error or unreachable).
+    missed: u64,
+    /// Failures since the last successful sample.
+    consecutive_failures: u32,
+    /// How often the consecutive-failure threshold was crossed and the
+    /// Response Module notified.
+    escalations: u32,
+}
+
+/// Degradation counters of one periodic subscription — missed samples
+/// are recorded, not silently discarded, so a lossy network is
+/// distinguishable from a healthy one.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SubscriptionHealth {
+    /// Reports successfully delivered so far.
+    pub delivered: u64,
+    /// Samples that came due but produced no report.
+    pub missed: u64,
+    /// Failures since the last successful sample.
+    pub consecutive_failures: u32,
+    /// Times the failure streak reached the escalation threshold.
+    pub escalations: u32,
 }
 
 /// Both endpoints of one SSL-like link, with the peer names resolved once
@@ -288,6 +317,8 @@ pub struct CloudBuilder {
     seed: u64,
     latency: LatencyParams,
     sched: SchedParams,
+    retry: RetryPolicy,
+    escalation_threshold: u32,
     auto_response: bool,
     corrupted_platforms: Vec<usize>,
 }
@@ -308,6 +339,8 @@ impl CloudBuilder {
             seed: 0,
             latency: LatencyParams::default(),
             sched: SchedParams::default(),
+            retry: RetryPolicy::default(),
+            escalation_threshold: 3,
             auto_response: false,
             corrupted_platforms: Vec::new(),
         }
@@ -340,6 +373,20 @@ impl CloudBuilder {
     /// Overrides the hypervisor scheduler parameters.
     pub fn sched(mut self, sched: SchedParams) -> Self {
         self.sched = sched;
+        self
+    }
+
+    /// Overrides the per-hop retransmission policy
+    /// ([`RetryPolicy::disabled`] restores fail-fast hops).
+    pub fn retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// After how many consecutive missed periodic samples a subscription
+    /// escalates to the Response Module (default 3; minimum 1).
+    pub fn escalation_threshold(mut self, k: u32) -> Self {
+        self.escalation_threshold = k.max(1);
         self
     }
 
@@ -450,6 +497,9 @@ impl CloudBuilder {
             ctrl_as,
             as_server,
             latency: self.latency,
+            retry: self.retry,
+            escalation_threshold: self.escalation_threshold.max(1),
+            stats: ProtocolStats::default(),
             wall_clock_us: 0,
             last_launch: None,
             subscriptions: BTreeMap::new(),
@@ -480,6 +530,9 @@ pub struct Cloud {
     ctrl_as: ChannelPair,
     as_server: BTreeMap<ServerId, ChannelPair>,
     latency: LatencyParams,
+    retry: RetryPolicy,
+    escalation_threshold: u32,
+    stats: ProtocolStats,
     wall_clock_us: u64,
     last_launch: Option<LaunchTiming>,
     subscriptions: BTreeMap<u64, Subscription>,
@@ -498,7 +551,18 @@ impl std::fmt::Debug for Cloud {
     }
 }
 
-/// Seals `payload` on `send`, transmits it, and opens it on `recv`.
+/// Seals `payload` on `send`, transmits it, and opens it on `recv`,
+/// retransmitting per `retry` when the network loses or corrupts the
+/// record. Each attempt seals afresh (a new sequence number), so the
+/// receive window never confuses a retransmit with a replay; a benign
+/// network-duplicated record is fed to the receiver twice and the second
+/// copy must bounce off the window.
+///
+/// Returned latency charges every failed attempt: the transmit time of
+/// whatever made it onto the wire, the sender's loss-detection timeout,
+/// and exponential backoff with jitter before each retry. On a clean
+/// network this reduces exactly to the single delivery's latency, with
+/// no RNG draws.
 ///
 /// The endpoint names come from the channels' cached peer labels (the
 /// sender is the receiving channel's peer and vice versa), so the hot
@@ -508,22 +572,78 @@ fn hop(
     send: &mut SecureChannel,
     recv: &mut SecureChannel,
     payload: &[u8],
+    retry: &RetryPolicy,
+    rng: &mut Drbg,
+    stats: &mut ProtocolStats,
 ) -> Result<(Vec<u8>, u64), CloudError> {
-    let record = send.seal(b"", payload);
-    let delivery = network.transmit(recv.peer(), send.peer(), &record);
-    let Some(delivered) = delivery.payload else {
-        return Err(CloudError::ProtocolFailure {
+    let max_attempts = retry.max_attempts.max(1);
+    let mut latency_us = 0u64;
+    let mut last_auth_failure: Option<ChannelError> = None;
+    for attempt in 1..=max_attempts {
+        if attempt > 1 {
+            stats.retries += 1;
+            latency_us += retry.backoff_us(attempt - 1, rng);
+        }
+        let record = send.seal(b"", payload);
+        stats.messages_sent += 1;
+        let delivery = network.transmit(recv.peer(), send.peer(), &record);
+        match delivery.payload {
+            None => {
+                // Nothing arrived: the sender learns of the loss only by
+                // timing out.
+                stats.drops_seen += 1;
+                stats.timeouts += 1;
+                latency_us += retry.timeout_us;
+            }
+            Some(delivered) => match recv.open(b"", &delivered) {
+                Ok(plaintext) => {
+                    latency_us += delivery.latency_us;
+                    if delivery.duplicated {
+                        // The network delivered a second identical copy;
+                        // the receive window must reject it without
+                        // desynchronizing the channel.
+                        match recv.open(b"", &delivered) {
+                            Err(ChannelError::DuplicateRecord) => {
+                                stats.duplicates_rejected += 1;
+                            }
+                            other => {
+                                return Err(CloudError::ProtocolFailure {
+                                    reason: format!(
+                                        "duplicate record from {} not rejected: {other:?}",
+                                        recv.peer()
+                                    ),
+                                })
+                            }
+                        }
+                    }
+                    return Ok((plaintext, latency_us));
+                }
+                Err(e) => {
+                    // Corrupted, tampered or replayed: the record is
+                    // rejected, the receiver stays silent, the sender
+                    // times out.
+                    stats.auth_failures += 1;
+                    stats.timeouts += 1;
+                    latency_us += delivery.latency_us + retry.timeout_us;
+                    last_auth_failure = Some(e);
+                }
+            },
+        }
+    }
+    // Retry budget exhausted. Distinguish "every delivery failed
+    // authentication" (evidence of tampering — a protocol failure) from
+    // "nothing ever arrived" (the peer is unreachable).
+    match last_auth_failure {
+        Some(e) => Err(CloudError::ProtocolFailure {
             reason: format!(
-                "message from {} to {} was dropped in transit",
+                "secure channel {}->{}: {e} ({max_attempts} attempts)",
                 recv.peer(),
                 send.peer()
             ),
-        });
-    };
-    match recv.open(b"", &delivered) {
-        Ok(plaintext) => Ok((plaintext, delivery.latency_us)),
-        Err(e) => Err(CloudError::ProtocolFailure {
-            reason: format!("secure channel {}->{}: {e}", recv.peer(), send.peer()),
+        }),
+        None => Err(CloudError::Unreachable {
+            peer: send.peer().to_owned(),
+            attempts: max_attempts,
         }),
     }
 }
@@ -559,9 +679,26 @@ impl Cloud {
         self.servers.get_mut(&id)
     }
 
-    /// The network, for installing Dolev-Yao adversaries in experiments.
+    /// The network, for installing Dolev-Yao adversaries and fault
+    /// models in experiments.
     pub fn network_mut(&mut self) -> &mut SimNetwork {
         &mut self.network
+    }
+
+    /// Per-hop protocol delivery counters (retries, drops seen,
+    /// duplicates rejected, timeouts) accumulated since the last reset.
+    pub fn protocol_stats(&self) -> ProtocolStats {
+        self.stats
+    }
+
+    /// Zeroes the protocol counters (e.g. between experiment phases).
+    pub fn reset_protocol_stats(&mut self) {
+        self.stats = ProtocolStats::default();
+    }
+
+    /// The per-hop retransmission policy in force.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
     }
 
     /// The stage breakdown of the most recent launch (Figure 9).
@@ -663,6 +800,19 @@ impl Cloud {
                         self.last_launch = Some(timing);
                         return Err(CloudError::LaunchRejected { reason });
                     }
+                    HealthStatus::Unreachable { .. } => {
+                        // Delivery failures surface as Err(Unreachable)
+                        // from attest_internal, so a report never carries
+                        // this status here; reject defensively — the
+                        // launch policy requires a verdict.
+                        if let Some(node) = self.servers.get_mut(&server_id) {
+                            node.remove_vm(vid);
+                        }
+                        self.last_launch = Some(timing);
+                        return Err(CloudError::LaunchRejected {
+                            reason: "no attestation verdict: server unreachable".into(),
+                        });
+                    }
                 }
             }
             self.controller.record_deployment(VmRecord {
@@ -717,6 +867,9 @@ impl Cloud {
             &mut self.ctrl_as.initiator,
             &mut self.ctrl_as.responder,
             &fwd.to_wire(),
+            &self.retry,
+            &mut self.rng,
+            &mut self.stats,
         )?;
         elapsed += latency + self.latency.hop_processing_us;
         let fwd =
@@ -737,6 +890,9 @@ impl Cloud {
             &mut pair.initiator,
             &mut pair.responder,
             &measure_req.to_wire(),
+            &self.retry,
+            &mut self.rng,
+            &mut self.stats,
         )?;
         elapsed += latency + self.latency.hop_processing_us;
         let req = MeasureRequest::from_wire(&bytes).map_err(|e| CloudError::ProtocolFailure {
@@ -787,6 +943,9 @@ impl Cloud {
             &mut pair.responder,
             &mut pair.initiator,
             &msg4.to_wire(),
+            &self.retry,
+            &mut self.rng,
+            &mut self.stats,
         )?;
         elapsed += latency + self.latency.hop_processing_us + self.latency.signature_us;
         let msg4 = MeasureResponse::from_wire(&bytes).map_err(|e| CloudError::ProtocolFailure {
@@ -806,6 +965,9 @@ impl Cloud {
             &mut self.ctrl_as.responder,
             &mut self.ctrl_as.initiator,
             &report_msg.to_wire(),
+            &self.retry,
+            &mut self.rng,
+            &mut self.stats,
         )?;
         elapsed += latency + self.latency.hop_processing_us + self.latency.signature_us;
         let report_msg = crate::messages::AttestationReportMsg::from_wire(&bytes).map_err(|e| {
@@ -848,6 +1010,9 @@ impl Cloud {
             &mut self.cust_ctrl.initiator,
             &mut self.cust_ctrl.responder,
             &request.to_wire(),
+            &self.retry,
+            &mut self.rng,
+            &mut self.stats,
         )?;
         elapsed += latency + self.latency.hop_processing_us;
         let request =
@@ -867,6 +1032,9 @@ impl Cloud {
             &mut self.cust_ctrl.responder,
             &mut self.cust_ctrl.initiator,
             &report_msg.to_wire(),
+            &self.retry,
+            &mut self.rng,
+            &mut self.stats,
         )?;
         elapsed += latency + self.latency.hop_processing_us + 2 * self.latency.signature_us;
         let report_msg =
@@ -965,9 +1133,33 @@ impl Cloud {
                 frequency,
                 next_due_us: self.wall_clock_us + first,
                 reports: Vec::new(),
+                missed: 0,
+                consecutive_failures: 0,
+                escalations: 0,
             },
         );
         Ok(id)
+    }
+
+    /// Degradation counters of a periodic subscription.
+    ///
+    /// # Errors
+    ///
+    /// [`CloudError::UnknownSubscription`] for an unknown id.
+    pub fn subscription_health(&self, subscription: u64) -> Result<SubscriptionHealth, CloudError> {
+        self.subscriptions
+            .get(&subscription)
+            .map(|s| SubscriptionHealth {
+                delivered: s
+                    .reports
+                    .iter()
+                    .filter(|r| !r.status.is_unreachable())
+                    .count() as u64,
+                missed: s.missed,
+                consecutive_failures: s.consecutive_failures,
+                escalations: s.escalations,
+            })
+            .ok_or(CloudError::UnknownSubscription(subscription))
     }
 
     /// Table 1: `stop_attest_periodic(Vid, P, N)` — ends a subscription
@@ -988,6 +1180,13 @@ impl Cloud {
 
     /// Runs the cloud for `duration_us`, firing periodic attestations as
     /// they come due.
+    ///
+    /// A sample that fails (protocol failure or unreachable server) is
+    /// recorded on the subscription, not silently discarded; after
+    /// [`CloudBuilder::escalation_threshold`] consecutive failures the
+    /// subscription files an [`HealthStatus::Unreachable`] report and,
+    /// under auto-response, invokes the Response Module's
+    /// unreachable policy.
     pub fn run(&mut self, duration_us: u64) {
         let end = self.wall_clock_us + duration_us;
         loop {
@@ -998,6 +1197,9 @@ impl Cloud {
                 .min()
                 .unwrap_or(u64::MAX);
             if next_due >= end {
+                // Attestation work may already have advanced the clock
+                // past `end`; saturate so the final advance never
+                // overshoots the requested horizon.
                 let remaining = end.saturating_sub(self.wall_clock_us);
                 if remaining > 0 {
                     self.advance(remaining);
@@ -1021,10 +1223,41 @@ impl Cloud {
                 };
                 let report = self.runtime_attest_current(vid, property);
                 let interval = frequency.next_interval(&mut self.rng);
+                let mut escalated_misses = None;
                 if let Some(s) = self.subscriptions.get_mut(&id) {
                     s.next_due_us = self.wall_clock_us + interval;
-                    if let Ok(r) = report {
-                        s.reports.push(r);
+                    match report {
+                        Ok(r) => {
+                            s.consecutive_failures = 0;
+                            s.reports.push(r);
+                        }
+                        Err(_) => {
+                            s.missed += 1;
+                            s.consecutive_failures += 1;
+                            if s.consecutive_failures >= self.escalation_threshold {
+                                s.escalations += 1;
+                                escalated_misses = Some(s.consecutive_failures);
+                                s.consecutive_failures = 0;
+                            }
+                        }
+                    }
+                }
+                if let Some(missed) = escalated_misses {
+                    let issued_at = self.wall_clock_us;
+                    if let Some(s) = self.subscriptions.get_mut(&id) {
+                        // File the degradation as a first-class report so
+                        // the customer sees the monitoring gap.
+                        s.reports.push(AttestationReport {
+                            vid,
+                            property,
+                            status: HealthStatus::Unreachable { missed },
+                            elapsed_us: 0,
+                            issued_at_us: issued_at,
+                        });
+                    }
+                    if self.auto_response {
+                        let action = self.controller.choose_unreachable_response();
+                        let _ = self.respond(vid, action);
                     }
                 }
             }
@@ -1572,6 +1805,156 @@ mod tests {
         let report = c.recheck_and_resume(victim, prop).unwrap();
         assert!(report.healthy(), "{:?}", report.status);
         assert_eq!(c.vm_state(victim), Some(VmLifecycle::Active));
+    }
+
+    #[test]
+    fn frequency_degenerate_ranges_clamp() {
+        let mut rng = Drbg::from_seed(1);
+        // Equal bounds: exactly that interval, not max+something.
+        let f = Frequency::Random {
+            min_us: 5,
+            max_us: 5,
+        };
+        for _ in 0..8 {
+            assert_eq!(f.next_interval(&mut rng), 5);
+        }
+        // Inverted bounds clamp to min.
+        let f = Frequency::Random {
+            min_us: 10,
+            max_us: 2,
+        };
+        assert_eq!(f.next_interval(&mut rng), 10);
+        // All-zero range floors at 1 so run() always advances.
+        let f = Frequency::Random {
+            min_us: 0,
+            max_us: 0,
+        };
+        assert_eq!(f.next_interval(&mut rng), 1);
+        // A proper range stays within [min, max] inclusive.
+        let f = Frequency::Random {
+            min_us: 3,
+            max_us: 6,
+        };
+        for _ in 0..64 {
+            let v = f.next_interval(&mut rng);
+            assert!((3..=6).contains(&v), "{v}");
+        }
+    }
+
+    #[test]
+    fn clean_network_keeps_protocol_counters_quiet() {
+        let mut c = cloud();
+        let vid = c
+            .request_vm(
+                VmRequest::new(Flavor::Small, Image::Cirros)
+                    .require(SecurityProperty::RuntimeIntegrity),
+            )
+            .unwrap();
+        c.runtime_attest_current(vid, SecurityProperty::RuntimeIntegrity)
+            .unwrap();
+        let stats = c.protocol_stats();
+        assert!(stats.messages_sent > 0);
+        assert_eq!(stats.retries, 0);
+        assert_eq!(stats.drops_seen, 0);
+        assert_eq!(stats.timeouts, 0);
+        assert_eq!(stats.duplicates_rejected, 0);
+        assert_eq!(stats.auth_failures, 0);
+        c.reset_protocol_stats();
+        assert_eq!(c.protocol_stats(), ProtocolStats::default());
+    }
+
+    #[test]
+    fn retries_absorb_lossy_network() {
+        use monatt_net::sim::FaultModel;
+        let mut c = cloud();
+        let vid = c
+            .request_vm(
+                VmRequest::new(Flavor::Small, Image::Cirros)
+                    .require(SecurityProperty::RuntimeIntegrity),
+            )
+            .unwrap();
+        let clean = c
+            .runtime_attest_current(vid, SecurityProperty::RuntimeIntegrity)
+            .unwrap();
+        c.network_mut()
+            .set_fault_model(FaultModel::new(42).drop_prob(0.2));
+        let mut lossy_max = 0;
+        for _ in 0..10 {
+            let report = c
+                .runtime_attest_current(vid, SecurityProperty::RuntimeIntegrity)
+                .expect("retries should absorb 20% loss");
+            assert!(report.healthy());
+            lossy_max = lossy_max.max(report.elapsed_us);
+        }
+        let stats = c.protocol_stats();
+        assert!(stats.retries > 0, "{stats:?}");
+        assert_eq!(stats.drops_seen, stats.timeouts);
+        // Retransmission time is charged into the latency model.
+        assert!(lossy_max > clean.elapsed_us, "{lossy_max} vs {clean:?}");
+    }
+
+    #[test]
+    fn duplicated_records_are_rejected_without_desync() {
+        use monatt_net::sim::FaultModel;
+        let mut c = cloud();
+        let vid = c
+            .request_vm(
+                VmRequest::new(Flavor::Small, Image::Cirros)
+                    .require(SecurityProperty::RuntimeIntegrity),
+            )
+            .unwrap();
+        c.network_mut()
+            .set_fault_model(FaultModel::new(7).duplicate_prob(1.0));
+        c.reset_protocol_stats();
+        // Every record delivered twice: the window eats each duplicate
+        // and the protocol still completes.
+        let report = c
+            .runtime_attest_current(vid, SecurityProperty::RuntimeIntegrity)
+            .unwrap();
+        assert!(report.healthy());
+        let stats = c.protocol_stats();
+        assert_eq!(stats.duplicates_rejected, stats.messages_sent);
+    }
+
+    #[test]
+    fn missed_periodic_samples_escalate_to_unreachable() {
+        use monatt_net::sim::{Intercept, NetworkAttacker};
+        struct DropAll;
+        impl NetworkAttacker for DropAll {
+            fn intercept(&mut self, _: &str, _: &str, _: &[u8]) -> Intercept {
+                Intercept::Drop
+            }
+        }
+        let mut c = CloudBuilder::new()
+            .servers(3)
+            .seed(21)
+            .escalation_threshold(2)
+            .build();
+        let vid = c
+            .request_vm(
+                VmRequest::new(Flavor::Small, Image::Cirros)
+                    .require(SecurityProperty::RuntimeIntegrity),
+            )
+            .unwrap();
+        let sub = c
+            .runtime_attest_periodic(vid, SecurityProperty::RuntimeIntegrity, 5_000_000)
+            .unwrap();
+        c.network_mut().set_attacker(Box::new(DropAll));
+        c.run(21_000_000);
+        let health = c.subscription_health(sub).unwrap();
+        assert_eq!(health.delivered, 0);
+        assert!(health.missed >= 3, "{health:?}");
+        assert!(health.escalations >= 1, "{health:?}");
+        // Healing the network resets the failure streak.
+        c.network_mut().clear_attacker();
+        c.run(6_000_000);
+        let health = c.subscription_health(sub).unwrap();
+        assert_eq!(health.consecutive_failures, 0);
+        assert!(health.delivered >= 1, "{health:?}");
+        let reports = c.stop_attest_periodic(sub).unwrap();
+        let unreachable = reports.iter().filter(|r| r.status.is_unreachable()).count();
+        assert!(unreachable >= 1, "escalation should file a report");
+        assert!(c.subscription_health(sub).is_err());
     }
 
     #[test]

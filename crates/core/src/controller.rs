@@ -212,6 +212,16 @@ impl CloudController {
         }
     }
 
+    /// Picks the remediation response when a VM's server stops answering
+    /// attestation requests altogether. Silence carries no evidence that
+    /// the VM itself is compromised, so the guest is not killed; instead
+    /// it is migrated to a server the Attestation Server can still
+    /// reach, restoring monitorability (Section 3.2's requirement that
+    /// the customer can always learn the VM's security health).
+    pub fn choose_unreachable_response(&self) -> ResponseAction {
+        ResponseAction::Migration
+    }
+
     /// Builds and signs the customer report (message 6, quote Q1 under
     /// SKc).
     pub fn certify_customer_report(

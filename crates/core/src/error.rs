@@ -27,6 +27,16 @@ pub enum CloudError {
         /// Which check failed.
         reason: String,
     },
+    /// A protocol hop could not deliver a message within its retry
+    /// budget: the peer is unreachable (or the network is lossy beyond
+    /// the retransmit layer's tolerance). Distinct from an unhealthy
+    /// attestation verdict — no evidence about the VM was gathered.
+    Unreachable {
+        /// The endpoint that could not be reached.
+        peer: String,
+        /// How many delivery attempts were made.
+        attempts: u32,
+    },
     /// The requested property is not monitored on the VM's server.
     PropertyNotSupported {
         /// The unsupported property.
@@ -59,6 +69,9 @@ impl fmt::Display for CloudError {
             CloudError::LaunchRejected { reason } => write!(f, "VM launch rejected: {reason}"),
             CloudError::ProtocolFailure { reason } => {
                 write!(f, "attestation protocol failure: {reason}")
+            }
+            CloudError::Unreachable { peer, attempts } => {
+                write!(f, "{peer} unreachable after {attempts} delivery attempts")
             }
             CloudError::PropertyNotSupported { property, server } => {
                 write!(f, "property {property} not supported on {server}")

@@ -8,9 +8,68 @@
 //! migration dominated by memory copy over a 1 Gbps link (Fig. 11).
 
 use crate::types::{Flavor, Image};
+use monatt_crypto::drbg::Drbg;
 
 /// Microseconds per millisecond.
 const MS: u64 = 1_000;
+
+/// Per-hop retransmission policy for the Figure-3 protocol: how many
+/// delivery attempts each message gets and how long the sender backs off
+/// between them. The paper's threat model gives the adversary "full
+/// control of the network" (Section 3.3); real deployments additionally
+/// lose messages benignly, so delivery failure is a protocol state to
+/// recover from, not a fatal error.
+///
+/// Backoff is exponential with up to 50 % decorrelating jitter
+/// (`backoff * 2^(attempt-1)` capped at `backoff_cap_us`), and all retry
+/// time — timeouts plus backoff — is charged into the end-to-end latency
+/// of Figures 9-11, so a lossy network visibly slows attestation instead
+/// of silently failing it. With a clean network the policy adds zero
+/// latency and draws no randomness, keeping fault-free runs bit-identical
+/// to a fail-fast configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total delivery attempts per hop, including the first (1 =
+    /// fail-fast, the pre-retransmit behaviour).
+    pub max_attempts: u32,
+    /// How long the sender waits before declaring a record lost.
+    pub timeout_us: u64,
+    /// First-retry backoff; doubles each further attempt.
+    pub backoff_base_us: u64,
+    /// Upper bound on a single backoff step (before jitter).
+    pub backoff_cap_us: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 5,
+            timeout_us: 2 * MS,
+            backoff_base_us: 500,
+            backoff_cap_us: 8 * MS,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The fail-fast policy: one attempt, no retransmission.
+    pub fn disabled() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            ..Self::default()
+        }
+    }
+
+    /// The backoff (plus jitter) charged before retry number `attempt`
+    /// (1-based: the backoff taken after the `attempt`-th failed try).
+    pub fn backoff_us(&self, attempt: u32, rng: &mut Drbg) -> u64 {
+        let exp = self
+            .backoff_base_us
+            .saturating_mul(1u64 << (attempt - 1).min(16))
+            .min(self.backoff_cap_us);
+        exp + rng.next_u64_below(exp / 2 + 1)
+    }
+}
 
 /// Cost parameters for cloud management operations.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -185,5 +244,24 @@ mod tests {
         let p = LatencyParams::default();
         assert_eq!(p.hash_us(400), 1_000_000);
         assert!(p.hash_us(Image::Ubuntu.size_mb()) > p.hash_us(Image::Cirros.size_mb()));
+    }
+
+    #[test]
+    fn backoff_grows_and_caps() {
+        let policy = RetryPolicy::default();
+        let mut rng = Drbg::from_seed(5);
+        let b1 = policy.backoff_us(1, &mut rng);
+        assert!((500..=750).contains(&b1), "{b1}");
+        // Deep attempts are capped at backoff_cap_us (+50% jitter).
+        let deep = policy.backoff_us(30, &mut rng);
+        assert!(
+            (policy.backoff_cap_us..=policy.backoff_cap_us * 3 / 2).contains(&deep),
+            "{deep}"
+        );
+    }
+
+    #[test]
+    fn disabled_policy_is_fail_fast() {
+        assert_eq!(RetryPolicy::disabled().max_attempts, 1);
     }
 }

@@ -57,14 +57,16 @@ pub mod types;
 
 pub use attestation::AttestationServer;
 pub use cloud::{
-    AttestationReport, Cloud, CloudBuilder, Frequency, LaunchTiming, ResponseTiming, VmRequest,
-    WorkloadSpec,
+    AttestationReport, Cloud, CloudBuilder, Frequency, LaunchTiming, ResponseTiming,
+    SubscriptionHealth, VmRequest, WorkloadSpec,
 };
 pub use controller::{CloudController, ResponseAction, ServerInfo, VmLifecycle, VmRecord};
 pub use error::CloudError;
 pub use interpret::{analyze_intervals, IntervalAnalysis, ReferenceDb, DEFAULT_WINDOW_US};
-pub use latency::LatencyParams;
+pub use latency::{LatencyParams, RetryPolicy};
 pub use measurements::{Measurement, MeasurementSpec, TaskInfo};
 pub use pca::{AvkCertificate, PrivacyCa};
 pub use server::{AttestationResponse, CloudServerNode};
-pub use types::{Flavor, HealthStatus, Image, Nonce, SecurityProperty, ServerId, Vid};
+pub use types::{
+    Flavor, HealthStatus, Image, Nonce, ProtocolStats, SecurityProperty, ServerId, Vid,
+};

@@ -45,6 +45,10 @@ impl Wire for HealthStatus {
                 w.put_u8(1);
                 w.put_str(reason);
             }
+            HealthStatus::Unreachable { missed } => {
+                w.put_u8(2);
+                w.put_u32(*missed);
+            }
         }
     }
 
@@ -53,6 +57,9 @@ impl Wire for HealthStatus {
             0 => Ok(HealthStatus::Healthy),
             1 => Ok(HealthStatus::Compromised {
                 reason: r.get_str()?,
+            }),
+            2 => Ok(HealthStatus::Unreachable {
+                missed: r.get_u32()?,
             }),
             d => Err(WireError::InvalidDiscriminant(d)),
         }
@@ -326,6 +333,7 @@ mod tests {
             HealthStatus::Compromised {
                 reason: "bad".into(),
             },
+            HealthStatus::Unreachable { missed: 3 },
         ] {
             assert_eq!(HealthStatus::from_wire(&s.to_wire()).unwrap(), s);
         }

@@ -104,6 +104,15 @@ pub enum HealthStatus {
         /// Why the property was judged violated.
         reason: String,
     },
+    /// No verdict could be reached: the monitored server did not answer
+    /// within the protocol's retry budget. Deliberately distinct from
+    /// [`HealthStatus::Compromised`] — silence is not evidence of a
+    /// violation, but it is not health either, and after repeated
+    /// misses it escalates to the Response Module.
+    Unreachable {
+        /// How many consecutive attestation samples were missed.
+        missed: u32,
+    },
 }
 
 impl HealthStatus {
@@ -111,6 +120,33 @@ impl HealthStatus {
     pub fn is_healthy(&self) -> bool {
         matches!(self, HealthStatus::Healthy)
     }
+
+    /// True for [`HealthStatus::Unreachable`].
+    pub fn is_unreachable(&self) -> bool {
+        matches!(self, HealthStatus::Unreachable { .. })
+    }
+}
+
+/// Per-hop protocol delivery counters, accumulated across every Figure-3
+/// message the cloud facade sends. Observability for the retransmit
+/// layer: a lossy network shows up here long before attestations start
+/// failing outright.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ProtocolStats {
+    /// Records sealed and handed to the network (including retries).
+    pub messages_sent: u64,
+    /// Retransmissions performed after a failed delivery attempt.
+    pub retries: u64,
+    /// Attempts where the network delivered nothing (drop or attacker).
+    pub drops_seen: u64,
+    /// Attempts charged a retransmit timeout while waiting on a lost
+    /// record.
+    pub timeouts: u64,
+    /// Benign duplicate records rejected by the receive window.
+    pub duplicates_rejected: u64,
+    /// Records that failed channel authentication (corruption,
+    /// tampering or replay).
+    pub auth_failures: u64,
 }
 
 /// VM sizes offered by the cloud (Figure 9 and 11 sweep these).

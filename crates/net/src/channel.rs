@@ -29,8 +29,13 @@ pub enum ChannelError {
     PeerAuthentication,
     /// A handshake share was malformed.
     BadShare,
-    /// A record failed authentication (tampering, replay, reordering).
+    /// A record failed authentication (tampering).
     RecordAuthentication,
+    /// A record carried a sequence number already accepted (or too old
+    /// to tell): a benign retransmit duplicate or a replay attack.
+    /// Either way the record is rejected, but the channel state is
+    /// untouched — later records still open.
+    DuplicateRecord,
     /// A record was malformed.
     Malformed,
 }
@@ -41,6 +46,7 @@ impl std::fmt::Display for ChannelError {
             ChannelError::PeerAuthentication => write!(f, "peer authentication failed"),
             ChannelError::BadShare => write!(f, "malformed handshake share"),
             ChannelError::RecordAuthentication => write!(f, "record authentication failed"),
+            ChannelError::DuplicateRecord => write!(f, "duplicate or replayed record rejected"),
             ChannelError::Malformed => write!(f, "malformed record"),
         }
     }
@@ -117,14 +123,34 @@ pub struct PendingHandshake {
 /// An established channel endpoint: directional keys + sequence numbers,
 /// plus a cached label naming the remote endpoint so per-record paths
 /// never re-format peer names.
+///
+/// Receiving uses a DTLS-style sliding anti-replay window rather than a
+/// strict monotonic cursor: a late (reordered) record within
+/// [`REPLAY_WINDOW`] of the newest accepted sequence is still accepted
+/// exactly once, while any second copy — a retransmit duplicate or an
+/// attacker replay — is rejected with [`ChannelError::DuplicateRecord`]
+/// without desynchronizing the channel.
 #[derive(Debug)]
 pub struct SecureChannel {
     send_key: SealKey,
     recv_key: SealKey,
     send_seq: u64,
-    recv_seq: u64,
+    /// Highest sequence number accepted so far (meaningful only when
+    /// `recv_count > 0`).
+    recv_max: u64,
+    /// Bitmap over the window: bit `i` set means sequence
+    /// `recv_max - i` was accepted.
+    recv_window: u64,
+    /// Total records accepted.
+    recv_count: u64,
     peer: Box<str>,
 }
+
+/// Width of the receive anti-replay window, in records. Records older
+/// than `recv_max - REPLAY_WINDOW + 1` are rejected as replays even if
+/// never seen — the window is the bound on how much reordering a
+/// retransmitting sender can produce.
+pub const REPLAY_WINDOW: u64 = 64;
 
 /// Label used until [`SecureChannel::set_peer`] names the remote endpoint.
 const DEFAULT_PEER: &str = "peer";
@@ -184,7 +210,9 @@ pub fn respond(
             send_key: SealKey::derive(&session, b"r2i"),
             recv_key: SealKey::derive(&session, b"i2r"),
             send_seq: 0,
-            recv_seq: 0,
+            recv_max: 0,
+            recv_window: 0,
+            recv_count: 0,
             peer: DEFAULT_PEER.into(),
         },
     ))
@@ -213,7 +241,9 @@ pub fn complete(
         send_key: SealKey::derive(&session, b"i2r"),
         recv_key: SealKey::derive(&session, b"r2i"),
         send_seq: 0,
-        recv_seq: 0,
+        recv_max: 0,
+        recv_window: 0,
+        recv_count: 0,
         peer: DEFAULT_PEER.into(),
     })
 }
@@ -231,15 +261,17 @@ impl SecureChannel {
         record
     }
 
-    /// Opens a record. Sequence numbers must move strictly forward:
-    /// anything at or below the last accepted sequence is rejected as a
-    /// replay; gaps (dropped records) are tolerated.
+    /// Opens a record, enforcing at-most-once delivery through the
+    /// sliding anti-replay window: gaps (dropped records) are tolerated,
+    /// a reordered record within [`REPLAY_WINDOW`] of the newest accepted
+    /// sequence is accepted exactly once, and any already-accepted or
+    /// out-of-window sequence is rejected without touching channel state.
     ///
     /// # Errors
     ///
     /// [`ChannelError::Malformed`] for records too short to carry a
-    /// header, [`ChannelError::RecordAuthentication`] on tampering or
-    /// replay.
+    /// header, [`ChannelError::DuplicateRecord`] for a duplicate or
+    /// replay, [`ChannelError::RecordAuthentication`] on tampering.
     pub fn open(&mut self, aad: &[u8], record: &[u8]) -> Result<Vec<u8>, ChannelError> {
         if record.len() < 8 {
             return Err(ChannelError::Malformed);
@@ -247,15 +279,41 @@ impl SecureChannel {
         let mut seq_bytes = [0u8; 8];
         seq_bytes.copy_from_slice(&record[..8]);
         let seq = u64::from_be_bytes(seq_bytes);
-        if seq < self.recv_seq {
-            return Err(ChannelError::RecordAuthentication);
+        // Replay check first — it is cheap and needs no key material.
+        if self.recv_count > 0 && seq <= self.recv_max {
+            let age = self.recv_max - seq;
+            if age >= REPLAY_WINDOW {
+                // Too old to track: reject conservatively.
+                return Err(ChannelError::DuplicateRecord);
+            }
+            if self.recv_window & (1u64 << age) != 0 {
+                return Err(ChannelError::DuplicateRecord);
+            }
         }
         let nonce = seq_nonce(seq);
         let pt = self
             .recv_key
             .open(&nonce, aad, &record[8..])
             .map_err(|_| ChannelError::RecordAuthentication)?;
-        self.recv_seq = seq + 1;
+        // Only authenticated records advance the window.
+        if self.recv_count == 0 || seq > self.recv_max {
+            let shift = if self.recv_count == 0 {
+                // First record: the window starts at `seq` alone.
+                REPLAY_WINDOW
+            } else {
+                seq - self.recv_max
+            };
+            self.recv_window = if shift >= REPLAY_WINDOW {
+                0
+            } else {
+                self.recv_window << shift
+            };
+            self.recv_window |= 1;
+            self.recv_max = seq;
+        } else {
+            self.recv_window |= 1u64 << (self.recv_max - seq);
+        }
+        self.recv_count += 1;
         Ok(pt)
     }
 
@@ -277,9 +335,9 @@ impl SecureChannel {
         self.send_seq
     }
 
-    /// Records received so far.
+    /// Records accepted so far.
     pub fn records_received(&self) -> u64 {
-        self.recv_seq
+        self.recv_count
     }
 }
 
@@ -374,20 +432,52 @@ mod tests {
         let (mut a, mut b) = handshake_pair(&mut rng, &alice, &bob).unwrap();
         let r1 = a.seal(b"", b"one");
         assert!(b.open(b"", &r1).is_ok());
-        // Replay of r1: receiver is now at seq 1, nonce differs.
-        assert_eq!(b.open(b"", &r1), Err(ChannelError::RecordAuthentication));
+        // Replay of r1: already accepted, rejected without desync.
+        assert_eq!(b.open(b"", &r1), Err(ChannelError::DuplicateRecord));
+        // The channel still accepts the next fresh record.
+        let r2 = a.seal(b"", b"two");
+        assert_eq!(b.open(b"", &r2).unwrap(), b"two");
     }
 
     #[test]
-    fn stale_records_rejected_gaps_tolerated() {
+    fn reordered_record_accepted_once_gaps_tolerated() {
         let (mut rng, alice, bob) = keys();
         let (mut a, mut b) = handshake_pair(&mut rng, &alice, &bob).unwrap();
         let r1 = a.seal(b"", b"one");
         let r2 = a.seal(b"", b"two");
-        // Forward jump (r1 dropped in transit) is tolerated...
+        // Forward jump (r1 delayed in transit) is tolerated...
         assert_eq!(b.open(b"", &r2).unwrap(), b"two");
-        // ...but the stale r1 is now a replay.
-        assert_eq!(b.open(b"", &r1), Err(ChannelError::RecordAuthentication));
+        // ...the late r1 still arrives within the window and opens once...
+        assert_eq!(b.open(b"", &r1).unwrap(), b"one");
+        // ...but a second copy of either is a duplicate.
+        assert_eq!(b.open(b"", &r1), Err(ChannelError::DuplicateRecord));
+        assert_eq!(b.open(b"", &r2), Err(ChannelError::DuplicateRecord));
+    }
+
+    #[test]
+    fn records_behind_the_window_rejected() {
+        let (mut rng, alice, bob) = keys();
+        let (mut a, mut b) = handshake_pair(&mut rng, &alice, &bob).unwrap();
+        let r0 = a.seal(b"", b"zero");
+        // Push the window far past r0 without delivering it.
+        for _ in 0..REPLAY_WINDOW {
+            let r = a.seal(b"", b"fill");
+            assert!(b.open(b"", &r).is_ok());
+        }
+        // r0 (seq 0) is now out of the window: rejected although unseen.
+        assert_eq!(b.open(b"", &r0), Err(ChannelError::DuplicateRecord));
+    }
+
+    #[test]
+    fn duplicate_rejection_does_not_desync() {
+        let (mut rng, alice, bob) = keys();
+        let (mut a, mut b) = handshake_pair(&mut rng, &alice, &bob).unwrap();
+        for i in 0..10u8 {
+            let r = a.seal(b"", &[i]);
+            assert_eq!(b.open(b"", &r).unwrap(), vec![i]);
+            assert_eq!(b.open(b"", &r), Err(ChannelError::DuplicateRecord));
+        }
+        assert_eq!(b.records_received(), 10);
     }
 
     #[test]

@@ -40,9 +40,10 @@ pub mod wire;
 
 pub use channel::{
     complete, handshake_pair, initiate, respond, ChannelError, Hello, HelloReply, SecureChannel,
+    REPLAY_WINDOW,
 };
 pub use sim::{
-    Delivery, Eavesdropper, Intercept, LatencyModel, NetworkAttacker, Replayer, SimNetwork,
-    Tamperer, TransmitRecord,
+    Delivery, Eavesdropper, FaultModel, FaultStats, Intercept, LatencyModel, NetworkAttacker,
+    Replayer, SimNetwork, Tamperer, TransmitRecord,
 };
 pub use wire::{Reader, Wire, WireError, Writer};

@@ -3,12 +3,22 @@
 //! network between different servers … able to eavesdrop as well as
 //! falsify the attestation messages" (Section 3.3).
 //!
+//! Besides the adversary, the network models *benign* faults — the
+//! drops, duplicates, bit corruption and queueing delay of a real lossy
+//! LAN — through a seeded probabilistic [`FaultModel`]. Faults compose
+//! with the attacker: the adversary intercepts first (it controls the
+//! network), then the fault model degrades whatever the adversary let
+//! through, so attacks and packet loss coexist in one simulation.
+//!
 //! Transmission is synchronous (the architecture's flows are
 //! request/response RPCs); each transmit reports the latency it would have
 //! taken, which the core crate's latency model accumulates into the
-//! end-to-end timings of Figures 9-11.
+//! end-to-end timings of Figures 9-11. Serialization cost is always
+//! charged on the bytes the *sender* submitted — an adversary inflating
+//! the payload (or a duplicate fault) does not distort the sender-side
+//! timing model.
 
-use std::collections::VecDeque;
+use monatt_crypto::drbg::Drbg;
 
 /// What the attacker does to a message in flight.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -73,16 +83,139 @@ impl LatencyModel {
 /// Delivery outcome of a transmit.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Delivery {
-    /// Delivered bytes, or `None` if the attacker dropped the message.
+    /// Delivered bytes, or `None` if the attacker or a fault dropped the
+    /// message.
     pub payload: Option<Vec<u8>>,
-    /// Simulated transmission latency.
+    /// Simulated transmission latency (including any fault-injected
+    /// extra delay).
     pub latency_us: u64,
+    /// The network delivered a second, identical copy of the payload
+    /// (benign duplication — e.g. a spurious link-layer retransmit).
+    pub duplicated: bool,
+}
+
+/// A seeded, probabilistic model of *benign* network faults: each
+/// message is independently dropped, duplicated, bit-corrupted and/or
+/// delayed. All draws come from a deterministic [`Drbg`], so a seeded
+/// run replays exactly.
+///
+/// Probabilities are independent; drop dominates (a dropped message
+/// cannot also be duplicated or corrupted). Every message consumes the
+/// same number of RNG draws regardless of outcome, so changing one
+/// probability does not reshuffle the fate of later messages.
+#[derive(Debug)]
+pub struct FaultModel {
+    drop_prob: f64,
+    duplicate_prob: f64,
+    corrupt_prob: f64,
+    delay_prob: f64,
+    delay_us: u64,
+    rng: Drbg,
+    stats: FaultStats,
+}
+
+/// Counters of the faults a [`FaultModel`] actually injected.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Messages dropped.
+    pub dropped: u64,
+    /// Messages delivered twice.
+    pub duplicated: u64,
+    /// Messages with a flipped byte.
+    pub corrupted: u64,
+    /// Messages given extra queueing delay.
+    pub delayed: u64,
+}
+
+impl FaultModel {
+    /// A fault-free model (all probabilities zero) with its own seeded
+    /// RNG stream.
+    pub fn new(seed: u64) -> Self {
+        FaultModel {
+            drop_prob: 0.0,
+            duplicate_prob: 0.0,
+            corrupt_prob: 0.0,
+            delay_prob: 0.0,
+            delay_us: 0,
+            rng: Drbg::from_seed(seed ^ 0xFA_17_5E_ED),
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// Sets the per-message drop probability.
+    pub fn drop_prob(mut self, p: f64) -> Self {
+        self.drop_prob = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Sets the per-message duplication probability.
+    pub fn duplicate_prob(mut self, p: f64) -> Self {
+        self.duplicate_prob = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Sets the per-message corruption probability (one byte flipped).
+    pub fn corrupt_prob(mut self, p: f64) -> Self {
+        self.corrupt_prob = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Sets the per-message probability of `delay_us` extra latency.
+    pub fn delay(mut self, p: f64, delay_us: u64) -> Self {
+        self.delay_prob = p.clamp(0.0, 1.0);
+        self.delay_us = delay_us;
+        self
+    }
+
+    /// Counters of the faults injected so far.
+    pub fn stats(&self) -> FaultStats {
+        self.stats
+    }
+
+    /// One uniform draw in `[0, 1)`.
+    fn draw(&mut self) -> f64 {
+        // 53 random bits — exact as an f64 fraction.
+        (self.rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Applies the model to a message about to be delivered. Returns the
+    /// (possibly corrupted) payload or `None` when dropped, whether a
+    /// duplicate copy arrives, and extra delay in microseconds.
+    fn apply(&mut self, payload: Vec<u8>) -> (Option<Vec<u8>>, bool, u64) {
+        // Fixed draw count per message keeps seeded runs stable across
+        // probability changes.
+        let (d_drop, d_dup, d_corrupt, d_delay) =
+            (self.draw(), self.draw(), self.draw(), self.draw());
+        let corrupt_at = self.rng.next_u64();
+        let extra = if d_delay < self.delay_prob {
+            self.stats.delayed += 1;
+            self.delay_us
+        } else {
+            0
+        };
+        if d_drop < self.drop_prob {
+            self.stats.dropped += 1;
+            return (None, false, extra);
+        }
+        let mut payload = payload;
+        if d_corrupt < self.corrupt_prob && !payload.is_empty() {
+            let idx = (corrupt_at % payload.len() as u64) as usize;
+            payload[idx] ^= 0x01;
+            self.stats.corrupted += 1;
+        }
+        let duplicated = d_dup < self.duplicate_prob;
+        if duplicated {
+            self.stats.duplicated += 1;
+        }
+        (Some(payload), duplicated, extra)
+    }
 }
 
 /// The simulated network.
 pub struct SimNetwork {
     latency: LatencyModel,
     attacker: Option<Box<dyn NetworkAttacker>>,
+    faults: Option<FaultModel>,
     log: Vec<TransmitRecord>,
 }
 
@@ -108,6 +241,7 @@ impl SimNetwork {
         SimNetwork {
             latency,
             attacker: None,
+            faults: None,
             log: Vec::new(),
         }
     }
@@ -122,7 +256,24 @@ impl SimNetwork {
         self.attacker = None;
     }
 
-    /// Transmits `payload` from `from` to `to`, applying the adversary.
+    /// Installs (or replaces) the benign fault model. Faults apply after
+    /// the adversary, so both can be active at once.
+    pub fn set_fault_model(&mut self, faults: FaultModel) {
+        self.faults = Some(faults);
+    }
+
+    /// Removes the fault model (the network becomes lossless again).
+    pub fn clear_fault_model(&mut self) {
+        self.faults = None;
+    }
+
+    /// The installed fault model's injection counters, if any.
+    pub fn fault_stats(&self) -> Option<FaultStats> {
+        self.faults.as_ref().map(FaultModel::stats)
+    }
+
+    /// Transmits `payload` from `from` to `to`, applying first the
+    /// adversary, then the benign fault model.
     pub fn transmit(&mut self, from: &str, to: &str, payload: &[u8]) -> Delivery {
         let action = match &mut self.attacker {
             Some(att) => att.intercept(from, to, payload),
@@ -133,9 +284,14 @@ impl SimNetwork {
             Intercept::Modify(m) => Some(m),
             Intercept::Drop => None,
         };
-        let latency_us = self
-            .latency
-            .latency_for(delivered.as_ref().map_or(payload.len(), Vec::len));
+        let (delivered, duplicated, extra_delay_us) = match (&mut self.faults, delivered) {
+            (Some(faults), Some(bytes)) => faults.apply(bytes),
+            (_, delivered) => (delivered, false, 0),
+        };
+        // Serialization is charged on the bytes the sender actually put
+        // on the wire, not on what the adversary or a duplicate fault
+        // delivered.
+        let latency_us = self.latency.latency_for(payload.len()) + extra_delay_us;
         self.log.push(TransmitRecord {
             from: from.to_owned(),
             to: to.to_owned(),
@@ -146,6 +302,7 @@ impl SimNetwork {
         Delivery {
             payload: delivered,
             latency_us,
+            duplicated,
         }
     }
 
@@ -212,12 +369,14 @@ impl NetworkAttacker for Tamperer {
     }
 }
 
-/// A replay attacker: records messages to a target, and from the `replay_after`-th
-/// message onward replaces each new message with the first recorded one.
+/// A replay attacker: records the first message to a target, and from the
+/// `replay_after`-th message onward replaces each new message with it.
 #[derive(Debug)]
 pub struct Replayer {
     target_to: String,
-    recorded: VecDeque<Vec<u8>>,
+    // Only the first capture is ever replayed; keeping more would leak
+    // memory over a long periodic run.
+    recorded: Option<Vec<u8>>,
     seen: u64,
     replay_after: u64,
     /// How many replays were injected.
@@ -231,7 +390,7 @@ impl Replayer {
     pub fn new(target_to: &str, replay_after: u64) -> Self {
         Replayer {
             target_to: target_to.to_owned(),
-            recorded: VecDeque::new(),
+            recorded: None,
             seen: 0,
             replay_after,
             replayed: 0,
@@ -245,9 +404,11 @@ impl NetworkAttacker for Replayer {
             return Intercept::Pass;
         }
         self.seen += 1;
-        self.recorded.push_back(payload.to_vec());
+        if self.recorded.is_none() {
+            self.recorded = Some(payload.to_vec());
+        }
         if self.seen > self.replay_after {
-            if let Some(old) = self.recorded.front() {
+            if let Some(old) = &self.recorded {
                 self.replayed += 1;
                 return Intercept::Modify(old.clone());
             }
@@ -324,6 +485,106 @@ mod tests {
         let d = net.transmit("a", "b", b"gone");
         assert_eq!(d.payload, None);
         assert_eq!(net.log()[0].delivered, None);
+    }
+
+    #[test]
+    fn latency_charged_on_sent_bytes_not_inflated_delivery() {
+        struct Inflater;
+        impl NetworkAttacker for Inflater {
+            fn intercept(&mut self, _: &str, _: &str, payload: &[u8]) -> Intercept {
+                let mut m = payload.to_vec();
+                m.extend_from_slice(&[0u8; 64 * 1024]);
+                Intercept::Modify(m)
+            }
+        }
+        let mut clean = SimNetwork::default();
+        let baseline = clean.transmit("a", "b", b"msg").latency_us;
+        let mut net = SimNetwork::default();
+        net.set_attacker(Box::new(Inflater));
+        let d = net.transmit("a", "b", b"msg");
+        assert!(d.payload.unwrap().len() > 64 * 1024);
+        assert_eq!(d.latency_us, baseline);
+    }
+
+    #[test]
+    fn fault_model_drop_rate_is_about_right() {
+        let mut net = SimNetwork::default();
+        net.set_fault_model(FaultModel::new(42).drop_prob(0.1));
+        let mut dropped = 0;
+        for _ in 0..1000 {
+            if net.transmit("a", "b", b"x").payload.is_none() {
+                dropped += 1;
+            }
+        }
+        assert!((60..=140).contains(&dropped), "dropped {dropped}/1000");
+        assert_eq!(net.fault_stats().unwrap().dropped, dropped);
+    }
+
+    #[test]
+    fn fault_model_is_deterministic_per_seed() {
+        let run = |seed: u64| -> Vec<bool> {
+            let mut net = SimNetwork::default();
+            net.set_fault_model(FaultModel::new(seed).drop_prob(0.3));
+            (0..64)
+                .map(|_| net.transmit("a", "b", b"x").payload.is_none())
+                .collect()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn duplicate_fault_flags_delivery() {
+        let mut net = SimNetwork::default();
+        net.set_fault_model(FaultModel::new(1).duplicate_prob(1.0));
+        let d = net.transmit("a", "b", b"x");
+        assert!(d.duplicated);
+        assert_eq!(d.payload.as_deref(), Some(b"x".as_slice()));
+        assert_eq!(net.fault_stats().unwrap().duplicated, 1);
+    }
+
+    #[test]
+    fn corrupt_fault_flips_one_byte() {
+        let mut net = SimNetwork::default();
+        net.set_fault_model(FaultModel::new(2).corrupt_prob(1.0));
+        let sent = vec![0u8; 32];
+        let got = net.transmit("a", "b", &sent).payload.unwrap();
+        assert_eq!(got.len(), sent.len());
+        let differing = got.iter().zip(&sent).filter(|(a, b)| a != b).count();
+        assert_eq!(differing, 1);
+    }
+
+    #[test]
+    fn delay_fault_adds_latency() {
+        let mut clean = SimNetwork::default();
+        let baseline = clean.transmit("a", "b", b"x").latency_us;
+        let mut net = SimNetwork::default();
+        net.set_fault_model(FaultModel::new(3).delay(1.0, 5_000));
+        let d = net.transmit("a", "b", b"x");
+        assert_eq!(d.latency_us, baseline + 5_000);
+    }
+
+    #[test]
+    fn faults_compose_with_attacker() {
+        // The tamperer modifies, then the fault model drops: both layers
+        // act on the same message stream.
+        let mut net = SimNetwork::default();
+        net.set_attacker(Box::new(Tamperer::new("")));
+        net.set_fault_model(FaultModel::new(4).drop_prob(1.0));
+        let d = net.transmit("a", "b", b"payload");
+        assert_eq!(d.payload, None);
+        net.clear_fault_model();
+        let d = net.transmit("a", "b", b"payload");
+        assert_ne!(d.payload.as_deref(), Some(b"payload".as_slice()));
+    }
+
+    #[test]
+    fn replayer_keeps_only_first_capture() {
+        let mut r = Replayer::new("", u64::MAX);
+        for i in 0..100u8 {
+            r.intercept("a", "b", &[i]);
+        }
+        assert_eq!(r.recorded.as_deref(), Some([0u8].as_slice()));
     }
 
     #[test]

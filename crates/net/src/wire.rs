@@ -303,6 +303,30 @@ mod tests {
     }
 
     #[test]
+    fn length_prefix_edges_near_max_len() {
+        // len == MAX_LEN is within the sanity limit: with a short buffer
+        // the reader reports truncation, not overflow.
+        let mut w = Writer::new();
+        w.put_u32(MAX_LEN as u32);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.get_bytes(), Err(WireError::UnexpectedEnd));
+        // len == MAX_LEN + 1 trips the limit before any allocation.
+        let mut w = Writer::new();
+        w.put_u32(MAX_LEN as u32 + 1);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.get_bytes(), Err(WireError::LengthOverflow));
+        // And a full MAX_LEN-sized field actually round-trips.
+        let mut w = Writer::new();
+        w.put_bytes(&vec![0xA5u8; MAX_LEN]);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.get_bytes().unwrap().len(), MAX_LEN);
+        r.finish().unwrap();
+    }
+
+    #[test]
     fn utf8_validation() {
         let mut w = Writer::new();
         w.put_bytes(&[0xff, 0xfe]);

@@ -70,4 +70,59 @@ proptest! {
             prop_assert!(rx.open(b"", record).is_err(), "replay accepted");
         }
     }
+
+    /// Any in-window delivery order is accepted exactly once per record:
+    /// the shuffled stream opens fully, then every duplicate is rejected
+    /// as [`monatt_net::ChannelError::DuplicateRecord`] and the channel
+    /// keeps working afterwards.
+    #[test]
+    fn any_in_window_order_accepted_exactly_once(
+        count in 2usize..12,
+        order_seed in any::<u64>(),
+        dup in any::<proptest::sample::Index>(),
+    ) {
+        let (mut tx, mut rx) = endpoints(6);
+        let mut records: Vec<Vec<u8>> = (0..count).map(|i| tx.seal(b"", &[i as u8])).collect();
+        // Deterministic Fisher-Yates shuffle from the seed.
+        let mut state = order_seed | 1;
+        for i in (1..records.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (state >> 33) as usize % (i + 1);
+            records.swap(i, j);
+        }
+        for record in &records {
+            prop_assert!(rx.open(b"", record).is_ok(), "in-window record rejected");
+        }
+        let replay = &records[dup.index(records.len())];
+        prop_assert_eq!(
+            rx.open(b"", replay),
+            Err(monatt_net::ChannelError::DuplicateRecord)
+        );
+        // Duplicate rejection never desyncs: a fresh record still opens.
+        let fresh = tx.seal(b"", b"after");
+        prop_assert_eq!(rx.open(b"", &fresh).unwrap(), b"after".to_vec());
+    }
+
+    /// A tampered record is rejected as an authentication failure (not a
+    /// duplicate), and the original still opens afterwards: corruption
+    /// neither consumes the sequence number nor desyncs the window.
+    #[test]
+    fn tampered_record_does_not_consume_sequence(
+        payload in proptest::collection::vec(any::<u8>(), 1..128),
+        byte in any::<proptest::sample::Index>(),
+        bit in 0u8..8,
+    ) {
+        let (mut tx, mut rx) = endpoints(7);
+        let record = tx.seal(b"", &payload);
+        let mut bad = record.clone();
+        // Corrupt strictly after the 8-byte sequence header so the
+        // window sees the true sequence number but auth fails.
+        let idx = 8 + byte.index(bad.len() - 8);
+        bad[idx] ^= 1 << bit;
+        prop_assert_eq!(
+            rx.open(b"", &bad),
+            Err(monatt_net::ChannelError::RecordAuthentication)
+        );
+        prop_assert_eq!(rx.open(b"", &record).unwrap(), payload);
+    }
 }

@@ -41,7 +41,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         HealthStatus::Compromised { reason } => {
             println!("\nATTESTATION FAILED (as it should):\n  {reason}");
         }
-        HealthStatus::Healthy => println!("\nunexpected: channel not detected"),
+        other => println!("\nunexpected: channel not detected ({other:?})"),
     }
 
     // Remediation: migrate the victim away from the bad neighbour.

@@ -1,0 +1,91 @@
+//! Attestation over a faulty network: messages are dropped, duplicated
+//! and corrupted at random, and the per-hop retransmission layer keeps
+//! the Figure-3 protocol converging — until the network goes completely
+//! dark, at which point the periodic monitor escalates the VM as
+//! unreachable and the Response Module migrates it.
+//!
+//! ```sh
+//! cargo run --example lossy_network
+//! ```
+
+use cloudmonatt::core::{CloudBuilder, Flavor, Image, SecurityProperty, VmRequest};
+use cloudmonatt::net::sim::FaultModel;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut cloud = CloudBuilder::new()
+        .servers(3)
+        .seed(11)
+        .escalation_threshold(3)
+        .auto_response(true)
+        .build();
+    let vid = cloud.request_vm(
+        VmRequest::new(Flavor::Small, Image::Cirros).require(SecurityProperty::RuntimeIntegrity),
+    )?;
+    println!("VM {vid} on {}", cloud.server_of(vid).expect("placed"));
+
+    // 1. A clean attestation for the latency baseline.
+    let clean = cloud.runtime_attest_current(vid, SecurityProperty::RuntimeIntegrity)?;
+    println!(
+        "clean network: healthy={} in {:.3}s",
+        clean.healthy(),
+        clean.elapsed_us as f64 / 1e6
+    );
+
+    // 2. 15% loss + 10% duplication + 5% corruption: retries absorb it.
+    cloud.network_mut().set_fault_model(
+        FaultModel::new(42)
+            .drop_prob(0.15)
+            .duplicate_prob(0.10)
+            .corrupt_prob(0.05),
+    );
+    cloud.reset_protocol_stats();
+    let mut ok = 0;
+    for _ in 0..10 {
+        if let Ok(r) = cloud.runtime_attest_current(vid, SecurityProperty::RuntimeIntegrity) {
+            assert!(r.healthy());
+            ok += 1;
+        }
+    }
+    let stats = cloud.protocol_stats();
+    println!(
+        "\nfaulty network: {ok}/10 attestations converged\n  \
+         sent={} retries={} drops={} dup-rejected={} auth-failures={}",
+        stats.messages_sent,
+        stats.retries,
+        stats.drops_seen,
+        stats.duplicates_rejected,
+        stats.auth_failures
+    );
+    if let Some(f) = cloud.network_mut().fault_stats() {
+        println!(
+            "  injected: dropped={} duplicated={} corrupted={} delayed={}",
+            f.dropped, f.duplicated, f.corrupted, f.delayed
+        );
+    }
+
+    // 3. Total blackout: the periodic monitor records missed samples,
+    //    escalates after 3 consecutive misses, and migration restores
+    //    monitorability.
+    let home = cloud.server_of(vid).expect("placed");
+    let sub = cloud.runtime_attest_periodic(vid, SecurityProperty::RuntimeIntegrity, 5_000_000)?;
+    cloud
+        .network_mut()
+        .set_fault_model(FaultModel::new(1).drop_prob(1.0));
+    cloud.run(20_000_000);
+    let health = cloud.subscription_health(sub)?;
+    println!(
+        "\nblackout: missed={} escalations={} — VM moved {} -> {}",
+        health.missed,
+        health.escalations,
+        home,
+        cloud.server_of(vid).expect("still managed"),
+    );
+    for report in cloud.stop_attest_periodic(sub)? {
+        println!(
+            "  report at {:.1}s: {:?}",
+            report.issued_at_us as f64 / 1e6,
+            report.status
+        );
+    }
+    Ok(())
+}

@@ -49,7 +49,7 @@ fn replay_is_detected() {
 }
 
 #[test]
-fn dropped_messages_fail_cleanly_and_recovery_works() {
+fn single_drop_is_absorbed_by_retransmission() {
     struct DropOnce {
         dropped: bool,
     }
@@ -67,9 +67,34 @@ fn dropped_messages_fail_cleanly_and_recovery_works() {
     cloud
         .network_mut()
         .set_attacker(Box::new(DropOnce { dropped: false }));
+    // One lost record costs a retry, not the attestation.
+    let report = cloud
+        .runtime_attest_current(vid, SecurityProperty::RuntimeIntegrity)
+        .unwrap();
+    assert!(report.healthy());
+    let stats = cloud.protocol_stats();
+    assert_eq!(stats.drops_seen, 1);
+    assert_eq!(stats.retries, 1);
+}
+
+#[test]
+fn persistent_loss_reports_unreachable_and_recovery_works() {
+    struct DropAll;
+    impl NetworkAttacker for DropAll {
+        fn intercept(&mut self, _: &str, _: &str, _: &[u8]) -> Intercept {
+            Intercept::Drop
+        }
+    }
+    let (mut cloud, vid) = cloud_with_vm();
+    cloud.network_mut().set_attacker(Box::new(DropAll));
     let result = cloud.runtime_attest_current(vid, SecurityProperty::RuntimeIntegrity);
-    assert!(matches!(result, Err(CloudError::ProtocolFailure { .. })));
-    // The channel tolerates the gap: the next attestation succeeds.
+    let Err(CloudError::Unreachable { attempts, .. }) = result else {
+        panic!("expected Unreachable, got {result:?}");
+    };
+    assert_eq!(attempts, cloud.retry_policy().max_attempts);
+    // The channel tolerates the gap: once the network heals, the next
+    // attestation succeeds.
+    cloud.network_mut().clear_attacker();
     let report = cloud
         .runtime_attest_current(vid, SecurityProperty::RuntimeIntegrity)
         .unwrap();
