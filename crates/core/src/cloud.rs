@@ -405,7 +405,30 @@ impl CloudBuilder {
 
     /// Builds the cloud: provisions keys, boots servers, registers them
     /// with the controller and pCA, and establishes the secure channels.
+    ///
+    /// Convenience wrapper over [`Self::try_build`] for tests, benches
+    /// and examples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a secure-channel handshake between the freshly
+    /// provisioned (honest, in-process) parties fails, which indicates a
+    /// bug rather than adversarial input.
     pub fn build(self) -> Cloud {
+        // Documented convenience panic; fallible callers use try_build.
+        self.try_build()
+            .expect("cloud assembly between honest parties") // #[allow(monatt::panic_freedom)]
+    }
+
+    /// Builds the cloud, surfacing secure-channel establishment failures
+    /// as [`CloudError::ChannelEstablishment`] instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CloudError::ChannelEstablishment`] if any of the
+    /// customer↔controller, controller↔attestation-server or
+    /// attestation-server↔cloud-server handshakes fails.
+    pub fn try_build(self) -> Result<Cloud, CloudError> {
         let mut rng = Drbg::from_seed(self.seed);
         let mut controller = CloudController::new(&mut rng);
         let mut attserver = AttestationServer::new(&mut rng);
@@ -446,31 +469,39 @@ impl CloudBuilder {
         // Establish the SSL-like channels (session keys Kx, Ky, Kz).
         let controller_identity = SigningKey::generate(&mut rng);
         let attserver_identity = SigningKey::generate(&mut rng);
-        let make_pair =
-            |rng: &mut Drbg, a: &SigningKey, b: &SigningKey, a_name: &str, b_name: &str| {
-                let (mut i, mut r) =
-                    handshake_pair(rng, a, b).expect("handshake between honest parties");
-                i.set_peer(b_name);
-                r.set_peer(a_name);
-                ChannelPair {
-                    initiator: i,
-                    responder: r,
-                }
-            };
+        let make_pair = |rng: &mut Drbg,
+                         a: &SigningKey,
+                         b: &SigningKey,
+                         a_name: &str,
+                         b_name: &str|
+         -> Result<ChannelPair, CloudError> {
+            let (mut i, mut r) =
+                handshake_pair(rng, a, b).map_err(|error| CloudError::ChannelEstablishment {
+                    initiator: a_name.to_string(),
+                    responder: b_name.to_string(),
+                    error,
+                })?;
+            i.set_peer(b_name);
+            r.set_peer(a_name);
+            Ok(ChannelPair {
+                initiator: i,
+                responder: r,
+            })
+        };
         let cust_ctrl = make_pair(
             &mut rng,
             &customer_identity,
             &controller_identity,
             "customer",
             "controller",
-        );
+        )?;
         let ctrl_as = make_pair(
             &mut rng,
             &controller_identity,
             &attserver_identity,
             "controller",
             "attserver",
-        );
+        )?;
         let mut as_server = BTreeMap::new();
         for id in servers.keys() {
             // In deployment the server end terminates inside the
@@ -484,10 +515,10 @@ impl CloudBuilder {
                     &server_chan_identity,
                     "attserver",
                     &id.to_string(),
-                ),
+                )?,
             );
         }
-        Cloud {
+        Ok(Cloud {
             rng,
             controller,
             attserver,
@@ -507,7 +538,7 @@ impl CloudBuilder {
             auto_response: self.auto_response,
             vm_meta: BTreeMap::new(),
             seed: self.seed,
-        }
+        })
     }
 }
 
@@ -1217,10 +1248,12 @@ impl Cloud {
                 .map(|(id, _)| *id)
                 .collect();
             for id in due {
-                let (vid, property, frequency) = {
-                    let s = &self.subscriptions[&id];
-                    (s.vid, s.property, s.frequency)
+                // `due` was collected from the map above, but a remove
+                // racing in a future refactor should skip, not panic.
+                let Some(sub) = self.subscriptions.get(&id) else {
+                    continue;
                 };
+                let (vid, property, frequency) = (sub.vid, sub.property, sub.frequency);
                 let report = self.runtime_attest_current(vid, property);
                 let interval = frequency.next_interval(&mut self.rng);
                 let mut escalated_misses = None;

@@ -1,6 +1,7 @@
 //! Error types for the CloudMonatt core.
 
 use crate::types::{SecurityProperty, ServerId, Vid};
+use monatt_net::channel::ChannelError;
 use std::error::Error;
 use std::fmt;
 
@@ -51,6 +52,16 @@ pub enum CloudError {
         /// The VM that could not be migrated.
         vid: Vid,
     },
+    /// Establishing a secure channel between two protocol endpoints
+    /// failed while assembling the cloud.
+    ChannelEstablishment {
+        /// The initiating endpoint.
+        initiator: String,
+        /// The responding endpoint.
+        responder: String,
+        /// The underlying handshake failure.
+        error: ChannelError,
+    },
 }
 
 impl fmt::Display for CloudError {
@@ -80,6 +91,16 @@ impl fmt::Display for CloudError {
                 write!(f, "no periodic attestation with id {id}")
             }
             CloudError::MigrationFailed { vid } => write!(f, "migration failed for {vid}"),
+            CloudError::ChannelEstablishment {
+                initiator,
+                responder,
+                error,
+            } => {
+                write!(
+                    f,
+                    "secure-channel handshake {initiator}<->{responder} failed: {error}"
+                )
+            }
         }
     }
 }

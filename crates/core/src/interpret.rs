@@ -6,6 +6,7 @@
 use crate::measurements::{Measurement, MeasurementSpec, TaskInfo};
 use crate::types::{HealthStatus, Image, SecurityProperty};
 use monatt_crypto::sha256::sha256;
+use monatt_crypto::zeroize::ct_eq;
 use monatt_tpm::pcr::PcrBank;
 
 /// Default runtime observation window (1 s) for interval and CPU-time
@@ -132,12 +133,12 @@ fn interpret_boot(
     expected_image: Image,
     references: &ReferenceDb,
 ) -> HealthStatus {
-    if *platform_pcr != references.expected_platform_pcr() {
+    if !ct_eq(platform_pcr, &references.expected_platform_pcr()) {
         return HealthStatus::Compromised {
             reason: "platform configuration hash does not match pristine reference".into(),
         };
     }
-    if *image_hash != references.expected_image_hash(expected_image) {
+    if !ct_eq(image_hash, &references.expected_image_hash(expected_image)) {
         return HealthStatus::Compromised {
             reason: format!("VM image hash does not match pristine {expected_image} image"),
         };
@@ -203,12 +204,19 @@ pub fn analyze_intervals(bins: &[u64], bin_width_us: u64) -> IntervalAnalysis {
         };
     }
     // Weighted 2-means over bin centers.
-    let centers: Vec<f64> = (0..bins.len())
-        .map(|i| (i as f64 + 0.5) * bin_width_us as f64 / 1_000.0)
-        .collect();
-    let occupied: Vec<usize> = (0..bins.len()).filter(|&i| bins[i] > 0).collect();
-    let first = occupied[0];
-    let last = *occupied.last().expect("nonempty");
+    let center = |i: usize| (i as f64 + 0.5) * bin_width_us as f64 / 1_000.0;
+    let (Some(first), Some(last)) = (
+        bins.iter().position(|&b| b > 0),
+        bins.iter().rposition(|&b| b > 0),
+    ) else {
+        // Unreachable given samples >= MIN_SAMPLES, but degrade gracefully.
+        return IntervalAnalysis {
+            samples,
+            centers_ms: None,
+            low_mass: 0.0,
+            covert: false,
+        };
+    };
     if first == last {
         // A single occupied bin: one peak.
         return IntervalAnalysis {
@@ -218,23 +226,23 @@ pub fn analyze_intervals(bins: &[u64], bin_width_us: u64) -> IntervalAnalysis {
             covert: false,
         };
     }
-    let mut c_low = centers[first];
-    let mut c_high = centers[last];
+    let mut c_low = center(first);
+    let mut c_high = center(last);
     for _ in 0..32 {
         let mut sum_low = 0.0;
         let mut w_low = 0.0;
         let mut sum_high = 0.0;
         let mut w_high = 0.0;
-        for i in 0..bins.len() {
-            if bins[i] == 0 {
+        for (i, &b) in bins.iter().enumerate() {
+            if b == 0 {
                 continue;
             }
-            let w = bins[i] as f64;
-            if (centers[i] - c_low).abs() <= (centers[i] - c_high).abs() {
-                sum_low += centers[i] * w;
+            let (w, c) = (b as f64, center(i));
+            if (c - c_low).abs() <= (c - c_high).abs() {
+                sum_low += c * w;
                 w_low += w;
             } else {
-                sum_high += centers[i] * w;
+                sum_high += c * w;
                 w_high += w;
             }
         }
@@ -255,17 +263,18 @@ pub fn analyze_intervals(bins: &[u64], bin_width_us: u64) -> IntervalAnalysis {
     let mut mass_low = 0.0;
     let mut peak_low: (usize, u64) = (first, 0);
     let mut peak_high: (usize, u64) = (last, 0);
-    for i in 0..bins.len() {
-        if bins[i] == 0 {
+    for (i, &b) in bins.iter().enumerate() {
+        if b == 0 {
             continue;
         }
-        if (centers[i] - c_low).abs() <= (centers[i] - c_high).abs() {
-            mass_low += bins[i] as f64;
-            if bins[i] > peak_low.1 {
-                peak_low = (i, bins[i]);
+        let c = center(i);
+        if (c - c_low).abs() <= (c - c_high).abs() {
+            mass_low += b as f64;
+            if b > peak_low.1 {
+                peak_low = (i, b);
             }
-        } else if bins[i] > peak_high.1 {
-            peak_high = (i, bins[i]);
+        } else if b > peak_high.1 {
+            peak_high = (i, b);
         }
     }
     let low_mass = mass_low / samples as f64;
@@ -274,14 +283,9 @@ pub fn analyze_intervals(bins: &[u64], bin_width_us: u64) -> IntervalAnalysis {
     // True bimodality needs a valley: the occupancy between the two peak
     // bins must drop well below both peaks. A jittered unimodal workload
     // has contiguous mass and therefore no valley.
-    let valley = if peak_high.0 > peak_low.0 + 1 {
-        bins[peak_low.0 + 1..peak_high.0]
-            .iter()
-            .copied()
-            .min()
-            .unwrap_or(0)
-    } else {
-        peak_low.1.min(peak_high.1)
+    let valley = match bins.get(peak_low.0 + 1..peak_high.0) {
+        Some(between) if !between.is_empty() => between.iter().copied().min().unwrap_or(0),
+        _ => peak_low.1.min(peak_high.1),
     };
     let has_valley = (valley as f64) < 0.25 * peak_low.1.min(peak_high.1) as f64;
     let covert = low_mass >= MIN_PEAK_MASS
@@ -298,8 +302,7 @@ pub fn analyze_intervals(bins: &[u64], bin_width_us: u64) -> IntervalAnalysis {
 
 fn interpret_intervals(bins: &[u64], bin_width_us: u64) -> HealthStatus {
     let analysis = analyze_intervals(bins, bin_width_us);
-    if analysis.covert {
-        let (lo, hi) = analysis.centers_ms.expect("covert implies two centers");
+    if let (true, Some((lo, hi))) = (analysis.covert, analysis.centers_ms) {
         HealthStatus::Compromised {
             reason: format!(
                 "bimodal CPU usage intervals (peaks at {lo:.1} ms and {hi:.1} ms over {} samples) indicate covert-channel signalling",

@@ -55,6 +55,14 @@ impl std::fmt::Debug for Aes128 {
     }
 }
 
+impl Drop for Aes128 {
+    fn drop(&mut self) {
+        for rk in &mut self.round_keys {
+            crate::zeroize::zeroize_bytes(rk);
+        }
+    }
+}
+
 impl Aes128 {
     /// Expands `key` into the 11 round keys.
     pub fn new(key: &[u8; 16]) -> Self {

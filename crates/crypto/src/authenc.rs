@@ -25,6 +25,13 @@ impl std::fmt::Debug for SealKey {
     }
 }
 
+impl Drop for SealKey {
+    fn drop(&mut self) {
+        // `cipher` scrubs its own round keys in its `Drop`.
+        crate::zeroize::zeroize_bytes(&mut self.mac_key);
+    }
+}
+
 impl SealKey {
     /// Derives encryption and MAC keys from `secret`, bound to `label`.
     pub fn derive(secret: &[u8; 32], label: &[u8]) -> Self {

@@ -55,6 +55,12 @@ impl U256 {
         self.0
     }
 
+    /// Overwrites the limbs with zeros (see [`crate::zeroize`]). Secret
+    /// scalars call this from their owners' `Drop` impls.
+    pub fn zeroize(&mut self) {
+        crate::zeroize::zeroize_u64s(&mut self.0);
+    }
+
     /// Parses a big-endian hexadecimal string (with or without a `0x`
     /// prefix).
     ///
@@ -246,7 +252,7 @@ impl U256 {
         let (q, r) = U512::from_u256(self).div_rem(m);
         // self < 2^256, so the quotient fits in the low four limbs.
         debug_assert_eq!(q.0[4..], [0u64; 4]);
-        (U256(q.0[..4].try_into().unwrap()), r)
+        (q.low_u256(), r)
     }
 }
 
@@ -259,6 +265,11 @@ impl U512 {
         let mut limbs = [0u64; 8];
         limbs[..4].copy_from_slice(&v.0);
         U512(limbs)
+    }
+
+    /// Truncates to the low 256 bits.
+    pub const fn low_u256(&self) -> U256 {
+        U256([self.0[0], self.0[1], self.0[2], self.0[3]])
     }
 
     /// Returns bit `i` (0 = least significant).
@@ -316,7 +327,7 @@ impl U512 {
         let ulen = self.bits().div_ceil(64);
         if ulen < n {
             // Fewer dividend limbs than divisor limbs: self < m.
-            return (U512::ZERO, U256(self.0[..4].try_into().unwrap()));
+            return (U512::ZERO, self.low_u256());
         }
         // Normalize so the divisor's top limb has its high bit set; this
         // bounds the per-digit quotient estimate to within 2 of the truth.

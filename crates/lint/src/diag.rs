@@ -1,0 +1,85 @@
+//! Diagnostics and machine-readable output.
+
+use std::fmt;
+
+/// One finding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// The rule that fired (normalized, underscore form).
+    pub rule: &'static str,
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}:{}: [{}] {}",
+            self.file, self.line, self.col, self.rule, self.message
+        )
+    }
+}
+
+/// Escapes a string for JSON output.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl Diagnostic {
+    /// Renders this diagnostic as a JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"rule\":\"{}\",\"file\":\"{}\",\"line\":{},\"col\":{},\"message\":\"{}\"}}",
+            self.rule,
+            json_escape(&self.file),
+            self.line,
+            self.col,
+            json_escape(&self.message)
+        )
+    }
+}
+
+/// Renders a diagnostic list as a JSON array.
+pub fn to_json_array(diags: &[Diagnostic]) -> String {
+    let items: Vec<String> = diags.iter().map(|d| d.to_json()).collect();
+    format!("[{}]", items.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escaping() {
+        let d = Diagnostic {
+            rule: "panic_freedom",
+            file: "a\"b.rs".into(),
+            line: 3,
+            col: 7,
+            message: "uses\n\"unwrap\"".into(),
+        };
+        let j = d.to_json();
+        assert!(j.contains("a\\\"b.rs"));
+        assert!(j.contains("uses\\n"));
+        assert!(to_json_array(&[d.clone(), d]).starts_with('['));
+    }
+}

@@ -1,0 +1,231 @@
+//! Workspace scanning, the allowlist ratchet, and report assembly.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::config::Config;
+use crate::context::{normalize_rule, FileContext};
+use crate::diag::Diagnostic;
+use crate::rules::{run_all, RULE_NAMES};
+
+/// One `rule path count` budget line from the allowlist file.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AllowEntry {
+    /// Normalized rule name.
+    pub rule: String,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// Maximum permitted findings for (rule, file).
+    pub count: usize,
+    /// 1-based line in the allowlist file (for error messages).
+    pub line: u32,
+}
+
+/// The parsed allowlist: the committed debt budget that may only shrink.
+#[derive(Clone, Debug, Default)]
+pub struct Allowlist {
+    /// Budget entries in file order.
+    pub entries: Vec<AllowEntry>,
+}
+
+impl Allowlist {
+    /// Parses the `rule path count` line format; `#` starts a comment.
+    pub fn parse(text: &str) -> Result<Allowlist, String> {
+        let mut entries = Vec::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = idx as u32 + 1;
+            let body = raw.split('#').next().unwrap_or("").trim();
+            if body.is_empty() {
+                continue;
+            }
+            let mut parts = body.split_whitespace();
+            let (rule, file, count) = match (parts.next(), parts.next(), parts.next()) {
+                (Some(r), Some(f), Some(c)) => (r, f, c),
+                _ => {
+                    return Err(format!(
+                        "allowlist line {line}: expected `rule path count`, got `{body}`"
+                    ))
+                }
+            };
+            if parts.next().is_some() {
+                return Err(format!(
+                    "allowlist line {line}: trailing fields in `{body}`"
+                ));
+            }
+            let rule = normalize_rule(rule);
+            if !RULE_NAMES.contains(&rule.as_str()) {
+                return Err(format!("allowlist line {line}: unknown rule `{rule}`"));
+            }
+            let count: usize = count
+                .parse()
+                .map_err(|_| format!("allowlist line {line}: bad count `{count}`"))?;
+            if count == 0 {
+                return Err(format!(
+                    "allowlist line {line}: zero-count entry is dead weight; delete it"
+                ));
+            }
+            entries.push(AllowEntry {
+                rule,
+                file: file.to_string(),
+                count,
+                line,
+            });
+        }
+        Ok(Allowlist { entries })
+    }
+
+    /// Loads an allowlist file; a missing file is an empty allowlist.
+    pub fn load(path: &Path) -> Result<Allowlist, String> {
+        match fs::read_to_string(path) {
+            Ok(text) => Self::parse(&text),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(Allowlist::default()),
+            Err(e) => Err(format!("cannot read {}: {e}", path.display())),
+        }
+    }
+}
+
+/// The outcome of a workspace scan after applying the allowlist.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    /// Every unsuppressed finding, in path/line order.
+    pub findings: Vec<Diagnostic>,
+    /// Findings within a (rule, file) budget — known debt.
+    pub budgeted: usize,
+    /// Deny-mode failures: findings over budget.
+    pub violations: Vec<String>,
+    /// Deny-mode failures: allowlist entries larger than reality. The
+    /// ratchet only turns one way, so these must be tightened.
+    pub stale: Vec<String>,
+    /// Number of files scanned.
+    pub files: usize,
+}
+
+impl Report {
+    /// True if `--deny` should exit non-zero.
+    pub fn deny_failure(&self) -> bool {
+        !self.violations.is_empty() || !self.stale.is_empty()
+    }
+}
+
+/// Collects the workspace `.rs` files to scan, as (absolute, relative)
+/// path pairs sorted by relative path for deterministic output.
+pub fn collect_files(root: &Path, cfg: &Config) -> io::Result<Vec<(PathBuf, String)>> {
+    let mut out = Vec::new();
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        for entry in fs::read_dir(&crates)? {
+            let entry = entry?;
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if !entry.file_type()?.is_dir() || cfg.skip_crates.iter().any(|c| c == &name) {
+                continue;
+            }
+            let src = entry.path().join("src");
+            if src.is_dir() {
+                walk_rs(&src, root, &mut out)?;
+            }
+        }
+    }
+    let top_src = root.join("src");
+    if top_src.is_dir() {
+        walk_rs(&top_src, root, &mut out)?;
+    }
+    out.sort_by(|a, b| a.1.cmp(&b.1));
+    Ok(out)
+}
+
+fn walk_rs(dir: &Path, root: &Path, out: &mut Vec<(PathBuf, String)>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        if entry.file_type()?.is_dir() {
+            walk_rs(&path, root, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            out.push((path, rel));
+        }
+    }
+    Ok(())
+}
+
+/// Scans the workspace and applies the allowlist ratchet.
+pub fn scan(root: &Path, cfg: &Config, allow: &Allowlist) -> io::Result<Report> {
+    let files = collect_files(root, cfg)?;
+    let mut report = Report {
+        files: files.len(),
+        ..Report::default()
+    };
+    for (abs, rel) in &files {
+        let src = fs::read_to_string(abs)?;
+        let ctx = FileContext::new(rel, &src);
+        report.findings.extend(run_all(&ctx, cfg));
+    }
+
+    // Group by (rule, file) and compare against budgets.
+    let mut groups: BTreeMap<(String, String), usize> = BTreeMap::new();
+    for d in &report.findings {
+        *groups
+            .entry((d.rule.to_string(), d.file.clone()))
+            .or_default() += 1;
+    }
+    for entry in &allow.entries {
+        let actual = groups
+            .get(&(entry.rule.clone(), entry.file.clone()))
+            .copied()
+            .unwrap_or(0);
+        if actual < entry.count {
+            report.stale.push(format!(
+                "allowlist line {}: `{} {}` budgets {} finding(s) but only {} remain; \
+                 tighten the entry (the ratchet only shrinks)",
+                entry.line, entry.rule, entry.file, entry.count, actual
+            ));
+        }
+    }
+    for ((rule, file), actual) in &groups {
+        let budget = allow
+            .entries
+            .iter()
+            .find(|e| &e.rule == rule && &e.file == file)
+            .map(|e| e.count)
+            .unwrap_or(0);
+        if *actual > budget {
+            report.violations.push(format!(
+                "{file}: {actual} `{rule}` finding(s), allowlist budget {budget}"
+            ));
+        } else {
+            report.budgeted += actual;
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allowlist_parse_roundtrip() {
+        let text = "# debt budget\npanic_freedom crates/core/src/cloud.rs 2\n\
+                    const-time crates/tpm/src/quote.rs 1 # hyphen spelling ok\n";
+        let a = Allowlist::parse(text).unwrap();
+        assert_eq!(a.entries.len(), 2);
+        assert_eq!(a.entries[0].count, 2);
+        assert_eq!(a.entries[1].rule, "const_time");
+    }
+
+    #[test]
+    fn allowlist_rejects_bad_lines() {
+        assert!(Allowlist::parse("panic_freedom only_two_fields").is_err());
+        assert!(Allowlist::parse("no_such_rule a.rs 1").is_err());
+        assert!(Allowlist::parse("panic_freedom a.rs zero").is_err());
+        assert!(Allowlist::parse("panic_freedom a.rs 0").is_err());
+        assert!(Allowlist::parse("panic_freedom a.rs 1 extra").is_err());
+    }
+}

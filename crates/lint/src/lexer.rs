@@ -1,0 +1,526 @@
+//! A hand-rolled Rust lexer.
+//!
+//! The build container is offline, so the linter cannot lean on `syn` or
+//! `rustc` internals; instead this module tokenizes Rust source directly.
+//! It handles the features a token-level rule engine must not trip over:
+//!
+//! * line comments (`//`, `///`, `//!`) and **nested** block comments;
+//! * string literals with escapes, byte strings, raw strings and raw byte
+//!   strings with arbitrary `#` fencing;
+//! * the `'a` lifetime vs `'a'` char-literal ambiguity;
+//! * raw identifiers (`r#match`);
+//! * multi-character operators (`==`, `!=`, `..`, `::`, …) emitted as
+//!   single tokens so rules can match them directly.
+//!
+//! Comments are not discarded: their text and position are collected so the
+//! engine can honor inline `#[allow(monatt::<rule>)]` suppression comments.
+
+/// The kind of a lexed token.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (keywords are not distinguished here).
+    Ident,
+    /// A lifetime such as `'a` or `'static`.
+    Lifetime,
+    /// A character literal, including byte chars (`b'x'`).
+    Char,
+    /// A string literal of any flavor (plain, byte, raw, raw byte).
+    Str,
+    /// A numeric literal.
+    Num,
+    /// Punctuation; multi-character operators are one token.
+    Punct,
+}
+
+/// One lexed token with its 1-based source position.
+#[derive(Clone, Debug)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokenKind,
+    /// The token text. For strings this is the raw source slice including
+    /// quotes, so rules never mistake literal content for code.
+    pub text: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column (in characters).
+    pub col: u32,
+}
+
+impl Token {
+    /// True if this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == s
+    }
+
+    /// True if this token is the punctuation `s`.
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == TokenKind::Punct && self.text == s
+    }
+}
+
+/// A comment with its position, kept for suppression scanning.
+#[derive(Clone, Debug)]
+pub struct Comment {
+    /// Comment text including the delimiters.
+    pub text: String,
+    /// 1-based line on which the comment starts.
+    pub line: u32,
+}
+
+/// The output of lexing one file.
+#[derive(Clone, Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Multi-character operators, longest first so greedy matching works.
+const OPERATORS: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "::", "==", "!=", "<=", ">=", "=>", "->", "..", "&&", "||", "<<",
+    ">>", "+=", "-=", "*=", "/=", "%=", "^=", "|=", "&=",
+];
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Self {
+        Cursor {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek(0)?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else if b & 0xC0 != 0x80 {
+            // Count characters, not continuation bytes.
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn slice(&self, start: usize) -> String {
+        String::from_utf8_lossy(&self.src[start..self.pos]).into_owned()
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Lexes `src` into tokens and comments. The lexer never fails: malformed
+/// input degrades to punctuation tokens, which at worst produces an extra
+/// diagnostic rather than a crash.
+pub fn lex(src: &str) -> Lexed {
+    let mut c = Cursor::new(src);
+    let mut out = Lexed::default();
+    while let Some(b) = c.peek(0) {
+        let (line, col, start) = (c.line, c.col, c.pos);
+        match b {
+            b if b.is_ascii_whitespace() => {
+                c.bump();
+            }
+            b'/' if c.peek(1) == Some(b'/') => {
+                while let Some(n) = c.peek(0) {
+                    if n == b'\n' {
+                        break;
+                    }
+                    c.bump();
+                }
+                out.comments.push(Comment {
+                    text: c.slice(start),
+                    line,
+                });
+            }
+            b'/' if c.peek(1) == Some(b'*') => {
+                c.bump();
+                c.bump();
+                let mut depth = 1usize;
+                while depth > 0 {
+                    match (c.peek(0), c.peek(1)) {
+                        (Some(b'/'), Some(b'*')) => {
+                            c.bump();
+                            c.bump();
+                            depth += 1;
+                        }
+                        (Some(b'*'), Some(b'/')) => {
+                            c.bump();
+                            c.bump();
+                            depth -= 1;
+                        }
+                        (Some(_), _) => {
+                            c.bump();
+                        }
+                        (None, _) => break,
+                    }
+                }
+                out.comments.push(Comment {
+                    text: c.slice(start),
+                    line,
+                });
+            }
+            b'r' if matches!(c.peek(1), Some(b'"') | Some(b'#')) => {
+                if !lex_raw_string(&mut c, 1) {
+                    // `r#ident` raw identifier (or stray `r#`).
+                    lex_ident(&mut c);
+                }
+                out.tokens
+                    .push(token_from(&c, start, line, col, kind_of_r(&c, start)));
+            }
+            b'b' if c.peek(1) == Some(b'\'') => {
+                c.bump(); // b
+                lex_char(&mut c);
+                out.tokens
+                    .push(token_from(&c, start, line, col, TokenKind::Char));
+            }
+            b'b' if c.peek(1) == Some(b'"') => {
+                c.bump(); // b
+                lex_plain_string(&mut c);
+                out.tokens
+                    .push(token_from(&c, start, line, col, TokenKind::Str));
+            }
+            b'b' if c.peek(1) == Some(b'r') && matches!(c.peek(2), Some(b'"') | Some(b'#')) => {
+                c.bump(); // b
+                if !lex_raw_string(&mut c, 1) {
+                    lex_ident(&mut c);
+                }
+                out.tokens
+                    .push(token_from(&c, start, line, col, kind_of_r(&c, start)));
+            }
+            b'"' => {
+                lex_plain_string(&mut c);
+                out.tokens
+                    .push(token_from(&c, start, line, col, TokenKind::Str));
+            }
+            b'\'' => {
+                // `'a'` is a char literal; `'a` (not followed by a closing
+                // quote) is a lifetime; `'\…'` is always a char literal.
+                let is_char = match c.peek(1) {
+                    Some(b'\\') => true,
+                    Some(n) if is_ident_start(n) || n.is_ascii_digit() => {
+                        // Lifetime unless the very next char closes a quote.
+                        // Multi-char contents (`'ab'` is invalid Rust) are
+                        // treated as lifetimes, which is safe for rules.
+                        c.peek(2) == Some(b'\'')
+                    }
+                    Some(_) => true, // e.g. '(' — a char literal
+                    None => false,
+                };
+                if is_char {
+                    lex_char(&mut c);
+                    out.tokens
+                        .push(token_from(&c, start, line, col, TokenKind::Char));
+                } else {
+                    c.bump(); // '
+                    while let Some(n) = c.peek(0) {
+                        if !is_ident_continue(n) {
+                            break;
+                        }
+                        c.bump();
+                    }
+                    out.tokens
+                        .push(token_from(&c, start, line, col, TokenKind::Lifetime));
+                }
+            }
+            b if is_ident_start(b) => {
+                lex_ident(&mut c);
+                out.tokens
+                    .push(token_from(&c, start, line, col, TokenKind::Ident));
+            }
+            b if b.is_ascii_digit() => {
+                lex_number(&mut c);
+                out.tokens
+                    .push(token_from(&c, start, line, col, TokenKind::Num));
+            }
+            _ => {
+                let mut matched = false;
+                for op in OPERATORS {
+                    let bytes = op.as_bytes();
+                    if c.src[c.pos..].starts_with(bytes) {
+                        for _ in 0..bytes.len() {
+                            c.bump();
+                        }
+                        matched = true;
+                        break;
+                    }
+                }
+                if !matched {
+                    c.bump();
+                }
+                out.tokens
+                    .push(token_from(&c, start, line, col, TokenKind::Punct));
+            }
+        }
+    }
+    out
+}
+
+fn token_from(c: &Cursor<'_>, start: usize, line: u32, col: u32, kind: TokenKind) -> Token {
+    Token {
+        kind,
+        text: c.slice(start),
+        line,
+        col,
+    }
+}
+
+/// After a region starting at `r`/`br` was consumed, decide whether it was
+/// a raw string or fell back to an identifier.
+fn kind_of_r(c: &Cursor<'_>, start: usize) -> TokenKind {
+    if c.src[start..c.pos].contains(&b'"') {
+        TokenKind::Str
+    } else {
+        TokenKind::Ident
+    }
+}
+
+fn lex_ident(c: &mut Cursor<'_>) {
+    // Allow a leading `r#` (raw identifier).
+    if c.peek(0) == Some(b'r') && c.peek(1) == Some(b'#') {
+        c.bump();
+        c.bump();
+    }
+    while let Some(n) = c.peek(0) {
+        if !is_ident_continue(n) {
+            break;
+        }
+        c.bump();
+    }
+}
+
+fn lex_number(c: &mut Cursor<'_>) {
+    // Digits, underscores, radix prefixes and type suffixes. A `.` is part
+    // of the number only when followed by a digit (so `0..8` lexes as
+    // `0`, `..`, `8`).
+    while let Some(n) = c.peek(0) {
+        let in_number = n.is_ascii_alphanumeric()
+            || n == b'_'
+            || (n == b'.' && c.peek(1).is_some_and(|d| d.is_ascii_digit()));
+        if !in_number {
+            break;
+        }
+        c.bump();
+    }
+}
+
+fn lex_plain_string(c: &mut Cursor<'_>) {
+    c.bump(); // opening quote
+    while let Some(n) = c.peek(0) {
+        match n {
+            b'\\' => {
+                c.bump();
+                c.bump();
+            }
+            b'"' => {
+                c.bump();
+                break;
+            }
+            _ => {
+                c.bump();
+            }
+        }
+    }
+}
+
+fn lex_char(c: &mut Cursor<'_>) {
+    c.bump(); // opening '
+    while let Some(n) = c.peek(0) {
+        match n {
+            b'\\' => {
+                c.bump();
+                c.bump();
+            }
+            b'\'' => {
+                c.bump();
+                break;
+            }
+            _ => {
+                c.bump();
+            }
+        }
+    }
+}
+
+/// Consumes `r"…"`, `r#"…"#`, etc. starting at the `r`. Returns false if
+/// this is not actually a raw string (e.g. a raw identifier `r#match`), in
+/// which case nothing was consumed.
+fn lex_raw_string(c: &mut Cursor<'_>, _min_hashes: usize) -> bool {
+    // Count hashes after the r without consuming yet.
+    let mut hashes = 0usize;
+    while c.peek(1 + hashes) == Some(b'#') {
+        hashes += 1;
+    }
+    if c.peek(1 + hashes) != Some(b'"') {
+        return false;
+    }
+    c.bump(); // r
+    for _ in 0..hashes {
+        c.bump();
+    }
+    c.bump(); // opening quote
+    loop {
+        match c.peek(0) {
+            None => return true,
+            Some(b'"') => {
+                // Need `hashes` following '#' to close.
+                let mut ok = true;
+                for i in 0..hashes {
+                    if c.peek(1 + i) != Some(b'#') {
+                        ok = false;
+                        break;
+                    }
+                }
+                c.bump();
+                if ok {
+                    for _ in 0..hashes {
+                        c.bump();
+                    }
+                    return true;
+                }
+            }
+            Some(_) => {
+                c.bump();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text.clone())
+            .collect()
+    }
+
+    #[test]
+    fn strings_hide_code_like_content() {
+        let l = lex(r#"let s = "x.unwrap() // not a comment"; y.unwrap();"#);
+        assert_eq!(l.comments.len(), 0);
+        let unwraps: Vec<_> = l.tokens.iter().filter(|t| t.is_ident("unwrap")).collect();
+        assert_eq!(unwraps.len(), 1, "only the real unwrap outside the string");
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let l = lex(r##"let s = r#"contains "quotes" and .unwrap()"#; a"##);
+        assert!(l.tokens.iter().any(|t| t.is_ident("a")));
+        assert!(!l.tokens.iter().any(|t| t.is_ident("unwrap")));
+        let strs: Vec<_> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Str)
+            .collect();
+        assert_eq!(strs.len(), 1);
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings() {
+        let l = lex(r#"f(b"bytes", br"raw", b'x');"#);
+        let kinds: Vec<_> = l.tokens.iter().map(|t| t.kind).collect();
+        assert!(kinds.contains(&TokenKind::Str));
+        assert!(kinds.contains(&TokenKind::Char));
+        assert!(!l.tokens.iter().any(|t| t.is_ident("bytes")));
+    }
+
+    #[test]
+    fn lifetime_vs_char_literal() {
+        let l = lex("fn f<'a>(x: &'a str) { let c = 'a'; let n = '\\n'; }");
+        let lifetimes: Vec<_> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .collect();
+        let chars: Vec<_> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Char)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert_eq!(chars.len(), 2);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let l = lex("/* outer /* inner */ still comment */ code");
+        assert_eq!(l.comments.len(), 1);
+        assert_eq!(idents("/* a /* b */ c */ x"), vec!["x"]);
+        assert!(l.tokens.iter().any(|t| t.is_ident("code")));
+    }
+
+    #[test]
+    fn line_comments_collected_with_lines() {
+        let l = lex("let a = 1; // trailing\n// own line\nlet b = 2;");
+        assert_eq!(l.comments.len(), 2);
+        assert_eq!(l.comments[0].line, 1);
+        assert_eq!(l.comments[1].line, 2);
+    }
+
+    #[test]
+    fn multi_char_operators_single_tokens() {
+        let l = lex("a == b != c; x..y; p::q; m <= n;");
+        let puncts: Vec<_> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Punct)
+            .map(|t| t.text.as_str())
+            .collect::<Vec<_>>();
+        assert!(puncts.contains(&"=="));
+        assert!(puncts.contains(&"!="));
+        assert!(puncts.contains(&".."));
+        assert!(puncts.contains(&"::"));
+        assert!(puncts.contains(&"<="));
+    }
+
+    #[test]
+    fn range_after_int_literal() {
+        let l = lex("&x[0..8]");
+        let texts: Vec<_> = l.tokens.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, vec!["&", "x", "[", "0", "..", "8", "]"]);
+    }
+
+    #[test]
+    fn raw_identifier() {
+        assert_eq!(idents("let r#match = 1;"), vec!["let", "r#match"]);
+    }
+
+    #[test]
+    fn positions_are_tracked() {
+        let l = lex("ab\n  cd");
+        assert_eq!((l.tokens[0].line, l.tokens[0].col), (1, 1));
+        assert_eq!((l.tokens[1].line, l.tokens[1].col), (2, 3));
+    }
+
+    #[test]
+    fn float_and_range_disambiguation() {
+        let l = lex("1.5 + x; 0..8");
+        assert!(l.tokens.iter().any(|t| t.text == "1.5"));
+        assert!(l.tokens.iter().any(|t| t.text == ".."));
+    }
+}

@@ -1,0 +1,58 @@
+//! `monatt-lint`: workspace-native static analysis for the CloudMonatt
+//! reproduction.
+//!
+//! General-purpose lints cannot know that `SealKey` wraps key material,
+//! that `verify_tag` is the *only* place a MAC may be compared, or that
+//! `crates/net` parses adversarial bytes. This crate encodes those
+//! workspace facts as three rules over a hand-rolled token stream:
+//!
+//! * **`secret_hygiene`** — secret-bearing types must not derive a leaking
+//!   `Debug`, must carry a redacting manual impl, must zeroize in `Drop`,
+//!   and secret identifiers must not reach format-like macros.
+//! * **`const_time`** — `==`/`!=` on tag/MAC/digest material is a timing
+//!   oracle (use `ct_eq`), and crypto hot paths must not branch or index
+//!   on secret-derived values.
+//! * **`panic_freedom`** — protocol crates (`core`, `net`, `crypto`,
+//!   `tpm`) must not `unwrap`/`expect`/`panic!` or slice-index outside
+//!   test code.
+//!
+//! Findings are suppressed inline with a comment containing
+//! `#[allow(monatt::<rule>)]`, or budgeted per (rule, file) in the
+//! committed `monatt-lint.allow` ratchet file, which `--deny` mode forbids
+//! from growing *or* going stale.
+//!
+//! No dependencies: the lexer (`lexer`), per-file analysis (`context`),
+//! rules (`rules`), and engine (`engine`) are self-contained, so the tool
+//! builds in the offline container and runs in CI as a plain cargo binary.
+
+pub mod config;
+pub mod context;
+pub mod diag;
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+
+pub use config::Config;
+pub use diag::Diagnostic;
+pub use engine::{Allowlist, Report};
+
+use std::path::{Path, PathBuf};
+
+/// Locates the workspace root by walking up from `start` to the first
+/// directory whose `Cargo.toml` declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start);
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d.to_path_buf());
+            }
+        }
+        dir = d.parent();
+    }
+    None
+}
+
+/// Default name of the committed allowlist ratchet file.
+pub const ALLOWLIST_FILE: &str = "monatt-lint.allow";

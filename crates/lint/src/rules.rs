@@ -1,0 +1,595 @@
+//! The three workspace rules, evaluated over a [`FileContext`].
+//!
+//! Each rule is a pure function from (context, config) to diagnostics;
+//! suppression comments are applied centrally in [`run_all`].
+
+use crate::config::{Config, IndexPolicy};
+use crate::context::{match_delim, FileContext};
+use crate::diag::Diagnostic;
+use crate::lexer::{Token, TokenKind};
+
+/// Normalized names of every rule, in evaluation order.
+pub const RULE_NAMES: [&str; 3] = ["secret_hygiene", "const_time", "panic_freedom"];
+
+/// Macros whose arguments end up in human-readable output (or a panic
+/// payload) and therefore must not interpolate key material.
+const FORMAT_MACROS: [&str; 19] = [
+    "format",
+    "println",
+    "print",
+    "eprintln",
+    "eprint",
+    "write",
+    "writeln",
+    "panic",
+    "debug",
+    "info",
+    "warn",
+    "error",
+    "trace",
+    "log",
+    "assert",
+    "assert_eq",
+    "assert_ne",
+    "debug_assert",
+    "debug_assert_eq",
+];
+
+/// Keywords that cannot end an expression: a `[` following one of these
+/// opens a slice pattern or array type, not an index operation.
+const NON_EXPR_KEYWORDS: [&str; 26] = [
+    "return", "break", "else", "in", "match", "loop", "while", "if", "impl", "mut", "ref", "as",
+    "move", "let", "const", "static", "type", "where", "for", "unsafe", "dyn", "fn", "use", "pub",
+    "enum", "struct",
+];
+
+/// Runs every rule on one file, filtering findings that carry an inline
+/// `monatt::<rule>` suppression comment.
+pub fn run_all(ctx: &FileContext, cfg: &Config) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    secret_hygiene(ctx, cfg, &mut out);
+    const_time(ctx, cfg, &mut out);
+    if cfg.panic_scope(&ctx.crate_name) {
+        panic_freedom(ctx, cfg, &mut out);
+    }
+    out.retain(|d| !ctx.is_suppressed(d.rule, d.line));
+    out.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
+    out.dedup();
+    out
+}
+
+fn diag(rule: &'static str, ctx: &FileContext, line: u32, col: u32, message: String) -> Diagnostic {
+    Diagnostic {
+        rule,
+        file: ctx.path.clone(),
+        line,
+        col,
+        message,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 1: secret_hygiene
+// ---------------------------------------------------------------------------
+
+/// Secret-bearing types must not derive a leaking `Debug`, must provide a
+/// redacting manual `Debug`, key-byte holders must zeroize in `Drop`, and
+/// secret identifiers must not reach format-like macros.
+fn secret_hygiene(ctx: &FileContext, cfg: &Config, out: &mut Vec<Diagnostic>) {
+    const RULE: &str = "secret_hygiene";
+
+    for d in &ctx.derives {
+        if cfg.secret_types.contains(&d.type_name) && d.derives.iter().any(|t| t == "Debug") {
+            out.push(diag(
+                RULE,
+                ctx,
+                d.line,
+                1,
+                format!(
+                    "secret type `{}` derives Debug, which prints key material; \
+                     write a redacting `impl fmt::Debug` instead",
+                    d.type_name
+                ),
+            ));
+        }
+    }
+
+    for (name, line) in &ctx.defined_types {
+        if cfg.secret_types.contains(name) && ctx.impl_body("Debug", name).is_none() {
+            out.push(diag(
+                RULE,
+                ctx,
+                *line,
+                1,
+                format!(
+                    "secret type `{name}` has no manual Debug impl; add a redacting one \
+                     so accidental `{{:?}}` cannot leak key material"
+                ),
+            ));
+        }
+        if cfg.zeroize_types.contains(name) {
+            match ctx.impl_body("Drop", name) {
+                None => out.push(diag(
+                    RULE,
+                    ctx,
+                    *line,
+                    1,
+                    format!(
+                        "key-material type `{name}` has no Drop impl; \
+                         key bytes must be zeroized on drop"
+                    ),
+                )),
+                Some((start, end)) => {
+                    let zeroizes = ctx.tokens[start..end]
+                        .iter()
+                        .any(|t| t.kind == TokenKind::Ident && t.text.contains("zeroize"));
+                    if !zeroizes {
+                        out.push(diag(
+                            RULE,
+                            ctx,
+                            *line,
+                            1,
+                            format!("Drop impl for `{name}` does not call a zeroize helper"),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    // Format-macro interpolation of secrets. Test code is exempt for this
+    // check only: tests legitimately assert that Debug output is redacted.
+    let toks = &ctx.tokens;
+    let mut i = 0usize;
+    while i + 2 < toks.len() {
+        let is_macro = toks[i].kind == TokenKind::Ident
+            && FORMAT_MACROS.contains(&toks[i].text.as_str())
+            && toks[i + 1].is_punct("!")
+            && matches!(toks[i + 2].text.as_str(), "(" | "[" | "{");
+        if !is_macro || ctx.in_test[i] {
+            i += 1;
+            continue;
+        }
+        let close = match_delim(toks, i + 2);
+        // `assert!`/`debug_assert!` only print their *format* arguments on
+        // failure; the leading condition never reaches output, so skip it.
+        let mut start = i + 3;
+        if matches!(toks[i].text.as_str(), "assert" | "debug_assert") {
+            let mut depth = 0i32;
+            let mut after_comma = close;
+            for (j, t) in toks.iter().enumerate().take(close).skip(start) {
+                if t.kind == TokenKind::Punct {
+                    match t.text.as_str() {
+                        "(" | "[" | "{" => depth += 1,
+                        ")" | "]" | "}" => depth -= 1,
+                        "," if depth == 0 => {
+                            after_comma = j + 1;
+                            break;
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            start = after_comma;
+        }
+        for t in &toks[start..close] {
+            let leaked = match t.kind {
+                TokenKind::Ident => {
+                    cfg.secret_idents.contains(&t.text) || cfg.secret_types.contains(&t.text)
+                }
+                TokenKind::Str => cfg
+                    .secret_idents
+                    .iter()
+                    .any(|name| str_interpolates(&t.text, name)),
+                _ => false,
+            };
+            if leaked {
+                out.push(diag(
+                    RULE,
+                    ctx,
+                    t.line,
+                    t.col,
+                    format!(
+                        "secret `{}` interpolated into `{}!`; key material must not \
+                         reach logs or panic payloads",
+                        display_name(&t.text),
+                        toks[i].text
+                    ),
+                ));
+            }
+        }
+        i = close + 1;
+    }
+}
+
+/// True if a string literal's text contains an inline capture of `name`,
+/// i.e. `{name}` or `{name:...}`.
+fn str_interpolates(literal: &str, name: &str) -> bool {
+    let mut rest = literal;
+    while let Some(idx) = rest.find('{') {
+        rest = &rest[idx + 1..];
+        if let Some(stripped) = rest.strip_prefix(name) {
+            if stripped.starts_with('}') || stripped.starts_with(':') {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Shortens a string-literal token for use inside a message.
+fn display_name(text: &str) -> String {
+    if text.len() > 24 {
+        format!(
+            "{}…",
+            &text[..text.char_indices().nth(24).map_or(text.len(), |(i, _)| i)]
+        )
+    } else {
+        text.to_string()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 2: const_time
+// ---------------------------------------------------------------------------
+
+/// Authentication tags, MACs, and digests must be compared with `ct_eq`,
+/// and crypto hot paths must not branch or index on secret-derived values.
+fn const_time(ctx: &FileContext, cfg: &Config, out: &mut Vec<Diagnostic>) {
+    const RULE: &str = "const_time";
+    // The constant-time primitives themselves live in the zeroize module
+    // and necessarily operate on the sensitive values.
+    if ctx.path.ends_with("/zeroize.rs") {
+        return;
+    }
+    let toks = &ctx.tokens;
+
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokenKind::Punct || (t.text != "==" && t.text != "!=") {
+            continue;
+        }
+        if ctx.in_test[i] || cfg.ct_exempt_fns.contains(&ctx.enclosing_fn[i]) {
+            continue;
+        }
+        if let Some(name) = ct_operand(toks, i, cfg) {
+            out.push(diag(
+                RULE,
+                ctx,
+                t.line,
+                t.col,
+                format!(
+                    "variable-time `{}` on `{}`: comparing tag/digest material \
+                     leaks a timing oracle; use `ct_eq`",
+                    t.text, name
+                ),
+            ));
+        }
+    }
+
+    if !cfg.is_hot_path(&ctx.path) {
+        return;
+    }
+    let mut i = 0usize;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_ident("if") && !ctx.in_test[i] {
+            // Condition tokens run until the body `{` at bracket depth 0;
+            // parenthesized sub-expressions are scanned, not skipped.
+            let mut j = i + 1;
+            let mut depth = 0i32;
+            while j < toks.len() && !(depth == 0 && toks[j].is_punct("{")) {
+                match toks[j].text.as_str() {
+                    "(" | "[" if toks[j].kind == TokenKind::Punct => depth += 1,
+                    ")" | "]" if toks[j].kind == TokenKind::Punct => depth -= 1,
+                    _ => {}
+                }
+                if let Some(name) = secret_flow_ident(&toks[j], cfg) {
+                    out.push(diag(
+                        RULE,
+                        ctx,
+                        toks[j].line,
+                        toks[j].col,
+                        format!("secret-dependent branch on `{name}` in crypto hot path"),
+                    ));
+                }
+                j += 1;
+            }
+            i = j + 1;
+            continue;
+        }
+        if t.is_punct("[") && i > 0 && is_index_base(&toks[i - 1]) && !ctx.in_test[i] {
+            let close = match_delim(toks, i);
+            for inner in &toks[i + 1..close] {
+                if let Some(name) = secret_flow_ident(inner, cfg) {
+                    out.push(diag(
+                        RULE,
+                        ctx,
+                        inner.line,
+                        inner.col,
+                        format!("secret-dependent table index `{name}` in crypto hot path"),
+                    ));
+                }
+            }
+        }
+        i += 1;
+    }
+}
+
+fn secret_flow_ident<'a>(t: &'a Token, cfg: &Config) -> Option<&'a str> {
+    if t.kind == TokenKind::Ident && cfg.secret_flow_idents.iter().any(|s| s == &t.text) {
+        Some(&t.text)
+    } else {
+        None
+    }
+}
+
+/// Scans a bounded window on both sides of the comparison at `op` for an
+/// identifier whose snake_case parts mark it as tag/digest material.
+fn ct_operand(toks: &[Token], op: usize, cfg: &Config) -> Option<String> {
+    const WINDOW: usize = 8;
+    let stop = |t: &Token| {
+        t.kind == TokenKind::Punct && matches!(t.text.as_str(), ";" | "{" | "}" | "&&" | "||" | ",")
+    };
+    let mut candidates = Vec::new();
+    for k in 1..=WINDOW {
+        match op.checked_sub(k).map(|j| &toks[j]) {
+            Some(t) if !stop(t) => candidates.push(t),
+            _ => break,
+        }
+    }
+    for t in toks.iter().skip(op + 1).take(WINDOW) {
+        if stop(t) {
+            break;
+        }
+        candidates.push(t);
+    }
+    candidates
+        .into_iter()
+        .find(|t| {
+            t.kind == TokenKind::Ident
+                && t.text
+                    .to_ascii_lowercase()
+                    .split('_')
+                    .any(|part| cfg.ct_ident_parts.iter().any(|p| p == part))
+        })
+        .map(|t| t.text.clone())
+}
+
+// ---------------------------------------------------------------------------
+// Rule 3: panic_freedom
+// ---------------------------------------------------------------------------
+
+/// Protocol crates must not reach `unwrap`/`expect`/`panic!` or
+/// possibly-panicking slice indexing outside test code.
+fn panic_freedom(ctx: &FileContext, cfg: &Config, out: &mut Vec<Diagnostic>) {
+    const RULE: &str = "panic_freedom";
+    let policy = cfg.index_policy(&ctx.crate_name);
+    let toks = &ctx.tokens;
+
+    for (i, t) in toks.iter().enumerate() {
+        if ctx.in_test[i] {
+            continue;
+        }
+        if t.is_punct(".")
+            && toks
+                .get(i + 1)
+                .is_some_and(|n| n.is_ident("unwrap") || n.is_ident("expect"))
+            && toks.get(i + 2).is_some_and(|n| n.is_punct("("))
+        {
+            let callee = &toks[i + 1];
+            out.push(diag(
+                RULE,
+                ctx,
+                callee.line,
+                callee.col,
+                format!(
+                    "`.{}()` in protocol code can panic on adversarial input; \
+                     return a typed error instead",
+                    callee.text
+                ),
+            ));
+        }
+        if t.kind == TokenKind::Ident
+            && matches!(
+                t.text.as_str(),
+                "panic" | "unreachable" | "todo" | "unimplemented"
+            )
+            && toks.get(i + 1).is_some_and(|n| n.is_punct("!"))
+        {
+            out.push(diag(
+                RULE,
+                ctx,
+                t.line,
+                t.col,
+                format!(
+                    "`{}!` aborts the attestation path; return a typed error",
+                    t.text
+                ),
+            ));
+        }
+        if policy == IndexPolicy::Strict && t.is_punct("[") && i > 0 && is_index_base(&toks[i - 1])
+        {
+            let close = match_delim(toks, i);
+            let inner = &toks[i + 1..close];
+            if !is_literal_index(inner) {
+                out.push(diag(
+                    RULE,
+                    ctx,
+                    t.line,
+                    t.col,
+                    "slice index may panic on short input; use `get`/`split_at` \
+                     with an error path"
+                        .to_string(),
+                ));
+            }
+        }
+    }
+}
+
+/// True if the token before a `[` means the bracket is an index operation
+/// (rather than a slice pattern, array type, or array literal).
+fn is_index_base(prev: &Token) -> bool {
+    match prev.kind {
+        TokenKind::Ident => !NON_EXPR_KEYWORDS.contains(&prev.text.as_str()),
+        TokenKind::Punct => matches!(prev.text.as_str(), ")" | "]" | "?"),
+        _ => false,
+    }
+}
+
+/// True if the index tokens are a single integer literal (`x[0]`): the
+/// compiler-checked fixed-offset pattern the strict policy still allows.
+fn is_literal_index(inner: &[Token]) -> bool {
+    inner.len() == 1 && inner[0].kind == TokenKind::Num
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(path: &str, src: &str) -> Vec<Diagnostic> {
+        run_all(&FileContext::new(path, src), &Config::default())
+    }
+
+    #[test]
+    fn derived_debug_on_secret_type_fires() {
+        let src = "#[derive(Clone, Debug)]\npub struct SealKey { k: [u8; 32] }";
+        let diags = run("crates/crypto/src/x.rs", src);
+        assert!(diags
+            .iter()
+            .any(|d| d.rule == "secret_hygiene" && d.message.contains("derives Debug")));
+    }
+
+    #[test]
+    fn manual_debug_and_drop_satisfy_rule() {
+        let src = "pub struct SealKey { k: [u8; 32] }\n\
+                   impl core::fmt::Debug for SealKey { }\n\
+                   impl Drop for SealKey { fn drop(&mut self) { zeroize_bytes(&mut self.k); } }";
+        let diags = run("crates/crypto/src/x.rs", src);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn missing_drop_fires() {
+        let src = "pub struct Drbg { key: [u8; 32] }\nimpl core::fmt::Debug for Drbg { }";
+        let diags = run("crates/crypto/src/x.rs", src);
+        assert!(diags.iter().any(|d| d.message.contains("no Drop impl")));
+    }
+
+    #[test]
+    fn format_macro_leak_fires_and_inline_capture_detected() {
+        let src = "fn f(mac_key: &[u8]) { println!(\"{:x?}\", mac_key); }\n\
+                   fn g(secret: u32) { log::warn!(\"leak {secret}\"); }";
+        let diags = run("crates/net/src/x.rs", src);
+        assert_eq!(
+            diags.iter().filter(|d| d.rule == "secret_hygiene").count(),
+            2,
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn assert_condition_is_not_a_leak_but_format_args_are() {
+        let silent = "fn f(secret: &U) { assert!(!secret.is_zero(), \"must be nonzero\"); }";
+        assert!(run("crates/crypto/src/x.rs", silent).is_empty());
+        let leaky = "fn f(secret: u32) { assert!(secret > 0, \"bad {secret}\"); }";
+        assert_eq!(run("crates/crypto/src/x.rs", leaky).len(), 1);
+        let eq_leaks = "fn f(mac_key: &[u8]) { assert_eq!(mac_key, b\"x\"); }";
+        assert_eq!(run("crates/crypto/src/x.rs", eq_leaks).len(), 1);
+    }
+
+    #[test]
+    fn format_leak_exempt_in_tests() {
+        let src = "#[cfg(test)]\nmod t { fn f(secret: u32) { format!(\"{secret}\"); } }";
+        assert!(run("crates/net/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn tag_comparison_fires_outside_verify_tag() {
+        let src = "fn check(tag: &[u8], other: &[u8]) -> bool { tag == other }\n\
+                   fn verify_tag(tag: &[u8], other: &[u8]) -> bool { tag == other }";
+        let diags = run("crates/crypto/src/x.rs", src);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0].message.contains("ct_eq"));
+    }
+
+    #[test]
+    fn digest_field_comparison_fires() {
+        let src = "fn f(a: &Q, b: &Q) -> bool { a.quote_digest != b.digest }";
+        let diags = run("crates/tpm/src/x.rs", src);
+        assert!(diags.iter().any(|d| d.rule == "const_time"));
+    }
+
+    #[test]
+    fn benign_comparison_silent() {
+        let src = "fn f(n: usize, len: usize) -> bool { n == len }";
+        assert!(run("crates/crypto/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn secret_branch_and_index_in_hot_path() {
+        let src = "fn pow(exp: u64) { if exp & 1 == 1 { } let t = TABLE[exp as usize]; }";
+        let diags = run("crates/crypto/src/montgomery.rs", src);
+        let branch = diags
+            .iter()
+            .filter(|d| d.message.contains("branch"))
+            .count();
+        let index = diags.iter().filter(|d| d.message.contains("index")).count();
+        assert_eq!((branch, index), (1, 1), "{diags:?}");
+    }
+
+    #[test]
+    fn hot_path_checks_do_not_apply_elsewhere() {
+        let src = "fn pow(exp: u64) { if exp & 1 == 1 { } }";
+        assert!(run("crates/crypto/src/sha256.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_fires_only_outside_tests_and_scope() {
+        let src = "fn f(x: Option<u8>) { x.unwrap(); }\n\
+                   #[cfg(test)]\nmod t { fn g(x: Option<u8>) { x.unwrap(); } }";
+        let in_scope = run("crates/core/src/x.rs", src);
+        assert_eq!(in_scope.len(), 1);
+        // `hypervisor` is outside the panic_freedom crate scope.
+        assert!(run("crates/hypervisor/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_or_is_not_flagged() {
+        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap_or(0) }";
+        assert!(run("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn panic_macro_fires() {
+        let src = "fn f() { panic!(\"boom\"); }";
+        let diags = run("crates/tpm/src/x.rs", src);
+        assert!(diags.iter().any(|d| d.message.contains("`panic!`")));
+    }
+
+    #[test]
+    fn strict_index_policy_flags_dynamic_index() {
+        let src = "fn f(v: &[u8], i: usize) -> u8 { v[i] }";
+        let diags = run("crates/net/src/x.rs", src);
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("slice index"));
+    }
+
+    #[test]
+    fn strict_index_policy_allows_literal_and_types() {
+        let src = "fn f(v: &[u8; 4]) -> u8 { let a: [u8; 2] = [0; 2]; let _ = a; v[0] }";
+        assert!(run("crates/net/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn kernel_index_policy_allows_loop_counters() {
+        let src = "fn f(v: &[u8; 64]) -> u8 { let mut s = 0; for i in 0..64 { s ^= v[i]; } s }";
+        assert!(run("crates/crypto/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn suppression_comment_silences_finding() {
+        let src = "// constructor cannot fail: #[allow(monatt::panic_freedom)]\n\
+                   fn f(x: Option<u8>) { x.unwrap(); }";
+        assert!(run("crates/core/src/x.rs", src).is_empty());
+    }
+}

@@ -1,0 +1,331 @@
+//! Fixture-corpus and self-lint tests for `monatt-lint`.
+//!
+//! Each rule must fire on its `bad_*` fixture and stay silent on the
+//! matching `good_*` fixture; the suppression syntax must silence all
+//! three rules; the allowlist ratchet must reject over-budget and stale
+//! entries against the `ws/` mini-workspace; and the real workspace must
+//! pass `--deny` with the committed allowlist.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use monatt_lint::context::FileContext;
+use monatt_lint::engine::scan;
+use monatt_lint::rules::run_all;
+use monatt_lint::{Allowlist, Config, Diagnostic, ALLOWLIST_FILE};
+
+fn lint(path: &str, src: &str) -> Vec<Diagnostic> {
+    run_all(&FileContext::new(path, src), &Config::default())
+}
+
+fn rules_of(diags: &[Diagnostic]) -> Vec<&str> {
+    diags.iter().map(|d| d.rule).collect()
+}
+
+fn fixtures_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+fn ws_root() -> PathBuf {
+    fixtures_dir().join("ws")
+}
+
+// ---------------------------------------------------------------------------
+// secret_hygiene
+// ---------------------------------------------------------------------------
+
+#[test]
+fn secret_hygiene_fires_on_bad_fixture() {
+    let diags = lint(
+        "crates/net/src/bad_secret.rs",
+        include_str!("fixtures/bad_secret.rs"),
+    );
+    assert!(
+        rules_of(&diags).iter().all(|r| *r == "secret_hygiene"),
+        "only secret_hygiene should fire: {diags:?}"
+    );
+    // One finding per seeded defect: derived Debug, missing manual Debug,
+    // missing Drop, Drop without zeroize, and two format-macro leaks.
+    assert_eq!(diags.len(), 6, "{diags:?}");
+    let expect = |needle: &str| {
+        assert!(
+            diags.iter().any(|d| d.message.contains(needle)),
+            "missing `{needle}` in {diags:?}"
+        );
+    };
+    expect("derives Debug");
+    expect("no manual Debug impl");
+    expect("no Drop impl");
+    expect("does not call a zeroize helper");
+    expect("`mac_key` interpolated into `println!`");
+    expect("interpolated into `warn!`");
+}
+
+#[test]
+fn secret_hygiene_silent_on_good_fixture() {
+    let diags = lint(
+        "crates/net/src/good_secret.rs",
+        include_str!("fixtures/good_secret.rs"),
+    );
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+// ---------------------------------------------------------------------------
+// const_time
+// ---------------------------------------------------------------------------
+
+#[test]
+fn const_time_fires_on_tag_and_digest_comparisons() {
+    // Outside the crypto hot-path set only the comparison checks apply.
+    let diags = lint(
+        "crates/verifier/src/bad_const_time.rs",
+        include_str!("fixtures/bad_const_time.rs"),
+    );
+    assert_eq!(rules_of(&diags), ["const_time", "const_time"], "{diags:?}");
+    assert!(diags[0].message.contains("`==` on `tag`"), "{diags:?}");
+    assert!(
+        diags[1].message.contains("`!=` on `quote_digest`"),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn const_time_hot_path_adds_branch_and_index_findings() {
+    // The same source under a hot-path label also flags the
+    // secret-dependent branch and table index.
+    let diags = lint(
+        "crates/crypto/src/montgomery.rs",
+        include_str!("fixtures/bad_const_time.rs"),
+    );
+    assert_eq!(diags.len(), 4, "{diags:?}");
+    assert!(rules_of(&diags).iter().all(|r| *r == "const_time"));
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.message.contains("secret-dependent branch on `exp`")),
+        "{diags:?}"
+    );
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.message.contains("secret-dependent table index `exp`")),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn const_time_silent_on_good_fixture() {
+    let diags = lint(
+        "crates/crypto/src/good_const_time.rs",
+        include_str!("fixtures/good_const_time.rs"),
+    );
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+// ---------------------------------------------------------------------------
+// panic_freedom
+// ---------------------------------------------------------------------------
+
+#[test]
+fn panic_freedom_fires_on_bad_fixture() {
+    let diags = lint(
+        "crates/core/src/bad_panic.rs",
+        include_str!("fixtures/bad_panic.rs"),
+    );
+    assert!(rules_of(&diags).iter().all(|r| *r == "panic_freedom"));
+    // Three unguarded indexes, unwrap, expect, panic!, unreachable!, todo!.
+    assert_eq!(diags.len(), 8, "{diags:?}");
+    let count = |needle: &str| diags.iter().filter(|d| d.message.contains(needle)).count();
+    assert_eq!(count("slice index may panic"), 3, "{diags:?}");
+    assert_eq!(count("`.unwrap()`"), 1);
+    assert_eq!(count("`.expect()`"), 1);
+    assert_eq!(count("`panic!`"), 1);
+    assert_eq!(count("`unreachable!`"), 1);
+    assert_eq!(count("`todo!`"), 1);
+}
+
+#[test]
+fn panic_freedom_silent_on_good_fixture() {
+    let diags = lint(
+        "crates/core/src/good_panic.rs",
+        include_str!("fixtures/good_panic.rs"),
+    );
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn panic_freedom_out_of_scope_crate_is_silent() {
+    // The same panicking source is out of scope for a non-protocol crate.
+    let diags = lint(
+        "crates/hypervisor/src/bad_panic.rs",
+        include_str!("fixtures/bad_panic.rs"),
+    );
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+// ---------------------------------------------------------------------------
+// suppression
+// ---------------------------------------------------------------------------
+
+#[test]
+fn suppression_fixture_silences_every_rule() {
+    let src = include_str!("fixtures/suppressed.rs");
+    let diags = lint("crates/core/src/suppressed.rs", src);
+    assert!(diags.is_empty(), "{diags:?}");
+    // The suppressions are load-bearing: stripping the comments makes one
+    // finding per rule reappear.
+    let stripped = src.replace("monatt::", "gone::");
+    let diags = lint("crates/core/src/suppressed.rs", &stripped);
+    let mut rules = rules_of(&diags);
+    rules.sort_unstable();
+    assert_eq!(
+        rules,
+        ["const_time", "panic_freedom", "secret_hygiene"],
+        "{diags:?}"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// allowlist ratchet on the ws mini-workspace
+// ---------------------------------------------------------------------------
+
+#[test]
+fn ws_scan_finds_known_debt_and_skips_shim_crates() {
+    let report = scan(&ws_root(), &Config::default(), &Allowlist::default()).unwrap();
+    // rand-shim is excluded, so only crates/core/src/lib.rs is scanned.
+    assert_eq!(report.files, 1);
+    assert_eq!(report.findings.len(), 2, "{:?}", report.findings);
+    assert!(report
+        .findings
+        .iter()
+        .all(|d| d.rule == "panic_freedom" && d.file == "crates/core/src/lib.rs"));
+    // With no allowlist the findings are deny violations.
+    assert_eq!(report.budgeted, 0);
+    assert_eq!(report.violations.len(), 1, "{:?}", report.violations);
+    assert!(report.deny_failure());
+}
+
+#[test]
+fn ws_exact_budget_passes_deny() {
+    let allow = Allowlist::parse("panic_freedom crates/core/src/lib.rs 2").unwrap();
+    let report = scan(&ws_root(), &Config::default(), &allow).unwrap();
+    assert_eq!(report.budgeted, 2);
+    assert!(report.violations.is_empty(), "{:?}", report.violations);
+    assert!(report.stale.is_empty(), "{:?}", report.stale);
+    assert!(!report.deny_failure());
+}
+
+#[test]
+fn ws_over_budget_is_a_violation() {
+    let allow = Allowlist::parse("panic_freedom crates/core/src/lib.rs 1").unwrap();
+    let report = scan(&ws_root(), &Config::default(), &allow).unwrap();
+    assert_eq!(report.violations.len(), 1, "{:?}", report.violations);
+    assert!(report.stale.is_empty());
+    assert!(report.deny_failure());
+}
+
+#[test]
+fn ws_stale_budget_must_be_tightened() {
+    // The ratchet only shrinks: a budget larger than reality is an error.
+    let allow = Allowlist::parse("panic_freedom crates/core/src/lib.rs 3").unwrap();
+    let report = scan(&ws_root(), &Config::default(), &allow).unwrap();
+    assert!(report.violations.is_empty(), "{:?}", report.violations);
+    assert_eq!(report.stale.len(), 1, "{:?}", report.stale);
+    assert!(report.stale[0].contains("ratchet only shrinks"));
+    assert!(report.deny_failure());
+}
+
+#[test]
+fn ws_widened_panic_scope_reaches_shim_crate_when_unskipped() {
+    // Config knobs work end to end: un-skipping rand-shim surfaces its
+    // unwrap too.
+    let mut cfg = Config::default();
+    cfg.skip_crates.retain(|c| c != "rand-shim");
+    cfg.panic_crates.push("rand-shim".to_string());
+    let report = scan(&ws_root(), &cfg, &Allowlist::default()).unwrap();
+    assert_eq!(report.files, 2);
+    assert!(report
+        .findings
+        .iter()
+        .any(|d| d.file == "crates/rand-shim/src/lib.rs"));
+}
+
+// ---------------------------------------------------------------------------
+// self-lint: the real workspace passes --deny with the committed allowlist
+// ---------------------------------------------------------------------------
+
+#[test]
+fn workspace_self_lint_passes_deny() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .unwrap();
+    let allow = Allowlist::load(&root.join(ALLOWLIST_FILE)).unwrap();
+    let report = scan(&root, &Config::default(), &allow).unwrap();
+    assert!(report.files > 50, "workspace scan looks too small");
+    assert!(
+        !report.deny_failure(),
+        "workspace fails its own lint: violations={:?} stale={:?} findings={:?}",
+        report.violations,
+        report.stale,
+        report.findings
+    );
+}
+
+// ---------------------------------------------------------------------------
+// CLI: exit codes and JSON output
+// ---------------------------------------------------------------------------
+
+fn lint_cmd(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_monatt-lint"))
+        .args(args)
+        .output()
+        .expect("run monatt-lint")
+}
+
+#[test]
+fn cli_deny_fails_without_allowlist() {
+    let ws = ws_root();
+    let out = lint_cmd(&["--root", ws.to_str().unwrap(), "--deny"]);
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("DENY:"), "{stdout}");
+    assert!(stdout.contains("allowlist budget 0"), "{stdout}");
+}
+
+#[test]
+fn cli_deny_passes_with_budgeted_allowlist() {
+    let ws = ws_root();
+    let allow = fixtures_dir().join("ws.allow");
+    let out = lint_cmd(&[
+        "--root",
+        ws.to_str().unwrap(),
+        "--allowlist",
+        allow.to_str().unwrap(),
+        "--deny",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{:?}", out);
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("2 within allowlist budget"), "{stdout}");
+}
+
+#[test]
+fn cli_json_reports_findings_and_violations() {
+    let ws = ws_root();
+    let out = lint_cmd(&["--root", ws.to_str().unwrap(), "--json"]);
+    // Without --deny the exit code stays 0 even with findings.
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.starts_with("{\"findings\":["), "{stdout}");
+    assert!(stdout.contains("\"rule\":\"panic_freedom\""), "{stdout}");
+    assert!(stdout.contains("\"files\":1"), "{stdout}");
+    assert!(stdout.contains("allowlist budget 0"), "{stdout}");
+}
+
+#[test]
+fn cli_rejects_unknown_flags() {
+    let out = lint_cmd(&["--frobnicate"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("unknown option"), "{stderr}");
+}

@@ -1,0 +1,23 @@
+// Fixture: panic_freedom findings — unwrap/expect, panic-family macros
+// and unguarded slice indexing in protocol code.
+
+pub fn parse(record: &[u8]) -> u64 {
+    let header = &record[..8];
+    let first = record[0 + 0];
+    let tail = record[record.len() - 1];
+    let value: Option<u64> = decode(header);
+    let v = value.unwrap();
+    let w: Result<u64, ()> = Err(());
+    let w = w.expect("always ok");
+    if first > tail {
+        panic!("inverted record");
+    }
+    match v {
+        0 => unreachable!(),
+        _ => v + w,
+    }
+}
+
+fn decode(_b: &[u8]) -> Option<u64> {
+    todo!()
+}

@@ -1,0 +1,23 @@
+// Fixture: constant-time discipline done right — no const_time findings.
+
+pub fn verify_tag(expected: &[u8], actual: &[u8]) -> bool {
+    // The designated exempt function may compare tag material.
+    expected == actual
+}
+
+pub fn check(tag: &[u8; 32], expected: &[u8; 32]) -> bool {
+    ct_eq(tag, expected)
+}
+
+pub fn public_compare(len: usize, version: u32) -> bool {
+    len == 8 && version != 0
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_vectors_may_compare_digests() {
+        let digest = [0u8; 32];
+        assert!(digest == [0u8; 32]);
+    }
+}

@@ -1,0 +1,31 @@
+// Fixture: panic-free protocol code — no panic_freedom findings.
+
+pub enum ParseError {
+    Short,
+}
+
+pub fn parse(record: &[u8]) -> Result<u64, ParseError> {
+    let (header, _body) = match record.len() {
+        n if n >= 8 => record.split_at(8),
+        _ => return Err(ParseError::Short),
+    };
+    let first = record.first().copied().ok_or(ParseError::Short)?;
+    let fixed: [u8; 4] = [0, 1, 2, 3];
+    let tagged = fixed[0];
+    decode(header).ok_or(ParseError::Short).map(|v| v + u64::from(first) + u64::from(tagged))
+}
+
+fn decode(b: &[u8]) -> Option<u64> {
+    b.get(..8)?.try_into().ok().map(u64::from_be_bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        let v = super::decode(&[0u8; 8]).unwrap();
+        assert_eq!(v, 0);
+        let record = [0u8; 16];
+        let _slice = &record[..8];
+    }
+}

@@ -1,0 +1,33 @@
+// Fixture: secret types done right — no secret_hygiene findings.
+
+#[derive(Clone)]
+pub struct SealKey {
+    mac_key: [u8; 32],
+}
+
+impl std::fmt::Debug for SealKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SealKey").finish_non_exhaustive()
+    }
+}
+
+impl Drop for SealKey {
+    fn drop(&mut self) {
+        zeroize_bytes(&mut self.mac_key);
+    }
+}
+
+fn log_metadata(seq: u64, peer: &str) {
+    println!("record {seq} from {peer}");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn debug_is_redacted() {
+        // Format-leak checks are exempt in tests: asserting redaction
+        // requires formatting the secret type.
+        let k = super::SealKey { mac_key: [7; 32] };
+        assert!(!format!("{k:?}").contains('7'));
+    }
+}

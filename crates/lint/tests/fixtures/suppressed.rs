@@ -1,0 +1,29 @@
+// Fixture: inline suppression comments silence each rule.
+
+pub fn startup(config: Option<u32>) -> u32 {
+    // Startup-time configuration; absence is a deployment bug.
+    // #[allow(monatt::panic_freedom)]
+    config.unwrap()
+}
+
+pub fn tag_probe(tag: &[u8; 32], expected: &[u8; 32]) -> bool {
+    tag == expected // timing harness, not a verifier: #[allow(monatt::const_time)]
+}
+
+// Snapshot type: Debug derive is deliberate. Hyphen spelling accepted.
+#[derive(Clone, Debug)] // #[allow(monatt::secret-hygiene)]
+pub struct SealKey {
+    label: String,
+}
+
+impl std::fmt::Debug for SealKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SealKey").finish_non_exhaustive()
+    }
+}
+
+impl Drop for SealKey {
+    fn drop(&mut self) {
+        zeroize_bytes(self.label.as_bytes_mut());
+    }
+}

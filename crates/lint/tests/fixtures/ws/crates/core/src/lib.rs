@@ -1,0 +1,9 @@
+// Fixture crate scanned by engine tests: exactly two panic_freedom findings.
+
+pub fn route(port: Option<u16>) -> u16 {
+    port.unwrap()
+}
+
+pub fn frame(bytes: &[u8]) -> u8 {
+    *bytes.first().expect("frame must be non-empty")
+}

@@ -1,0 +1,5 @@
+// Fixture shim crate: would be a finding, but rand-shim is a skip crate.
+
+pub fn seed(material: Option<u64>) -> u64 {
+    material.unwrap()
+}

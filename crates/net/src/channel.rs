@@ -114,10 +114,19 @@ impl Wire for HelloReply {
 }
 
 /// Initiator-side state between the two flights.
-#[derive(Debug)]
 pub struct PendingHandshake {
     secret: EphemeralSecret,
     hello_share: PublicShare,
+}
+
+impl std::fmt::Debug for PendingHandshake {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // The ephemeral secret redacts itself; keep the whole handshake
+        // state down to the public share regardless.
+        f.debug_struct("PendingHandshake")
+            .field("hello_share", &self.hello_share)
+            .finish_non_exhaustive()
+    }
 }
 
 /// An established channel endpoint: directional keys + sequence numbers,
@@ -130,7 +139,6 @@ pub struct PendingHandshake {
 /// exactly once, while any second copy — a retransmit duplicate or an
 /// attacker replay — is rejected with [`ChannelError::DuplicateRecord`]
 /// without desynchronizing the channel.
-#[derive(Debug)]
 pub struct SecureChannel {
     send_key: SealKey,
     recv_key: SealKey,
@@ -144,6 +152,19 @@ pub struct SecureChannel {
     /// Total records accepted.
     recv_count: u64,
     peer: Box<str>,
+}
+
+impl std::fmt::Debug for SecureChannel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Directional session keys stay out of the output; sequence
+        // numbers and the peer label are enough for diagnostics.
+        f.debug_struct("SecureChannel")
+            .field("peer", &self.peer)
+            .field("send_seq", &self.send_seq)
+            .field("recv_max", &self.recv_max)
+            .field("recv_count", &self.recv_count)
+            .finish_non_exhaustive()
+    }
 }
 
 /// Width of the receive anti-replay window, in records. Records older
@@ -276,8 +297,9 @@ impl SecureChannel {
         if record.len() < 8 {
             return Err(ChannelError::Malformed);
         }
+        let (seq_prefix, body) = record.split_at(8);
         let mut seq_bytes = [0u8; 8];
-        seq_bytes.copy_from_slice(&record[..8]);
+        seq_bytes.copy_from_slice(seq_prefix);
         let seq = u64::from_be_bytes(seq_bytes);
         // Replay check first — it is cheap and needs no key material.
         if self.recv_count > 0 && seq <= self.recv_max {
@@ -293,7 +315,7 @@ impl SecureChannel {
         let nonce = seq_nonce(seq);
         let pt = self
             .recv_key
-            .open(&nonce, aad, &record[8..])
+            .open(&nonce, aad, body)
             .map_err(|_| ChannelError::RecordAuthentication)?;
         // Only authenticated records advance the window.
         if self.recv_count == 0 || seq > self.recv_max {
@@ -343,7 +365,8 @@ impl SecureChannel {
 
 fn seq_nonce(seq: u64) -> [u8; 12] {
     let mut nonce = [0u8; 12];
-    nonce[4..].copy_from_slice(&seq.to_be_bytes());
+    let (_, seq_part) = nonce.split_at_mut(4);
+    seq_part.copy_from_slice(&seq.to_be_bytes());
     nonce
 }
 

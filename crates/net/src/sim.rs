@@ -200,7 +200,9 @@ impl FaultModel {
         let mut payload = payload;
         if d_corrupt < self.corrupt_prob && !payload.is_empty() {
             let idx = (corrupt_at % payload.len() as u64) as usize;
-            payload[idx] ^= 0x01;
+            if let Some(byte) = payload.get_mut(idx) {
+                *byte ^= 0x01;
+            }
             self.stats.corrupted += 1;
         }
         let duplicated = d_dup < self.duplicate_prob;
@@ -363,7 +365,9 @@ impl NetworkAttacker for Tamperer {
         }
         let mut m = payload.to_vec();
         let mid = m.len() / 2;
-        m[mid] ^= 0x01;
+        if let Some(byte) = m.get_mut(mid) {
+            *byte ^= 0x01;
+        }
         self.modified += 1;
         Intercept::Modify(m)
     }

@@ -114,11 +114,12 @@ impl<'a> Reader<'a> {
     }
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
-        if self.remaining() < n {
-            return Err(WireError::UnexpectedEnd);
-        }
-        let out = &self.data[self.pos..self.pos + n];
-        self.pos += n;
+        let end = self.pos.checked_add(n).ok_or(WireError::UnexpectedEnd)?;
+        let out = self
+            .data
+            .get(self.pos..end)
+            .ok_or(WireError::UnexpectedEnd)?;
+        self.pos = end;
         Ok(out)
     }
 

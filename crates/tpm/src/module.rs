@@ -43,10 +43,19 @@ impl CertificationRequest {
 
 /// An attestation session: a fresh key pair plus the certification request
 /// for its public half.
-#[derive(Debug)]
 pub struct AttestationSession {
     signing_key: SigningKey,
     request: CertificationRequest,
+}
+
+impl std::fmt::Debug for AttestationSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Identify the session by its public key; the signing key redacts
+        // itself but is omitted entirely for defense in depth.
+        f.debug_struct("AttestationSession")
+            .field("attestation_key", &self.signing_key.verifying_key())
+            .finish_non_exhaustive()
+    }
 }
 
 impl AttestationSession {
@@ -67,12 +76,22 @@ impl AttestationSession {
 }
 
 /// The hardware Trust Module of one cloud server.
-#[derive(Debug)]
 pub struct TrustModule {
     identity: SigningKey,
     rng: Drbg,
     pcrs: PcrBank,
     registers: Option<TrustEvidenceRegisters>,
+}
+
+impl std::fmt::Debug for TrustModule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Neither the identity key nor the DRBG state belongs in logs.
+        f.debug_struct("TrustModule")
+            .field("identity_key", &self.identity.verifying_key())
+            .field("pcrs", &self.pcrs)
+            .field("registers", &self.registers)
+            .finish_non_exhaustive()
+    }
 }
 
 impl TrustModule {

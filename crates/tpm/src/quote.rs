@@ -8,6 +8,7 @@
 
 use monatt_crypto::schnorr::{Signature, SigningKey, VerifyingKey};
 use monatt_crypto::sha256::{Sha256, DIGEST_LEN};
+use monatt_crypto::zeroize::ct_eq;
 
 /// Errors from quote verification.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -67,7 +68,7 @@ impl Quote {
     /// [`QuoteError::DigestMismatch`] if the fields were altered,
     /// [`QuoteError::BadSignature`] if the signature is invalid.
     pub fn verify(&self, key: &VerifyingKey, fields: &[&[u8]]) -> Result<(), QuoteError> {
-        if quote_digest(fields) != self.digest {
+        if !ct_eq(&quote_digest(fields), &self.digest) {
             return Err(QuoteError::DigestMismatch);
         }
         key.verify(&self.digest, &self.signature)
