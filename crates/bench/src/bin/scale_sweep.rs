@@ -1,0 +1,26 @@
+//! Runs the concurrency scale sweep: one round of N periodic
+//! attestations at 10% message loss versus the serialized baseline.
+//!
+//! Usage: `scale_sweep [--smoke] [--json <path>]`
+//! `--smoke` sweeps a reduced fleet set for CI; `--json` additionally
+//! writes the machine-readable document (see `BENCH_scale.json`).
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1));
+    let fleets: &[usize] = if smoke {
+        &monatt_bench::scale::SMOKE_FLEETS
+    } else {
+        &monatt_bench::scale::FLEETS
+    };
+    let rows = monatt_bench::scale::run(fleets);
+    monatt_bench::scale::print(&rows);
+    if let Some(path) = json_path {
+        std::fs::write(path, monatt_bench::scale::to_json(&rows)).expect("write json");
+        eprintln!("wrote {path}");
+    }
+}

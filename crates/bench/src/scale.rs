@@ -1,0 +1,187 @@
+//! **Scale sweep** — one round of N concurrent periodic attestations on
+//! a 10% lossy network versus the serialized baseline. Not a paper
+//! figure: this harness measures the discrete-event engine added on top
+//! of the Figure-3 protocol. All N subscriptions share one period, so a
+//! whole round comes due at the same virtual instant; a serialized
+//! controller would run the sessions back to back (N × the single-session
+//! latency), the event engine interleaves them on one queue and finishes
+//! the round in roughly one session's latency.
+
+use monatt_core::{CloudBuilder, Flavor, Image, SecurityProperty, VmRequest};
+use monatt_net::sim::FaultModel;
+
+/// Fleet sizes swept (concurrent periodic subscriptions).
+pub const FLEETS: [usize; 4] = [1, 4, 16, 64];
+
+/// Reduced fleet sizes for the CI smoke run.
+pub const SMOKE_FLEETS: [usize; 2] = [1, 8];
+
+/// The shared subscription period.
+const PERIOD_US: u64 = 1_000_000;
+
+/// One row of the scale sweep.
+#[derive(Clone, Copy, Debug)]
+pub struct ScaleRow {
+    /// Concurrent subscriptions in the round.
+    pub fleet: usize,
+    /// Clean-network single-session latency (the serialized unit cost).
+    pub single_us: u64,
+    /// Virtual time from the round coming due to its last report.
+    pub round_us: u64,
+    /// `fleet * single_us`: what a serialized controller would pay.
+    pub serialized_us: u64,
+    /// High-water mark of concurrently in-flight sessions.
+    pub max_in_flight: u64,
+    /// Retransmissions the lossy round needed.
+    pub retries: u64,
+    /// Messages the fault model dropped during the round.
+    pub dropped: u64,
+}
+
+impl ScaleRow {
+    /// Speed-up of the interleaved round over the serialized baseline.
+    pub fn speedup(&self) -> f64 {
+        self.serialized_us as f64 / self.round_us.max(1) as f64
+    }
+}
+
+/// Runs one round of `fleet` concurrent subscriptions at 10% loss.
+fn measure(fleet: usize) -> ScaleRow {
+    let servers = fleet.div_ceil(16).max(1);
+    let mut cloud = CloudBuilder::new()
+        .servers(servers)
+        .pcpus_per_server(16)
+        .seed(0x5CA1E + fleet as u64)
+        .build();
+    let mut vids = Vec::with_capacity(fleet);
+    for _ in 0..fleet {
+        let vid = cloud
+            .request_vm(
+                VmRequest::new(Flavor::Small, Image::Cirros)
+                    .require(SecurityProperty::RuntimeIntegrity),
+            )
+            .expect("launch on a clean network");
+        vids.push(vid);
+    }
+    let single_us = cloud
+        .runtime_attest_current(vids[0], SecurityProperty::RuntimeIntegrity)
+        .expect("clean-path attestation")
+        .elapsed_us;
+    let mut subs = Vec::with_capacity(fleet);
+    for &vid in &vids {
+        let id = cloud
+            .runtime_attest_periodic(vid, SecurityProperty::RuntimeIntegrity, PERIOD_US)
+            .expect("subscribe");
+        subs.push(id);
+    }
+    cloud
+        .network_mut()
+        .set_fault_model(FaultModel::new(0xD1CE + fleet as u64).drop_prob(0.10));
+    cloud.reset_protocol_stats();
+    let due = cloud.wall_clock_us() + PERIOD_US;
+    // A horizon just past the due instant admits exactly one firing per
+    // subscription; the event loop still drains every session to
+    // completion past the horizon.
+    cloud.run(PERIOD_US + 1);
+    let stats = cloud.protocol_stats();
+    let dropped = cloud
+        .network_mut()
+        .fault_stats()
+        .map(|f| f.dropped)
+        .unwrap_or(0);
+    let mut last_report = due;
+    for &id in &subs {
+        let reports = cloud.stop_attest_periodic(id).expect("collect reports");
+        if let Some(first) = reports.first() {
+            last_report = last_report.max(first.issued_at_us);
+        }
+    }
+    ScaleRow {
+        fleet,
+        single_us,
+        round_us: last_report - due,
+        serialized_us: fleet as u64 * single_us,
+        max_in_flight: stats.max_in_flight,
+        retries: stats.retries,
+        dropped,
+    }
+}
+
+/// Sweeps the given fleet sizes.
+pub fn run(fleets: &[usize]) -> Vec<ScaleRow> {
+    fleets.iter().map(|&n| measure(n)).collect()
+}
+
+/// Prints the sweep as a table.
+pub fn print(rows: &[ScaleRow]) {
+    println!("Scale sweep: one round of N concurrent attestations at 10% loss");
+    println!("fleet\tsingle\tround\tserialized\tspeedup\tin-flight\tretries\tdropped");
+    for row in rows {
+        println!(
+            "{}\t{}\t{}\t{}\t{:.1}x\t{}\t{}\t{}",
+            row.fleet,
+            crate::fmt_secs(row.single_us),
+            crate::fmt_secs(row.round_us),
+            crate::fmt_secs(row.serialized_us),
+            row.speedup(),
+            row.max_in_flight,
+            row.retries,
+            row.dropped,
+        );
+    }
+}
+
+/// Renders the sweep as the committed `BENCH_scale.json` document.
+pub fn to_json(rows: &[ScaleRow]) -> String {
+    let mut out = String::from("{\n  \"scale_sweep\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"fleet\": {}, \"single_us\": {}, \"round_us\": {}, \
+             \"serialized_us\": {}, \"speedup\": {:.2}, \"max_in_flight\": {}, \
+             \"retries\": {}, \"dropped\": {}}}{}\n",
+            row.fleet,
+            row.single_us,
+            row.round_us,
+            row.serialized_us,
+            row.speedup(),
+            row.max_in_flight,
+            row.retries,
+            row.dropped,
+            if i + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interleaved_round_beats_serialized_baseline() {
+        let rows = run(&SMOKE_FLEETS);
+        let eight = rows.iter().find(|r| r.fleet == 8).unwrap();
+        // The whole fleet is in flight at once, and the round costs a
+        // couple of single-session latencies, not eight.
+        assert_eq!(eight.max_in_flight, 8);
+        assert!(
+            eight.round_us < 3 * eight.single_us,
+            "round {} vs single {}",
+            eight.round_us,
+            eight.single_us
+        );
+        assert!(eight.speedup() > 2.0, "speedup {:.2}", eight.speedup());
+    }
+
+    #[test]
+    fn single_session_round_matches_clean_latency_scale() {
+        let rows = run(&[1]);
+        let one = &rows[0];
+        assert_eq!(one.max_in_flight, 1);
+        // One lossy session: the round is the session, give or take the
+        // retransmit timeouts the drops cost.
+        assert!(one.round_us >= one.single_us);
+        assert!(one.round_us < 2 * one.single_us);
+    }
+}

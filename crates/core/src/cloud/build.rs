@@ -1,0 +1,577 @@
+//! Cloud assembly and the VM launch pipeline: [`CloudBuilder`],
+//! [`VmRequest`], workload instantiation and [`Cloud::request_vm`]
+//! (Section 7.1.1's Scheduling → Networking → Block-device-mapping →
+//! Spawning → Attestation stages).
+
+use super::{ChannelPair, Cloud};
+use crate::attestation::AttestationServer;
+use crate::controller::{CloudController, ServerInfo, VmLifecycle, VmRecord};
+use crate::engine::EventQueue;
+use crate::error::CloudError;
+use crate::interpret::ReferenceDb;
+use crate::latency::{LatencyParams, RetryPolicy};
+use crate::server::CloudServerNode;
+use crate::types::{Flavor, HealthStatus, Image, ProtocolStats, SecurityProperty, ServerId, Vid};
+use monatt_attacks::boost::{boost_attack_drivers, BoostAttackVcpu};
+use monatt_attacks::covert::CovertSender;
+use monatt_crypto::drbg::Drbg;
+use monatt_crypto::schnorr::SigningKey;
+use monatt_hypervisor::driver::{BusyLoop, IdleDriver, WorkloadDriver};
+use monatt_hypervisor::scheduler::SchedParams;
+use monatt_net::channel::handshake_pair;
+use monatt_net::sim::SimNetwork;
+use monatt_workloads::programs::SpecProgram;
+use monatt_workloads::services::CloudService;
+use std::collections::BTreeMap;
+
+/// The guest workload to run in a requested VM. Kept as a declarative
+/// spec so migration can re-instantiate it on the destination server.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WorkloadSpec {
+    /// All vCPUs idle.
+    Idle,
+    /// CPU-bound busy loop on every vCPU.
+    Busy,
+    /// A cloud benchmark service on vCPU 0.
+    Service(CloudService),
+    /// A SPEC-like CPU-bound program on vCPU 0.
+    Program(SpecProgram),
+    /// The covert-channel sender of Case Study III (transmits a fixed
+    /// pattern).
+    CovertSender,
+    /// The IPI-boost availability attacker of Case Study IV.
+    BoostAttack,
+}
+
+/// Observation handles exported by a workload (for throughput and
+/// completion measurements in experiments).
+#[derive(Clone, Debug, Default)]
+pub struct WorkloadHandles {
+    /// Request counter of a [`WorkloadSpec::Service`] workload.
+    pub service: Option<monatt_hypervisor::driver::Shared<monatt_workloads::ServiceStats>>,
+    /// Completion record of a [`WorkloadSpec::Program`] workload.
+    pub program: Option<monatt_hypervisor::driver::Shared<monatt_workloads::ProgramStats>>,
+}
+
+impl WorkloadSpec {
+    pub(crate) fn drivers(
+        &self,
+        vcpus: usize,
+        seed: u64,
+    ) -> (Vec<Box<dyn WorkloadDriver>>, WorkloadHandles) {
+        let mut drivers: Vec<Box<dyn WorkloadDriver>> = Vec::with_capacity(vcpus);
+        let mut handles = WorkloadHandles::default();
+        match self {
+            WorkloadSpec::Idle => {
+                for _ in 0..vcpus {
+                    drivers.push(Box::new(IdleDriver));
+                }
+            }
+            WorkloadSpec::Busy => {
+                for _ in 0..vcpus {
+                    drivers.push(Box::new(BusyLoop::default()));
+                }
+            }
+            WorkloadSpec::Service(svc) => {
+                let driver = svc.driver(seed);
+                handles.service = Some(driver.stats());
+                drivers.push(Box::new(driver));
+                for _ in 1..vcpus {
+                    drivers.push(Box::new(IdleDriver));
+                }
+            }
+            WorkloadSpec::Program(prog) => {
+                let driver = prog.driver();
+                handles.program = Some(driver.stats());
+                drivers.push(Box::new(driver));
+                for _ in 1..vcpus {
+                    drivers.push(Box::new(IdleDriver));
+                }
+            }
+            WorkloadSpec::CovertSender => {
+                drivers.push(Box::new(CovertSender::new(b"\xA5")));
+                for _ in 1..vcpus {
+                    drivers.push(Box::new(IdleDriver));
+                }
+            }
+            WorkloadSpec::BoostAttack => {
+                if vcpus >= 2 {
+                    drivers.extend(boost_attack_drivers());
+                    for _ in 2..vcpus {
+                        drivers.push(Box::new(IdleDriver));
+                    }
+                } else {
+                    drivers.push(Box::new(BoostAttackVcpu::new(0)));
+                }
+            }
+        }
+        (drivers, handles)
+    }
+}
+
+/// A VM request, as submitted by the customer.
+#[derive(Clone, Debug)]
+pub struct VmRequest {
+    /// VM size.
+    pub flavor: Flavor,
+    /// Boot image.
+    pub image: Image,
+    /// Security properties to provision monitoring for.
+    pub properties: Vec<SecurityProperty>,
+    /// Guest workload.
+    pub workload: WorkloadSpec,
+    /// Experiment hook: corrupt the image in storage before launch
+    /// (Case Study I attack).
+    pub tampered_image: bool,
+    /// Experiment hook: force placement on a specific server.
+    pub on_server: Option<ServerId>,
+    /// Experiment hook: pin all vCPUs to one pCPU (co-residency).
+    pub pin_pcpu: Option<usize>,
+}
+
+impl VmRequest {
+    /// Creates a request with no security properties and an idle guest.
+    pub fn new(flavor: Flavor, image: Image) -> Self {
+        VmRequest {
+            flavor,
+            image,
+            properties: Vec::new(),
+            workload: WorkloadSpec::Idle,
+            tampered_image: false,
+            on_server: None,
+            pin_pcpu: None,
+        }
+    }
+
+    /// Adds a required security property.
+    pub fn require(mut self, property: SecurityProperty) -> Self {
+        self.properties.push(property);
+        self
+    }
+
+    /// Sets the guest workload.
+    pub fn workload(mut self, workload: WorkloadSpec) -> Self {
+        self.workload = workload;
+        self
+    }
+
+    /// Corrupts the image in storage (attack experiment).
+    pub fn with_tampered_image(mut self) -> Self {
+        self.tampered_image = true;
+        self
+    }
+
+    /// Forces placement on `server` (experiment hook).
+    pub fn on_server(mut self, server: ServerId) -> Self {
+        self.on_server = Some(server);
+        self
+    }
+
+    /// Pins all vCPUs to pCPU `p` of the chosen server (experiment hook).
+    pub fn pin_pcpu(mut self, p: usize) -> Self {
+        self.pin_pcpu = Some(p);
+        self
+    }
+}
+
+/// Stage breakdown of one VM launch (Figure 9).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LaunchTiming {
+    /// Scheduling stage (incl. the CloudMonatt property filter).
+    pub scheduling_us: u64,
+    /// Networking stage.
+    pub networking_us: u64,
+    /// Block-device-mapping stage.
+    pub block_device_us: u64,
+    /// Spawning stage.
+    pub spawning_us: u64,
+    /// The new Attestation stage.
+    pub attestation_us: u64,
+}
+
+impl LaunchTiming {
+    /// Total launch time.
+    pub fn total_us(&self) -> u64 {
+        self.scheduling_us
+            + self.networking_us
+            + self.block_device_us
+            + self.spawning_us
+            + self.attestation_us
+    }
+}
+
+/// Builder for a [`Cloud`].
+#[derive(Clone, Debug)]
+pub struct CloudBuilder {
+    servers: usize,
+    pcpus_per_server: usize,
+    seed: u64,
+    latency: LatencyParams,
+    sched: SchedParams,
+    retry: RetryPolicy,
+    escalation_threshold: u32,
+    auto_response: bool,
+    corrupted_platforms: Vec<usize>,
+}
+
+impl Default for CloudBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CloudBuilder {
+    /// Starts a builder with 3 servers of 4 pCPUs (the paper's testbed
+    /// scale).
+    pub fn new() -> Self {
+        CloudBuilder {
+            servers: 3,
+            pcpus_per_server: 4,
+            seed: 0,
+            latency: LatencyParams::default(),
+            sched: SchedParams::default(),
+            retry: RetryPolicy::default(),
+            escalation_threshold: 3,
+            auto_response: false,
+            corrupted_platforms: Vec::new(),
+        }
+    }
+
+    /// Sets the number of cloud servers.
+    pub fn servers(mut self, n: usize) -> Self {
+        self.servers = n;
+        self
+    }
+
+    /// Sets pCPUs per server.
+    pub fn pcpus_per_server(mut self, n: usize) -> Self {
+        self.pcpus_per_server = n;
+        self
+    }
+
+    /// Seeds all randomness (key generation, nonces, workload jitter).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Overrides the latency model.
+    pub fn latency(mut self, latency: LatencyParams) -> Self {
+        self.latency = latency;
+        self
+    }
+
+    /// Overrides the hypervisor scheduler parameters.
+    pub fn sched(mut self, sched: SchedParams) -> Self {
+        self.sched = sched;
+        self
+    }
+
+    /// Overrides the per-hop retransmission policy
+    /// ([`RetryPolicy::disabled`] restores fail-fast hops).
+    pub fn retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// After how many consecutive missed periodic samples a subscription
+    /// escalates to the Response Module (default 3; minimum 1).
+    pub fn escalation_threshold(mut self, k: u32) -> Self {
+        self.escalation_threshold = k.max(1);
+        self
+    }
+
+    /// Enables automatic remediation responses on failed attestations.
+    pub fn auto_response(mut self, on: bool) -> Self {
+        self.auto_response = on;
+        self
+    }
+
+    /// Boots server `index` with a corrupted hypervisor (Case Study I
+    /// platform attack).
+    pub fn corrupt_platform(mut self, index: usize) -> Self {
+        self.corrupted_platforms.push(index);
+        self
+    }
+
+    /// Builds the cloud: provisions keys, boots servers, registers them
+    /// with the controller and pCA, and establishes the secure channels.
+    ///
+    /// Convenience wrapper over [`Self::try_build`] for tests, benches
+    /// and examples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a secure-channel handshake between the freshly
+    /// provisioned (honest, in-process) parties fails, which indicates a
+    /// bug rather than adversarial input.
+    pub fn build(self) -> Cloud {
+        // Documented convenience panic; fallible callers use try_build.
+        self.try_build()
+            .expect("cloud assembly between honest parties") // #[allow(monatt::panic_freedom)]
+    }
+
+    /// Builds the cloud, surfacing secure-channel establishment failures
+    /// as [`CloudError::ChannelEstablishment`] instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CloudError::ChannelEstablishment`] if any of the
+    /// customer↔controller, controller↔attestation-server or
+    /// attestation-server↔cloud-server handshakes fails.
+    pub fn try_build(self) -> Result<Cloud, CloudError> {
+        let mut rng = Drbg::from_seed(self.seed);
+        let mut controller = CloudController::new(&mut rng);
+        let mut attserver = AttestationServer::new(&mut rng);
+        let customer_identity = SigningKey::generate(&mut rng);
+        let references = ReferenceDb::new();
+        let all_properties = [
+            SecurityProperty::StartupIntegrity,
+            SecurityProperty::RuntimeIntegrity,
+            SecurityProperty::CovertChannelFreedom,
+            SecurityProperty::CpuAvailability { min_share_pct: 0 },
+            SecurityProperty::SchedulerFairness,
+        ];
+        let mut servers = BTreeMap::new();
+        for i in 0..self.servers {
+            let id = ServerId(i as u32);
+            let corrupted = self.corrupted_platforms.contains(&i);
+            let components: Vec<&str> = if corrupted {
+                vec!["firmware-v2", "trojaned-xen-4.4", "dom0-linux-3.13"]
+            } else {
+                references.platform_components().to_vec()
+            };
+            let node = CloudServerNode::boot(
+                id,
+                self.pcpus_per_server,
+                self.sched,
+                Drbg::from_seed(self.seed ^ (0xABCD + i as u64)),
+                &components,
+                &all_properties,
+            );
+            attserver.register_cloud_server(node.identity_key());
+            controller.register_server(ServerInfo {
+                id,
+                free_vcpus: node.free_vcpus(),
+                supported_properties: all_properties.iter().map(|p| p.label()).collect(),
+            });
+            servers.insert(id, node);
+        }
+        // Establish the SSL-like channels (session keys Kx, Ky, Kz).
+        let controller_identity = SigningKey::generate(&mut rng);
+        let attserver_identity = SigningKey::generate(&mut rng);
+        let make_pair = |rng: &mut Drbg,
+                         a: &SigningKey,
+                         b: &SigningKey,
+                         a_name: &str,
+                         b_name: &str|
+         -> Result<ChannelPair, CloudError> {
+            let (mut i, mut r) =
+                handshake_pair(rng, a, b).map_err(|error| CloudError::ChannelEstablishment {
+                    initiator: a_name.to_string(),
+                    responder: b_name.to_string(),
+                    error,
+                })?;
+            i.set_peer(b_name);
+            r.set_peer(a_name);
+            Ok(ChannelPair {
+                initiator: i,
+                responder: r,
+            })
+        };
+        let cust_ctrl = make_pair(
+            &mut rng,
+            &customer_identity,
+            &controller_identity,
+            "customer",
+            "controller",
+        )?;
+        let ctrl_as = make_pair(
+            &mut rng,
+            &controller_identity,
+            &attserver_identity,
+            "controller",
+            "attserver",
+        )?;
+        let mut as_server = BTreeMap::new();
+        for id in servers.keys() {
+            // In deployment the server end terminates inside the
+            // Attestation Client; the channel key is Kz.
+            let server_chan_identity = SigningKey::generate(&mut rng);
+            as_server.insert(
+                *id,
+                make_pair(
+                    &mut rng,
+                    &attserver_identity,
+                    &server_chan_identity,
+                    "attserver",
+                    &id.to_string(),
+                )?,
+            );
+        }
+        Ok(Cloud {
+            rng,
+            controller,
+            attserver,
+            servers,
+            network: SimNetwork::default(),
+            cust_ctrl,
+            ctrl_as,
+            as_server,
+            latency: self.latency,
+            retry: self.retry,
+            escalation_threshold: self.escalation_threshold.max(1),
+            stats: ProtocolStats::default(),
+            wall_clock_us: 0,
+            last_launch: None,
+            subscriptions: BTreeMap::new(),
+            next_subscription: 1,
+            auto_response: self.auto_response,
+            vm_meta: BTreeMap::new(),
+            seed: self.seed,
+            engine: EventQueue::default(),
+            sessions: BTreeMap::new(),
+            next_session: 1,
+            window_free_at: BTreeMap::new(),
+            run_horizon: None,
+            auto_response_failures: 0,
+        })
+    }
+}
+
+#[derive(Clone, Debug)]
+pub(crate) struct VmMeta {
+    pub(crate) workload: WorkloadSpec,
+    pub(crate) tampered: bool,
+    pub(crate) pin_pcpu: Option<usize>,
+    pub(crate) handles: WorkloadHandles,
+}
+
+impl Cloud {
+    /// Requests a VM (the paper's launch pipeline, Section 7.1.1):
+    /// Scheduling → Networking → Block-device-mapping → Spawning →
+    /// Attestation. If startup attestation finds a compromised platform,
+    /// another server is tried; a compromised image rejects the launch.
+    ///
+    /// # Errors
+    ///
+    /// [`CloudError::NoQualifiedServer`] or
+    /// [`CloudError::LaunchRejected`].
+    pub fn request_vm(&mut self, request: VmRequest) -> Result<Vid, CloudError> {
+        let vid = self.controller.allocate_vid();
+        let wants_attestation = !request.properties.is_empty();
+        let mut timing = LaunchTiming::default();
+        let mut excluded: Option<ServerId> = None;
+        // Try servers until one passes platform attestation.
+        for _attempt in 0..self.servers.len().max(1) {
+            // Scheduling.
+            let server_id = match request.on_server {
+                Some(forced) if excluded != Some(forced) => forced,
+                Some(_) => {
+                    return Err(CloudError::LaunchRejected {
+                        reason: "forced server failed platform attestation".into(),
+                    })
+                }
+                None => {
+                    self.controller
+                        .select_server(request.flavor, &request.properties, excluded)?
+                }
+            };
+            timing.scheduling_us += self
+                .latency
+                .scheduling_us(self.servers.len(), wants_attestation);
+            // Networking, block device mapping, spawning.
+            timing.networking_us += self.latency.networking_us();
+            timing.block_device_us += self.latency.block_device_us(request.image);
+            timing.spawning_us += self.latency.spawning_us(request.image, request.flavor);
+            let mut image_bytes = request.image.pristine_bytes();
+            if request.tampered_image {
+                image_bytes[0] ^= 0xff;
+            }
+            let (drivers, handles) = request
+                .workload
+                .drivers(request.flavor.vcpus(), self.seed ^ vid.0);
+            let node = self
+                .servers
+                .get_mut(&server_id)
+                .ok_or(CloudError::UnknownServer(server_id))?;
+            node.launch_vm_pinned(
+                vid,
+                request.image,
+                image_bytes,
+                drivers,
+                256,
+                request.pin_pcpu,
+            );
+            // Attestation stage (messages 2-5, as an event-driven
+            // session pumped to completion).
+            if wants_attestation {
+                let sid = self.begin_internal_session(
+                    vid,
+                    server_id,
+                    SecurityProperty::StartupIntegrity,
+                    request.image,
+                )?;
+                let outcome = self.pump_session(sid)?;
+                timing.attestation_us += outcome.elapsed_us;
+                match outcome.status {
+                    HealthStatus::Healthy => {}
+                    HealthStatus::Compromised { reason } if reason.contains("platform") => {
+                        // Try another server for this VM.
+                        if let Some(node) = self.servers.get_mut(&server_id) {
+                            node.remove_vm(vid);
+                        }
+                        excluded = Some(server_id);
+                        continue;
+                    }
+                    HealthStatus::Compromised { reason } => {
+                        if let Some(node) = self.servers.get_mut(&server_id) {
+                            node.remove_vm(vid);
+                        }
+                        self.last_launch = Some(timing);
+                        return Err(CloudError::LaunchRejected { reason });
+                    }
+                    HealthStatus::Unreachable { .. } => {
+                        // Delivery failures surface as Err(Unreachable)
+                        // from the session, so a report never carries
+                        // this status here; reject defensively — the
+                        // launch policy requires a verdict.
+                        if let Some(node) = self.servers.get_mut(&server_id) {
+                            node.remove_vm(vid);
+                        }
+                        self.last_launch = Some(timing);
+                        return Err(CloudError::LaunchRejected {
+                            reason: "no attestation verdict: server unreachable".into(),
+                        });
+                    }
+                }
+            }
+            self.controller.record_deployment(VmRecord {
+                vid,
+                flavor: request.flavor,
+                image: request.image,
+                properties: request.properties.clone(),
+                server: server_id,
+                state: VmLifecycle::Active,
+            });
+            self.vm_meta.insert(
+                vid,
+                VmMeta {
+                    workload: request.workload,
+                    tampered: request.tampered_image,
+                    pin_pcpu: request.pin_pcpu,
+                    handles,
+                },
+            );
+            // The attestation stage already advanced time inside the
+            // session; advance the management stages now.
+            self.advance(timing.total_us().saturating_sub(timing.attestation_us));
+            self.last_launch = Some(timing);
+            return Ok(vid);
+        }
+        self.last_launch = Some(timing);
+        Err(CloudError::NoQualifiedServer {
+            requested: request.properties,
+        })
+    }
+}

@@ -1,0 +1,354 @@
+//! The `Cloud` facade: wires customer, Cloud Controller, Attestation
+//! Server and Cloud Servers together over the simulated network, and
+//! exposes the paper's monitoring/attestation APIs (Table 1), the VM
+//! launch pipeline (Section 7.1.1), periodic attestation (Section 3.2.1)
+//! and remediation responses (Section 5).
+//!
+//! The facade is split by concern:
+//!
+//! * `mod.rs` — the [`Cloud`] state, its accessors, the virtual clock
+//!   and the event dispatcher, plus the synchronous Table-1 attestation
+//!   wrappers that pump the event loop to completion.
+//! * [`build`] — [`CloudBuilder`], [`VmRequest`] and the launch
+//!   pipeline.
+//! * [`subscriptions`] — periodic attestation ([`Frequency`],
+//!   [`SubscriptionHealth`]) and [`Cloud::run`]'s event loop.
+//! * [`response`] — the Response Module's remediation actions.
+//!
+//! The protocol state machines themselves live in [`crate::session`],
+//! driven by the [`crate::engine`] event queue; this module only owns
+//! the shared state they operate on.
+
+mod build;
+mod response;
+mod subscriptions;
+#[cfg(test)]
+mod tests;
+
+pub use build::{CloudBuilder, LaunchTiming, VmRequest, WorkloadHandles, WorkloadSpec};
+pub use response::ResponseTiming;
+pub use subscriptions::{Frequency, SubscriptionHealth};
+
+use crate::attestation::AttestationServer;
+use crate::controller::{CloudController, ResponseAction, VmLifecycle};
+use crate::engine::EventQueue;
+use crate::error::CloudError;
+use crate::latency::{LatencyParams, RetryPolicy};
+use crate::server::CloudServerNode;
+use crate::session::{AttestSession, CloudEvent, SessionEvent, SessionId, SessionOrigin};
+use crate::types::{HealthStatus, ProtocolStats, SecurityProperty, ServerId, Vid};
+use build::VmMeta;
+use monatt_crypto::drbg::Drbg;
+use monatt_net::channel::SecureChannel;
+use monatt_net::sim::SimNetwork;
+use std::collections::BTreeMap;
+use subscriptions::Subscription;
+
+/// The customer-facing attestation result.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AttestationReport {
+    /// The attested VM.
+    pub vid: Vid,
+    /// The property checked.
+    pub property: SecurityProperty,
+    /// The verdict.
+    pub status: HealthStatus,
+    /// End-to-end attestation latency (protocol + measurement window).
+    pub elapsed_us: u64,
+    /// At what cloud wall-clock time the report was issued.
+    pub issued_at_us: u64,
+}
+
+impl AttestationReport {
+    /// True if the property was judged to hold.
+    pub fn healthy(&self) -> bool {
+        self.status.is_healthy()
+    }
+}
+
+/// Both endpoints of one SSL-like link, with the peer names resolved once
+/// at build time so protocol hops never format endpoint identifiers.
+pub(crate) struct ChannelPair {
+    pub(crate) initiator: SecureChannel,
+    pub(crate) responder: SecureChannel,
+}
+
+/// The assembled CloudMonatt cloud.
+pub struct Cloud {
+    pub(crate) rng: Drbg,
+    pub(crate) controller: CloudController,
+    pub(crate) attserver: AttestationServer,
+    pub(crate) servers: BTreeMap<ServerId, CloudServerNode>,
+    pub(crate) network: SimNetwork,
+    pub(crate) cust_ctrl: ChannelPair,
+    pub(crate) ctrl_as: ChannelPair,
+    pub(crate) as_server: BTreeMap<ServerId, ChannelPair>,
+    pub(crate) latency: LatencyParams,
+    pub(crate) retry: RetryPolicy,
+    pub(crate) escalation_threshold: u32,
+    pub(crate) stats: ProtocolStats,
+    pub(crate) wall_clock_us: u64,
+    pub(crate) last_launch: Option<LaunchTiming>,
+    pub(crate) subscriptions: BTreeMap<u64, Subscription>,
+    pub(crate) next_subscription: u64,
+    pub(crate) auto_response: bool,
+    pub(crate) vm_meta: BTreeMap<Vid, VmMeta>,
+    pub(crate) seed: u64,
+    /// The discrete-event queue every time-driven step goes through.
+    pub(crate) engine: EventQueue<CloudEvent>,
+    /// In-flight attestation sessions, keyed by session id.
+    pub(crate) sessions: BTreeMap<SessionId, AttestSession>,
+    pub(crate) next_session: SessionId,
+    /// Per-server instant until which the measurement window is owned by
+    /// some session (windows are server-global; see `crate::session`).
+    pub(crate) window_free_at: BTreeMap<ServerId, u64>,
+    /// While [`Cloud::run`] drains the queue, the horizon past which no
+    /// new subscription firings are scheduled.
+    pub(crate) run_horizon: Option<u64>,
+    /// Automatic remediation responses that themselves failed (the error
+    /// used to be silently discarded).
+    pub(crate) auto_response_failures: u64,
+}
+
+impl std::fmt::Debug for Cloud {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cloud")
+            .field("servers", &self.servers.len())
+            .field("wall_clock_us", &self.wall_clock_us)
+            .field("sessions_in_flight", &self.sessions.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Cloud {
+    /// Current cloud wall-clock time in microseconds.
+    pub fn wall_clock_us(&self) -> u64 {
+        self.wall_clock_us
+    }
+
+    /// Number of cloud servers.
+    pub fn server_count(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// The server currently hosting `vid`.
+    pub fn server_of(&self, vid: Vid) -> Option<ServerId> {
+        self.controller.vm(vid).map(|r| r.server)
+    }
+
+    /// Lifecycle state of `vid`.
+    pub fn vm_state(&self, vid: Vid) -> Option<VmLifecycle> {
+        self.controller.vm(vid).map(|r| r.state)
+    }
+
+    /// Read access to a server node (monitor tools, experiment checks).
+    pub fn server(&self, id: ServerId) -> Option<&CloudServerNode> {
+        self.servers.get(&id)
+    }
+
+    /// Mutable server access — used by attack injection in experiments.
+    pub fn server_mut(&mut self, id: ServerId) -> Option<&mut CloudServerNode> {
+        self.servers.get_mut(&id)
+    }
+
+    /// The network, for installing Dolev-Yao adversaries and fault
+    /// models in experiments.
+    pub fn network_mut(&mut self) -> &mut SimNetwork {
+        &mut self.network
+    }
+
+    /// Per-hop protocol delivery counters (retries, drops seen,
+    /// duplicates rejected, timeouts) and session gauges accumulated
+    /// since the last reset.
+    pub fn protocol_stats(&self) -> ProtocolStats {
+        self.stats
+    }
+
+    /// Zeroes the protocol counters (e.g. between experiment phases).
+    pub fn reset_protocol_stats(&mut self) {
+        self.stats = ProtocolStats::default();
+    }
+
+    /// The per-hop retransmission policy in force.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
+    }
+
+    /// Attestation sessions currently in flight.
+    pub fn sessions_in_flight(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Automatic remediation responses that themselves failed. A failed
+    /// auto-response is recorded here (and on the owning subscription's
+    /// [`SubscriptionHealth::failed_responses`]) instead of being
+    /// silently discarded.
+    pub fn auto_response_failures(&self) -> u64 {
+        self.auto_response_failures
+    }
+
+    /// Diagnostic: draws and returns one value from the cloud's DRBG.
+    ///
+    /// Determinism tests use this as an RNG-position fingerprint — two
+    /// runs that made the same draws in the same order return the same
+    /// probe value. It mutates the DRBG state, so call it only at the
+    /// end of a scenario.
+    pub fn drbg_probe(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+
+    /// The stage breakdown of the most recent launch (Figure 9).
+    pub fn last_launch_timing(&self) -> Option<LaunchTiming> {
+        self.last_launch
+    }
+
+    /// Advances all server simulators and the wall clock by
+    /// `duration_us`.
+    pub fn advance(&mut self, duration_us: u64) {
+        for node in self.servers.values_mut() {
+            node.advance(duration_us);
+        }
+        self.wall_clock_us += duration_us;
+    }
+
+    /// Advances the clock to the absolute instant `due_us` (no-op if the
+    /// clock is already there or past — events scheduled "in the past"
+    /// fire at the current time).
+    pub(crate) fn advance_to(&mut self, due_us: u64) {
+        let gap = due_us.saturating_sub(self.wall_clock_us);
+        if gap > 0 {
+            self.advance(gap);
+        }
+    }
+
+    /// Routes one popped event to its handler.
+    pub(crate) fn dispatch_event(&mut self, event: CloudEvent) {
+        match event {
+            CloudEvent::Session { sid, event } => self.step_session(sid, event),
+            CloudEvent::SubscriptionDue { id } => self.start_subscription_sample(id),
+        }
+    }
+
+    /// Schedules an event and maintains the queue-depth gauge.
+    pub(crate) fn schedule_cloud_event(&mut self, due_us: u64, event: CloudEvent) {
+        self.engine.schedule(due_us, event);
+        self.stats.max_queue_depth = self.stats.max_queue_depth.max(self.engine.len() as u64);
+    }
+
+    /// Schedules a session-step event.
+    pub(crate) fn schedule_session_event(
+        &mut self,
+        due_us: u64,
+        sid: SessionId,
+        event: SessionEvent,
+    ) {
+        self.schedule_cloud_event(due_us, CloudEvent::Session { sid, event });
+    }
+
+    pub(crate) fn fresh_nonce(&mut self) -> [u8; 32] {
+        self.rng.next_bytes32()
+    }
+
+    /// Executes an automatic remediation response, recording (instead of
+    /// discarding) a failure. Returns whether the response succeeded.
+    pub(crate) fn auto_respond(&mut self, vid: Vid, action: ResponseAction) -> bool {
+        match self.respond(vid, action) {
+            Ok(_) => true,
+            Err(_) => {
+                self.auto_response_failures += 1;
+                false
+            }
+        }
+    }
+
+    /// The full customer-facing attestation (all six messages of Figure
+    /// 3), shared by the Table 1 APIs: starts a session and pumps the
+    /// event loop until it completes.
+    fn customer_attest(
+        &mut self,
+        vid: Vid,
+        property: SecurityProperty,
+    ) -> Result<AttestationReport, CloudError> {
+        let sid = self.begin_customer_session(vid, property, SessionOrigin::Api)?;
+        let outcome = self.pump_session(sid)?;
+        Ok(AttestationReport {
+            vid,
+            property,
+            status: outcome.status,
+            elapsed_us: outcome.elapsed_us,
+            issued_at_us: self.wall_clock_us,
+        })
+    }
+
+    /// Table 1: `startup_attest_current(Vid, P, N)` — attestation before
+    /// / at launch time.
+    ///
+    /// # Errors
+    ///
+    /// [`CloudError::UnknownVm`] or a protocol failure.
+    pub fn startup_attest_current(
+        &mut self,
+        vid: Vid,
+        property: SecurityProperty,
+    ) -> Result<AttestationReport, CloudError> {
+        self.customer_attest(vid, property)
+    }
+
+    /// Table 1: `runtime_attest_current(Vid, P, N)` — an immediate
+    /// runtime attestation.
+    ///
+    /// # Errors
+    ///
+    /// [`CloudError::UnknownVm`] or a protocol failure.
+    pub fn runtime_attest_current(
+        &mut self,
+        vid: Vid,
+        property: SecurityProperty,
+    ) -> Result<AttestationReport, CloudError> {
+        let report = self.customer_attest(vid, property)?;
+        if !report.healthy() && self.auto_response {
+            let action = self.controller.choose_response(property);
+            self.auto_respond(vid, action);
+        }
+        Ok(report)
+    }
+
+    /// Completed service requests of a [`WorkloadSpec::Service`] VM
+    /// (throughput measurements, Figure 10).
+    pub fn service_requests(&self, vid: Vid) -> Option<u64> {
+        self.vm_meta
+            .get(&vid)?
+            .handles
+            .service
+            .as_ref()
+            .map(|s| s.borrow().requests)
+    }
+
+    /// Completion time of a [`WorkloadSpec::Program`] VM, if finished.
+    pub fn program_elapsed_us(&self, vid: Vid) -> Option<u64> {
+        self.vm_meta
+            .get(&vid)?
+            .handles
+            .program
+            .as_ref()
+            .and_then(|s| s.borrow().elapsed_us())
+    }
+
+    /// Experiment hook: infects a VM with rootkit-hidden malware (Case
+    /// Study II).
+    ///
+    /// # Errors
+    ///
+    /// [`CloudError::UnknownVm`] if the VM is not hosted anywhere.
+    pub fn infect_vm(&mut self, vid: Vid, service_name: &str) -> Result<u32, CloudError> {
+        let server = self.server_of(vid).ok_or(CloudError::UnknownVm(vid))?;
+        let node = self
+            .servers
+            .get_mut(&server)
+            .ok_or(CloudError::UnknownServer(server))?;
+        let local = node.local_vm(vid).ok_or(CloudError::UnknownVm(vid))?;
+        let pid = monatt_attacks::rootkit::infect_with_rootkit(node.sim_mut(), local, service_name)
+            .ok_or(CloudError::UnknownVm(vid))?;
+        Ok(pid)
+    }
+}

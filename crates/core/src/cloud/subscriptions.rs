@@ -1,0 +1,329 @@
+//! Periodic attestation (Table 1's `runtime_attest_periodic` family)
+//! and [`Cloud::run`], the discrete-event loop that fires subscriptions
+//! as they come due.
+//!
+//! Each firing starts an independent event-driven session
+//! ([`crate::session`]), so N subscriptions attest concurrently: a
+//! subscription whose server is behind a lossy path retries on its own
+//! timer while every other subscription's messages keep flowing — no
+//! head-of-line blocking. Sample completion (report bookkeeping, missed
+//! counters, escalation to the Response Module) happens when the
+//! session finishes, in the event order the queue dictates.
+
+use super::{AttestationReport, Cloud};
+use crate::error::CloudError;
+use crate::session::{CloudEvent, SessionOrigin};
+use crate::types::{HealthStatus, SecurityProperty, Vid};
+use monatt_crypto::drbg::Drbg;
+
+/// The cadence of a periodic attestation (Table 1: "at the frequency of
+/// freq or at random intervals").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Frequency {
+    /// A fixed period.
+    Fixed(u64),
+    /// Uniformly random intervals in `[min_us, max_us]` — randomized
+    /// monitoring is harder for an attacker to schedule around.
+    Random {
+        /// Shortest interval.
+        min_us: u64,
+        /// Longest interval.
+        max_us: u64,
+    },
+}
+
+impl Frequency {
+    /// Convenience constructor for a fixed period in seconds.
+    pub fn secs(s: u64) -> Self {
+        Frequency::Fixed(s * 1_000_000)
+    }
+
+    pub(crate) fn next_interval(&self, rng: &mut Drbg) -> u64 {
+        match *self {
+            Frequency::Fixed(us) => us,
+            Frequency::Random { min_us, max_us } => {
+                // Sample from [min_us, max_us] exactly. A degenerate or
+                // inverted range (max_us <= min_us) clamps to min_us
+                // instead of silently overshooting max_us; a zero
+                // interval would never advance the clock, so floor at 1.
+                if max_us <= min_us {
+                    return min_us.max(1);
+                }
+                min_us + rng.next_u64_below(max_us - min_us + 1)
+            }
+        }
+    }
+}
+
+/// A periodic attestation subscription.
+#[derive(Debug)]
+pub(crate) struct Subscription {
+    pub(crate) vid: Vid,
+    pub(crate) property: SecurityProperty,
+    pub(crate) frequency: Frequency,
+    pub(crate) next_due_us: u64,
+    pub(crate) reports: Vec<AttestationReport>,
+    /// Samples that came due but failed (protocol error or unreachable).
+    pub(crate) missed: u64,
+    /// Failures since the last successful sample.
+    pub(crate) consecutive_failures: u32,
+    /// How often the consecutive-failure threshold was crossed and the
+    /// Response Module notified.
+    pub(crate) escalations: u32,
+    /// Automatic remediation responses for this subscription that
+    /// themselves failed (previously discarded silently).
+    pub(crate) failed_responses: u64,
+}
+
+/// Degradation counters of one periodic subscription — missed samples
+/// are recorded, not silently discarded, so a lossy network is
+/// distinguishable from a healthy one.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SubscriptionHealth {
+    /// Reports successfully delivered so far.
+    pub delivered: u64,
+    /// Samples that came due but produced no report.
+    pub missed: u64,
+    /// Failures since the last successful sample.
+    pub consecutive_failures: u32,
+    /// Times the failure streak reached the escalation threshold.
+    pub escalations: u32,
+    /// Automatic remediation responses that failed (e.g. a migration
+    /// with no qualified destination). Previously these errors were
+    /// silently discarded.
+    pub failed_responses: u64,
+}
+
+impl Cloud {
+    /// Table 1: `runtime_attest_periodic(Vid, P, freq, N)` — subscribes
+    /// to periodic attestation. Reports accumulate as the cloud
+    /// [`Cloud::run`]s.
+    ///
+    /// # Errors
+    ///
+    /// [`CloudError::UnknownVm`] if the VM does not exist.
+    pub fn runtime_attest_periodic(
+        &mut self,
+        vid: Vid,
+        property: SecurityProperty,
+        freq_us: u64,
+    ) -> Result<u64, CloudError> {
+        self.runtime_attest_with_frequency(vid, property, Frequency::Fixed(freq_us))
+    }
+
+    /// Table 1's random-interval mode: periodic attestation at uniformly
+    /// random intervals, which an attacker cannot schedule around.
+    ///
+    /// # Errors
+    ///
+    /// [`CloudError::UnknownVm`] if the VM does not exist.
+    pub fn runtime_attest_with_frequency(
+        &mut self,
+        vid: Vid,
+        property: SecurityProperty,
+        frequency: Frequency,
+    ) -> Result<u64, CloudError> {
+        if self.controller.vm(vid).is_none() {
+            return Err(CloudError::UnknownVm(vid));
+        }
+        let id = self.next_subscription;
+        self.next_subscription += 1;
+        let first = frequency.next_interval(&mut self.rng);
+        self.subscriptions.insert(
+            id,
+            Subscription {
+                vid,
+                property,
+                frequency,
+                next_due_us: self.wall_clock_us + first,
+                reports: Vec::new(),
+                missed: 0,
+                consecutive_failures: 0,
+                escalations: 0,
+                failed_responses: 0,
+            },
+        );
+        Ok(id)
+    }
+
+    /// Degradation counters of a periodic subscription.
+    ///
+    /// # Errors
+    ///
+    /// [`CloudError::UnknownSubscription`] for an unknown id.
+    pub fn subscription_health(&self, subscription: u64) -> Result<SubscriptionHealth, CloudError> {
+        self.subscriptions
+            .get(&subscription)
+            .map(|s| SubscriptionHealth {
+                delivered: s
+                    .reports
+                    .iter()
+                    .filter(|r| !r.status.is_unreachable())
+                    .count() as u64,
+                missed: s.missed,
+                consecutive_failures: s.consecutive_failures,
+                escalations: s.escalations,
+                failed_responses: s.failed_responses,
+            })
+            .ok_or(CloudError::UnknownSubscription(subscription))
+    }
+
+    /// Table 1: `stop_attest_periodic(Vid, P, N)` — ends a subscription
+    /// and returns the accumulated reports.
+    ///
+    /// # Errors
+    ///
+    /// [`CloudError::UnknownSubscription`] for an unknown id.
+    pub fn stop_attest_periodic(
+        &mut self,
+        subscription: u64,
+    ) -> Result<Vec<AttestationReport>, CloudError> {
+        self.subscriptions
+            .remove(&subscription)
+            .map(|s| s.reports)
+            .ok_or(CloudError::UnknownSubscription(subscription))
+    }
+
+    /// Runs the cloud for `duration_us`, firing periodic attestations as
+    /// they come due and interleaving all resulting protocol sessions on
+    /// one event queue.
+    ///
+    /// A sample that fails (protocol failure or unreachable server) is
+    /// recorded on the subscription, not silently discarded; after
+    /// [`super::CloudBuilder::escalation_threshold`] consecutive
+    /// failures the subscription files an [`HealthStatus::Unreachable`]
+    /// report and, under auto-response, invokes the Response Module's
+    /// unreachable policy.
+    pub fn run(&mut self, duration_us: u64) {
+        let end = self.wall_clock_us + duration_us;
+        self.run_horizon = Some(end);
+        // Seed the queue with every subscription's next firing. A due
+        // time already in the past fires immediately, in subscription-id
+        // order (the queue breaks ties by schedule order).
+        let initial: Vec<(u64, u64)> = self
+            .subscriptions
+            .iter()
+            .map(|(id, s)| (*id, s.next_due_us))
+            .collect();
+        for (id, due) in initial {
+            if due < end {
+                let due = due.max(self.wall_clock_us);
+                self.schedule_cloud_event(due, CloudEvent::SubscriptionDue { id });
+            }
+        }
+        while let Some((due, event)) = self.engine.pop() {
+            self.advance_to(due);
+            self.dispatch_event(event);
+        }
+        self.run_horizon = None;
+        // Attestation work may already have advanced the clock past
+        // `end`; saturate so the final advance never overshoots the
+        // requested horizon.
+        let remaining = end.saturating_sub(self.wall_clock_us);
+        if remaining > 0 {
+            self.advance(remaining);
+        }
+    }
+
+    /// A subscription came due: start its attestation session. An error
+    /// before the session even gets on the wire counts as a missed
+    /// sample immediately.
+    pub(crate) fn start_subscription_sample(&mut self, id: u64) {
+        let Some(sub) = self.subscriptions.get(&id) else {
+            // Unsubscribed while the firing was queued: skip.
+            return;
+        };
+        let (vid, property) = (sub.vid, sub.property);
+        if let Err(e) = self.begin_customer_session(vid, property, SessionOrigin::Subscription(id))
+        {
+            self.complete_subscription_sample(id, vid, property, Err(e));
+        }
+    }
+
+    /// A subscription's session finished (or failed to start): record
+    /// the report or the miss, run auto-response policy, and schedule
+    /// the next firing.
+    pub(crate) fn complete_subscription_sample(
+        &mut self,
+        id: u64,
+        vid: Vid,
+        property: SecurityProperty,
+        result: Result<AttestationReport, CloudError>,
+    ) {
+        let Some(sub) = self.subscriptions.get(&id) else {
+            return;
+        };
+        let frequency = sub.frequency;
+        let threshold = self.escalation_threshold;
+        match result {
+            Ok(report) => {
+                if !report.healthy() && self.auto_response {
+                    let action = self.controller.choose_response(property);
+                    if !self.auto_respond(vid, action) {
+                        if let Some(s) = self.subscriptions.get_mut(&id) {
+                            s.failed_responses += 1;
+                        }
+                    }
+                }
+                let interval = frequency.next_interval(&mut self.rng);
+                let next_due = self.wall_clock_us + interval;
+                if let Some(s) = self.subscriptions.get_mut(&id) {
+                    s.next_due_us = next_due;
+                    s.consecutive_failures = 0;
+                    s.reports.push(report);
+                }
+                self.schedule_subscription_due(id, next_due);
+            }
+            Err(_) => {
+                let interval = frequency.next_interval(&mut self.rng);
+                let next_due = self.wall_clock_us + interval;
+                let mut escalated_misses = None;
+                if let Some(s) = self.subscriptions.get_mut(&id) {
+                    s.next_due_us = next_due;
+                    s.missed += 1;
+                    s.consecutive_failures += 1;
+                    if s.consecutive_failures >= threshold {
+                        s.escalations += 1;
+                        escalated_misses = Some(s.consecutive_failures);
+                        s.consecutive_failures = 0;
+                    }
+                }
+                if let Some(missed) = escalated_misses {
+                    let issued_at = self.wall_clock_us;
+                    if let Some(s) = self.subscriptions.get_mut(&id) {
+                        // File the degradation as a first-class report so
+                        // the customer sees the monitoring gap.
+                        s.reports.push(AttestationReport {
+                            vid,
+                            property,
+                            status: HealthStatus::Unreachable { missed },
+                            elapsed_us: 0,
+                            issued_at_us: issued_at,
+                        });
+                    }
+                    if self.auto_response {
+                        let action = self.controller.choose_unreachable_response();
+                        if !self.auto_respond(vid, action) {
+                            if let Some(s) = self.subscriptions.get_mut(&id) {
+                                s.failed_responses += 1;
+                            }
+                        }
+                    }
+                }
+                self.schedule_subscription_due(id, next_due);
+            }
+        }
+    }
+
+    /// Schedules the subscription's next firing, but only while inside
+    /// [`Cloud::run`] and only if it falls before the run's horizon —
+    /// otherwise `next_due_us` on the subscription carries it into the
+    /// next run.
+    fn schedule_subscription_due(&mut self, id: u64, due_us: u64) {
+        if let Some(end) = self.run_horizon {
+            if due_us < end {
+                self.schedule_cloud_event(due_us, CloudEvent::SubscriptionDue { id });
+            }
+        }
+    }
+}

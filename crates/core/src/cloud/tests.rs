@@ -1,0 +1,605 @@
+//! Unit tests of the Cloud facade: launch pipeline, Table-1 APIs,
+//! periodic attestation, responses, fault handling and the
+//! failed-auto-response accounting.
+
+use super::{Cloud, CloudBuilder, Frequency, VmRequest, WorkloadSpec};
+use crate::controller::{ResponseAction, VmLifecycle};
+use crate::error::CloudError;
+use crate::types::{Flavor, HealthStatus, Image, ProtocolStats, SecurityProperty, ServerId};
+use monatt_crypto::drbg::Drbg;
+
+fn cloud() -> Cloud {
+    CloudBuilder::new().servers(3).seed(7).build()
+}
+
+#[test]
+fn launch_and_startup_attest() {
+    let mut c = cloud();
+    let vid = c
+        .request_vm(
+            VmRequest::new(Flavor::Small, Image::Cirros)
+                .require(SecurityProperty::StartupIntegrity),
+        )
+        .unwrap();
+    let timing = c.last_launch_timing().unwrap();
+    assert!(timing.attestation_us > 0);
+    assert!(timing.total_us() > 0);
+    // Attestation overhead is roughly the paper's ~20%.
+    let frac = timing.attestation_us as f64 / timing.total_us() as f64;
+    assert!((0.05..0.40).contains(&frac), "attestation fraction {frac}");
+    let report = c
+        .startup_attest_current(vid, SecurityProperty::StartupIntegrity)
+        .unwrap();
+    assert!(report.healthy());
+}
+
+#[test]
+fn tampered_image_rejected_at_launch() {
+    let mut c = cloud();
+    let err = c
+        .request_vm(
+            VmRequest::new(Flavor::Small, Image::Ubuntu)
+                .require(SecurityProperty::StartupIntegrity)
+                .with_tampered_image(),
+        )
+        .unwrap_err();
+    let CloudError::LaunchRejected { reason } = err else {
+        panic!("expected rejection, got {err:?}");
+    };
+    assert!(reason.contains("image"), "{reason}");
+}
+
+#[test]
+fn corrupted_platform_is_avoided() {
+    let mut c = CloudBuilder::new()
+        .servers(3)
+        .seed(8)
+        .corrupt_platform(0)
+        .build();
+    // OpenStack's balance heuristic would pick any server; platform
+    // attestation steers the VM away from server 0.
+    for _ in 0..3 {
+        let vid = c
+            .request_vm(
+                VmRequest::new(Flavor::Small, Image::Cirros)
+                    .require(SecurityProperty::StartupIntegrity),
+            )
+            .unwrap();
+        assert_ne!(c.server_of(vid), Some(ServerId(0)));
+    }
+}
+
+#[test]
+fn launch_without_properties_skips_attestation() {
+    let mut c = cloud();
+    let _vid = c
+        .request_vm(VmRequest::new(Flavor::Small, Image::Cirros))
+        .unwrap();
+    let timing = c.last_launch_timing().unwrap();
+    assert_eq!(timing.attestation_us, 0);
+}
+
+#[test]
+fn runtime_integrity_detects_rootkit() {
+    let mut c = cloud();
+    let vid = c
+        .request_vm(
+            VmRequest::new(Flavor::Small, Image::Ubuntu)
+                .require(SecurityProperty::RuntimeIntegrity),
+        )
+        .unwrap();
+    let clean = c
+        .runtime_attest_current(vid, SecurityProperty::RuntimeIntegrity)
+        .unwrap();
+    assert!(clean.healthy());
+    c.infect_vm(vid, "cryptominer").unwrap();
+    let infected = c
+        .runtime_attest_current(vid, SecurityProperty::RuntimeIntegrity)
+        .unwrap();
+    assert!(!infected.healthy());
+    let HealthStatus::Compromised { reason } = &infected.status else {
+        panic!()
+    };
+    assert!(reason.contains("cryptominer"));
+}
+
+#[test]
+fn responses_change_lifecycle() {
+    let mut c = cloud();
+    let vid = c
+        .request_vm(VmRequest::new(Flavor::Medium, Image::Fedora))
+        .unwrap();
+    let original_server = c.server_of(vid).unwrap();
+    let t = c.respond(vid, ResponseAction::Suspension).unwrap();
+    assert!(t.response_us > 0);
+    assert_eq!(c.vm_state(vid), Some(VmLifecycle::Suspended));
+    c.resume(vid).unwrap();
+    assert_eq!(c.vm_state(vid), Some(VmLifecycle::Active));
+    let t = c.respond(vid, ResponseAction::Migration).unwrap();
+    assert!(t.response_us > 0);
+    assert_ne!(c.server_of(vid), Some(original_server));
+    assert_eq!(c.vm_state(vid), Some(VmLifecycle::Active));
+    let t = c.respond(vid, ResponseAction::Termination).unwrap();
+    assert!(t.response_us > 0);
+    assert_eq!(c.vm_state(vid), Some(VmLifecycle::Terminated));
+    // A terminated VM cannot be attested.
+    assert!(c
+        .runtime_attest_current(vid, SecurityProperty::RuntimeIntegrity)
+        .is_err());
+}
+
+#[test]
+fn periodic_attestation_accumulates_reports() {
+    let mut c = cloud();
+    let vid = c
+        .request_vm(
+            VmRequest::new(Flavor::Small, Image::Cirros)
+                .require(SecurityProperty::RuntimeIntegrity)
+                .workload(WorkloadSpec::Busy),
+        )
+        .unwrap();
+    let sub = c
+        .runtime_attest_periodic(vid, SecurityProperty::RuntimeIntegrity, 5_000_000)
+        .unwrap();
+    c.run(21_000_000);
+    let reports = c.stop_attest_periodic(sub).unwrap();
+    assert!(
+        (3..=5).contains(&reports.len()),
+        "expected ~4 periodic reports, got {}",
+        reports.len()
+    );
+    assert!(reports.iter().all(|r| r.healthy()));
+    assert!(c.stop_attest_periodic(sub).is_err());
+}
+
+#[test]
+fn cpu_availability_detects_boost_attack() {
+    let mut c = CloudBuilder::new().servers(2).seed(9).build();
+    let victim = c
+        .request_vm(
+            VmRequest::new(Flavor::Small, Image::Ubuntu)
+                .require(SecurityProperty::CpuAvailability { min_share_pct: 50 })
+                .workload(WorkloadSpec::Busy)
+                .on_server(ServerId(0))
+                .pin_pcpu(0),
+        )
+        .unwrap();
+    // Healthy before the attack: sole user of the pCPU.
+    let before = c
+        .runtime_attest_current(
+            victim,
+            SecurityProperty::CpuAvailability { min_share_pct: 50 },
+        )
+        .unwrap();
+    assert!(before.healthy(), "{:?}", before.status);
+    // Co-locate the attacker.
+    let _attacker = c
+        .request_vm(
+            VmRequest::new(Flavor::Medium, Image::Ubuntu)
+                .workload(WorkloadSpec::BoostAttack)
+                .on_server(ServerId(0))
+                .pin_pcpu(0),
+        )
+        .unwrap();
+    c.advance(1_000_000);
+    let after = c
+        .runtime_attest_current(
+            victim,
+            SecurityProperty::CpuAvailability { min_share_pct: 50 },
+        )
+        .unwrap();
+    assert!(!after.healthy(), "victim should be starved");
+}
+
+#[test]
+fn covert_channel_detected_on_sender() {
+    let mut c = CloudBuilder::new().servers(2).seed(10).build();
+    let sender = c
+        .request_vm(
+            VmRequest::new(Flavor::Small, Image::Cirros)
+                .require(SecurityProperty::CovertChannelFreedom)
+                .workload(WorkloadSpec::CovertSender)
+                .on_server(ServerId(0))
+                .pin_pcpu(0),
+        )
+        .unwrap();
+    let _receiver = c
+        .request_vm(
+            VmRequest::new(Flavor::Small, Image::Cirros)
+                .workload(WorkloadSpec::Busy)
+                .on_server(ServerId(0))
+                .pin_pcpu(0),
+        )
+        .unwrap();
+    c.advance(500_000);
+    let report = c
+        .runtime_attest_current(sender, SecurityProperty::CovertChannelFreedom)
+        .unwrap();
+    assert!(!report.healthy(), "covert channel should be detected");
+    // A benign busy VM co-resident shows no covert pattern.
+    let benign = c
+        .request_vm(
+            VmRequest::new(Flavor::Small, Image::Cirros)
+                .require(SecurityProperty::CovertChannelFreedom)
+                .workload(WorkloadSpec::Busy)
+                .on_server(ServerId(1))
+                .pin_pcpu(0),
+        )
+        .unwrap();
+    let report = c
+        .runtime_attest_current(benign, SecurityProperty::CovertChannelFreedom)
+        .unwrap();
+    assert!(report.healthy(), "{:?}", report.status);
+}
+
+#[test]
+fn network_tampering_is_detected_not_accepted() {
+    use monatt_net::sim::Tamperer;
+    let mut c = cloud();
+    let vid = c
+        .request_vm(
+            VmRequest::new(Flavor::Small, Image::Cirros)
+                .require(SecurityProperty::RuntimeIntegrity),
+        )
+        .unwrap();
+    c.network_mut().set_attacker(Box::new(Tamperer::new("")));
+    let err = c
+        .runtime_attest_current(vid, SecurityProperty::RuntimeIntegrity)
+        .unwrap_err();
+    assert!(matches!(err, CloudError::ProtocolFailure { .. }));
+    c.network_mut().clear_attacker();
+    let ok = c
+        .runtime_attest_current(vid, SecurityProperty::RuntimeIntegrity)
+        .unwrap();
+    assert!(ok.healthy());
+}
+
+#[test]
+fn auto_response_migrates_starved_vm() {
+    let mut c = CloudBuilder::new()
+        .servers(2)
+        .seed(12)
+        .auto_response(true)
+        .build();
+    let victim = c
+        .request_vm(
+            VmRequest::new(Flavor::Small, Image::Cirros)
+                .require(SecurityProperty::CpuAvailability { min_share_pct: 50 })
+                .workload(WorkloadSpec::Busy)
+                .on_server(ServerId(0))
+                .pin_pcpu(0),
+        )
+        .unwrap();
+    let _attacker = c
+        .request_vm(
+            VmRequest::new(Flavor::Medium, Image::Cirros)
+                .workload(WorkloadSpec::BoostAttack)
+                .on_server(ServerId(0))
+                .pin_pcpu(0),
+        )
+        .unwrap();
+    c.advance(1_000_000);
+    let report = c
+        .runtime_attest_current(
+            victim,
+            SecurityProperty::CpuAvailability { min_share_pct: 50 },
+        )
+        .unwrap();
+    assert!(!report.healthy());
+    // The response module migrated the victim away.
+    assert_eq!(c.server_of(victim), Some(ServerId(1)));
+    // And it now attests healthy again.
+    let after = c
+        .runtime_attest_current(
+            victim,
+            SecurityProperty::CpuAvailability { min_share_pct: 50 },
+        )
+        .unwrap();
+    assert!(after.healthy(), "{:?}", after.status);
+    // The successful migration left no failed-response residue.
+    assert_eq!(c.auto_response_failures(), 0);
+}
+
+#[test]
+fn failed_auto_response_is_recorded_not_discarded() {
+    // One server: a migration response has nowhere to go and fails.
+    // That failure used to be `let _ = self.respond(..)` — now it is
+    // counted on the cloud and on the owning subscription.
+    let prop = SecurityProperty::CpuAvailability { min_share_pct: 50 };
+    let mut c = CloudBuilder::new()
+        .servers(1)
+        .seed(33)
+        .auto_response(true)
+        .build();
+    let victim = c
+        .request_vm(
+            VmRequest::new(Flavor::Small, Image::Cirros)
+                .require(prop)
+                .workload(WorkloadSpec::Busy)
+                .on_server(ServerId(0))
+                .pin_pcpu(0),
+        )
+        .unwrap();
+    let _attacker = c
+        .request_vm(
+            VmRequest::new(Flavor::Medium, Image::Cirros)
+                .workload(WorkloadSpec::BoostAttack)
+                .on_server(ServerId(0))
+                .pin_pcpu(0),
+        )
+        .unwrap();
+    c.advance(1_000_000);
+    // Direct API path: the failure is recorded on the cloud.
+    let report = c.runtime_attest_current(victim, prop).unwrap();
+    assert!(!report.healthy());
+    assert_eq!(c.server_of(victim), Some(ServerId(0)), "nowhere to migrate");
+    assert_eq!(c.auto_response_failures(), 1);
+    // Subscription path: the failure is also attributed to the
+    // subscription's health counters.
+    let sub = c.runtime_attest_periodic(victim, prop, 2_000_000).unwrap();
+    c.run(5_000_000);
+    let health = c.subscription_health(sub).unwrap();
+    assert!(health.delivered >= 1, "{health:?}");
+    assert!(health.failed_responses >= 1, "{health:?}");
+    assert!(c.auto_response_failures() > 1);
+}
+
+#[test]
+fn session_gauges_track_protocol_activity() {
+    let mut c = cloud();
+    let vid = c
+        .request_vm(
+            VmRequest::new(Flavor::Small, Image::Cirros)
+                .require(SecurityProperty::RuntimeIntegrity),
+        )
+        .unwrap();
+    c.reset_protocol_stats();
+    c.runtime_attest_current(vid, SecurityProperty::RuntimeIntegrity)
+        .unwrap();
+    let stats = c.protocol_stats();
+    assert_eq!(stats.sessions_started, 1);
+    assert_eq!(stats.sessions_completed, 1);
+    assert_eq!(stats.sessions_failed, 0);
+    assert_eq!(stats.max_in_flight, 1);
+    assert!(stats.max_queue_depth >= 1);
+    assert_eq!(c.sessions_in_flight(), 0, "no session left behind");
+}
+
+#[test]
+fn random_interval_periodic_attestation() {
+    let mut c = cloud();
+    let vid = c
+        .request_vm(
+            VmRequest::new(Flavor::Small, Image::Cirros)
+                .require(SecurityProperty::RuntimeIntegrity)
+                .workload(WorkloadSpec::Busy),
+        )
+        .unwrap();
+    let sub = c
+        .runtime_attest_with_frequency(
+            vid,
+            SecurityProperty::RuntimeIntegrity,
+            Frequency::Random {
+                min_us: 2_000_000,
+                max_us: 8_000_000,
+            },
+        )
+        .unwrap();
+    c.run(30_000_000);
+    let reports = c.stop_attest_periodic(sub).unwrap();
+    // Expected count between 30/8 ≈ 3 and 30/2 = 15.
+    assert!(
+        (3..=15).contains(&reports.len()),
+        "got {} reports",
+        reports.len()
+    );
+    // Intervals actually vary.
+    let times: Vec<u64> = reports.iter().map(|r| r.issued_at_us).collect();
+    let deltas: Vec<u64> = times.windows(2).map(|w| w[1] - w[0]).collect();
+    if deltas.len() >= 2 {
+        assert!(
+            deltas.iter().any(|&d| d != deltas[0]),
+            "intervals should vary: {deltas:?}"
+        );
+    }
+}
+
+#[test]
+fn suspension_recheck_resumes_only_when_healthy() {
+    let mut c = CloudBuilder::new().servers(2).seed(13).build();
+    let prop = SecurityProperty::CpuAvailability { min_share_pct: 50 };
+    let victim = c
+        .request_vm(
+            VmRequest::new(Flavor::Small, Image::Cirros)
+                .require(prop)
+                .workload(WorkloadSpec::Busy)
+                .on_server(ServerId(0))
+                .pin_pcpu(0),
+        )
+        .unwrap();
+    let attacker = c
+        .request_vm(
+            VmRequest::new(Flavor::Medium, Image::Cirros)
+                .workload(WorkloadSpec::BoostAttack)
+                .on_server(ServerId(0))
+                .pin_pcpu(0),
+        )
+        .unwrap();
+    c.advance(1_000_000);
+    c.respond(victim, ResponseAction::Suspension).unwrap();
+    // The attacker is still there: the recheck re-suspends.
+    let report = c.recheck_and_resume(victim, prop).unwrap();
+    assert!(!report.healthy());
+    assert_eq!(c.vm_state(victim), Some(VmLifecycle::Suspended));
+    // Terminate the attacker; now the recheck resumes the victim.
+    c.respond(attacker, ResponseAction::Termination).unwrap();
+    c.advance(1_000_000);
+    let report = c.recheck_and_resume(victim, prop).unwrap();
+    assert!(report.healthy(), "{:?}", report.status);
+    assert_eq!(c.vm_state(victim), Some(VmLifecycle::Active));
+}
+
+#[test]
+fn frequency_degenerate_ranges_clamp() {
+    let mut rng = Drbg::from_seed(1);
+    // Equal bounds: exactly that interval, not max+something.
+    let f = Frequency::Random {
+        min_us: 5,
+        max_us: 5,
+    };
+    for _ in 0..8 {
+        assert_eq!(f.next_interval(&mut rng), 5);
+    }
+    // Inverted bounds clamp to min.
+    let f = Frequency::Random {
+        min_us: 10,
+        max_us: 2,
+    };
+    assert_eq!(f.next_interval(&mut rng), 10);
+    // All-zero range floors at 1 so run() always advances.
+    let f = Frequency::Random {
+        min_us: 0,
+        max_us: 0,
+    };
+    assert_eq!(f.next_interval(&mut rng), 1);
+    // A proper range stays within [min, max] inclusive.
+    let f = Frequency::Random {
+        min_us: 3,
+        max_us: 6,
+    };
+    for _ in 0..64 {
+        let v = f.next_interval(&mut rng);
+        assert!((3..=6).contains(&v), "{v}");
+    }
+}
+
+#[test]
+fn clean_network_keeps_protocol_counters_quiet() {
+    let mut c = cloud();
+    let vid = c
+        .request_vm(
+            VmRequest::new(Flavor::Small, Image::Cirros)
+                .require(SecurityProperty::RuntimeIntegrity),
+        )
+        .unwrap();
+    c.runtime_attest_current(vid, SecurityProperty::RuntimeIntegrity)
+        .unwrap();
+    let stats = c.protocol_stats();
+    assert!(stats.messages_sent > 0);
+    assert_eq!(stats.retries, 0);
+    assert_eq!(stats.drops_seen, 0);
+    assert_eq!(stats.timeouts, 0);
+    assert_eq!(stats.duplicates_rejected, 0);
+    assert_eq!(stats.auth_failures, 0);
+    c.reset_protocol_stats();
+    assert_eq!(c.protocol_stats(), ProtocolStats::default());
+}
+
+#[test]
+fn retries_absorb_lossy_network() {
+    use monatt_net::sim::FaultModel;
+    let mut c = cloud();
+    let vid = c
+        .request_vm(
+            VmRequest::new(Flavor::Small, Image::Cirros)
+                .require(SecurityProperty::RuntimeIntegrity),
+        )
+        .unwrap();
+    let clean = c
+        .runtime_attest_current(vid, SecurityProperty::RuntimeIntegrity)
+        .unwrap();
+    c.network_mut()
+        .set_fault_model(FaultModel::new(42).drop_prob(0.2));
+    let mut lossy_max = 0;
+    for _ in 0..10 {
+        let report = c
+            .runtime_attest_current(vid, SecurityProperty::RuntimeIntegrity)
+            .expect("retries should absorb 20% loss");
+        assert!(report.healthy());
+        lossy_max = lossy_max.max(report.elapsed_us);
+    }
+    let stats = c.protocol_stats();
+    assert!(stats.retries > 0, "{stats:?}");
+    assert_eq!(stats.drops_seen, stats.timeouts);
+    // Retransmission time is charged into the latency model.
+    assert!(lossy_max > clean.elapsed_us, "{lossy_max} vs {clean:?}");
+}
+
+#[test]
+fn duplicated_records_are_rejected_without_desync() {
+    use monatt_net::sim::FaultModel;
+    let mut c = cloud();
+    let vid = c
+        .request_vm(
+            VmRequest::new(Flavor::Small, Image::Cirros)
+                .require(SecurityProperty::RuntimeIntegrity),
+        )
+        .unwrap();
+    c.network_mut()
+        .set_fault_model(FaultModel::new(7).duplicate_prob(1.0));
+    c.reset_protocol_stats();
+    // Every record delivered twice: the window eats each duplicate
+    // and the protocol still completes.
+    let report = c
+        .runtime_attest_current(vid, SecurityProperty::RuntimeIntegrity)
+        .unwrap();
+    assert!(report.healthy());
+    let stats = c.protocol_stats();
+    assert_eq!(stats.duplicates_rejected, stats.messages_sent);
+}
+
+#[test]
+fn missed_periodic_samples_escalate_to_unreachable() {
+    use monatt_net::sim::{Intercept, NetworkAttacker};
+    struct DropAll;
+    impl NetworkAttacker for DropAll {
+        fn intercept(&mut self, _: &str, _: &str, _: &[u8]) -> Intercept {
+            Intercept::Drop
+        }
+    }
+    let mut c = CloudBuilder::new()
+        .servers(3)
+        .seed(21)
+        .escalation_threshold(2)
+        .build();
+    let vid = c
+        .request_vm(
+            VmRequest::new(Flavor::Small, Image::Cirros)
+                .require(SecurityProperty::RuntimeIntegrity),
+        )
+        .unwrap();
+    let sub = c
+        .runtime_attest_periodic(vid, SecurityProperty::RuntimeIntegrity, 5_000_000)
+        .unwrap();
+    c.network_mut().set_attacker(Box::new(DropAll));
+    c.run(21_000_000);
+    let health = c.subscription_health(sub).unwrap();
+    assert_eq!(health.delivered, 0);
+    assert!(health.missed >= 3, "{health:?}");
+    assert!(health.escalations >= 1, "{health:?}");
+    // Healing the network resets the failure streak.
+    c.network_mut().clear_attacker();
+    c.run(6_000_000);
+    let health = c.subscription_health(sub).unwrap();
+    assert_eq!(health.consecutive_failures, 0);
+    assert!(health.delivered >= 1, "{health:?}");
+    let reports = c.stop_attest_periodic(sub).unwrap();
+    let unreachable = reports.iter().filter(|r| r.status.is_unreachable()).count();
+    assert!(unreachable >= 1, "escalation should file a report");
+    assert!(c.subscription_health(sub).is_err());
+}
+
+#[test]
+fn launch_timing_scales_with_image_and_flavor() {
+    let mut c = cloud();
+    let mut totals = Vec::new();
+    for (image, flavor) in [
+        (Image::Cirros, Flavor::Small),
+        (Image::Ubuntu, Flavor::Large),
+    ] {
+        c.request_vm(VmRequest::new(flavor, image).require(SecurityProperty::StartupIntegrity))
+            .unwrap();
+        totals.push(c.last_launch_timing().unwrap().total_us());
+    }
+    assert!(totals[1] > totals[0], "{totals:?}");
+}

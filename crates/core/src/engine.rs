@@ -1,0 +1,180 @@
+//! The discrete-event core: a virtual-time event queue.
+//!
+//! Everything time-driven in the cloud — message deliveries,
+//! retransmission timeouts, measurement-window closings, periodic
+//! subscription firings — is an entry in one [`EventQueue`], keyed on
+//! `(due_us, seq)`. The sequence number is assigned at insertion, so two
+//! events scheduled for the same instant pop in the order they were
+//! scheduled: the queue is a total order and replaying the same seeded
+//! scenario dequeues the same events in the same order every time. That
+//! tie-break rule is what makes N interleaved attestation sessions
+//! deterministic without any per-session clock.
+//!
+//! The queue knows nothing about the cloud; payloads are opaque. The
+//! high-water depth is tracked here and surfaced through
+//! `ProtocolStats::max_queue_depth`.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// One scheduled event.
+#[derive(Debug)]
+struct Entry<T> {
+    due_us: u64,
+    seq: u64,
+    payload: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.due_us == other.due_us && self.seq == other.seq
+    }
+}
+
+impl<T> Eq for Entry<T> {}
+
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // `BinaryHeap` is a max-heap; invert so the earliest (due, seq)
+        // pair pops first. `seq` is unique, so the order is total.
+        (other.due_us, other.seq).cmp(&(self.due_us, self.seq))
+    }
+}
+
+/// A virtual-time event queue with deterministic FIFO tie-breaking.
+#[derive(Debug)]
+pub(crate) struct EventQueue<T> {
+    heap: BinaryHeap<Entry<T>>,
+    next_seq: u64,
+    max_depth: usize,
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            max_depth: 0,
+        }
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// Schedules `payload` at absolute virtual time `due_us`.
+    ///
+    /// Scheduling in the past is allowed (the event fires "now", after
+    /// anything already due): the caller's clock only moves when events
+    /// are popped, and a remediation response can push the wall clock
+    /// past instants that were scheduled before it ran.
+    pub(crate) fn schedule(&mut self, due_us: u64, payload: T) {
+        let seq = self.next_seq;
+        self.next_seq = self.next_seq.wrapping_add(1);
+        self.heap.push(Entry {
+            due_us,
+            seq,
+            payload,
+        });
+        self.max_depth = self.max_depth.max(self.heap.len());
+    }
+
+    /// The due time and payload of the earliest event, if any.
+    #[cfg(test)]
+    pub(crate) fn peek(&self) -> Option<(u64, &T)> {
+        self.heap.peek().map(|e| (e.due_us, &e.payload))
+    }
+
+    /// Removes and returns the earliest event.
+    pub(crate) fn pop(&mut self) -> Option<(u64, T)> {
+        self.heap.pop().map(|e| (e.due_us, e.payload))
+    }
+
+    /// Number of pending events.
+    pub(crate) fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub(crate) fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// High-water mark of pending events since construction.
+    #[cfg(test)]
+    pub(crate) fn max_depth(&self) -> usize {
+        self.max_depth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_due_order() {
+        let mut q = EventQueue::default();
+        q.schedule(30, "c");
+        q.schedule(10, "a");
+        q.schedule(20, "b");
+        assert_eq!(q.pop(), Some((10, "a")));
+        assert_eq!(q.pop(), Some((20, "b")));
+        assert_eq!(q.pop(), Some((30, "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn simultaneous_events_pop_in_schedule_order() {
+        let mut q = EventQueue::default();
+        for label in ["first", "second", "third", "fourth"] {
+            q.schedule(5, label);
+        }
+        let drained: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, p)| p)).collect();
+        assert_eq!(drained, ["first", "second", "third", "fourth"]);
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop_keeps_total_order() {
+        let mut q = EventQueue::default();
+        q.schedule(10, 1u32);
+        q.schedule(40, 4u32);
+        assert_eq!(q.pop(), Some((10, 1)));
+        // Scheduling "in the past" fires before anything later.
+        q.schedule(5, 0u32);
+        q.schedule(20, 2u32);
+        assert_eq!(q.pop(), Some((5, 0)));
+        assert_eq!(q.pop(), Some((20, 2)));
+        q.schedule(30, 3u32);
+        assert_eq!(q.pop(), Some((30, 3)));
+        assert_eq!(q.pop(), Some((40, 4)));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut q = EventQueue::default();
+        q.schedule(7, 'x');
+        assert_eq!(q.peek(), Some((7, &'x')));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some((7, 'x')));
+        assert_eq!(q.peek(), None);
+    }
+
+    #[test]
+    fn max_depth_is_a_high_water_mark() {
+        let mut q = EventQueue::default();
+        assert_eq!(q.max_depth(), 0);
+        q.schedule(1, ());
+        q.schedule(2, ());
+        q.schedule(3, ());
+        q.pop();
+        q.pop();
+        q.schedule(4, ());
+        assert_eq!(q.max_depth(), 3);
+        assert_eq!(q.len(), 2);
+    }
+}

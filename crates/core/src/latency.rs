@@ -178,6 +178,31 @@ impl LatencyParams {
         mb * 1_000_000 / self.hash_mb_per_sec
     }
 
+    /// Post-arrival processing charge for message `n` (1–6) of the
+    /// Figure-3 protocol. Every hop pays `hop_processing_us`; messages 4
+    /// and 5 each add one signature (the server signing its response,
+    /// the Attestation Server signing the property report) and message 6
+    /// adds two (the controller signing quote Q1, the customer verifying
+    /// it). The session state machine charges these between an arrival
+    /// event and the next transmission, which keeps the end-to-end sum
+    /// identical to the pre-event-loop inline model.
+    pub fn post_hop_us(&self, message: u8) -> u64 {
+        let signatures: u64 = match message {
+            4 | 5 => 1,
+            6 => 2,
+            _ => 0,
+        };
+        self.hop_processing_us + signatures * self.signature_us
+    }
+
+    /// Measurement-and-quote charge once a measurement window closes:
+    /// optional image hashing (boot integrity), quote generation, one
+    /// signature by the Trust Module.
+    pub fn measurement_us(&self, hashed_image_mb: Option<u64>) -> u64 {
+        let hash = hashed_image_mb.map_or(0, |mb| self.hash_us(mb));
+        hash + self.quote_generation_us + self.signature_us
+    }
+
     /// Termination response latency.
     pub fn terminate_us(&self, flavor: Flavor) -> u64 {
         self.terminate_base_us + self.terminate_per_gb_us * flavor.memory_gb()

@@ -46,6 +46,7 @@
 pub mod attestation;
 pub mod cloud;
 pub mod controller;
+pub(crate) mod engine;
 pub mod error;
 pub mod interpret;
 pub mod latency;
@@ -53,6 +54,7 @@ pub mod measurements;
 pub mod messages;
 pub mod pca;
 pub mod server;
+pub(crate) mod session;
 pub mod types;
 
 pub use attestation::AttestationServer;

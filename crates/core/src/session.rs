@@ -1,0 +1,804 @@
+//! Per-session state machines for the Figure-3 attestation protocol.
+//!
+//! A session owns one protocol exchange — customer → Cloud Controller →
+//! Attestation Server → cloud server and back (messages 1–6), or the
+//! controller-internal launch variant (messages 2–5) — and advances
+//! purely by reacting to events popped from the [`crate::engine`] queue:
+//! record arrivals, retransmission timeouts, measurement-window
+//! openings/closings and the final completion tick. Nothing blocks, so
+//! N sessions interleave on the same virtual clock and one stalled hop
+//! (a lossy path to one server) no longer head-of-line-blocks every
+//! other subscription.
+//!
+//! ## Latency accounting
+//!
+//! Every microsecond the old inline implementation added to `elapsed`
+//! is mirrored here as a scheduled delay, charged when the delay is
+//! scheduled: hop latencies at transmit resolution, per-message
+//! processing ([`LatencyParams::post_hop_us`]) as a pre-delay on the
+//! next transmission, the measurement window between `WindowOpen` and
+//! `WindowClose`, and the final processing tail before `Complete`. The
+//! completion event therefore fires at exactly `start + elapsed_us`,
+//! which keeps the clean-path Figure 9–11 numbers bit-identical to the
+//! pre-event-loop code (pinned by the golden-trace test).
+//!
+//! ## Retransmission as timer events
+//!
+//! The network simulator resolves a record's fate at send time, so each
+//! attempt schedules exactly one follow-up: the arrival of a delivered
+//! record, or the sender's loss-detection timeout for a lost/rejected
+//! one. On timeout the session retries (charging backoff, drawn in
+//! event order from the cloud DRBG — the same draw sequence the
+//! blocking loop made) until the [`RetryPolicy`] budget is exhausted,
+//! then fails with the same error classification as before:
+//! authentication failures are protocol failures, pure silence is
+//! [`CloudError::Unreachable`].
+//!
+//! ## Measurement-window serialization
+//!
+//! A server's profiling window is global to the server, so two windowed
+//! sessions measuring on the same host would corrupt each other's
+//! histograms. Sessions therefore queue per server: `WindowOpen` defers
+//! (charging the wait as real queueing latency) until the current
+//! window owner's deadline passes. Window-less specs are unaffected.
+
+use crate::attestation::AttestationServer;
+use crate::cloud::{AttestationReport, ChannelPair, Cloud};
+use crate::controller::{CloudController, VmLifecycle};
+use crate::error::CloudError;
+use crate::measurements::MeasurementSpec;
+use crate::messages::{
+    AttestationReportMsg, ControllerForward, CustomerReportMsg, CustomerRequest, MeasureRequest,
+    MeasureResponse,
+};
+use crate::types::{HealthStatus, Image, SecurityProperty, ServerId, Vid};
+use monatt_net::channel::{ChannelError, SecureChannel};
+use monatt_net::wire::Wire;
+use std::collections::BTreeMap;
+
+/// Identifier of an in-flight attestation session.
+pub(crate) type SessionId = u64;
+
+/// Which Figure-3 record is currently on the wire.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Stage {
+    /// Customer → controller request.
+    Msg1,
+    /// Controller → attestation server forward.
+    Msg2,
+    /// Attestation server → cloud server measurement request.
+    Msg3,
+    /// Cloud server → attestation server measurement response.
+    Msg4,
+    /// Attestation server → controller property report.
+    Msg5,
+    /// Controller → customer report.
+    Msg6,
+}
+
+/// Timer and delivery events that step one session.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum SessionEvent {
+    /// The current hop's record reaches its receiver.
+    Arrival,
+    /// The sender's loss-detection timeout fired: retransmit or fail.
+    Retry,
+    /// The measurement window may open on the server.
+    WindowOpen,
+    /// The measurement window elapsed: measure, quote, respond.
+    WindowClose,
+    /// All processing charges are paid: deliver the verdict.
+    Complete,
+}
+
+/// Everything the cloud's event loop can schedule.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum CloudEvent {
+    /// Step an attestation session.
+    Session {
+        /// The session to step.
+        sid: SessionId,
+        /// What happened.
+        event: SessionEvent,
+    },
+    /// A periodic subscription came due.
+    SubscriptionDue {
+        /// The subscription id.
+        id: u64,
+    },
+}
+
+/// What a session is for.
+#[derive(Clone, Debug)]
+pub(crate) enum SessionGoal {
+    /// Full customer-facing exchange, messages 1–6.
+    Customer {
+        /// Nonce N1, echoed in the message-6 report.
+        nonce1: [u8; 32],
+    },
+    /// Controller-internal exchange (launch attestation), messages 2–5.
+    Internal,
+}
+
+/// Who consumes the session's outcome.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum SessionOrigin {
+    /// A synchronous Table-1 API call pumping the queue to completion.
+    Api,
+    /// A periodic subscription sample fired by [`Cloud::run`].
+    Subscription(u64),
+}
+
+/// A session's terminal value: the interpreted verdict plus the
+/// end-to-end latency charged to it.
+#[derive(Clone, Debug)]
+pub(crate) struct SessionYield {
+    /// The verdict carried by the final protocol message.
+    pub(crate) status: HealthStatus,
+    /// End-to-end latency (protocol + measurement window + queueing).
+    pub(crate) elapsed_us: u64,
+}
+
+pub(crate) type SessionOutcome = Result<SessionYield, CloudError>;
+
+/// One in-flight Figure-3 exchange.
+#[derive(Debug)]
+pub(crate) struct AttestSession {
+    pub(crate) vid: Vid,
+    pub(crate) server: ServerId,
+    pub(crate) property: SecurityProperty,
+    expected_image: Image,
+    goal: SessionGoal,
+    pub(crate) origin: SessionOrigin,
+    stage: Stage,
+    /// Transmit attempts of the current hop (resets per hop).
+    attempt: u32,
+    /// Accumulated end-to-end latency charge.
+    elapsed_us: u64,
+    /// The plaintext being (re)transmitted on the current hop.
+    wire: Vec<u8>,
+    /// Opened plaintext parked between transmit resolution and the
+    /// arrival event.
+    inbox: Option<Vec<u8>>,
+    last_auth_failure: Option<ChannelError>,
+    /// Nonce N2 (controller ↔ attestation server).
+    nonce2: [u8; 32],
+    /// Nonce N3 (attestation server ↔ cloud server).
+    nonce3: [u8; 32],
+    /// The measurement spec the attestation server requested.
+    spec: Option<MeasurementSpec>,
+    /// The measurement request as decoded by the cloud server.
+    measure: Option<MeasureRequest>,
+    /// The verdict decoded from the final message.
+    verdict: Option<HealthStatus>,
+    /// Terminal outcome, parked for an API pump to collect.
+    pending: Option<SessionOutcome>,
+}
+
+impl AttestSession {
+    fn new(
+        vid: Vid,
+        server: ServerId,
+        property: SecurityProperty,
+        expected_image: Image,
+        goal: SessionGoal,
+        origin: SessionOrigin,
+        wire: Vec<u8>,
+    ) -> Self {
+        // A customer-facing session enters the protocol at message 1;
+        // an internal (launch-time) session skips the customer hop.
+        let stage = match goal {
+            SessionGoal::Customer { .. } => Stage::Msg1,
+            SessionGoal::Internal => Stage::Msg2,
+        };
+        AttestSession {
+            vid,
+            server,
+            property,
+            expected_image,
+            goal,
+            origin,
+            stage,
+            attempt: 0,
+            elapsed_us: 0,
+            wire,
+            inbox: None,
+            last_auth_failure: None,
+            nonce2: [0; 32],
+            nonce3: [0; 32],
+            spec: None,
+            measure: None,
+            verdict: None,
+            pending: None,
+        }
+    }
+}
+
+fn lost_session() -> CloudError {
+    CloudError::ProtocolFailure {
+        reason: "attestation session state lost".into(),
+    }
+}
+
+fn malformed(what: &str, e: impl std::fmt::Display) -> CloudError {
+    CloudError::ProtocolFailure {
+        reason: format!("malformed {what}: {e}"),
+    }
+}
+
+/// Resolves a protocol stage to its (sender, receiver) channel halves.
+/// The mapping mirrors Figure 3: Kx for messages 1/6, Ky for 2/5, Kz
+/// for 3/4.
+fn stage_channels<'a>(
+    stage: Stage,
+    cust_ctrl: &'a mut ChannelPair,
+    ctrl_as: &'a mut ChannelPair,
+    as_server: &'a mut BTreeMap<ServerId, ChannelPair>,
+    server: ServerId,
+) -> Result<(&'a mut SecureChannel, &'a mut SecureChannel), CloudError> {
+    match stage {
+        Stage::Msg1 => Ok((&mut cust_ctrl.initiator, &mut cust_ctrl.responder)),
+        Stage::Msg2 => Ok((&mut ctrl_as.initiator, &mut ctrl_as.responder)),
+        Stage::Msg3 | Stage::Msg4 => {
+            let pair = as_server
+                .get_mut(&server)
+                .ok_or(CloudError::UnknownServer(server))?;
+            Ok(match stage {
+                Stage::Msg3 => (&mut pair.initiator, &mut pair.responder),
+                _ => (&mut pair.responder, &mut pair.initiator),
+            })
+        }
+        Stage::Msg5 => Ok((&mut ctrl_as.responder, &mut ctrl_as.initiator)),
+        Stage::Msg6 => Ok((&mut cust_ctrl.responder, &mut cust_ctrl.initiator)),
+    }
+}
+
+impl Cloud {
+    /// Starts a full customer session (messages 1–6). Draws nonce N1 and
+    /// puts message 1 on the wire; the rest happens in event handlers.
+    pub(crate) fn begin_customer_session(
+        &mut self,
+        vid: Vid,
+        property: SecurityProperty,
+        origin: SessionOrigin,
+    ) -> Result<SessionId, CloudError> {
+        let record = self
+            .controller
+            .vm(vid)
+            .ok_or(CloudError::UnknownVm(vid))?
+            .clone();
+        if record.state == VmLifecycle::Terminated {
+            return Err(CloudError::UnknownVm(vid));
+        }
+        let nonce1 = self.fresh_nonce();
+        let request = CustomerRequest {
+            vid,
+            property,
+            nonce1,
+        };
+        self.spawn_session(AttestSession::new(
+            vid,
+            record.server,
+            property,
+            record.image,
+            SessionGoal::Customer { nonce1 },
+            origin,
+            request.to_wire(),
+        ))
+    }
+
+    /// Starts a controller-internal session (messages 2–5), used by the
+    /// launch pipeline's attestation stage.
+    pub(crate) fn begin_internal_session(
+        &mut self,
+        vid: Vid,
+        server: ServerId,
+        property: SecurityProperty,
+        expected_image: Image,
+    ) -> Result<SessionId, CloudError> {
+        let nonce2 = self.fresh_nonce();
+        let fwd = ControllerForward {
+            vid,
+            server,
+            property,
+            nonce2,
+        };
+        let mut session = AttestSession::new(
+            vid,
+            server,
+            property,
+            expected_image,
+            SessionGoal::Internal,
+            SessionOrigin::Api,
+            fwd.to_wire(),
+        );
+        session.nonce2 = nonce2;
+        self.spawn_session(session)
+    }
+
+    fn spawn_session(&mut self, session: AttestSession) -> Result<SessionId, CloudError> {
+        let sid = self.next_session;
+        self.next_session += 1;
+        self.sessions.insert(sid, session);
+        self.stats.sessions_started += 1;
+        self.stats.max_in_flight = self.stats.max_in_flight.max(self.sessions.len() as u64);
+        if let Err(e) = self.transmit_attempt(sid, 0) {
+            self.sessions.remove(&sid);
+            self.stats.sessions_failed += 1;
+            return Err(e);
+        }
+        Ok(sid)
+    }
+
+    /// Drives the event loop until `sid` reaches a terminal state — the
+    /// synchronous facade behind the Table-1 APIs. Outside [`Cloud::run`]
+    /// the queue only ever holds this session's events.
+    pub(crate) fn pump_session(&mut self, sid: SessionId) -> SessionOutcome {
+        loop {
+            let parked = match self.sessions.get_mut(&sid) {
+                None => {
+                    return Err(CloudError::ProtocolFailure {
+                        reason: "attestation session vanished".into(),
+                    })
+                }
+                Some(s) => s.pending.take(),
+            };
+            if let Some(outcome) = parked {
+                self.sessions.remove(&sid);
+                return outcome;
+            }
+            if self.engine.is_empty() {
+                self.sessions.remove(&sid);
+                return Err(CloudError::ProtocolFailure {
+                    reason: "event queue stalled mid-session".into(),
+                });
+            }
+            let Some((due, event)) = self.engine.pop() else {
+                // Unreachable: emptiness was checked above.
+                continue;
+            };
+            self.advance_to(due);
+            self.dispatch_event(event);
+        }
+    }
+
+    /// Seals and transmits the session's current hop payload once. The
+    /// simulator resolves the outcome at send time; exactly one
+    /// follow-up event is scheduled — the arrival of a delivered record
+    /// or the sender's timeout for a lost/rejected one. `pre_delay_us`
+    /// is processing time paid before the record leaves (it shifts every
+    /// scheduled instant and is charged to the session's latency).
+    fn transmit_attempt(&mut self, sid: SessionId, pre_delay_us: u64) -> Result<(), CloudError> {
+        let Cloud {
+            sessions,
+            network,
+            rng,
+            stats,
+            retry,
+            cust_ctrl,
+            ctrl_as,
+            as_server,
+            engine,
+            wall_clock_us,
+            ..
+        } = self;
+        let now = *wall_clock_us;
+        let session = sessions.get_mut(&sid).ok_or_else(lost_session)?;
+        let mut offset = pre_delay_us;
+        session.attempt += 1;
+        if session.attempt > 1 {
+            stats.retries += 1;
+            offset += retry.backoff_us(session.attempt - 1, rng);
+        }
+        session.elapsed_us += offset;
+        let (send, recv) =
+            stage_channels(session.stage, cust_ctrl, ctrl_as, as_server, session.server)?;
+        let record = send.seal(b"", &session.wire);
+        stats.messages_sent += 1;
+        let delivery = network.send_at(recv.peer(), send.peer(), &record, now + offset);
+        match delivery.payload {
+            None => {
+                // Nothing arrived: the sender learns of the loss only by
+                // timing out.
+                stats.drops_seen += 1;
+                stats.timeouts += 1;
+                session.elapsed_us += retry.timeout_us;
+                engine.schedule(
+                    now + offset + retry.timeout_us,
+                    CloudEvent::Session {
+                        sid,
+                        event: SessionEvent::Retry,
+                    },
+                );
+            }
+            Some(delivered) => match recv.open(b"", &delivered) {
+                Ok(plaintext) => {
+                    session.elapsed_us += delivery.latency_us;
+                    if delivery.duplicated {
+                        // The network delivered a second identical copy;
+                        // the receive window must reject it without
+                        // desynchronizing the channel.
+                        match recv.open(b"", &delivered) {
+                            Err(ChannelError::DuplicateRecord) => {
+                                stats.duplicates_rejected += 1;
+                            }
+                            other => {
+                                return Err(CloudError::ProtocolFailure {
+                                    reason: format!(
+                                        "duplicate record from {} not rejected: {other:?}",
+                                        recv.peer()
+                                    ),
+                                })
+                            }
+                        }
+                    }
+                    session.inbox = Some(plaintext);
+                    engine.schedule(
+                        delivery.deliver_at_us,
+                        CloudEvent::Session {
+                            sid,
+                            event: SessionEvent::Arrival,
+                        },
+                    );
+                }
+                Err(e) => {
+                    // Corrupted, tampered or replayed: the record is
+                    // rejected, the receiver stays silent, the sender
+                    // times out.
+                    stats.auth_failures += 1;
+                    stats.timeouts += 1;
+                    session.elapsed_us += delivery.latency_us + retry.timeout_us;
+                    session.last_auth_failure = Some(e);
+                    engine.schedule(
+                        now + offset + delivery.latency_us + retry.timeout_us,
+                        CloudEvent::Session {
+                            sid,
+                            event: SessionEvent::Retry,
+                        },
+                    );
+                }
+            },
+        }
+        stats.max_queue_depth = stats.max_queue_depth.max(engine.len() as u64);
+        Ok(())
+    }
+
+    /// Steps `sid` for `event`; any error terminates the session with
+    /// the same classification the blocking implementation returned.
+    pub(crate) fn step_session(&mut self, sid: SessionId, event: SessionEvent) {
+        let result = match event {
+            SessionEvent::Arrival => self.step_arrival(sid),
+            SessionEvent::Retry => self.step_retry(sid),
+            SessionEvent::WindowOpen => self.step_window_open(sid),
+            SessionEvent::WindowClose => self.step_window_close(sid),
+            SessionEvent::Complete => self.step_complete(sid),
+        };
+        if let Err(e) = result {
+            self.finish_session(sid, Err(e));
+        }
+    }
+
+    fn step_arrival(&mut self, sid: SessionId) -> Result<(), CloudError> {
+        let (stage, bytes) = {
+            let session = self.sessions.get_mut(&sid).ok_or_else(lost_session)?;
+            let bytes = session
+                .inbox
+                .take()
+                .ok_or_else(|| CloudError::ProtocolFailure {
+                    reason: "arrival event without a delivered record".into(),
+                })?;
+            // The hop completed; the next one starts a fresh attempt
+            // budget.
+            session.attempt = 0;
+            session.last_auth_failure = None;
+            (session.stage, bytes)
+        };
+        match stage {
+            Stage::Msg1 => self.on_msg1(sid, &bytes),
+            Stage::Msg2 => self.on_msg2(sid, &bytes),
+            Stage::Msg3 => self.on_msg3(sid, &bytes),
+            Stage::Msg4 => self.on_msg4(sid, &bytes),
+            Stage::Msg5 => self.on_msg5(sid, &bytes),
+            Stage::Msg6 => self.on_msg6(sid, &bytes),
+        }
+    }
+
+    /// The controller receives the customer request: draw N2, forward.
+    fn on_msg1(&mut self, sid: SessionId, bytes: &[u8]) -> Result<(), CloudError> {
+        let request = CustomerRequest::from_wire(bytes).map_err(|e| malformed("request", e))?;
+        let nonce2 = self.fresh_nonce();
+        let charge = self.latency.post_hop_us(1);
+        let session = self.sessions.get_mut(&sid).ok_or_else(lost_session)?;
+        session.nonce2 = nonce2;
+        let fwd = ControllerForward {
+            vid: request.vid,
+            server: session.server,
+            property: request.property,
+            nonce2,
+        };
+        session.stage = Stage::Msg2;
+        session.wire = fwd.to_wire();
+        self.transmit_attempt(sid, charge)
+    }
+
+    /// The attestation server receives the forward: draw N3, map the
+    /// property to a measurement request.
+    fn on_msg2(&mut self, sid: SessionId, bytes: &[u8]) -> Result<(), CloudError> {
+        let fwd = ControllerForward::from_wire(bytes).map_err(|e| malformed("forward", e))?;
+        let nonce3 = self.fresh_nonce();
+        let measure_req = self
+            .attserver
+            .build_measure_request(fwd.vid, fwd.property, nonce3);
+        let charge = self.latency.post_hop_us(2);
+        let session = self.sessions.get_mut(&sid).ok_or_else(lost_session)?;
+        session.nonce3 = nonce3;
+        session.spec = Some(measure_req.spec);
+        session.stage = Stage::Msg3;
+        session.wire = measure_req.to_wire();
+        self.transmit_attempt(sid, charge)
+    }
+
+    /// The cloud server receives the measurement request: after the
+    /// processing charge, try to open the measurement window.
+    fn on_msg3(&mut self, sid: SessionId, bytes: &[u8]) -> Result<(), CloudError> {
+        let req = MeasureRequest::from_wire(bytes).map_err(|e| malformed("measure request", e))?;
+        let charge = self.latency.post_hop_us(3);
+        let due = self.wall_clock_us + charge;
+        let session = self.sessions.get_mut(&sid).ok_or_else(lost_session)?;
+        session.measure = Some(req);
+        session.elapsed_us += charge;
+        self.schedule_session_event(due, sid, SessionEvent::WindowOpen);
+        Ok(())
+    }
+
+    /// Opens the server's measurement window, or queues behind the
+    /// session currently holding it (a server's profiling window is
+    /// server-global state, so windowed sessions serialize per server;
+    /// the wait is charged as queueing latency).
+    fn step_window_open(&mut self, sid: SessionId) -> Result<(), CloudError> {
+        let now = self.wall_clock_us;
+        let (server, req_vid, spec) = {
+            let session = self.sessions.get(&sid).ok_or_else(lost_session)?;
+            let req = session.measure.as_ref().ok_or_else(lost_session)?;
+            (session.server, req.vid, req.spec)
+        };
+        let window = spec.window_us();
+        if window == 0 {
+            return self.step_window_close(sid);
+        }
+        let free_at = self.window_free_at.get(&server).copied().unwrap_or(0);
+        if free_at > now {
+            if let Some(session) = self.sessions.get_mut(&sid) {
+                session.elapsed_us += free_at - now;
+            }
+            self.schedule_session_event(free_at, sid, SessionEvent::WindowOpen);
+            return Ok(());
+        }
+        let node = self
+            .servers
+            .get_mut(&server)
+            .ok_or(CloudError::UnknownServer(server))?;
+        node.begin_window(spec, req_vid);
+        self.window_free_at.insert(server, now + window);
+        if let Some(session) = self.sessions.get_mut(&sid) {
+            session.elapsed_us += window;
+        }
+        self.schedule_session_event(now + window, sid, SessionEvent::WindowClose);
+        Ok(())
+    }
+
+    /// The window elapsed: collect measurements, generate the quote and
+    /// put the measurement response on the wire. Hashing/quoting cost is
+    /// a pre-delay on the response transmission.
+    fn step_window_close(&mut self, sid: SessionId) -> Result<(), CloudError> {
+        let (server, vid, expected_image, req) = {
+            let session = self.sessions.get(&sid).ok_or_else(lost_session)?;
+            let req = session.measure.clone().ok_or_else(lost_session)?;
+            (session.server, session.vid, session.expected_image, req)
+        };
+        let hashed = if matches!(req.spec, MeasurementSpec::BootIntegrity) {
+            Some(expected_image.size_mb())
+        } else {
+            None
+        };
+        let charge = self.latency.measurement_us(hashed);
+        let response = self
+            .servers
+            .get_mut(&server)
+            .ok_or(CloudError::UnknownServer(server))?
+            .attest(req.vid, req.spec, req.nonce3)
+            .ok_or(CloudError::UnknownVm(vid))?;
+        let msg4 = MeasureResponse {
+            vid: response.vid,
+            spec: response.spec,
+            measurement: response.measurement,
+            nonce3: response.nonce,
+            quote: response.quote,
+            cert_request: response.cert_request,
+        };
+        let session = self.sessions.get_mut(&sid).ok_or_else(lost_session)?;
+        session.stage = Stage::Msg4;
+        session.wire = msg4.to_wire();
+        self.transmit_attempt(sid, charge)
+    }
+
+    /// The attestation server receives the measurement response:
+    /// validate, interpret, certify the property report.
+    fn on_msg4(&mut self, sid: SessionId, bytes: &[u8]) -> Result<(), CloudError> {
+        let msg4 =
+            MeasureResponse::from_wire(bytes).map_err(|e| malformed("measure response", e))?;
+        let (vid, server, property, expected_image, spec, nonce2, nonce3) = {
+            let session = self.sessions.get(&sid).ok_or_else(lost_session)?;
+            let spec = session.spec.ok_or_else(lost_session)?;
+            (
+                session.vid,
+                session.server,
+                session.property,
+                session.expected_image,
+                spec,
+                session.nonce2,
+                session.nonce3,
+            )
+        };
+        self.attserver.validate_response(&msg4, vid, spec, nonce3)?;
+        let status = self
+            .attserver
+            .interpret_response(property, &msg4, expected_image);
+        let report_msg = self
+            .attserver
+            .certify_report(vid, server, property, status, nonce2);
+        let charge = self.latency.post_hop_us(4);
+        let session = self.sessions.get_mut(&sid).ok_or_else(lost_session)?;
+        session.stage = Stage::Msg5;
+        session.wire = report_msg.to_wire();
+        self.transmit_attempt(sid, charge)
+    }
+
+    /// The controller receives the property report: verify it, then
+    /// either complete (internal session) or certify the customer
+    /// report.
+    fn on_msg5(&mut self, sid: SessionId, bytes: &[u8]) -> Result<(), CloudError> {
+        let report_msg =
+            AttestationReportMsg::from_wire(bytes).map_err(|e| malformed("report", e))?;
+        let (vid, property, nonce2, goal) = {
+            let session = self.sessions.get(&sid).ok_or_else(lost_session)?;
+            (
+                session.vid,
+                session.property,
+                session.nonce2,
+                session.goal.clone(),
+            )
+        };
+        AttestationServer::verify_report_msg(&report_msg, &self.attserver.identity_key(), nonce2)?;
+        let charge = self.latency.post_hop_us(5);
+        match goal {
+            SessionGoal::Internal => {
+                let due = self.wall_clock_us + charge;
+                let session = self.sessions.get_mut(&sid).ok_or_else(lost_session)?;
+                session.verdict = Some(report_msg.status);
+                session.elapsed_us += charge;
+                self.schedule_session_event(due, sid, SessionEvent::Complete);
+                Ok(())
+            }
+            SessionGoal::Customer { nonce1 } => {
+                let customer_report = self.controller.certify_customer_report(
+                    vid,
+                    property,
+                    report_msg.status,
+                    nonce1,
+                );
+                let session = self.sessions.get_mut(&sid).ok_or_else(lost_session)?;
+                session.stage = Stage::Msg6;
+                session.wire = customer_report.to_wire();
+                self.transmit_attempt(sid, charge)
+            }
+        }
+    }
+
+    /// The customer receives the final report: verify quote Q1 and the
+    /// nonce echo, then complete after the verification charge.
+    fn on_msg6(&mut self, sid: SessionId, bytes: &[u8]) -> Result<(), CloudError> {
+        let report_msg =
+            CustomerReportMsg::from_wire(bytes).map_err(|e| malformed("customer report", e))?;
+        let nonce1 = {
+            let session = self.sessions.get(&sid).ok_or_else(lost_session)?;
+            match session.goal {
+                SessionGoal::Customer { nonce1 } => nonce1,
+                SessionGoal::Internal => return Err(lost_session()),
+            }
+        };
+        CloudController::verify_customer_report(
+            &report_msg,
+            &self.controller.identity_key(),
+            nonce1,
+        )?;
+        let charge = self.latency.post_hop_us(6);
+        let due = self.wall_clock_us + charge;
+        let session = self.sessions.get_mut(&sid).ok_or_else(lost_session)?;
+        session.verdict = Some(report_msg.status);
+        session.elapsed_us += charge;
+        self.schedule_session_event(due, sid, SessionEvent::Complete);
+        Ok(())
+    }
+
+    fn step_complete(&mut self, sid: SessionId) -> Result<(), CloudError> {
+        let (status, elapsed_us) = {
+            let session = self.sessions.get_mut(&sid).ok_or_else(lost_session)?;
+            let status = session
+                .verdict
+                .take()
+                .ok_or_else(|| CloudError::ProtocolFailure {
+                    reason: "session completed without a verdict".into(),
+                })?;
+            (status, session.elapsed_us)
+        };
+        self.finish_session(sid, Ok(SessionYield { status, elapsed_us }));
+        Ok(())
+    }
+
+    /// A loss-detection timeout fired: retry within budget, otherwise
+    /// fail with the blocking implementation's exact classification.
+    fn step_retry(&mut self, sid: SessionId) -> Result<(), CloudError> {
+        let max_attempts = self.retry.max_attempts.max(1);
+        let exhausted = {
+            let session = self.sessions.get(&sid).ok_or_else(lost_session)?;
+            session.attempt >= max_attempts
+        };
+        if !exhausted {
+            return self.transmit_attempt(sid, 0);
+        }
+        // Retry budget exhausted. Distinguish "every delivery failed
+        // authentication" (evidence of tampering — a protocol failure)
+        // from "nothing ever arrived" (the peer is unreachable).
+        let Cloud {
+            sessions,
+            cust_ctrl,
+            ctrl_as,
+            as_server,
+            ..
+        } = self;
+        let session = sessions.get(&sid).ok_or_else(lost_session)?;
+        let (send, recv) =
+            stage_channels(session.stage, cust_ctrl, ctrl_as, as_server, session.server)?;
+        Err(match &session.last_auth_failure {
+            Some(e) => CloudError::ProtocolFailure {
+                reason: format!(
+                    "secure channel {}->{}: {e} ({max_attempts} attempts)",
+                    recv.peer(),
+                    send.peer()
+                ),
+            },
+            None => CloudError::Unreachable {
+                peer: send.peer().to_owned(),
+                attempts: max_attempts,
+            },
+        })
+    }
+
+    /// Terminates `sid` and routes the outcome to its consumer: parked
+    /// for an API pump, or recorded on the owning subscription.
+    fn finish_session(&mut self, sid: SessionId, outcome: SessionOutcome) {
+        match &outcome {
+            Ok(_) => self.stats.sessions_completed += 1,
+            Err(_) => self.stats.sessions_failed += 1,
+        }
+        let Some(session) = self.sessions.get_mut(&sid) else {
+            return;
+        };
+        match session.origin {
+            SessionOrigin::Api => session.pending = Some(outcome),
+            SessionOrigin::Subscription(subscription) => {
+                let (vid, property) = (session.vid, session.property);
+                self.sessions.remove(&sid);
+                let result = outcome.map(|y| AttestationReport {
+                    vid,
+                    property,
+                    status: y.status,
+                    elapsed_us: y.elapsed_us,
+                    issued_at_us: self.wall_clock_us,
+                });
+                self.complete_subscription_sample(subscription, vid, property, result);
+            }
+        }
+    }
+}

@@ -147,6 +147,17 @@ pub struct ProtocolStats {
     /// Records that failed channel authentication (corruption,
     /// tampering or replay).
     pub auth_failures: u64,
+    /// Attestation sessions started (messages 1 or 2 sent).
+    pub sessions_started: u64,
+    /// Sessions that delivered a verdict.
+    pub sessions_completed: u64,
+    /// Sessions that failed (retry budget exhausted, tampering, or a
+    /// protocol error).
+    pub sessions_failed: u64,
+    /// High-water mark of concurrently in-flight sessions.
+    pub max_in_flight: u64,
+    /// High-water mark of pending events in the discrete-event queue.
+    pub max_queue_depth: u64,
 }
 
 /// VM sizes offered by the cloud (Figure 9 and 11 sweep these).

@@ -94,6 +94,22 @@ pub struct Delivery {
     pub duplicated: bool,
 }
 
+/// The outcome of one transmission, resolved against an absolute
+/// virtual-time axis (see [`SimNetwork::send_at`]).
+#[derive(Clone, Debug)]
+pub struct ScheduledDelivery {
+    /// Delivered bytes, or `None` if the attacker or a fault dropped
+    /// the message.
+    pub payload: Option<Vec<u8>>,
+    /// Absolute virtual time at which the record reaches the receiver.
+    /// Meaningful only when `payload` is `Some`.
+    pub deliver_at_us: u64,
+    /// Simulated transmission latency (including fault-injected delay).
+    pub latency_us: u64,
+    /// The network delivered a second, identical copy of the payload.
+    pub duplicated: bool,
+}
+
 /// A seeded, probabilistic model of *benign* network faults: each
 /// message is independently dropped, duplicated, bit-corrupted and/or
 /// delayed. All draws come from a deterministic [`Drbg`], so a seeded
@@ -305,6 +321,32 @@ impl SimNetwork {
             payload: delivered,
             latency_us,
             duplicated,
+        }
+    }
+
+    /// Transmits `payload` at virtual time `now_us`, returning the
+    /// delivery resolved into an absolute arrival instant for an event
+    /// queue to schedule. The simulator knows a message's fate the
+    /// moment it is sent (there is no concurrent receiver), so
+    /// discrete-event callers learn everything here and schedule exactly
+    /// one follow-up: the arrival of a delivered record, or — for a
+    /// lost or rejected one — the sender's loss-detection timeout.
+    ///
+    /// Adversary, fault model, serialization charging and the
+    /// transmission log are all identical to [`SimNetwork::transmit`].
+    pub fn send_at(
+        &mut self,
+        from: &str,
+        to: &str,
+        payload: &[u8],
+        now_us: u64,
+    ) -> ScheduledDelivery {
+        let delivery = self.transmit(from, to, payload);
+        ScheduledDelivery {
+            deliver_at_us: now_us.saturating_add(delivery.latency_us),
+            payload: delivery.payload,
+            latency_us: delivery.latency_us,
+            duplicated: delivery.duplicated,
         }
     }
 
