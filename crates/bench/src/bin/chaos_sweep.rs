@@ -1,0 +1,34 @@
+//! Runs the chaos sweep: periodic attestation fleets under seeded
+//! crash/recovery churn, message loss, admission shedding and session
+//! deadlines, verifying the liveness invariants in every cell.
+//!
+//! Usage: `chaos_sweep [--smoke] [--json <path>]`
+//! `--smoke` runs a reduced grid for CI; `--json` additionally writes
+//! the machine-readable document (see `BENCH_chaos.json`).
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1));
+    let rows = if smoke {
+        monatt_bench::chaos::run(
+            &monatt_bench::chaos::SMOKE_FLEETS,
+            &monatt_bench::chaos::SMOKE_MTBFS,
+            &monatt_bench::chaos::SMOKE_LOSSES,
+        )
+    } else {
+        monatt_bench::chaos::run(
+            &monatt_bench::chaos::FLEETS,
+            &monatt_bench::chaos::MTBFS,
+            &monatt_bench::chaos::LOSSES,
+        )
+    };
+    monatt_bench::chaos::print(&rows);
+    if let Some(path) = json_path {
+        std::fs::write(path, monatt_bench::chaos::to_json(&rows)).expect("write json");
+        eprintln!("wrote {path}");
+    }
+}

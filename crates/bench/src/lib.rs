@@ -11,6 +11,7 @@
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod faults;
 pub mod fig04;
 pub mod fig05;

@@ -3,7 +3,7 @@
 //! (Section 7.1.1's Scheduling → Networking → Block-device-mapping →
 //! Spawning → Attestation stages).
 
-use super::{ChannelPair, Cloud};
+use super::{ChannelIdentities, ChannelPair, Cloud};
 use crate::attestation::AttestationServer;
 use crate::controller::{CloudController, ServerInfo, VmLifecycle, VmRecord};
 use crate::engine::EventQueue;
@@ -212,6 +212,8 @@ pub struct CloudBuilder {
     escalation_threshold: u32,
     auto_response: bool,
     corrupted_platforms: Vec<usize>,
+    session_deadline_us: Option<u64>,
+    admission: Option<(usize, usize)>,
 }
 
 impl Default for CloudBuilder {
@@ -234,6 +236,8 @@ impl CloudBuilder {
             escalation_threshold: 3,
             auto_response: false,
             corrupted_platforms: Vec::new(),
+            session_deadline_us: None,
+            admission: None,
         }
     }
 
@@ -291,6 +295,25 @@ impl CloudBuilder {
     /// platform attack).
     pub fn corrupt_platform(mut self, index: usize) -> Self {
         self.corrupted_platforms.push(index);
+        self
+    }
+
+    /// Gives every attestation session an end-to-end deadline budget:
+    /// a session that cannot reach a verdict within `budget_us` aborts
+    /// with [`crate::CloudError::DeadlineExceeded`] — retransmission
+    /// stops as soon as the remaining budget cannot cover another
+    /// loss-detection timeout. Default: no deadline.
+    pub fn session_deadline(mut self, budget_us: u64) -> Self {
+        self.session_deadline_us = Some(budget_us);
+        self
+    }
+
+    /// Bounds sessions in flight at the Attestation Server: past `high`
+    /// new sessions are refused with
+    /// [`crate::CloudError::Overloaded`] until in-flight drains to
+    /// `low` (hysteresis). Default: unbounded.
+    pub fn admission_control(mut self, high: usize, low: usize) -> Self {
+        self.admission = Some((high, low));
         self
     }
 
@@ -394,6 +417,7 @@ impl CloudBuilder {
             "attserver",
         )?;
         let mut as_server = BTreeMap::new();
+        let mut server_identities = BTreeMap::new();
         for id in servers.keys() {
             // In deployment the server end terminates inside the
             // Attestation Client; the channel key is Kz.
@@ -408,6 +432,7 @@ impl CloudBuilder {
                     &id.to_string(),
                 )?,
             );
+            server_identities.insert(*id, server_chan_identity);
         }
         Ok(Cloud {
             rng,
@@ -435,6 +460,19 @@ impl CloudBuilder {
             window_free_at: BTreeMap::new(),
             run_horizon: None,
             auto_response_failures: 0,
+            identities: ChannelIdentities {
+                customer: customer_identity,
+                controller: controller_identity,
+                attserver: attserver_identity,
+                servers: server_identities,
+            },
+            outages: None,
+            outage_stats: crate::outage::OutageStats::default(),
+            down: std::collections::BTreeSet::new(),
+            admission: self
+                .admission
+                .map(|(high, low)| crate::outage::AdmissionControl::new(high, low)),
+            session_deadline_us: self.session_deadline_us,
         })
     }
 }
@@ -461,21 +499,29 @@ impl Cloud {
         let vid = self.controller.allocate_vid();
         let wants_attestation = !request.properties.is_empty();
         let mut timing = LaunchTiming::default();
-        let mut excluded: Option<ServerId> = None;
+        // Crashed servers are never placement candidates; servers that
+        // fail platform attestation join the exclusion set per attempt.
+        let mut excluded = self.down_servers();
         // Try servers until one passes platform attestation.
         for _attempt in 0..self.servers.len().max(1) {
             // Scheduling.
             let server_id = match request.on_server {
-                Some(forced) if excluded != Some(forced) => forced,
+                Some(forced) if !excluded.contains(&forced) => forced,
+                Some(forced) if self.down.contains(&crate::types::NodeId::Server(forced)) => {
+                    return Err(CloudError::NodeDown {
+                        node: crate::types::NodeId::Server(forced),
+                    })
+                }
                 Some(_) => {
                     return Err(CloudError::LaunchRejected {
                         reason: "forced server failed platform attestation".into(),
                     })
                 }
-                None => {
-                    self.controller
-                        .select_server(request.flavor, &request.properties, excluded)?
-                }
+                None => self.controller.select_server_excluding(
+                    request.flavor,
+                    &request.properties,
+                    &excluded,
+                )?,
             };
             timing.scheduling_us += self
                 .latency
@@ -521,7 +567,7 @@ impl Cloud {
                         if let Some(node) = self.servers.get_mut(&server_id) {
                             node.remove_vm(vid);
                         }
-                        excluded = Some(server_id);
+                        excluded.insert(server_id);
                         continue;
                     }
                     HealthStatus::Compromised { reason } => {

@@ -34,14 +34,16 @@ use crate::controller::{CloudController, ResponseAction, VmLifecycle};
 use crate::engine::EventQueue;
 use crate::error::CloudError;
 use crate::latency::{LatencyParams, RetryPolicy};
+use crate::outage::{AdmissionControl, OutageModel, OutageStats};
 use crate::server::CloudServerNode;
 use crate::session::{AttestSession, CloudEvent, SessionEvent, SessionId, SessionOrigin};
-use crate::types::{HealthStatus, ProtocolStats, SecurityProperty, ServerId, Vid};
+use crate::types::{HealthStatus, NodeId, ProtocolStats, SecurityProperty, ServerId, Vid};
 use build::VmMeta;
 use monatt_crypto::drbg::Drbg;
-use monatt_net::channel::SecureChannel;
+use monatt_crypto::schnorr::SigningKey;
+use monatt_net::channel::{handshake_pair, SecureChannel};
 use monatt_net::sim::SimNetwork;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use subscriptions::Subscription;
 
 /// The customer-facing attestation result.
@@ -71,6 +73,25 @@ impl AttestationReport {
 pub(crate) struct ChannelPair {
     pub(crate) initiator: SecureChannel,
     pub(crate) responder: SecureChannel,
+}
+
+/// The long-term signing identities behind the secure channels,
+/// retained so a recovered node re-handshakes fresh session keys —
+/// channel state from before a crash never resumes.
+pub(crate) struct ChannelIdentities {
+    pub(crate) customer: SigningKey,
+    pub(crate) controller: SigningKey,
+    pub(crate) attserver: SigningKey,
+    pub(crate) servers: BTreeMap<ServerId, SigningKey>,
+}
+
+impl std::fmt::Debug for ChannelIdentities {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Signing material: identify the holders, never the bits.
+        f.debug_struct("ChannelIdentities")
+            .field("servers", &self.servers.len())
+            .finish_non_exhaustive()
+    }
 }
 
 /// The assembled CloudMonatt cloud.
@@ -108,6 +129,18 @@ pub struct Cloud {
     /// Automatic remediation responses that themselves failed (the error
     /// used to be silently discarded).
     pub(crate) auto_response_failures: u64,
+    /// Long-term identities for post-recovery channel re-handshakes.
+    pub(crate) identities: ChannelIdentities,
+    /// The installed node-outage schedule, if any.
+    pub(crate) outages: Option<OutageModel>,
+    /// Node-failure activity counters.
+    pub(crate) outage_stats: OutageStats,
+    /// Nodes currently crashed.
+    pub(crate) down: BTreeSet<NodeId>,
+    /// The Attestation Server's admission gate, if configured.
+    pub(crate) admission: Option<AdmissionControl>,
+    /// End-to-end deadline budget applied to every new session, if any.
+    pub(crate) session_deadline_us: Option<u64>,
 }
 
 impl std::fmt::Debug for Cloud {
@@ -226,6 +259,7 @@ impl Cloud {
         match event {
             CloudEvent::Session { sid, event } => self.step_session(sid, event),
             CloudEvent::SubscriptionDue { id } => self.start_subscription_sample(id),
+            CloudEvent::Outage { node, down, chain } => self.apply_outage(node, down, chain),
         }
     }
 
@@ -257,6 +291,252 @@ impl Cloud {
             Err(_) => {
                 self.auto_response_failures += 1;
                 false
+            }
+        }
+    }
+
+    // ---- Node-level failure and overload -------------------------------
+
+    /// Installs (or replaces) a node-outage schedule. Transitions fire
+    /// as engine events during [`Cloud::run`].
+    pub fn set_outage_model(&mut self, model: OutageModel) {
+        self.outages = Some(model);
+    }
+
+    /// Removes the outage schedule (nodes currently down stay down
+    /// until recovered via [`Cloud::recover_node`]).
+    pub fn clear_outage_model(&mut self) {
+        self.outages = None;
+    }
+
+    /// Sets (or clears) the end-to-end deadline budget applied to every
+    /// session started from now on; in-flight sessions keep the budget
+    /// they were spawned with. `None` (the default) leaves sessions
+    /// unbounded.
+    pub fn set_session_deadline(&mut self, budget_us: Option<u64>) {
+        self.session_deadline_us = budget_us;
+    }
+
+    /// Node-failure activity counters.
+    pub fn outage_stats(&self) -> OutageStats {
+        self.outage_stats
+    }
+
+    /// Whether `node` is currently crashed.
+    pub fn node_is_down(&self, node: NodeId) -> bool {
+        self.down.contains(&node)
+    }
+
+    /// The nodes currently crashed.
+    pub fn down_nodes(&self) -> Vec<NodeId> {
+        self.down.iter().copied().collect()
+    }
+
+    /// Whether the Attestation Server's admission gate is currently
+    /// refusing new sessions.
+    pub fn is_shedding(&self) -> bool {
+        self.admission.is_some_and(|g| g.is_shedding())
+    }
+
+    /// Experiment hook: crashes `node` immediately (the event-driven
+    /// path is a scripted or stochastic [`OutageModel`]). Idempotent.
+    /// Deliveries to and from the node black-hole, in-flight sessions
+    /// touching it fail fast with [`CloudError::NodeDown`], and a cloud
+    /// server's resident VMs are evacuated to live servers.
+    pub fn crash_node(&mut self, node: NodeId) {
+        self.apply_crash(node);
+    }
+
+    /// Experiment hook: recovers `node` immediately. Idempotent. Every
+    /// secure channel the node terminates is re-handshaked — session
+    /// keys from before the crash never resume.
+    pub fn recover_node(&mut self, node: NodeId) {
+        self.apply_recovery(node);
+    }
+
+    /// Servers currently crashed (the exclusion set for placement).
+    pub(crate) fn down_servers(&self) -> BTreeSet<ServerId> {
+        self.down
+            .iter()
+            .filter_map(|n| match n {
+                NodeId::Server(id) => Some(*id),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The Attestation Server's admission decision for one new session.
+    pub(crate) fn admit_session(&mut self) -> Result<(), CloudError> {
+        let Some(gate) = self.admission.as_mut() else {
+            return Ok(());
+        };
+        let in_flight = self.sessions.len();
+        if !gate.admit(in_flight) {
+            self.stats.sessions_shed += 1;
+            return Err(CloudError::Overloaded { in_flight });
+        }
+        Ok(())
+    }
+
+    /// One outage-schedule transition fired; `chain` asks the renewal
+    /// process for the follow-up transition.
+    pub(crate) fn apply_outage(&mut self, node: NodeId, down: bool, chain: bool) {
+        if down {
+            self.apply_crash(node);
+        } else {
+            self.apply_recovery(node);
+        }
+        if !chain {
+            return;
+        }
+        let chained = match self.outages.as_mut() {
+            Some(model) => {
+                model.chain(node, down, self.wall_clock_us);
+                match self.run_horizon {
+                    // Only chain-schedule within the current run's
+                    // horizon; later transitions stay pending in the
+                    // model and seed the next run.
+                    Some(end) => model.drain_due(end),
+                    None => Vec::new(),
+                }
+            }
+            None => Vec::new(),
+        };
+        for t in chained {
+            let at = t.at_us.max(self.wall_clock_us);
+            self.schedule_cloud_event(
+                at,
+                CloudEvent::Outage {
+                    node: t.node,
+                    down: t.down,
+                    chain: t.stochastic,
+                },
+            );
+        }
+    }
+
+    pub(crate) fn apply_crash(&mut self, node: NodeId) {
+        if !self.down.insert(node) {
+            return;
+        }
+        self.outage_stats.crashes += 1;
+        self.network.set_endpoint_down(&node.endpoint());
+        // Fail in-flight sessions whose current hop depends on the
+        // node. Sessions already holding a verdict or a parked outcome
+        // keep it — their network work is done.
+        let victims: Vec<SessionId> = self
+            .sessions
+            .iter()
+            .filter(|(_, s)| !s.is_terminal() && s.touches(node))
+            .map(|(sid, _)| *sid)
+            .collect();
+        for sid in victims {
+            self.finish_session_node_down(sid, node);
+        }
+        if let NodeId::Server(id) = node {
+            // A crashed server's measurement window dies with it.
+            self.window_free_at.remove(&id);
+            self.evacuate_server(id);
+        }
+    }
+
+    pub(crate) fn apply_recovery(&mut self, node: NodeId) {
+        if !self.down.remove(&node) {
+            return;
+        }
+        self.outage_stats.recoveries += 1;
+        self.network.set_endpoint_up(&node.endpoint());
+        self.rehandshake(node);
+    }
+
+    /// Re-establishes every secure channel `node` terminates, drawing
+    /// fresh session keys: the anti-replay window and keys from before
+    /// the crash are gone, so stale records can never resume. Draws RNG
+    /// only on the outage path — a cloud without outages never gets
+    /// here.
+    fn rehandshake(&mut self, node: NodeId) {
+        let Cloud {
+            rng,
+            identities,
+            cust_ctrl,
+            ctrl_as,
+            as_server,
+            outage_stats,
+            ..
+        } = self;
+        let mut refresh = |rng: &mut Drbg,
+                           pair: &mut ChannelPair,
+                           a: &SigningKey,
+                           b: &SigningKey,
+                           a_name: &str,
+                           b_name: &str| {
+            // A handshake between honest in-process parties only fails
+            // on a simulation bug; leave the old channel in place then
+            // (sessions on it will fail loudly) rather than panic.
+            if let Ok((mut i, mut r)) = handshake_pair(rng, a, b) {
+                i.set_peer(b_name);
+                r.set_peer(a_name);
+                *pair = ChannelPair {
+                    initiator: i,
+                    responder: r,
+                };
+                outage_stats.rehandshakes += 1;
+            }
+        };
+        match node {
+            NodeId::Controller => {
+                refresh(
+                    rng,
+                    cust_ctrl,
+                    &identities.customer,
+                    &identities.controller,
+                    "customer",
+                    "controller",
+                );
+                refresh(
+                    rng,
+                    ctrl_as,
+                    &identities.controller,
+                    &identities.attserver,
+                    "controller",
+                    "attserver",
+                );
+            }
+            NodeId::AttestationServer => {
+                refresh(
+                    rng,
+                    ctrl_as,
+                    &identities.controller,
+                    &identities.attserver,
+                    "controller",
+                    "attserver",
+                );
+                for (id, pair) in as_server.iter_mut() {
+                    if let Some(identity) = identities.servers.get(id) {
+                        refresh(
+                            rng,
+                            pair,
+                            &identities.attserver,
+                            identity,
+                            "attserver",
+                            &id.to_string(),
+                        );
+                    }
+                }
+            }
+            NodeId::Server(id) => {
+                if let (Some(pair), Some(identity)) =
+                    (as_server.get_mut(&id), identities.servers.get(&id))
+                {
+                    refresh(
+                        rng,
+                        pair,
+                        &identities.attserver,
+                        identity,
+                        "attserver",
+                        &id.to_string(),
+                    );
+                }
             }
         }
     }

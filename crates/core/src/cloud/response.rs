@@ -6,7 +6,7 @@ use super::build::VmMeta;
 use super::{AttestationReport, Cloud, WorkloadHandles, WorkloadSpec};
 use crate::controller::{ResponseAction, VmLifecycle};
 use crate::error::CloudError;
-use crate::types::{SecurityProperty, Vid};
+use crate::types::{SecurityProperty, ServerId, Vid};
 
 /// Timing of a remediation response (Figure 11).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -55,9 +55,13 @@ impl Cloud {
                 self.latency.suspend_us(record.flavor)
             }
             ResponseAction::Migration => {
+                // Re-run Policy Validation excluding the source and any
+                // crashed server.
+                let mut excluded = self.down_servers();
+                excluded.insert(record.server);
                 let destination = self
                     .controller
-                    .select_server(record.flavor, &record.properties, Some(record.server))
+                    .select_server_excluding(record.flavor, &record.properties, &excluded)
                     .map_err(|_| CloudError::MigrationFailed { vid })?;
                 let meta = self.vm_meta.get(&vid).cloned().unwrap_or(VmMeta {
                     workload: WorkloadSpec::Idle,
@@ -97,6 +101,80 @@ impl Cloud {
             action,
             response_us,
         })
+    }
+
+    /// Evacuates every VM resident on a crashed server: the Response
+    /// Module re-runs Policy Validation per VM and migrates it to a
+    /// live server with capacity supporting its properties; a VM with
+    /// nowhere to go is terminated (counted as an evacuation failure).
+    /// No wall-clock charge — this is crash fallout, not a managed
+    /// migration.
+    pub(crate) fn evacuate_server(&mut self, crashed: ServerId) {
+        let vids: Vec<Vid> = self
+            .controller
+            .vms()
+            .filter(|r| r.server == crashed && r.state != VmLifecycle::Terminated)
+            .map(|r| r.vid)
+            .collect();
+        let mut excluded = self.down_servers();
+        excluded.insert(crashed);
+        for vid in vids {
+            let Some(record) = self.controller.vm(vid).cloned() else {
+                continue;
+            };
+            // The crashed host's simulator state for this VM is gone
+            // either way.
+            if let Some(node) = self.servers.get_mut(&crashed) {
+                node.remove_vm(vid);
+            }
+            self.controller.release_capacity(vid);
+            match self.controller.select_server_excluding(
+                record.flavor,
+                &record.properties,
+                &excluded,
+            ) {
+                Ok(destination) => {
+                    let meta = self.vm_meta.get(&vid).cloned().unwrap_or(VmMeta {
+                        workload: WorkloadSpec::Idle,
+                        tampered: false,
+                        pin_pcpu: None,
+                        handles: WorkloadHandles::default(),
+                    });
+                    let mut image_bytes = record.image.pristine_bytes();
+                    if meta.tampered {
+                        image_bytes[0] ^= 0xff;
+                    }
+                    let (drivers, handles) = meta
+                        .workload
+                        .drivers(record.flavor.vcpus(), self.seed ^ vid.0);
+                    if let Some(m) = self.vm_meta.get_mut(&vid) {
+                        m.handles = handles;
+                    }
+                    if let Some(node) = self.servers.get_mut(&destination) {
+                        node.launch_vm_pinned(
+                            vid,
+                            record.image,
+                            image_bytes,
+                            drivers,
+                            256,
+                            meta.pin_pcpu,
+                        );
+                    }
+                    if let Some(r) = self.controller.vm_mut(vid) {
+                        r.server = destination;
+                        r.state = VmLifecycle::Active;
+                    }
+                    self.controller.take_capacity(destination, record.flavor);
+                    self.outage_stats.evacuations += 1;
+                }
+                Err(_) => {
+                    if let Some(r) = self.controller.vm_mut(vid) {
+                        r.state = VmLifecycle::Terminated;
+                    }
+                    self.outage_stats.evacuation_failures += 1;
+                }
+            }
+        }
     }
 
     /// The Section 5.2 suspension recheck: briefly resumes a suspended

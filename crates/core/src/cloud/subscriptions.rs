@@ -13,7 +13,7 @@
 use super::{AttestationReport, Cloud};
 use crate::error::CloudError;
 use crate::session::{CloudEvent, SessionOrigin};
-use crate::types::{HealthStatus, SecurityProperty, Vid};
+use crate::types::{HealthStatus, SecurityProperty, ServerId, Vid};
 use monatt_crypto::drbg::Drbg;
 
 /// The cadence of a periodic attestation (Table 1: "at the frequency of
@@ -211,6 +211,32 @@ impl Cloud {
                 self.schedule_cloud_event(due, CloudEvent::SubscriptionDue { id });
             }
         }
+        // Seed the outage model's transitions due inside this run. The
+        // model keeps its own RNG, so priming it never perturbs the
+        // cloud's stream; chained follow-ups are scheduled as each
+        // transition fires (see `apply_outage`), horizon-gated the same
+        // way subscription firings are.
+        if self.outages.is_some() {
+            let server_ids: Vec<ServerId> = self.servers.keys().copied().collect();
+            let now = self.wall_clock_us;
+            let batch = match self.outages.as_mut() {
+                Some(model) => {
+                    model.prime(server_ids, now);
+                    model.drain_due(end)
+                }
+                None => Vec::new(),
+            };
+            for t in batch {
+                self.schedule_cloud_event(
+                    t.at_us.max(now),
+                    CloudEvent::Outage {
+                        node: t.node,
+                        down: t.down,
+                        chain: t.stochastic,
+                    },
+                );
+            }
+        }
         while let Some((due, event)) = self.engine.pop() {
             self.advance_to(due);
             self.dispatch_event(event);
@@ -274,18 +300,25 @@ impl Cloud {
                 }
                 self.schedule_subscription_due(id, next_due);
             }
-            Err(_) => {
+            Err(e) => {
+                // An admission-shed sample is the attestation server's
+                // own load decision, not evidence the monitored node is
+                // failing: it counts as missed but does not feed the
+                // unreachable-escalation streak.
+                let shed = matches!(e, CloudError::Overloaded { .. });
                 let interval = frequency.next_interval(&mut self.rng);
                 let next_due = self.wall_clock_us + interval;
                 let mut escalated_misses = None;
                 if let Some(s) = self.subscriptions.get_mut(&id) {
                     s.next_due_us = next_due;
                     s.missed += 1;
-                    s.consecutive_failures += 1;
-                    if s.consecutive_failures >= threshold {
-                        s.escalations += 1;
-                        escalated_misses = Some(s.consecutive_failures);
-                        s.consecutive_failures = 0;
+                    if !shed {
+                        s.consecutive_failures += 1;
+                        if s.consecutive_failures >= threshold {
+                            s.escalations += 1;
+                            escalated_misses = Some(s.consecutive_failures);
+                            s.consecutive_failures = 0;
+                        }
                     }
                 }
                 if let Some(missed) = escalated_misses {

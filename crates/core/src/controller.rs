@@ -143,9 +143,26 @@ impl CloudController {
         properties: &[SecurityProperty],
         exclude: Option<ServerId>,
     ) -> Result<ServerId, CloudError> {
+        let excluded: std::collections::BTreeSet<ServerId> = exclude.into_iter().collect();
+        self.select_server_excluding(flavor, properties, &excluded)
+    }
+
+    /// [`Self::select_server`] with an arbitrary exclusion set — used
+    /// when several servers are unavailable at once (crashed nodes plus
+    /// the server being migrated away from).
+    ///
+    /// # Errors
+    ///
+    /// [`CloudError::NoQualifiedServer`] when no server qualifies.
+    pub fn select_server_excluding(
+        &self,
+        flavor: Flavor,
+        properties: &[SecurityProperty],
+        excluded: &std::collections::BTreeSet<ServerId>,
+    ) -> Result<ServerId, CloudError> {
         self.servers
             .values()
-            .filter(|s| Some(s.id) != exclude)
+            .filter(|s| !excluded.contains(&s.id))
             .filter(|s| s.free_vcpus >= flavor.vcpus())
             .filter(|s| properties.iter().all(|p| s.supports(*p)))
             .max_by_key(|s| s.free_vcpus)

@@ -2,118 +2,37 @@
 //!
 //! Everything time-driven in the cloud — message deliveries,
 //! retransmission timeouts, measurement-window closings, periodic
-//! subscription firings — is an entry in one [`EventQueue`], keyed on
-//! `(due_us, seq)`. The sequence number is assigned at insertion, so two
-//! events scheduled for the same instant pop in the order they were
-//! scheduled: the queue is a total order and replaying the same seeded
-//! scenario dequeues the same events in the same order every time. That
-//! tie-break rule is what makes N interleaved attestation sessions
-//! deterministic without any per-session clock.
+//! subscription firings, node crashes and recoveries — is an entry in
+//! one [`EventQueue`], keyed on `(due_us, seq)`. The sequence number is
+//! assigned at insertion, so two events scheduled for the same instant
+//! pop in the order they were scheduled: the queue is a total order and
+//! replaying the same seeded scenario dequeues the same events in the
+//! same order every time. That tie-break rule is what makes N
+//! interleaved attestation sessions deterministic without any
+//! per-session clock.
+//!
+//! The heap itself is [`monatt_hypervisor::queue::EventQueue`], the
+//! substrate shared with the per-server hypervisor simulator. The two
+//! engines use it with intentionally different past-scheduling
+//! policies: scheduling in the past is **allowed here** (the event
+//! fires "now", after anything already due) because the caller's clock
+//! only moves when events are popped, and a remediation response can
+//! push the wall clock past instants that were scheduled before it ran.
+//! The hypervisor's `run_until` instead asserts monotonicity — see the
+//! divergence note in `monatt_hypervisor::queue`.
 //!
 //! The queue knows nothing about the cloud; payloads are opaque. The
-//! high-water depth is tracked here and surfaced through
+//! high-water depth is tracked in the shared queue and surfaced through
 //! `ProtocolStats::max_queue_depth`.
 
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
-
-/// One scheduled event.
-#[derive(Debug)]
-struct Entry<T> {
-    due_us: u64,
-    seq: u64,
-    payload: T,
-}
-
-impl<T> PartialEq for Entry<T> {
-    fn eq(&self, other: &Self) -> bool {
-        self.due_us == other.due_us && self.seq == other.seq
-    }
-}
-
-impl<T> Eq for Entry<T> {}
-
-impl<T> PartialOrd for Entry<T> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl<T> Ord for Entry<T> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // `BinaryHeap` is a max-heap; invert so the earliest (due, seq)
-        // pair pops first. `seq` is unique, so the order is total.
-        (other.due_us, other.seq).cmp(&(self.due_us, self.seq))
-    }
-}
-
-/// A virtual-time event queue with deterministic FIFO tie-breaking.
-#[derive(Debug)]
-pub(crate) struct EventQueue<T> {
-    heap: BinaryHeap<Entry<T>>,
-    next_seq: u64,
-    max_depth: usize,
-}
-
-impl<T> Default for EventQueue<T> {
-    fn default() -> Self {
-        EventQueue {
-            heap: BinaryHeap::new(),
-            next_seq: 0,
-            max_depth: 0,
-        }
-    }
-}
-
-impl<T> EventQueue<T> {
-    /// Schedules `payload` at absolute virtual time `due_us`.
-    ///
-    /// Scheduling in the past is allowed (the event fires "now", after
-    /// anything already due): the caller's clock only moves when events
-    /// are popped, and a remediation response can push the wall clock
-    /// past instants that were scheduled before it ran.
-    pub(crate) fn schedule(&mut self, due_us: u64, payload: T) {
-        let seq = self.next_seq;
-        self.next_seq = self.next_seq.wrapping_add(1);
-        self.heap.push(Entry {
-            due_us,
-            seq,
-            payload,
-        });
-        self.max_depth = self.max_depth.max(self.heap.len());
-    }
-
-    /// The due time and payload of the earliest event, if any.
-    #[cfg(test)]
-    pub(crate) fn peek(&self) -> Option<(u64, &T)> {
-        self.heap.peek().map(|e| (e.due_us, &e.payload))
-    }
-
-    /// Removes and returns the earliest event.
-    pub(crate) fn pop(&mut self) -> Option<(u64, T)> {
-        self.heap.pop().map(|e| (e.due_us, e.payload))
-    }
-
-    /// Number of pending events.
-    pub(crate) fn len(&self) -> usize {
-        self.heap.len()
-    }
-
-    /// True when no events are pending.
-    pub(crate) fn is_empty(&self) -> bool {
-        self.heap.is_empty()
-    }
-
-    /// High-water mark of pending events since construction.
-    #[cfg(test)]
-    pub(crate) fn max_depth(&self) -> usize {
-        self.max_depth
-    }
-}
+/// A virtual-time event queue with deterministic FIFO tie-breaking,
+/// keyed by the cloud's microsecond wall clock.
+pub(crate) type EventQueue<T> = monatt_hypervisor::queue::EventQueue<u64, T>;
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     #[test]
     fn pops_in_due_order() {
@@ -176,5 +95,61 @@ mod tests {
         q.schedule(4, ());
         assert_eq!(q.max_depth(), 3);
         assert_eq!(q.len(), 2);
+    }
+
+    proptest! {
+        /// Under any interleaving of pushes and pops — with due times
+        /// drawn from a tiny range so bursts of equal timestamps are
+        /// the norm, not the exception — every pop is ordered by
+        /// `(due_us, seq)`: due times never decrease between
+        /// consecutive pops with no intervening push, and two events
+        /// popped at the same due time come out in insertion order.
+        #[test]
+        fn pops_follow_due_then_insertion_order(
+            ops in proptest::collection::vec((0u64..4, 0u8..4), 1..200),
+        ) {
+            let mut q = EventQueue::default();
+            let mut next_id = 0u64; // insertion stamp, mirrors seq
+            // Events popped since the most recent push. Within such a
+            // run the (due, id) pairs must be strictly increasing.
+            let mut run: Vec<(u64, u64)> = Vec::new();
+            let mut pending = 0usize;
+            for (due, action) in ops {
+                if action == 0 && pending > 0 {
+                    let Some((popped_due, id)) = q.pop() else {
+                        prop_assert!(false, "pop returned None with {pending} pending");
+                        continue;
+                    };
+                    pending -= 1;
+                    if let Some(&(prev_due, prev_id)) = run.last() {
+                        prop_assert!(
+                            (prev_due, prev_id) < (popped_due, id),
+                            "popped ({popped_due},{id}) after ({prev_due},{prev_id})"
+                        );
+                        if popped_due == prev_due {
+                            // Equal timestamps break ties by insertion.
+                            prop_assert!(id > prev_id);
+                        }
+                    }
+                    run.push((popped_due, id));
+                } else {
+                    q.schedule(due, next_id);
+                    next_id += 1;
+                    pending += 1;
+                    // A push may be earlier than past pops; restart the
+                    // monotonicity window.
+                    run.clear();
+                }
+            }
+            // Drain: the tail must come out fully sorted by (due, id).
+            let mut last: Option<(u64, u64)> = run.last().copied();
+            while let Some((due, id)) = q.pop() {
+                if let Some(prev) = last {
+                    prop_assert!(prev < (due, id));
+                }
+                last = Some((due, id));
+            }
+            prop_assert!(q.is_empty());
+        }
     }
 }

@@ -1,6 +1,6 @@
 //! Error types for the CloudMonatt core.
 
-use crate::types::{SecurityProperty, ServerId, Vid};
+use crate::types::{NodeId, SecurityProperty, ServerId, Vid};
 use monatt_net::channel::ChannelError;
 use std::error::Error;
 use std::fmt;
@@ -52,6 +52,30 @@ pub enum CloudError {
         /// The VM that could not be migrated.
         vid: Vid,
     },
+    /// A protocol entity the session depends on — a cloud server, the
+    /// Attestation Server or the Cloud Controller — is crashed. Sessions
+    /// touching a down node fail fast with this error instead of
+    /// burning the retransmission ladder against a black hole.
+    NodeDown {
+        /// The crashed entity.
+        node: NodeId,
+    },
+    /// The session's end-to-end deadline budget expired (or the
+    /// remaining budget could not cover another retransmission
+    /// timeout) before a verdict was reached.
+    DeadlineExceeded {
+        /// The deadline budget the session was given.
+        budget_us: u64,
+        /// Latency charged to the session before it was abandoned.
+        elapsed_us: u64,
+    },
+    /// The Attestation Server's admission gate is shedding load: the
+    /// sessions-in-flight high-water mark was reached and this session
+    /// was rejected at admission rather than queued unboundedly.
+    Overloaded {
+        /// Sessions in flight when admission was refused.
+        in_flight: usize,
+    },
     /// Establishing a secure channel between two protocol endpoints
     /// failed while assembling the cloud.
     ChannelEstablishment {
@@ -91,6 +115,22 @@ impl fmt::Display for CloudError {
                 write!(f, "no periodic attestation with id {id}")
             }
             CloudError::MigrationFailed { vid } => write!(f, "migration failed for {vid}"),
+            CloudError::NodeDown { node } => write!(f, "{node} is down"),
+            CloudError::DeadlineExceeded {
+                budget_us,
+                elapsed_us,
+            } => {
+                write!(
+                    f,
+                    "session deadline exceeded: {elapsed_us}us spent of a {budget_us}us budget"
+                )
+            }
+            CloudError::Overloaded { in_flight } => {
+                write!(
+                    f,
+                    "attestation server overloaded: admission refused at {in_flight} sessions in flight"
+                )
+            }
             CloudError::ChannelEstablishment {
                 initiator,
                 responder,
@@ -118,6 +158,29 @@ mod tests {
         };
         assert!(e.to_string().contains("startup-integrity"));
         assert!(CloudError::UnknownVm(Vid(9)).to_string().contains("vid-9"));
+        assert_eq!(
+            CloudError::NodeDown {
+                node: NodeId::Server(ServerId(2)),
+            }
+            .to_string(),
+            "server-2 is down"
+        );
+        assert_eq!(
+            CloudError::NodeDown {
+                node: NodeId::AttestationServer,
+            }
+            .to_string(),
+            "attserver is down"
+        );
+        let e = CloudError::DeadlineExceeded {
+            budget_us: 1_000,
+            elapsed_us: 1_500,
+        };
+        assert!(e.to_string().contains("1500us"));
+        assert!(e.to_string().contains("1000us budget"));
+        assert!(CloudError::Overloaded { in_flight: 64 }
+            .to_string()
+            .contains("64 sessions"));
     }
 
     #[test]

@@ -52,6 +52,7 @@ pub mod interpret;
 pub mod latency;
 pub mod measurements;
 pub mod messages;
+pub mod outage;
 pub mod pca;
 pub mod server;
 pub(crate) mod session;
@@ -67,8 +68,9 @@ pub use error::CloudError;
 pub use interpret::{analyze_intervals, IntervalAnalysis, ReferenceDb, DEFAULT_WINDOW_US};
 pub use latency::{LatencyParams, RetryPolicy};
 pub use measurements::{Measurement, MeasurementSpec, TaskInfo};
+pub use outage::{AdmissionControl, OutageModel, OutageStats};
 pub use pca::{AvkCertificate, PrivacyCa};
 pub use server::{AttestationResponse, CloudServerNode};
 pub use types::{
-    Flavor, HealthStatus, Image, Nonce, ProtocolStats, SecurityProperty, ServerId, Vid,
+    Flavor, HealthStatus, Image, NodeId, Nonce, ProtocolStats, SecurityProperty, ServerId, Vid,
 };

@@ -51,10 +51,10 @@ use crate::messages::{
     AttestationReportMsg, ControllerForward, CustomerReportMsg, CustomerRequest, MeasureRequest,
     MeasureResponse,
 };
-use crate::types::{HealthStatus, Image, SecurityProperty, ServerId, Vid};
+use crate::types::{HealthStatus, Image, NodeId, SecurityProperty, ServerId, Vid};
 use monatt_net::channel::{ChannelError, SecureChannel};
 use monatt_net::wire::Wire;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Identifier of an in-flight attestation session.
 pub(crate) type SessionId = u64;
@@ -82,7 +82,21 @@ pub(crate) enum SessionEvent {
     /// The current hop's record reaches its receiver.
     Arrival,
     /// The sender's loss-detection timeout fired: retransmit or fail.
-    Retry,
+    /// Tagged with the hop generation it was scheduled in, so a timer
+    /// outlived by its hop (the hop completed via a late arrival) is
+    /// discarded instead of retransmitting into a finished exchange.
+    Retry {
+        /// Hop generation at schedule time.
+        generation: u32,
+    },
+    /// A record delayed past the sender's loss-detection timeout
+    /// finally reaches the receiver — after the sender already
+    /// retransmitted. Normally it bounces off the receive window as a
+    /// duplicate; if every retransmit was lost too, it saves the hop.
+    LateArrival {
+        /// Hop generation at schedule time.
+        generation: u32,
+    },
     /// The measurement window may open on the server.
     WindowOpen,
     /// The measurement window elapsed: measure, quote, respond.
@@ -105,6 +119,16 @@ pub(crate) enum CloudEvent {
     SubscriptionDue {
         /// The subscription id.
         id: u64,
+    },
+    /// A node state transition from the outage schedule.
+    Outage {
+        /// The node changing state.
+        node: NodeId,
+        /// `true` = crash, `false` = recovery.
+        down: bool,
+        /// Whether the renewal process should chain the opposite
+        /// transition when this one fires (stochastic transitions only).
+        chain: bool,
     },
 }
 
@@ -157,6 +181,26 @@ pub(crate) struct AttestSession {
     elapsed_us: u64,
     /// The plaintext being (re)transmitted on the current hop.
     wire: Vec<u8>,
+    /// The sealed record of the current hop, cached on the first
+    /// attempt so retransmits put the byte-identical record (same
+    /// channel sequence number) back on the wire. A late or duplicated
+    /// copy of an already-delivered record then bounces off the
+    /// receiver's anti-replay window — the hop can never be processed
+    /// twice.
+    sealed: Option<Vec<u8>>,
+    /// Current hop generation; bumped when a hop completes so stale
+    /// `Retry`/`LateArrival` timers from earlier in the hop die.
+    generation: u32,
+    /// Records delayed past the loss-detection timeout, parked until
+    /// their `LateArrival` event fires: `(stage, generation, record)`.
+    late: Vec<(Stage, u32, Vec<u8>)>,
+    /// The retry budget ran out while parked late copies were still in
+    /// flight: the verdict is deferred to the last `LateArrival`.
+    retry_deferred: bool,
+    /// End-to-end deadline: `(budget_us, expires_at_us)`. `None` (the
+    /// default) leaves the session unbounded — the clean path never
+    /// checks it.
+    deadline: Option<(u64, u64)>,
     /// Opened plaintext parked between transmit resolution and the
     /// arrival event.
     inbox: Option<Vec<u8>>,
@@ -202,6 +246,11 @@ impl AttestSession {
             attempt: 0,
             elapsed_us: 0,
             wire,
+            sealed: None,
+            generation: 0,
+            late: Vec::new(),
+            retry_deferred: false,
+            deadline: None,
             inbox: None,
             last_auth_failure: None,
             nonce2: [0; 32],
@@ -211,6 +260,21 @@ impl AttestSession {
             verdict: None,
             pending: None,
         }
+    }
+}
+
+impl AttestSession {
+    /// Whether the session already holds its terminal outcome (parked
+    /// for an API pump, or the verdict is decoded and the `Complete`
+    /// tick is pending). Such sessions survive a node crash: their
+    /// network work is done.
+    pub(crate) fn is_terminal(&self) -> bool {
+        self.pending.is_some() || self.verdict.is_some()
+    }
+
+    /// Whether the session's current protocol stage depends on `node`.
+    pub(crate) fn touches(&self, node: NodeId) -> bool {
+        stage_nodes(self.stage, self.server).contains(&node)
     }
 }
 
@@ -253,6 +317,25 @@ fn stage_channels<'a>(
     }
 }
 
+/// The cloud-side nodes a protocol stage depends on (the customer
+/// endpoint is assumed reliable). If any of them is crashed, the hop
+/// cannot make progress and the session fails fast.
+pub(crate) fn stage_nodes(stage: Stage, server: ServerId) -> [NodeId; 2] {
+    match stage {
+        // The controller terminates both customer-facing hops.
+        Stage::Msg1 | Stage::Msg6 => [NodeId::Controller, NodeId::Controller],
+        Stage::Msg2 | Stage::Msg5 => [NodeId::Controller, NodeId::AttestationServer],
+        Stage::Msg3 | Stage::Msg4 => [NodeId::AttestationServer, NodeId::Server(server)],
+    }
+}
+
+/// The first crashed node (if any) the stage depends on.
+fn down_node_for(down: &BTreeSet<NodeId>, stage: Stage, server: ServerId) -> Option<NodeId> {
+    stage_nodes(stage, server)
+        .into_iter()
+        .find(|n| down.contains(n))
+}
+
 impl Cloud {
     /// Starts a full customer session (messages 1–6). Draws nonce N1 and
     /// puts message 1 on the wire; the rest happens in event handlers.
@@ -262,6 +345,7 @@ impl Cloud {
         property: SecurityProperty,
         origin: SessionOrigin,
     ) -> Result<SessionId, CloudError> {
+        self.admit_session()?;
         let record = self
             .controller
             .vm(vid)
@@ -296,6 +380,7 @@ impl Cloud {
         property: SecurityProperty,
         expected_image: Image,
     ) -> Result<SessionId, CloudError> {
+        self.admit_session()?;
         let nonce2 = self.fresh_nonce();
         let fwd = ControllerForward {
             vid,
@@ -316,7 +401,10 @@ impl Cloud {
         self.spawn_session(session)
     }
 
-    fn spawn_session(&mut self, session: AttestSession) -> Result<SessionId, CloudError> {
+    fn spawn_session(&mut self, mut session: AttestSession) -> Result<SessionId, CloudError> {
+        session.deadline = self
+            .session_deadline_us
+            .map(|budget| (budget, self.wall_clock_us.saturating_add(budget)));
         let sid = self.next_session;
         self.next_session += 1;
         self.sessions.insert(sid, session);
@@ -325,9 +413,21 @@ impl Cloud {
         if let Err(e) = self.transmit_attempt(sid, 0) {
             self.sessions.remove(&sid);
             self.stats.sessions_failed += 1;
+            self.classify_failure(&e);
             return Err(e);
         }
         Ok(sid)
+    }
+
+    /// Attributes a session failure to its failure-class counter
+    /// (outage fail-fast, deadline expiry); other classes are already
+    /// covered by the per-hop counters.
+    fn classify_failure(&mut self, e: &CloudError) {
+        match e {
+            CloudError::NodeDown { .. } => self.outage_stats.node_down_failures += 1,
+            CloudError::DeadlineExceeded { .. } => self.stats.deadlines_exceeded += 1,
+            _ => {}
+        }
     }
 
     /// Drives the event loop until `sid` reaches a terminal state — the
@@ -380,10 +480,17 @@ impl Cloud {
             as_server,
             engine,
             wall_clock_us,
+            down,
             ..
         } = self;
         let now = *wall_clock_us;
         let session = sessions.get_mut(&sid).ok_or_else(lost_session)?;
+        // Fail fast when a node this hop depends on is crashed —
+        // checked before any RNG draw or transmission, so the session
+        // does not burn the retransmission ladder against a black hole.
+        if let Some(node) = down_node_for(down, session.stage, session.server) {
+            return Err(CloudError::NodeDown { node });
+        }
         let mut offset = pre_delay_us;
         session.attempt += 1;
         if session.attempt > 1 {
@@ -391,9 +498,20 @@ impl Cloud {
             offset += retry.backoff_us(session.attempt - 1, rng);
         }
         session.elapsed_us += offset;
+        let generation = session.generation;
         let (send, recv) =
             stage_channels(session.stage, cust_ctrl, ctrl_as, as_server, session.server)?;
-        let record = send.seal(b"", &session.wire);
+        // Seal once per hop: retransmits resend the byte-identical
+        // record, so the receiver's anti-replay window deduplicates a
+        // late first copy arriving after a retransmit was processed.
+        let record = match (&session.sealed, session.attempt) {
+            (Some(cached), attempt) if attempt > 1 => cached.clone(),
+            _ => {
+                let fresh = send.seal(b"", &session.wire);
+                session.sealed = Some(fresh.clone());
+                fresh
+            }
+        };
         stats.messages_sent += 1;
         let delivery = network.send_at(recv.peer(), send.peer(), &record, now + offset);
         match delivery.payload {
@@ -407,7 +525,37 @@ impl Cloud {
                     now + offset + retry.timeout_us,
                     CloudEvent::Session {
                         sid,
-                        event: SessionEvent::Retry,
+                        event: SessionEvent::Retry { generation },
+                    },
+                );
+            }
+            Some(delivered) if delivery.latency_us > retry.timeout_us && retry.max_attempts > 1 => {
+                // Delivered, but past the sender's loss-detection
+                // timeout: the sender retransmits first. Park the late
+                // record unopened until its arrival instant — by then a
+                // retransmit has usually advanced the receive window and
+                // it bounces as a duplicate; only if every retransmit
+                // was lost too does it save the hop.
+                stats.timeouts += 1;
+                session.elapsed_us += retry.timeout_us;
+                let copies = if delivery.duplicated { 2 } else { 1 };
+                for _ in 0..copies {
+                    session
+                        .late
+                        .push((session.stage, generation, delivered.clone()));
+                    engine.schedule(
+                        delivery.deliver_at_us,
+                        CloudEvent::Session {
+                            sid,
+                            event: SessionEvent::LateArrival { generation },
+                        },
+                    );
+                }
+                engine.schedule(
+                    now + offset + retry.timeout_us,
+                    CloudEvent::Session {
+                        sid,
+                        event: SessionEvent::Retry { generation },
                     },
                 );
             }
@@ -453,7 +601,7 @@ impl Cloud {
                         now + offset + delivery.latency_us + retry.timeout_us,
                         CloudEvent::Session {
                             sid,
-                            event: SessionEvent::Retry,
+                            event: SessionEvent::Retry { generation },
                         },
                     );
                 }
@@ -466,9 +614,20 @@ impl Cloud {
     /// Steps `sid` for `event`; any error terminates the session with
     /// the same classification the blocking implementation returned.
     pub(crate) fn step_session(&mut self, sid: SessionId, event: SessionEvent) {
+        // Stale events — timers or late arrivals outliving a session
+        // that already terminated (failed fast on a node crash, or its
+        // outcome is parked for an API pump) — are discarded here, so a
+        // terminal outcome is recorded exactly once.
+        let Some(session) = self.sessions.get(&sid) else {
+            return;
+        };
+        if session.pending.is_some() {
+            return;
+        }
         let result = match event {
             SessionEvent::Arrival => self.step_arrival(sid),
-            SessionEvent::Retry => self.step_retry(sid),
+            SessionEvent::Retry { generation } => self.step_retry(sid, generation),
+            SessionEvent::LateArrival { generation } => self.step_late_arrival(sid, generation),
             SessionEvent::WindowOpen => self.step_window_open(sid),
             SessionEvent::WindowClose => self.step_window_close(sid),
             SessionEvent::Complete => self.step_complete(sid),
@@ -478,7 +637,24 @@ impl Cloud {
         }
     }
 
+    /// Terminates the session if its end-to-end deadline has passed.
+    /// Sessions without a deadline (the default) never check.
+    fn check_deadline(&mut self, sid: SessionId) -> Result<(), CloudError> {
+        let now = self.wall_clock_us;
+        let session = self.sessions.get(&sid).ok_or_else(lost_session)?;
+        if let Some((budget_us, expires_at)) = session.deadline {
+            if now > expires_at {
+                return Err(CloudError::DeadlineExceeded {
+                    budget_us,
+                    elapsed_us: session.elapsed_us,
+                });
+            }
+        }
+        Ok(())
+    }
+
     fn step_arrival(&mut self, sid: SessionId) -> Result<(), CloudError> {
+        self.check_deadline(sid)?;
         let (stage, bytes) = {
             let session = self.sessions.get_mut(&sid).ok_or_else(lost_session)?;
             let bytes = session
@@ -488,9 +664,13 @@ impl Cloud {
                     reason: "arrival event without a delivered record".into(),
                 })?;
             // The hop completed; the next one starts a fresh attempt
-            // budget.
+            // budget, a fresh sealed record, and a new generation (any
+            // still-pending Retry timer of this hop is now stale).
             session.attempt = 0;
             session.last_auth_failure = None;
+            session.sealed = None;
+            session.retry_deferred = false;
+            session.generation = session.generation.wrapping_add(1);
             (session.stage, bytes)
         };
         match stage {
@@ -556,6 +736,7 @@ impl Cloud {
     /// server-global state, so windowed sessions serialize per server;
     /// the wait is charged as queueing latency).
     fn step_window_open(&mut self, sid: SessionId) -> Result<(), CloudError> {
+        self.check_deadline(sid)?;
         let now = self.wall_clock_us;
         let (server, req_vid, spec) = {
             let session = self.sessions.get(&sid).ok_or_else(lost_session)?;
@@ -591,6 +772,7 @@ impl Cloud {
     /// put the measurement response on the wire. Hashing/quoting cost is
     /// a pre-delay on the response transmission.
     fn step_window_close(&mut self, sid: SessionId) -> Result<(), CloudError> {
+        self.check_deadline(sid)?;
         let (server, vid, expected_image, req) = {
             let session = self.sessions.get(&sid).ok_or_else(lost_session)?;
             let req = session.measure.clone().ok_or_else(lost_session)?;
@@ -738,18 +920,48 @@ impl Cloud {
 
     /// A loss-detection timeout fired: retry within budget, otherwise
     /// fail with the blocking implementation's exact classification.
-    fn step_retry(&mut self, sid: SessionId) -> Result<(), CloudError> {
+    fn step_retry(&mut self, sid: SessionId, generation: u32) -> Result<(), CloudError> {
         let max_attempts = self.retry.max_attempts.max(1);
         let exhausted = {
             let session = self.sessions.get(&sid).ok_or_else(lost_session)?;
+            if session.generation != generation {
+                // The hop this timer belonged to already completed (a
+                // late arrival saved it): nothing to retransmit.
+                return Ok(());
+            }
+            // Deadline lookahead: when the remaining budget cannot
+            // cover even the next loss-detection timeout, abort now
+            // instead of burning the rest of the retry ladder.
+            if let Some((budget_us, expires_at)) = session.deadline {
+                if self.wall_clock_us.saturating_add(self.retry.timeout_us) > expires_at {
+                    return Err(CloudError::DeadlineExceeded {
+                        budget_us,
+                        elapsed_us: session.elapsed_us,
+                    });
+                }
+            }
             session.attempt >= max_attempts
         };
         if !exhausted {
             return self.transmit_attempt(sid, 0);
         }
-        // Retry budget exhausted. Distinguish "every delivery failed
-        // authentication" (evidence of tampering — a protocol failure)
-        // from "nothing ever arrived" (the peer is unreachable).
+        // Budget exhausted — but copies delayed past the timeout may
+        // still be in flight for this hop, and one of them opening
+        // cleanly saves it. Defer the verdict to the last of them.
+        if let Some(session) = self.sessions.get_mut(&sid) {
+            if session.late.iter().any(|(_, g, _)| *g == generation) {
+                session.retry_deferred = true;
+                return Ok(());
+            }
+        }
+        self.exhaustion_error(sid, max_attempts)
+    }
+
+    /// The classification an out-of-budget hop fails with: "every
+    /// delivery failed authentication" (evidence of tampering — a
+    /// protocol failure) is distinguished from "nothing ever arrived"
+    /// (the peer is unreachable).
+    fn exhaustion_error(&mut self, sid: SessionId, max_attempts: u32) -> Result<(), CloudError> {
         let Cloud {
             sessions,
             cust_ctrl,
@@ -775,12 +987,102 @@ impl Cloud {
         })
     }
 
+    /// A record delayed past the loss-detection timeout reaches its
+    /// receiver. By now the sender has retransmitted the byte-identical
+    /// record, so the usual outcome is a bounce off the receive window
+    /// ([`ChannelError::DuplicateRecord`]) — counted, never processed.
+    /// Only when every retransmit was lost too does the late copy open
+    /// cleanly and save the hop.
+    fn step_late_arrival(&mut self, sid: SessionId, generation: u32) -> Result<(), CloudError> {
+        let advanced = {
+            let Cloud {
+                sessions,
+                stats,
+                cust_ctrl,
+                ctrl_as,
+                as_server,
+                ..
+            } = self;
+            let session = sessions.get_mut(&sid).ok_or_else(lost_session)?;
+            let Some(pos) = session.late.iter().position(|(_, g, _)| *g == generation) else {
+                // Already consumed (defensive; one event is scheduled
+                // per parked copy).
+                return Ok(());
+            };
+            let (stage, _, record) = session.late.remove(pos);
+            let (_, recv) = stage_channels(stage, cust_ctrl, ctrl_as, as_server, session.server)?;
+            match recv.open(b"", &record) {
+                Err(ChannelError::DuplicateRecord) => {
+                    // A retransmit already carried this sequence number
+                    // through: the late copy is structurally a
+                    // duplicate.
+                    stats.duplicates_rejected += 1;
+                    false
+                }
+                Err(_) => {
+                    // Keys rotated underneath it (crash/recovery) or
+                    // the record is otherwise unverifiable: the
+                    // receiver drops it silently, exactly like any
+                    // unauthenticated junk.
+                    false
+                }
+                Ok(plaintext) => {
+                    if session.generation == generation && session.stage == stage {
+                        // Every retransmit was lost: the late copy is
+                        // the first authenticated delivery of this hop.
+                        // Its waiting time was already charged as
+                        // timeouts.
+                        session.inbox = Some(plaintext);
+                        true
+                    } else {
+                        // The hop moved on without this sequence number
+                        // ever opening (possible only across a
+                        // re-handshake); stray plaintext for a finished
+                        // hop is discarded.
+                        false
+                    }
+                }
+            }
+        };
+        if advanced {
+            return self.step_arrival(sid);
+        }
+        // The copy did not advance the hop. When the retry ladder
+        // already gave up waiting for the stragglers (`retry_deferred`)
+        // and this was the last one in flight, the hop is out of
+        // chances.
+        let out_of_chances = {
+            let session = self.sessions.get(&sid).ok_or_else(lost_session)?;
+            session.retry_deferred
+                && session.generation == generation
+                && !session.late.iter().any(|(_, g, _)| *g == generation)
+        };
+        if out_of_chances {
+            return self.exhaustion_error(sid, self.retry.max_attempts.max(1));
+        }
+        Ok(())
+    }
+
+    /// Fails an in-flight session fast because a node its current hop
+    /// depends on crashed (called from the crash handler).
+    pub(crate) fn finish_session_node_down(&mut self, sid: SessionId, node: NodeId) {
+        self.finish_session(sid, Err(CloudError::NodeDown { node }));
+    }
+
     /// Terminates `sid` and routes the outcome to its consumer: parked
     /// for an API pump, or recorded on the owning subscription.
     fn finish_session(&mut self, sid: SessionId, outcome: SessionOutcome) {
+        // Guard first: a session that already terminated must not be
+        // double-counted by a straggler event.
+        if !self.sessions.contains_key(&sid) {
+            return;
+        }
         match &outcome {
             Ok(_) => self.stats.sessions_completed += 1,
-            Err(_) => self.stats.sessions_failed += 1,
+            Err(e) => {
+                self.stats.sessions_failed += 1;
+                self.classify_failure(e);
+            }
         }
         let Some(session) = self.sessions.get_mut(&sid) else {
             return;

@@ -23,6 +23,42 @@ impl fmt::Display for ServerId {
     }
 }
 
+/// A protocol entity that can crash and recover as a whole — the unit
+/// of the node-level fault model (as opposed to the per-message
+/// [`monatt_net::sim::FaultModel`]). The customer endpoint is assumed
+/// reliable; everything inside the cloud provider can go down.
+///
+/// The `Display` form matches the secure-channel peer names used on the
+/// simulated network ("controller", "attserver", "server-N"), so a
+/// crashed node and its black-holed network endpoint share one name.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum NodeId {
+    /// The Cloud Controller (equivalently, the link to it).
+    Controller,
+    /// The Attestation Server.
+    AttestationServer,
+    /// One cloud server.
+    Server(ServerId),
+}
+
+impl NodeId {
+    /// The network endpoint name this node terminates (its
+    /// secure-channel peer name).
+    pub fn endpoint(&self) -> String {
+        self.to_string()
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeId::Controller => f.write_str("controller"),
+            NodeId::AttestationServer => f.write_str("attserver"),
+            NodeId::Server(id) => write!(f, "{id}"),
+        }
+    }
+}
+
 /// A 32-byte freshness nonce.
 #[derive(Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Nonce(pub [u8; 32]);
@@ -151,9 +187,16 @@ pub struct ProtocolStats {
     pub sessions_started: u64,
     /// Sessions that delivered a verdict.
     pub sessions_completed: u64,
-    /// Sessions that failed (retry budget exhausted, tampering, or a
-    /// protocol error).
+    /// Sessions that failed (retry budget exhausted, tampering, a node
+    /// outage, an expired deadline, or a protocol error).
     pub sessions_failed: u64,
+    /// Sessions refused at admission by the Attestation Server's
+    /// overload gate (never started; disjoint from
+    /// `sessions_started`/`sessions_failed`).
+    pub sessions_shed: u64,
+    /// Sessions aborted because their end-to-end deadline budget
+    /// expired (a subset of `sessions_failed`).
+    pub deadlines_exceeded: u64,
     /// High-water mark of concurrently in-flight sessions.
     pub max_in_flight: u64,
     /// High-water mark of pending events in the discrete-event queue.
@@ -289,6 +332,11 @@ mod tests {
     fn display_formats() {
         assert_eq!(Vid(3).to_string(), "vid-3");
         assert_eq!(ServerId(1).to_string(), "server-1");
+        assert_eq!(NodeId::Controller.to_string(), "controller");
+        assert_eq!(NodeId::AttestationServer.to_string(), "attserver");
+        // A server node's endpoint name matches the channel peer name
+        // the builder assigns (`ServerId`'s Display).
+        assert_eq!(NodeId::Server(ServerId(2)).endpoint(), "server-2");
         assert_eq!(Flavor::Large.to_string(), "large");
         assert_eq!(Image::Ubuntu.to_string(), "ubuntu");
         assert_eq!(

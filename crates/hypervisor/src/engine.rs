@@ -10,11 +10,11 @@ use crate::driver::{VcpuAction, VcpuView, WakeReason, WorkloadDriver};
 use crate::ids::{PcpuId, VcpuId, VmId};
 use crate::pmu::Pmu;
 use crate::profile::{DescheduleReason, ProfileTool, RunSegment};
+use crate::queue::EventQueue;
 use crate::scheduler::{RunState, SchedParams, SchedVcpu};
 use crate::time::SimTime;
 use crate::vm::{Vm, VmConfig, VmState};
-use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 /// Maximum zero-time driver actions (IPIs, zero computes) per interaction
 /// before the engine declares a livelock.
@@ -27,25 +27,6 @@ enum EventKind {
     ComputeDone { vcpu: VcpuId, generation: u64 },
     SliceExpired { vcpu: VcpuId, generation: u64 },
     Wake { vcpu: VcpuId, generation: u64 },
-}
-
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-struct Event {
-    time: SimTime,
-    seq: u64,
-    kind: EventKind,
-}
-
-impl Ord for Event {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.time, self.seq).cmp(&(other.time, other.seq))
-    }
-}
-
-impl PartialOrd for Event {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
 }
 
 #[derive(Debug, Default)]
@@ -74,8 +55,10 @@ struct Pcpu {
 pub struct ServerSim {
     params: SchedParams,
     now: SimTime,
-    events: BinaryHeap<Reverse<Event>>,
-    seq: u64,
+    // Shared substrate with monatt-core's cloud engine; this simulator
+    // only schedules into the future (see `crate::queue` on the two
+    // engines' intentionally different past-scheduling policies).
+    events: EventQueue<SimTime, EventKind>,
     pcpus: Vec<Pcpu>,
     vms: BTreeMap<VmId, Vm>,
     vcpus: BTreeMap<VcpuId, SchedVcpu>,
@@ -107,8 +90,7 @@ impl ServerSim {
         let mut sim = ServerSim {
             params,
             now: SimTime::ZERO,
-            events: BinaryHeap::new(),
-            seq: 0,
+            events: EventQueue::new(),
             pcpus: (0..pcpu_count).map(|_| Pcpu::default()).collect(),
             vms: BTreeMap::new(),
             vcpus: BTreeMap::new(),
@@ -351,14 +333,16 @@ impl ServerSim {
     /// Runs the simulation until `deadline`, processing all events due by
     /// then. Time never moves backwards; a past deadline is a no-op.
     pub fn run_until(&mut self, deadline: SimTime) {
-        while let Some(&Reverse(ev)) = self.events.peek() {
-            if ev.time > deadline {
+        while let Some((time, _)) = self.events.peek() {
+            if time > deadline {
                 break;
             }
-            self.events.pop();
-            debug_assert!(ev.time >= self.now, "event from the past");
-            self.now = ev.time;
-            self.handle(ev.kind);
+            let Some((time, kind)) = self.events.pop() else {
+                break;
+            };
+            debug_assert!(time >= self.now, "event from the past");
+            self.now = time;
+            self.handle(kind);
         }
         if deadline > self.now {
             self.now = deadline;
@@ -384,9 +368,7 @@ impl ServerSim {
     }
 
     fn push_event(&mut self, time: SimTime, kind: EventKind) {
-        let seq = self.seq;
-        self.seq += 1;
-        self.events.push(Reverse(Event { time, seq, kind }));
+        self.events.schedule(time, kind);
     }
 
     fn view(&self, vcpu: VcpuId) -> VcpuView {

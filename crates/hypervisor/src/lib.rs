@@ -50,6 +50,7 @@ pub mod guest;
 pub mod ids;
 pub mod pmu;
 pub mod profile;
+pub mod queue;
 pub mod scheduler;
 pub mod time;
 pub mod vm;

@@ -19,6 +19,7 @@
 //! timing model.
 
 use monatt_crypto::drbg::Drbg;
+use std::collections::BTreeSet;
 
 /// What the attacker does to a message in flight.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -234,6 +235,13 @@ pub struct SimNetwork {
     latency: LatencyModel,
     attacker: Option<Box<dyn NetworkAttacker>>,
     faults: Option<FaultModel>,
+    // Endpoints whose host node is crashed. Messages from or to a down
+    // endpoint are black-holed before the attacker or fault model act
+    // on them — a crashed machine neither sends nor receives, and its
+    // silence must not consume fault-model RNG draws (the clean path's
+    // draw sequence is pinned by the golden trace).
+    down_endpoints: BTreeSet<String>,
+    blackholed: u64,
     log: Vec<TransmitRecord>,
 }
 
@@ -243,6 +251,7 @@ impl std::fmt::Debug for SimNetwork {
             .field("latency", &self.latency)
             .field("messages", &self.log.len())
             .field("attacker", &self.attacker.is_some())
+            .field("down_endpoints", &self.down_endpoints)
             .finish()
     }
 }
@@ -260,8 +269,31 @@ impl SimNetwork {
             latency,
             attacker: None,
             faults: None,
+            down_endpoints: BTreeSet::new(),
+            blackholed: 0,
             log: Vec::new(),
         }
+    }
+
+    /// Marks `endpoint` as down: every message from or to it is
+    /// black-holed until [`SimNetwork::set_endpoint_up`]. Idempotent.
+    pub fn set_endpoint_down(&mut self, endpoint: &str) {
+        self.down_endpoints.insert(endpoint.to_owned());
+    }
+
+    /// Brings `endpoint` back: deliveries involving it resume.
+    pub fn set_endpoint_up(&mut self, endpoint: &str) {
+        self.down_endpoints.remove(endpoint);
+    }
+
+    /// Whether `endpoint` is currently black-holed.
+    pub fn endpoint_is_down(&self, endpoint: &str) -> bool {
+        self.down_endpoints.contains(endpoint)
+    }
+
+    /// Messages black-holed because one of their endpoints was down.
+    pub fn blackholed(&self) -> u64 {
+        self.blackholed
     }
 
     /// Installs (or replaces) the network adversary.
@@ -293,6 +325,27 @@ impl SimNetwork {
     /// Transmits `payload` from `from` to `to`, applying first the
     /// adversary, then the benign fault model.
     pub fn transmit(&mut self, from: &str, to: &str, payload: &[u8]) -> Delivery {
+        if self.down_endpoints.contains(from) || self.down_endpoints.contains(to) {
+            // A crashed node neither transmits nor receives. Checked
+            // before the attacker and fault model so a black-holed
+            // message consumes zero fault RNG draws. Serialization is
+            // still charged: the sender finds out from its timeout, not
+            // instantaneously.
+            self.blackholed += 1;
+            let latency_us = self.latency.latency_for(payload.len());
+            self.log.push(TransmitRecord {
+                from: from.to_owned(),
+                to: to.to_owned(),
+                sent: payload.to_vec(),
+                delivered: None,
+                latency_us,
+            });
+            return Delivery {
+                payload: None,
+                latency_us,
+                duplicated: false,
+            };
+        }
         let action = match &mut self.attacker {
             Some(att) => att.intercept(from, to, payload),
             None => Intercept::Pass,
@@ -631,6 +684,63 @@ mod tests {
             r.intercept("a", "b", &[i]);
         }
         assert_eq!(r.recorded.as_deref(), Some([0u8].as_slice()));
+    }
+
+    #[test]
+    fn down_endpoint_blackholes_both_directions() {
+        let mut net = SimNetwork::default();
+        net.set_endpoint_down("server-1");
+        assert!(net.endpoint_is_down("server-1"));
+        assert_eq!(net.transmit("attserver", "server-1", b"req").payload, None);
+        assert_eq!(net.transmit("server-1", "attserver", b"rsp").payload, None);
+        assert_eq!(net.blackholed(), 2);
+        // Unrelated endpoints are unaffected.
+        assert!(net
+            .transmit("customer", "controller", b"ok")
+            .payload
+            .is_some());
+        net.set_endpoint_up("server-1");
+        assert!(!net.endpoint_is_down("server-1"));
+        assert!(net
+            .transmit("attserver", "server-1", b"req")
+            .payload
+            .is_some());
+        assert_eq!(net.blackholed(), 2);
+    }
+
+    #[test]
+    fn blackhole_consumes_no_fault_draws() {
+        // Two networks with the same fault seed; one black-holes a
+        // message in the middle. The fates of the surrounding messages
+        // must be identical — a down endpoint skips the fault model
+        // entirely rather than burning its draws.
+        let fates = |down: bool| -> Vec<bool> {
+            let mut net = SimNetwork::default();
+            net.set_fault_model(FaultModel::new(11).drop_prob(0.5));
+            let mut out = Vec::new();
+            for i in 0..32 {
+                if i == 16 && down {
+                    net.set_endpoint_down("b");
+                    net.transmit("a", "b", b"blackholed");
+                    net.set_endpoint_up("b");
+                }
+                out.push(net.transmit("a", "b", b"x").payload.is_some());
+            }
+            out
+        };
+        assert_eq!(fates(false), fates(true));
+    }
+
+    #[test]
+    fn blackhole_still_charges_latency_and_logs() {
+        let mut clean = SimNetwork::default();
+        let baseline = clean.transmit("a", "b", b"msg").latency_us;
+        let mut net = SimNetwork::default();
+        net.set_endpoint_down("b");
+        let d = net.transmit("a", "b", b"msg");
+        assert_eq!(d.latency_us, baseline);
+        assert_eq!(net.log().len(), 1);
+        assert_eq!(net.log()[0].delivered, None);
     }
 
     #[test]
