@@ -1,6 +1,7 @@
 //! Runs the chaos sweep: periodic attestation fleets under seeded
 //! crash/recovery churn, message loss, admission shedding and session
-//! deadlines, verifying the liveness invariants in every cell.
+//! deadlines, verifying the liveness invariants in every cell. Every
+//! cell runs on the K=4 sharded event engine (see `chaos::SHARDS`).
 //!
 //! Usage: `chaos_sweep [--smoke] [--json <path>]`
 //! `--smoke` runs a reduced grid for CI; `--json` additionally writes

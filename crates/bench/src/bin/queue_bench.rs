@@ -1,0 +1,19 @@
+//! Runs the queue microbenchmark: push/pop/cancel ns/op for the
+//! BinaryHeap event queue versus the hierarchical timer wheel at
+//! 10^3 / 10^5 / 10^7 pending timers.
+//!
+//! Usage: `queue_bench [--smoke]`
+//! `--smoke` sweeps the reduced population set for CI. The committed
+//! numbers live in `BENCH_scale.json` (written by `scale_sweep --json`,
+//! which embeds this sweep alongside the fleet curves).
+
+fn main() {
+    let smoke = std::env::args().skip(1).any(|a| a == "--smoke");
+    let sizes: &[usize] = if smoke {
+        &monatt_bench::queue::SMOKE_SIZES
+    } else {
+        &monatt_bench::queue::SIZES
+    };
+    let rows = monatt_bench::queue::run(sizes);
+    monatt_bench::queue::print(&rows);
+}

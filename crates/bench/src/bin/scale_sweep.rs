@@ -20,7 +20,17 @@ fn main() {
     let rows = monatt_bench::scale::run(fleets);
     monatt_bench::scale::print(&rows);
     if let Some(path) = json_path {
-        std::fs::write(path, monatt_bench::scale::to_json(&rows)).expect("write json");
+        // The committed document carries the queue microbench alongside
+        // the fleet sweep (smoke runs skip --json, so CI never pays for
+        // the 10^7-timer population).
+        let sizes: &[usize] = if smoke {
+            &monatt_bench::queue::SMOKE_SIZES
+        } else {
+            &monatt_bench::queue::SIZES
+        };
+        let queue_rows = monatt_bench::queue::run(sizes);
+        monatt_bench::queue::print(&queue_rows);
+        std::fs::write(path, monatt_bench::scale::to_json(&rows, &queue_rows)).expect("write json");
         eprintln!("wrote {path}");
     }
 }

@@ -20,6 +20,7 @@ pub mod fig07;
 pub mod fig09;
 pub mod fig10;
 pub mod fig11;
+pub mod queue;
 pub mod scale;
 pub mod sec722;
 pub mod table1;

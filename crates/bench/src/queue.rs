@@ -1,0 +1,237 @@
+//! **Queue microbenchmark** — push/pop/cancel cost of the retained
+//! BinaryHeap event queue versus the hierarchical timer wheel, at three
+//! pending-timer populations. Not a paper figure: this harness measures
+//! the data-structure swap at the heart of the event engine (see
+//! DESIGN.md §12). The heap pays `O(log n)` comparisons per operation;
+//! the wheel files and cascades in amortized O(1), which is what keeps
+//! the per-event cost flat between a 10³- and a 10⁷-timer backlog.
+//!
+//! Cancellation is modelled the way each structure supports it: the
+//! wheel tombstones by sequence number natively; the heap (which has no
+//! cancel) pairs with a side set of cancelled stamps that the pop path
+//! skips — the standard lazy-deletion idiom the engine would otherwise
+//! have needed.
+
+use monatt_hypervisor::queue::EventQueue;
+use monatt_hypervisor::wheel::TimerWheel;
+use std::collections::BTreeSet;
+use std::time::Instant;
+
+/// Pending-timer populations swept.
+pub const SIZES: [usize; 3] = [1_000, 100_000, 10_000_000];
+
+/// Reduced populations for the CI smoke run.
+pub const SMOKE_SIZES: [usize; 2] = [1_000, 100_000];
+
+/// One row of the microbenchmark: nanoseconds per operation at a given
+/// pending population.
+#[derive(Clone, Copy, Debug)]
+pub struct QueueRow {
+    /// Timers resident while operating.
+    pub pending: usize,
+    /// BinaryHeap: push all `pending` timers, ns/op.
+    pub heap_push_ns: f64,
+    /// BinaryHeap: drain all `pending` timers in order, ns/op.
+    pub heap_pop_ns: f64,
+    /// BinaryHeap: tombstone half, then drain survivors, ns/op.
+    pub heap_cancel_ns: f64,
+    /// Timer wheel: push, ns/op.
+    pub wheel_push_ns: f64,
+    /// Timer wheel: pop, ns/op.
+    pub wheel_pop_ns: f64,
+    /// Timer wheel: cancel half, then drain survivors, ns/op.
+    pub wheel_cancel_ns: f64,
+}
+
+/// Deterministic 64-bit mixer (splitmix64) for due-time generation —
+/// no RNG dependency, identical schedule every run.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Due times spread over a ~17-minute virtual horizon: enough spread to
+/// occupy several wheel levels, dense enough for same-tick collisions.
+fn due_times(n: usize) -> Vec<u64> {
+    const HORIZON_US: u64 = 1 << 30;
+    (0..n as u64).map(|i| 1 + mix(i) % HORIZON_US).collect()
+}
+
+fn ns_per_op(elapsed: std::time::Duration, ops: usize) -> f64 {
+    elapsed.as_nanos() as f64 / ops.max(1) as f64
+}
+
+/// Measures one pending population.
+fn measure(pending: usize) -> QueueRow {
+    let dues = due_times(pending);
+
+    // BinaryHeap push + pop.
+    let mut heap: EventQueue<(u64, u64), u64> = EventQueue::new();
+    let start = Instant::now();
+    for (seq, &due) in dues.iter().enumerate() {
+        heap.schedule((due, seq as u64), seq as u64);
+    }
+    let heap_push = start.elapsed();
+    let start = Instant::now();
+    let mut drained = 0usize;
+    while heap.pop().is_some() {
+        drained += 1;
+    }
+    let heap_pop = start.elapsed();
+    assert_eq!(drained, pending, "heap lost entries");
+
+    // BinaryHeap cancel: refill, tombstone every other stamp in a side
+    // set, then drain skipping tombstones — the lazy-deletion pattern.
+    let mut heap: EventQueue<(u64, u64), u64> = EventQueue::new();
+    for (seq, &due) in dues.iter().enumerate() {
+        heap.schedule((due, seq as u64), seq as u64);
+    }
+    let start = Instant::now();
+    let mut tombstones: BTreeSet<u64> = BTreeSet::new();
+    for seq in (0..pending as u64).step_by(2) {
+        tombstones.insert(seq);
+    }
+    let mut survivors = 0usize;
+    while let Some(((_, seq), _)) = heap.pop() {
+        if !tombstones.remove(&seq) {
+            survivors += 1;
+        }
+    }
+    let heap_cancel = start.elapsed();
+    assert_eq!(
+        survivors,
+        pending - pending.div_ceil(2),
+        "heap cancel lost entries"
+    );
+
+    // Wheel push + pop.
+    let mut wheel: TimerWheel<u64> = TimerWheel::new();
+    let start = Instant::now();
+    for (seq, &due) in dues.iter().enumerate() {
+        wheel.insert(due, seq as u64, seq as u64);
+    }
+    let wheel_push = start.elapsed();
+    let start = Instant::now();
+    let mut drained = 0usize;
+    while wheel.pop().is_some() {
+        drained += 1;
+    }
+    let wheel_pop = start.elapsed();
+    assert_eq!(drained, pending, "wheel lost entries");
+
+    // Wheel cancel: refill, tombstone every other stamp natively, drain.
+    let mut wheel: TimerWheel<u64> = TimerWheel::new();
+    for (seq, &due) in dues.iter().enumerate() {
+        wheel.insert(due, seq as u64, seq as u64);
+    }
+    let start = Instant::now();
+    for seq in (0..pending as u64).step_by(2) {
+        wheel.cancel(seq);
+    }
+    let mut survivors = 0usize;
+    while wheel.pop().is_some() {
+        survivors += 1;
+    }
+    let wheel_cancel = start.elapsed();
+    assert_eq!(
+        survivors,
+        pending - pending.div_ceil(2),
+        "wheel cancel lost entries"
+    );
+
+    // Cancel phases touch 1.5·pending entries (half cancelled + drain);
+    // normalize per scheduled timer so rows compare like for like.
+    QueueRow {
+        pending,
+        heap_push_ns: ns_per_op(heap_push, pending),
+        heap_pop_ns: ns_per_op(heap_pop, pending),
+        heap_cancel_ns: ns_per_op(heap_cancel, pending),
+        wheel_push_ns: ns_per_op(wheel_push, pending),
+        wheel_pop_ns: ns_per_op(wheel_pop, pending),
+        wheel_cancel_ns: ns_per_op(wheel_cancel, pending),
+    }
+}
+
+/// Sweeps the given pending populations.
+pub fn run(sizes: &[usize]) -> Vec<QueueRow> {
+    sizes.iter().map(|&n| measure(n)).collect()
+}
+
+/// Prints the sweep as a table.
+pub fn print(rows: &[QueueRow]) {
+    println!("Queue microbench: ns/op, BinaryHeap vs hierarchical timer wheel");
+    println!("pending\theap-push\theap-pop\theap-cancel\twheel-push\twheel-pop\twheel-cancel");
+    for row in rows {
+        println!(
+            "{}\t{:.1}\t{:.1}\t{:.1}\t{:.1}\t{:.1}\t{:.1}",
+            row.pending,
+            row.heap_push_ns,
+            row.heap_pop_ns,
+            row.heap_cancel_ns,
+            row.wheel_push_ns,
+            row.wheel_pop_ns,
+            row.wheel_cancel_ns,
+        );
+    }
+}
+
+/// Renders the rows as the `queue_bench` JSON fragment embedded in
+/// `BENCH_scale.json`.
+pub fn to_json_fragment(rows: &[QueueRow]) -> String {
+    let mut out = String::from("  \"queue_bench\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"pending\": {}, \"heap_push_ns\": {:.1}, \"heap_pop_ns\": {:.1}, \
+             \"heap_cancel_ns\": {:.1}, \"wheel_push_ns\": {:.1}, \"wheel_pop_ns\": {:.1}, \
+             \"wheel_cancel_ns\": {:.1}}}{}\n",
+            row.pending,
+            row.heap_push_ns,
+            row.heap_pop_ns,
+            row.heap_cancel_ns,
+            row.wheel_push_ns,
+            row.wheel_pop_ns,
+            row.wheel_cancel_ns,
+            if i + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_structures_agree_and_report_sane_rates() {
+        let rows = run(&[1_000]);
+        assert_eq!(rows.len(), 1);
+        let row = &rows[0];
+        assert_eq!(row.pending, 1_000);
+        for ns in [
+            row.heap_push_ns,
+            row.heap_pop_ns,
+            row.heap_cancel_ns,
+            row.wheel_push_ns,
+            row.wheel_pop_ns,
+            row.wheel_cancel_ns,
+        ] {
+            assert!(ns > 0.0 && ns < 1e7, "implausible ns/op {ns}");
+        }
+    }
+
+    #[test]
+    fn due_schedule_is_deterministic() {
+        assert_eq!(due_times(64), due_times(64));
+        // Same-tick collisions exist at scale (pigeonhole over the
+        // horizon would need 2^30 entries, so check determinism plus a
+        // forced collision via the wheel's (due, seq) ordering instead).
+        let mut wheel: TimerWheel<u32> = TimerWheel::new();
+        wheel.insert(5, 1, 10);
+        wheel.insert(5, 0, 20);
+        assert_eq!(wheel.pop(), Some((5, 0, 20)));
+        assert_eq!(wheel.pop(), Some((5, 1, 10)));
+    }
+}

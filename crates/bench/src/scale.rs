@@ -10,11 +10,14 @@
 use monatt_core::{CloudBuilder, Flavor, Image, SecurityProperty, VmRequest};
 use monatt_net::sim::FaultModel;
 
-/// Fleet sizes swept (concurrent periodic subscriptions).
-pub const FLEETS: [usize; 4] = [1, 4, 16, 64];
+/// Fleet sizes swept (concurrent periodic subscriptions). The 1k/10k/
+/// 100k tail is what the timer-wheel engine and slab session arena buy:
+/// the pre-wheel BinaryHeap engine stopped at 64.
+pub const FLEETS: [usize; 7] = [1, 4, 16, 64, 1_000, 10_000, 100_000];
 
-/// Reduced fleet sizes for the CI smoke run.
-pub const SMOKE_FLEETS: [usize; 2] = [1, 8];
+/// Reduced fleet sizes for the CI smoke run — 1k exercises the wheel's
+/// cascade levels and the arena's steady state without the 100k cost.
+pub const SMOKE_FLEETS: [usize; 2] = [1, 1_000];
 
 /// The shared subscription period.
 const PERIOD_US: u64 = 1_000_000;
@@ -53,6 +56,9 @@ fn measure(fleet: usize) -> ScaleRow {
         .pcpus_per_server(16)
         .seed(0x5CA1E + fleet as u64)
         .build();
+    // The transmit transcript is a debugging aid; at 100k sessions it
+    // would dominate memory. Delivery fates are identical either way.
+    cloud.set_network_logging(false);
     let mut vids = Vec::with_capacity(fleet);
     for _ in 0..fleet {
         let vid = cloud
@@ -132,7 +138,9 @@ pub fn print(rows: &[ScaleRow]) {
 }
 
 /// Renders the sweep as the committed `BENCH_scale.json` document.
-pub fn to_json(rows: &[ScaleRow]) -> String {
+/// `queue_rows`, when non-empty, adds the queue microbench section
+/// (see [`crate::queue`]) to the same file.
+pub fn to_json(rows: &[ScaleRow], queue_rows: &[crate::queue::QueueRow]) -> String {
     let mut out = String::from("{\n  \"scale_sweep\": [\n");
     for (i, row) in rows.iter().enumerate() {
         out.push_str(&format!(
@@ -150,7 +158,12 @@ pub fn to_json(rows: &[ScaleRow]) -> String {
             if i + 1 == rows.len() { "" } else { "," },
         ));
     }
-    out.push_str("  ]\n}\n");
+    out.push_str("  ]");
+    if !queue_rows.is_empty() {
+        out.push_str(",\n");
+        out.push_str(&crate::queue::to_json_fragment(queue_rows));
+    }
+    out.push_str("\n}\n");
     out
 }
 
@@ -160,7 +173,9 @@ mod tests {
 
     #[test]
     fn interleaved_round_beats_serialized_baseline() {
-        let rows = run(&SMOKE_FLEETS);
+        // A small fleet keeps this unit test fast; the CI smoke run
+        // drives SMOKE_FLEETS (including 1k) through the binary.
+        let rows = run(&[1, 8]);
         let eight = rows.iter().find(|r| r.fleet == 8).unwrap();
         // The whole fleet is in flight at once, and the round costs a
         // couple of single-session latencies, not eight.

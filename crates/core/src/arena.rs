@@ -1,0 +1,229 @@
+//! A slab arena with generation-tagged indices, backing the in-flight
+//! session table.
+//!
+//! Sessions used to live in a `BTreeMap<u64, AttestSession>`: every
+//! event popped from the engine paid an O(log n) pointer chase to find
+//! its session, and every session spawn/retire allocated and freed tree
+//! nodes plus the session's own buffers. Here a [`SessionId`] is a slot
+//! index plus a generation tag, so lookup is one bounds-checked array
+//! index, and a retired slot **keeps its value** — the next allocation
+//! reuses the retained buffers (wire/sealed/late capacity) instead of
+//! round-tripping the allocator. That retention is what makes the warm
+//! Msg1–Msg6 round allocation-free (pinned by `tests/zero_alloc.rs`).
+//!
+//! ## Generations against stale ids
+//!
+//! Retry timers and late-arrival events in the engine carry the
+//! [`SessionId`] they were scheduled for; they can fire long after the
+//! session retired and its slot was recycled. Freeing a slot bumps its
+//! generation, so a stale id's generation no longer matches and the
+//! lookup misses — exactly like the map lookup missing a removed key,
+//! but without the possibility of aliasing a new tenant. (A slot would
+//! need 2³² retire cycles between a timer's scheduling and firing to
+//! false-match; the engine's u64 virtual clock runs out first.)
+
+/// Identifier of an in-flight attestation session: a slot index plus
+/// the slot generation at allocation time. Stale ids (outlived by their
+/// session) miss on lookup instead of aliasing the slot's next tenant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub(crate) struct SessionId {
+    index: u32,
+    generation: u32,
+}
+
+#[derive(Debug)]
+struct Slot<T> {
+    generation: u32,
+    occupied: bool,
+    /// Retained across free/alloc cycles so a recycled slot's buffers
+    /// keep their capacity. `None` only before the slot's first tenant.
+    value: Option<T>,
+}
+
+/// A slab of `T` with generational indices and capacity-retaining free
+/// slots. See the module docs.
+#[derive(Debug)]
+pub(crate) struct Arena<T> {
+    slots: Vec<Slot<T>>,
+    /// Indices of unoccupied slots, most recently freed last (LIFO
+    /// reuse keeps the hot slots hot).
+    free: Vec<u32>,
+    live: usize,
+}
+
+impl<T> Arena<T> {
+    pub(crate) fn new() -> Self {
+        Arena {
+            slots: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+        }
+    }
+
+    /// Live entries.
+    pub(crate) fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Claims a slot and returns its id plus the value in it. A
+    /// recycled slot returns its **retained previous tenant** — the
+    /// caller must fully re-initialize it (that is the point: resetting
+    /// in place reuses the buffers). A never-used slot is seeded with
+    /// `vacant()`. Returns `None` only if the slab index space (2³²) is
+    /// exhausted.
+    pub(crate) fn alloc_with(&mut self, vacant: impl FnOnce() -> T) -> Option<(SessionId, &mut T)> {
+        let index = match self.free.pop() {
+            Some(i) => i,
+            None => {
+                let i = u32::try_from(self.slots.len()).ok()?;
+                self.slots.push(Slot {
+                    generation: 0,
+                    occupied: false,
+                    value: None,
+                });
+                i
+            }
+        };
+        let slot = self.slots.get_mut(index as usize)?;
+        slot.occupied = true;
+        self.live += 1;
+        let sid = SessionId {
+            index,
+            generation: slot.generation,
+        };
+        Some((sid, slot.value.get_or_insert_with(vacant)))
+    }
+
+    /// The value behind `sid`, if its session is still live.
+    pub(crate) fn get(&self, sid: SessionId) -> Option<&T> {
+        self.slots
+            .get(sid.index as usize)
+            .filter(|s| s.occupied && s.generation == sid.generation)
+            .and_then(|s| s.value.as_ref())
+    }
+
+    /// Mutable access to the value behind `sid`, if still live.
+    pub(crate) fn get_mut(&mut self, sid: SessionId) -> Option<&mut T> {
+        self.slots
+            .get_mut(sid.index as usize)
+            .filter(|s| s.occupied && s.generation == sid.generation)
+            .and_then(|s| s.value.as_mut())
+    }
+
+    /// Whether `sid` refers to a live entry.
+    pub(crate) fn contains(&self, sid: SessionId) -> bool {
+        self.get(sid).is_some()
+    }
+
+    /// Retires `sid`'s slot: the id goes stale (generation bump) and
+    /// the slot joins the free list, **keeping its value** for the next
+    /// tenant to reset. Returns whether anything was removed.
+    pub(crate) fn remove(&mut self, sid: SessionId) -> bool {
+        match self.slots.get_mut(sid.index as usize) {
+            Some(slot) if slot.occupied && slot.generation == sid.generation => {
+                slot.occupied = false;
+                slot.generation = slot.generation.wrapping_add(1);
+                self.free.push(sid.index);
+                self.live -= 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Iterates over live entries in slot order.
+    pub(crate) fn iter(&self) -> impl Iterator<Item = (SessionId, &T)> {
+        self.slots.iter().enumerate().filter_map(|(i, s)| {
+            if !s.occupied {
+                return None;
+            }
+            let sid = SessionId {
+                index: i as u32,
+                generation: s.generation,
+            };
+            s.value.as_ref().map(|v| (sid, v))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_get_remove_roundtrip() {
+        let mut a: Arena<String> = Arena::new();
+        let (sid, v) = a.alloc_with(String::new).expect("alloc");
+        v.push_str("hello");
+        assert_eq!(a.len(), 1);
+        assert!(a.contains(sid));
+        assert_eq!(a.get(sid).map(String::as_str), Some("hello"));
+        assert!(a.remove(sid));
+        assert_eq!(a.len(), 0);
+        assert!(!a.contains(sid));
+        assert!(a.get(sid).is_none());
+        assert!(!a.remove(sid), "double remove must be a no-op");
+    }
+
+    #[test]
+    fn stale_id_misses_recycled_slot() {
+        let mut a: Arena<u64> = Arena::new();
+        let (old, v) = a.alloc_with(|| 0).expect("alloc");
+        *v = 1;
+        a.remove(old);
+        let (new, v) = a.alloc_with(|| 0).expect("alloc");
+        *v = 2;
+        // Same slot, different generation: the stale id must miss.
+        assert!(a.get(old).is_none());
+        assert!(!a.remove(old));
+        assert_eq!(a.get(new), Some(&2));
+        assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn recycled_slot_retains_previous_value() {
+        let mut a: Arena<Vec<u8>> = Arena::new();
+        let (sid, v) = a.alloc_with(Vec::new).expect("alloc");
+        v.extend_from_slice(&[1, 2, 3, 4]);
+        let cap = v.capacity();
+        a.remove(sid);
+        let (_, v) = a.alloc_with(Vec::new).expect("alloc");
+        // The retained tenant comes back as-is (caller resets it), with
+        // its buffer capacity intact — the zero-alloc property.
+        assert_eq!(v, &[1, 2, 3, 4]);
+        assert_eq!(v.capacity(), cap);
+    }
+
+    #[test]
+    fn iter_yields_live_entries_only() {
+        let mut a: Arena<u32> = Arena::new();
+        let mut ids = Vec::new();
+        for i in 0..5u32 {
+            let (sid, v) = a.alloc_with(|| 0).expect("alloc");
+            *v = i;
+            ids.push(sid);
+        }
+        a.remove(ids[1]);
+        a.remove(ids[3]);
+        let live: Vec<u32> = a.iter().map(|(_, v)| *v).collect();
+        assert_eq!(live, [0, 2, 4]);
+        for (sid, v) in a.iter() {
+            assert_eq!(a.get(sid), Some(v));
+        }
+    }
+
+    #[test]
+    fn free_slots_are_reused_lifo() {
+        let mut a: Arena<()> = Arena::new();
+        let (s0, _) = a.alloc_with(|| ()).expect("alloc");
+        let (s1, _) = a.alloc_with(|| ()).expect("alloc");
+        a.remove(s0);
+        a.remove(s1);
+        // s1 freed last, reused first; no new slots appear.
+        let (r0, _) = a.alloc_with(|| ()).expect("alloc");
+        let (r1, _) = a.alloc_with(|| ()).expect("alloc");
+        assert_eq!(r0.index, s1.index);
+        assert_eq!(r1.index, s0.index);
+        assert_eq!(a.slots.len(), 2);
+    }
+}

@@ -12,7 +12,7 @@ use crate::pca::PrivacyCa;
 use crate::types::{HealthStatus, Image, SecurityProperty, ServerId, Vid};
 use monatt_crypto::drbg::Drbg;
 use monatt_crypto::schnorr::{SigningKey, VerifyingKey};
-use monatt_net::wire::Wire;
+use monatt_net::wire::EncodeScratch;
 use monatt_tpm::quote::Quote;
 
 /// The Attestation Server.
@@ -83,6 +83,30 @@ impl AttestationServer {
         expected_spec: MeasurementSpec,
         expected_nonce3: [u8; 32],
     ) -> Result<(), CloudError> {
+        self.validate_response_with(
+            response,
+            expected_vid,
+            expected_spec,
+            expected_nonce3,
+            &mut EncodeScratch::new(),
+        )
+    }
+
+    /// [`Self::validate_response`] with a caller-provided encode scratch,
+    /// so the warm attestation path rebuilds the quote fields without
+    /// allocating.
+    ///
+    /// # Errors
+    ///
+    /// [`CloudError::ProtocolFailure`] naming the failed check.
+    pub fn validate_response_with(
+        &self,
+        response: &MeasureResponse,
+        expected_vid: Vid,
+        expected_spec: MeasurementSpec,
+        expected_nonce3: [u8; 32],
+        scratch: &mut EncodeScratch,
+    ) -> Result<(), CloudError> {
         if response.vid != expected_vid {
             return Err(CloudError::ProtocolFailure {
                 reason: format!(
@@ -108,13 +132,12 @@ impl AttestationServer {
                     reason: format!("attestation key certification failed: {e}"),
                 })?;
         let vid_bytes = response.vid.0.to_be_bytes();
-        let spec_bytes = response.spec.to_wire();
-        let meas_bytes = response.measurement.to_wire();
+        let (spec_bytes, meas_bytes) = scratch.encode_pair(&response.spec, &response.measurement);
         response
             .quote
             .verify(
                 &cert.attestation_key,
-                &[&vid_bytes, &spec_bytes, &meas_bytes, &response.nonce3],
+                &[&vid_bytes, spec_bytes, meas_bytes, &response.nonce3],
             )
             .map_err(|e| CloudError::ProtocolFailure {
                 reason: format!("quote Q3 verification failed: {e}"),
@@ -146,19 +169,32 @@ impl AttestationServer {
         status: HealthStatus,
         nonce2: [u8; 32],
     ) -> AttestationReportMsg {
+        self.certify_report_with(
+            vid,
+            server,
+            property,
+            status,
+            nonce2,
+            &mut EncodeScratch::new(),
+        )
+    }
+
+    /// [`Self::certify_report`] with a caller-provided encode scratch.
+    pub fn certify_report_with(
+        &self,
+        vid: Vid,
+        server: ServerId,
+        property: SecurityProperty,
+        status: HealthStatus,
+        nonce2: [u8; 32],
+        scratch: &mut EncodeScratch,
+    ) -> AttestationReportMsg {
         let vid_bytes = vid.0.to_be_bytes();
         let server_bytes = server.0.to_be_bytes();
-        let prop_bytes = property.to_wire();
-        let status_bytes = status.to_wire();
+        let (prop_bytes, status_bytes) = scratch.encode_pair(&property, &status);
         let quote = Quote::create(
             &self.identity,
-            &[
-                &vid_bytes,
-                &server_bytes,
-                &prop_bytes,
-                &status_bytes,
-                &nonce2,
-            ],
+            &[&vid_bytes, &server_bytes, prop_bytes, status_bytes, &nonce2],
         );
         AttestationReportMsg {
             vid,
@@ -180,6 +216,25 @@ impl AttestationServer {
         attserver_key: &VerifyingKey,
         expected_nonce2: [u8; 32],
     ) -> Result<(), CloudError> {
+        Self::verify_report_msg_with(
+            msg,
+            attserver_key,
+            expected_nonce2,
+            &mut EncodeScratch::new(),
+        )
+    }
+
+    /// [`Self::verify_report_msg`] with a caller-provided encode scratch.
+    ///
+    /// # Errors
+    ///
+    /// [`CloudError::ProtocolFailure`] if the quote or nonce fails.
+    pub fn verify_report_msg_with(
+        msg: &AttestationReportMsg,
+        attserver_key: &VerifyingKey,
+        expected_nonce2: [u8; 32],
+        scratch: &mut EncodeScratch,
+    ) -> Result<(), CloudError> {
         if msg.nonce2 != expected_nonce2 {
             return Err(CloudError::ProtocolFailure {
                 reason: "nonce N2 mismatch (possible replay)".into(),
@@ -187,16 +242,15 @@ impl AttestationServer {
         }
         let vid_bytes = msg.vid.0.to_be_bytes();
         let server_bytes = msg.server.0.to_be_bytes();
-        let prop_bytes = msg.property.to_wire();
-        let status_bytes = msg.status.to_wire();
+        let (prop_bytes, status_bytes) = scratch.encode_pair(&msg.property, &msg.status);
         msg.quote
             .verify(
                 attserver_key,
                 &[
                     &vid_bytes,
                     &server_bytes,
-                    &prop_bytes,
-                    &status_bytes,
+                    prop_bytes,
+                    status_bytes,
                     &msg.nonce2,
                 ],
             )

@@ -6,7 +6,7 @@
 use super::{ChannelIdentities, ChannelPair, Cloud};
 use crate::attestation::AttestationServer;
 use crate::controller::{CloudController, ServerInfo, VmLifecycle, VmRecord};
-use crate::engine::EventQueue;
+use crate::engine::ShardedEngine;
 use crate::error::CloudError;
 use crate::interpret::ReferenceDb;
 use crate::latency::{LatencyParams, RetryPolicy};
@@ -214,6 +214,7 @@ pub struct CloudBuilder {
     corrupted_platforms: Vec<usize>,
     session_deadline_us: Option<u64>,
     admission: Option<(usize, usize)>,
+    shards: usize,
 }
 
 impl Default for CloudBuilder {
@@ -238,7 +239,17 @@ impl CloudBuilder {
             corrupted_platforms: Vec::new(),
             session_deadline_us: None,
             admission: None,
+            shards: 1,
         }
+    }
+
+    /// Splits the event engine into `k` timer-wheel shards routed by
+    /// server id. Purely structural: the merged pop order — and hence
+    /// every trace, latency and RNG draw — is identical for any `k`
+    /// (values below 1 are clamped to 1). Default: 1.
+    pub fn shards(mut self, k: usize) -> Self {
+        self.shards = k.max(1);
+        self
     }
 
     /// Sets the number of cloud servers.
@@ -454,9 +465,8 @@ impl CloudBuilder {
             auto_response: self.auto_response,
             vm_meta: BTreeMap::new(),
             seed: self.seed,
-            engine: EventQueue::default(),
-            sessions: BTreeMap::new(),
-            next_session: 1,
+            engine: ShardedEngine::new(self.shards),
+            sessions: crate::session::SessionArena::new(),
             window_free_at: BTreeMap::new(),
             run_horizon: None,
             auto_response_failures: 0,
@@ -473,6 +483,9 @@ impl CloudBuilder {
                 .admission
                 .map(|(high, low)| crate::outage::AdmissionControl::new(high, low)),
             session_deadline_us: self.session_deadline_us,
+            record_scratch: Vec::new(),
+            inbox_scratch: Vec::new(),
+            quote_scratch: monatt_net::wire::EncodeScratch::new(),
         })
     }
 }
@@ -538,8 +551,7 @@ impl Cloud {
                 .workload
                 .drivers(request.flavor.vcpus(), self.seed ^ vid.0);
             let node = self
-                .servers
-                .get_mut(&server_id)
+                .touch_server(server_id)
                 .ok_or(CloudError::UnknownServer(server_id))?;
             node.launch_vm_pinned(
                 vid,
@@ -564,14 +576,14 @@ impl Cloud {
                     HealthStatus::Healthy => {}
                     HealthStatus::Compromised { reason } if reason.contains("platform") => {
                         // Try another server for this VM.
-                        if let Some(node) = self.servers.get_mut(&server_id) {
+                        if let Some(node) = self.touch_server(server_id) {
                             node.remove_vm(vid);
                         }
                         excluded.insert(server_id);
                         continue;
                     }
                     HealthStatus::Compromised { reason } => {
-                        if let Some(node) = self.servers.get_mut(&server_id) {
+                        if let Some(node) = self.touch_server(server_id) {
                             node.remove_vm(vid);
                         }
                         self.last_launch = Some(timing);
@@ -582,7 +594,7 @@ impl Cloud {
                         // from the session, so a report never carries
                         // this status here; reject defensively — the
                         // launch policy requires a verdict.
-                        if let Some(node) = self.servers.get_mut(&server_id) {
+                        if let Some(node) = self.touch_server(server_id) {
                             node.remove_vm(vid);
                         }
                         self.last_launch = Some(timing);

@@ -31,12 +31,12 @@ pub use subscriptions::{Frequency, SubscriptionHealth};
 
 use crate::attestation::AttestationServer;
 use crate::controller::{CloudController, ResponseAction, VmLifecycle};
-use crate::engine::EventQueue;
+use crate::engine::ShardedEngine;
 use crate::error::CloudError;
 use crate::latency::{LatencyParams, RetryPolicy};
 use crate::outage::{AdmissionControl, OutageModel, OutageStats};
 use crate::server::CloudServerNode;
-use crate::session::{AttestSession, CloudEvent, SessionEvent, SessionId, SessionOrigin};
+use crate::session::{CloudEvent, SessionArena, SessionEvent, SessionId, SessionOrigin};
 use crate::types::{HealthStatus, NodeId, ProtocolStats, SecurityProperty, ServerId, Vid};
 use build::VmMeta;
 use monatt_crypto::drbg::Drbg;
@@ -115,11 +115,13 @@ pub struct Cloud {
     pub(crate) auto_response: bool,
     pub(crate) vm_meta: BTreeMap<Vid, VmMeta>,
     pub(crate) seed: u64,
-    /// The discrete-event queue every time-driven step goes through.
-    pub(crate) engine: EventQueue<CloudEvent>,
-    /// In-flight attestation sessions, keyed by session id.
-    pub(crate) sessions: BTreeMap<SessionId, AttestSession>,
-    pub(crate) next_session: SessionId,
+    /// The discrete-event queue every time-driven step goes through: a
+    /// K-sharded timer wheel whose merged pop order is independent of K
+    /// (see `crate::engine`).
+    pub(crate) engine: ShardedEngine<CloudEvent>,
+    /// In-flight attestation sessions: a slab arena whose slots retain
+    /// their buffers across sessions (see [`crate::arena`]).
+    pub(crate) sessions: SessionArena,
     /// Per-server instant until which the measurement window is owned by
     /// some session (windows are server-global; see `crate::session`).
     pub(crate) window_free_at: BTreeMap<ServerId, u64>,
@@ -141,6 +143,17 @@ pub struct Cloud {
     pub(crate) admission: Option<AdmissionControl>,
     /// End-to-end deadline budget applied to every new session, if any.
     pub(crate) session_deadline_us: Option<u64>,
+    /// Reusable buffer for the record a transmit delivers (the wire
+    /// bytes between seal and open). One message is in flight per
+    /// transmit resolution, so a single cloud-wide buffer suffices.
+    pub(crate) record_scratch: Vec<u8>,
+    /// Reusable buffer ping-ponged with a session's `inbox` while the
+    /// delivered plaintext is dispatched (see `Cloud::step_arrival`).
+    pub(crate) inbox_scratch: Vec<u8>,
+    /// Reusable encode buffers for rebuilding quote fields (measurement
+    /// spec/measurement, property/status) during validation and
+    /// certification.
+    pub(crate) quote_scratch: monatt_net::wire::EncodeScratch,
 }
 
 impl std::fmt::Debug for Cloud {
@@ -175,19 +188,30 @@ impl Cloud {
     }
 
     /// Read access to a server node (monitor tools, experiment checks).
+    /// State is as of the node's last catch-up; call [`Cloud::advance`]
+    /// or [`Cloud::sync_servers`] first for current values.
     pub fn server(&self, id: ServerId) -> Option<&CloudServerNode> {
         self.servers.get(&id)
     }
 
     /// Mutable server access — used by attack injection in experiments.
+    /// The node is caught up to the wall clock first.
     pub fn server_mut(&mut self, id: ServerId) -> Option<&mut CloudServerNode> {
-        self.servers.get_mut(&id)
+        self.touch_server(id)
     }
 
     /// The network, for installing Dolev-Yao adversaries and fault
     /// models in experiments.
     pub fn network_mut(&mut self) -> &mut SimNetwork {
         &mut self.network
+    }
+
+    /// Turns the simulated network's transmission log on or off (on by
+    /// default). Large-fleet sweeps turn it off: per-message log
+    /// entries are the only allocations a warm attestation round makes.
+    /// Message fates, latencies and RNG draws are unaffected.
+    pub fn set_network_logging(&mut self, on: bool) {
+        self.network.set_logging(on);
     }
 
     /// Per-hop protocol delivery counters (retries, drops seen,
@@ -235,23 +259,45 @@ impl Cloud {
         self.last_launch
     }
 
-    /// Advances all server simulators and the wall clock by
-    /// `duration_us`.
+    /// Advances the wall clock by `duration_us` and catches every server
+    /// simulator up to it — the synchronous scenario-boundary form, after
+    /// which observed server state (workload progress, CPU time) is
+    /// current.
     pub fn advance(&mut self, duration_us: u64) {
-        for node in self.servers.values_mut() {
-            node.advance(duration_us);
-        }
         self.wall_clock_us += duration_us;
+        self.sync_servers();
+    }
+
+    /// Catches every server simulator up to the wall clock. Internal
+    /// event dispatch moves only the wall clock (lazy pull — O(1) in
+    /// fleet size); each node pays its elapsed time when next touched,
+    /// or here in bulk.
+    pub fn sync_servers(&mut self) {
+        let wall = self.wall_clock_us;
+        for node in self.servers.values_mut() {
+            node.catch_up(wall);
+        }
     }
 
     /// Advances the clock to the absolute instant `due_us` (no-op if the
     /// clock is already there or past — events scheduled "in the past"
-    /// fire at the current time).
+    /// fire at the current time). Only the wall clock moves; server
+    /// simulators catch up lazily at their next touch point, so
+    /// dispatching an event costs O(1) in fleet size.
     pub(crate) fn advance_to(&mut self, due_us: u64) {
-        let gap = due_us.saturating_sub(self.wall_clock_us);
-        if gap > 0 {
-            self.advance(gap);
+        if due_us > self.wall_clock_us {
+            self.wall_clock_us = due_us;
         }
+    }
+
+    /// The server node, caught up to the wall clock — the one mutable
+    /// access path for protocol and lifecycle code, so a lazily lagging
+    /// simulator is never observed or mutated at a stale instant.
+    pub(crate) fn touch_server(&mut self, id: ServerId) -> Option<&mut CloudServerNode> {
+        let wall = self.wall_clock_us;
+        let node = self.servers.get_mut(&id)?;
+        node.catch_up(wall);
+        Some(node)
     }
 
     /// Routes one popped event to its handler.
@@ -263,10 +309,36 @@ impl Cloud {
         }
     }
 
-    /// Schedules an event and maintains the queue-depth gauge.
+    /// Schedules an event and maintains the queue-depth gauge. The
+    /// shard key routes the entry to one of the K wheels — session and
+    /// outage traffic by server, subscription firings by subscription
+    /// id — but never affects the pop order (see `crate::engine`).
     pub(crate) fn schedule_cloud_event(&mut self, due_us: u64, event: CloudEvent) {
-        self.engine.schedule(due_us, event);
-        self.stats.max_queue_depth = self.stats.max_queue_depth.max(self.engine.len() as u64);
+        let shard_key = match &event {
+            CloudEvent::Session { sid, .. } => self
+                .sessions
+                .get(*sid)
+                .map(|s| s.server.0 as u64)
+                .unwrap_or(0),
+            CloudEvent::SubscriptionDue { id } => *id,
+            CloudEvent::Outage { node, .. } => match node {
+                NodeId::Server(s) => s.0 as u64,
+                NodeId::Controller | NodeId::AttestationServer => 0,
+            },
+        };
+        self.engine.schedule(due_us, shard_key, event);
+        self.stats.max_queue_depth = self
+            .stats
+            .max_queue_depth
+            .max(self.engine.max_depth() as u64);
+    }
+
+    /// Per-shard high-water marks of the event-queue depth. With K=1
+    /// this is a one-element slice equal to
+    /// [`ProtocolStats::max_queue_depth`]; at K>1 the merged total stays
+    /// in the stats and the breakdown lives here.
+    pub fn shard_queue_depths(&self) -> &[usize] {
+        self.engine.shard_depths()
     }
 
     /// Schedules a session-step event.
@@ -428,7 +500,7 @@ impl Cloud {
             .sessions
             .iter()
             .filter(|(_, s)| !s.is_terminal() && s.touches(node))
-            .map(|(sid, _)| *sid)
+            .map(|(sid, _)| sid)
             .collect();
         for sid in victims {
             self.finish_session_node_down(sid, node);
@@ -623,8 +695,7 @@ impl Cloud {
     pub fn infect_vm(&mut self, vid: Vid, service_name: &str) -> Result<u32, CloudError> {
         let server = self.server_of(vid).ok_or(CloudError::UnknownVm(vid))?;
         let node = self
-            .servers
-            .get_mut(&server)
+            .touch_server(server)
             .ok_or(CloudError::UnknownServer(server))?;
         let local = node.local_vm(vid).ok_or(CloudError::UnknownVm(vid))?;
         let pid = monatt_attacks::rootkit::infect_with_rootkit(node.sim_mut(), local, service_name)

@@ -36,7 +36,7 @@ impl Cloud {
             .clone();
         let response_us = match action {
             ResponseAction::Termination => {
-                if let Some(node) = self.servers.get_mut(&record.server) {
+                if let Some(node) = self.touch_server(record.server) {
                     node.remove_vm(vid);
                 }
                 self.controller.release_capacity(vid);
@@ -46,7 +46,7 @@ impl Cloud {
                 self.latency.terminate_us(record.flavor)
             }
             ResponseAction::Suspension => {
-                if let Some(node) = self.servers.get_mut(&record.server) {
+                if let Some(node) = self.touch_server(record.server) {
                     node.suspend_vm(vid);
                 }
                 if let Some(r) = self.controller.vm_mut(vid) {
@@ -69,7 +69,7 @@ impl Cloud {
                     pin_pcpu: None,
                     handles: WorkloadHandles::default(),
                 });
-                if let Some(node) = self.servers.get_mut(&record.server) {
+                if let Some(node) = self.touch_server(record.server) {
                     node.remove_vm(vid);
                 }
                 self.controller.release_capacity(vid);
@@ -84,8 +84,7 @@ impl Cloud {
                     m.handles = handles;
                 }
                 let node = self
-                    .servers
-                    .get_mut(&destination)
+                    .touch_server(destination)
                     .ok_or(CloudError::UnknownServer(destination))?;
                 node.launch_vm_pinned(vid, record.image, image_bytes, drivers, 256, meta.pin_pcpu);
                 if let Some(r) = self.controller.vm_mut(vid) {
@@ -124,7 +123,7 @@ impl Cloud {
             };
             // The crashed host's simulator state for this VM is gone
             // either way.
-            if let Some(node) = self.servers.get_mut(&crashed) {
+            if let Some(node) = self.touch_server(crashed) {
                 node.remove_vm(vid);
             }
             self.controller.release_capacity(vid);
@@ -150,7 +149,7 @@ impl Cloud {
                     if let Some(m) = self.vm_meta.get_mut(&vid) {
                         m.handles = handles;
                     }
-                    if let Some(node) = self.servers.get_mut(&destination) {
+                    if let Some(node) = self.touch_server(destination) {
                         node.launch_vm_pinned(
                             vid,
                             record.image,
@@ -201,7 +200,7 @@ impl Cloud {
                 .vm(vid)
                 .ok_or(CloudError::UnknownVm(vid))?
                 .clone();
-            if let Some(node) = self.servers.get_mut(&record.server) {
+            if let Some(node) = self.touch_server(record.server) {
                 node.suspend_vm(vid);
             }
             if let Some(r) = self.controller.vm_mut(vid) {
@@ -222,7 +221,7 @@ impl Cloud {
             .vm(vid)
             .ok_or(CloudError::UnknownVm(vid))?
             .clone();
-        if let Some(node) = self.servers.get_mut(&record.server) {
+        if let Some(node) = self.touch_server(record.server) {
             node.resume_vm(vid);
         }
         if let Some(r) = self.controller.vm_mut(vid) {

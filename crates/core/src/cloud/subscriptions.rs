@@ -248,6 +248,11 @@ impl Cloud {
         let remaining = end.saturating_sub(self.wall_clock_us);
         if remaining > 0 {
             self.advance(remaining);
+        } else {
+            // Event dispatch moved only the wall clock (lazy pull);
+            // settle every server before handing control back so
+            // callers observe post-run state.
+            self.sync_servers();
         }
     }
 

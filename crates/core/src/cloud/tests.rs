@@ -366,6 +366,41 @@ fn session_gauges_track_protocol_activity() {
 }
 
 #[test]
+fn sharded_queue_depths_break_down_the_merged_stat() {
+    let mut c = CloudBuilder::new().servers(4).seed(907).shards(4).build();
+    let mut vids = Vec::new();
+    for _ in 0..4 {
+        vids.push(
+            c.request_vm(
+                VmRequest::new(Flavor::Small, Image::Cirros)
+                    .require(SecurityProperty::RuntimeIntegrity),
+            )
+            .unwrap(),
+        );
+    }
+    c.reset_protocol_stats();
+    for &vid in &vids {
+        c.runtime_attest_periodic(vid, SecurityProperty::RuntimeIntegrity, 1_000_000)
+            .unwrap();
+    }
+    c.run(2_000_001);
+    let stats = c.protocol_stats();
+    let depths = c.shard_queue_depths();
+    assert_eq!(depths.len(), 4, "one high-water mark per shard");
+    // The controller-side shard (0) carries the subscription timers and
+    // the controller/attserver hops; the per-server shards carry their
+    // own VMs' events. Every shard must have seen traffic, and no
+    // single-shard peak can exceed the merged high-water mark.
+    assert!(depths.iter().all(|&d| d >= 1), "idle shard in {depths:?}");
+    let merged = stats.max_queue_depth as usize;
+    assert!(merged >= 1);
+    assert!(
+        depths.iter().all(|&d| d <= merged),
+        "shard peak exceeds merged mark: {depths:?} vs {merged}"
+    );
+}
+
+#[test]
 fn random_interval_periodic_attestation() {
     let mut c = cloud();
     let vid = c

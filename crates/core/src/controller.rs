@@ -8,7 +8,7 @@ use crate::messages::CustomerReportMsg;
 use crate::types::{Flavor, HealthStatus, Image, SecurityProperty, ServerId, Vid};
 use monatt_crypto::drbg::Drbg;
 use monatt_crypto::schnorr::{SigningKey, VerifyingKey};
-use monatt_net::wire::Wire;
+use monatt_net::wire::EncodeScratch;
 use monatt_tpm::quote::Quote;
 use std::collections::BTreeMap;
 
@@ -248,12 +248,24 @@ impl CloudController {
         status: HealthStatus,
         nonce1: [u8; 32],
     ) -> CustomerReportMsg {
+        self.certify_customer_report_with(vid, property, status, nonce1, &mut EncodeScratch::new())
+    }
+
+    /// [`Self::certify_customer_report`] with a caller-provided encode
+    /// scratch, so the warm attestation path signs without allocating.
+    pub fn certify_customer_report_with(
+        &self,
+        vid: Vid,
+        property: SecurityProperty,
+        status: HealthStatus,
+        nonce1: [u8; 32],
+        scratch: &mut EncodeScratch,
+    ) -> CustomerReportMsg {
         let vid_bytes = vid.0.to_be_bytes();
-        let prop_bytes = property.to_wire();
-        let status_bytes = status.to_wire();
+        let (prop_bytes, status_bytes) = scratch.encode_pair(&property, &status);
         let quote = Quote::create(
             &self.identity,
-            &[&vid_bytes, &prop_bytes, &status_bytes, &nonce1],
+            &[&vid_bytes, prop_bytes, status_bytes, &nonce1],
         );
         CustomerReportMsg {
             vid,
@@ -274,18 +286,37 @@ impl CloudController {
         controller_key: &VerifyingKey,
         expected_nonce1: [u8; 32],
     ) -> Result<(), CloudError> {
+        Self::verify_customer_report_with(
+            msg,
+            controller_key,
+            expected_nonce1,
+            &mut EncodeScratch::new(),
+        )
+    }
+
+    /// [`Self::verify_customer_report`] with a caller-provided encode
+    /// scratch.
+    ///
+    /// # Errors
+    ///
+    /// [`CloudError::ProtocolFailure`] naming the failed check.
+    pub fn verify_customer_report_with(
+        msg: &CustomerReportMsg,
+        controller_key: &VerifyingKey,
+        expected_nonce1: [u8; 32],
+        scratch: &mut EncodeScratch,
+    ) -> Result<(), CloudError> {
         if msg.nonce1 != expected_nonce1 {
             return Err(CloudError::ProtocolFailure {
                 reason: "nonce N1 mismatch (possible replay)".into(),
             });
         }
         let vid_bytes = msg.vid.0.to_be_bytes();
-        let prop_bytes = msg.property.to_wire();
-        let status_bytes = msg.status.to_wire();
+        let (prop_bytes, status_bytes) = scratch.encode_pair(&msg.property, &msg.status);
         msg.quote
             .verify(
                 controller_key,
-                &[&vid_bytes, &prop_bytes, &status_bytes, &msg.nonce1],
+                &[&vid_bytes, prop_bytes, status_bytes, &msg.nonce1],
             )
             .map_err(|e| CloudError::ProtocolFailure {
                 reason: format!("quote Q1 verification failed: {e}"),

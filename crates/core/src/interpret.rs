@@ -18,6 +18,11 @@ pub const DEFAULT_WINDOW_US: u64 = 1_000_000;
 #[derive(Clone, Debug)]
 pub struct ReferenceDb {
     platform_components: Vec<&'static str>,
+    // Reference values are fixed for the database's lifetime, so they are
+    // computed once here: appraisal sits on the per-attestation hot path
+    // and must not re-derive (or re-allocate) pristine blobs every round.
+    platform_pcr: [u8; 32],
+    image_hashes: [[u8; 32]; Image::ALL.len()],
 }
 
 impl Default for ReferenceDb {
@@ -29,8 +34,15 @@ impl Default for ReferenceDb {
 impl ReferenceDb {
     /// Creates the reference database with the stock platform software.
     pub fn new() -> Self {
+        let platform_components = vec!["firmware-v2", "xen-4.4", "dom0-linux-3.13"];
+        let digests: Vec<[u8; 32]> = platform_components
+            .iter()
+            .map(|c| sha256(c.as_bytes()))
+            .collect();
         ReferenceDb {
-            platform_components: vec!["firmware-v2", "xen-4.4", "dom0-linux-3.13"],
+            platform_pcr: PcrBank::replay(&digests),
+            image_hashes: Image::ALL.map(|image| sha256(&image.pristine_bytes())),
+            platform_components,
         }
     }
 
@@ -41,17 +53,17 @@ impl ReferenceDb {
 
     /// The expected PCR value of a pristine platform.
     pub fn expected_platform_pcr(&self) -> [u8; 32] {
-        let digests: Vec<[u8; 32]> = self
-            .platform_components
-            .iter()
-            .map(|c| sha256(c.as_bytes()))
-            .collect();
-        PcrBank::replay(&digests)
+        self.platform_pcr
     }
 
     /// The expected hash of a pristine image.
     pub fn expected_image_hash(&self, image: Image) -> [u8; 32] {
-        sha256(&image.pristine_bytes())
+        let [cirros, fedora, ubuntu] = self.image_hashes;
+        match image {
+            Image::Cirros => cirros,
+            Image::Fedora => fedora,
+            Image::Ubuntu => ubuntu,
+        }
     }
 }
 

@@ -43,6 +43,7 @@
 
 #![warn(missing_docs)]
 
+pub(crate) mod arena;
 pub mod attestation;
 pub mod cloud;
 pub mod controller;

@@ -159,7 +159,7 @@ impl Wire for ControllerForward {
 }
 
 /// Message 3 (AS → CS): the measurement request `(Vid, rM, N3)`.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct MeasureRequest {
     /// The VM to measure.
     pub vid: Vid,

@@ -78,6 +78,7 @@ pub struct CloudServerNode {
     supported: BTreeSet<&'static str>,
     window_start_cpu: BTreeMap<Vid, u64>,
     window_start_pmu: BTreeMap<Vid, monatt_hypervisor::pmu::VmCounters>,
+    quote_scratch: monatt_net::wire::EncodeScratch,
 }
 
 impl std::fmt::Debug for CloudServerNode {
@@ -120,6 +121,7 @@ impl CloudServerNode {
             supported: supported.iter().map(|p| p.label()).collect(),
             window_start_cpu: BTreeMap::new(),
             window_start_pmu: BTreeMap::new(),
+            quote_scratch: monatt_net::wire::EncodeScratch::new(),
         }
     }
 
@@ -256,6 +258,16 @@ impl CloudServerNode {
     /// Runs the hypervisor for `duration_us` of simulated time.
     pub fn advance(&mut self, duration_us: u64) {
         self.sim.run_for(duration_us);
+    }
+
+    /// Catches the hypervisor up to the cloud wall clock (the lazy-clock
+    /// pull model: the cloud moves only its wall clock per event, and a
+    /// node pays its elapsed time when next touched). Quiescent servers
+    /// fast-forward in O(pending events) rather than O(elapsed ticks),
+    /// which is what makes 100k-server fleets tractable.
+    pub fn catch_up(&mut self, wall_us: u64) {
+        self.sim
+            .run_until_lazy(monatt_hypervisor::time::SimTime::from_micros(wall_us));
     }
 
     /// Opens a measurement window for a runtime spec: resets the VMM
@@ -418,9 +430,8 @@ impl CloudServerNode {
         let measurement = self.collect(spec, vid)?;
         let session = self.trust.begin_attestation();
         let vid_bytes = vid.0.to_be_bytes();
-        let spec_bytes = monatt_net::wire::Wire::to_wire(&spec);
-        let meas_bytes = monatt_net::wire::Wire::to_wire(&measurement);
-        let quote = session.quote(&[&vid_bytes, &spec_bytes, &meas_bytes, &nonce]);
+        let (spec_bytes, meas_bytes) = self.quote_scratch.encode_pair(&spec, &measurement);
+        let quote = session.quote(&[&vid_bytes, spec_bytes, meas_bytes, &nonce]);
         Some(AttestationResponse {
             vid,
             spec,

@@ -56,8 +56,11 @@ use monatt_net::channel::{ChannelError, SecureChannel};
 use monatt_net::wire::Wire;
 use std::collections::{BTreeMap, BTreeSet};
 
-/// Identifier of an in-flight attestation session.
-pub(crate) type SessionId = u64;
+pub(crate) use crate::arena::SessionId;
+
+/// The in-flight session table: slot-indexed, generation-checked,
+/// buffer-retaining (see [`crate::arena`]).
+pub(crate) type SessionArena = crate::arena::Arena<AttestSession>;
 
 /// Which Figure-3 record is currently on the wire.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -133,7 +136,7 @@ pub(crate) enum CloudEvent {
 }
 
 /// What a session is for.
-#[derive(Clone, Debug)]
+#[derive(Clone, Copy, Debug)]
 pub(crate) enum SessionGoal {
     /// Full customer-facing exchange, messages 1–6.
     Customer {
@@ -186,8 +189,11 @@ pub(crate) struct AttestSession {
     /// channel sequence number) back on the wire. A late or duplicated
     /// copy of an already-delivered record then bounces off the
     /// receiver's anti-replay window — the hop can never be processed
-    /// twice.
-    sealed: Option<Vec<u8>>,
+    /// twice. Empty means "not sealed yet" (a sealed record is never
+    /// empty: it carries at least a header and a tag); the buffer is
+    /// reused across hops and sessions, so the warm path never
+    /// reallocates it.
+    sealed: Vec<u8>,
     /// Current hop generation; bumped when a hop completes so stale
     /// `Retry`/`LateArrival` timers from earlier in the hop die.
     generation: u32,
@@ -202,8 +208,11 @@ pub(crate) struct AttestSession {
     /// checks it.
     deadline: Option<(u64, u64)>,
     /// Opened plaintext parked between transmit resolution and the
-    /// arrival event.
-    inbox: Option<Vec<u8>>,
+    /// arrival event. `inbox_full` distinguishes "a record is parked"
+    /// from the empty resting state; the buffer itself is reused across
+    /// hops (ping-ponged out during dispatch, put back after).
+    inbox: Vec<u8>,
+    inbox_full: bool,
     last_auth_failure: Option<ChannelError>,
     /// Nonce N2 (controller ↔ attestation server).
     nonce2: [u8; 32],
@@ -220,38 +229,27 @@ pub(crate) struct AttestSession {
 }
 
 impl AttestSession {
-    fn new(
-        vid: Vid,
-        server: ServerId,
-        property: SecurityProperty,
-        expected_image: Image,
-        goal: SessionGoal,
-        origin: SessionOrigin,
-        wire: Vec<u8>,
-    ) -> Self {
-        // A customer-facing session enters the protocol at message 1;
-        // an internal (launch-time) session skips the customer hop.
-        let stage = match goal {
-            SessionGoal::Customer { .. } => Stage::Msg1,
-            SessionGoal::Internal => Stage::Msg2,
-        };
+    /// The seed value for a never-used arena slot: every field is
+    /// overwritten by [`AttestSession::reset`] before use.
+    fn vacant() -> Self {
         AttestSession {
-            vid,
-            server,
-            property,
-            expected_image,
-            goal,
-            origin,
-            stage,
+            vid: Vid(0),
+            server: ServerId(0),
+            property: SecurityProperty::StartupIntegrity,
+            expected_image: Image::Cirros,
+            goal: SessionGoal::Internal,
+            origin: SessionOrigin::Api,
+            stage: Stage::Msg2,
             attempt: 0,
             elapsed_us: 0,
-            wire,
-            sealed: None,
+            wire: Vec::new(),
+            sealed: Vec::new(),
             generation: 0,
             late: Vec::new(),
             retry_deferred: false,
             deadline: None,
-            inbox: None,
+            inbox: Vec::new(),
+            inbox_full: false,
             last_auth_failure: None,
             nonce2: [0; 32],
             nonce3: [0; 32],
@@ -260,6 +258,51 @@ impl AttestSession {
             verdict: None,
             pending: None,
         }
+    }
+
+    /// Re-initializes a (possibly recycled) arena slot for a new
+    /// exchange. Every field is reset; `Vec`-backed fields are cleared
+    /// in place so a recycled slot's buffer capacity survives — the
+    /// caller then encodes the first hop into `wire` via
+    /// [`Wire::encode_into`].
+    fn reset(
+        &mut self,
+        vid: Vid,
+        server: ServerId,
+        property: SecurityProperty,
+        expected_image: Image,
+        goal: SessionGoal,
+        origin: SessionOrigin,
+    ) {
+        self.vid = vid;
+        self.server = server;
+        self.property = property;
+        self.expected_image = expected_image;
+        self.goal = goal;
+        self.origin = origin;
+        // A customer-facing session enters the protocol at message 1;
+        // an internal (launch-time) session skips the customer hop.
+        self.stage = match goal {
+            SessionGoal::Customer { .. } => Stage::Msg1,
+            SessionGoal::Internal => Stage::Msg2,
+        };
+        self.attempt = 0;
+        self.elapsed_us = 0;
+        self.wire.clear();
+        self.sealed.clear();
+        self.generation = 0;
+        self.late.clear();
+        self.retry_deferred = false;
+        self.deadline = None;
+        self.inbox.clear();
+        self.inbox_full = false;
+        self.last_auth_failure = None;
+        self.nonce2 = [0; 32];
+        self.nonce3 = [0; 32];
+        self.spec = None;
+        self.measure = None;
+        self.verdict = None;
+        self.pending = None;
     }
 }
 
@@ -346,29 +389,35 @@ impl Cloud {
         origin: SessionOrigin,
     ) -> Result<SessionId, CloudError> {
         self.admit_session()?;
-        let record = self
-            .controller
-            .vm(vid)
-            .ok_or(CloudError::UnknownVm(vid))?
-            .clone();
+        let record = self.controller.vm(vid).ok_or(CloudError::UnknownVm(vid))?;
         if record.state == VmLifecycle::Terminated {
             return Err(CloudError::UnknownVm(vid));
         }
+        // Copy the two placement fields instead of cloning the record:
+        // the session only needs them, and the borrow must end before
+        // the nonce draw below.
+        let server = record.server;
+        let image = record.image;
         let nonce1 = self.fresh_nonce();
         let request = CustomerRequest {
             vid,
             property,
             nonce1,
         };
-        self.spawn_session(AttestSession::new(
+        let (sid, session) = self
+            .sessions
+            .alloc_with(AttestSession::vacant)
+            .ok_or_else(lost_session)?;
+        session.reset(
             vid,
-            record.server,
+            server,
             property,
-            record.image,
+            image,
             SessionGoal::Customer { nonce1 },
             origin,
-            request.to_wire(),
-        ))
+        );
+        request.encode_into(&mut session.wire);
+        self.spawn_prepared(sid)
     }
 
     /// Starts a controller-internal session (messages 2–5), used by the
@@ -388,30 +437,37 @@ impl Cloud {
             property,
             nonce2,
         };
-        let mut session = AttestSession::new(
+        let (sid, session) = self
+            .sessions
+            .alloc_with(AttestSession::vacant)
+            .ok_or_else(lost_session)?;
+        session.reset(
             vid,
             server,
             property,
             expected_image,
             SessionGoal::Internal,
             SessionOrigin::Api,
-            fwd.to_wire(),
         );
         session.nonce2 = nonce2;
-        self.spawn_session(session)
+        fwd.encode_into(&mut session.wire);
+        self.spawn_prepared(sid)
     }
 
-    fn spawn_session(&mut self, mut session: AttestSession) -> Result<SessionId, CloudError> {
-        session.deadline = self
+    /// Arms and launches a session already reset into its arena slot:
+    /// stamps the deadline, bumps the spawn stats and puts the first
+    /// hop on the wire (retiring the slot again if that fails).
+    fn spawn_prepared(&mut self, sid: SessionId) -> Result<SessionId, CloudError> {
+        let deadline = self
             .session_deadline_us
             .map(|budget| (budget, self.wall_clock_us.saturating_add(budget)));
-        let sid = self.next_session;
-        self.next_session += 1;
-        self.sessions.insert(sid, session);
+        if let Some(session) = self.sessions.get_mut(sid) {
+            session.deadline = deadline;
+        }
         self.stats.sessions_started += 1;
         self.stats.max_in_flight = self.stats.max_in_flight.max(self.sessions.len() as u64);
         if let Err(e) = self.transmit_attempt(sid, 0) {
-            self.sessions.remove(&sid);
+            self.sessions.remove(sid);
             self.stats.sessions_failed += 1;
             self.classify_failure(&e);
             return Err(e);
@@ -435,7 +491,7 @@ impl Cloud {
     /// the queue only ever holds this session's events.
     pub(crate) fn pump_session(&mut self, sid: SessionId) -> SessionOutcome {
         loop {
-            let parked = match self.sessions.get_mut(&sid) {
+            let parked = match self.sessions.get_mut(sid) {
                 None => {
                     return Err(CloudError::ProtocolFailure {
                         reason: "attestation session vanished".into(),
@@ -444,11 +500,11 @@ impl Cloud {
                 Some(s) => s.pending.take(),
             };
             if let Some(outcome) = parked {
-                self.sessions.remove(&sid);
+                self.sessions.remove(sid);
                 return outcome;
             }
             if self.engine.is_empty() {
-                self.sessions.remove(&sid);
+                self.sessions.remove(sid);
                 return Err(CloudError::ProtocolFailure {
                     reason: "event queue stalled mid-session".into(),
                 });
@@ -481,16 +537,20 @@ impl Cloud {
             engine,
             wall_clock_us,
             down,
+            record_scratch,
             ..
         } = self;
         let now = *wall_clock_us;
-        let session = sessions.get_mut(&sid).ok_or_else(lost_session)?;
+        let session = sessions.get_mut(sid).ok_or_else(lost_session)?;
         // Fail fast when a node this hop depends on is crashed —
         // checked before any RNG draw or transmission, so the session
         // does not burn the retransmission ladder against a black hole.
         if let Some(node) = down_node_for(down, session.stage, session.server) {
             return Err(CloudError::NodeDown { node });
         }
+        // Session events shard by target server (routing only — never
+        // affects pop order; see `crate::engine`).
+        let shard_key = session.server.0 as u64;
         let mut offset = pre_delay_us;
         session.attempt += 1;
         if session.attempt > 1 {
@@ -504,18 +564,21 @@ impl Cloud {
         // Seal once per hop: retransmits resend the byte-identical
         // record, so the receiver's anti-replay window deduplicates a
         // late first copy arriving after a retransmit was processed.
-        let record = match (&session.sealed, session.attempt) {
-            (Some(cached), attempt) if attempt > 1 => cached.clone(),
-            _ => {
-                let fresh = send.seal(b"", &session.wire);
-                session.sealed = Some(fresh.clone());
-                fresh
-            }
-        };
+        // The sealed record lives in the session's reusable buffer
+        // (empty = not sealed yet for this hop).
+        if session.attempt == 1 {
+            send.seal_into(b"", &session.wire, &mut session.sealed);
+        }
         stats.messages_sent += 1;
-        let delivery = network.send_at(recv.peer(), send.peer(), &record, now + offset);
-        match delivery.payload {
-            None => {
+        let delivery = network.send_at_into(
+            recv.peer(),
+            send.peer(),
+            &session.sealed,
+            now + offset,
+            record_scratch,
+        );
+        match delivery.delivered {
+            false => {
                 // Nothing arrived: the sender learns of the loss only by
                 // timing out.
                 stats.drops_seen += 1;
@@ -523,13 +586,14 @@ impl Cloud {
                 session.elapsed_us += retry.timeout_us;
                 engine.schedule(
                     now + offset + retry.timeout_us,
+                    shard_key,
                     CloudEvent::Session {
                         sid,
                         event: SessionEvent::Retry { generation },
                     },
                 );
             }
-            Some(delivered) if delivery.latency_us > retry.timeout_us && retry.max_attempts > 1 => {
+            true if delivery.latency_us > retry.timeout_us && retry.max_attempts > 1 => {
                 // Delivered, but past the sender's loss-detection
                 // timeout: the sender retransmits first. Park the late
                 // record unopened until its arrival instant — by then a
@@ -542,9 +606,10 @@ impl Cloud {
                 for _ in 0..copies {
                     session
                         .late
-                        .push((session.stage, generation, delivered.clone()));
+                        .push((session.stage, generation, record_scratch.clone()));
                     engine.schedule(
                         delivery.deliver_at_us,
+                        shard_key,
                         CloudEvent::Session {
                             sid,
                             event: SessionEvent::LateArrival { generation },
@@ -553,20 +618,24 @@ impl Cloud {
                 }
                 engine.schedule(
                     now + offset + retry.timeout_us,
+                    shard_key,
                     CloudEvent::Session {
                         sid,
                         event: SessionEvent::Retry { generation },
                     },
                 );
             }
-            Some(delivered) => match recv.open(b"", &delivered) {
-                Ok(plaintext) => {
+            true => match recv.open_into(b"", record_scratch, &mut session.inbox) {
+                Ok(()) => {
+                    session.inbox_full = true;
                     session.elapsed_us += delivery.latency_us;
                     if delivery.duplicated {
                         // The network delivered a second identical copy;
                         // the receive window must reject it without
-                        // desynchronizing the channel.
-                        match recv.open(b"", &delivered) {
+                        // desynchronizing the channel. The rejection
+                        // happens before the output buffer is touched,
+                        // so an empty throwaway Vec never allocates.
+                        match recv.open_into(b"", record_scratch, &mut Vec::new()) {
                             Err(ChannelError::DuplicateRecord) => {
                                 stats.duplicates_rejected += 1;
                             }
@@ -580,9 +649,9 @@ impl Cloud {
                             }
                         }
                     }
-                    session.inbox = Some(plaintext);
                     engine.schedule(
                         delivery.deliver_at_us,
+                        shard_key,
                         CloudEvent::Session {
                             sid,
                             event: SessionEvent::Arrival,
@@ -599,6 +668,7 @@ impl Cloud {
                     session.last_auth_failure = Some(e);
                     engine.schedule(
                         now + offset + delivery.latency_us + retry.timeout_us,
+                        shard_key,
                         CloudEvent::Session {
                             sid,
                             event: SessionEvent::Retry { generation },
@@ -607,7 +677,7 @@ impl Cloud {
                 }
             },
         }
-        stats.max_queue_depth = stats.max_queue_depth.max(engine.len() as u64);
+        stats.max_queue_depth = stats.max_queue_depth.max(engine.max_depth() as u64);
         Ok(())
     }
 
@@ -618,7 +688,7 @@ impl Cloud {
         // that already terminated (failed fast on a node crash, or its
         // outcome is parked for an API pump) — are discarded here, so a
         // terminal outcome is recorded exactly once.
-        let Some(session) = self.sessions.get(&sid) else {
+        let Some(session) = self.sessions.get(sid) else {
             return;
         };
         if session.pending.is_some() {
@@ -641,7 +711,7 @@ impl Cloud {
     /// Sessions without a deadline (the default) never check.
     fn check_deadline(&mut self, sid: SessionId) -> Result<(), CloudError> {
         let now = self.wall_clock_us;
-        let session = self.sessions.get(&sid).ok_or_else(lost_session)?;
+        let session = self.sessions.get(sid).ok_or_else(lost_session)?;
         if let Some((budget_us, expires_at)) = session.deadline {
             if now > expires_at {
                 return Err(CloudError::DeadlineExceeded {
@@ -655,32 +725,48 @@ impl Cloud {
 
     fn step_arrival(&mut self, sid: SessionId) -> Result<(), CloudError> {
         self.check_deadline(sid)?;
-        let (stage, bytes) = {
-            let session = self.sessions.get_mut(&sid).ok_or_else(lost_session)?;
-            let bytes = session
-                .inbox
-                .take()
-                .ok_or_else(|| CloudError::ProtocolFailure {
+        let stage = {
+            let Cloud {
+                sessions,
+                inbox_scratch,
+                ..
+            } = &mut *self;
+            let session = sessions.get_mut(sid).ok_or_else(lost_session)?;
+            if !session.inbox_full {
+                return Err(CloudError::ProtocolFailure {
                     reason: "arrival event without a delivered record".into(),
-                })?;
+                });
+            }
+            session.inbox_full = false;
+            // Ping-pong the delivered plaintext into the cloud-level
+            // scratch: the session's inbox must keep a capacity-bearing
+            // buffer during dispatch, because the next hop's open lands
+            // in it before this function returns.
+            std::mem::swap(&mut session.inbox, inbox_scratch);
             // The hop completed; the next one starts a fresh attempt
             // budget, a fresh sealed record, and a new generation (any
             // still-pending Retry timer of this hop is now stale).
             session.attempt = 0;
             session.last_auth_failure = None;
-            session.sealed = None;
+            session.sealed.clear();
             session.retry_deferred = false;
             session.generation = session.generation.wrapping_add(1);
-            (session.stage, bytes)
+            session.stage
         };
-        match stage {
+        // Moving a Vec out of `self` for the dispatch neither allocates
+        // nor frees; it is put back afterwards so both ping-pong
+        // buffers keep their capacity.
+        let bytes = std::mem::take(&mut self.inbox_scratch);
+        let result = match stage {
             Stage::Msg1 => self.on_msg1(sid, &bytes),
             Stage::Msg2 => self.on_msg2(sid, &bytes),
             Stage::Msg3 => self.on_msg3(sid, &bytes),
             Stage::Msg4 => self.on_msg4(sid, &bytes),
             Stage::Msg5 => self.on_msg5(sid, &bytes),
             Stage::Msg6 => self.on_msg6(sid, &bytes),
-        }
+        };
+        self.inbox_scratch = bytes;
+        result
     }
 
     /// The controller receives the customer request: draw N2, forward.
@@ -688,7 +774,7 @@ impl Cloud {
         let request = CustomerRequest::from_wire(bytes).map_err(|e| malformed("request", e))?;
         let nonce2 = self.fresh_nonce();
         let charge = self.latency.post_hop_us(1);
-        let session = self.sessions.get_mut(&sid).ok_or_else(lost_session)?;
+        let session = self.sessions.get_mut(sid).ok_or_else(lost_session)?;
         session.nonce2 = nonce2;
         let fwd = ControllerForward {
             vid: request.vid,
@@ -697,7 +783,7 @@ impl Cloud {
             nonce2,
         };
         session.stage = Stage::Msg2;
-        session.wire = fwd.to_wire();
+        fwd.encode_into(&mut session.wire);
         self.transmit_attempt(sid, charge)
     }
 
@@ -710,11 +796,11 @@ impl Cloud {
             .attserver
             .build_measure_request(fwd.vid, fwd.property, nonce3);
         let charge = self.latency.post_hop_us(2);
-        let session = self.sessions.get_mut(&sid).ok_or_else(lost_session)?;
+        let session = self.sessions.get_mut(sid).ok_or_else(lost_session)?;
         session.nonce3 = nonce3;
         session.spec = Some(measure_req.spec);
         session.stage = Stage::Msg3;
-        session.wire = measure_req.to_wire();
+        measure_req.encode_into(&mut session.wire);
         self.transmit_attempt(sid, charge)
     }
 
@@ -724,7 +810,7 @@ impl Cloud {
         let req = MeasureRequest::from_wire(bytes).map_err(|e| malformed("measure request", e))?;
         let charge = self.latency.post_hop_us(3);
         let due = self.wall_clock_us + charge;
-        let session = self.sessions.get_mut(&sid).ok_or_else(lost_session)?;
+        let session = self.sessions.get_mut(sid).ok_or_else(lost_session)?;
         session.measure = Some(req);
         session.elapsed_us += charge;
         self.schedule_session_event(due, sid, SessionEvent::WindowOpen);
@@ -739,7 +825,7 @@ impl Cloud {
         self.check_deadline(sid)?;
         let now = self.wall_clock_us;
         let (server, req_vid, spec) = {
-            let session = self.sessions.get(&sid).ok_or_else(lost_session)?;
+            let session = self.sessions.get(sid).ok_or_else(lost_session)?;
             let req = session.measure.as_ref().ok_or_else(lost_session)?;
             (session.server, req.vid, req.spec)
         };
@@ -749,19 +835,18 @@ impl Cloud {
         }
         let free_at = self.window_free_at.get(&server).copied().unwrap_or(0);
         if free_at > now {
-            if let Some(session) = self.sessions.get_mut(&sid) {
+            if let Some(session) = self.sessions.get_mut(sid) {
                 session.elapsed_us += free_at - now;
             }
             self.schedule_session_event(free_at, sid, SessionEvent::WindowOpen);
             return Ok(());
         }
         let node = self
-            .servers
-            .get_mut(&server)
+            .touch_server(server)
             .ok_or(CloudError::UnknownServer(server))?;
         node.begin_window(spec, req_vid);
         self.window_free_at.insert(server, now + window);
-        if let Some(session) = self.sessions.get_mut(&sid) {
+        if let Some(session) = self.sessions.get_mut(sid) {
             session.elapsed_us += window;
         }
         self.schedule_session_event(now + window, sid, SessionEvent::WindowClose);
@@ -774,8 +859,8 @@ impl Cloud {
     fn step_window_close(&mut self, sid: SessionId) -> Result<(), CloudError> {
         self.check_deadline(sid)?;
         let (server, vid, expected_image, req) = {
-            let session = self.sessions.get(&sid).ok_or_else(lost_session)?;
-            let req = session.measure.clone().ok_or_else(lost_session)?;
+            let session = self.sessions.get(sid).ok_or_else(lost_session)?;
+            let req = session.measure.ok_or_else(lost_session)?;
             (session.server, session.vid, session.expected_image, req)
         };
         let hashed = if matches!(req.spec, MeasurementSpec::BootIntegrity) {
@@ -785,8 +870,7 @@ impl Cloud {
         };
         let charge = self.latency.measurement_us(hashed);
         let response = self
-            .servers
-            .get_mut(&server)
+            .touch_server(server)
             .ok_or(CloudError::UnknownServer(server))?
             .attest(req.vid, req.spec, req.nonce3)
             .ok_or(CloudError::UnknownVm(vid))?;
@@ -798,9 +882,9 @@ impl Cloud {
             quote: response.quote,
             cert_request: response.cert_request,
         };
-        let session = self.sessions.get_mut(&sid).ok_or_else(lost_session)?;
+        let session = self.sessions.get_mut(sid).ok_or_else(lost_session)?;
         session.stage = Stage::Msg4;
-        session.wire = msg4.to_wire();
+        msg4.encode_into(&mut session.wire);
         self.transmit_attempt(sid, charge)
     }
 
@@ -810,7 +894,7 @@ impl Cloud {
         let msg4 =
             MeasureResponse::from_wire(bytes).map_err(|e| malformed("measure response", e))?;
         let (vid, server, property, expected_image, spec, nonce2, nonce3) = {
-            let session = self.sessions.get(&sid).ok_or_else(lost_session)?;
+            let session = self.sessions.get(sid).ok_or_else(lost_session)?;
             let spec = session.spec.ok_or_else(lost_session)?;
             (
                 session.vid,
@@ -822,17 +906,23 @@ impl Cloud {
                 session.nonce3,
             )
         };
-        self.attserver.validate_response(&msg4, vid, spec, nonce3)?;
+        self.attserver
+            .validate_response_with(&msg4, vid, spec, nonce3, &mut self.quote_scratch)?;
         let status = self
             .attserver
             .interpret_response(property, &msg4, expected_image);
-        let report_msg = self
-            .attserver
-            .certify_report(vid, server, property, status, nonce2);
+        let report_msg = self.attserver.certify_report_with(
+            vid,
+            server,
+            property,
+            status,
+            nonce2,
+            &mut self.quote_scratch,
+        );
         let charge = self.latency.post_hop_us(4);
-        let session = self.sessions.get_mut(&sid).ok_or_else(lost_session)?;
+        let session = self.sessions.get_mut(sid).ok_or_else(lost_session)?;
         session.stage = Stage::Msg5;
-        session.wire = report_msg.to_wire();
+        report_msg.encode_into(&mut session.wire);
         self.transmit_attempt(sid, charge)
     }
 
@@ -843,35 +933,36 @@ impl Cloud {
         let report_msg =
             AttestationReportMsg::from_wire(bytes).map_err(|e| malformed("report", e))?;
         let (vid, property, nonce2, goal) = {
-            let session = self.sessions.get(&sid).ok_or_else(lost_session)?;
-            (
-                session.vid,
-                session.property,
-                session.nonce2,
-                session.goal.clone(),
-            )
+            let session = self.sessions.get(sid).ok_or_else(lost_session)?;
+            (session.vid, session.property, session.nonce2, session.goal)
         };
-        AttestationServer::verify_report_msg(&report_msg, &self.attserver.identity_key(), nonce2)?;
+        AttestationServer::verify_report_msg_with(
+            &report_msg,
+            &self.attserver.identity_key(),
+            nonce2,
+            &mut self.quote_scratch,
+        )?;
         let charge = self.latency.post_hop_us(5);
         match goal {
             SessionGoal::Internal => {
                 let due = self.wall_clock_us + charge;
-                let session = self.sessions.get_mut(&sid).ok_or_else(lost_session)?;
+                let session = self.sessions.get_mut(sid).ok_or_else(lost_session)?;
                 session.verdict = Some(report_msg.status);
                 session.elapsed_us += charge;
                 self.schedule_session_event(due, sid, SessionEvent::Complete);
                 Ok(())
             }
             SessionGoal::Customer { nonce1 } => {
-                let customer_report = self.controller.certify_customer_report(
+                let customer_report = self.controller.certify_customer_report_with(
                     vid,
                     property,
                     report_msg.status,
                     nonce1,
+                    &mut self.quote_scratch,
                 );
-                let session = self.sessions.get_mut(&sid).ok_or_else(lost_session)?;
+                let session = self.sessions.get_mut(sid).ok_or_else(lost_session)?;
                 session.stage = Stage::Msg6;
-                session.wire = customer_report.to_wire();
+                customer_report.encode_into(&mut session.wire);
                 self.transmit_attempt(sid, charge)
             }
         }
@@ -883,20 +974,21 @@ impl Cloud {
         let report_msg =
             CustomerReportMsg::from_wire(bytes).map_err(|e| malformed("customer report", e))?;
         let nonce1 = {
-            let session = self.sessions.get(&sid).ok_or_else(lost_session)?;
+            let session = self.sessions.get(sid).ok_or_else(lost_session)?;
             match session.goal {
                 SessionGoal::Customer { nonce1 } => nonce1,
                 SessionGoal::Internal => return Err(lost_session()),
             }
         };
-        CloudController::verify_customer_report(
+        CloudController::verify_customer_report_with(
             &report_msg,
             &self.controller.identity_key(),
             nonce1,
+            &mut self.quote_scratch,
         )?;
         let charge = self.latency.post_hop_us(6);
         let due = self.wall_clock_us + charge;
-        let session = self.sessions.get_mut(&sid).ok_or_else(lost_session)?;
+        let session = self.sessions.get_mut(sid).ok_or_else(lost_session)?;
         session.verdict = Some(report_msg.status);
         session.elapsed_us += charge;
         self.schedule_session_event(due, sid, SessionEvent::Complete);
@@ -905,7 +997,7 @@ impl Cloud {
 
     fn step_complete(&mut self, sid: SessionId) -> Result<(), CloudError> {
         let (status, elapsed_us) = {
-            let session = self.sessions.get_mut(&sid).ok_or_else(lost_session)?;
+            let session = self.sessions.get_mut(sid).ok_or_else(lost_session)?;
             let status = session
                 .verdict
                 .take()
@@ -923,7 +1015,7 @@ impl Cloud {
     fn step_retry(&mut self, sid: SessionId, generation: u32) -> Result<(), CloudError> {
         let max_attempts = self.retry.max_attempts.max(1);
         let exhausted = {
-            let session = self.sessions.get(&sid).ok_or_else(lost_session)?;
+            let session = self.sessions.get(sid).ok_or_else(lost_session)?;
             if session.generation != generation {
                 // The hop this timer belonged to already completed (a
                 // late arrival saved it): nothing to retransmit.
@@ -948,7 +1040,7 @@ impl Cloud {
         // Budget exhausted — but copies delayed past the timeout may
         // still be in flight for this hop, and one of them opening
         // cleanly saves it. Defer the verdict to the last of them.
-        if let Some(session) = self.sessions.get_mut(&sid) {
+        if let Some(session) = self.sessions.get_mut(sid) {
             if session.late.iter().any(|(_, g, _)| *g == generation) {
                 session.retry_deferred = true;
                 return Ok(());
@@ -969,7 +1061,7 @@ impl Cloud {
             as_server,
             ..
         } = self;
-        let session = sessions.get(&sid).ok_or_else(lost_session)?;
+        let session = sessions.get(sid).ok_or_else(lost_session)?;
         let (send, recv) =
             stage_channels(session.stage, cust_ctrl, ctrl_as, as_server, session.server)?;
         Err(match &session.last_auth_failure {
@@ -1003,7 +1095,7 @@ impl Cloud {
                 as_server,
                 ..
             } = self;
-            let session = sessions.get_mut(&sid).ok_or_else(lost_session)?;
+            let session = sessions.get_mut(sid).ok_or_else(lost_session)?;
             let Some(pos) = session.late.iter().position(|(_, g, _)| *g == generation) else {
                 // Already consumed (defensive; one event is scheduled
                 // per parked copy).
@@ -1032,7 +1124,9 @@ impl Cloud {
                         // the first authenticated delivery of this hop.
                         // Its waiting time was already charged as
                         // timeouts.
-                        session.inbox = Some(plaintext);
+                        session.inbox.clear();
+                        session.inbox.extend_from_slice(&plaintext);
+                        session.inbox_full = true;
                         true
                     } else {
                         // The hop moved on without this sequence number
@@ -1052,7 +1146,7 @@ impl Cloud {
         // and this was the last one in flight, the hop is out of
         // chances.
         let out_of_chances = {
-            let session = self.sessions.get(&sid).ok_or_else(lost_session)?;
+            let session = self.sessions.get(sid).ok_or_else(lost_session)?;
             session.retry_deferred
                 && session.generation == generation
                 && !session.late.iter().any(|(_, g, _)| *g == generation)
@@ -1074,7 +1168,7 @@ impl Cloud {
     fn finish_session(&mut self, sid: SessionId, outcome: SessionOutcome) {
         // Guard first: a session that already terminated must not be
         // double-counted by a straggler event.
-        if !self.sessions.contains_key(&sid) {
+        if !self.sessions.contains(sid) {
             return;
         }
         match &outcome {
@@ -1084,14 +1178,14 @@ impl Cloud {
                 self.classify_failure(e);
             }
         }
-        let Some(session) = self.sessions.get_mut(&sid) else {
+        let Some(session) = self.sessions.get_mut(sid) else {
             return;
         };
         match session.origin {
             SessionOrigin::Api => session.pending = Some(outcome),
             SessionOrigin::Subscription(subscription) => {
                 let (vid, property) = (session.vid, session.property);
-                self.sessions.remove(&sid);
+                self.sessions.remove(sid);
                 let result = outcome.map(|y| AttestationReport {
                     vid,
                     property,

@@ -49,16 +49,35 @@ impl SealKey {
     /// Encrypts `plaintext` and appends a tag binding `nonce` and `aad`.
     /// The output is `ciphertext || tag`.
     pub fn seal(&self, nonce: &[u8; NONCE_LEN], aad: &[u8], plaintext: &[u8]) -> Vec<u8> {
-        let mut out = plaintext.to_vec();
-        self.cipher.ctr_xor(nonce, &mut out);
+        let mut out = Vec::with_capacity(plaintext.len() + TAG_LEN);
+        self.seal_into(nonce, aad, plaintext, &mut out);
+        out
+    }
+
+    /// [`Self::seal`] appending `ciphertext || tag` to `out` — the
+    /// steady-state form for hot paths that own the record buffer
+    /// (existing contents before the append are untouched).
+    pub fn seal_into(
+        &self,
+        nonce: &[u8; NONCE_LEN],
+        aad: &[u8],
+        plaintext: &[u8],
+        out: &mut Vec<u8>,
+    ) {
+        let start = out.len();
+        out.extend_from_slice(plaintext);
+        if let Some(ct) = out.get_mut(start..) {
+            self.cipher.ctr_xor(nonce, ct);
+        }
         let mut mac = HmacSha256::new(&self.mac_key);
         mac.update(nonce);
         mac.update(&(aad.len() as u64).to_be_bytes());
         mac.update(aad);
-        mac.update(&out);
+        if let Some(ct) = out.get(start..) {
+            mac.update(ct);
+        }
         let tag = mac.finalize();
         out.extend_from_slice(&tag);
-        out
     }
 
     /// Verifies and decrypts a message produced by [`Self::seal`].
@@ -73,6 +92,26 @@ impl SealKey {
         aad: &[u8],
         sealed: &[u8],
     ) -> Result<Vec<u8>, CryptoError> {
+        let mut pt = Vec::with_capacity(sealed.len().saturating_sub(TAG_LEN));
+        self.open_into(nonce, aad, sealed, &mut pt)?;
+        Ok(pt)
+    }
+
+    /// [`Self::open`] appending the plaintext to `out` (untouched on
+    /// error) — the steady-state form for hot paths that own the
+    /// receive buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::InvalidTag`] if the message is too short or
+    /// the tag does not verify (wrong key, nonce, aad, or tampering).
+    pub fn open_into(
+        &self,
+        nonce: &[u8; NONCE_LEN],
+        aad: &[u8],
+        sealed: &[u8],
+        out: &mut Vec<u8>,
+    ) -> Result<(), CryptoError> {
         if sealed.len() < TAG_LEN {
             return Err(CryptoError::InvalidTag);
         }
@@ -85,9 +124,12 @@ impl SealKey {
         if !verify_tag(&mac.finalize(), tag) {
             return Err(CryptoError::InvalidTag);
         }
-        let mut pt = ct.to_vec();
-        self.cipher.ctr_xor(nonce, &mut pt);
-        Ok(pt)
+        let start = out.len();
+        out.extend_from_slice(ct);
+        if let Some(pt) = out.get_mut(start..) {
+            self.cipher.ctr_xor(nonce, pt);
+        }
+        Ok(())
     }
 
     /// Computes a raw MAC over `data` with this key's MAC half. Used for

@@ -8,7 +8,7 @@ use crate::bigint::U256;
 use crate::drbg::Drbg;
 use crate::error::CryptoError;
 use crate::group::Group;
-use crate::hmac::hmac_sha256;
+use crate::hmac::HmacSha256;
 use crate::modmath::{mod_add, mod_mul, mod_sub};
 use crate::sha256::Sha256;
 
@@ -111,10 +111,12 @@ impl SigningKey {
         let sk_bytes = self.secret.to_be_bytes();
         let mut counter = 0u8;
         let k = loop {
-            let mut keyed = Vec::with_capacity(message.len() + 1);
-            keyed.extend_from_slice(message);
-            keyed.push(counter);
-            let k = U256::from_be_bytes(&hmac_sha256(&sk_bytes, &keyed)).rem(&grp.q);
+            // Streamed as HMAC(sk, message || counter): same tag as the
+            // concatenated form, no per-signature buffer.
+            let mut mac = HmacSha256::new(&sk_bytes);
+            mac.update(message);
+            mac.update(&[counter]);
+            let k = U256::from_be_bytes(&mac.finalize()).rem(&grp.q);
             if !k.is_zero() {
                 break k;
             }

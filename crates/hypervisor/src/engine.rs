@@ -67,6 +67,12 @@ pub struct ServerSim {
     pmu: Pmu,
     next_vm: u32,
     next_pin: usize,
+    /// Reusable drain buffer for [`Self::try_leap`] (kept across calls
+    /// so quiescent fast-forwards do not touch the allocator).
+    leap_buf: Vec<(SimTime, EventKind)>,
+    /// Reusable rebase buffer for [`Self::try_leap`]: `(previous-firing
+    /// key, rebased due, event)`.
+    leap_periodic: Vec<(u64, SimTime, EventKind)>,
 }
 
 impl std::fmt::Debug for ServerSim {
@@ -99,6 +105,8 @@ impl ServerSim {
             pmu: Pmu::new(),
             next_vm: 0,
             next_pin: 0,
+            leap_buf: Vec::new(),
+            leap_periodic: Vec::new(),
         };
         for i in 0..pcpu_count {
             sim.push_event(
@@ -353,6 +361,171 @@ impl ServerSim {
     pub fn run_for(&mut self, duration_us: u64) {
         let deadline = self.now + duration_us;
         self.run_until(deadline);
+    }
+
+    /// Like [`Self::run_until`], but a *quiescent* server — nothing
+    /// running, nothing runnable, and no live timer wake due within the
+    /// window — is fast-forwarded in O(pending events) instead of
+    /// O(elapsed ticks). The fast path is exactly equivalent to eager
+    /// processing: periodic tick/accounting events are no-ops on an idle
+    /// machine except for the credit refill of blocked vCPUs, which is
+    /// applied in closed form (the per-period share is constant while no
+    /// state changes, so `n` clamped refills equal one
+    /// `min(cap, credits + n·share)`).
+    ///
+    /// Falls back to [`Self::run_until`] whenever the preconditions do not
+    /// hold, so callers may use this unconditionally.
+    pub fn run_until_lazy(&mut self, deadline: SimTime) {
+        if deadline > self.now && self.try_leap(deadline) {
+            return;
+        }
+        self.run_until(deadline);
+    }
+
+    /// Attempts the quiescent fast-forward to `deadline`. Returns `false`
+    /// (with all state untouched) when the server is not provably idle for
+    /// the whole window.
+    ///
+    /// Event-order preservation: the queue is drained in pop order and
+    /// rebuilt so that the *pop order* of every surviving pair of events
+    /// matches what eager processing would have produced. Events left
+    /// untouched by the window (due > deadline) are reinserted first, in
+    /// drain order — in the eager world their pushes all predate the
+    /// window. Periodic events that would have fired inside the window are
+    /// rebased to their first occurrence strictly after `deadline` and
+    /// reinserted ordered by their *previous* firing instant (that is when
+    /// the eager world would have pushed them), ties broken by drain
+    /// order. Stale generation-mismatched timers are dropped — the vCPU
+    /// generation only ever increments, so they can never become valid.
+    fn try_leap(&mut self, deadline: SimTime) -> bool {
+        let params = self.params;
+        if params.tick_us == 0 || params.acct_period_us == 0 || params.credits_per_acct < 0 {
+            return false;
+        }
+        if self.pcpus.iter().any(|p| p.current.is_some()) {
+            return false;
+        }
+        if self
+            .vcpus
+            .values()
+            .any(|vs| matches!(vs.state, RunState::Running { .. } | RunState::Runnable))
+        {
+            return false;
+        }
+        // Drain everything; abort (restoring pop order exactly) if any
+        // live wake would fire inside the window. A generation-matched
+        // Wake implies the vCPU is still Blocked: every state transition
+        // bumps the generation.
+        let mut buf = std::mem::take(&mut self.leap_buf);
+        buf.clear();
+        while let Some((t, kind)) = self.events.pop() {
+            buf.push((t, kind));
+        }
+        let wake_blocks_leap = buf.iter().any(|&(t, kind)| match kind {
+            EventKind::Wake { vcpu, generation } => {
+                t <= deadline
+                    && self
+                        .vcpus
+                        .get(&vcpu)
+                        .is_some_and(|vs| vs.generation == generation)
+            }
+            _ => false,
+        });
+        if wake_blocks_leap {
+            for &(t, kind) in &buf {
+                self.events.schedule(t, kind);
+            }
+            buf.clear();
+            self.leap_buf = buf;
+            return false;
+        }
+        let mut periodic = std::mem::take(&mut self.leap_periodic);
+        periodic.clear();
+        let mut acct_firings: u64 = 0;
+        for &(t, kind) in &buf {
+            match kind {
+                EventKind::Tick(_) | EventKind::Accounting => {
+                    let period = if matches!(kind, EventKind::Accounting) {
+                        params.acct_period_us
+                    } else {
+                        params.tick_us
+                    };
+                    if t <= deadline {
+                        let skipped = deadline.duration_since(t) / period;
+                        let last_firing = t + skipped * period;
+                        if matches!(kind, EventKind::Accounting) {
+                            acct_firings = skipped + 1;
+                        }
+                        periodic.push((last_firing.as_micros(), last_firing + period, kind));
+                    } else {
+                        self.events.schedule(t, kind);
+                    }
+                }
+                EventKind::Wake { vcpu, generation } => {
+                    let live = self
+                        .vcpus
+                        .get(&vcpu)
+                        .is_some_and(|vs| vs.generation == generation);
+                    if live {
+                        // Checked above: a live wake here is due after the
+                        // deadline; keep it.
+                        self.events.schedule(t, kind);
+                    }
+                }
+                EventKind::ComputeDone { .. } | EventKind::SliceExpired { .. } => {
+                    // Valid only while the vCPU is Running; nothing is.
+                }
+            }
+        }
+        // Stable in-place insertion sort by previous-firing key (at most
+        // one entry per pCPU plus accounting — tiny, and allocation-free).
+        for i in 1..periodic.len() {
+            let mut j = i;
+            while j > 0 && periodic[j - 1].0 > periodic[j].0 {
+                periodic.swap(j - 1, j);
+                j -= 1;
+            }
+        }
+        for &(_, due, kind) in &periodic {
+            self.events.schedule(due, kind);
+        }
+        // Closed-form credit refill for the skipped accounting firings.
+        // Schedulable here means Blocked (preconditions exclude the rest),
+        // and blocked vCPUs do receive refills under eager processing.
+        if acct_firings > 0 {
+            let firings = i64::try_from(acct_firings).unwrap_or(i64::MAX);
+            for p in 0..self.pcpus.len() {
+                let total_weight: u64 = self
+                    .vcpus
+                    .values()
+                    .filter(|vs| vs.pcpu == PcpuId(p) && vs.is_schedulable())
+                    .map(|vs| vs.weight as u64)
+                    .sum();
+                if total_weight == 0 {
+                    continue;
+                }
+                for vs in self
+                    .vcpus
+                    .values_mut()
+                    .filter(|vs| vs.pcpu == PcpuId(p) && vs.is_schedulable())
+                {
+                    let share = (params.credits_per_acct as i128 * vs.weight as i128
+                        / total_weight as i128) as i64;
+                    // share >= 0, so the floor clamp can never bind and n
+                    // clamped steps collapse to a single min().
+                    vs.credits = vs
+                        .credits
+                        .saturating_add(share.saturating_mul(firings))
+                        .min(params.credit_cap);
+                }
+            }
+        }
+        self.now = deadline;
+        buf.clear();
+        self.leap_buf = buf;
+        periodic.clear();
+        self.leap_periodic = periodic;
+        true
     }
 
     // ------------------------------------------------------------------
@@ -1148,6 +1321,161 @@ mod tests {
             }),
             0
         );
+    }
+
+    #[test]
+    fn lazy_leap_matches_eager_credit_refill() {
+        // Two blocked vCPUs with unequal weights under a high credit cap:
+        // the leap's closed-form refill must equal three eager accounting
+        // firings exactly.
+        let params = SchedParams {
+            credit_cap: 10_000,
+            ..SchedParams::default()
+        };
+        let build = |eager: bool| {
+            let mut sim = ServerSim::new(1, params);
+            let a = sim.create_vm(
+                VmConfig::new("a", vec![Box::new(IdleDriver)])
+                    .weight(512)
+                    .pin(vec![PcpuId(0)]),
+            );
+            let b = sim.create_vm(
+                VmConfig::new("b", vec![Box::new(IdleDriver)])
+                    .weight(256)
+                    .pin(vec![PcpuId(0)]),
+            );
+            // Short eager prefix: both vCPUs block immediately at t=0.
+            sim.run_until(SimTime::from_millis(1));
+            if eager {
+                sim.run_until(SimTime::from_millis(100));
+            } else {
+                sim.run_until_lazy(SimTime::from_millis(100));
+            }
+            let credits = |vm| sim.vcpus[&VcpuId { vm, index: 0 }].credits;
+            (credits(a), credits(b), sim.now(), sim.events.len())
+        };
+        let eager = build(true);
+        let lazy = build(false);
+        assert_eq!(eager, lazy);
+        // 3 firings (30/60/90ms) of shares 200 and 100.
+        assert_eq!(lazy.0, 600);
+        assert_eq!(lazy.1, 300);
+    }
+
+    #[test]
+    fn lazy_leap_keeps_future_wakes_on_time() {
+        // A wake due after the leap window must survive the leap and fire
+        // at exactly the eager instant.
+        let run = |lazy: bool| {
+            let mut sim = ServerSim::new(1, SchedParams::default());
+            let log: Shared<Vec<u64>> = shared(Vec::new());
+            struct LongSleeper {
+                log: Shared<Vec<u64>>,
+                rounds: usize,
+            }
+            impl WorkloadDriver for LongSleeper {
+                fn next_action(&mut self, view: &VcpuView) -> VcpuAction {
+                    self.log.borrow_mut().push(view.now.as_micros());
+                    if self.rounds == 0 {
+                        return VcpuAction::Halt;
+                    }
+                    self.rounds -= 1;
+                    VcpuAction::Block {
+                        duration_us: Some(50 * MS),
+                    }
+                }
+            }
+            sim.create_vm(VmConfig::new(
+                "sleeper",
+                vec![Box::new(LongSleeper {
+                    log: log.clone(),
+                    rounds: 2,
+                })],
+            ));
+            sim.run_until(SimTime::from_millis(1));
+            if lazy {
+                // Wake due at 50ms > 20ms: the leap may proceed but must
+                // keep the wake.
+                sim.run_until_lazy(SimTime::from_millis(20));
+                assert_eq!(sim.now(), SimTime::from_millis(20));
+            }
+            sim.run_until(SimTime::from_millis(200));
+            let wakes = log.borrow().clone();
+            wakes
+        };
+        let eager = run(false);
+        assert_eq!(eager, vec![0, 50_000, 100_000]);
+        assert_eq!(run(true), eager);
+    }
+
+    #[test]
+    fn lazy_leap_aborts_for_wake_inside_window() {
+        // A wake due inside the window forces the eager path: the sleeper
+        // wake schedule is unchanged.
+        let mut sim = ServerSim::new(1, SchedParams::default());
+        let log: Shared<Vec<u64>> = shared(Vec::new());
+        struct Sleeper {
+            log: Shared<Vec<u64>>,
+            rounds: usize,
+        }
+        impl WorkloadDriver for Sleeper {
+            fn next_action(&mut self, view: &VcpuView) -> VcpuAction {
+                self.log.borrow_mut().push(view.now.as_micros());
+                if self.rounds == 0 {
+                    return VcpuAction::Halt;
+                }
+                self.rounds -= 1;
+                VcpuAction::Block {
+                    duration_us: Some(5 * MS),
+                }
+            }
+        }
+        sim.create_vm(VmConfig::new(
+            "sleeper",
+            vec![Box::new(Sleeper {
+                log: log.clone(),
+                rounds: 3,
+            })],
+        ));
+        sim.run_until_lazy(SimTime::from_millis(100));
+        assert_eq!(log.borrow().clone(), vec![0, 5_000, 10_000, 15_000]);
+        assert_eq!(sim.now(), SimTime::from_millis(100));
+    }
+
+    #[test]
+    fn lazy_leap_falls_back_when_busy() {
+        // Lazy chunked driving of a busy server must match one eager run.
+        let run = |lazy: bool| {
+            let mut sim = ServerSim::new(1, SchedParams::default());
+            let a = busy_vm(&mut sim, "a", 0);
+            let _b = busy_vm(&mut sim, "b", 0);
+            if lazy {
+                for i in 1..=20 {
+                    sim.run_until_lazy(SimTime::from_millis(100 * i));
+                }
+            } else {
+                sim.run_until(SimTime::from_secs(2));
+            }
+            (
+                sim.vcpu_cpu_time_us(VcpuId { vm: a, index: 0 }),
+                sim.profile().segments().len(),
+                sim.now(),
+            )
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn lazy_leap_on_empty_server_stays_live() {
+        // An empty server leaps over an hour, then hosts a VM normally —
+        // the rebased tick/accounting events keep the scheduler working.
+        let mut sim = ServerSim::new(2, SchedParams::default());
+        sim.run_until_lazy(SimTime::from_secs(3600));
+        assert_eq!(sim.now(), SimTime::from_secs(3600));
+        let vm = busy_vm(&mut sim, "late", 0);
+        sim.run_until(SimTime::from_secs(3601));
+        let ran = sim.vcpu_cpu_time_us(VcpuId { vm, index: 0 });
+        assert!(ran > 950_000, "ran only {ran}us of the post-leap second");
     }
 
     #[test]

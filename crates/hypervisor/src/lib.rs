@@ -55,6 +55,7 @@ pub mod scheduler;
 pub mod time;
 pub mod vm;
 pub mod vmi;
+pub mod wheel;
 
 pub use driver::{VcpuAction, VcpuView, WakeReason, WorkloadDriver};
 pub use engine::ServerSim;

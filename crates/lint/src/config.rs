@@ -43,6 +43,11 @@ pub struct Config {
     pub secret_flow_idents: Vec<String>,
     /// Crate directory names under `crates/` subject to `panic_freedom`.
     pub panic_crates: Vec<String>,
+    /// Individual workspace-relative files subject to `panic_freedom`
+    /// even though their crate is not in `panic_crates` — load-bearing
+    /// kernels inside otherwise-exempt crates (the event-engine timer
+    /// wheel lives in `hypervisor`, which is free to panic elsewhere).
+    pub panic_files: Vec<String>,
     /// Crates whose slice indexing uses the lenient kernel policy.
     pub kernel_index_crates: Vec<String>,
     /// Crate directories skipped entirely (vendored shims).
@@ -103,6 +108,7 @@ impl Default for Config {
             ]),
             secret_flow_idents: strings(&["exp", "exponent", "secret", "scalar", "state"]),
             panic_crates: strings(&["core", "net", "crypto", "tpm"]),
+            panic_files: strings(&["crates/hypervisor/src/wheel.rs"]),
             kernel_index_crates: strings(&["crypto"]),
             skip_crates: strings(&["rand-shim", "proptest-shim", "criterion-shim", "lint"]),
         }
@@ -122,6 +128,12 @@ impl Config {
     /// Whether `panic_freedom` applies to a crate directory name.
     pub fn panic_scope(&self, crate_name: &str) -> bool {
         self.panic_crates.iter().any(|c| c == crate_name)
+    }
+
+    /// Whether `panic_freedom` applies to a specific file regardless of
+    /// its crate's scope.
+    pub fn panic_scope_file(&self, path: &str) -> bool {
+        self.panic_files.iter().any(|f| f == path)
     }
 
     /// Whether a file is a crypto hot path for the secret-flow checks.

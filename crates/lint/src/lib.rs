@@ -13,8 +13,9 @@
 //!   oracle (use `ct_eq`), and crypto hot paths must not branch or index
 //!   on secret-derived values.
 //! * **`panic_freedom`** — protocol crates (`core`, `net`, `crypto`,
-//!   `tpm`) must not `unwrap`/`expect`/`panic!` or slice-index outside
-//!   test code.
+//!   `tpm`) plus enrolled files in other crates (the `hypervisor`
+//!   timer wheel backing the event engine) must not
+//!   `unwrap`/`expect`/`panic!` or slice-index outside test code.
 //!
 //! Findings are suppressed inline with a comment containing
 //! `#[allow(monatt::<rule>)]`, or budgeted per (rule, file) in the

@@ -27,6 +27,8 @@ OPTIONS:
     --hot-path <FILE>   Add a workspace-relative file to the crypto
                         hot-path set (repeatable)
     --panic-crate <C>   Add a crate to the panic_freedom scope (repeatable)
+    --panic-file <FILE> Add a workspace-relative file to the panic_freedom
+                        scope (repeatable)
     --skip-crate <C>    Exclude a crate directory from scanning (repeatable)
     -h, --help          Show this help
 
@@ -68,6 +70,7 @@ fn parse_args() -> Result<Option<Options>, String> {
             "--ct-part" => opts.cfg.ct_ident_parts.push(value("--ct-part")?),
             "--hot-path" => opts.cfg.hot_path_files.push(value("--hot-path")?),
             "--panic-crate" => opts.cfg.panic_crates.push(value("--panic-crate")?),
+            "--panic-file" => opts.cfg.panic_files.push(value("--panic-file")?),
             "--skip-crate" => opts.cfg.skip_crates.push(value("--skip-crate")?),
             "-h" | "--help" => return Ok(None),
             other => return Err(format!("unknown option `{other}` (see --help)")),

@@ -49,7 +49,7 @@ pub fn run_all(ctx: &FileContext, cfg: &Config) -> Vec<Diagnostic> {
     let mut out = Vec::new();
     secret_hygiene(ctx, cfg, &mut out);
     const_time(ctx, cfg, &mut out);
-    if cfg.panic_scope(&ctx.crate_name) {
+    if cfg.panic_scope(&ctx.crate_name) || cfg.panic_scope_file(&ctx.path) {
         panic_freedom(ctx, cfg, &mut out);
     }
     out.retain(|d| !ctx.is_suppressed(d.rule, d.line));
@@ -551,6 +551,18 @@ mod tests {
         assert_eq!(in_scope.len(), 1);
         // `hypervisor` is outside the panic_freedom crate scope.
         assert!(run("crates/hypervisor/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn panic_file_scope_covers_the_timer_wheel() {
+        // The event engine runs on the hypervisor crate's wheel; that one
+        // file is enrolled in panic_freedom (with the strict index
+        // policy) even though its crate is not.
+        let src = "fn f(x: Option<u8>) { x.unwrap(); }";
+        assert_eq!(run("crates/hypervisor/src/wheel.rs", src).len(), 1);
+        let idx = "fn f(v: &[u8], i: usize) -> u8 { v[i] }";
+        assert_eq!(run("crates/hypervisor/src/wheel.rs", idx).len(), 1);
+        assert!(run("crates/hypervisor/src/other.rs", idx).is_empty());
     }
 
     #[test]

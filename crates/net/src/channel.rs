@@ -274,12 +274,21 @@ impl SecureChannel {
     /// (authenticated through the nonce, DTLS-style), so a tampered or
     /// dropped record does not desynchronize the channel.
     pub fn seal(&mut self, aad: &[u8], plaintext: &[u8]) -> Vec<u8> {
+        let mut record = Vec::new();
+        self.seal_into(aad, plaintext, &mut record);
+        record
+    }
+
+    /// [`Self::seal`] into a caller-owned record buffer (contents
+    /// replaced, capacity reused) — the steady-state form for the
+    /// session hot path.
+    pub fn seal_into(&mut self, aad: &[u8], plaintext: &[u8], record: &mut Vec<u8>) {
         let seq = self.send_seq;
         self.send_seq += 1;
         let nonce = seq_nonce(seq);
-        let mut record = seq.to_be_bytes().to_vec();
-        record.extend_from_slice(&self.send_key.seal(&nonce, aad, plaintext));
-        record
+        record.clear();
+        record.extend_from_slice(&seq.to_be_bytes());
+        self.send_key.seal_into(&nonce, aad, plaintext, record);
     }
 
     /// Opens a record, enforcing at-most-once delivery through the
@@ -294,6 +303,24 @@ impl SecureChannel {
     /// header, [`ChannelError::DuplicateRecord`] for a duplicate or
     /// replay, [`ChannelError::RecordAuthentication`] on tampering.
     pub fn open(&mut self, aad: &[u8], record: &[u8]) -> Result<Vec<u8>, ChannelError> {
+        let mut pt = Vec::new();
+        self.open_into(aad, record, &mut pt)?;
+        Ok(pt)
+    }
+
+    /// [`Self::open`] into a caller-owned plaintext buffer (contents
+    /// replaced, capacity reused; unspecified on error) — the
+    /// steady-state form for the session hot path.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::open`].
+    pub fn open_into(
+        &mut self,
+        aad: &[u8],
+        record: &[u8],
+        out: &mut Vec<u8>,
+    ) -> Result<(), ChannelError> {
         if record.len() < 8 {
             return Err(ChannelError::Malformed);
         }
@@ -313,9 +340,9 @@ impl SecureChannel {
             }
         }
         let nonce = seq_nonce(seq);
-        let pt = self
-            .recv_key
-            .open(&nonce, aad, body)
+        out.clear();
+        self.recv_key
+            .open_into(&nonce, aad, body, out)
             .map_err(|_| ChannelError::RecordAuthentication)?;
         // Only authenticated records advance the window.
         if self.recv_count == 0 || seq > self.recv_max {
@@ -336,7 +363,7 @@ impl SecureChannel {
             self.recv_window |= 1u64 << (self.recv_max - seq);
         }
         self.recv_count += 1;
-        Ok(pt)
+        Ok(())
     }
 
     /// Names the remote endpoint. The label is cached on the channel so

@@ -111,6 +111,24 @@ pub struct ScheduledDelivery {
     pub duplicated: bool,
 }
 
+/// Outcome of a buffer-reusing transmit ([`SimNetwork::transmit_into`],
+/// [`SimNetwork::send_at_into`]): the delivered bytes live in the
+/// caller's buffer, so the outcome itself is `Copy` and allocation-free.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TransmitOutcome {
+    /// Whether the receiver sees the message at all. When `false` the
+    /// caller's output buffer is left empty.
+    pub delivered: bool,
+    /// Absolute virtual time at which the record reaches the receiver
+    /// (`now_us + latency_us`; for [`SimNetwork::transmit_into`] the
+    /// caller's `now_us` is taken as 0).
+    pub deliver_at_us: u64,
+    /// Simulated transmission latency (including fault-injected delay).
+    pub latency_us: u64,
+    /// The network delivered a second, identical copy of the payload.
+    pub duplicated: bool,
+}
+
 /// A seeded, probabilistic model of *benign* network faults: each
 /// message is independently dropped, duplicated, bit-corrupted and/or
 /// delayed. All draws come from a deterministic [`Drbg`], so a seeded
@@ -195,10 +213,12 @@ impl FaultModel {
         (self.rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
     }
 
-    /// Applies the model to a message about to be delivered. Returns the
-    /// (possibly corrupted) payload or `None` when dropped, whether a
-    /// duplicate copy arrives, and extra delay in microseconds.
-    fn apply(&mut self, payload: Vec<u8>) -> (Option<Vec<u8>>, bool, u64) {
+    /// Applies the model to a message about to be delivered, mutating
+    /// `payload` in place (corruption flips one byte; a dropped message
+    /// leaves the bytes alone — the caller discards them). Returns
+    /// whether the message is delivered, whether a duplicate copy
+    /// arrives, and extra delay in microseconds.
+    fn apply_in_place(&mut self, payload: &mut [u8]) -> (bool, bool, u64) {
         // Fixed draw count per message keeps seeded runs stable across
         // probability changes.
         let (d_drop, d_dup, d_corrupt, d_delay) =
@@ -212,9 +232,8 @@ impl FaultModel {
         };
         if d_drop < self.drop_prob {
             self.stats.dropped += 1;
-            return (None, false, extra);
+            return (false, false, extra);
         }
-        let mut payload = payload;
         if d_corrupt < self.corrupt_prob && !payload.is_empty() {
             let idx = (corrupt_at % payload.len() as u64) as usize;
             if let Some(byte) = payload.get_mut(idx) {
@@ -226,7 +245,7 @@ impl FaultModel {
         if duplicated {
             self.stats.duplicated += 1;
         }
-        (Some(payload), duplicated, extra)
+        (true, duplicated, extra)
     }
 }
 
@@ -242,6 +261,10 @@ pub struct SimNetwork {
     // draw sequence is pinned by the golden trace).
     down_endpoints: BTreeSet<String>,
     blackholed: u64,
+    // Per-message log entries allocate (owned endpoint names and byte
+    // copies), so large-fleet sweeps turn the log off; fates, latencies
+    // and RNG draws are identical either way.
+    logging: bool,
     log: Vec<TransmitRecord>,
 }
 
@@ -271,8 +294,16 @@ impl SimNetwork {
             faults: None,
             down_endpoints: BTreeSet::new(),
             blackholed: 0,
+            logging: true,
             log: Vec::new(),
         }
+    }
+
+    /// Turns the transmission log on or off (on by default). With the
+    /// log off nothing is recorded and the per-message bookkeeping
+    /// allocations disappear; message fates are unaffected.
+    pub fn set_logging(&mut self, on: bool) {
+        self.logging = on;
     }
 
     /// Marks `endpoint` as down: every message from or to it is
@@ -325,6 +356,31 @@ impl SimNetwork {
     /// Transmits `payload` from `from` to `to`, applying first the
     /// adversary, then the benign fault model.
     pub fn transmit(&mut self, from: &str, to: &str, payload: &[u8]) -> Delivery {
+        let mut out = Vec::new();
+        let outcome = self.transmit_into(from, to, payload, 0, &mut out);
+        Delivery {
+            payload: outcome.delivered.then_some(out),
+            latency_us: outcome.latency_us,
+            duplicated: outcome.duplicated,
+        }
+    }
+
+    /// [`SimNetwork::transmit`] with the delivered bytes written into
+    /// `out` (cleared first; left empty when the message is lost). This
+    /// is the one implementation of the transmit pipeline — the
+    /// allocating forms delegate here, so adversary order, fault RNG
+    /// draws and latency charging cannot diverge between them. With
+    /// logging off and no adversary in play this path allocates nothing
+    /// beyond what `out` already holds.
+    pub fn transmit_into(
+        &mut self,
+        from: &str,
+        to: &str,
+        payload: &[u8],
+        now_us: u64,
+        out: &mut Vec<u8>,
+    ) -> TransmitOutcome {
+        out.clear();
         if self.down_endpoints.contains(from) || self.down_endpoints.contains(to) {
             // A crashed node neither transmits nor receives. Checked
             // before the attacker and fault model so a black-holed
@@ -333,15 +389,18 @@ impl SimNetwork {
             // instantaneously.
             self.blackholed += 1;
             let latency_us = self.latency.latency_for(payload.len());
-            self.log.push(TransmitRecord {
-                from: from.to_owned(),
-                to: to.to_owned(),
-                sent: payload.to_vec(),
-                delivered: None,
-                latency_us,
-            });
-            return Delivery {
-                payload: None,
+            if self.logging {
+                self.log.push(TransmitRecord {
+                    from: from.to_owned(),
+                    to: to.to_owned(),
+                    sent: payload.to_vec(),
+                    delivered: None,
+                    latency_us,
+                });
+            }
+            return TransmitOutcome {
+                delivered: false,
+                deliver_at_us: now_us.saturating_add(latency_us),
                 latency_us,
                 duplicated: false,
             };
@@ -351,27 +410,39 @@ impl SimNetwork {
             None => Intercept::Pass,
         };
         let delivered = match action {
-            Intercept::Pass => Some(payload.to_vec()),
-            Intercept::Modify(m) => Some(m),
-            Intercept::Drop => None,
+            Intercept::Pass => {
+                out.extend_from_slice(payload);
+                true
+            }
+            Intercept::Modify(m) => {
+                out.extend_from_slice(&m);
+                true
+            }
+            Intercept::Drop => false,
         };
         let (delivered, duplicated, extra_delay_us) = match (&mut self.faults, delivered) {
-            (Some(faults), Some(bytes)) => faults.apply(bytes),
+            (Some(faults), true) => faults.apply_in_place(out),
             (_, delivered) => (delivered, false, 0),
         };
         // Serialization is charged on the bytes the sender actually put
         // on the wire, not on what the adversary or a duplicate fault
         // delivered.
         let latency_us = self.latency.latency_for(payload.len()) + extra_delay_us;
-        self.log.push(TransmitRecord {
-            from: from.to_owned(),
-            to: to.to_owned(),
-            sent: payload.to_vec(),
-            delivered: delivered.clone(),
-            latency_us,
-        });
-        Delivery {
-            payload: delivered,
+        if self.logging {
+            self.log.push(TransmitRecord {
+                from: from.to_owned(),
+                to: to.to_owned(),
+                sent: payload.to_vec(),
+                delivered: delivered.then(|| out.clone()),
+                latency_us,
+            });
+        }
+        if !delivered {
+            out.clear();
+        }
+        TransmitOutcome {
+            delivered,
+            deliver_at_us: now_us.saturating_add(latency_us),
             latency_us,
             duplicated,
         }
@@ -394,13 +465,29 @@ impl SimNetwork {
         payload: &[u8],
         now_us: u64,
     ) -> ScheduledDelivery {
-        let delivery = self.transmit(from, to, payload);
+        let mut out = Vec::new();
+        let outcome = self.transmit_into(from, to, payload, now_us, &mut out);
         ScheduledDelivery {
-            deliver_at_us: now_us.saturating_add(delivery.latency_us),
-            payload: delivery.payload,
-            latency_us: delivery.latency_us,
-            duplicated: delivery.duplicated,
+            deliver_at_us: outcome.deliver_at_us,
+            payload: outcome.delivered.then_some(out),
+            latency_us: outcome.latency_us,
+            duplicated: outcome.duplicated,
         }
+    }
+
+    /// [`SimNetwork::send_at`] with the delivered bytes written into
+    /// `out` (cleared first; left empty when the message is lost) — the
+    /// steady-state form for discrete-event callers that own a receive
+    /// buffer.
+    pub fn send_at_into(
+        &mut self,
+        from: &str,
+        to: &str,
+        payload: &[u8],
+        now_us: u64,
+        out: &mut Vec<u8>,
+    ) -> TransmitOutcome {
+        self.transmit_into(from, to, payload, now_us, out)
     }
 
     /// The full transmission log.
@@ -741,6 +828,58 @@ mod tests {
         assert_eq!(d.latency_us, baseline);
         assert_eq!(net.log().len(), 1);
         assert_eq!(net.log()[0].delivered, None);
+    }
+
+    #[test]
+    fn transmit_into_reuses_buffer_and_matches_transmit() {
+        let run_owned = |seed: u64| {
+            let mut net = SimNetwork::default();
+            net.set_fault_model(FaultModel::new(seed).drop_prob(0.3).corrupt_prob(0.3));
+            (0..64u8)
+                .map(|i| net.transmit("a", "b", &[i, i, i]).payload)
+                .collect::<Vec<_>>()
+        };
+        let run_into = |seed: u64| {
+            let mut net = SimNetwork::default();
+            net.set_fault_model(FaultModel::new(seed).drop_prob(0.3).corrupt_prob(0.3));
+            let mut buf = Vec::new();
+            (0..64u8)
+                .map(|i| {
+                    let o = net.transmit_into("a", "b", &[i, i, i], 0, &mut buf);
+                    o.delivered.then(|| buf.clone())
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run_owned(9), run_into(9));
+    }
+
+    #[test]
+    fn lost_message_leaves_out_buffer_empty() {
+        let mut net = SimNetwork::default();
+        net.set_endpoint_down("b");
+        let mut buf = b"stale".to_vec();
+        let o = net.transmit_into("a", "b", b"x", 100, &mut buf);
+        assert!(!o.delivered);
+        assert!(buf.is_empty());
+        assert_eq!(o.deliver_at_us, 100 + o.latency_us);
+    }
+
+    #[test]
+    fn logging_off_records_nothing_but_keeps_fates() {
+        let fates = |logging: bool| {
+            let mut net = SimNetwork::default();
+            net.set_logging(logging);
+            net.set_fault_model(FaultModel::new(5).drop_prob(0.5));
+            let fates: Vec<bool> = (0..32)
+                .map(|_| net.transmit("a", "b", b"x").payload.is_some())
+                .collect();
+            (fates, net.log().len())
+        };
+        let (on_fates, on_log) = fates(true);
+        let (off_fates, off_log) = fates(false);
+        assert_eq!(on_fates, off_fates);
+        assert_eq!(on_log, 32);
+        assert_eq!(off_log, 0);
     }
 
     #[test]

@@ -52,6 +52,15 @@ impl Writer {
         Self::default()
     }
 
+    /// Creates a writer that encodes into `buf`'s storage: the contents
+    /// are cleared, the capacity is kept. Pair with
+    /// [`Writer::into_bytes`] to re-encode into a long-lived buffer
+    /// without reallocating.
+    pub fn from_vec(mut buf: Vec<u8>) -> Self {
+        buf.clear();
+        Writer { buf }
+    }
+
     /// Consumes the writer and returns the encoded bytes.
     pub fn into_bytes(self) -> Vec<u8> {
         self.buf
@@ -92,6 +101,32 @@ impl Writer {
     /// Appends a length-prefixed UTF-8 string.
     pub fn put_str(&mut self, v: &str) {
         self.put_bytes(v.as_bytes());
+    }
+}
+
+/// Two reusable encode buffers for call sites that need a pair of wire
+/// encodings alive at the same time — typically the fields of a quote
+/// digest (measurement spec + measurement, or property + status). After
+/// the first use the buffers hold their steady-state capacity, so warm
+/// paths encode without touching the heap.
+#[derive(Clone, Debug, Default)]
+pub struct EncodeScratch {
+    a: Vec<u8>,
+    b: Vec<u8>,
+}
+
+impl EncodeScratch {
+    /// Creates an empty scratch pair.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Encodes `a` and `b` into the two retained buffers and returns
+    /// their encodings as slices.
+    pub fn encode_pair<'s, A: Wire, B: Wire>(&'s mut self, a: &A, b: &B) -> (&'s [u8], &'s [u8]) {
+        a.encode_into(&mut self.a);
+        b.encode_into(&mut self.b);
+        (&self.a, &self.b)
     }
 }
 
@@ -200,6 +235,15 @@ pub trait Wire: Sized {
         let mut w = Writer::new();
         self.encode(&mut w);
         w.into_bytes()
+    }
+
+    /// Encodes into `buf`, replacing its contents but reusing its
+    /// capacity — the steady-state form of [`Wire::to_wire`] for hot
+    /// paths that own a long-lived encode buffer.
+    fn encode_into(&self, buf: &mut Vec<u8>) {
+        let mut w = Writer::from_vec(std::mem::take(buf));
+        self.encode(&mut w);
+        *buf = w.into_bytes();
     }
 
     /// Decodes from a standalone byte vector, requiring full consumption.

@@ -35,9 +35,13 @@ fn push_report(lines: &mut Vec<String>, tag: &str, index: usize, r: &Attestation
     ));
 }
 
-fn scenario_trace() -> String {
+fn scenario_trace_sharded(shards: usize) -> String {
     let mut lines = Vec::new();
-    let mut c = CloudBuilder::new().servers(3).seed(2025).build();
+    let mut c = CloudBuilder::new()
+        .servers(3)
+        .seed(2025)
+        .shards(shards)
+        .build();
 
     // Launch 1: runtime-integrity VM with a busy guest.
     let vm1 = c
@@ -121,6 +125,10 @@ fn scenario_trace() -> String {
     lines.join("\n") + "\n"
 }
 
+fn scenario_trace() -> String {
+    scenario_trace_sharded(1)
+}
+
 #[test]
 fn seeded_scenario_matches_committed_trace() {
     let trace = scenario_trace();
@@ -139,4 +147,13 @@ fn trace_is_stable_across_runs_in_process() {
     // The fixture pins cross-version determinism; this pins determinism
     // across two fresh clouds in one process (no hidden global state).
     assert_eq!(scenario_trace(), scenario_trace());
+}
+
+#[test]
+fn sharded_engine_trace_is_byte_identical() {
+    // Sharding the event engine is structural only: the global sequence
+    // counter and least-(due, seq) merge make the pop order — and hence
+    // latencies, RNG draw order and every report — independent of K.
+    assert_eq!(scenario_trace_sharded(4), FIXTURE, "K=4 trace diverged");
+    assert_eq!(scenario_trace_sharded(7), FIXTURE, "K=7 trace diverged");
 }
