@@ -1,0 +1,340 @@
+//! **Batched-verification microbenchmark** — the Attestation Server's
+//! msg-4 hot path before and after the random-linear-combination batch
+//! (DESIGN.md §13). Three stages:
+//!
+//! 1. Pure crypto: serial `VerifyingKey::verify` loop vs `batch_verify`
+//!    over the same signatures, ns per signature at batch 1 / 8 / 64.
+//! 2. AS-validate: `validate_response` in a loop vs
+//!    `validate_response_batch` over coalesced measurement responses,
+//!    with the certified-AVK cache warm (the steady state of a server
+//!    that reuses its attestation session).
+//! 3. Evidence cache: a periodic subscription with a period shorter
+//!    than the validity window, reporting the steady-state hit rate of
+//!    the sub-attestation reuse path.
+//!
+//! The committed numbers live in `BENCH_crypto.json` (`batch_*` rows).
+
+use monatt_core::attestation::BatchValidationItem;
+use monatt_core::cloud::{CloudBuilder, VmRequest, WorkloadSpec};
+use monatt_core::messages::MeasureResponse;
+use monatt_core::types::{Flavor, Image, SecurityProperty, ServerId, Vid};
+use monatt_core::{AttestationServer, CloudServerNode, ReferenceDb};
+use monatt_crypto::batch::{batch_verify, BatchItem};
+use monatt_crypto::drbg::Drbg;
+use monatt_crypto::schnorr::SigningKey;
+use monatt_hypervisor::driver::IdleDriver;
+use monatt_hypervisor::scheduler::SchedParams;
+use monatt_net::wire::EncodeScratch;
+use std::time::Instant;
+
+/// Batch sizes swept by the full run.
+pub const SIZES: [usize; 3] = [1, 8, 64];
+
+/// Timing iterations for the full run / the CI smoke run.
+pub const ITERS: u32 = 200;
+/// Reduced iteration count for `--smoke`.
+pub const SMOKE_ITERS: u32 = 20;
+
+/// A `(mean, min)` pair of per-item nanosecond figures, measured over
+/// several timing chunks (the min is the least noisy chunk).
+#[derive(Clone, Copy, Debug)]
+pub struct NsPerItem {
+    /// Mean over all chunks.
+    pub mean: f64,
+    /// Best chunk.
+    pub min: f64,
+}
+
+/// One row of the pure-crypto stage.
+#[derive(Clone, Copy, Debug)]
+pub struct CryptoRow {
+    /// Signatures verified together.
+    pub batch: usize,
+    /// Serial loop, ns per signature.
+    pub serial_ns: NsPerItem,
+    /// `batch_verify`, ns per signature.
+    pub batch_ns: NsPerItem,
+}
+
+/// One row of the AS-validate stage.
+#[derive(Clone, Copy, Debug)]
+pub struct ValidateRow {
+    /// Responses validated together.
+    pub batch: usize,
+    /// Whether the server reused one attestation session (certified-AVK
+    /// cache warm) or presented a fresh AVK per response (the default).
+    pub avk_reused: bool,
+    /// `validate_response` loop, ns per response.
+    pub serial_ns: NsPerItem,
+    /// `validate_response_batch`, ns per response.
+    pub batch_ns: NsPerItem,
+}
+
+/// Steady-state evidence-cache figures.
+#[derive(Clone, Copy, Debug)]
+pub struct CacheRow {
+    /// Subscription period.
+    pub period_us: u64,
+    /// Evidence validity window.
+    pub ttl_us: u64,
+    /// Cache hits / misses at the Attestation Server.
+    pub hits: u64,
+    /// See `hits`.
+    pub misses: u64,
+}
+
+impl CacheRow {
+    /// Fraction of samples served from cached evidence.
+    pub fn hit_rate(&self) -> f64 {
+        self.hits as f64 / (self.hits + self.misses).max(1) as f64
+    }
+}
+
+fn time_per_item(iters: u32, batch: usize, mut f: impl FnMut()) -> NsPerItem {
+    // One warmup pass keeps first-touch effects out of the figure.
+    f();
+    const CHUNKS: u32 = 5;
+    let per_chunk = (iters / CHUNKS).max(1);
+    let mut sum = 0.0;
+    let mut min = f64::INFINITY;
+    for _ in 0..CHUNKS {
+        let start = Instant::now();
+        for _ in 0..per_chunk {
+            f();
+        }
+        let ns = start.elapsed().as_nanos() as f64 / f64::from(per_chunk) / batch as f64;
+        sum += ns;
+        min = min.min(ns);
+    }
+    NsPerItem {
+        mean: sum / f64::from(CHUNKS),
+        min,
+    }
+}
+
+/// Stage 1: serial vs batched Schnorr verification.
+pub fn run_crypto(sizes: &[usize], iters: u32) -> Vec<CryptoRow> {
+    sizes
+        .iter()
+        .map(|&n| {
+            let mut rng = Drbg::from_seed(77);
+            let keys: Vec<SigningKey> = (0..n).map(|_| SigningKey::generate(&mut rng)).collect();
+            let msgs: Vec<Vec<u8>> = (0..n)
+                .map(|i| format!("quote over measurement {i}").into_bytes())
+                .collect();
+            let items: Vec<BatchItem<'_>> = keys
+                .iter()
+                .zip(&msgs)
+                .map(|(k, m)| (k.verifying_key(), m.as_slice(), k.sign(m)))
+                .collect();
+            let serial_ns = time_per_item(iters, n, || {
+                for (k, m, sig) in &items {
+                    k.verify(m, sig).unwrap();
+                }
+            });
+            let batch_ns = time_per_item(iters, n, || batch_verify(&items).unwrap());
+            CryptoRow {
+                batch: n,
+                serial_ns,
+                batch_ns,
+            }
+        })
+        .collect()
+}
+
+/// Builds an Attestation Server plus `n` coalesced measurement
+/// responses from one cloud server. With `reuse_avk` the server keeps
+/// one attestation session and the certified-AVK cache is enabled (the
+/// steady state where certification is a lookup); without it every
+/// response carries a fresh AVK whose identity binding must be
+/// verified, as in the default cloud configuration.
+fn validate_fixture(
+    n: usize,
+    reuse_avk: bool,
+) -> (AttestationServer, Vec<(MeasureResponse, [u8; 32])>) {
+    let mut rng = Drbg::from_seed(88);
+    let mut attserver = AttestationServer::new(&mut rng);
+    let refs = ReferenceDb::new();
+    let mut node = CloudServerNode::boot(
+        ServerId(0),
+        1,
+        SchedParams::default(),
+        Drbg::from_seed(89),
+        refs.platform_components(),
+        &[SecurityProperty::StartupIntegrity],
+    );
+    if reuse_avk {
+        attserver.enable_avk_cert_cache();
+        node.set_avk_reuse(true);
+    }
+    attserver.register_cloud_server(node.identity_key());
+    node.launch_vm(
+        Vid(1),
+        Image::Cirros,
+        Image::Cirros.pristine_bytes(),
+        vec![Box::new(IdleDriver)],
+        256,
+    );
+    let responses = (0..n)
+        .map(|i| {
+            let nonce3 = [i as u8 + 1; 32];
+            let req =
+                attserver.build_measure_request(Vid(1), SecurityProperty::StartupIntegrity, nonce3);
+            let resp: MeasureResponse = node.attest(req.vid, req.spec, req.nonce3).unwrap().into();
+            (resp, nonce3)
+        })
+        .collect();
+    (attserver, responses)
+}
+
+/// Stage 2: serial vs batched AS-validate over coalesced responses,
+/// with fresh AVKs (the default) and with a reused, cache-warm AVK.
+pub fn run_validate(sizes: &[usize], iters: u32) -> Vec<ValidateRow> {
+    [false, true]
+        .into_iter()
+        .flat_map(|reuse| sizes.iter().map(move |&n| (n, reuse)))
+        .map(|(n, reuse_avk)| {
+            let (mut attserver, responses) = validate_fixture(n, reuse_avk);
+            let mut scratch = EncodeScratch::new();
+            let serial_ns = time_per_item(iters, n, || {
+                for (resp, nonce3) in &responses {
+                    attserver
+                        .validate_response_with(resp, Vid(1), resp.spec, *nonce3, &mut scratch)
+                        .unwrap();
+                }
+            });
+            let items: Vec<BatchValidationItem<'_>> = responses
+                .iter()
+                .map(|(resp, nonce3)| BatchValidationItem {
+                    response: resp,
+                    expected_vid: Vid(1),
+                    expected_spec: resp.spec,
+                    expected_nonce3: *nonce3,
+                })
+                .collect();
+            let batch_ns = time_per_item(iters, n, || {
+                for v in attserver.validate_response_batch(&items, &mut scratch) {
+                    v.unwrap();
+                }
+            });
+            ValidateRow {
+                batch: n,
+                avk_reused: reuse_avk,
+                serial_ns,
+                batch_ns,
+            }
+        })
+        .collect()
+}
+
+/// Stage 3: evidence-cache hit rate under a steady periodic
+/// subscription whose period is shorter than the validity window.
+pub fn run_cache(run_us: u64) -> CacheRow {
+    let period_us = 5_000_000;
+    let ttl_us = 30_000_000;
+    let mut c = CloudBuilder::new()
+        .servers(2)
+        .seed(90)
+        .evidence_cache(ttl_us)
+        .build();
+    let vid = c
+        .request_vm(
+            VmRequest::new(Flavor::Small, Image::Cirros)
+                .require(SecurityProperty::RuntimeIntegrity)
+                .workload(WorkloadSpec::Busy),
+        )
+        .expect("launch");
+    c.runtime_attest_periodic(vid, SecurityProperty::RuntimeIntegrity, period_us)
+        .expect("subscribe");
+    c.run(run_us);
+    let (hits, misses) = c.evidence_cache_stats();
+    CacheRow {
+        period_us,
+        ttl_us,
+        hits,
+        misses,
+    }
+}
+
+/// Renders all three stages.
+pub fn print(crypto: &[CryptoRow], validate: &[ValidateRow], cache: &CacheRow) {
+    println!("batch Schnorr verification (ns per signature)");
+    println!(
+        "{:>6} {:>12} {:>12} {:>9}",
+        "batch", "serial", "batched", "speedup"
+    );
+    for r in crypto {
+        println!(
+            "{:>6} {:>12.1} {:>12.1} {:>8.2}x",
+            r.batch,
+            r.serial_ns.mean,
+            r.batch_ns.mean,
+            r.serial_ns.mean / r.batch_ns.mean
+        );
+    }
+    println!();
+    println!("AS validate_response (ns per response)");
+    println!(
+        "{:>6} {:>12} {:>12} {:>12} {:>9}",
+        "batch", "avk", "serial", "batched", "speedup"
+    );
+    for r in validate {
+        println!(
+            "{:>6} {:>12} {:>12.1} {:>12.1} {:>8.2}x",
+            r.batch,
+            if r.avk_reused { "reused" } else { "fresh" },
+            r.serial_ns.mean,
+            r.batch_ns.mean,
+            r.serial_ns.mean / r.batch_ns.mean
+        );
+    }
+    println!();
+    println!(
+        "evidence cache: period {} s, window {} s -> {} hits / {} misses ({:.1}% hit rate)",
+        cache.period_us / 1_000_000,
+        cache.ttl_us / 1_000_000,
+        cache.hits,
+        cache.misses,
+        cache.hit_rate() * 100.0
+    );
+}
+
+/// Renders the sweep as `BENCH_crypto.json`-style rows (one line per
+/// benchmark) for pasting into the committed snapshot.
+pub fn print_json(crypto: &[CryptoRow], validate: &[ValidateRow], cache: &CacheRow, iters: u32) {
+    let row = |id: String, ns: NsPerItem| {
+        format!(
+            "{{\"id\": \"{id}\", \"mean_ns\": {:.1}, \"min_ns\": {:.1}, \"iters\": {iters}}}",
+            ns.mean, ns.min
+        )
+    };
+    let mut rows = Vec::new();
+    for r in crypto {
+        rows.push(row(format!("batch_verify_serial/{}", r.batch), r.serial_ns));
+        rows.push(row(format!("batch_verify/{}", r.batch), r.batch_ns));
+    }
+    for r in validate {
+        let avk = if r.avk_reused {
+            "reused_avk"
+        } else {
+            "fresh_avk"
+        };
+        rows.push(row(
+            format!("as_validate_serial/{avk}/{}", r.batch),
+            r.serial_ns,
+        ));
+        rows.push(row(
+            format!("as_validate_batch/{avk}/{}", r.batch),
+            r.batch_ns,
+        ));
+    }
+    rows.push(format!(
+        "{{\"id\": \"evidence_cache_hit_rate\", \"hits\": {}, \"misses\": {}, \"hit_rate\": {:.3}}}",
+        cache.hits,
+        cache.misses,
+        cache.hit_rate()
+    ));
+    for r in rows {
+        println!("{r},");
+    }
+}

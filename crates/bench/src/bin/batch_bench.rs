@@ -1,0 +1,29 @@
+//! Runs the batched-verification microbenchmark: serial vs batched
+//! Schnorr verification and AS-validate at batch 1 / 8 / 64, plus the
+//! evidence-cache hit-rate sweep (DESIGN.md §13).
+//!
+//! Usage: `batch_bench [--smoke] [--json]`
+//! `--smoke` cuts the timing iterations and the simulated horizon for
+//! CI; `--json` prints `BENCH_crypto.json`-style rows instead of the
+//! table. The committed numbers live in the `batch_*` rows of
+//! `BENCH_crypto.json`.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let json = args.iter().any(|a| a == "--json");
+    let iters = if smoke {
+        monatt_bench::batch::SMOKE_ITERS
+    } else {
+        monatt_bench::batch::ITERS
+    };
+    let run_us = if smoke { 120_000_000 } else { 600_000_000 };
+    let crypto = monatt_bench::batch::run_crypto(&monatt_bench::batch::SIZES, iters);
+    let validate = monatt_bench::batch::run_validate(&monatt_bench::batch::SIZES, iters);
+    let cache = monatt_bench::batch::run_cache(run_us);
+    if json {
+        monatt_bench::batch::print_json(&crypto, &validate, &cache, iters);
+    } else {
+        monatt_bench::batch::print(&crypto, &validate, &cache);
+    }
+}

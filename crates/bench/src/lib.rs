@@ -11,6 +11,7 @@
 
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod chaos;
 pub mod faults;
 pub mod fig04;

@@ -215,6 +215,10 @@ pub struct CloudBuilder {
     session_deadline_us: Option<u64>,
     admission: Option<(usize, usize)>,
     shards: usize,
+    as_batch: Option<(u64, usize)>,
+    evidence_ttl_us: Option<u64>,
+    avk_cert_cache: bool,
+    reuse_avk: bool,
 }
 
 impl Default for CloudBuilder {
@@ -240,7 +244,51 @@ impl CloudBuilder {
             session_deadline_us: None,
             admission: None,
             shards: 1,
+            as_batch: None,
+            evidence_ttl_us: None,
+            avk_cert_cache: false,
+            reuse_avk: false,
         }
+    }
+
+    /// Coalesces message-4 validation at the Attestation Server:
+    /// responses arriving within `window_us` of each other (up to `max`
+    /// per batch) are verified in one batched Schnorr pass instead of
+    /// one-by-one. `window_us == 0` disables coalescing (the default,
+    /// byte-identical to the pre-batching path); `max` is clamped to at
+    /// least 1, and a batch of one charges exactly the inline latency.
+    pub fn as_batch(mut self, window_us: u64, max: usize) -> Self {
+        self.as_batch = Some((window_us, max.max(1)));
+        self
+    }
+
+    /// Gives Attestation-Server verdicts a validity window: a repeat
+    /// attestation request for the same `(Vid, property)` within
+    /// `ttl_us` is served from cached evidence, skipping the
+    /// measurement hops entirely. Invalidated on VM migration,
+    /// termination, evacuation, node crash and channel re-key.
+    /// Default: disabled.
+    pub fn evidence_cache(mut self, ttl_us: u64) -> Self {
+        self.evidence_ttl_us = Some(ttl_us);
+        self
+    }
+
+    /// Turns on the privacy CA's certified-AVK cache: an identical
+    /// certification request seen again is answered without re-verifying
+    /// the identity binding. Only effective when servers also reuse
+    /// their attestation key ([`Self::reuse_avk`]). Default: off.
+    pub fn avk_cert_cache(mut self, on: bool) -> Self {
+        self.avk_cert_cache = on;
+        self
+    }
+
+    /// Makes every cloud server reuse one attestation session key across
+    /// attestations (instead of the paper's fresh-AVK-per-session
+    /// default), so repeat bindings can hit the pCA's certified-AVK
+    /// cache. An explicit anonymity/performance trade-off; default: off.
+    pub fn reuse_avk(mut self, on: bool) -> Self {
+        self.reuse_avk = on;
+        self
     }
 
     /// Splits the event engine into `k` timer-wheel shards routed by
@@ -357,6 +405,9 @@ impl CloudBuilder {
         let mut rng = Drbg::from_seed(self.seed);
         let mut controller = CloudController::new(&mut rng);
         let mut attserver = AttestationServer::new(&mut rng);
+        if self.avk_cert_cache {
+            attserver.enable_avk_cert_cache();
+        }
         let customer_identity = SigningKey::generate(&mut rng);
         let references = ReferenceDb::new();
         let all_properties = [
@@ -375,7 +426,7 @@ impl CloudBuilder {
             } else {
                 references.platform_components().to_vec()
             };
-            let node = CloudServerNode::boot(
+            let mut node = CloudServerNode::boot(
                 id,
                 self.pcpus_per_server,
                 self.sched,
@@ -383,6 +434,9 @@ impl CloudBuilder {
                 &components,
                 &all_properties,
             );
+            if self.reuse_avk {
+                node.set_avk_reuse(true);
+            }
             attserver.register_cloud_server(node.identity_key());
             controller.register_server(ServerInfo {
                 id,
@@ -486,6 +540,10 @@ impl CloudBuilder {
             record_scratch: Vec::new(),
             inbox_scratch: Vec::new(),
             quote_scratch: monatt_net::wire::EncodeScratch::new(),
+            as_batch_window_us: self.as_batch.map_or(0, |(w, _)| w),
+            as_batch_max: self.as_batch.map_or(1, |(_, m)| m.max(1)),
+            pending_msg4: Vec::new(),
+            evidence_ttl_us: self.evidence_ttl_us,
         })
     }
 }

@@ -36,7 +36,9 @@ use crate::error::CloudError;
 use crate::latency::{LatencyParams, RetryPolicy};
 use crate::outage::{AdmissionControl, OutageModel, OutageStats};
 use crate::server::CloudServerNode;
-use crate::session::{CloudEvent, SessionArena, SessionEvent, SessionId, SessionOrigin};
+use crate::session::{
+    CloudEvent, PendingMsg4, SessionArena, SessionEvent, SessionId, SessionOrigin,
+};
 use crate::types::{HealthStatus, NodeId, ProtocolStats, SecurityProperty, ServerId, Vid};
 use build::VmMeta;
 use monatt_crypto::drbg::Drbg;
@@ -154,6 +156,21 @@ pub struct Cloud {
     /// spec/measurement, property/status) during validation and
     /// certification.
     pub(crate) quote_scratch: monatt_net::wire::EncodeScratch,
+    /// Msg-4 coalescing window at the Attestation Server, microseconds.
+    /// 0 (the default) disables coalescing: message 4 validates inline
+    /// on arrival, the pre-batching path.
+    pub(crate) as_batch_window_us: u64,
+    /// Maximum responses per coalesced batch; reaching it flushes
+    /// immediately (inline, before the window timer).
+    pub(crate) as_batch_max: usize,
+    /// Measurement responses parked at the Attestation Server awaiting
+    /// the next batched validation pass.
+    pub(crate) pending_msg4: Vec<PendingMsg4>,
+    /// Evidence-cache validity window: `Some(ttl)` serves repeat
+    /// attestation requests for the same `(Vid, property)` from the AS
+    /// cache for `ttl` microseconds. `None` (the default) disables the
+    /// cache entirely.
+    pub(crate) evidence_ttl_us: Option<u64>,
 }
 
 impl std::fmt::Debug for Cloud {
@@ -306,6 +323,7 @@ impl Cloud {
             CloudEvent::Session { sid, event } => self.step_session(sid, event),
             CloudEvent::SubscriptionDue { id } => self.start_subscription_sample(id),
             CloudEvent::Outage { node, down, chain } => self.apply_outage(node, down, chain),
+            CloudEvent::Msg4Flush => self.flush_msg4_batch(),
         }
     }
 
@@ -325,6 +343,8 @@ impl Cloud {
                 NodeId::Server(s) => s.0 as u64,
                 NodeId::Controller | NodeId::AttestationServer => 0,
             },
+            // The coalescing buffer is Attestation-Server state.
+            CloudEvent::Msg4Flush => 0,
         };
         self.engine.schedule(due_us, shard_key, event);
         self.stats.max_queue_depth = self
@@ -505,6 +525,18 @@ impl Cloud {
         for sid in victims {
             self.finish_session_node_down(sid, node);
         }
+        // Cached trust does not survive the platform that produced it.
+        match node {
+            NodeId::Server(id) => {
+                self.attserver.invalidate_evidence_for_server(id);
+                // The server's volatile attestation session dies with it.
+                if let Some(n) = self.servers.get_mut(&id) {
+                    n.reset_avk_session();
+                }
+            }
+            NodeId::AttestationServer => self.attserver.invalidate_all_evidence(),
+            NodeId::Controller => {}
+        }
         if let NodeId::Server(id) = node {
             // A crashed server's measurement window dies with it.
             self.window_free_at.remove(&id);
@@ -611,6 +643,24 @@ impl Cloud {
                 }
             }
         }
+        // A re-key is a trust boundary: the pCA epoch advances (staling
+        // every issued AVK certificate and dropping the certified-AVK
+        // cache), cached evidence is invalidated, and servers reusing an
+        // attestation session start a fresh one.
+        self.attserver.on_rekey();
+        match node {
+            NodeId::Server(id) => {
+                if let Some(n) = self.servers.get_mut(&id) {
+                    n.reset_avk_session();
+                }
+            }
+            NodeId::AttestationServer => {
+                for n in self.servers.values_mut() {
+                    n.reset_avk_session();
+                }
+            }
+            NodeId::Controller => {}
+        }
     }
 
     /// The full customer-facing attestation (all six messages of Figure
@@ -621,6 +671,9 @@ impl Cloud {
         vid: Vid,
         property: SecurityProperty,
     ) -> Result<AttestationReport, CloudError> {
+        if let Some(report) = self.evidence_probe(vid, property) {
+            return Ok(report);
+        }
         let sid = self.begin_customer_session(vid, property, SessionOrigin::Api)?;
         let outcome = self.pump_session(sid)?;
         Ok(AttestationReport {
@@ -630,6 +683,51 @@ impl Cloud {
             elapsed_us: outcome.elapsed_us,
             issued_at_us: self.wall_clock_us,
         })
+    }
+
+    /// Serves an attestation from the Attestation Server's evidence
+    /// cache, when a validity window is configured
+    /// ([`CloudBuilder::evidence_cache`]) and fresh evidence for
+    /// `(vid, property)` exists. The measurement hops (messages 3 and 4,
+    /// the window, the quote) are skipped entirely — the sub-attestation
+    /// reuse idea — and the caller pays only the request/report
+    /// processing at the controller and AS (messages 1, 2, 5 and 6).
+    /// Returns `None` when the cache is disabled, the VM is gone, or the
+    /// evidence is stale; the caller then runs the full protocol.
+    pub(crate) fn evidence_probe(
+        &mut self,
+        vid: Vid,
+        property: SecurityProperty,
+    ) -> Option<AttestationReport> {
+        self.evidence_ttl_us?;
+        let record = self.controller.vm(vid)?;
+        if record.state == VmLifecycle::Terminated {
+            return None;
+        }
+        let now = self.wall_clock_us;
+        let cached = self.attserver.evidence_lookup(vid, property, now)?;
+        let elapsed_us = self.latency.post_hop_us(1)
+            + self.latency.post_hop_us(2)
+            + self.latency.post_hop_us(5)
+            + self.latency.post_hop_us(6);
+        self.advance(elapsed_us);
+        Some(AttestationReport {
+            vid,
+            property,
+            status: cached.status,
+            elapsed_us,
+            issued_at_us: self.wall_clock_us,
+        })
+    }
+
+    /// Evidence-cache hits and misses at the Attestation Server.
+    pub fn evidence_cache_stats(&self) -> (u64, u64) {
+        self.attserver.evidence_cache_stats()
+    }
+
+    /// Certified-AVK cache hits and misses at the privacy CA.
+    pub fn avk_cert_cache_stats(&self) -> (u64, u64) {
+        self.attserver.avk_cert_cache_stats()
     }
 
     /// Table 1: `startup_attest_current(Vid, P, N)` — attestation before

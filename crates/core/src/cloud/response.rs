@@ -95,6 +95,9 @@ impl Cloud {
                 self.latency.migrate_us(record.flavor)
             }
         };
+        // Any remediation changes the VM's trust context (new host,
+        // suspended state, or gone): cached evidence about it is stale.
+        self.attserver.invalidate_evidence_for_vid(vid);
         self.advance(response_us);
         Ok(ResponseTiming {
             action,
@@ -121,6 +124,9 @@ impl Cloud {
             let Some(record) = self.controller.vm(vid).cloned() else {
                 continue;
             };
+            // Evidence gathered on the crashed host is void for this VM
+            // wherever it lands.
+            self.attserver.invalidate_evidence_for_vid(vid);
             // The crashed host's simulator state for this VM is gone
             // either way.
             if let Some(node) = self.touch_server(crashed) {

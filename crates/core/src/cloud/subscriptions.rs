@@ -188,6 +188,20 @@ impl Cloud {
     /// they come due and interleaving all resulting protocol sessions on
     /// one event queue.
     ///
+    /// ## Horizon semantics
+    ///
+    /// The run covers the half-open interval `[start, end)` with
+    /// `end = start + duration_us`: a subscription firing or outage
+    /// transition due strictly before `end` fires in this run; one due
+    /// exactly at `end` is carried (in `next_due_us` or the outage
+    /// model's pending set) and fires first thing in the next run. All
+    /// three scheduling sites — initial subscription seeding here,
+    /// follow-up firings in `schedule_subscription_due`, and the outage
+    /// model's `drain_due` — use the same strict `< end` comparison, so
+    /// back-to-back runs of `d` and `d'` microseconds process exactly
+    /// the events one run of `d + d'` would (pinned by the
+    /// horizon-boundary test in `cloud/tests.rs`).
+    ///
     /// A sample that fails (protocol failure or unreachable server) is
     /// recorded on the subscription, not silently discarded; after
     /// [`super::CloudBuilder::escalation_threshold`] consecutive
@@ -199,7 +213,9 @@ impl Cloud {
         self.run_horizon = Some(end);
         // Seed the queue with every subscription's next firing. A due
         // time already in the past fires immediately, in subscription-id
-        // order (the queue breaks ties by schedule order).
+        // order (the queue breaks ties by schedule order). Strictly
+        // `< end`: a firing due exactly at the horizon belongs to the
+        // next run (see the doc comment's horizon semantics).
         let initial: Vec<(u64, u64)> = self
             .subscriptions
             .iter()
@@ -265,6 +281,15 @@ impl Cloud {
             return;
         };
         let (vid, property) = (sub.vid, sub.property);
+        // With an evidence validity window configured, a sample whose
+        // verdict is still fresh is served from the Attestation Server's
+        // cache — no session, no measurement hops (sub-attestation
+        // reuse). Steady periodic subscriptions with a period shorter
+        // than the window mostly hit this path.
+        if let Some(report) = self.evidence_probe(vid, property) {
+            self.complete_subscription_sample(id, vid, property, Ok(report));
+            return;
+        }
         if let Err(e) = self.begin_customer_session(vid, property, SessionOrigin::Subscription(id))
         {
             self.complete_subscription_sample(id, vid, property, Err(e));
@@ -354,9 +379,9 @@ impl Cloud {
     }
 
     /// Schedules the subscription's next firing, but only while inside
-    /// [`Cloud::run`] and only if it falls before the run's horizon —
-    /// otherwise `next_due_us` on the subscription carries it into the
-    /// next run.
+    /// [`Cloud::run`] and only if it falls strictly before the run's
+    /// horizon (the `[start, end)` convention) — otherwise `next_due_us`
+    /// on the subscription carries it into the next run.
     fn schedule_subscription_due(&mut self, id: u64, due_us: u64) {
         if let Some(end) = self.run_horizon {
             if due_us < end {

@@ -2,10 +2,12 @@
 //! periodic attestation, responses, fault handling and the
 //! failed-auto-response accounting.
 
-use super::{Cloud, CloudBuilder, Frequency, VmRequest, WorkloadSpec};
+use super::{AttestationReport, Cloud, CloudBuilder, Frequency, VmRequest, WorkloadSpec};
 use crate::controller::{ResponseAction, VmLifecycle};
 use crate::error::CloudError;
-use crate::types::{Flavor, HealthStatus, Image, ProtocolStats, SecurityProperty, ServerId};
+use crate::types::{
+    Flavor, HealthStatus, Image, NodeId, ProtocolStats, SecurityProperty, ServerId,
+};
 use monatt_crypto::drbg::Drbg;
 
 fn cloud() -> Cloud {
@@ -637,4 +639,210 @@ fn launch_timing_scales_with_image_and_flavor() {
         totals.push(c.last_launch_timing().unwrap().total_us());
     }
     assert!(totals[1] > totals[0], "{totals:?}");
+}
+
+#[test]
+fn coalesced_msg4_batches_match_serial_verdicts() {
+    // Two subscriptions due at the same instant reach AS-validate close
+    // together; with a coalescing window their msg 4s are verified in
+    // one combined Schnorr check. The verdicts must match the serial
+    // run exactly — batching is a throughput optimisation, never a
+    // behaviour change.
+    fn run(batched: bool) -> (Vec<Vec<AttestationReport>>, ProtocolStats) {
+        let mut b = CloudBuilder::new().servers(3).seed(21);
+        if batched {
+            b = b.as_batch(1_000_000, 8);
+        }
+        let mut c = b.build();
+        // Launch both VMs first (each launch advances the wall clock),
+        // then subscribe back-to-back so the two firings share a due
+        // time and their msg 4s land inside one coalescing window.
+        let vids: Vec<_> = [Image::Cirros, Image::Ubuntu]
+            .into_iter()
+            .map(|image| {
+                c.request_vm(
+                    VmRequest::new(Flavor::Small, image)
+                        .require(SecurityProperty::RuntimeIntegrity)
+                        .workload(WorkloadSpec::Busy),
+                )
+                .unwrap()
+            })
+            .collect();
+        let subs: Vec<_> = vids
+            .iter()
+            .map(|vid| {
+                c.runtime_attest_periodic(*vid, SecurityProperty::RuntimeIntegrity, 5_000_000)
+                    .unwrap()
+            })
+            .collect();
+        let reports = {
+            c.run(21_000_000);
+            subs.iter()
+                .map(|s| c.stop_attest_periodic(*s).unwrap())
+                .collect()
+        };
+        (reports, c.protocol_stats())
+    }
+    let (serial, serial_stats) = run(false);
+    let (batched, batched_stats) = run(true);
+    assert_eq!(serial_stats.msg4_flushes, 0, "serial run must stay inline");
+    assert!(
+        batched_stats.msg4_batched > batched_stats.msg4_flushes,
+        "no flush coalesced two sessions: batched={} flushes={}",
+        batched_stats.msg4_batched,
+        batched_stats.msg4_flushes
+    );
+    assert_eq!(serial.len(), batched.len());
+    for (s, b) in serial.iter().zip(&batched) {
+        assert_eq!(s.len(), b.len(), "delivered counts diverged");
+        for (sr, br) in s.iter().zip(b) {
+            assert_eq!(sr.status, br.status, "verdict diverged under batching");
+        }
+    }
+}
+
+#[test]
+fn evidence_cache_serves_fresh_verdicts_and_invalidates() {
+    let ttl = 30_000_000;
+    let mut c = CloudBuilder::new()
+        .servers(3)
+        .seed(22)
+        .evidence_cache(ttl)
+        .build();
+    let vid = c
+        .request_vm(
+            VmRequest::new(Flavor::Small, Image::Ubuntu)
+                .require(SecurityProperty::RuntimeIntegrity)
+                .workload(WorkloadSpec::Busy),
+        )
+        .unwrap();
+    let first = c
+        .runtime_attest_current(vid, SecurityProperty::RuntimeIntegrity)
+        .unwrap();
+    assert!(first.healthy());
+    // A verdict inside the validity window is served from the evidence
+    // cache: messages 3/4 and the measurement window are skipped, so
+    // the cached report is strictly cheaper than the full protocol.
+    let (hits_before, _) = c.evidence_cache_stats();
+    let second = c
+        .runtime_attest_current(vid, SecurityProperty::RuntimeIntegrity)
+        .unwrap();
+    let (hits_after, _) = c.evidence_cache_stats();
+    assert_eq!(hits_after, hits_before + 1, "second attest must hit");
+    assert_eq!(second.status, first.status);
+    assert!(
+        second.elapsed_us < first.elapsed_us,
+        "cached {} vs full {}",
+        second.elapsed_us,
+        first.elapsed_us
+    );
+    // Remediation moves the VM to a new host: the cached verdict is
+    // about the old trust context and must not be served again.
+    c.respond(vid, crate::controller::ResponseAction::Migration)
+        .unwrap();
+    let (hits_mig, misses_mig) = c.evidence_cache_stats();
+    let third = c
+        .runtime_attest_current(vid, SecurityProperty::RuntimeIntegrity)
+        .unwrap();
+    let (hits_post, misses_post) = c.evidence_cache_stats();
+    assert_eq!(hits_post, hits_mig, "post-migration attest must not hit");
+    assert!(misses_post > misses_mig);
+    assert!(third.elapsed_us > second.elapsed_us);
+    // The validity window expires evidence by wall clock: after idling
+    // past the TTL the next sample runs the full protocol again.
+    c.run(ttl + 1_000_000);
+    let (hits_idle, _) = c.evidence_cache_stats();
+    let fourth = c
+        .runtime_attest_current(vid, SecurityProperty::RuntimeIntegrity)
+        .unwrap();
+    let (hits_end, _) = c.evidence_cache_stats();
+    assert_eq!(hits_end, hits_idle, "expired evidence must not be served");
+    assert!(fourth.elapsed_us > second.elapsed_us);
+}
+
+#[test]
+fn avk_cert_cache_hits_on_reuse_and_resets_on_rekey() {
+    let mut c = CloudBuilder::new()
+        .servers(2)
+        .seed(23)
+        .reuse_avk(true)
+        .avk_cert_cache(true)
+        .build();
+    let vid = c
+        .request_vm(
+            VmRequest::new(Flavor::Small, Image::Cirros)
+                .require(SecurityProperty::RuntimeIntegrity)
+                .workload(WorkloadSpec::Busy),
+        )
+        .unwrap();
+    for _ in 0..2 {
+        let r = c
+            .runtime_attest_current(vid, SecurityProperty::RuntimeIntegrity)
+            .unwrap();
+        assert!(r.healthy());
+    }
+    let (hits, _) = c.avk_cert_cache_stats();
+    assert!(
+        hits >= 1,
+        "a reused attestation session must hit the certified-AVK cache"
+    );
+    // Crash + recovery re-keys the node's channels, which bumps the
+    // pCA epoch: every certificate issued before is stale and the
+    // cache is dropped, so the next attestation re-certifies.
+    let server = c.server_of(vid).unwrap();
+    c.crash_node(NodeId::Server(server));
+    c.recover_node(NodeId::Server(server));
+    let (_, misses_rekey) = c.avk_cert_cache_stats();
+    let r = c
+        .runtime_attest_current(vid, SecurityProperty::RuntimeIntegrity)
+        .unwrap();
+    assert!(r.healthy(), "attestation must recover at the new epoch");
+    let (_, misses_post) = c.avk_cert_cache_stats();
+    assert!(
+        misses_post > misses_rekey,
+        "re-keying must invalidate certified AVKs"
+    );
+}
+
+#[test]
+fn horizon_boundary_event_fires_in_the_next_run() {
+    // `Cloud::run` covers the half-open interval [start, end): a
+    // subscription firing due exactly at the horizon belongs to the
+    // next run, so splitting one run in two at the boundary processes
+    // the identical event set (referenced by the `run` doc comment).
+    fn build() -> (Cloud, u64) {
+        let mut c = CloudBuilder::new().servers(3).seed(24).build();
+        let vid = c
+            .request_vm(
+                VmRequest::new(Flavor::Small, Image::Cirros)
+                    .require(SecurityProperty::RuntimeIntegrity)
+                    .workload(WorkloadSpec::Busy),
+            )
+            .unwrap();
+        let sub = c
+            .runtime_attest_periodic(vid, SecurityProperty::RuntimeIntegrity, 5_000_000)
+            .unwrap();
+        (c, sub)
+    }
+    let (mut whole, sub_w) = build();
+    whole.run(10_000_000);
+    let (mut split, sub_s) = build();
+    // The first firing is due exactly at this run's end: carried.
+    split.run(5_000_000);
+    assert_eq!(
+        split.subscription_health(sub_s).unwrap().delivered,
+        0,
+        "a firing due exactly at the horizon must not fire in this run"
+    );
+    split.run(5_000_000);
+    assert_eq!(
+        split.subscription_health(sub_s).unwrap().delivered,
+        1,
+        "the carried firing must fire first thing in the next run"
+    );
+    assert_eq!(whole.wall_clock_us(), split.wall_clock_us());
+    assert_eq!(whole.drbg_probe(), split.drbg_probe());
+    let rw = whole.stop_attest_periodic(sub_w).unwrap();
+    let rs = split.stop_attest_periodic(sub_s).unwrap();
+    assert_eq!(rw, rs, "split runs must reproduce the whole run's reports");
 }

@@ -62,10 +62,13 @@ impl RetryPolicy {
 
     /// The backoff (plus jitter) charged before retry number `attempt`
     /// (1-based: the backoff taken after the `attempt`-th failed try).
+    /// `attempt == 0` is treated as the first retry — the subtraction
+    /// saturates instead of underflowing to a shift of 16 (which would
+    /// silently charge the cap for what should be the cheapest step).
     pub fn backoff_us(&self, attempt: u32, rng: &mut Drbg) -> u64 {
         let exp = self
             .backoff_base_us
-            .saturating_mul(1u64 << (attempt - 1).min(16))
+            .saturating_mul(1u64 << attempt.saturating_sub(1).min(16))
             .min(self.backoff_cap_us);
         exp + rng.next_u64_below(exp / 2 + 1)
     }
@@ -283,6 +286,20 @@ mod tests {
             (policy.backoff_cap_us..=policy.backoff_cap_us * 3 / 2).contains(&deep),
             "{deep}"
         );
+    }
+
+    #[test]
+    fn backoff_at_attempt_zero_does_not_underflow() {
+        // Regression: `1u64 << (attempt - 1)` underflowed at attempt 0,
+        // shifting by (u32::MAX).min(16) = 16 and charging the cap for
+        // what should be the cheapest backoff step.
+        let policy = RetryPolicy::default();
+        let mut rng = Drbg::from_seed(6);
+        let b0 = policy.backoff_us(0, &mut rng);
+        let b1 = policy.backoff_us(1, &mut rng);
+        // Attempt 0 behaves like the first retry: base plus <=50% jitter.
+        assert!((500..=750).contains(&b0), "{b0}");
+        assert!((500..=750).contains(&b1), "{b1}");
     }
 
     #[test]

@@ -143,7 +143,10 @@ impl OutageModel {
     /// Removes and returns every pending transition due strictly before
     /// `horizon_us`, ordered by `(at_us, node, down)` so same-instant
     /// transitions schedule deterministically. Transitions at or past
-    /// the horizon stay pending for a later `run`.
+    /// the horizon stay pending for a later `run` — the same half-open
+    /// `[start, end)` convention `Cloud::run` uses when seeding
+    /// subscription firings, so splitting one run into two at any
+    /// boundary processes the identical event set.
     pub(crate) fn drain_due(&mut self, horizon_us: u64) -> Vec<Transition> {
         let mut due: Vec<Transition> = Vec::new();
         let mut keep = Vec::with_capacity(self.pending.len());

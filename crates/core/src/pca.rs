@@ -10,15 +10,29 @@
 
 use monatt_crypto::drbg::Drbg;
 use monatt_crypto::schnorr::{Signature, SigningKey, VerifyingKey};
+use monatt_crypto::sha256::Sha256;
 use monatt_tpm::module::CertificationRequest;
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Domain-separation tag mixed into every certificate signature, so a pCA
+/// signature over an attestation key can never be confused with any other
+/// signature the same key makes (report quotes, handshake transcripts).
+const CERT_DST: &[u8] = b"monatt/pca-avk-cert/v2";
+
+/// Length of the certificate signing payload: tag, epoch, key.
+const CERT_PAYLOAD_LEN: usize = 22 + 8 + 32;
 
 /// A certificate for a session attestation key.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct AvkCertificate {
     /// The certified attestation key.
     pub attestation_key: VerifyingKey,
-    /// The pCA's signature over the key.
+    /// The pCA key epoch the certificate was issued under. Certificates
+    /// from earlier epochs are stale: the epoch bumps on channel re-key
+    /// (node recovery), which is exactly when old bindings stop being
+    /// trustworthy.
+    pub epoch: u64,
+    /// The pCA's signature over the tagged `(epoch, key)` payload.
     pub signature: Signature,
 }
 
@@ -47,12 +61,29 @@ impl std::error::Error for PcaError {}
 pub struct PrivacyCa {
     key: SigningKey,
     registered: BTreeSet<[u8; 32]>,
+    /// Current key epoch; bumped on channel re-key, invalidating every
+    /// certificate issued before the bump.
+    epoch: u64,
+    /// Whether the certified-AVK cache is on. Off by default: with fresh
+    /// per-session attestation keys the cache can never hit, and its
+    /// inserts would put allocations on the warm attestation path.
+    cache_enabled: bool,
+    /// Certified-AVK cache: request digest → certificate issued this
+    /// epoch. A cloud server re-submitting an identical identity binding
+    /// gets its certificate back without the pCA re-verifying the binding
+    /// signature. Keyed by a hash of the *entire* request (identity key,
+    /// attestation key, binding signature), so only byte-identical
+    /// requests can hit. Cleared on epoch bump.
+    cert_cache: BTreeMap<[u8; 32], AvkCertificate>,
+    cache_hits: u64,
+    cache_misses: u64,
 }
 
 impl std::fmt::Debug for PrivacyCa {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("PrivacyCa")
             .field("registered", &self.registered.len())
+            .field("epoch", &self.epoch)
             .finish_non_exhaustive()
     }
 }
@@ -63,12 +94,42 @@ impl PrivacyCa {
         PrivacyCa {
             key: SigningKey::generate(rng),
             registered: BTreeSet::new(),
+            epoch: 0,
+            cache_enabled: false,
+            cert_cache: BTreeMap::new(),
+            cache_hits: 0,
+            cache_misses: 0,
         }
+    }
+
+    /// Turns on the certified-AVK cache. Only worthwhile together with
+    /// server-side attestation-key reuse — with fresh per-session keys
+    /// every lookup misses.
+    pub fn enable_cert_cache(&mut self) {
+        self.cache_enabled = true;
     }
 
     /// The pCA's public key, distributed to verifiers.
     pub fn public_key(&self) -> VerifyingKey {
         self.key.verifying_key()
+    }
+
+    /// The current key epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Advances to a new key epoch (called on channel re-key, e.g. after
+    /// node recovery). Every previously issued certificate becomes stale
+    /// and the certified-AVK cache is dropped with them.
+    pub fn bump_epoch(&mut self) {
+        self.epoch += 1;
+        self.cert_cache.clear();
+    }
+
+    /// Certified-AVK cache hits and misses since construction.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        (self.cache_hits, self.cache_misses)
     }
 
     /// Registers a cloud server's identity key at deployment time.
@@ -78,31 +139,107 @@ impl PrivacyCa {
 
     /// Certifies a session attestation key.
     ///
+    /// A byte-identical request already certified this epoch is answered
+    /// from the certified-AVK cache without re-verifying the identity
+    /// binding.
+    ///
     /// # Errors
     ///
     /// [`PcaError::UnregisteredServer`] if the identity key is unknown,
     /// [`PcaError::BadBinding`] if the identity signature is invalid.
-    pub fn certify(&self, request: &CertificationRequest) -> Result<AvkCertificate, PcaError> {
+    pub fn certify(&mut self, request: &CertificationRequest) -> Result<AvkCertificate, PcaError> {
         if !self.registered.contains(&request.identity_key.to_bytes()) {
             return Err(PcaError::UnregisteredServer);
+        }
+        if self.cache_enabled {
+            if let Some(cert) = self.cert_cache.get(&Self::request_digest(request)) {
+                self.cache_hits += 1;
+                return Ok(cert.clone());
+            }
+            self.cache_misses += 1;
         }
         if !request.verify() {
             return Err(PcaError::BadBinding);
         }
-        let signature = self.key.sign(&request.attestation_key.to_bytes());
-        Ok(AvkCertificate {
+        Ok(self.issue(request))
+    }
+
+    /// True when `identity` was registered at deployment time.
+    pub(crate) fn is_registered(&self, identity: &VerifyingKey) -> bool {
+        self.registered.contains(&identity.to_bytes())
+    }
+
+    /// Issues (and, when the cache is on, caches) a certificate for a
+    /// request whose identity binding has already been verified — the
+    /// batch-validation path checks bindings in bulk and then calls this
+    /// per survivor.
+    pub(crate) fn issue(&mut self, request: &CertificationRequest) -> AvkCertificate {
+        let cert = AvkCertificate {
             attestation_key: request.attestation_key,
-            signature,
-        })
+            epoch: self.epoch,
+            signature: self.key.sign(&AvkCertificate::signed_payload(
+                &request.attestation_key,
+                self.epoch,
+            )),
+        };
+        if self.cache_enabled {
+            self.cert_cache
+                .insert(Self::request_digest(request), cert.clone());
+        }
+        cert
+    }
+
+    /// Looks up a cached certificate for `request` without verifying
+    /// anything; callers must have checked registration already. Returns
+    /// `None` (and counts nothing) when the cache is off.
+    pub(crate) fn cached(&mut self, request: &CertificationRequest) -> Option<AvkCertificate> {
+        if !self.cache_enabled {
+            return None;
+        }
+        let cert = self.cert_cache.get(&Self::request_digest(request)).cloned();
+        match cert.is_some() {
+            true => self.cache_hits += 1,
+            false => self.cache_misses += 1,
+        }
+        cert
+    }
+
+    /// Hashes the full certification request for use as a cache key.
+    pub(crate) fn request_digest(request: &CertificationRequest) -> [u8; 32] {
+        let mut h = Sha256::new();
+        h.update(&request.identity_key.to_bytes());
+        h.update(&request.attestation_key.to_bytes());
+        h.update(&request.identity_signature.to_bytes());
+        h.finalize()
     }
 }
 
 impl AvkCertificate {
-    /// Verifies this certificate against the pCA's public key.
-    pub fn verify(&self, pca_key: &VerifyingKey) -> bool {
-        pca_key
-            .verify(&self.attestation_key.to_bytes(), &self.signature)
-            .is_ok()
+    /// The byte string a certificate signature covers: domain tag, issuing
+    /// epoch, certified key. Binding the epoch means a certificate cannot
+    /// outlive a channel re-key. Fixed-size so certificate issuance stays
+    /// off the allocator (it sits on the warm attestation path).
+    fn signed_payload(attestation_key: &VerifyingKey, epoch: u64) -> [u8; CERT_PAYLOAD_LEN] {
+        let mut payload = [0u8; CERT_PAYLOAD_LEN];
+        let (dst, rest) = payload.split_at_mut(CERT_DST.len());
+        let (ep, key) = rest.split_at_mut(8);
+        dst.copy_from_slice(CERT_DST);
+        ep.copy_from_slice(&epoch.to_be_bytes());
+        key.copy_from_slice(&attestation_key.to_bytes());
+        payload
+    }
+
+    /// Verifies this certificate against the pCA's public key and its
+    /// current epoch. A certificate issued under an earlier epoch fails
+    /// even if its signature is intact: re-keying revoked it.
+    pub fn verify(&self, pca_key: &VerifyingKey, current_epoch: u64) -> bool {
+        self.epoch == current_epoch
+            && pca_key
+                .verify(
+                    &Self::signed_payload(&self.attestation_key, self.epoch),
+                    &self.signature,
+                )
+                .is_ok()
     }
 }
 
@@ -119,14 +256,69 @@ mod tests {
         pca.register_server(tm.identity_key());
         let session = tm.begin_attestation();
         let cert = pca.certify(session.certification_request()).unwrap();
-        assert!(cert.verify(&pca.public_key()));
+        assert!(cert.verify(&pca.public_key(), pca.epoch()));
         assert_eq!(cert.attestation_key, session.attestation_key());
+    }
+
+    #[test]
+    fn identical_request_is_served_from_cache() {
+        let mut rng = Drbg::from_seed(50);
+        let mut pca = PrivacyCa::new(&mut rng);
+        pca.enable_cert_cache();
+        let mut tm = TrustModule::provision(Drbg::from_seed(51));
+        pca.register_server(tm.identity_key());
+        let session = tm.begin_attestation();
+        let first = pca.certify(session.certification_request()).unwrap();
+        let second = pca.certify(session.certification_request()).unwrap();
+        assert_eq!(first, second);
+        assert_eq!(pca.cache_stats(), (1, 1));
+    }
+
+    #[test]
+    fn epoch_bump_invalidates_issued_certificates() {
+        let mut rng = Drbg::from_seed(52);
+        let mut pca = PrivacyCa::new(&mut rng);
+        pca.enable_cert_cache();
+        let mut tm = TrustModule::provision(Drbg::from_seed(53));
+        pca.register_server(tm.identity_key());
+        let session = tm.begin_attestation();
+        let cert = pca.certify(session.certification_request()).unwrap();
+        assert!(cert.verify(&pca.public_key(), pca.epoch()));
+        pca.bump_epoch();
+        // The old certificate is stale after re-keying even though its
+        // signature bytes are intact.
+        assert!(!cert.verify(&pca.public_key(), pca.epoch()));
+        // The cache was dropped with the epoch: a re-certification is a
+        // miss and yields a fresh, epoch-1 certificate.
+        let fresh = pca.certify(session.certification_request()).unwrap();
+        assert_eq!(fresh.epoch, 1);
+        assert!(fresh.verify(&pca.public_key(), pca.epoch()));
+        assert_ne!(cert.signature, fresh.signature);
+    }
+
+    #[test]
+    fn cert_signature_is_domain_separated() {
+        // The pCA signing the raw key bytes (the pre-DST payload) must not
+        // produce a valid certificate signature.
+        let mut rng = Drbg::from_seed(54);
+        let mut pca = PrivacyCa::new(&mut rng);
+        let mut tm = TrustModule::provision(Drbg::from_seed(55));
+        pca.register_server(tm.identity_key());
+        let session = tm.begin_attestation();
+        let cert = pca.certify(session.certification_request()).unwrap();
+        let untagged = pca.key.sign(&cert.attestation_key.to_bytes());
+        let forged = AvkCertificate {
+            attestation_key: cert.attestation_key,
+            epoch: cert.epoch,
+            signature: untagged,
+        };
+        assert!(!forged.verify(&pca.public_key(), pca.epoch()));
     }
 
     #[test]
     fn unregistered_server_rejected() {
         let mut rng = Drbg::from_seed(32);
-        let pca = PrivacyCa::new(&mut rng);
+        let mut pca = PrivacyCa::new(&mut rng);
         let mut tm = TrustModule::provision(Drbg::from_seed(33));
         let session = tm.begin_attestation();
         assert_eq!(
@@ -162,6 +354,6 @@ mod tests {
         pca.register_server(tm.identity_key());
         let session = tm.begin_attestation();
         let cert = pca.certify(session.certification_request()).unwrap();
-        assert!(!cert.verify(&other_pca.public_key()));
+        assert!(!cert.verify(&other_pca.public_key(), other_pca.epoch()));
     }
 }

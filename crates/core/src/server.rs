@@ -79,6 +79,14 @@ pub struct CloudServerNode {
     window_start_cpu: BTreeMap<Vid, u64>,
     window_start_pmu: BTreeMap<Vid, monatt_hypervisor::pmu::VmCounters>,
     quote_scratch: monatt_net::wire::EncodeScratch,
+    /// Opt-in: reuse one attestation session key across attestations so
+    /// the pCA's certified-AVK cache can short-circuit repeat bindings.
+    /// Default off — the paper's anonymity argument wants a fresh AVK
+    /// per session, so reuse is an explicit deployment trade-off.
+    reuse_avk: bool,
+    /// The cached attestation session when `reuse_avk` is on. Dropped on
+    /// channel re-key or crash recovery (see [`Self::reset_avk_session`]).
+    avk_session: Option<monatt_tpm::module::AttestationSession>,
 }
 
 impl std::fmt::Debug for CloudServerNode {
@@ -122,7 +130,23 @@ impl CloudServerNode {
             window_start_cpu: BTreeMap::new(),
             window_start_pmu: BTreeMap::new(),
             quote_scratch: monatt_net::wire::EncodeScratch::new(),
+            reuse_avk: false,
+            avk_session: None,
         }
+    }
+
+    /// Turns attestation-key reuse on or off. Turning it off (or on)
+    /// drops any cached session, so the next attestation starts fresh.
+    pub fn set_avk_reuse(&mut self, on: bool) {
+        self.reuse_avk = on;
+        self.avk_session = None;
+    }
+
+    /// Drops the cached attestation session (channel re-key, crash
+    /// recovery): a binding certified under the old trust context must
+    /// not be presented again.
+    pub fn reset_avk_session(&mut self) {
+        self.avk_session = None;
     }
 
     /// This server's id.
@@ -428,7 +452,20 @@ impl CloudServerNode {
         nonce: [u8; 32],
     ) -> Option<AttestationResponse> {
         let measurement = self.collect(spec, vid)?;
-        let session = self.trust.begin_attestation();
+        // Default: a fresh session key pair per attestation (anonymity).
+        // Under `reuse_avk` the previous session is kept so repeat
+        // attestations present the identical certification request and
+        // hit the pCA's certified-AVK cache.
+        let fresh;
+        let session = if self.reuse_avk {
+            if self.avk_session.is_none() {
+                self.avk_session = Some(self.trust.begin_attestation());
+            }
+            self.avk_session.as_ref()?
+        } else {
+            fresh = self.trust.begin_attestation();
+            &fresh
+        };
         let vid_bytes = vid.0.to_be_bytes();
         let (spec_bytes, meas_bytes) = self.quote_scratch.encode_pair(&spec, &measurement);
         let quote = session.quote(&[&vid_bytes, spec_bytes, meas_bytes, &nonce]);
@@ -585,6 +622,43 @@ mod tests {
         assert_ne!(
             resp.cert_request.attestation_key,
             resp2.cert_request.attestation_key
+        );
+    }
+
+    #[test]
+    fn avk_reuse_presents_identical_binding_until_reset() {
+        let mut n = node();
+        n.launch_vm(
+            Vid(7),
+            Image::Cirros,
+            Image::Cirros.pristine_bytes(),
+            vec![Box::new(IdleDriver)],
+            256,
+        );
+        n.set_avk_reuse(true);
+        let a = n
+            .attest(Vid(7), MeasurementSpec::BootIntegrity, [1u8; 32])
+            .unwrap();
+        let b = n
+            .attest(Vid(7), MeasurementSpec::BootIntegrity, [2u8; 32])
+            .unwrap();
+        // Same AVK, same identity signature: byte-identical binding.
+        assert_eq!(
+            a.cert_request.attestation_key,
+            b.cert_request.attestation_key
+        );
+        assert_eq!(
+            a.cert_request.identity_signature,
+            b.cert_request.identity_signature
+        );
+        // A re-key/crash reset forces a fresh session key.
+        n.reset_avk_session();
+        let c = n
+            .attest(Vid(7), MeasurementSpec::BootIntegrity, [3u8; 32])
+            .unwrap();
+        assert_ne!(
+            a.cert_request.attestation_key,
+            c.cert_request.attestation_key
         );
     }
 

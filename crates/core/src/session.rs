@@ -133,6 +133,25 @@ pub(crate) enum CloudEvent {
         /// transition when this one fires (stochastic transitions only).
         chain: bool,
     },
+    /// The Attestation Server's msg-4 coalescing window elapsed: every
+    /// parked measurement response is validated in one batched
+    /// verification pass (see [`Cloud::flush_msg4_batch`]). A flush that
+    /// finds the buffer already drained (a size-triggered flush beat the
+    /// window timer) is a no-op.
+    Msg4Flush,
+}
+
+/// A message-4 measurement response parked at the Attestation Server,
+/// awaiting the coalescing flush. The session's expectations (vid, spec,
+/// nonce N3) are re-read from the live session at flush time; an entry
+/// whose session died in between (node crash, deadline) is skipped.
+#[derive(Debug)]
+pub(crate) struct PendingMsg4 {
+    pub(crate) sid: SessionId,
+    pub(crate) msg4: MeasureResponse,
+    /// Wall-clock instant the response reached the AS; the flush charges
+    /// `flush_time - arrived_at_us` as coalescing wait.
+    pub(crate) arrived_at_us: u64,
 }
 
 /// What a session is for.
@@ -888,11 +907,42 @@ impl Cloud {
         self.transmit_attempt(sid, charge)
     }
 
-    /// The attestation server receives the measurement response:
-    /// validate, interpret, certify the property report.
+    /// The attestation server receives the measurement response. With
+    /// coalescing disabled (`as_batch_window_us == 0`, the default) it is
+    /// validated inline on arrival — the pre-batching path, charge for
+    /// charge. With coalescing enabled the response parks in
+    /// [`Cloud::pending_msg4`]; the batch flushes when it reaches
+    /// `as_batch_max` responses (inline, so a size-1 batch is
+    /// byte-identical to the inline path) or when the window timer fires.
     fn on_msg4(&mut self, sid: SessionId, bytes: &[u8]) -> Result<(), CloudError> {
         let msg4 =
             MeasureResponse::from_wire(bytes).map_err(|e| malformed("measure response", e))?;
+        if self.as_batch_window_us == 0 {
+            return self.on_msg4_inline(sid, msg4);
+        }
+        let now = self.wall_clock_us;
+        self.pending_msg4.push(PendingMsg4 {
+            sid,
+            msg4,
+            arrived_at_us: now,
+        });
+        if self.pending_msg4.len() >= self.as_batch_max.max(1) {
+            self.flush_msg4_batch();
+            return Ok(());
+        }
+        if self.pending_msg4.len() == 1 {
+            // First response of a new batch: arm the window timer. A
+            // size-triggered flush may empty the buffer before it fires;
+            // the stale timer then flushes whatever the next batch holds
+            // early, which only shortens waits — never loses a session.
+            self.schedule_cloud_event(now + self.as_batch_window_us, CloudEvent::Msg4Flush);
+        }
+        Ok(())
+    }
+
+    /// The inline (unbatched) msg-4 path: validate, interpret, certify
+    /// the property report, transmit message 5.
+    fn on_msg4_inline(&mut self, sid: SessionId, msg4: MeasureResponse) -> Result<(), CloudError> {
         let (vid, server, property, expected_image, spec, nonce2, nonce3) = {
             let session = self.sessions.get(sid).ok_or_else(lost_session)?;
             let spec = session.spec.ok_or_else(lost_session)?;
@@ -911,6 +961,15 @@ impl Cloud {
         let status = self
             .attserver
             .interpret_response(property, &msg4, expected_image);
+        if let Some(ttl) = self.evidence_ttl_us {
+            self.attserver.evidence_insert(
+                vid,
+                property,
+                server,
+                status.clone(),
+                self.wall_clock_us + ttl,
+            );
+        }
         let report_msg = self.attserver.certify_report_with(
             vid,
             server,
@@ -924,6 +983,116 @@ impl Cloud {
         session.stage = Stage::Msg5;
         report_msg.encode_into(&mut session.wire);
         self.transmit_attempt(sid, charge)
+    }
+
+    /// Validates every parked measurement response in one batched
+    /// verification pass ([`AttestationServer::validate_response_batch`])
+    /// and advances the surviving sessions to message 5.
+    ///
+    /// Latency model: each session is charged its coalescing wait
+    /// (`flush_time - arrival`) plus the usual post-hop-4 processing, so
+    /// a disabled window or a size-1 batch charges exactly what the
+    /// inline path does. Sessions that died while parked (node crash,
+    /// deadline expiry) are skipped; a verdict failure terminates its
+    /// session with the identical error the inline path would produce,
+    /// without touching its batch-mates.
+    pub(crate) fn flush_msg4_batch(&mut self) {
+        if self.pending_msg4.is_empty() {
+            return;
+        }
+        let mut pending = std::mem::take(&mut self.pending_msg4);
+        let now = self.wall_clock_us;
+        self.stats.msg4_flushes += 1;
+        self.stats.msg4_batched += pending.len() as u64;
+        // Re-read each parked entry's expectations from its session;
+        // `None` marks an entry whose session is gone or terminal.
+        type Meta = (
+            Vid,
+            ServerId,
+            SecurityProperty,
+            Image,
+            MeasurementSpec,
+            [u8; 32],
+            [u8; 32],
+        );
+        let meta: Vec<Option<Meta>> = pending
+            .iter()
+            .map(|p| match self.sessions.get(p.sid) {
+                Some(s) if s.pending.is_none() => s.spec.map(|spec| {
+                    (
+                        s.vid,
+                        s.server,
+                        s.property,
+                        s.expected_image,
+                        spec,
+                        s.nonce2,
+                        s.nonce3,
+                    )
+                }),
+                _ => None,
+            })
+            .collect();
+        let items: Vec<crate::attestation::BatchValidationItem<'_>> = pending
+            .iter()
+            .zip(meta.iter())
+            .filter_map(|(p, m)| {
+                m.map(
+                    |(vid, _, _, _, spec, _, nonce3)| crate::attestation::BatchValidationItem {
+                        response: &p.msg4,
+                        expected_vid: vid,
+                        expected_spec: spec,
+                        expected_nonce3: nonce3,
+                    },
+                )
+            })
+            .collect();
+        let verdicts = self
+            .attserver
+            .validate_response_batch(&items, &mut self.quote_scratch);
+        let mut verdicts = verdicts.into_iter();
+        for (p, m) in pending.iter().zip(meta.iter()) {
+            let Some((vid, server, property, expected_image, _, nonce2, _)) = *m else {
+                continue;
+            };
+            let Some(verdict) = verdicts.next() else {
+                break;
+            };
+            if let Err(e) = verdict {
+                self.finish_session(p.sid, Err(e));
+                continue;
+            }
+            let status = self
+                .attserver
+                .interpret_response(property, &p.msg4, expected_image);
+            if let Some(ttl) = self.evidence_ttl_us {
+                self.attserver
+                    .evidence_insert(vid, property, server, status.clone(), now + ttl);
+            }
+            let report_msg = self.attserver.certify_report_with(
+                vid,
+                server,
+                property,
+                status,
+                nonce2,
+                &mut self.quote_scratch,
+            );
+            let charge = (now - p.arrived_at_us) + self.latency.post_hop_us(4);
+            let Some(session) = self.sessions.get_mut(p.sid) else {
+                continue;
+            };
+            session.stage = Stage::Msg5;
+            report_msg.encode_into(&mut session.wire);
+            if let Err(e) = self.transmit_attempt(p.sid, charge) {
+                self.finish_session(p.sid, Err(e));
+            }
+        }
+        // Hand the drained buffer's capacity back for the next batch
+        // (nothing parks while a flush is running: parking only happens
+        // on a msg-4 arrival event).
+        if self.pending_msg4.is_empty() {
+            pending.clear();
+            self.pending_msg4 = pending;
+        }
     }
 
     /// The controller receives the property report: verify it, then

@@ -75,7 +75,10 @@ impl fmt::Debug for Nonce {
 
 /// The security properties a customer can request for a VM — the paper's
 /// four concrete case studies (Section 4).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+///
+/// `Ord` follows declaration order and exists so `(Vid, SecurityProperty)`
+/// can key the Attestation Server's evidence cache deterministically.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum SecurityProperty {
     /// Case Study I: measured-boot integrity of the platform and VM image.
     StartupIntegrity,
@@ -201,6 +204,13 @@ pub struct ProtocolStats {
     pub max_in_flight: u64,
     /// High-water mark of pending events in the discrete-event queue.
     pub max_queue_depth: u64,
+    /// Coalesced msg-4 batch flushes at the Attestation Server (each
+    /// flush verifies its whole batch in one combined Schnorr check).
+    pub msg4_flushes: u64,
+    /// Msg-4 responses validated through coalesced flushes. Strictly
+    /// greater than `msg4_flushes` exactly when coalescing merged at
+    /// least two sessions into one flush.
+    pub msg4_batched: u64,
 }
 
 /// VM sizes offered by the cloud (Figure 9 and 11 sweep these).

@@ -18,6 +18,7 @@
 //! * [`drbg`] — a ChaCha20-based deterministic random bit generator.
 //! * [`aes`] — AES-128 with CTR mode (FIPS 197).
 //! * [`schnorr`] — Schnorr signatures with deterministic nonces.
+//! * [`batch`] — random-linear-combination batch verification.
 //! * [`dh`] — Diffie-Hellman key agreement.
 //! * [`authenc`] — encrypt-then-MAC authenticated encryption.
 //! * [`zeroize`] — best-effort key zeroization and constant-time
@@ -47,6 +48,7 @@
 
 pub mod aes;
 pub mod authenc;
+pub mod batch;
 pub mod bigint;
 pub mod dh;
 pub mod drbg;
@@ -60,6 +62,7 @@ pub mod sha256;
 pub mod zeroize;
 
 pub use authenc::SealKey;
+pub use batch::{batch_verify, batch_verify_each, BatchItem};
 pub use bigint::U256;
 pub use dh::{EphemeralSecret, PublicShare};
 pub use drbg::Drbg;

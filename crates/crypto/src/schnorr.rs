@@ -44,33 +44,40 @@ impl std::fmt::Debug for VerifyingKey {
     }
 }
 
-/// A Schnorr signature `(e, s)` where `e = H(r || m) mod q` and
-/// `s = k + e·sk mod q`.
+/// A Schnorr signature `(r, s)`: the nonce commitment `r = g^k mod p` and
+/// the response `s = k + e·sk mod q`, where `e = H(r || m) mod q`.
+///
+/// The commitment form (rather than the compact `(e, s)` form) is what
+/// makes verification *batchable*: each signature contributes the linear
+/// relation `g^s = r · pk^e`, and [`crate::batch::batch_verify`] can fold
+/// many such relations into one multi-exponentiation with random weights.
+/// In the `(e, s)` form every `r` is locked inside its own challenge hash
+/// and no combination is possible.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct Signature {
-    /// Challenge scalar.
-    pub e: U256,
-    /// Response scalar.
+    /// Nonce commitment `g^k mod p`.
+    pub r: U256,
+    /// Response scalar `k + e·sk mod q`.
     pub s: U256,
 }
 
 impl Signature {
-    /// Serializes to 64 bytes (`e || s`, each 32 bytes big-endian).
+    /// Serializes to 64 bytes (`r || s`, each 32 bytes big-endian).
     pub fn to_bytes(&self) -> [u8; 64] {
         let mut out = [0u8; 64];
-        out[..32].copy_from_slice(&self.e.to_be_bytes());
+        out[..32].copy_from_slice(&self.r.to_be_bytes());
         out[32..].copy_from_slice(&self.s.to_be_bytes());
         out
     }
 
     /// Deserializes from the 64-byte form produced by [`Self::to_bytes`].
     pub fn from_bytes(bytes: &[u8; 64]) -> Self {
-        let mut e = [0u8; 32];
+        let mut r = [0u8; 32];
         let mut s = [0u8; 32];
-        e.copy_from_slice(&bytes[..32]);
+        r.copy_from_slice(&bytes[..32]);
         s.copy_from_slice(&bytes[32..]);
         Signature {
-            e: U256::from_be_bytes(&e),
+            r: U256::from_be_bytes(&r),
             s: U256::from_be_bytes(&s),
         }
     }
@@ -126,7 +133,7 @@ impl SigningKey {
         let e = challenge(&r, message, &grp.q);
         // s = k + e * sk mod q
         let s = mod_add(&k, &mod_mul(&e, &self.secret, &grp.q), &grp.q);
-        Signature { e, s }
+        Signature { r, s }
     }
 }
 
@@ -163,16 +170,16 @@ impl VerifyingKey {
     /// Returns [`CryptoError::InvalidSignature`] if verification fails.
     pub fn verify(&self, message: &[u8], signature: &Signature) -> Result<(), CryptoError> {
         let grp = Group::default_group();
-        if signature.s >= grp.q || signature.e >= grp.q {
+        if signature.s >= grp.q || signature.r.is_zero() || signature.r >= grp.p {
             return Err(CryptoError::InvalidSignature);
         }
         // r' = g^s * pk^(q - e)  (pk has order q, so pk^(q-e) = pk^(-e)),
         // computed as one Shamir double exponentiation: both scalars share
         // a single squaring chain instead of running two full ladders.
-        let neg_e = mod_sub(&grp.q, &signature.e, &grp.q);
+        let e = challenge(&signature.r, message, &grp.q);
+        let neg_e = mod_sub(&grp.q, &e, &grp.q);
         let r_prime = grp.pow_double(&grp.g, &signature.s, &self.0, &neg_e);
-        let e_prime = challenge(&r_prime, message, &grp.q);
-        if e_prime == signature.e {
+        if r_prime == signature.r {
             Ok(())
         } else {
             Err(CryptoError::InvalidSignature)
@@ -181,7 +188,7 @@ impl VerifyingKey {
 }
 
 /// The Fiat-Shamir challenge: `H(r || m) mod q`.
-fn challenge(r: &U256, message: &[u8], q: &U256) -> U256 {
+pub(crate) fn challenge(r: &U256, message: &[u8], q: &U256) -> U256 {
     let mut h = Sha256::new();
     h.update(&r.to_be_bytes());
     h.update(message);
@@ -237,6 +244,14 @@ mod tests {
         let sk = keypair(6);
         let mut sig = sk.sign(b"msg");
         sig.s = Group::default_group().q; // == q is invalid
+        assert!(sk.verifying_key().verify(b"msg", &sig).is_err());
+
+        let mut sig = sk.sign(b"msg");
+        sig.r = Group::default_group().p; // commitment must be < p
+        assert!(sk.verifying_key().verify(b"msg", &sig).is_err());
+
+        let mut sig = sk.sign(b"msg");
+        sig.r = U256::ZERO; // and nonzero
         assert!(sk.verifying_key().verify(b"msg", &sig).is_err());
     }
 

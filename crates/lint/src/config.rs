@@ -103,6 +103,7 @@ impl Default for Config {
                 "crates/crypto/src/modmath.rs",
                 "crates/crypto/src/group.rs",
                 "crates/crypto/src/schnorr.rs",
+                "crates/crypto/src/batch.rs",
                 "crates/crypto/src/dh.rs",
                 "crates/crypto/src/aes.rs",
             ]),

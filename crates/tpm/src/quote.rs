@@ -68,11 +68,25 @@ impl Quote {
     /// [`QuoteError::DigestMismatch`] if the fields were altered,
     /// [`QuoteError::BadSignature`] if the signature is invalid.
     pub fn verify(&self, key: &VerifyingKey, fields: &[&[u8]]) -> Result<(), QuoteError> {
+        self.check_fields(fields)?;
+        key.verify(&self.digest, &self.signature)
+            .map_err(|_| QuoteError::BadSignature)
+    }
+
+    /// Checks only that this quote's digest covers exactly `fields`,
+    /// without touching the signature. Batch verifiers use this for the
+    /// cheap hash comparison and hand the expensive signature check —
+    /// `key.verify(&quote.digest, &quote.signature)` — to a batched
+    /// multi-exponentiation.
+    ///
+    /// # Errors
+    ///
+    /// [`QuoteError::DigestMismatch`] if the fields were altered.
+    pub fn check_fields(&self, fields: &[&[u8]]) -> Result<(), QuoteError> {
         if !ct_eq(&quote_digest(fields), &self.digest) {
             return Err(QuoteError::DigestMismatch);
         }
-        key.verify(&self.digest, &self.signature)
-            .map_err(|_| QuoteError::BadSignature)
+        Ok(())
     }
 }
 

@@ -36,12 +36,12 @@ fn push_report(lines: &mut Vec<String>, tag: &str, index: usize, r: &Attestation
 }
 
 fn scenario_trace_sharded(shards: usize) -> String {
+    scenario_trace_with(|b| b.shards(shards))
+}
+
+fn scenario_trace_with(tweak: impl FnOnce(CloudBuilder) -> CloudBuilder) -> String {
     let mut lines = Vec::new();
-    let mut c = CloudBuilder::new()
-        .servers(3)
-        .seed(2025)
-        .shards(shards)
-        .build();
+    let mut c = tweak(CloudBuilder::new().servers(3).seed(2025)).build();
 
     // Launch 1: runtime-integrity VM with a busy guest.
     let vm1 = c
@@ -147,6 +147,25 @@ fn trace_is_stable_across_runs_in_process() {
     // The fixture pins cross-version determinism; this pins determinism
     // across two fresh clouds in one process (no hidden global state).
     assert_eq!(scenario_trace(), scenario_trace());
+}
+
+#[test]
+fn degenerate_msg4_batching_trace_is_byte_identical() {
+    // A batch window of zero disables coalescing entirely, and a batch
+    // size of one flushes each msg 4 the instant it is parked with a
+    // zero wait — both degenerate configurations must reproduce the
+    // inline path byte-for-byte: same latency charges, same DRBG draw
+    // order, same reports.
+    assert_eq!(
+        scenario_trace_with(|b| b.as_batch(0, 64)),
+        FIXTURE,
+        "window=0 trace diverged"
+    );
+    assert_eq!(
+        scenario_trace_with(|b| b.as_batch(500, 1)),
+        FIXTURE,
+        "max=1 trace diverged"
+    );
 }
 
 #[test]
