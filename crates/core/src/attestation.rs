@@ -14,6 +14,31 @@ use monatt_crypto::batch::{batch_verify_each, BatchItem};
 use monatt_crypto::drbg::Drbg;
 use monatt_crypto::schnorr::{SigningKey, VerifyingKey};
 use monatt_net::wire::EncodeScratch;
+
+/// Cold error constructors, outlined so the validation paths the
+/// session warm loop calls into allocate nothing when every check
+/// passes. The serial and batch paths share them, which also keeps
+/// their error strings aligned check for check.
+#[cold]
+fn vid_mismatch(expected: Vid, got: Vid) -> CloudError {
+    CloudError::ProtocolFailure {
+        reason: format!("vid mismatch: expected {expected}, got {got}"),
+    }
+}
+
+#[cold]
+fn certification_failure(e: impl std::fmt::Display) -> CloudError {
+    CloudError::ProtocolFailure {
+        reason: format!("attestation key certification failed: {e}"),
+    }
+}
+
+#[cold]
+fn quote_failure(which: &str, e: impl std::fmt::Display) -> CloudError {
+    CloudError::ProtocolFailure {
+        reason: format!("quote {which} verification failed: {e}"),
+    }
+}
 use monatt_tpm::quote::{Quote, QuoteError};
 use std::collections::BTreeMap;
 
@@ -232,12 +257,7 @@ impl AttestationServer {
         scratch: &mut EncodeScratch,
     ) -> Result<(), CloudError> {
         if response.vid != expected_vid {
-            return Err(CloudError::ProtocolFailure {
-                reason: format!(
-                    "vid mismatch: expected {expected_vid}, got {}",
-                    response.vid
-                ),
-            });
+            return Err(vid_mismatch(expected_vid, response.vid));
         }
         if response.spec != expected_spec {
             return Err(CloudError::ProtocolFailure {
@@ -249,12 +269,10 @@ impl AttestationServer {
                 reason: "nonce N3 mismatch (possible replay)".into(),
             });
         }
-        let cert =
-            self.pca
-                .certify(&response.cert_request)
-                .map_err(|e| CloudError::ProtocolFailure {
-                    reason: format!("attestation key certification failed: {e}"),
-                })?;
+        let cert = self
+            .pca
+            .certify(&response.cert_request)
+            .map_err(certification_failure)?;
         let vid_bytes = response.vid.0.to_be_bytes();
         let (spec_bytes, meas_bytes) = scratch.encode_pair(&response.spec, &response.measurement);
         response
@@ -263,9 +281,7 @@ impl AttestationServer {
                 &cert.attestation_key,
                 &[&vid_bytes, spec_bytes, meas_bytes, &response.nonce3],
             )
-            .map_err(|e| CloudError::ProtocolFailure {
-                reason: format!("quote Q3 verification failed: {e}"),
-            })
+            .map_err(|e| quote_failure("Q3", e))
     }
 
     /// The cheap per-item checks of the batch path — vid/spec/nonce
@@ -280,12 +296,7 @@ impl AttestationServer {
     ) -> Result<bool, CloudError> {
         let response = item.response;
         if response.vid != item.expected_vid {
-            return Err(CloudError::ProtocolFailure {
-                reason: format!(
-                    "vid mismatch: expected {}, got {}",
-                    item.expected_vid, response.vid
-                ),
-            });
+            return Err(vid_mismatch(item.expected_vid, response.vid));
         }
         if response.spec != item.expected_spec {
             return Err(CloudError::ProtocolFailure {
@@ -298,21 +309,14 @@ impl AttestationServer {
             });
         }
         if !self.pca.is_registered(&response.cert_request.identity_key) {
-            return Err(CloudError::ProtocolFailure {
-                reason: format!(
-                    "attestation key certification failed: {}",
-                    PcaError::UnregisteredServer
-                ),
-            });
+            return Err(certification_failure(PcaError::UnregisteredServer));
         }
         let vid_bytes = response.vid.0.to_be_bytes();
         let (spec_bytes, meas_bytes) = scratch.encode_pair(&response.spec, &response.measurement);
         response
             .quote
             .check_fields(&[&vid_bytes, spec_bytes, meas_bytes, &response.nonce3])
-            .map_err(|e| CloudError::ProtocolFailure {
-                reason: format!("quote Q3 verification failed: {e}"),
-            })?;
+            .map_err(|e| quote_failure("Q3", e))?;
         Ok(self.pca.cached(&response.cert_request).is_none())
     }
 
@@ -391,14 +395,10 @@ impl AttestationServer {
             if verdict.is_ok() || slot.is_some() {
                 continue;
             }
-            let reason = match is_binding {
-                true => format!(
-                    "attestation key certification failed: {}",
-                    PcaError::BadBinding
-                ),
-                false => format!("quote Q3 verification failed: {}", QuoteError::BadSignature),
-            };
-            *slot = Some(CloudError::ProtocolFailure { reason });
+            *slot = Some(match is_binding {
+                true => certification_failure(PcaError::BadBinding),
+                false => quote_failure("Q3", QuoteError::BadSignature),
+            });
         }
         // Issue (and cache) certificates for the bindings that held, so
         // follow-up sessions presenting the same binding hit the cache.
@@ -528,9 +528,7 @@ impl AttestationServer {
                     &msg.nonce2,
                 ],
             )
-            .map_err(|e| CloudError::ProtocolFailure {
-                reason: format!("quote Q2 verification failed: {e}"),
-            })
+            .map_err(|e| quote_failure("Q2", e))
     }
 }
 

@@ -543,6 +543,7 @@ impl CloudBuilder {
             as_batch_window_us: self.as_batch.map_or(0, |(w, _)| w),
             as_batch_max: self.as_batch.map_or(1, |(_, m)| m.max(1)),
             pending_msg4: Vec::new(),
+            batch_meta: Vec::new(),
             evidence_ttl_us: self.evidence_ttl_us,
         })
     }

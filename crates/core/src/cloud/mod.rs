@@ -37,7 +37,7 @@ use crate::latency::{LatencyParams, RetryPolicy};
 use crate::outage::{AdmissionControl, OutageModel, OutageStats};
 use crate::server::CloudServerNode;
 use crate::session::{
-    CloudEvent, PendingMsg4, SessionArena, SessionEvent, SessionId, SessionOrigin,
+    CloudEvent, Msg4Meta, PendingMsg4, SessionArena, SessionEvent, SessionId, SessionOrigin,
 };
 use crate::types::{HealthStatus, NodeId, ProtocolStats, SecurityProperty, ServerId, Vid};
 use build::VmMeta;
@@ -166,6 +166,10 @@ pub struct Cloud {
     /// Measurement responses parked at the Attestation Server awaiting
     /// the next batched validation pass.
     pub(crate) pending_msg4: Vec<PendingMsg4>,
+    /// Reusable per-flush scratch for re-read session expectations;
+    /// cleared each batch, capacity retained so steady-state flushes do
+    /// not reallocate.
+    pub(crate) batch_meta: Vec<Option<Msg4Meta>>,
     /// Evidence-cache validity window: `Some(ttl)` serves repeat
     /// attestation requests for the same `(Vid, property)` from the AS
     /// cache for `ttl` microseconds. `None` (the default) disables the

@@ -12,6 +12,15 @@ use monatt_net::wire::EncodeScratch;
 use monatt_tpm::quote::Quote;
 use std::collections::BTreeMap;
 
+/// Cold error constructor, outlined so the message-6 verification the
+/// session warm loop calls into allocates nothing when the quote holds.
+#[cold]
+fn quote_q1_failure(e: impl std::fmt::Display) -> CloudError {
+    CloudError::ProtocolFailure {
+        reason: format!("quote Q1 verification failed: {e}"),
+    }
+}
+
 /// Lifecycle state of a VM as tracked in the nova database.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum VmLifecycle {
@@ -318,9 +327,7 @@ impl CloudController {
                 controller_key,
                 &[&vid_bytes, prop_bytes, status_bytes, &msg.nonce1],
             )
-            .map_err(|e| CloudError::ProtocolFailure {
-                reason: format!("quote Q1 verification failed: {e}"),
-            })
+            .map_err(quote_q1_failure)
     }
 }
 

@@ -125,6 +125,7 @@ impl<T> TimerWheel<T> {
     /// are pre-reserved to `cap` entries each, so a warmed steady
     /// state schedules and pops without touching the allocator (slot
     /// `Vec`s keep their capacity across drains).
+    #[cold]
     pub fn with_slot_capacity(cap: usize) -> Self {
         TimerWheel {
             cursor: 0,

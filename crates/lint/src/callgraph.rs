@@ -1,0 +1,218 @@
+//! The intra-workspace call graph.
+//!
+//! For every parsed function body this module records its outgoing call
+//! sites: plain calls (`helper(x)`), path calls (`Type::helper(x)`),
+//! and method calls (`v.helper(x)`), each with the token ranges of its
+//! top-level arguments so dataflow rules can map arguments onto callee
+//! parameters. Macro invocations (`name!(…)`) are *not* call sites —
+//! the format-macro rules handle those separately.
+
+use crate::context::{match_delim, FileContext};
+use crate::lexer::TokenKind;
+use crate::symbols::FnKey;
+
+/// One call site inside a function body.
+#[derive(Clone, Debug)]
+pub struct CallSite {
+    /// The function containing the call.
+    pub caller: FnKey,
+    /// Callee name: the last path segment before the argument list.
+    pub callee: String,
+    /// True for `receiver.callee(…)` method form (argument positions
+    /// then bind to callee parameters shifted past `self`).
+    pub method: bool,
+    /// Token index (in the caller's file) of the callee name token.
+    pub name_tok: usize,
+    /// Token ranges of the top-level arguments, exclusive of commas.
+    pub args: Vec<(usize, usize)>,
+}
+
+/// All call sites of one file, grouped per calling function.
+#[derive(Clone, Debug, Default)]
+pub struct CallGraph {
+    /// Call sites in source order.
+    pub sites: Vec<CallSite>,
+}
+
+/// Keywords that can be followed by `(` without being a call.
+const NON_CALL_IDENTS: &[&str] = &[
+    "if", "while", "match", "for", "return", "fn", "loop", "in", "as", "let", "else", "move",
+    "unsafe", "where", "impl", "dyn", "box", "ref", "mut", "pub", "crate", "super", "Some", "Ok",
+    "Err", "None",
+];
+
+impl CallGraph {
+    /// Builds the call graph for all function bodies of every file.
+    pub fn build(files: &[FileContext]) -> Self {
+        let mut sites = Vec::new();
+        for (fi, ctx) in files.iter().enumerate() {
+            for (ii, item) in ctx.items.iter().enumerate() {
+                let Some((start, end)) = item.body else {
+                    continue;
+                };
+                collect_sites(ctx, FnKey { file: fi, item: ii }, start, end, &mut sites);
+            }
+        }
+        CallGraph { sites }
+    }
+
+    /// Call sites whose caller is `key`, in source order.
+    pub fn calls_from(&self, key: FnKey) -> impl Iterator<Item = &CallSite> {
+        self.sites.iter().filter(move |s| s.caller == key)
+    }
+}
+
+fn collect_sites(
+    ctx: &FileContext,
+    caller: FnKey,
+    start: usize,
+    end: usize,
+    out: &mut Vec<CallSite>,
+) {
+    let toks = &ctx.tokens;
+    let mut i = start;
+    while i < end {
+        let t = &toks[i];
+        let is_call_name = t.kind == TokenKind::Ident
+            && !NON_CALL_IDENTS.contains(&t.text.as_str())
+            && toks.get(i + 1).is_some_and(|n| n.is_punct("("));
+        // Skip nested fn items: their sites belong to the nested item.
+        if t.is_ident("fn") {
+            if let Some(skip) = skip_nested_fn(ctx, i, end) {
+                i = skip;
+                continue;
+            }
+        }
+        if !is_call_name {
+            i += 1;
+            continue;
+        }
+        // A definition (`fn name(`) or an attribute's inner pseudo-call
+        // (`#[cfg(test)]`) is not a call. Macros never reach here: the
+        // `!` after the macro name fails the `(` check above.
+        let prev = i.checked_sub(1).map(|j| &toks[j]);
+        if prev.is_some_and(|p| p.is_ident("fn"))
+            || (prev.is_some_and(|p| p.is_punct("["))
+                && i.checked_sub(2).is_some_and(|j| toks[j].is_punct("#")))
+        {
+            i += 1;
+            continue;
+        }
+        let method = prev.is_some_and(|p| p.is_punct("."));
+        let open = i + 1;
+        let close = match_delim(toks, open);
+        let args = split_args(ctx, open, close);
+        out.push(CallSite {
+            caller,
+            callee: t.text.strip_prefix("r#").unwrap_or(&t.text).to_string(),
+            method,
+            name_tok: i,
+            args,
+        });
+        // Arguments may contain further calls: continue inside them.
+        i += 1;
+    }
+}
+
+/// If the token at `i` starts a nested `fn` with a body inside `end`,
+/// returns the index just past that body.
+fn skip_nested_fn(ctx: &FileContext, i: usize, end: usize) -> Option<usize> {
+    let items = &ctx.items;
+    let nested = items.iter().find(|f| f.fn_tok == i)?;
+    let (_, body_end) = nested.body?;
+    if body_end <= end {
+        // Do not skip: nested fn bodies get their own caller key, and
+        // the outer scan must not revisit them. But the outer scan is
+        // linear; simply jumping past the nested body keeps every site
+        // attributed exactly once.
+        Some(body_end + 1)
+    } else {
+        None
+    }
+}
+
+/// Splits the argument tokens between `open` and `close` at top-level
+/// commas, returning exclusive token ranges.
+fn split_args(ctx: &FileContext, open: usize, close: usize) -> Vec<(usize, usize)> {
+    let toks = &ctx.tokens;
+    let mut args = Vec::new();
+    let mut depth = 0i32;
+    let mut arg_start = open + 1;
+    for (i, t) in toks.iter().enumerate().take(close).skip(open + 1) {
+        if t.kind != TokenKind::Punct {
+            continue;
+        }
+        match t.text.as_str() {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => depth -= 1,
+            "," if depth == 0 => {
+                args.push((arg_start, i));
+                arg_start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    if arg_start < close {
+        args.push((arg_start, close));
+    }
+    args
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::FileContext;
+
+    fn graph(src: &str) -> (Vec<FileContext>, CallGraph) {
+        let files = vec![FileContext::new("crates/core/src/a.rs", src)];
+        let g = CallGraph::build(&files);
+        (files, g)
+    }
+
+    #[test]
+    fn plain_path_and_method_calls() {
+        let (_f, g) = graph(
+            "fn caller(x: u8) { helper(x); Codec::encode(x, 2); buf.push_record(x); }\nfn helper(y: u8) {}",
+        );
+        let names: Vec<(&str, bool)> = g
+            .sites
+            .iter()
+            .map(|s| (s.callee.as_str(), s.method))
+            .collect();
+        assert_eq!(
+            names,
+            [("helper", false), ("encode", false), ("push_record", true)]
+        );
+        assert_eq!(g.sites[1].args.len(), 2);
+    }
+
+    #[test]
+    fn macros_and_definitions_are_not_calls() {
+        let (_f, g) = graph("fn caller() { format!(\"x {}\", 1); assert!(true); }");
+        assert!(g.sites.is_empty(), "{:?}", g.sites);
+    }
+
+    #[test]
+    fn args_split_at_top_level_commas_only() {
+        let (f, g) = graph("fn caller(k: u8) { seal(derive(k, 1), [2, 3], k); }\nfn seal(a: u8, b: [u8; 2], c: u8) {}");
+        let seal = g.sites.iter().find(|s| s.callee == "seal").unwrap();
+        assert_eq!(seal.args.len(), 3);
+        // Third argument is the single token `k`.
+        let (s, e) = seal.args[2];
+        assert_eq!(e - s, 1);
+        assert!(f[0].tokens[s].is_ident("k"));
+        // The nested call is also recorded.
+        assert!(g.sites.iter().any(|s| s.callee == "derive"));
+    }
+
+    #[test]
+    fn nested_fn_sites_attributed_to_nested_item() {
+        let (f, g) = graph("fn outer() { fn inner() { leaf(); } inner(); }\nfn leaf() {}");
+        let inner_item = f[0].items.iter().position(|i| i.name == "inner").unwrap();
+        let leaf = g.sites.iter().find(|s| s.callee == "leaf").unwrap();
+        assert_eq!(leaf.caller.item, inner_item);
+        let inner_call = g.sites.iter().find(|s| s.callee == "inner").unwrap();
+        let outer_item = f[0].items.iter().position(|i| i.name == "outer").unwrap();
+        assert_eq!(inner_call.caller.item, outer_item);
+    }
+}

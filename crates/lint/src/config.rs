@@ -52,6 +52,29 @@ pub struct Config {
     pub kernel_index_crates: Vec<String>,
     /// Crate directories skipped entirely (vendored shims).
     pub skip_crates: Vec<String>,
+    /// Crate directory names whose code must replay bit-identically
+    /// under a fixed seed (the `determinism` rule scope): no
+    /// iteration-order-dependent containers, wall clocks, or ambient
+    /// randomness outside `#[cfg(test)]`.
+    pub det_crates: Vec<String>,
+    /// Function names allowed to touch OS entropy: the sanctioned
+    /// seed-acquisition boundary (`Drbg::from_entropy`). Everything
+    /// else in `det_crates` must derive randomness from a seeded DRBG.
+    pub entropy_fns: Vec<String>,
+    /// Files enrolled in the `alloc_freedom` rule: the zero-allocation
+    /// warm Msg1–Msg6 path. Functions here may not call allocating APIs
+    /// unless marked cold/setup.
+    pub warm_path_files: Vec<String>,
+    /// Function names treated as cold/setup in warm-path files (besides
+    /// any fn carrying a `#[cold]` attribute): constructors and
+    /// capacity pre-reservation run once at session setup, not per
+    /// message.
+    pub alloc_cold_fns: Vec<String>,
+    /// Function names that stringify or serialize their argument — the
+    /// `secret_taint` rule flags a secret passed one call deep into a
+    /// callee that forwards the matching parameter to one of these (or
+    /// to a format macro or a non-`ct_eq` comparison).
+    pub taint_sink_fns: Vec<String>,
 }
 
 fn strings(list: &[&str]) -> Vec<String> {
@@ -112,6 +135,17 @@ impl Default for Config {
             panic_files: strings(&["crates/hypervisor/src/wheel.rs"]),
             kernel_index_crates: strings(&["crypto"]),
             skip_crates: strings(&["rand-shim", "proptest-shim", "criterion-shim", "lint"]),
+            det_crates: strings(&["core", "net", "hypervisor", "crypto", "tpm"]),
+            entropy_fns: strings(&["from_entropy"]),
+            warm_path_files: strings(&[
+                "crates/net/src/wire.rs",
+                "crates/net/src/channel.rs",
+                "crates/core/src/session.rs",
+                "crates/core/src/arena.rs",
+                "crates/hypervisor/src/wheel.rs",
+            ]),
+            alloc_cold_fns: strings(&["new", "default", "with_capacity", "fmt"]),
+            taint_sink_fns: strings(&["serialize", "to_json", "to_string", "to_hex", "hex_string"]),
         }
     }
 }
@@ -140,5 +174,15 @@ impl Config {
     /// Whether a file is a crypto hot path for the secret-flow checks.
     pub fn is_hot_path(&self, path: &str) -> bool {
         self.hot_path_files.iter().any(|f| f == path)
+    }
+
+    /// Whether the `determinism` rule applies to a crate directory name.
+    pub fn det_scope(&self, crate_name: &str) -> bool {
+        self.det_crates.iter().any(|c| c == crate_name)
+    }
+
+    /// Whether a file is enrolled in the `alloc_freedom` warm-path set.
+    pub fn is_warm_path(&self, path: &str) -> bool {
+        self.warm_path_files.iter().any(|f| f == path)
     }
 }

@@ -5,6 +5,7 @@
 //! function encloses it, which `#[derive(...)]`s annotate which type, and
 //! which lines carry inline suppression comments.
 
+use crate::items::{parse_fns, FnItem};
 use crate::lexer::{lex, Lexed, Token, TokenKind};
 
 /// A `#[derive(...)]` (or other attribute) attached to an item.
@@ -54,6 +55,8 @@ pub struct FileContext {
     pub impls: Vec<ImplInfo>,
     /// Struct and enum names defined in this file.
     pub defined_types: Vec<(String, u32)>,
+    /// Parsed `fn` items (free functions, methods, nested fns).
+    pub items: Vec<FnItem>,
     /// Suppressions: (normalized rule name, comment line).
     pub suppressions: Vec<(String, u32)>,
     /// 1-based lines that carry at least one code token.
@@ -78,8 +81,14 @@ impl FileContext {
         let enclosing_fn = mark_fn_scopes(&tokens);
         let (derives, defined_types) = collect_derives_and_types(&tokens);
         let impls = collect_impls(&tokens);
+        let items = parse_fns(&tokens);
         let mut suppressions = Vec::new();
         for c in &comments {
+            // Doc comments are documentation, not directives: a rule
+            // name *mentioned* in rustdoc must not suppress findings.
+            if is_doc_comment(&c.text) {
+                continue;
+            }
             collect_suppressions(&c.text, c.line, &mut suppressions);
         }
         let max_line = tokens.last().map(|t| t.line as usize).unwrap_or(0);
@@ -96,6 +105,7 @@ impl FileContext {
             derives,
             impls,
             defined_types,
+            items,
             suppressions,
             token_lines,
         }
@@ -129,6 +139,15 @@ impl FileContext {
             .find(|i| i.trait_name.as_deref() == Some(trait_name) && i.type_name == type_name)
             .map(|i| i.body)
     }
+}
+
+/// True for `///`, `//!`, `/**`, and `/*!` doc comments (but not the
+/// plain `//`/`/*` forms, and not the `////`/`/***` non-doc forms).
+fn is_doc_comment(text: &str) -> bool {
+    (text.starts_with("///") && !text.starts_with("////"))
+        || text.starts_with("//!")
+        || (text.starts_with("/**") && !text.starts_with("/***") && text != "/**/")
+        || text.starts_with("/*!")
 }
 
 /// Parses `#[allow(monatt::rule, monatt::other)]`-style text inside a

@@ -1,6 +1,26 @@
 //! Diagnostics and machine-readable output.
+//!
+//! Lint v2 diagnostics carry a *span* (start column plus an exclusive
+//! end column when the offending token is known), related-location
+//! notes (e.g. the allocation site inside a callee that a warm-path
+//! call reaches), and a stable `id` — `rule@file:line:col` — so CI
+//! artifacts from different runs diff cleanly.
 
 use std::fmt;
+
+/// A related location attached to a finding — where the callee
+/// allocates, where the tainted parameter reaches a sink, and so on.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Note {
+    /// Workspace-relative path of the related location.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// What happens there.
+    pub message: String,
+}
 
 /// One finding.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -13,8 +33,13 @@ pub struct Diagnostic {
     pub line: u32,
     /// 1-based column.
     pub col: u32,
+    /// 1-based exclusive end column of the offending token on `line`
+    /// (`col` when the token extent is unknown).
+    pub end_col: u32,
     /// Human-readable description.
     pub message: String,
+    /// Related locations.
+    pub notes: Vec<Note>,
 }
 
 impl fmt::Display for Diagnostic {
@@ -23,7 +48,15 @@ impl fmt::Display for Diagnostic {
             f,
             "{}:{}:{}: [{}] {}",
             self.file, self.line, self.col, self.rule, self.message
-        )
+        )?;
+        for n in &self.notes {
+            write!(
+                f,
+                "\n    note: {}:{}:{}: {}",
+                n.file, n.line, n.col, n.message
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -44,16 +77,40 @@ fn json_escape(s: &str) -> String {
     out
 }
 
-impl Diagnostic {
-    /// Renders this diagnostic as a JSON object.
-    pub fn to_json(&self) -> String {
+impl Note {
+    fn to_json(&self) -> String {
         format!(
-            "{{\"rule\":\"{}\",\"file\":\"{}\",\"line\":{},\"col\":{},\"message\":\"{}\"}}",
-            self.rule,
+            "{{\"file\":\"{}\",\"line\":{},\"col\":{},\"message\":\"{}\"}}",
             json_escape(&self.file),
             self.line,
             self.col,
             json_escape(&self.message)
+        )
+    }
+}
+
+impl Diagnostic {
+    /// The stable identity of this finding: `rule@file:line:col`. Two
+    /// runs over the same tree produce identical ids in identical
+    /// order, so JSON reports are diffable CI artifacts.
+    pub fn id(&self) -> String {
+        format!("{}@{}:{}:{}", self.rule, self.file, self.line, self.col)
+    }
+
+    /// Renders this diagnostic as a JSON object with a fixed key order.
+    pub fn to_json(&self) -> String {
+        let notes: Vec<String> = self.notes.iter().map(|n| n.to_json()).collect();
+        format!(
+            "{{\"id\":\"{}\",\"rule\":\"{}\",\"file\":\"{}\",\"line\":{},\"col\":{},\
+             \"end_col\":{},\"message\":\"{}\",\"notes\":[{}]}}",
+            json_escape(&self.id()),
+            self.rule,
+            json_escape(&self.file),
+            self.line,
+            self.col,
+            self.end_col,
+            json_escape(&self.message),
+            notes.join(",")
         )
     }
 }
@@ -69,17 +126,47 @@ mod tests {
     use super::*;
 
     #[test]
-    fn json_escaping() {
+    fn json_escaping_and_stable_id() {
         let d = Diagnostic {
             rule: "panic_freedom",
             file: "a\"b.rs".into(),
             line: 3,
             col: 7,
+            end_col: 13,
             message: "uses\n\"unwrap\"".into(),
+            notes: vec![Note {
+                file: "c.rs".into(),
+                line: 1,
+                col: 2,
+                message: "related".into(),
+            }],
         };
         let j = d.to_json();
         assert!(j.contains("a\\\"b.rs"));
         assert!(j.contains("uses\\n"));
+        assert!(j.contains("\"end_col\":13"));
+        assert!(j.contains("\"notes\":[{\"file\":\"c.rs\""));
+        assert_eq!(d.id(), "panic_freedom@a\"b.rs:3:7");
         assert!(to_json_array(&[d.clone(), d]).starts_with('['));
+    }
+
+    #[test]
+    fn display_includes_notes() {
+        let d = Diagnostic {
+            rule: "alloc_freedom",
+            file: "a.rs".into(),
+            line: 1,
+            col: 1,
+            end_col: 4,
+            message: "warm fn allocates via callee".into(),
+            notes: vec![Note {
+                file: "b.rs".into(),
+                line: 9,
+                col: 5,
+                message: "allocation here".into(),
+            }],
+        };
+        let s = d.to_string();
+        assert!(s.contains("note: b.rs:9:5: allocation here"), "{s}");
     }
 }

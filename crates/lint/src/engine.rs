@@ -1,6 +1,6 @@
 //! Workspace scanning, the allowlist ratchet, and report assembly.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -9,6 +9,7 @@ use crate::config::Config;
 use crate::context::{normalize_rule, FileContext};
 use crate::diag::Diagnostic;
 use crate::rules::{run_all, RULE_NAMES};
+use crate::Workspace;
 
 /// One `rule path count` budget line from the allowlist file.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -64,6 +65,16 @@ impl Allowlist {
             if count == 0 {
                 return Err(format!(
                     "allowlist line {line}: zero-count entry is dead weight; delete it"
+                ));
+            }
+            if let Some(prev) = entries
+                .iter()
+                .find(|e: &&AllowEntry| e.rule == rule && e.file == file)
+            {
+                return Err(format!(
+                    "allowlist line {line}: duplicate entry `{rule} {file}` \
+                     (first budgeted on line {}); merge into one line",
+                    prev.line
                 ));
             }
             entries.push(AllowEntry {
@@ -162,13 +173,20 @@ pub fn scan(root: &Path, cfg: &Config, allow: &Allowlist) -> io::Result<Report> 
         files: files.len(),
         ..Report::default()
     };
+    // Two passes: lex/parse every file first so the symbol table and
+    // call graph span the whole workspace, then run the rules per file.
+    let mut ctxs = Vec::with_capacity(files.len());
     for (abs, rel) in &files {
         let src = fs::read_to_string(abs)?;
-        let ctx = FileContext::new(rel, &src);
-        report.findings.extend(run_all(&ctx, cfg));
+        ctxs.push(FileContext::new(rel, &src));
+    }
+    let ws = Workspace::build(ctxs);
+    for idx in 0..ws.files.len() {
+        report.findings.extend(run_all(&ws, idx, cfg));
     }
 
     // Group by (rule, file) and compare against budgets.
+    let scanned: BTreeSet<&str> = files.iter().map(|(_, rel)| rel.as_str()).collect();
     let mut groups: BTreeMap<(String, String), usize> = BTreeMap::new();
     for d in &report.findings {
         *groups
@@ -176,6 +194,14 @@ pub fn scan(root: &Path, cfg: &Config, allow: &Allowlist) -> io::Result<Report> 
             .or_default() += 1;
     }
     for entry in &allow.entries {
+        if !scanned.contains(entry.file.as_str()) {
+            report.stale.push(format!(
+                "allowlist line {}: `{} {}` names a file that no longer exists in \
+                 the scanned workspace; delete the entry",
+                entry.line, entry.rule, entry.file
+            ));
+            continue;
+        }
         let actual = groups
             .get(&(entry.rule.clone(), entry.file.clone()))
             .copied()

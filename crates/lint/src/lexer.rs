@@ -47,9 +47,11 @@ pub struct Token {
 }
 
 impl Token {
-    /// True if this token is the identifier `s`.
+    /// True if this token is the identifier `s`. Raw identifiers match
+    /// their plain spelling: `r#type` is the identifier `type`, so a rule
+    /// matching on a name cannot be dodged with the `r#` prefix.
     pub fn is_ident(&self, s: &str) -> bool {
-        self.kind == TokenKind::Ident && self.text == s
+        self.kind == TokenKind::Ident && (self.text == s || self.text.strip_prefix("r#") == Some(s))
     }
 
     /// True if this token is the punctuation `s`.
@@ -135,6 +137,13 @@ fn is_ident_continue(b: u8) -> bool {
 pub fn lex(src: &str) -> Lexed {
     let mut c = Cursor::new(src);
     let mut out = Lexed::default();
+    // Heuristic nesting depth of generic argument lists, used to split
+    // `>>` into two closing `>` inside types (`Vec<Vec<u8>>`) while
+    // keeping it a single shift token in expressions (`x >> 2`). A `<`
+    // opens a list only after an identifier, `::` or `>`; statement
+    // boundaries reset the count so stray comparisons cannot leak depth
+    // across statements.
+    let mut angle_depth = 0usize;
     while let Some(b) = c.peek(0) {
         let (line, col, start) = (c.line, c.col, c.pos);
         match b {
@@ -148,10 +157,14 @@ pub fn lex(src: &str) -> Lexed {
                     }
                     c.bump();
                 }
-                out.comments.push(Comment {
-                    text: c.slice(start),
-                    line,
-                });
+                let mut text = c.slice(start);
+                if text.ends_with('\r') {
+                    // CRLF sources: the `\r` belongs to the line ending,
+                    // not the comment, and would break suppression
+                    // comparisons.
+                    text.pop();
+                }
+                out.comments.push(Comment { text, line });
             }
             b'/' if c.peek(1) == Some(b'*') => {
                 c.bump();
@@ -254,6 +267,20 @@ pub fn lex(src: &str) -> Lexed {
                     .push(token_from(&c, start, line, col, TokenKind::Num));
             }
             _ => {
+                // Inside a generic argument list `>>` is two closers,
+                // not a shift: emit one `>` and let the loop re-lex the
+                // second (which may still pair as `>=` in `>>=`-free
+                // positions, exactly as rustc's parser splits it).
+                if b == b'>' && c.peek(1) == Some(b'>') && angle_depth >= 2 {
+                    c.bump();
+                    angle_depth -= 1;
+                    out.tokens
+                        .push(token_from(&c, start, line, col, TokenKind::Punct));
+                    continue;
+                }
+                let generic_head = out.tokens.last().is_some_and(|t| {
+                    t.kind == TokenKind::Ident || t.is_punct("::") || t.is_punct(">")
+                });
                 let mut matched = false;
                 for op in OPERATORS {
                     let bytes = op.as_bytes();
@@ -268,8 +295,14 @@ pub fn lex(src: &str) -> Lexed {
                 if !matched {
                     c.bump();
                 }
-                out.tokens
-                    .push(token_from(&c, start, line, col, TokenKind::Punct));
+                let tok = token_from(&c, start, line, col, TokenKind::Punct);
+                match tok.text.as_str() {
+                    "<" if generic_head => angle_depth += 1,
+                    ">" => angle_depth = angle_depth.saturating_sub(1),
+                    ";" | "{" | "}" => angle_depth = 0,
+                    _ => {}
+                }
+                out.tokens.push(tok);
             }
         }
     }
@@ -508,6 +541,96 @@ mod tests {
     #[test]
     fn raw_identifier() {
         assert_eq!(idents("let r#match = 1;"), vec!["let", "r#match"]);
+    }
+
+    #[test]
+    fn raw_identifier_matches_plain_spelling() {
+        let l = lex("let r#type = r#collect; let collect = 1;");
+        let hits: Vec<_> = l.tokens.iter().filter(|t| t.is_ident("collect")).collect();
+        assert_eq!(hits.len(), 2, "r#collect and collect both match");
+        assert!(l.tokens.iter().any(|t| t.is_ident("type")));
+        // The reverse does not hold: plain `collect` is not `r#collect`,
+        // so only the raw spelling itself matches that query.
+        let raw_hits = l.tokens.iter().filter(|t| t.is_ident("r#collect")).count();
+        assert_eq!(raw_hits, 1);
+    }
+
+    #[test]
+    fn shift_right_stays_one_token() {
+        let l = lex("let y = x >> 2; a >>= 1;");
+        let puncts: Vec<_> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Punct)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert!(puncts.contains(&">>"));
+        assert!(puncts.contains(&">>="));
+        assert!(!puncts.contains(&">"), "no spurious splits: {puncts:?}");
+    }
+
+    #[test]
+    fn double_generic_close_splits() {
+        let l = lex("let v: Vec<Vec<u8>> = Vec::new();");
+        let texts: Vec<_> = l.tokens.iter().map(|t| t.text.as_str()).collect();
+        let closes = texts.iter().filter(|t| **t == ">").count();
+        assert_eq!(closes, 2, "Vec<Vec<u8>> closes with two `>`: {texts:?}");
+        assert!(!texts.contains(&">>"));
+    }
+
+    #[test]
+    fn triple_generic_close_splits() {
+        let l = lex("x::<Arc<Mutex<Vec<u8>>>>(0)");
+        let closes = l.tokens.iter().filter(|t| t.is_punct(">")).count();
+        assert_eq!(closes, 4);
+    }
+
+    #[test]
+    fn comparison_does_not_leak_angle_depth() {
+        // Two statement-level comparisons must not accumulate depth and
+        // split a genuine shift later on.
+        let l = lex("if a < b { f(); } if c < d { g(); } let y = x >> 2;");
+        assert!(l.tokens.iter().any(|t| t.is_punct(">>")));
+        assert!(!l.tokens.iter().any(|t| t.is_punct(">")));
+    }
+
+    #[test]
+    fn crlf_source_lexes_like_lf() {
+        let lf = "let a = 1; // note\nlet b = 'x';\n";
+        let crlf = lf.replace('\n', "\r\n");
+        let (a, b) = (lex(lf), lex(crlf.as_str()));
+        let texts = |l: &Lexed| {
+            l.tokens
+                .iter()
+                .map(|t| (t.kind, t.text.clone(), t.line))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(texts(&a), texts(&b));
+        assert_eq!(a.comments[0].text, "// note");
+        assert_eq!(b.comments[0].text, "// note", "no trailing \\r kept");
+    }
+
+    #[test]
+    fn doc_comments_are_comments_not_tokens() {
+        let l = lex("/// outer doc\n//! inner doc\nfn f() {}\n/** block doc */ g();");
+        assert_eq!(l.comments.len(), 3);
+        assert!(l.comments[0].text.starts_with("///"));
+        assert!(l.comments[1].text.starts_with("//!"));
+        assert!(l.comments[2].text.starts_with("/**"));
+        assert_eq!(idents("/// doc\nx"), vec!["x"]);
+    }
+
+    #[test]
+    fn char_literal_edge_cases() {
+        // '_' is a char, '_ alone would be a reserved lifetime.
+        let l = lex("let u = '_'; fn f<'_x>() {} let q = '\\''; let t = '\\u{41}';");
+        let chars = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Char)
+            .count();
+        assert_eq!(chars, 3, "'_', '\\'' and '\\u{{41}}' are chars");
+        assert!(l.tokens.iter().any(|t| t.kind == TokenKind::Lifetime));
     }
 
     #[test]

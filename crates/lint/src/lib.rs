@@ -2,9 +2,11 @@
 //! reproduction.
 //!
 //! General-purpose lints cannot know that `SealKey` wraps key material,
-//! that `verify_tag` is the *only* place a MAC may be compared, or that
-//! `crates/net` parses adversarial bytes. This crate encodes those
-//! workspace facts as three rules over a hand-rolled token stream:
+//! that the event engine must replay bit-identically under a fixed seed,
+//! or that the warm Msg1–Msg6 path must not allocate. This crate encodes
+//! those workspace facts as six rules over a hand-rolled token stream
+//! plus a lightweight item parser, workspace symbol table, and
+//! intra-workspace call graph:
 //!
 //! * **`secret_hygiene`** — secret-bearing types must not derive a leaking
 //!   `Debug`, must carry a redacting manual impl, must zeroize in `Drop`,
@@ -13,31 +15,86 @@
 //!   oracle (use `ct_eq`), and crypto hot paths must not branch or index
 //!   on secret-derived values.
 //! * **`panic_freedom`** — protocol crates (`core`, `net`, `crypto`,
-//!   `tpm`) plus enrolled files in other crates (the `hypervisor`
-//!   timer wheel backing the event engine) must not
-//!   `unwrap`/`expect`/`panic!` or slice-index outside test code.
+//!   `tpm`) plus enrolled files must not `unwrap`/`expect`/`panic!` or
+//!   slice-index outside test code.
+//! * **`determinism`** — sim-deterministic crates must not use
+//!   `HashMap`/`HashSet` (iteration order leaks into event order), wall
+//!   clocks, or ambient randomness outside the seeded DRBG.
+//! * **`alloc_freedom`** — warm-path files must not call allocating APIs
+//!   outside cold/setup functions; one level of call-graph propagation
+//!   flags warm calls into allocating workspace helpers.
+//! * **`secret_taint`** — a secret passed one call deep into a callee
+//!   that formats, serializes, or variably compares the matching
+//!   parameter is flagged even though the leak spans two functions.
 //!
 //! Findings are suppressed inline with a comment containing
 //! `#[allow(monatt::<rule>)]`, or budgeted per (rule, file) in the
 //! committed `monatt-lint.allow` ratchet file, which `--deny` mode forbids
-//! from growing *or* going stale.
+//! from growing *or* going stale. `--explain <rule>` documents each rule.
 //!
-//! No dependencies: the lexer (`lexer`), per-file analysis (`context`),
-//! rules (`rules`), and engine (`engine`) are self-contained, so the tool
-//! builds in the offline container and runs in CI as a plain cargo binary.
+//! No dependencies: the lexer (`lexer`), item parser (`items`), symbol
+//! table (`symbols`), call graph (`callgraph`), per-file analysis
+//! (`context`), rules (`rules`), and engine (`engine`) are
+//! self-contained, so the tool builds in the offline container and runs
+//! in CI as a plain cargo binary.
 
+pub mod callgraph;
 pub mod config;
 pub mod context;
 pub mod diag;
 pub mod engine;
+pub mod items;
 pub mod lexer;
 pub mod rules;
+pub mod symbols;
 
 pub use config::Config;
-pub use diag::Diagnostic;
+pub use diag::{Diagnostic, Note};
 pub use engine::{Allowlist, Report};
 
 use std::path::{Path, PathBuf};
+
+use callgraph::CallGraph;
+use context::FileContext;
+use symbols::SymbolTable;
+
+/// All scanned files plus the workspace-level indexes the
+/// interprocedural rules need.
+pub struct Workspace {
+    /// Per-file contexts, sorted by workspace-relative path.
+    pub files: Vec<FileContext>,
+    /// Function name → definitions index over `files`.
+    pub symbols: SymbolTable,
+    /// Call sites of every function body in `files`.
+    pub calls: CallGraph,
+}
+
+impl Workspace {
+    /// Builds the symbol table and call graph over `files`.
+    pub fn build(files: Vec<FileContext>) -> Self {
+        let symbols = SymbolTable::build(&files);
+        let calls = CallGraph::build(&files);
+        Workspace {
+            files,
+            symbols,
+            calls,
+        }
+    }
+
+    /// A one-file workspace — the unit-test and fixture entry point.
+    /// Intra-file calls still resolve, so single-file fixtures exercise
+    /// the interprocedural rules too.
+    pub fn single(path: &str, src: &str) -> Self {
+        Self::build(vec![FileContext::new(path, src)])
+    }
+}
+
+/// Lints one file in isolation (a single-file workspace) — the
+/// convenience entry point for tests and fixtures.
+pub fn lint_file(path: &str, src: &str, cfg: &Config) -> Vec<Diagnostic> {
+    let ws = Workspace::single(path, src);
+    rules::run_all(&ws, 0, cfg)
+}
 
 /// Locates the workspace root by walking up from `start` to the first
 /// directory whose `Cargo.toml` declares `[workspace]`.

@@ -4,10 +4,11 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use monatt_lint::engine::{scan, Allowlist};
-use monatt_lint::{diag, find_workspace_root, Config, ALLOWLIST_FILE};
+use monatt_lint::{diag, find_workspace_root, rules, Config, ALLOWLIST_FILE};
 
 const USAGE: &str = "\
-monatt-lint: workspace static analysis (secret hygiene, constant time, panic freedom)
+monatt-lint: workspace static analysis (secret hygiene, constant time,
+panic freedom, determinism, alloc freedom, secret taint)
 
 USAGE:
     monatt-lint [OPTIONS]
@@ -16,6 +17,7 @@ OPTIONS:
     --deny              CI mode: exit 1 on findings over the allowlist
                         budget or on stale allowlist entries
     --json              Emit the report as JSON instead of text
+    --explain <RULE>    Print long-form documentation for one rule and exit
     --root <PATH>       Workspace root (default: nearest ancestor with a
                         [workspace] Cargo.toml)
     --allowlist <PATH>  Ratchet file (default: <root>/monatt-lint.allow)
@@ -29,6 +31,15 @@ OPTIONS:
     --panic-crate <C>   Add a crate to the panic_freedom scope (repeatable)
     --panic-file <FILE> Add a workspace-relative file to the panic_freedom
                         scope (repeatable)
+    --det-crate <C>     Add a crate to the determinism scope (repeatable)
+    --entropy-fn <F>    Add a function exempt from the ambient-randomness
+                        ban (the sanctioned entropy boundary; repeatable)
+    --warm-file <FILE>  Add a workspace-relative file to the alloc_freedom
+                        warm-path set (repeatable)
+    --cold-fn <F>       Add a function name treated as cold/setup by
+                        alloc_freedom (repeatable)
+    --taint-sink <F>    Add a serialization sink function for secret_taint
+                        (repeatable)
     --skip-crate <C>    Exclude a crate directory from scanning (repeatable)
     -h, --help          Show this help
 
@@ -40,6 +51,7 @@ EXIT CODES:
 struct Options {
     deny: bool,
     json: bool,
+    explain: Option<String>,
     root: Option<PathBuf>,
     allowlist: Option<PathBuf>,
     cfg: Config,
@@ -49,6 +61,7 @@ fn parse_args() -> Result<Option<Options>, String> {
     let mut opts = Options {
         deny: false,
         json: false,
+        explain: None,
         root: None,
         allowlist: None,
         cfg: Config::default(),
@@ -62,6 +75,7 @@ fn parse_args() -> Result<Option<Options>, String> {
         match arg.as_str() {
             "--deny" => opts.deny = true,
             "--json" => opts.json = true,
+            "--explain" => opts.explain = Some(value("--explain")?),
             "--root" => opts.root = Some(PathBuf::from(value("--root")?)),
             "--allowlist" => opts.allowlist = Some(PathBuf::from(value("--allowlist")?)),
             "--secret-type" => opts.cfg.secret_types.push(value("--secret-type")?),
@@ -71,6 +85,11 @@ fn parse_args() -> Result<Option<Options>, String> {
             "--hot-path" => opts.cfg.hot_path_files.push(value("--hot-path")?),
             "--panic-crate" => opts.cfg.panic_crates.push(value("--panic-crate")?),
             "--panic-file" => opts.cfg.panic_files.push(value("--panic-file")?),
+            "--det-crate" => opts.cfg.det_crates.push(value("--det-crate")?),
+            "--entropy-fn" => opts.cfg.entropy_fns.push(value("--entropy-fn")?),
+            "--warm-file" => opts.cfg.warm_path_files.push(value("--warm-file")?),
+            "--cold-fn" => opts.cfg.alloc_cold_fns.push(value("--cold-fn")?),
+            "--taint-sink" => opts.cfg.taint_sink_fns.push(value("--taint-sink")?),
             "--skip-crate" => opts.cfg.skip_crates.push(value("--skip-crate")?),
             "-h" | "--help" => return Ok(None),
             other => return Err(format!("unknown option `{other}` (see --help)")),
@@ -80,6 +99,16 @@ fn parse_args() -> Result<Option<Options>, String> {
 }
 
 fn run(opts: Options) -> Result<bool, String> {
+    if let Some(rule) = &opts.explain {
+        let text = rules::explain(rule).ok_or_else(|| {
+            format!(
+                "unknown rule `{rule}`; known rules: {}",
+                rules::RULE_NAMES.join(", ")
+            )
+        })?;
+        println!("{text}");
+        return Ok(true);
+    }
     let root = match opts.root {
         Some(r) => r,
         None => {

@@ -1,0 +1,131 @@
+//! Rule: authentication tags, MACs, and digests must be compared with
+//! `ct_eq`, and crypto hot paths must not branch or index on
+//! secret-derived values.
+
+use crate::config::Config;
+use crate::context::{match_delim, FileContext};
+use crate::diag::Diagnostic;
+use crate::lexer::{Token, TokenKind};
+
+use super::{diag_tok, is_index_base};
+
+const RULE: &str = "const_time";
+
+pub(crate) fn check(ctx: &FileContext, cfg: &Config, out: &mut Vec<Diagnostic>) {
+    // The constant-time primitives themselves live in the zeroize module
+    // and necessarily operate on the sensitive values.
+    if ctx.path.ends_with("/zeroize.rs") {
+        return;
+    }
+    let toks = &ctx.tokens;
+
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokenKind::Punct || (t.text != "==" && t.text != "!=") {
+            continue;
+        }
+        if ctx.in_test[i] || cfg.ct_exempt_fns.contains(&ctx.enclosing_fn[i]) {
+            continue;
+        }
+        if let Some(name) = ct_operand(toks, i, cfg) {
+            out.push(diag_tok(
+                RULE,
+                ctx,
+                i,
+                format!(
+                    "variable-time `{}` on `{}`: comparing tag/digest material \
+                     leaks a timing oracle; use `ct_eq`",
+                    t.text, name
+                ),
+            ));
+        }
+    }
+
+    if !cfg.is_hot_path(&ctx.path) {
+        return;
+    }
+    let mut i = 0usize;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_ident("if") && !ctx.in_test[i] {
+            // Condition tokens run until the body `{` at bracket depth 0;
+            // parenthesized sub-expressions are scanned, not skipped.
+            let mut j = i + 1;
+            let mut depth = 0i32;
+            while j < toks.len() && !(depth == 0 && toks[j].is_punct("{")) {
+                match toks[j].text.as_str() {
+                    "(" | "[" if toks[j].kind == TokenKind::Punct => depth += 1,
+                    ")" | "]" if toks[j].kind == TokenKind::Punct => depth -= 1,
+                    _ => {}
+                }
+                if let Some(name) = secret_flow_ident(&toks[j], cfg) {
+                    let name = name.to_string();
+                    out.push(diag_tok(
+                        RULE,
+                        ctx,
+                        j,
+                        format!("secret-dependent branch on `{name}` in crypto hot path"),
+                    ));
+                }
+                j += 1;
+            }
+            i = j + 1;
+            continue;
+        }
+        if t.is_punct("[") && i > 0 && is_index_base(&toks[i - 1]) && !ctx.in_test[i] {
+            let close = match_delim(toks, i);
+            for (j, tok) in toks.iter().enumerate().take(close).skip(i + 1) {
+                if let Some(name) = secret_flow_ident(tok, cfg) {
+                    let name = name.to_string();
+                    out.push(diag_tok(
+                        RULE,
+                        ctx,
+                        j,
+                        format!("secret-dependent table index `{name}` in crypto hot path"),
+                    ));
+                }
+            }
+        }
+        i += 1;
+    }
+}
+
+fn secret_flow_ident<'a>(t: &'a Token, cfg: &Config) -> Option<&'a str> {
+    if t.kind == TokenKind::Ident && cfg.secret_flow_idents.iter().any(|s| s == &t.text) {
+        Some(&t.text)
+    } else {
+        None
+    }
+}
+
+/// Scans a bounded window on both sides of the comparison at `op` for an
+/// identifier whose snake_case parts mark it as tag/digest material.
+fn ct_operand(toks: &[Token], op: usize, cfg: &Config) -> Option<String> {
+    const WINDOW: usize = 8;
+    let stop = |t: &Token| {
+        t.kind == TokenKind::Punct && matches!(t.text.as_str(), ";" | "{" | "}" | "&&" | "||" | ",")
+    };
+    let mut candidates = Vec::new();
+    for k in 1..=WINDOW {
+        match op.checked_sub(k).map(|j| &toks[j]) {
+            Some(t) if !stop(t) => candidates.push(t),
+            _ => break,
+        }
+    }
+    for t in toks.iter().skip(op + 1).take(WINDOW) {
+        if stop(t) {
+            break;
+        }
+        candidates.push(t);
+    }
+    candidates
+        .into_iter()
+        .find(|t| t.kind == TokenKind::Ident && has_ct_part(&t.text, cfg))
+        .map(|t| t.text.clone())
+}
+
+/// True if `name`'s snake_case parts include a tag/digest trigger part.
+pub(crate) fn has_ct_part(name: &str, cfg: &Config) -> bool {
+    name.to_ascii_lowercase()
+        .split('_')
+        .any(|part| cfg.ct_ident_parts.iter().any(|p| p == part))
+}

@@ -1,0 +1,74 @@
+//! Rule: protocol crates must not reach `unwrap`/`expect`/`panic!` or
+//! possibly-panicking slice indexing outside test code.
+
+use crate::config::{Config, IndexPolicy};
+use crate::context::{match_delim, FileContext};
+use crate::diag::Diagnostic;
+use crate::lexer::{Token, TokenKind};
+
+use super::{diag_tok, is_index_base};
+
+const RULE: &str = "panic_freedom";
+
+pub(crate) fn check(ctx: &FileContext, cfg: &Config, out: &mut Vec<Diagnostic>) {
+    let policy = cfg.index_policy(&ctx.crate_name);
+    let toks = &ctx.tokens;
+
+    for (i, t) in toks.iter().enumerate() {
+        if ctx.in_test[i] {
+            continue;
+        }
+        if t.is_punct(".")
+            && toks
+                .get(i + 1)
+                .is_some_and(|n| n.is_ident("unwrap") || n.is_ident("expect"))
+            && toks.get(i + 2).is_some_and(|n| n.is_punct("("))
+        {
+            let callee = &toks[i + 1];
+            let msg = format!(
+                "`.{}()` in protocol code can panic on adversarial input; \
+                 return a typed error instead",
+                callee.text
+            );
+            out.push(diag_tok(RULE, ctx, i + 1, msg));
+        }
+        if t.kind == TokenKind::Ident
+            && matches!(
+                t.text.as_str(),
+                "panic" | "unreachable" | "todo" | "unimplemented"
+            )
+            && toks.get(i + 1).is_some_and(|n| n.is_punct("!"))
+        {
+            out.push(diag_tok(
+                RULE,
+                ctx,
+                i,
+                format!(
+                    "`{}!` aborts the attestation path; return a typed error",
+                    t.text
+                ),
+            ));
+        }
+        if policy == IndexPolicy::Strict && t.is_punct("[") && i > 0 && is_index_base(&toks[i - 1])
+        {
+            let close = match_delim(toks, i);
+            let inner = &toks[i + 1..close];
+            if !is_literal_index(inner) {
+                out.push(diag_tok(
+                    RULE,
+                    ctx,
+                    i,
+                    "slice index may panic on short input; use `get`/`split_at` \
+                     with an error path"
+                        .to_string(),
+                ));
+            }
+        }
+    }
+}
+
+/// True if the index tokens are a single integer literal (`x[0]`): the
+/// compiler-checked fixed-offset pattern the strict policy still allows.
+fn is_literal_index(inner: &[Token]) -> bool {
+    inner.len() == 1 && inner[0].kind == TokenKind::Num
+}

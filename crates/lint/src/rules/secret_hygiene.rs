@@ -1,0 +1,120 @@
+//! Rule: secret-bearing types must not derive a leaking `Debug`, must
+//! provide a redacting manual `Debug`, key-byte holders must zeroize in
+//! `Drop`, and secret identifiers must not reach format-like macros.
+
+use crate::config::Config;
+use crate::context::{match_delim, FileContext};
+use crate::diag::Diagnostic;
+use crate::lexer::TokenKind;
+
+use super::{diag_at, diag_tok, display_name, str_interpolates, FORMAT_MACROS};
+
+const RULE: &str = "secret_hygiene";
+
+pub(crate) fn check(ctx: &FileContext, cfg: &Config, out: &mut Vec<Diagnostic>) {
+    for d in &ctx.derives {
+        if cfg.secret_types.contains(&d.type_name) && d.derives.iter().any(|t| t == "Debug") {
+            out.push(diag_at(
+                RULE,
+                ctx,
+                d.line,
+                1,
+                1,
+                format!(
+                    "secret type `{}` derives Debug, which prints key material; \
+                     write a redacting `impl fmt::Debug` instead",
+                    d.type_name
+                ),
+            ));
+        }
+    }
+
+    for (name, line) in &ctx.defined_types {
+        if cfg.secret_types.contains(name) && ctx.impl_body("Debug", name).is_none() {
+            out.push(diag_at(
+                RULE,
+                ctx,
+                *line,
+                1,
+                1,
+                format!(
+                    "secret type `{name}` has no manual Debug impl; add a redacting one \
+                     so accidental `{{:?}}` cannot leak key material"
+                ),
+            ));
+        }
+        if cfg.zeroize_types.contains(name) {
+            match ctx.impl_body("Drop", name) {
+                None => out.push(diag_at(
+                    RULE,
+                    ctx,
+                    *line,
+                    1,
+                    1,
+                    format!(
+                        "key-material type `{name}` has no Drop impl; \
+                         key bytes must be zeroized on drop"
+                    ),
+                )),
+                Some((start, end)) => {
+                    let zeroizes = ctx.tokens[start..end]
+                        .iter()
+                        .any(|t| t.kind == TokenKind::Ident && t.text.contains("zeroize"));
+                    if !zeroizes {
+                        out.push(diag_at(
+                            RULE,
+                            ctx,
+                            *line,
+                            1,
+                            1,
+                            format!("Drop impl for `{name}` does not call a zeroize helper"),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    // Format-macro interpolation of secrets. Test code is exempt for this
+    // check only: tests legitimately assert that Debug output is redacted.
+    let toks = &ctx.tokens;
+    let mut i = 0usize;
+    while i + 2 < toks.len() {
+        let is_macro = toks[i].kind == TokenKind::Ident
+            && FORMAT_MACROS.contains(&toks[i].text.as_str())
+            && toks[i + 1].is_punct("!")
+            && matches!(toks[i + 2].text.as_str(), "(" | "[" | "{");
+        if !is_macro || ctx.in_test[i] {
+            i += 1;
+            continue;
+        }
+        let close = match_delim(toks, i + 2);
+        let start = super::format_scan_start(toks, i, i + 2, close);
+        for (j, t) in toks.iter().enumerate().take(close).skip(start) {
+            let leaked = match t.kind {
+                TokenKind::Ident => {
+                    cfg.secret_idents.contains(&t.text) || cfg.secret_types.contains(&t.text)
+                }
+                TokenKind::Str => cfg
+                    .secret_idents
+                    .iter()
+                    .any(|name| str_interpolates(&t.text, name)),
+                _ => false,
+            };
+            if leaked {
+                out.push(diag_tok(
+                    RULE,
+                    ctx,
+                    j,
+                    format!(
+                        "secret `{}` interpolated into `{}!`; key material must not \
+                         reach logs or panic payloads",
+                        display_name(&t.text),
+                        toks[i].text
+                    ),
+                ));
+            }
+        }
+        i = close + 1;
+    }
+}

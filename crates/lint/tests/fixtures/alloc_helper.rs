@@ -1,0 +1,16 @@
+//! Fixture: a helper crate file that allocates, used to exercise the
+//! `alloc_freedom` rule's one-level call-graph propagation. Linted as
+//! `crates/net/src/label.rs` (not itself a warm-path file) alongside a
+//! warm caller.
+
+/// Allocates — fine here, but dragging it onto the warm path is not.
+pub fn mk_label(kind: u8) -> String {
+    format!("label#{kind}")
+}
+
+/// A `#[cold]` helper that allocates: calls to it from warm code are
+/// trusted as declared cold paths and not propagated.
+#[cold]
+pub fn mk_error(kind: u8) -> String {
+    format!("error#{kind}")
+}

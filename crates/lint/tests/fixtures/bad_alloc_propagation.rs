@@ -1,0 +1,16 @@
+//! Fixture: a warm-path file that looks allocation-free on its own —
+//! the allocation hides one call away in `alloc_helper.rs`. Linted as
+//! `crates/net/src/wire.rs` together with that helper.
+
+/// Calls a workspace helper that allocates: flagged by propagation,
+/// with a note pointing into the callee.
+pub fn describe(kind: u8) -> u8 {
+    let label = mk_label(kind);
+    label.len() as u8
+}
+
+/// Calls the `#[cold]` helper: the annotation is trusted, no finding.
+pub fn fail(kind: u8) -> u8 {
+    let err = mk_error(kind);
+    err.len() as u8
+}

@@ -1,0 +1,36 @@
+//! Fixture: secret leaks that span two functions — invisible to the
+//! per-function `secret_hygiene` rule, caught by `secret_taint`'s
+//! one-call-deep parameter tracking. Linted as
+//! `crates/core/src/bad_taint.rs`.
+
+/// Innocent-looking logger: the parameter reaches a format macro.
+fn log_value(v: &[u8]) {
+    println!("value={v:?}");
+}
+
+/// The caller leaks: `mac_key` flows into `log_value`'s sink.
+pub fn handshake_debug(mac_key: &[u8]) {
+    log_value(mac_key);
+}
+
+/// Stringification sink one call deep.
+fn render(data: &[u8]) -> usize {
+    let s = to_hex(data);
+    s
+}
+
+/// `sk_bytes` is serialized via the callee's `to_hex` call.
+pub fn export_key(sk_bytes: &[u8]) -> usize {
+    render(sk_bytes)
+}
+
+/// Variable-time comparison sink: the parameter meets `==`.
+fn equal_bytes(value: &[u8], other: &[u8]) -> bool {
+    value == other
+}
+
+/// `secret` carries a constant-time-sensitive name part, so handing it
+/// to a `==` comparison two functions deep is a timing oracle.
+pub fn verify_guess(secret: &[u8], other: &[u8]) -> bool {
+    equal_bytes(secret, other)
+}

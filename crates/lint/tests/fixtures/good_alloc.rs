@@ -1,0 +1,40 @@
+//! Fixture: the allocation-free counterparts to `bad_alloc.rs`, plus
+//! the two sanctioned escape hatches (`#[cold]` and the configured
+//! cold-name list). Linted as `crates/net/src/wire.rs`.
+
+/// Warm path: pure slice arithmetic, no allocation.
+pub fn checksum(payload: &[u8]) -> u8 {
+    payload.iter().fold(0u8, |acc, b| acc ^ b)
+}
+
+/// Warm path: writes into a caller-provided scratch buffer.
+pub fn write_into(dst: &mut [u8], src: &[u8]) -> usize {
+    let mut n = 0;
+    for (d, s) in dst.iter_mut().zip(src.iter()) {
+        *d = *s;
+        n += 1;
+    }
+    n
+}
+
+/// Setup-only: the `#[cold]` attribute declares this off the warm path.
+#[cold]
+pub fn reserve_scratch(n: usize) -> Vec<u8> {
+    let mut v = Vec::with_capacity(n);
+    v.resize(n, 0u8);
+    v
+}
+
+/// Constructors are cold by configuration (`Config::alloc_cold_fns`).
+pub fn new() -> Vec<u8> {
+    Vec::new()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_allocate() {
+        let v = vec![1u8, 2, 3];
+        assert_eq!(v.to_vec().len(), 3);
+    }
+}

@@ -1,0 +1,32 @@
+//! Fixture: the deterministic counterparts to `bad_determinism.rs` —
+//! ordered containers, virtual time, and a seeded DRBG, plus the one
+//! sanctioned entropy boundary. Linted as
+//! `crates/core/src/good_determinism.rs`.
+
+use std::collections::BTreeMap;
+
+/// Ordered container: iteration order is part of the replayable state.
+pub fn tally(ids: &[u64]) -> usize {
+    let mut seen = BTreeMap::new();
+    for id in ids {
+        seen.entry(id).or_insert(0u32);
+    }
+    seen.len()
+}
+
+/// Sim time flows in as a parameter from the engine's virtual clock.
+pub fn stamp(now_ns: u64) -> u64 {
+    now_ns
+}
+
+/// Randomness comes from a seeded generator threaded by the caller.
+pub fn roll(rng: &mut Drbg) -> u64 {
+    rng.next_u64()
+}
+
+/// The sanctioned entropy boundary: `Config::entropy_fns` exempts this
+/// function name, so touching the OS RNG here is allowed.
+pub fn from_entropy() -> u64 {
+    let mut rng = OsRng;
+    rng.next_u64()
+}

@@ -1,0 +1,48 @@
+//! Fixture: cross-function secret flows that are fine — constant-time
+//! primitives, zeroize helpers, callees that never sink the parameter,
+//! and non-secret arguments into sink-bearing callees. Linted as
+//! `crates/core/src/good_taint.rs`.
+
+/// The constant-time comparison primitive is exempt by name.
+fn ct_eq(a: &[u8], b: &[u8]) -> bool {
+    let mut acc = 0u8;
+    for (x, y) in a.iter().zip(b.iter()) {
+        acc |= x ^ y;
+    }
+    acc == 0
+}
+
+/// Comparing a secret through the exempt primitive is the sanctioned
+/// pattern.
+pub fn verify_guess(secret: &[u8], other: &[u8]) -> bool {
+    ct_eq(secret, other)
+}
+
+/// Zeroize helpers consume secrets by design.
+fn zeroize_slice(buf: &mut [u8]) {
+    for b in buf.iter_mut() {
+        *b = 0;
+    }
+}
+
+pub fn scrub(sk_bytes: &mut [u8]) {
+    zeroize_slice(sk_bytes);
+}
+
+/// The callee only measures the parameter — no sink.
+fn span_of(v: &[u8]) -> usize {
+    v.len()
+}
+
+pub fn key_span(mac_key: &[u8]) -> usize {
+    span_of(mac_key)
+}
+
+/// The callee has a format sink, but the argument is not a secret.
+fn log_value(v: &[u8]) {
+    println!("value={v:?}");
+}
+
+pub fn trace_frame(frame: &[u8]) {
+    log_value(frame);
+}

@@ -176,6 +176,7 @@ pub const REPLAY_WINDOW: u64 = 64;
 /// Label used until [`SecureChannel::set_peer`] names the remote endpoint.
 const DEFAULT_PEER: &str = "peer";
 
+#[cold]
 fn transcript_context(a: &PublicShare, b: &PublicShare) -> Vec<u8> {
     let mut ctx = Vec::with_capacity(64 + 16);
     ctx.extend_from_slice(b"monatt-channel-v1");
@@ -205,6 +206,7 @@ pub fn initiate(rng: &mut Drbg, identity: &SigningKey) -> (Hello, PendingHandsha
 ///
 /// [`ChannelError::PeerAuthentication`] on a bad signature,
 /// [`ChannelError::BadShare`] on an invalid group element.
+#[cold]
 pub fn respond(
     rng: &mut Drbg,
     identity: &SigningKey,
@@ -246,6 +248,7 @@ pub fn respond(
 ///
 /// [`ChannelError::PeerAuthentication`] on a bad signature,
 /// [`ChannelError::BadShare`] on an invalid group element.
+#[cold]
 pub fn complete(
     pending: PendingHandshake,
     responder_key: &VerifyingKey,
@@ -273,6 +276,9 @@ impl SecureChannel {
     /// Seals a record. The sequence number is carried in an 8-byte header
     /// (authenticated through the nonce, DTLS-style), so a tampered or
     /// dropped record does not desynchronize the channel.
+    ///
+    /// Allocating convenience; the warm path uses [`Self::seal_into`].
+    #[cold]
     pub fn seal(&mut self, aad: &[u8], plaintext: &[u8]) -> Vec<u8> {
         let mut record = Vec::new();
         self.seal_into(aad, plaintext, &mut record);
@@ -302,6 +308,9 @@ impl SecureChannel {
     /// [`ChannelError::Malformed`] for records too short to carry a
     /// header, [`ChannelError::DuplicateRecord`] for a duplicate or
     /// replay, [`ChannelError::RecordAuthentication`] on tampering.
+    ///
+    /// Allocating convenience; the warm path uses [`Self::open_into`].
+    #[cold]
     pub fn open(&mut self, aad: &[u8], record: &[u8]) -> Result<Vec<u8>, ChannelError> {
         let mut pt = Vec::new();
         self.open_into(aad, record, &mut pt)?;

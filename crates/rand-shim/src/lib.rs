@@ -114,8 +114,15 @@ pub mod rngs {
         }
     }
 
-    /// An operating-system entropy source (`/dev/urandom`, with a
-    /// clock-based fallback for exotic platforms).
+    /// An operating-system entropy source (`/dev/urandom`).
+    ///
+    /// If `/dev/urandom` is unavailable this panics rather than
+    /// silently degrading: a clock-derived seed is predictable, and a
+    /// quiet fallback was exactly the kind of hidden nondeterminism
+    /// the workspace lint exists to catch. Builds for platforms
+    /// without `/dev/urandom` can opt back in with the
+    /// `clock-fallback` feature, which makes the degradation an
+    /// explicit build-time decision.
     #[derive(Clone, Copy, Debug, Default)]
     pub struct OsRng;
 
@@ -133,17 +140,31 @@ pub mod rngs {
                     return;
                 }
             }
-            // Fallback: hash the monotonic clock; only hit on platforms
-            // without /dev/urandom.
-            let mut state = std::time::SystemTime::now()
-                .duration_since(std::time::UNIX_EPOCH)
-                .map(|d| d.as_nanos() as u64)
-                .unwrap_or(0x1234_5678)
-                ^ (std::process::id() as u64).rotate_left(32);
-            for byte in dest {
-                *byte = splitmix64(&mut state) as u8;
-            }
+            fallback_fill(dest);
         }
+    }
+
+    /// Explicit, feature-gated degradation path: hash the wall clock
+    /// and process id through splitmix64.
+    #[cfg(feature = "clock-fallback")]
+    pub(crate) fn fallback_fill(dest: &mut [u8]) {
+        let mut state = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0x1234_5678)
+            ^ (std::process::id() as u64).rotate_left(32);
+        for byte in dest {
+            *byte = splitmix64(&mut state) as u8;
+        }
+    }
+
+    #[cfg(not(feature = "clock-fallback"))]
+    pub(crate) fn fallback_fill(_dest: &mut [u8]) {
+        panic!(
+            "OsRng: /dev/urandom unavailable; refusing to seed from the clock. \
+             Enable the `clock-fallback` feature of the rand shim to opt into \
+             predictable clock-based seeding on platforms without /dev/urandom."
+        );
     }
 }
 
@@ -187,5 +208,21 @@ mod tests {
         OsRng.fill_bytes(&mut a);
         OsRng.fill_bytes(&mut b);
         assert_ne!(a, b);
+    }
+
+    #[test]
+    #[cfg(not(feature = "clock-fallback"))]
+    #[should_panic(expected = "refusing to seed from the clock")]
+    fn fallback_panics_without_clock_feature() {
+        let mut buf = [0u8; 8];
+        super::rngs::fallback_fill(&mut buf);
+    }
+
+    #[test]
+    #[cfg(feature = "clock-fallback")]
+    fn fallback_fills_with_clock_feature() {
+        let mut buf = [0u8; 16];
+        super::rngs::fallback_fill(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
     }
 }
