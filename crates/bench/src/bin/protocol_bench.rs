@@ -1,0 +1,35 @@
+//! Runs the protocol-IR throughput bench: sessions/sec for the flat
+//! Figure-3, layered and K=4 fan-out compiled programs at a 1k-VM
+//! fleet.
+//!
+//! Usage: `protocol_bench [--smoke] [--json <path>]`
+//! `--smoke` cuts the timed call count for CI; `--json <path>` writes
+//! the `BENCH_protocol.json` document instead of the table (use `-`
+//! for stdout).
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .map(|i| args.get(i + 1).cloned().unwrap_or_else(|| "-".into()));
+    let calls = if smoke {
+        monatt_bench::protocol::SMOKE_ITERS
+    } else {
+        monatt_bench::protocol::ITERS
+    };
+    let rows = monatt_bench::protocol::run(monatt_bench::protocol::FLEET, calls);
+    match json_path {
+        Some(path) => {
+            let doc = monatt_bench::protocol::to_json(&rows);
+            if path == "-" {
+                print!("{doc}");
+            } else {
+                std::fs::write(&path, doc).expect("write json");
+                eprintln!("wrote {path}");
+            }
+        }
+        None => monatt_bench::protocol::print(&rows),
+    }
+}

@@ -83,6 +83,13 @@ pub struct ChaosRow {
     pub vms_alive: usize,
     /// VMs terminated (responses or failed evacuations).
     pub vms_terminated: usize,
+    /// Composite-program attestations (layered + fan-out) that reached
+    /// a verdict under the chaos. Struct-only: the committed JSON rows
+    /// keep their schema.
+    pub composite_ok: u64,
+    /// Composite-program attestations that failed with a typed error
+    /// (node down, deadline, shed, unreachable).
+    pub composite_err: u64,
 }
 
 /// Runs and verifies one cell of the grid.
@@ -121,7 +128,37 @@ fn measure(fleet: usize, mtbf_us: u64, loss: f64) -> ChaosRow {
     }
     cloud.set_outage_model(OutageModel::new(seed ^ 0x0A6E).mtbf(mtbf_us, mtbf_us / 4));
     cloud.reset_protocol_stats();
-    cloud.run(HORIZON_US);
+    // The composite protocol programs ride the same chaos: every few
+    // virtual seconds one VM gets a layered attestation (delegated
+    // platform appraisal + gate) and a two-property fan-out alongside
+    // the periodic fleet. Their child sessions enter the same ledger,
+    // so the reconciliation invariants below also prove fork/join never
+    // leaks or double-counts a session under crashes, loss, deadlines
+    // and shedding. Typed failures are expected outcomes here.
+    const COMPOSITE_EVERY_US: u64 = 5_000_000;
+    let mut composite_ok = 0u64;
+    let mut composite_err = 0u64;
+    for chunk in 0..HORIZON_US / COMPOSITE_EVERY_US {
+        cloud.run(COMPOSITE_EVERY_US);
+        let vid = vids[chunk as usize % vids.len()];
+        if matches!(cloud.vm_state(vid), Some(VmLifecycle::Terminated) | None) {
+            continue;
+        }
+        match cloud.layered_attest(vid, SecurityProperty::RuntimeIntegrity) {
+            Ok(_) => composite_ok += 1,
+            Err(_) => composite_err += 1,
+        }
+        match cloud.multi_attest(
+            vid,
+            &[
+                SecurityProperty::RuntimeIntegrity,
+                SecurityProperty::StartupIntegrity,
+            ],
+        ) {
+            Ok(_) => composite_ok += 1,
+            Err(_) => composite_err += 1,
+        }
+    }
 
     let stats = cloud.protocol_stats();
     let outages = cloud.outage_stats();
@@ -211,6 +248,8 @@ fn measure(fleet: usize, mtbf_us: u64, loss: f64) -> ChaosRow {
         blackholed,
         vms_alive,
         vms_terminated,
+        composite_ok,
+        composite_err,
     }
 }
 
@@ -239,11 +278,11 @@ pub fn print(rows: &[ChaosRow]) {
     println!("Chaos sweep: periodic attestation fleets under crash/recovery churn");
     println!("(all liveness invariants verified per cell)");
     println!(
-        "fleet\tmtbf\tloss\tcrashes\trecov\tevac\trekey\tstarted\tdone\tfailed\tshed\tdeadline\tnodedown\tretries\talive\tdead"
+        "fleet\tmtbf\tloss\tcrashes\trecov\tevac\trekey\tstarted\tdone\tfailed\tshed\tdeadline\tnodedown\tretries\talive\tdead\tcomposite"
     );
     for row in rows {
         println!(
-            "{}\t{}\t{:.0}%\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+            "{}\t{}\t{:.0}%\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
             row.fleet,
             crate::fmt_secs(row.mtbf_us),
             row.loss * 100.0,
@@ -260,6 +299,7 @@ pub fn print(rows: &[ChaosRow]) {
             row.retries,
             row.vms_alive,
             row.vms_terminated,
+            row.composite_ok + row.composite_err,
         );
     }
 }
@@ -316,6 +356,10 @@ mod tests {
         assert!(row.rehandshakes > 0, "{row:?}");
         assert!(row.sessions_completed > 0, "{row:?}");
         assert!(row.retries > 0, "{row:?}");
+        // The composite programs (layered + fan-out) rode the same
+        // chaos and every call resolved to a verdict or a typed error.
+        assert!(row.composite_ok + row.composite_err >= 6, "{row:?}");
+        assert!(row.composite_ok > 0, "{row:?}");
     }
 
     #[test]

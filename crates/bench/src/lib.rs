@@ -21,6 +21,7 @@ pub mod fig07;
 pub mod fig09;
 pub mod fig10;
 pub mod fig11;
+pub mod protocol;
 pub mod queue;
 pub mod scale;
 pub mod sec722;

@@ -1,0 +1,232 @@
+//! **Protocol-IR throughput bench** — sessions per second of host time
+//! for the three compiled attestation programs at a 1k-VM fleet: the
+//! flat Figure-3 exchange, the layered (delegated platform-first)
+//! program, and the K=4 multi-property fan-out. All three run through
+//! the same interpreter (`core/src/protocol/run.rs`); this harness
+//! pins what the protocol-as-data layer costs in engine throughput and
+//! what the composite programs cost relative to flat Figure 3 (layered
+//! spawns one child session, fan-out spawns K).
+//!
+//! The committed numbers live in `BENCH_protocol.json`.
+
+use monatt_core::{CloudBuilder, Flavor, Image, SecurityProperty, Vid, VmRequest, WorkloadSpec};
+use std::time::Instant;
+
+/// Fleet size: VMs launched and round-robined over by the driver loop.
+pub const FLEET: usize = 1_000;
+
+/// Attestation API calls timed per variant in the full run.
+pub const ITERS: u32 = 2_000;
+/// Reduced call count for `--smoke`.
+pub const SMOKE_ITERS: u32 = 200;
+
+/// The four properties fanned out over in the K=4 variant.
+pub const FANOUT_PROPERTIES: [SecurityProperty; 4] = [
+    SecurityProperty::RuntimeIntegrity,
+    SecurityProperty::StartupIntegrity,
+    SecurityProperty::CovertChannelFreedom,
+    SecurityProperty::SchedulerFairness,
+];
+
+/// The three compiled programs under test.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Variant {
+    /// The flat Figure-3 exchange (`Protocol::figure3_customer`).
+    Flat,
+    /// Layered attestation: platform verdict gates the VM measurement.
+    Layered,
+    /// K=4 multi-property fan-out under one session.
+    Fanout,
+}
+
+impl Variant {
+    /// Stable row identifier.
+    pub fn id(self) -> &'static str {
+        match self {
+            Variant::Flat => "figure3_flat",
+            Variant::Layered => "layered",
+            Variant::Fanout => "fanout_k4",
+        }
+    }
+}
+
+/// One row of the throughput sweep.
+#[derive(Clone, Copy, Debug)]
+pub struct ProtocolRow {
+    /// Which compiled program ran.
+    pub variant: Variant,
+    /// VMs in the fleet.
+    pub fleet: usize,
+    /// Timed attestation API calls.
+    pub calls: u32,
+    /// Host wall-clock nanoseconds for the timed loop.
+    pub wall_ns: u64,
+    /// Engine sessions completed during the timed loop (layered = 2 per
+    /// call, fan-out = K+1 per call).
+    pub sessions: u64,
+    /// Virtual (simulated) latency of one clean call, microseconds.
+    pub virtual_us: u64,
+}
+
+impl ProtocolRow {
+    /// API calls per second of host time.
+    pub fn calls_per_sec(&self) -> f64 {
+        self.calls as f64 / (self.wall_ns as f64 / 1e9)
+    }
+
+    /// Engine sessions per second of host time.
+    pub fn sessions_per_sec(&self) -> f64 {
+        self.sessions as f64 / (self.wall_ns as f64 / 1e9)
+    }
+}
+
+fn attest(
+    cloud: &mut monatt_core::Cloud,
+    variant: Variant,
+    vid: Vid,
+) -> monatt_core::AttestationReport {
+    match variant {
+        Variant::Flat => cloud
+            .runtime_attest_current(vid, SecurityProperty::RuntimeIntegrity)
+            .expect("flat attestation"),
+        Variant::Layered => cloud
+            .layered_attest(vid, SecurityProperty::RuntimeIntegrity)
+            .expect("layered attestation"),
+        Variant::Fanout => cloud
+            .multi_attest(vid, &FANOUT_PROPERTIES)
+            .expect("fan-out attestation"),
+    }
+}
+
+/// Times `calls` attestations of one variant round-robined over a
+/// `fleet`-VM cloud.
+pub fn measure(variant: Variant, fleet: usize, calls: u32) -> ProtocolRow {
+    let servers = fleet.div_ceil(16).max(1);
+    let mut cloud = CloudBuilder::new()
+        .servers(servers)
+        .pcpus_per_server(16)
+        .seed(0x1B + fleet as u64)
+        .build();
+    cloud.set_network_logging(false);
+    let mut vids = Vec::with_capacity(fleet);
+    for _ in 0..fleet {
+        // Idle workloads: the protocol engine is what's under test, and
+        // busy VMs make the hypervisor's scheduler simulation (not the
+        // session layer) dominate host time at a 1k fleet.
+        let vid = cloud
+            .request_vm(
+                VmRequest::new(Flavor::Small, Image::Cirros)
+                    .require(SecurityProperty::RuntimeIntegrity)
+                    .workload(WorkloadSpec::Idle),
+            )
+            .expect("launch");
+        vids.push(vid);
+    }
+    // Warm the session arena, wire buffers and wheel slots so the timed
+    // loop measures the steady state.
+    for &vid in vids.iter().take(32) {
+        attest(&mut cloud, variant, vid);
+    }
+    let virtual_us = attest(&mut cloud, variant, vids[0]).elapsed_us;
+    cloud.reset_protocol_stats();
+    let start = Instant::now();
+    for i in 0..calls {
+        let vid = vids[i as usize % vids.len()];
+        let report = attest(&mut cloud, variant, vid);
+        std::hint::black_box(&report);
+    }
+    let wall_ns = start.elapsed().as_nanos() as u64;
+    let stats = cloud.protocol_stats();
+    assert_eq!(
+        stats.sessions_started,
+        stats.sessions_completed + stats.sessions_failed,
+        "ledger drift during the timed loop"
+    );
+    ProtocolRow {
+        variant,
+        fleet,
+        calls,
+        wall_ns,
+        sessions: stats.sessions_completed,
+        virtual_us,
+    }
+}
+
+/// Runs all three variants at the given fleet size.
+pub fn run(fleet: usize, calls: u32) -> Vec<ProtocolRow> {
+    [Variant::Flat, Variant::Layered, Variant::Fanout]
+        .into_iter()
+        .map(|v| measure(v, fleet, calls))
+        .collect()
+}
+
+/// Prints the sweep as a table.
+pub fn print(rows: &[ProtocolRow]) {
+    println!("Protocol-IR throughput: compiled programs at fleet {FLEET}");
+    println!(
+        "{:>14} {:>7} {:>7} {:>12} {:>14} {:>12}",
+        "program", "fleet", "calls", "calls/s", "sessions/s", "virtual"
+    );
+    for r in rows {
+        println!(
+            "{:>14} {:>7} {:>7} {:>12.0} {:>14.0} {:>12}",
+            r.variant.id(),
+            r.fleet,
+            r.calls,
+            r.calls_per_sec(),
+            r.sessions_per_sec(),
+            crate::fmt_secs(r.virtual_us),
+        );
+    }
+}
+
+/// Renders the sweep as the committed `BENCH_protocol.json` document.
+pub fn to_json(rows: &[ProtocolRow]) -> String {
+    let mut out = String::from("{\n  \"protocol_throughput\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"id\": \"{}\", \"fleet\": {}, \"calls\": {}, \
+             \"calls_per_sec\": {:.0}, \"sessions_per_sec\": {:.0}, \
+             \"sessions\": {}, \"virtual_us\": {}}}{}\n",
+            r.variant.id(),
+            r.fleet,
+            r.calls,
+            r.calls_per_sec(),
+            r.sessions_per_sec(),
+            r.sessions,
+            r.virtual_us,
+            if i + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn composite_programs_cost_proportional_sessions() {
+        // A tiny fleet keeps this unit test fast; CI smoke drives the
+        // 1k fleet through the binary.
+        let rows = run(8, 16);
+        let by = |v: Variant| rows.iter().find(|r| r.variant == v).unwrap();
+        let flat = by(Variant::Flat);
+        let layered = by(Variant::Layered);
+        let fanout = by(Variant::Fanout);
+        // Every API call resolves to a fixed number of engine sessions:
+        // flat = 1, layered = parent + platform child, fan-out = parent
+        // + one child per property.
+        assert_eq!(flat.sessions, u64::from(flat.calls));
+        assert_eq!(layered.sessions, 2 * u64::from(layered.calls));
+        assert_eq!(
+            fanout.sessions,
+            (1 + FANOUT_PROPERTIES.len() as u64) * u64::from(fanout.calls)
+        );
+        // Composite programs take longer in virtual time than flat
+        // Figure 3 — they run more hops.
+        assert!(layered.virtual_us > flat.virtual_us);
+        assert!(fanout.virtual_us > flat.virtual_us);
+    }
+}

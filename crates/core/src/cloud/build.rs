@@ -545,6 +545,11 @@ impl CloudBuilder {
             pending_msg4: Vec::new(),
             batch_meta: Vec::new(),
             evidence_ttl_us: self.evidence_ttl_us,
+            programs: crate::protocol::ProgramRegistry::standard().map_err(|e| {
+                CloudError::ProtocolFailure {
+                    reason: format!("standard protocols did not compile: {e}"),
+                }
+            })?,
         })
     }
 }

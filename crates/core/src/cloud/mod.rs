@@ -35,6 +35,7 @@ use crate::engine::ShardedEngine;
 use crate::error::CloudError;
 use crate::latency::{LatencyParams, RetryPolicy};
 use crate::outage::{AdmissionControl, OutageModel, OutageStats};
+use crate::protocol::{CompileError, ProgramId, ProgramRegistry, Protocol};
 use crate::server::CloudServerNode;
 use crate::session::{
     CloudEvent, Msg4Meta, PendingMsg4, SessionArena, SessionEvent, SessionId, SessionOrigin,
@@ -67,6 +68,13 @@ impl AttestationReport {
     /// True if the property was judged to hold.
     pub fn healthy(&self) -> bool {
         self.status.is_healthy()
+    }
+}
+
+/// Maps a protocol-compile error into the cloud's error type.
+fn compile_failure(e: CompileError) -> CloudError {
+    CloudError::ProtocolFailure {
+        reason: format!("protocol did not compile: {e}"),
     }
 }
 
@@ -175,6 +183,11 @@ pub struct Cloud {
     /// cache for `ttl` microseconds. `None` (the default) disables the
     /// cache entirely.
     pub(crate) evidence_ttl_us: Option<u64>,
+    /// Compiled attestation-protocol programs: the standard Figure-3
+    /// customer/internal exchanges, layered attestation, cached fan-out
+    /// variants, and anything registered through
+    /// [`Cloud::register_protocol`].
+    pub(crate) programs: ProgramRegistry,
 }
 
 impl std::fmt::Debug for Cloud {
@@ -765,6 +778,89 @@ impl Cloud {
             self.auto_respond(vid, action);
         }
         Ok(report)
+    }
+
+    /// Layered attestation ([`Protocol::layered`]): appraise the VM's
+    /// hosting platform first (a delegated boot-chain appraisal of the
+    /// VMM/hypervisor), and only if that verdict is healthy measure the
+    /// VM itself for `property` — the VM's VMI quote is gated on the
+    /// platform's. An unhealthy platform skips the VM measurement
+    /// entirely and the report certifies the negative platform verdict.
+    ///
+    /// # Errors
+    ///
+    /// [`CloudError::UnknownVm`] or a protocol failure.
+    pub fn layered_attest(
+        &mut self,
+        vid: Vid,
+        property: SecurityProperty,
+    ) -> Result<AttestationReport, CloudError> {
+        let program = self.programs.layered;
+        self.attest_with_program(vid, property, program)
+    }
+
+    /// Multi-property fan-out ([`Protocol::fanout`]): one session
+    /// measures every property in `properties` through parallel
+    /// delegated measurement branches (each with its own window and
+    /// quote) and certifies one combined report — healthy iff every
+    /// branch is healthy. The report's `property` field carries the
+    /// first requested property.
+    ///
+    /// # Errors
+    ///
+    /// [`CloudError::UnknownVm`], a protocol failure, or a protocol
+    /// compile error for an empty property list.
+    pub fn multi_attest(
+        &mut self,
+        vid: Vid,
+        properties: &[SecurityProperty],
+    ) -> Result<AttestationReport, CloudError> {
+        let Some(&first) = properties.first() else {
+            return Err(CloudError::ProtocolFailure {
+                reason: "fan-out needs at least one property".into(),
+            });
+        };
+        let program = self
+            .programs
+            .fanout_for(properties)
+            .map_err(compile_failure)?;
+        self.attest_with_program(vid, first, program)
+    }
+
+    /// Compiles and registers an arbitrary attestation-protocol term;
+    /// the returned handle runs through
+    /// [`Cloud::attest_with_program`].
+    ///
+    /// # Errors
+    ///
+    /// A [`CloudError::ProtocolFailure`] carrying the compile error if
+    /// the term is ill-formed.
+    pub fn register_protocol(&mut self, protocol: &Protocol) -> Result<ProgramId, CloudError> {
+        self.programs.register(protocol).map_err(compile_failure)
+    }
+
+    /// Runs a registered protocol program as one synchronous session
+    /// against `vid` (the program decides which hops, windows, forks
+    /// and delegations happen).
+    ///
+    /// # Errors
+    ///
+    /// [`CloudError::UnknownVm`] or a protocol failure.
+    pub fn attest_with_program(
+        &mut self,
+        vid: Vid,
+        property: SecurityProperty,
+        program: ProgramId,
+    ) -> Result<AttestationReport, CloudError> {
+        let sid = self.begin_program_session(vid, property, program, SessionOrigin::Api)?;
+        let outcome = self.pump_session(sid)?;
+        Ok(AttestationReport {
+            vid,
+            property,
+            status: outcome.status,
+            elapsed_us: outcome.elapsed_us,
+            issued_at_us: self.wall_clock_us,
+        })
     }
 
     /// Completed service requests of a [`WorkloadSpec::Service`] VM

@@ -846,3 +846,239 @@ fn horizon_boundary_event_fires_in_the_next_run() {
     let rs = split.stop_attest_periodic(sub_s).unwrap();
     assert_eq!(rw, rs, "split runs must reproduce the whole run's reports");
 }
+
+// ---- Protocol-IR programs: layered attestation and fan-out ---------
+
+#[test]
+fn layered_attest_healthy_platform_measures_the_vm() {
+    let mut c = cloud();
+    let vid = c
+        .request_vm(
+            VmRequest::new(Flavor::Small, Image::Ubuntu)
+                .require(SecurityProperty::RuntimeIntegrity),
+        )
+        .unwrap();
+    let before = c.protocol_stats();
+    let report = c
+        .layered_attest(vid, SecurityProperty::RuntimeIntegrity)
+        .unwrap();
+    assert!(report.healthy(), "clean platform + clean VM: {report:?}");
+    let after = c.protocol_stats();
+    // One layered call = the parent session plus one delegated
+    // platform-appraisal child, both completing.
+    assert_eq!(after.sessions_started - before.sessions_started, 2);
+    assert_eq!(after.sessions_completed - before.sessions_completed, 2);
+    // Clean network: parent walks all six hops (the gate passed and the
+    // VM was measured), the child the internal four.
+    assert_eq!(after.messages_sent - before.messages_sent, 10);
+    // The infected VM still fails through the layered program.
+    c.infect_vm(vid, "cryptominer").unwrap();
+    let infected = c
+        .layered_attest(vid, SecurityProperty::RuntimeIntegrity)
+        .unwrap();
+    assert!(!infected.healthy());
+}
+
+#[test]
+fn layered_attest_corrupt_platform_gates_off_the_vm_measurement() {
+    // A single corrupt server; the VM requires no property at launch,
+    // so placement cannot steer away from it.
+    let mut c = CloudBuilder::new()
+        .servers(1)
+        .seed(9)
+        .corrupt_platform(0)
+        .build();
+    let vid = c
+        .request_vm(VmRequest::new(Flavor::Small, Image::Cirros))
+        .unwrap();
+    let before = c.protocol_stats();
+    let report = c
+        .layered_attest(vid, SecurityProperty::RuntimeIntegrity)
+        .unwrap();
+    assert!(
+        !report.healthy(),
+        "a trojaned platform must fail the layered appraisal: {report:?}"
+    );
+    assert!(
+        matches!(report.status, HealthStatus::Compromised { .. }),
+        "{report:?}"
+    );
+    let after = c.protocol_stats();
+    assert_eq!(after.sessions_started - before.sessions_started, 2);
+    // The gate skipped messages 3 and 4 of the parent: the VM was never
+    // measured. Parent sends 1, 2, 5, 6; the delegated child 2-5.
+    assert_eq!(
+        after.messages_sent - before.messages_sent,
+        8,
+        "an unhealthy platform must skip the VM measurement hops"
+    );
+}
+
+#[test]
+fn multi_attest_fans_out_and_combines() {
+    let mut c = cloud();
+    let vid = c
+        .request_vm(
+            VmRequest::new(Flavor::Small, Image::Ubuntu)
+                .require(SecurityProperty::RuntimeIntegrity),
+        )
+        .unwrap();
+    let props = [
+        SecurityProperty::StartupIntegrity,
+        SecurityProperty::RuntimeIntegrity,
+    ];
+    let before = c.protocol_stats();
+    let report = c.multi_attest(vid, &props).unwrap();
+    assert!(report.healthy(), "{report:?}");
+    assert_eq!(report.property, SecurityProperty::StartupIntegrity);
+    let after = c.protocol_stats();
+    // Parent plus one measurement child per property.
+    assert_eq!(after.sessions_started - before.sessions_started, 3);
+    assert_eq!(after.sessions_completed - before.sessions_completed, 3);
+    // Parent: 1, 2, 5, 6; each child: 3, 4.
+    assert_eq!(after.messages_sent - before.messages_sent, 8);
+    // A violated property poisons the combined report, naming the
+    // branch that found it.
+    c.infect_vm(vid, "cryptominer").unwrap();
+    let infected = c.multi_attest(vid, &props).unwrap();
+    let HealthStatus::Compromised { reason } = &infected.status else {
+        panic!("expected a combined violation, got {:?}", infected.status);
+    };
+    assert!(reason.contains("branch 1"), "{reason}");
+    assert!(reason.contains("cryptominer"), "{reason}");
+}
+
+#[test]
+fn registered_protocols_run_like_builtins() {
+    use crate::protocol::Protocol;
+    let mut c = cloud();
+    let vid = c
+        .request_vm(
+            VmRequest::new(Flavor::Small, Image::Cirros)
+                .require(SecurityProperty::StartupIntegrity),
+        )
+        .unwrap();
+    // Registering the stock customer program by hand must behave
+    // exactly like the built-in path.
+    let pid = c.register_protocol(&Protocol::figure3_customer()).unwrap();
+    let via_program = c
+        .attest_with_program(vid, SecurityProperty::StartupIntegrity, pid)
+        .unwrap();
+    let via_api = c
+        .startup_attest_current(vid, SecurityProperty::StartupIntegrity)
+        .unwrap();
+    assert_eq!(via_program.status, via_api.status);
+    assert_eq!(via_program.elapsed_us, via_api.elapsed_us);
+    // Ill-formed terms are rejected with a typed error.
+    let err = c
+        .register_protocol(&Protocol::Seq(vec![Protocol::Complete]))
+        .unwrap_err();
+    assert!(matches!(err, CloudError::ProtocolFailure { .. }));
+}
+
+#[test]
+fn layered_and_fanout_reports_are_deterministic_across_shards() {
+    fn run(shards: usize) -> (Vec<AttestationReport>, u64) {
+        let mut c = CloudBuilder::new()
+            .servers(3)
+            .seed(41)
+            .shards(shards)
+            .build();
+        let vid = c
+            .request_vm(
+                VmRequest::new(Flavor::Small, Image::Ubuntu)
+                    .require(SecurityProperty::RuntimeIntegrity),
+            )
+            .unwrap();
+        let reports = vec![
+            c.layered_attest(vid, SecurityProperty::RuntimeIntegrity)
+                .unwrap(),
+            c.multi_attest(
+                vid,
+                &[
+                    SecurityProperty::StartupIntegrity,
+                    SecurityProperty::RuntimeIntegrity,
+                    SecurityProperty::CovertChannelFreedom,
+                ],
+            )
+            .unwrap(),
+        ];
+        (reports, c.drbg_probe())
+    }
+    let (r1, d1) = run(1);
+    let (r4, d4) = run(4);
+    let (r7, d7) = run(7);
+    assert_eq!(r1, r4);
+    assert_eq!(r1, r7);
+    assert_eq!(d1, d4);
+    assert_eq!(d1, d7);
+}
+
+#[test]
+fn deferred_retransmits_during_batch_flushes_are_counted_once() {
+    // Regression pin for the msg-4 coalescing hazard: a session parked
+    // in the Attestation Server's batch buffer can still receive a
+    // deferred retransmit (a duplicate quote the network delayed past
+    // the retry timeout). Before the `in_batch` guard, that straggler
+    // could re-park or re-advance the session, so one attestation was
+    // counted twice in the ledger. With the guard it is rejected as a
+    // duplicate and the exactly-once accounting identity holds under
+    // every seed: every started session resolves to exactly one
+    // completion or one failure, and nothing stays in flight.
+    use monatt_net::sim::FaultModel;
+
+    let mut saw_flush = false;
+    let mut saw_duplicate = false;
+    for seed in 0..6u64 {
+        let mut c = CloudBuilder::new()
+            .servers(3)
+            .seed(300 + seed)
+            .as_batch(1_500_000, 4)
+            .build();
+        let vids: Vec<_> = [Image::Cirros, Image::Ubuntu, Image::Fedora]
+            .into_iter()
+            .map(|image| {
+                c.request_vm(
+                    VmRequest::new(Flavor::Small, image)
+                        .require(SecurityProperty::RuntimeIntegrity)
+                        .workload(WorkloadSpec::Busy),
+                )
+                .unwrap()
+            })
+            .collect();
+        let subs: Vec<_> = vids
+            .iter()
+            .map(|vid| {
+                c.runtime_attest_periodic(*vid, SecurityProperty::RuntimeIntegrity, 5_000_000)
+                    .unwrap()
+            })
+            .collect();
+        // Duplicates plus a delay longer than the 2 ms retry timeout:
+        // the original record triggers a retransmit, then the delayed
+        // copy lands as a straggler — often while the session sits in
+        // the coalescing buffer awaiting a flush.
+        c.network_mut().set_fault_model(
+            FaultModel::new(seed)
+                .drop_prob(0.20)
+                .duplicate_prob(0.50)
+                .delay(0.40, 2_500),
+        );
+        c.reset_protocol_stats();
+        c.run(31_000_000);
+        c.network_mut().clear_fault_model();
+        for sub in subs {
+            c.stop_attest_periodic(sub).unwrap();
+        }
+        let stats = c.protocol_stats();
+        assert_eq!(
+            stats.sessions_started,
+            stats.sessions_completed + stats.sessions_failed,
+            "seed {seed}: session ledger drifted: {stats:?}"
+        );
+        assert_eq!(c.sessions_in_flight(), 0, "seed {seed}: stuck session");
+        saw_flush |= stats.msg4_flushes > 0;
+        saw_duplicate |= stats.duplicates_rejected > 0;
+    }
+    assert!(saw_flush, "no seed exercised a coalesced msg-4 flush");
+    assert!(saw_duplicate, "no seed delivered a straggler duplicate");
+}

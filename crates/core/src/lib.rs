@@ -14,6 +14,9 @@
 //! * [`server`] — CloudMonatt-secure cloud servers: hypervisor simulator,
 //!   Monitor Module and hardware Trust Module (Figure 2).
 //! * [`messages`] — the six attestation protocol messages of Figure 3.
+//! * [`protocol`] — the attestation-protocol IR: Figure 3 (and layered
+//!   / fan-out variants) as compiled programs the session layer
+//!   interprets.
 //! * [`interpret`] — the property ↔ measurement semantic bridge,
 //!   including the covert-channel two-peak detector and the CPU
 //!   availability check (Section 4).
@@ -55,6 +58,7 @@ pub mod measurements;
 pub mod messages;
 pub mod outage;
 pub mod pca;
+pub mod protocol;
 pub mod server;
 pub(crate) mod session;
 pub mod types;
@@ -71,6 +75,7 @@ pub use latency::{LatencyParams, RetryPolicy};
 pub use measurements::{Measurement, MeasurementSpec, TaskInfo};
 pub use outage::{AdmissionControl, OutageModel, OutageStats};
 pub use pca::{AvkCertificate, PrivacyCa};
+pub use protocol::{Branch, CompileError, MsgKind, NonceSlot, ProgramId, Protocol, QuoteKind};
 pub use server::{AttestationResponse, CloudServerNode};
 pub use types::{
     Flavor, HealthStatus, Image, NodeId, Nonce, ProtocolStats, SecurityProperty, ServerId, Vid,

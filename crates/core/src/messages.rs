@@ -1,6 +1,15 @@
 //! The attestation protocol messages of Figure 3, with canonical wire
 //! encodings. Each message travels inside a [`monatt_net::SecureChannel`]
 //! record (the session keys Kx, Ky, Kz).
+//!
+//! Each message kind carries a *wire-fixed* freshness/quote obligation
+//! the receive path always enforces: message 4 echoes N3 under quote
+//! Q3, message 5 echoes N2 under Q2, message 6 echoes N1 under Q1.
+//! The protocol IR treats these as validated claims, not code — a
+//! [`crate::protocol::Protocol`] term may spell them out
+//! (`CheckNonce`/`VerifyQuote`) or elide them, but the compiler
+//! rejects a term that declares the wrong obligation for a hop
+//! (see `crate::protocol::compile`).
 
 use crate::measurements::{Measurement, MeasurementSpec};
 use crate::types::{HealthStatus, SecurityProperty, ServerId, Vid};

@@ -1,14 +1,22 @@
-//! Per-session state machines for the Figure-3 attestation protocol.
+//! Per-session transport machinery for compiled attestation programs.
 //!
-//! A session owns one protocol exchange — customer → Cloud Controller →
-//! Attestation Server → cloud server and back (messages 1–6), or the
-//! controller-internal launch variant (messages 2–5) — and advances
-//! purely by reacting to events popped from the [`crate::engine`] queue:
-//! record arrivals, retransmission timeouts, measurement-window
+//! A session owns one protocol exchange and advances purely by
+//! reacting to events popped from the [`crate::engine`] queue: record
+//! arrivals, retransmission timeouts, measurement-window
 //! openings/closings and the final completion tick. Nothing blocks, so
 //! N sessions interleave on the same virtual clock and one stalled hop
 //! (a lossy path to one server) no longer head-of-line-blocks every
 //! other subscription.
+//!
+//! Which exchange a session runs is no longer hard-wired: the session
+//! is a program counter and a typed register file (nonces, the
+//! measurement request, the in-flight verdict) over a compiled
+//! [`crate::protocol`] program. This module owns the transport layer —
+//! sealing, retransmission ladders, late arrivals, deadlines and
+//! terminal bookkeeping — while the interpreter that builds and
+//! consumes protocol messages lives in [`crate::protocol::run`] and
+//! the fork/join machinery for parallel and delegated sub-protocols in
+//! [`crate::protocol::fork`].
 //!
 //! ## Latency accounting
 //!
@@ -22,6 +30,8 @@
 //! which keeps the clean-path Figure 9–11 numbers bit-identical to the
 //! pre-event-loop code (pinned by the golden-trace test).
 //!
+//! [`LatencyParams::post_hop_us`]: crate::latency::LatencyParams::post_hop_us
+//!
 //! ## Retransmission as timer events
 //!
 //! The network simulator resolves a record's fate at send time, so each
@@ -34,26 +44,16 @@
 //! authentication failures are protocol failures, pure silence is
 //! [`CloudError::Unreachable`].
 //!
-//! ## Measurement-window serialization
-//!
-//! A server's profiling window is global to the server, so two windowed
-//! sessions measuring on the same host would corrupt each other's
-//! histograms. Sessions therefore queue per server: `WindowOpen` defers
-//! (charging the wait as real queueing latency) until the current
-//! window owner's deadline passes. Window-less specs are unaffected.
+//! [`RetryPolicy`]: crate::latency::RetryPolicy
 
-use crate::attestation::AttestationServer;
-use crate::cloud::{AttestationReport, ChannelPair, Cloud};
-use crate::controller::{CloudController, VmLifecycle};
+use crate::cloud::{ChannelPair, Cloud};
 use crate::error::CloudError;
 use crate::measurements::MeasurementSpec;
-use crate::messages::{
-    AttestationReportMsg, ControllerForward, CustomerReportMsg, CustomerRequest, MeasureRequest,
-    MeasureResponse,
-};
+use crate::messages::MeasureResponse;
+use crate::protocol::compile::ProgramId;
+use crate::protocol::MsgKind;
 use crate::types::{HealthStatus, Image, NodeId, SecurityProperty, ServerId, Vid};
 use monatt_net::channel::{ChannelError, SecureChannel};
-use monatt_net::wire::Wire;
 use std::collections::{BTreeMap, BTreeSet};
 
 pub(crate) use crate::arena::SessionId;
@@ -61,23 +61,6 @@ pub(crate) use crate::arena::SessionId;
 /// The in-flight session table: slot-indexed, generation-checked,
 /// buffer-retaining (see [`crate::arena`]).
 pub(crate) type SessionArena = crate::arena::Arena<AttestSession>;
-
-/// Which Figure-3 record is currently on the wire.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub(crate) enum Stage {
-    /// Customer → controller request.
-    Msg1,
-    /// Controller → attestation server forward.
-    Msg2,
-    /// Attestation server → cloud server measurement request.
-    Msg3,
-    /// Cloud server → attestation server measurement response.
-    Msg4,
-    /// Attestation server → controller property report.
-    Msg5,
-    /// Controller → customer report.
-    Msg6,
-}
 
 /// Timer and delivery events that step one session.
 #[derive(Clone, Copy, Debug)]
@@ -166,18 +149,6 @@ pub(crate) type Msg4Meta = (
     [u8; 32],
 );
 
-/// What a session is for.
-#[derive(Clone, Copy, Debug)]
-pub(crate) enum SessionGoal {
-    /// Full customer-facing exchange, messages 1–6.
-    Customer {
-        /// Nonce N1, echoed in the message-6 report.
-        nonce1: [u8; 32],
-    },
-    /// Controller-internal exchange (launch attestation), messages 2–5.
-    Internal,
-}
-
 /// Who consumes the session's outcome.
 #[derive(Clone, Copy, Debug)]
 pub(crate) enum SessionOrigin {
@@ -185,6 +156,15 @@ pub(crate) enum SessionOrigin {
     Api,
     /// A periodic subscription sample fired by [`Cloud::run`].
     Subscription(u64),
+    /// A fork branch spawned by a parent session's `Fork` op; the
+    /// outcome lands in the parent's branch slot (see
+    /// [`crate::protocol::fork`]).
+    Child {
+        /// The forking session.
+        parent: SessionId,
+        /// The parent's branch-slot index this child reports into.
+        slot: u16,
+    },
 }
 
 /// A session's terminal value: the interpreted verdict plus the
@@ -199,22 +179,43 @@ pub(crate) struct SessionYield {
 
 pub(crate) type SessionOutcome = Result<SessionYield, CloudError>;
 
-/// One in-flight Figure-3 exchange.
+/// Parameters for spawning a fork-branch child session (see
+/// [`crate::protocol::fork`]): the parent's placement plus the branch's
+/// program, property and report-back slot.
+pub(crate) struct ChildSpawn {
+    pub(crate) vid: Vid,
+    pub(crate) server: ServerId,
+    pub(crate) property: SecurityProperty,
+    pub(crate) image: Image,
+    pub(crate) program: ProgramId,
+    pub(crate) parent: SessionId,
+    pub(crate) slot: u16,
+}
+
+/// One in-flight attestation exchange: the program counter plus the
+/// typed register file of a compiled protocol program, and the
+/// transport state of its current hop.
 #[derive(Debug)]
 pub(crate) struct AttestSession {
     pub(crate) vid: Vid,
     pub(crate) server: ServerId,
     pub(crate) property: SecurityProperty,
-    expected_image: Image,
-    goal: SessionGoal,
+    pub(crate) expected_image: Image,
     pub(crate) origin: SessionOrigin,
-    stage: Stage,
+    /// The compiled program this session interprets.
+    pub(crate) program: ProgramId,
+    /// Program counter into the compiled op schedule.
+    pub(crate) pc: u16,
+    /// The record kind currently on the wire — cached from the current
+    /// `Hop` op so the transport layer resolves channels and node
+    /// dependencies without re-reading the program.
+    pub(crate) msg: MsgKind,
     /// Transmit attempts of the current hop (resets per hop).
-    attempt: u32,
+    pub(crate) attempt: u32,
     /// Accumulated end-to-end latency charge.
-    elapsed_us: u64,
+    pub(crate) elapsed_us: u64,
     /// The plaintext being (re)transmitted on the current hop.
-    wire: Vec<u8>,
+    pub(crate) wire: Vec<u8>,
     /// The sealed record of the current hop, cached on the first
     /// attempt so retransmits put the byte-identical record (same
     /// channel sequence number) back on the wire. A late or duplicated
@@ -224,39 +225,65 @@ pub(crate) struct AttestSession {
     /// empty: it carries at least a header and a tag); the buffer is
     /// reused across hops and sessions, so the warm path never
     /// reallocates it.
-    sealed: Vec<u8>,
+    pub(crate) sealed: Vec<u8>,
     /// Current hop generation; bumped when a hop completes so stale
     /// `Retry`/`LateArrival` timers from earlier in the hop die.
-    generation: u32,
+    pub(crate) generation: u32,
     /// Records delayed past the loss-detection timeout, parked until
-    /// their `LateArrival` event fires: `(stage, generation, record)`.
-    late: Vec<(Stage, u32, Vec<u8>)>,
+    /// their `LateArrival` event fires: `(msg, generation, record)`.
+    pub(crate) late: Vec<(MsgKind, u32, Vec<u8>)>,
     /// The retry budget ran out while parked late copies were still in
     /// flight: the verdict is deferred to the last `LateArrival`.
-    retry_deferred: bool,
+    pub(crate) retry_deferred: bool,
     /// End-to-end deadline: `(budget_us, expires_at_us)`. `None` (the
     /// default) leaves the session unbounded — the clean path never
     /// checks it.
-    deadline: Option<(u64, u64)>,
+    pub(crate) deadline: Option<(u64, u64)>,
     /// Opened plaintext parked between transmit resolution and the
     /// arrival event. `inbox_full` distinguishes "a record is parked"
     /// from the empty resting state; the buffer itself is reused across
     /// hops (ping-ponged out during dispatch, put back after).
-    inbox: Vec<u8>,
-    inbox_full: bool,
-    last_auth_failure: Option<ChannelError>,
+    pub(crate) inbox: Vec<u8>,
+    pub(crate) inbox_full: bool,
+    pub(crate) last_auth_failure: Option<ChannelError>,
+    // ---- The typed register file -----------------------------------
+    /// Nonce N1 (customer ↔ controller).
+    pub(crate) nonce1: [u8; 32],
     /// Nonce N2 (controller ↔ attestation server).
-    nonce2: [u8; 32],
+    pub(crate) nonce2: [u8; 32],
     /// Nonce N3 (attestation server ↔ cloud server).
-    nonce3: [u8; 32],
+    pub(crate) nonce3: [u8; 32],
+    /// The (vid, property) the controller read from the request and
+    /// forwards to the appraiser. Initialized from the session's own
+    /// fields; overwritten by a received message 1.
+    pub(crate) req_vid: Vid,
+    pub(crate) req_property: SecurityProperty,
     /// The measurement spec the attestation server requested.
-    spec: Option<MeasurementSpec>,
+    pub(crate) spec: Option<MeasurementSpec>,
     /// The measurement request as decoded by the cloud server.
-    measure: Option<MeasureRequest>,
+    pub(crate) measure: Option<crate::messages::MeasureRequest>,
+    /// The in-flight verdict: written by a received message 4/5/6 or a
+    /// fork join, consumed by the next certification hop or `Complete`.
+    pub(crate) status: Option<HealthStatus>,
+    /// Parked in the Attestation Server's msg-4 coalescing buffer: the
+    /// receive side of the hop is deferred to the batch flush, and a
+    /// second park of the same hop (a straggler duplicate) must be
+    /// counted once, never processed.
+    pub(crate) in_batch: bool,
+    // ---- Fork/join state (see `crate::protocol::fork`) -------------
+    /// Child sessions still running for the current `Fork` op; the
+    /// parent is parked (and invisible to per-hop fail-fast) until
+    /// this reaches zero.
+    pub(crate) fork_outstanding: u16,
+    /// Wall-clock instant the fork spawned; the join charges the
+    /// difference as the parent's wait.
+    pub(crate) fork_started_us: u64,
+    /// Per-branch outcomes, indexed by branch slot.
+    pub(crate) fork_slots: Vec<Option<Result<HealthStatus, CloudError>>>,
     /// The verdict decoded from the final message.
-    verdict: Option<HealthStatus>,
+    pub(crate) verdict: Option<HealthStatus>,
     /// Terminal outcome, parked for an API pump to collect.
-    pending: Option<SessionOutcome>,
+    pub(crate) pending: Option<SessionOutcome>,
 }
 
 impl AttestSession {
@@ -264,15 +291,16 @@ impl AttestSession {
     /// overwritten by [`AttestSession::reset`] before use. Runs once
     /// per slot when the arena grows; steady state reuses slots.
     #[cold]
-    fn vacant() -> Self {
+    pub(crate) fn vacant() -> Self {
         AttestSession {
             vid: Vid(0),
             server: ServerId(0),
             property: SecurityProperty::StartupIntegrity,
             expected_image: Image::Cirros,
-            goal: SessionGoal::Internal,
             origin: SessionOrigin::Api,
-            stage: Stage::Msg2,
+            program: ProgramId(0),
+            pc: 0,
+            msg: MsgKind::Msg2,
             attempt: 0,
             elapsed_us: 0,
             wire: Vec::new(),
@@ -284,10 +312,18 @@ impl AttestSession {
             inbox: Vec::new(),
             inbox_full: false,
             last_auth_failure: None,
+            nonce1: [0; 32],
             nonce2: [0; 32],
             nonce3: [0; 32],
+            req_vid: Vid(0),
+            req_property: SecurityProperty::StartupIntegrity,
             spec: None,
             measure: None,
+            status: None,
+            in_batch: false,
+            fork_outstanding: 0,
+            fork_started_us: 0,
+            fork_slots: Vec::new(),
             verdict: None,
             pending: None,
         }
@@ -295,30 +331,28 @@ impl AttestSession {
 
     /// Re-initializes a (possibly recycled) arena slot for a new
     /// exchange. Every field is reset; `Vec`-backed fields are cleared
-    /// in place so a recycled slot's buffer capacity survives — the
-    /// caller then encodes the first hop into `wire` via
-    /// [`Wire::encode_into`].
-    fn reset(
+    /// in place so a recycled slot's buffer capacity survives. The
+    /// caller then enters the program's first op, which encodes the
+    /// opening hop into `wire`.
+    pub(crate) fn reset(
         &mut self,
         vid: Vid,
         server: ServerId,
         property: SecurityProperty,
         expected_image: Image,
-        goal: SessionGoal,
+        program: ProgramId,
         origin: SessionOrigin,
     ) {
         self.vid = vid;
         self.server = server;
         self.property = property;
         self.expected_image = expected_image;
-        self.goal = goal;
         self.origin = origin;
-        // A customer-facing session enters the protocol at message 1;
-        // an internal (launch-time) session skips the customer hop.
-        self.stage = match goal {
-            SessionGoal::Customer { .. } => Stage::Msg1,
-            SessionGoal::Internal => Stage::Msg2,
-        };
+        self.program = program;
+        self.pc = 0;
+        // Placeholder until the first `Hop` op is entered; nothing
+        // reads it before then.
+        self.msg = MsgKind::Msg2;
         self.attempt = 0;
         self.elapsed_us = 0;
         self.wire.clear();
@@ -330,10 +364,18 @@ impl AttestSession {
         self.inbox.clear();
         self.inbox_full = false;
         self.last_auth_failure = None;
+        self.nonce1 = [0; 32];
         self.nonce2 = [0; 32];
         self.nonce3 = [0; 32];
+        self.req_vid = vid;
+        self.req_property = property;
         self.spec = None;
         self.measure = None;
+        self.status = None;
+        self.in_batch = false;
+        self.fork_outstanding = 0;
+        self.fork_started_us = 0;
+        self.fork_slots.clear();
         self.verdict = None;
         self.pending = None;
     }
@@ -348,20 +390,26 @@ impl AttestSession {
         self.pending.is_some() || self.verdict.is_some()
     }
 
-    /// Whether the session's current protocol stage depends on `node`.
+    /// Whether the session's current protocol hop depends on `node`. A
+    /// parent parked on a fork depends on nothing itself — its fate
+    /// rides entirely on its children, which fail (and resume it) on
+    /// their own — so it is invisible to per-hop fail-fast.
     pub(crate) fn touches(&self, node: NodeId) -> bool {
-        stage_nodes(self.stage, self.server).contains(&node)
+        if self.fork_outstanding > 0 {
+            return false;
+        }
+        hop_nodes(self.msg, self.server).contains(&node)
     }
 }
 
-fn lost_session() -> CloudError {
+pub(crate) fn lost_session() -> CloudError {
     CloudError::ProtocolFailure {
         reason: "attestation session state lost".into(),
     }
 }
 
 #[cold]
-fn malformed(what: &str, e: impl std::fmt::Display) -> CloudError {
+pub(crate) fn malformed(what: &str, e: impl std::fmt::Display) -> CloudError {
     CloudError::ProtocolFailure {
         reason: format!("malformed {what}: {e}"),
     }
@@ -374,95 +422,95 @@ fn duplicate_not_rejected(peer: &str, outcome: Result<(), ChannelError>) -> Clou
     }
 }
 
-/// Resolves a protocol stage to its (sender, receiver) channel halves.
-/// The mapping mirrors Figure 3: Kx for messages 1/6, Ky for 2/5, Kz
-/// for 3/4.
-fn stage_channels<'a>(
-    stage: Stage,
+/// Resolves a hop's message kind to its (sender, receiver) channel
+/// halves. The mapping mirrors Figure 3: Kx for messages 1/6, Ky for
+/// 2/5, Kz for 3/4.
+pub(crate) fn hop_channels<'a>(
+    msg: MsgKind,
     cust_ctrl: &'a mut ChannelPair,
     ctrl_as: &'a mut ChannelPair,
     as_server: &'a mut BTreeMap<ServerId, ChannelPair>,
     server: ServerId,
 ) -> Result<(&'a mut SecureChannel, &'a mut SecureChannel), CloudError> {
-    match stage {
-        Stage::Msg1 => Ok((&mut cust_ctrl.initiator, &mut cust_ctrl.responder)),
-        Stage::Msg2 => Ok((&mut ctrl_as.initiator, &mut ctrl_as.responder)),
-        Stage::Msg3 | Stage::Msg4 => {
+    match msg {
+        MsgKind::Msg1 => Ok((&mut cust_ctrl.initiator, &mut cust_ctrl.responder)),
+        MsgKind::Msg2 => Ok((&mut ctrl_as.initiator, &mut ctrl_as.responder)),
+        MsgKind::Msg3 | MsgKind::Msg4 => {
             let pair = as_server
                 .get_mut(&server)
                 .ok_or(CloudError::UnknownServer(server))?;
-            Ok(match stage {
-                Stage::Msg3 => (&mut pair.initiator, &mut pair.responder),
+            Ok(match msg {
+                MsgKind::Msg3 => (&mut pair.initiator, &mut pair.responder),
                 _ => (&mut pair.responder, &mut pair.initiator),
             })
         }
-        Stage::Msg5 => Ok((&mut ctrl_as.responder, &mut ctrl_as.initiator)),
-        Stage::Msg6 => Ok((&mut cust_ctrl.responder, &mut cust_ctrl.initiator)),
+        MsgKind::Msg5 => Ok((&mut ctrl_as.responder, &mut ctrl_as.initiator)),
+        MsgKind::Msg6 => Ok((&mut cust_ctrl.responder, &mut cust_ctrl.initiator)),
     }
 }
 
-/// The cloud-side nodes a protocol stage depends on (the customer
+/// The cloud-side nodes a protocol hop depends on (the customer
 /// endpoint is assumed reliable). If any of them is crashed, the hop
 /// cannot make progress and the session fails fast.
-pub(crate) fn stage_nodes(stage: Stage, server: ServerId) -> [NodeId; 2] {
-    match stage {
+pub(crate) fn hop_nodes(msg: MsgKind, server: ServerId) -> [NodeId; 2] {
+    match msg {
         // The controller terminates both customer-facing hops.
-        Stage::Msg1 | Stage::Msg6 => [NodeId::Controller, NodeId::Controller],
-        Stage::Msg2 | Stage::Msg5 => [NodeId::Controller, NodeId::AttestationServer],
-        Stage::Msg3 | Stage::Msg4 => [NodeId::AttestationServer, NodeId::Server(server)],
+        MsgKind::Msg1 | MsgKind::Msg6 => [NodeId::Controller, NodeId::Controller],
+        MsgKind::Msg2 | MsgKind::Msg5 => [NodeId::Controller, NodeId::AttestationServer],
+        MsgKind::Msg3 | MsgKind::Msg4 => [NodeId::AttestationServer, NodeId::Server(server)],
     }
 }
 
-/// The first crashed node (if any) the stage depends on.
-fn down_node_for(down: &BTreeSet<NodeId>, stage: Stage, server: ServerId) -> Option<NodeId> {
-    stage_nodes(stage, server)
+/// The first crashed node (if any) the hop depends on.
+fn down_node_for(down: &BTreeSet<NodeId>, msg: MsgKind, server: ServerId) -> Option<NodeId> {
+    hop_nodes(msg, server)
         .into_iter()
         .find(|n| down.contains(n))
 }
 
 impl Cloud {
-    /// Starts a full customer session (messages 1–6). Draws nonce N1 and
-    /// puts message 1 on the wire; the rest happens in event handlers.
+    /// Starts a full customer session running the default Figure-3
+    /// program (messages 1–6); the rest happens in event handlers.
     pub(crate) fn begin_customer_session(
         &mut self,
         vid: Vid,
         property: SecurityProperty,
         origin: SessionOrigin,
     ) -> Result<SessionId, CloudError> {
+        let program = self.programs.fig3_customer;
+        self.begin_program_session(vid, property, program, origin)
+    }
+
+    /// Starts a customer-shaped session running an arbitrary compiled
+    /// program against `vid`'s current placement.
+    pub(crate) fn begin_program_session(
+        &mut self,
+        vid: Vid,
+        property: SecurityProperty,
+        program: ProgramId,
+        origin: SessionOrigin,
+    ) -> Result<SessionId, CloudError> {
+        use crate::controller::VmLifecycle;
         self.admit_session()?;
         let record = self.controller.vm(vid).ok_or(CloudError::UnknownVm(vid))?;
         if record.state == VmLifecycle::Terminated {
             return Err(CloudError::UnknownVm(vid));
         }
         // Copy the two placement fields instead of cloning the record:
-        // the session only needs them, and the borrow must end before
-        // the nonce draw below.
+        // the session only needs them.
         let server = record.server;
         let image = record.image;
-        let nonce1 = self.fresh_nonce();
-        let request = CustomerRequest {
-            vid,
-            property,
-            nonce1,
-        };
         let (sid, session) = self
             .sessions
             .alloc_with(AttestSession::vacant)
             .ok_or_else(lost_session)?;
-        session.reset(
-            vid,
-            server,
-            property,
-            image,
-            SessionGoal::Customer { nonce1 },
-            origin,
-        );
-        request.encode_into(&mut session.wire);
+        session.reset(vid, server, property, image, program, origin);
         self.spawn_prepared(sid)
     }
 
     /// Starts a controller-internal session (messages 2–5), used by the
-    /// launch pipeline's attestation stage.
+    /// launch pipeline's attestation stage (the VM may not be in the
+    /// controller's registry yet, so placement is passed explicitly).
     pub(crate) fn begin_internal_session(
         &mut self,
         vid: Vid,
@@ -471,13 +519,7 @@ impl Cloud {
         expected_image: Image,
     ) -> Result<SessionId, CloudError> {
         self.admit_session()?;
-        let nonce2 = self.fresh_nonce();
-        let fwd = ControllerForward {
-            vid,
-            server,
-            property,
-            nonce2,
-        };
+        let program = self.programs.fig3_internal;
         let (sid, session) = self
             .sessions
             .alloc_with(AttestSession::vacant)
@@ -487,18 +529,17 @@ impl Cloud {
             server,
             property,
             expected_image,
-            SessionGoal::Internal,
+            program,
             SessionOrigin::Api,
         );
-        session.nonce2 = nonce2;
-        fwd.encode_into(&mut session.wire);
         self.spawn_prepared(sid)
     }
 
     /// Arms and launches a session already reset into its arena slot:
-    /// stamps the deadline, bumps the spawn stats and puts the first
-    /// hop on the wire (retiring the slot again if that fails).
-    fn spawn_prepared(&mut self, sid: SessionId) -> Result<SessionId, CloudError> {
+    /// stamps the deadline, bumps the spawn stats and enters the
+    /// program's first op — which builds and transmits the opening hop
+    /// (retiring the slot again if that fails).
+    pub(crate) fn spawn_prepared(&mut self, sid: SessionId) -> Result<SessionId, CloudError> {
         let deadline = self
             .session_deadline_us
             .map(|budget| (budget, self.wall_clock_us.saturating_add(budget)));
@@ -507,7 +548,7 @@ impl Cloud {
         }
         self.stats.sessions_started += 1;
         self.stats.max_in_flight = self.stats.max_in_flight.max(self.sessions.len() as u64);
-        if let Err(e) = self.transmit_attempt(sid, 0) {
+        if let Err(e) = self.enter_current_op(sid, 0) {
             self.sessions.remove(sid);
             self.stats.sessions_failed += 1;
             self.classify_failure(&e);
@@ -519,7 +560,7 @@ impl Cloud {
     /// Attributes a session failure to its failure-class counter
     /// (outage fail-fast, deadline expiry); other classes are already
     /// covered by the per-hop counters.
-    fn classify_failure(&mut self, e: &CloudError) {
+    pub(crate) fn classify_failure(&mut self, e: &CloudError) {
         match e {
             CloudError::NodeDown { .. } => self.outage_stats.node_down_failures += 1,
             CloudError::DeadlineExceeded { .. } => self.stats.deadlines_exceeded += 1,
@@ -529,7 +570,8 @@ impl Cloud {
 
     /// Drives the event loop until `sid` reaches a terminal state — the
     /// synchronous facade behind the Table-1 APIs. Outside [`Cloud::run`]
-    /// the queue only ever holds this session's events.
+    /// the queue only ever holds this session's events (and those of
+    /// any fork children it spawned).
     pub(crate) fn pump_session(&mut self, sid: SessionId) -> SessionOutcome {
         loop {
             let parked = match self.sessions.get_mut(sid) {
@@ -565,7 +607,11 @@ impl Cloud {
     /// or the sender's timeout for a lost/rejected one. `pre_delay_us`
     /// is processing time paid before the record leaves (it shifts every
     /// scheduled instant and is charged to the session's latency).
-    fn transmit_attempt(&mut self, sid: SessionId, pre_delay_us: u64) -> Result<(), CloudError> {
+    pub(crate) fn transmit_attempt(
+        &mut self,
+        sid: SessionId,
+        pre_delay_us: u64,
+    ) -> Result<(), CloudError> {
         let Cloud {
             sessions,
             network,
@@ -586,7 +632,7 @@ impl Cloud {
         // Fail fast when a node this hop depends on is crashed —
         // checked before any RNG draw or transmission, so the session
         // does not burn the retransmission ladder against a black hole.
-        if let Some(node) = down_node_for(down, session.stage, session.server) {
+        if let Some(node) = down_node_for(down, session.msg, session.server) {
             return Err(CloudError::NodeDown { node });
         }
         // Session events shard by target server (routing only — never
@@ -601,7 +647,7 @@ impl Cloud {
         session.elapsed_us += offset;
         let generation = session.generation;
         let (send, recv) =
-            stage_channels(session.stage, cust_ctrl, ctrl_as, as_server, session.server)?;
+            hop_channels(session.msg, cust_ctrl, ctrl_as, as_server, session.server)?;
         // Seal once per hop: retransmits resend the byte-identical
         // record, so the receiver's anti-replay window deduplicates a
         // late first copy arriving after a retransmit was processed.
@@ -647,7 +693,7 @@ impl Cloud {
                 for _ in 0..copies {
                     session
                         .late
-                        .push((session.stage, generation, record_scratch.clone()));
+                        .push((session.msg, generation, record_scratch.clone()));
                     engine.schedule(
                         delivery.deliver_at_us,
                         shard_key,
@@ -744,7 +790,7 @@ impl Cloud {
 
     /// Terminates the session if its end-to-end deadline has passed.
     /// Sessions without a deadline (the default) never check.
-    fn check_deadline(&mut self, sid: SessionId) -> Result<(), CloudError> {
+    pub(crate) fn check_deadline(&mut self, sid: SessionId) -> Result<(), CloudError> {
         let now = self.wall_clock_us;
         let session = self.sessions.get(sid).ok_or_else(lost_session)?;
         if let Some((budget_us, expires_at)) = session.deadline {
@@ -758,9 +804,12 @@ impl Cloud {
         Ok(())
     }
 
-    fn step_arrival(&mut self, sid: SessionId) -> Result<(), CloudError> {
+    /// The current hop's record reached its receiver: close out the
+    /// hop's transport state and hand the plaintext to the program
+    /// interpreter's receive dispatch.
+    pub(crate) fn step_arrival(&mut self, sid: SessionId) -> Result<(), CloudError> {
         self.check_deadline(sid)?;
-        let stage = {
+        let msg = {
             let Cloud {
                 sessions,
                 inbox_scratch,
@@ -786,414 +835,15 @@ impl Cloud {
             session.sealed.clear();
             session.retry_deferred = false;
             session.generation = session.generation.wrapping_add(1);
-            session.stage
+            session.msg
         };
         // Moving a Vec out of `self` for the dispatch neither allocates
         // nor frees; it is put back afterwards so both ping-pong
         // buffers keep their capacity.
         let bytes = std::mem::take(&mut self.inbox_scratch);
-        let result = match stage {
-            Stage::Msg1 => self.on_msg1(sid, &bytes),
-            Stage::Msg2 => self.on_msg2(sid, &bytes),
-            Stage::Msg3 => self.on_msg3(sid, &bytes),
-            Stage::Msg4 => self.on_msg4(sid, &bytes),
-            Stage::Msg5 => self.on_msg5(sid, &bytes),
-            Stage::Msg6 => self.on_msg6(sid, &bytes),
-        };
+        let result = self.dispatch_receive(sid, msg, &bytes);
         self.inbox_scratch = bytes;
         result
-    }
-
-    /// The controller receives the customer request: draw N2, forward.
-    fn on_msg1(&mut self, sid: SessionId, bytes: &[u8]) -> Result<(), CloudError> {
-        let request = CustomerRequest::from_wire(bytes).map_err(|e| malformed("request", e))?;
-        let nonce2 = self.fresh_nonce();
-        let charge = self.latency.post_hop_us(1);
-        let session = self.sessions.get_mut(sid).ok_or_else(lost_session)?;
-        session.nonce2 = nonce2;
-        let fwd = ControllerForward {
-            vid: request.vid,
-            server: session.server,
-            property: request.property,
-            nonce2,
-        };
-        session.stage = Stage::Msg2;
-        fwd.encode_into(&mut session.wire);
-        self.transmit_attempt(sid, charge)
-    }
-
-    /// The attestation server receives the forward: draw N3, map the
-    /// property to a measurement request.
-    fn on_msg2(&mut self, sid: SessionId, bytes: &[u8]) -> Result<(), CloudError> {
-        let fwd = ControllerForward::from_wire(bytes).map_err(|e| malformed("forward", e))?;
-        let nonce3 = self.fresh_nonce();
-        let measure_req = self
-            .attserver
-            .build_measure_request(fwd.vid, fwd.property, nonce3);
-        let charge = self.latency.post_hop_us(2);
-        let session = self.sessions.get_mut(sid).ok_or_else(lost_session)?;
-        session.nonce3 = nonce3;
-        session.spec = Some(measure_req.spec);
-        session.stage = Stage::Msg3;
-        measure_req.encode_into(&mut session.wire);
-        self.transmit_attempt(sid, charge)
-    }
-
-    /// The cloud server receives the measurement request: after the
-    /// processing charge, try to open the measurement window.
-    fn on_msg3(&mut self, sid: SessionId, bytes: &[u8]) -> Result<(), CloudError> {
-        let req = MeasureRequest::from_wire(bytes).map_err(|e| malformed("measure request", e))?;
-        let charge = self.latency.post_hop_us(3);
-        let due = self.wall_clock_us + charge;
-        let session = self.sessions.get_mut(sid).ok_or_else(lost_session)?;
-        session.measure = Some(req);
-        session.elapsed_us += charge;
-        self.schedule_session_event(due, sid, SessionEvent::WindowOpen);
-        Ok(())
-    }
-
-    /// Opens the server's measurement window, or queues behind the
-    /// session currently holding it (a server's profiling window is
-    /// server-global state, so windowed sessions serialize per server;
-    /// the wait is charged as queueing latency).
-    fn step_window_open(&mut self, sid: SessionId) -> Result<(), CloudError> {
-        self.check_deadline(sid)?;
-        let now = self.wall_clock_us;
-        let (server, req_vid, spec) = {
-            let session = self.sessions.get(sid).ok_or_else(lost_session)?;
-            let req = session.measure.as_ref().ok_or_else(lost_session)?;
-            (session.server, req.vid, req.spec)
-        };
-        let window = spec.window_us();
-        if window == 0 {
-            return self.step_window_close(sid);
-        }
-        let free_at = self.window_free_at.get(&server).copied().unwrap_or(0);
-        if free_at > now {
-            if let Some(session) = self.sessions.get_mut(sid) {
-                session.elapsed_us += free_at - now;
-            }
-            self.schedule_session_event(free_at, sid, SessionEvent::WindowOpen);
-            return Ok(());
-        }
-        let node = self
-            .touch_server(server)
-            .ok_or(CloudError::UnknownServer(server))?;
-        node.begin_window(spec, req_vid);
-        self.window_free_at.insert(server, now + window);
-        if let Some(session) = self.sessions.get_mut(sid) {
-            session.elapsed_us += window;
-        }
-        self.schedule_session_event(now + window, sid, SessionEvent::WindowClose);
-        Ok(())
-    }
-
-    /// The window elapsed: collect measurements, generate the quote and
-    /// put the measurement response on the wire. Hashing/quoting cost is
-    /// a pre-delay on the response transmission.
-    fn step_window_close(&mut self, sid: SessionId) -> Result<(), CloudError> {
-        self.check_deadline(sid)?;
-        let (server, vid, expected_image, req) = {
-            let session = self.sessions.get(sid).ok_or_else(lost_session)?;
-            let req = session.measure.ok_or_else(lost_session)?;
-            (session.server, session.vid, session.expected_image, req)
-        };
-        let hashed = if matches!(req.spec, MeasurementSpec::BootIntegrity) {
-            Some(expected_image.size_mb())
-        } else {
-            None
-        };
-        let charge = self.latency.measurement_us(hashed);
-        let response = self
-            .touch_server(server)
-            .ok_or(CloudError::UnknownServer(server))?
-            .attest(req.vid, req.spec, req.nonce3)
-            .ok_or(CloudError::UnknownVm(vid))?;
-        let msg4 = MeasureResponse {
-            vid: response.vid,
-            spec: response.spec,
-            measurement: response.measurement,
-            nonce3: response.nonce,
-            quote: response.quote,
-            cert_request: response.cert_request,
-        };
-        let session = self.sessions.get_mut(sid).ok_or_else(lost_session)?;
-        session.stage = Stage::Msg4;
-        msg4.encode_into(&mut session.wire);
-        self.transmit_attempt(sid, charge)
-    }
-
-    /// The attestation server receives the measurement response. With
-    /// coalescing disabled (`as_batch_window_us == 0`, the default) it is
-    /// validated inline on arrival — the pre-batching path, charge for
-    /// charge. With coalescing enabled the response parks in
-    /// [`Cloud::pending_msg4`]; the batch flushes when it reaches
-    /// `as_batch_max` responses (inline, so a size-1 batch is
-    /// byte-identical to the inline path) or when the window timer fires.
-    fn on_msg4(&mut self, sid: SessionId, bytes: &[u8]) -> Result<(), CloudError> {
-        let msg4 =
-            MeasureResponse::from_wire(bytes).map_err(|e| malformed("measure response", e))?;
-        if self.as_batch_window_us == 0 {
-            return self.on_msg4_inline(sid, msg4);
-        }
-        let now = self.wall_clock_us;
-        self.pending_msg4.push(PendingMsg4 {
-            sid,
-            msg4,
-            arrived_at_us: now,
-        });
-        if self.pending_msg4.len() >= self.as_batch_max.max(1) {
-            self.flush_msg4_batch();
-            return Ok(());
-        }
-        if self.pending_msg4.len() == 1 {
-            // First response of a new batch: arm the window timer. A
-            // size-triggered flush may empty the buffer before it fires;
-            // the stale timer then flushes whatever the next batch holds
-            // early, which only shortens waits — never loses a session.
-            self.schedule_cloud_event(now + self.as_batch_window_us, CloudEvent::Msg4Flush);
-        }
-        Ok(())
-    }
-
-    /// The inline (unbatched) msg-4 path: validate, interpret, certify
-    /// the property report, transmit message 5.
-    fn on_msg4_inline(&mut self, sid: SessionId, msg4: MeasureResponse) -> Result<(), CloudError> {
-        let (vid, server, property, expected_image, spec, nonce2, nonce3) = {
-            let session = self.sessions.get(sid).ok_or_else(lost_session)?;
-            let spec = session.spec.ok_or_else(lost_session)?;
-            (
-                session.vid,
-                session.server,
-                session.property,
-                session.expected_image,
-                spec,
-                session.nonce2,
-                session.nonce3,
-            )
-        };
-        self.attserver
-            .validate_response_with(&msg4, vid, spec, nonce3, &mut self.quote_scratch)?;
-        let status = self
-            .attserver
-            .interpret_response(property, &msg4, expected_image);
-        if let Some(ttl) = self.evidence_ttl_us {
-            self.attserver.evidence_insert(
-                vid,
-                property,
-                server,
-                status.clone(),
-                self.wall_clock_us + ttl,
-            );
-        }
-        let report_msg = self.attserver.certify_report_with(
-            vid,
-            server,
-            property,
-            status,
-            nonce2,
-            &mut self.quote_scratch,
-        );
-        let charge = self.latency.post_hop_us(4);
-        let session = self.sessions.get_mut(sid).ok_or_else(lost_session)?;
-        session.stage = Stage::Msg5;
-        report_msg.encode_into(&mut session.wire);
-        self.transmit_attempt(sid, charge)
-    }
-
-    /// Validates every parked measurement response in one batched
-    /// verification pass ([`AttestationServer::validate_response_batch`])
-    /// and advances the surviving sessions to message 5.
-    ///
-    /// Latency model: each session is charged its coalescing wait
-    /// (`flush_time - arrival`) plus the usual post-hop-4 processing, so
-    /// a disabled window or a size-1 batch charges exactly what the
-    /// inline path does. Sessions that died while parked (node crash,
-    /// deadline expiry) are skipped; a verdict failure terminates its
-    /// session with the identical error the inline path would produce,
-    /// without touching its batch-mates.
-    pub(crate) fn flush_msg4_batch(&mut self) {
-        if self.pending_msg4.is_empty() {
-            return;
-        }
-        let mut pending = std::mem::take(&mut self.pending_msg4);
-        let now = self.wall_clock_us;
-        self.stats.msg4_flushes += 1;
-        self.stats.msg4_batched += pending.len() as u64;
-        // Re-read each parked entry's expectations from its session;
-        // `None` marks an entry whose session is gone or terminal. The
-        // buffer lives on `self` so its capacity survives across
-        // flushes (taken locally to release the `&mut self` borrow).
-        let mut meta = std::mem::take(&mut self.batch_meta);
-        meta.clear();
-        meta.extend(pending.iter().map(|p| match self.sessions.get(p.sid) {
-            Some(s) if s.pending.is_none() => s.spec.map(|spec| {
-                (
-                    s.vid,
-                    s.server,
-                    s.property,
-                    s.expected_image,
-                    spec,
-                    s.nonce2,
-                    s.nonce3,
-                )
-            }),
-            _ => None,
-        }));
-        // The item list borrows each parked response, so it cannot
-        // outlive this frame as a persistent scratch: one batch-sized
-        // allocation per window flush, amortized across every Msg4 in
-        // the batch. The zero-alloc harness pins the non-batched warm
-        // configuration to exactly zero.
-        let items: Vec<crate::attestation::BatchValidationItem<'_>> = pending
-            .iter()
-            .zip(meta.iter())
-            .filter_map(|(p, m)| {
-                m.map(
-                    |(vid, _, _, _, spec, _, nonce3)| crate::attestation::BatchValidationItem {
-                        response: &p.msg4,
-                        expected_vid: vid,
-                        expected_spec: spec,
-                        expected_nonce3: nonce3,
-                    },
-                )
-            })
-            .collect(); // #[allow(monatt::alloc_freedom)] lifetime-bound, amortized per batch
-        let verdicts = self
-            .attserver
-            // Batch validation assembles lifetime-bound signature slices
-            // internally; its allocations are likewise per flush, not
-            // per message. #[allow(monatt::alloc_freedom)]
-            .validate_response_batch(&items, &mut self.quote_scratch);
-        let mut verdicts = verdicts.into_iter();
-        for (p, m) in pending.iter().zip(meta.iter()) {
-            let Some((vid, server, property, expected_image, _, nonce2, _)) = *m else {
-                continue;
-            };
-            let Some(verdict) = verdicts.next() else {
-                break;
-            };
-            if let Err(e) = verdict {
-                self.finish_session(p.sid, Err(e));
-                continue;
-            }
-            let status = self
-                .attserver
-                .interpret_response(property, &p.msg4, expected_image);
-            if let Some(ttl) = self.evidence_ttl_us {
-                self.attserver
-                    .evidence_insert(vid, property, server, status.clone(), now + ttl);
-            }
-            let report_msg = self.attserver.certify_report_with(
-                vid,
-                server,
-                property,
-                status,
-                nonce2,
-                &mut self.quote_scratch,
-            );
-            let charge = (now - p.arrived_at_us) + self.latency.post_hop_us(4);
-            let Some(session) = self.sessions.get_mut(p.sid) else {
-                continue;
-            };
-            session.stage = Stage::Msg5;
-            report_msg.encode_into(&mut session.wire);
-            if let Err(e) = self.transmit_attempt(p.sid, charge) {
-                self.finish_session(p.sid, Err(e));
-            }
-        }
-        // Hand the drained buffer's capacity back for the next batch
-        // (nothing parks while a flush is running: parking only happens
-        // on a msg-4 arrival event).
-        if self.pending_msg4.is_empty() {
-            pending.clear();
-            self.pending_msg4 = pending;
-        }
-        self.batch_meta = meta;
-    }
-
-    /// The controller receives the property report: verify it, then
-    /// either complete (internal session) or certify the customer
-    /// report.
-    fn on_msg5(&mut self, sid: SessionId, bytes: &[u8]) -> Result<(), CloudError> {
-        let report_msg =
-            AttestationReportMsg::from_wire(bytes).map_err(|e| malformed("report", e))?;
-        let (vid, property, nonce2, goal) = {
-            let session = self.sessions.get(sid).ok_or_else(lost_session)?;
-            (session.vid, session.property, session.nonce2, session.goal)
-        };
-        AttestationServer::verify_report_msg_with(
-            &report_msg,
-            &self.attserver.identity_key(),
-            nonce2,
-            &mut self.quote_scratch,
-        )?;
-        let charge = self.latency.post_hop_us(5);
-        match goal {
-            SessionGoal::Internal => {
-                let due = self.wall_clock_us + charge;
-                let session = self.sessions.get_mut(sid).ok_or_else(lost_session)?;
-                session.verdict = Some(report_msg.status);
-                session.elapsed_us += charge;
-                self.schedule_session_event(due, sid, SessionEvent::Complete);
-                Ok(())
-            }
-            SessionGoal::Customer { nonce1 } => {
-                let customer_report = self.controller.certify_customer_report_with(
-                    vid,
-                    property,
-                    report_msg.status,
-                    nonce1,
-                    &mut self.quote_scratch,
-                );
-                let session = self.sessions.get_mut(sid).ok_or_else(lost_session)?;
-                session.stage = Stage::Msg6;
-                customer_report.encode_into(&mut session.wire);
-                self.transmit_attempt(sid, charge)
-            }
-        }
-    }
-
-    /// The customer receives the final report: verify quote Q1 and the
-    /// nonce echo, then complete after the verification charge.
-    fn on_msg6(&mut self, sid: SessionId, bytes: &[u8]) -> Result<(), CloudError> {
-        let report_msg =
-            CustomerReportMsg::from_wire(bytes).map_err(|e| malformed("customer report", e))?;
-        let nonce1 = {
-            let session = self.sessions.get(sid).ok_or_else(lost_session)?;
-            match session.goal {
-                SessionGoal::Customer { nonce1 } => nonce1,
-                SessionGoal::Internal => return Err(lost_session()),
-            }
-        };
-        CloudController::verify_customer_report_with(
-            &report_msg,
-            &self.controller.identity_key(),
-            nonce1,
-            &mut self.quote_scratch,
-        )?;
-        let charge = self.latency.post_hop_us(6);
-        let due = self.wall_clock_us + charge;
-        let session = self.sessions.get_mut(sid).ok_or_else(lost_session)?;
-        session.verdict = Some(report_msg.status);
-        session.elapsed_us += charge;
-        self.schedule_session_event(due, sid, SessionEvent::Complete);
-        Ok(())
-    }
-
-    fn step_complete(&mut self, sid: SessionId) -> Result<(), CloudError> {
-        let (status, elapsed_us) = {
-            let session = self.sessions.get_mut(sid).ok_or_else(lost_session)?;
-            let status = session
-                .verdict
-                .take()
-                .ok_or_else(|| CloudError::ProtocolFailure {
-                    reason: "session completed without a verdict".into(),
-                })?;
-            (status, session.elapsed_us)
-        };
-        self.finish_session(sid, Ok(SessionYield { status, elapsed_us }));
-        Ok(())
     }
 
     /// A loss-detection timeout fired: retry within budget, otherwise
@@ -1251,7 +901,7 @@ impl Cloud {
         } = self;
         let session = sessions.get(sid).ok_or_else(lost_session)?;
         let (send, recv) =
-            stage_channels(session.stage, cust_ctrl, ctrl_as, as_server, session.server)?;
+            hop_channels(session.msg, cust_ctrl, ctrl_as, as_server, session.server)?;
         Err(match &session.last_auth_failure {
             Some(e) => CloudError::ProtocolFailure {
                 reason: format!(
@@ -1289,8 +939,8 @@ impl Cloud {
                 // per parked copy).
                 return Ok(());
             };
-            let (stage, _, record) = session.late.remove(pos);
-            let (_, recv) = stage_channels(stage, cust_ctrl, ctrl_as, as_server, session.server)?;
+            let (msg, _, record) = session.late.remove(pos);
+            let (_, recv) = hop_channels(msg, cust_ctrl, ctrl_as, as_server, session.server)?;
             match recv.open(b"", &record) {
                 Err(ChannelError::DuplicateRecord) => {
                     // A retransmit already carried this sequence number
@@ -1307,11 +957,14 @@ impl Cloud {
                     false
                 }
                 Ok(plaintext) => {
-                    if session.generation == generation && session.stage == stage {
+                    if session.generation == generation && session.msg == msg && !session.in_batch {
                         // Every retransmit was lost: the late copy is
                         // the first authenticated delivery of this hop.
                         // Its waiting time was already charged as
-                        // timeouts.
+                        // timeouts. (A hop already parked in the msg-4
+                        // coalescing buffer is past its receive point:
+                        // re-entering it here would hand the flush the
+                        // same session twice.)
                         session.inbox.clear();
                         session.inbox.extend_from_slice(&plaintext);
                         session.inbox_full = true;
@@ -1352,8 +1005,9 @@ impl Cloud {
     }
 
     /// Terminates `sid` and routes the outcome to its consumer: parked
-    /// for an API pump, or recorded on the owning subscription.
-    fn finish_session(&mut self, sid: SessionId, outcome: SessionOutcome) {
+    /// for an API pump, recorded on the owning subscription, or posted
+    /// into the forking parent's branch slot.
+    pub(crate) fn finish_session(&mut self, sid: SessionId, outcome: SessionOutcome) {
         // Guard first: a session that already terminated must not be
         // double-counted by a straggler event.
         if !self.sessions.contains(sid) {
@@ -1374,7 +1028,7 @@ impl Cloud {
             SessionOrigin::Subscription(subscription) => {
                 let (vid, property) = (session.vid, session.property);
                 self.sessions.remove(sid);
-                let result = outcome.map(|y| AttestationReport {
+                let result = outcome.map(|y| crate::cloud::AttestationReport {
                     vid,
                     property,
                     status: y.status,
@@ -1382,6 +1036,10 @@ impl Cloud {
                     issued_at_us: self.wall_clock_us,
                 });
                 self.complete_subscription_sample(subscription, vid, property, result);
+            }
+            SessionOrigin::Child { parent, slot } => {
+                self.sessions.remove(sid);
+                self.route_child_outcome(parent, slot, outcome.map(|y| y.status));
             }
         }
     }

@@ -141,6 +141,7 @@ impl Default for Config {
                 "crates/net/src/wire.rs",
                 "crates/net/src/channel.rs",
                 "crates/core/src/session.rs",
+                "crates/core/src/protocol/run.rs",
                 "crates/core/src/arena.rs",
                 "crates/hypervisor/src/wheel.rs",
             ]),

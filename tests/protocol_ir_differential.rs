@@ -1,0 +1,216 @@
+//! Differential property test of the attestation-protocol IR.
+//!
+//! Generates arbitrary *well-formed* protocol programs from the family
+//! the compiler accepts — an optional customer prologue, a body that is
+//! either a flat measurement, a parallel fan-out of 1–4 branches, or a
+//! delegated platform appraisal gated by its verdict, and the
+//! certification tail — with freshness/quote claims included or elided
+//! at random (they are wire-fixed validations, not behaviour). Each
+//! generated program must:
+//!
+//! 1. compile (`Cloud::register_protocol` accepts it),
+//! 2. run **identically** across `ShardedEngine` widths 1, 4 and 7
+//!    (same verdict, same virtual latency, same DRBG draw count), and
+//! 3. terminate under a 30% message-drop fault model — a `Done` verdict
+//!    or a typed error, never a hang (the synchronous pump returning at
+//!    all is the liveness proof in a discrete-event engine).
+
+use cloudmonatt::core::{
+    AttestationReport, Branch, CloudBuilder, Flavor, Image, MsgKind, NonceSlot, Protocol,
+    QuoteKind, SecurityProperty, VmRequest, WorkloadSpec,
+};
+use cloudmonatt::net::sim::FaultModel;
+use proptest::prelude::*;
+
+fn arb_property() -> impl Strategy<Value = SecurityProperty> {
+    prop_oneof![
+        Just(SecurityProperty::StartupIntegrity),
+        Just(SecurityProperty::RuntimeIntegrity),
+        Just(SecurityProperty::CovertChannelFreedom),
+        Just(SecurityProperty::SchedulerFairness),
+    ]
+}
+
+fn arb_branch_property() -> impl Strategy<Value = Option<SecurityProperty>> {
+    prop_oneof![Just(None), arb_property().prop_map(Some)]
+}
+
+fn arb_bool() -> impl Strategy<Value = bool> {
+    prop_oneof![Just(false), Just(true)]
+}
+
+/// The generated shape of a program body (between the message-2 hop
+/// and the message-5 certification tail).
+#[derive(Clone, Debug)]
+enum Body {
+    /// Flat Figure-3 measurement: msg 3, window, msg 4.
+    Flat,
+    /// Parallel fan-out: each branch is `(property, full)` where `full`
+    /// selects a delegated messages-2–5 appraisal over a
+    /// measurement-only messages-3–4 branch.
+    Par(Vec<(Option<SecurityProperty>, bool)>),
+    /// Delegated platform appraisal whose verdict gates a flat
+    /// measurement.
+    Layered(Option<SecurityProperty>),
+}
+
+fn arb_body() -> impl Strategy<Value = Body> {
+    prop_oneof![
+        Just(Body::Flat),
+        proptest::collection::vec((arb_branch_property(), arb_bool()), 1..=4).prop_map(Body::Par),
+        arb_branch_property().prop_map(Body::Layered),
+    ]
+}
+
+/// The measurement core: msg 3 → window → msg 4, with the quote/nonce
+/// claims optionally spelled out.
+fn measurement(claims: bool, out: &mut Vec<Protocol>) {
+    out.push(Protocol::IssueNonce(NonceSlot::N3));
+    out.push(Protocol::Hop(MsgKind::Msg3));
+    out.push(Protocol::Window);
+    out.push(Protocol::Hop(MsgKind::Msg4));
+    if claims {
+        out.push(Protocol::VerifyQuote(QuoteKind::Q3));
+        out.push(Protocol::CheckNonce(NonceSlot::N3));
+    }
+}
+
+/// A fan-out branch body: measurement-only, or a full delegated
+/// messages-2–5 appraisal.
+fn branch(property: Option<SecurityProperty>, full: bool, claims: bool) -> Branch {
+    let body = if full {
+        Protocol::figure3_internal()
+    } else {
+        let mut steps = Vec::new();
+        measurement(claims, &mut steps);
+        steps.push(Protocol::Complete);
+        Protocol::Seq(steps)
+    };
+    Branch { property, body }
+}
+
+/// Assembles a well-formed program from the generated shape.
+fn build_program(customer: bool, body: &Body, claims: bool) -> Protocol {
+    let mut steps = Vec::new();
+    if customer {
+        steps.push(Protocol::IssueNonce(NonceSlot::N1));
+        steps.push(Protocol::Hop(MsgKind::Msg1));
+    }
+    steps.push(Protocol::IssueNonce(NonceSlot::N2));
+    steps.push(Protocol::Hop(MsgKind::Msg2));
+    match body {
+        Body::Flat => measurement(claims, &mut steps),
+        Body::Par(branches) => {
+            steps.push(Protocol::Par(
+                branches
+                    .iter()
+                    .map(|&(property, full)| branch(property, full, claims))
+                    .collect(),
+            ));
+        }
+        Body::Layered(platform) => {
+            steps.push(Protocol::Delegate(Box::new(branch(
+                *platform, true, claims,
+            ))));
+            steps.push(Protocol::Gate);
+            measurement(claims, &mut steps);
+        }
+    }
+    steps.push(Protocol::Hop(MsgKind::Msg5));
+    if claims {
+        steps.push(Protocol::VerifyQuote(QuoteKind::Q2));
+        steps.push(Protocol::CheckNonce(NonceSlot::N2));
+    }
+    if customer {
+        steps.push(Protocol::Hop(MsgKind::Msg6));
+        if claims {
+            steps.push(Protocol::VerifyQuote(QuoteKind::Q1));
+            steps.push(Protocol::CheckNonce(NonceSlot::N1));
+        }
+    }
+    steps.push(Protocol::Complete);
+    Protocol::Seq(steps)
+}
+
+/// Compiles and runs `program` on a fresh cloud at the given shard
+/// width, returning the report (or typed error) and the DRBG probe.
+fn run_once(
+    program: &Protocol,
+    property: SecurityProperty,
+    shards: usize,
+    seed: u64,
+    drop: bool,
+) -> (Result<AttestationReport, String>, u64) {
+    let mut cloud = CloudBuilder::new()
+        .servers(2)
+        .seed(seed)
+        .shards(shards)
+        .build();
+    let vid = cloud
+        .request_vm(
+            VmRequest::new(Flavor::Small, Image::Cirros)
+                .require(SecurityProperty::RuntimeIntegrity)
+                .workload(WorkloadSpec::Busy),
+        )
+        .expect("clean launch");
+    let id = cloud
+        .register_protocol(program)
+        .expect("well-formed programs compile");
+    if drop {
+        cloud
+            .network_mut()
+            .set_fault_model(FaultModel::new(seed ^ 0xD0).drop_prob(0.30));
+    }
+    let outcome = cloud
+        .attest_with_program(vid, property, id)
+        .map_err(|e| e.to_string());
+    (outcome, cloud.drbg_probe())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every well-formed program compiles and its run is bit-identical
+    /// across engine shard widths 1, 4 and 7.
+    #[test]
+    fn programs_run_identically_across_shards(
+        customer in arb_bool(),
+        body in arb_body(),
+        claims in arb_bool(),
+        property in arb_property(),
+        seed in 0u64..500,
+    ) {
+        let program = build_program(customer, &body, claims);
+        let (r1, d1) = run_once(&program, property, 1, seed, false);
+        let (r4, d4) = run_once(&program, property, 4, seed, false);
+        let (r7, d7) = run_once(&program, property, 7, seed, false);
+        prop_assert_eq!(&r1, &r4, "K=1 vs K=4 diverged for {:?}", program);
+        prop_assert_eq!(&r1, &r7, "K=1 vs K=7 diverged for {:?}", program);
+        prop_assert_eq!(d1, d4);
+        prop_assert_eq!(d1, d7);
+        // A clean-network run of a well-formed program always reaches a
+        // verdict (Gate may certify a negative one, never an error).
+        prop_assert!(r1.is_ok(), "clean run failed: {:?}", r1);
+    }
+
+    /// Under a 30% drop rate every program still terminates with a
+    /// verdict or a typed error — retry ladders, deadlines and the
+    /// fork/join ledger never wedge a session.
+    #[test]
+    fn programs_terminate_under_loss(
+        customer in arb_bool(),
+        body in arb_body(),
+        claims in arb_bool(),
+        property in arb_property(),
+        seed in 0u64..500,
+    ) {
+        let program = build_program(customer, &body, claims);
+        // Returning at all is the liveness property; both verdicts and
+        // typed failures are acceptable outcomes on a lossy network.
+        let (outcome, _) = run_once(&program, property, 4, seed, true);
+        match outcome {
+            Ok(report) => prop_assert!(report.elapsed_us > 0),
+            Err(reason) => prop_assert!(!reason.is_empty()),
+        }
+    }
+}

@@ -123,6 +123,55 @@ fn warm_attestation_rounds_do_not_allocate() {
 }
 
 #[test]
+fn warm_rounds_of_the_compiled_figure3_program_do_not_allocate() {
+    // The same proof, but with the Figure-3 protocol explicitly
+    // compiled from its IR term and driven through the program
+    // interpreter entry point: the protocol-as-data layer must add no
+    // warm-path allocations over the hand-written state machine it
+    // replaced. Compilation itself allocates (once, cold) and happens
+    // before the warm-up.
+    use cloudmonatt::core::Protocol;
+
+    let mut cloud = CloudBuilder::new().servers(1).seed(78).build();
+    let vid = cloud
+        .request_vm(
+            VmRequest::new(Flavor::Small, Image::Cirros)
+                .require(SecurityProperty::StartupIntegrity)
+                .workload(WorkloadSpec::Idle),
+        )
+        .expect("launch");
+    cloud.set_network_logging(false);
+    let program = cloud
+        .register_protocol(&Protocol::figure3_customer())
+        .expect("compile figure 3");
+
+    for _ in 0..32 {
+        cloud
+            .attest_with_program(vid, SecurityProperty::StartupIntegrity, program)
+            .expect("warm-up attestation");
+    }
+
+    let before = alloc_count();
+    let rounds = 64u64;
+    for _ in 0..rounds {
+        let report = cloud
+            .attest_with_program(vid, SecurityProperty::StartupIntegrity, program)
+            .expect("measured attestation");
+        assert_eq!(report.vid, vid);
+    }
+    let delta = alloc_count() - before;
+
+    assert_eq!(
+        delta,
+        0,
+        "the compiled-program interpreter allocated {delta} times over {rounds} \
+         warm rounds ({:.2} allocs/round); protocols-as-data must not cost heap \
+         traffic on the warm path",
+        delta as f64 / rounds as f64
+    );
+}
+
+#[test]
 fn allocator_counter_is_live() {
     // Sanity-check the instrument itself: a boxed allocation must bump
     // the counter, otherwise the zero-delta assertion above proves
