@@ -3,17 +3,38 @@
 //! deadlines, verifying the liveness invariants in every cell. Every
 //! cell runs on the K=4 sharded event engine (see `chaos::SHARDS`).
 //!
-//! Usage: `chaos_sweep [--smoke] [--json <path>]`
-//! `--smoke` runs a reduced grid for CI; `--json` additionally writes
-//! the machine-readable document (see `BENCH_chaos.json`).
+//! Usage: `chaos_sweep [--smoke] [--control-plane] [--json <path>]`
+//! `--smoke` runs a reduced grid for CI; `--control-plane` runs only
+//! the replicated control-plane churn grid (sharded controllers + AS
+//! replica pool under their own MTBF process); `--json` additionally
+//! writes the machine-readable document (see `BENCH_chaos.json`),
+//! which always carries both grids.
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
+    let cp_only = args.iter().any(|a| a == "--control-plane");
     let json_path = args
         .iter()
         .position(|a| a == "--json")
         .and_then(|i| args.get(i + 1));
+    let cp_rows = if smoke {
+        monatt_bench::chaos::run_control_plane(
+            &monatt_bench::chaos::CP_SMOKE_FLEETS,
+            &monatt_bench::chaos::CP_SMOKE_CONFIGS,
+            &monatt_bench::chaos::CP_SMOKE_MTBFS,
+        )
+    } else {
+        monatt_bench::chaos::run_control_plane(
+            &monatt_bench::chaos::CP_FLEETS,
+            &monatt_bench::chaos::CP_CONFIGS,
+            &monatt_bench::chaos::CP_MTBFS,
+        )
+    };
+    if cp_only {
+        monatt_bench::chaos::print_control_plane(&cp_rows);
+        return;
+    }
     let rows = if smoke {
         monatt_bench::chaos::run(
             &monatt_bench::chaos::SMOKE_FLEETS,
@@ -28,8 +49,13 @@ fn main() {
         )
     };
     monatt_bench::chaos::print(&rows);
+    monatt_bench::chaos::print_control_plane(&cp_rows);
     if let Some(path) = json_path {
-        std::fs::write(path, monatt_bench::chaos::to_json(&rows)).expect("write json");
+        std::fs::write(
+            path,
+            monatt_bench::chaos::to_json_with_control_plane(&rows, &cp_rows),
+        )
+        .expect("write json");
         eprintln!("wrote {path}");
     }
 }

@@ -14,6 +14,21 @@ use monatt_core::{
 };
 use monatt_net::sim::FaultModel;
 
+/// Control-plane churn grid: fleet sizes for the replicated
+/// control-plane cells (the acceptance bar is ≥ 1k subscriptions).
+pub const CP_FLEETS: [usize; 1] = [1_024];
+/// (K controller instances, N AS replicas) configurations swept.
+pub const CP_CONFIGS: [(u32, u32); 3] = [(2, 2), (3, 2), (4, 3)];
+/// Control-plane MTBF axis (µs); MTTR is MTBF/4.
+pub const CP_MTBFS: [u64; 2] = [4_000_000, 10_000_000];
+
+/// Reduced control-plane grid for the CI smoke run.
+pub const CP_SMOKE_FLEETS: [usize; 1] = [64];
+/// Smoke-run (K, N) axis.
+pub const CP_SMOKE_CONFIGS: [(u32, u32); 1] = [(3, 2)];
+/// Smoke-run control-plane MTBF axis.
+pub const CP_SMOKE_MTBFS: [u64; 1] = [4_000_000];
+
 /// The full grid: every combination of these axes.
 pub const FLEETS: [usize; 2] = [4, 16];
 /// Mean time between failures per server (µs).
@@ -260,6 +275,244 @@ fn terminations_by_response(_stats: &monatt_core::ProtocolStats) -> u64 {
     0
 }
 
+/// One verified cell of the control-plane churn sweep: a replicated
+/// control plane (K controller instances, N AS replicas) under its own
+/// MTBF renewal process while the server fleet stays healthy, so every
+/// failure in the cell is a controller or AS-replica failure.
+#[derive(Clone, Copy, Debug)]
+pub struct ControlPlaneRow {
+    /// Concurrent periodic subscriptions.
+    pub fleet: usize,
+    /// Controller instances (shard count).
+    pub k: u32,
+    /// AS replicas in the pool.
+    pub n: u32,
+    /// Control-plane mean time between failures (µs).
+    pub mtbf_us: u64,
+    /// Controller/AS-replica crashes injected.
+    pub crashes: u64,
+    /// Recoveries that fired within the horizon.
+    pub recoveries: u64,
+    /// Controller crashes that moved ≥ 1 owned shard to a standby.
+    pub failovers: u64,
+    /// Shards adopted by a standby after a controller crash.
+    pub shards_adopted: u64,
+    /// Shards taken back after a controller recovery.
+    pub shards_reclaimed: u64,
+    /// Sessions admitted against a non-preferred AS replica.
+    pub as_reroutes: u64,
+    /// Sessions admitted against a standby controller instance.
+    pub failover_sessions: u64,
+    /// Channel re-keys deferred to first use at recovery time.
+    pub deferred_rekeys: u64,
+    /// Re-handshakes actually performed (first post-recovery use).
+    pub rehandshakes: u64,
+    /// Sessions started over the horizon.
+    pub sessions_started: u64,
+    /// Sessions that finished with a verdict.
+    pub sessions_completed: u64,
+    /// Sessions that failed (fail-fast on a crashed hop, deadline).
+    pub sessions_failed: u64,
+    /// Sessions failed fast on a crashed node.
+    pub node_down_failures: u64,
+    /// Retransmissions over the control-plane retry ladders.
+    pub retries: u64,
+}
+
+/// Runs and verifies one cell of the control-plane churn grid.
+fn measure_control_plane(fleet: usize, k: u32, n: u32, mtbf_us: u64) -> ControlPlaneRow {
+    let servers = fleet.div_ceil(4) + 3;
+    let seed = 0xC1A0 ^ (fleet as u64) ^ mtbf_us ^ (u64::from(k) << 32) ^ (u64::from(n) << 40);
+    let mut cloud = CloudBuilder::new()
+        .servers(servers)
+        .pcpus_per_server(16)
+        .seed(seed)
+        .shards(SHARDS)
+        .control_plane(k, n)
+        .session_deadline(DEADLINE_US)
+        .admission_control((fleet * 3 / 4).max(2), (fleet * 3 / 8).max(1))
+        .build();
+    let mut vids = Vec::with_capacity(fleet);
+    for _ in 0..fleet {
+        let vid = cloud
+            .request_vm(
+                VmRequest::new(Flavor::Small, Image::Cirros)
+                    .require(SecurityProperty::RuntimeIntegrity),
+            )
+            .expect("launch on a healthy fleet");
+        vids.push(vid);
+    }
+    for &vid in &vids {
+        cloud
+            .runtime_attest_periodic(vid, SecurityProperty::RuntimeIntegrity, PERIOD_US)
+            .expect("subscribe");
+    }
+    // Only the control plane churns: crashes land mid-burst on
+    // controllers and AS replicas, never on servers, so the cell
+    // isolates failover + rerouting from evacuation.
+    cloud
+        .set_outage_model(OutageModel::new(seed ^ 0x0A6E).control_plane_mtbf(mtbf_us, mtbf_us / 4));
+    cloud.reset_protocol_stats();
+    cloud.run(HORIZON_US);
+
+    let stats = cloud.protocol_stats();
+    let outages = cloud.outage_stats();
+    let cp = cloud.control_plane_stats();
+
+    // Invariant 1: nothing wedged.
+    assert_eq!(
+        cloud.sessions_in_flight(),
+        0,
+        "stuck sessions in cp cell fleet={fleet} k={k} n={n} mtbf={mtbf_us}: {stats:?}"
+    );
+    // Invariant 2: the session ledger reconciles exactly.
+    assert_eq!(
+        stats.sessions_started,
+        stats.sessions_completed + stats.sessions_failed,
+        "session ledger out of balance: {stats:?}"
+    );
+    // Invariant 3: the outage ledger reconciles (a node may still be
+    // down at the horizon).
+    assert_eq!(
+        outages.crashes,
+        outages.recoveries + cloud.down_nodes().len() as u64,
+        "outage ledger out of balance: {outages:?}"
+    );
+    // Invariant 4: every VM's subscription is owned by exactly one
+    // *live* controller shard (ownership is a total function of the
+    // up-set whenever any instance is live).
+    let topology = cloud.control_plane();
+    for &vid in &vids {
+        let shard = topology.shard_of(vid);
+        let owner = topology
+            .owner_of_shard(shard)
+            .expect("ownerless shard with a live instance");
+        assert!(
+            topology.controller_is_live(owner),
+            "shard {shard} owned by a dead instance {owner}"
+        );
+    }
+    // Invariant 5: no server ever crashed, so no VM moved or died —
+    // every failure in this cell is a control-plane failure.
+    assert_eq!(outages.evacuations, 0, "{outages:?}");
+    assert!(
+        vids.iter()
+            .all(|&v| !matches!(cloud.vm_state(v), Some(VmLifecycle::Terminated) | None)),
+        "control-plane churn terminated a VM"
+    );
+
+    ControlPlaneRow {
+        fleet,
+        k,
+        n,
+        mtbf_us,
+        crashes: outages.crashes,
+        recoveries: outages.recoveries,
+        failovers: cp.failovers,
+        shards_adopted: cp.shards_adopted,
+        shards_reclaimed: cp.shards_reclaimed,
+        as_reroutes: cp.as_reroutes,
+        failover_sessions: cp.failover_sessions,
+        deferred_rekeys: outages.deferred_rekeys,
+        rehandshakes: outages.rehandshakes,
+        sessions_started: stats.sessions_started,
+        sessions_completed: stats.sessions_completed,
+        sessions_failed: stats.sessions_failed,
+        node_down_failures: outages.node_down_failures,
+        retries: stats.retries,
+    }
+}
+
+/// Sweeps the control-plane churn grid.
+pub fn run_control_plane(
+    fleets: &[usize],
+    configs: &[(u32, u32)],
+    mtbfs: &[u64],
+) -> Vec<ControlPlaneRow> {
+    let mut rows = Vec::new();
+    for &fleet in fleets {
+        for &(k, n) in configs {
+            for &mtbf in mtbfs {
+                rows.push(measure_control_plane(fleet, k, n, mtbf));
+            }
+        }
+    }
+    rows
+}
+
+/// Prints the control-plane sweep as a table.
+pub fn print_control_plane(rows: &[ControlPlaneRow]) {
+    println!("Control-plane churn: sharded controllers + AS replica pool under MTBF churn");
+    println!("(liveness + single-live-owner invariants verified per cell)");
+    println!(
+        "fleet\tk\tn\tmtbf\tcrashes\trecov\tfailover\tadopted\treclaim\treroute\tfo_sess\tdeferred\trekey\tstarted\tdone\tfailed\tnodedown\tretries"
+    );
+    for row in rows {
+        println!(
+            "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+            row.fleet,
+            row.k,
+            row.n,
+            crate::fmt_secs(row.mtbf_us),
+            row.crashes,
+            row.recoveries,
+            row.failovers,
+            row.shards_adopted,
+            row.shards_reclaimed,
+            row.as_reroutes,
+            row.failover_sessions,
+            row.deferred_rekeys,
+            row.rehandshakes,
+            row.sessions_started,
+            row.sessions_completed,
+            row.sessions_failed,
+            row.node_down_failures,
+            row.retries,
+        );
+    }
+}
+
+/// Renders both sweeps as the committed `BENCH_chaos.json` document.
+pub fn to_json_with_control_plane(rows: &[ChaosRow], cp_rows: &[ControlPlaneRow]) -> String {
+    let mut out = to_json(rows);
+    // Splice the control-plane grid in after the first array's closing
+    // bracket (the only `]` in the document so far).
+    let close = out.rfind(']').expect("chaos_sweep array close");
+    out.truncate(close + 1);
+    out.push_str(",\n  \"control_plane_churn\": [\n");
+    for (i, row) in cp_rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"fleet\": {}, \"k\": {}, \"n\": {}, \"mtbf_us\": {}, \"crashes\": {}, \
+             \"recoveries\": {}, \"failovers\": {}, \"shards_adopted\": {}, \
+             \"shards_reclaimed\": {}, \"as_reroutes\": {}, \"failover_sessions\": {}, \
+             \"deferred_rekeys\": {}, \"rehandshakes\": {}, \"sessions_started\": {}, \
+             \"sessions_completed\": {}, \"sessions_failed\": {}, \"node_down_failures\": {}, \
+             \"retries\": {}}}{}\n",
+            row.fleet,
+            row.k,
+            row.n,
+            row.mtbf_us,
+            row.crashes,
+            row.recoveries,
+            row.failovers,
+            row.shards_adopted,
+            row.shards_reclaimed,
+            row.as_reroutes,
+            row.failover_sessions,
+            row.deferred_rekeys,
+            row.rehandshakes,
+            row.sessions_started,
+            row.sessions_completed,
+            row.sessions_failed,
+            row.node_down_failures,
+            row.retries,
+            if i + 1 == cp_rows.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 /// Sweeps the full cross product of the given axes.
 pub fn run(fleets: &[usize], mtbfs: &[u64], losses: &[f64]) -> Vec<ChaosRow> {
     let mut rows = Vec::new();
@@ -366,6 +619,29 @@ mod tests {
     fn sweep_is_deterministic() {
         let a = run(&SMOKE_FLEETS, &SMOKE_MTBFS, &SMOKE_LOSSES);
         let b = run(&SMOKE_FLEETS, &SMOKE_MTBFS, &SMOKE_LOSSES);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+
+    #[test]
+    fn control_plane_smoke_cell_churns_and_reconciles() {
+        // `measure_control_plane` asserts the liveness and
+        // single-live-owner invariants internally; this additionally
+        // checks the churn actually exercised failover and rerouting.
+        let rows = run_control_plane(&CP_SMOKE_FLEETS, &CP_SMOKE_CONFIGS, &CP_SMOKE_MTBFS);
+        assert_eq!(rows.len(), 1);
+        let row = &rows[0];
+        assert!(row.crashes > 0, "{row:?}");
+        assert!(row.sessions_completed > 0, "{row:?}");
+        // With K=3/N=2 under a 4 s MTBF, both failure classes fire.
+        assert!(row.failovers > 0, "{row:?}");
+        assert!(row.as_reroutes > 0, "{row:?}");
+        assert!(row.deferred_rekeys > 0, "{row:?}");
+    }
+
+    #[test]
+    fn control_plane_sweep_is_deterministic() {
+        let a = run_control_plane(&CP_SMOKE_FLEETS, &CP_SMOKE_CONFIGS, &CP_SMOKE_MTBFS);
+        let b = run_control_plane(&CP_SMOKE_FLEETS, &CP_SMOKE_CONFIGS, &CP_SMOKE_MTBFS);
         assert_eq!(format!("{a:?}"), format!("{b:?}"));
     }
 }

@@ -3,9 +3,10 @@
 //! (Section 7.1.1's Scheduling → Networking → Block-device-mapping →
 //! Spawning → Attestation stages).
 
-use super::{ChannelIdentities, ChannelPair, Cloud};
+use super::{ChannelIdentities, ChannelPair, Cloud, ControlLinks};
 use crate::attestation::AttestationServer;
 use crate::controller::{CloudController, ServerInfo, VmLifecycle, VmRecord};
+use crate::controlplane::{as_node, controller_node, ControlPlaneTopology, CUSTOMER_ENDPOINT};
 use crate::engine::ShardedEngine;
 use crate::error::CloudError;
 use crate::interpret::ReferenceDb;
@@ -219,6 +220,8 @@ pub struct CloudBuilder {
     evidence_ttl_us: Option<u64>,
     avk_cert_cache: bool,
     reuse_avk: bool,
+    control_plane: (u32, u32),
+    control_retry: Option<RetryPolicy>,
 }
 
 impl Default for CloudBuilder {
@@ -248,7 +251,29 @@ impl CloudBuilder {
             evidence_ttl_us: None,
             avk_cert_cache: false,
             reuse_avk: false,
+            control_plane: (1, 1),
+            control_retry: None,
         }
+    }
+
+    /// Replicates the control plane: `k` controller instances (VM
+    /// subscriptions, records and placement route to shards by a stable
+    /// `Vid` hash, with ring failover onto standby instances) and an
+    /// `n`-replica Attestation-Server pool with health-gated selection
+    /// (each replica carries its own signing identity, privacy CA and
+    /// caches). Values are clamped to at least 1; the default `(1, 1)`
+    /// topology is dormant — byte-identical to the unreplicated cloud.
+    pub fn control_plane(mut self, k: u32, n: u32) -> Self {
+        self.control_plane = (k.max(1), n.max(1));
+        self
+    }
+
+    /// Gives control-plane hops (messages 1, 2, 5 and 6) their own
+    /// retry/timeout/backoff ladder, independent of the data-plane
+    /// measurement hops. Default: same ladder as [`Self::retry`].
+    pub fn control_retry(mut self, policy: RetryPolicy) -> Self {
+        self.control_retry = Some(policy);
+        self
     }
 
     /// Coalesces message-4 validation at the Attestation Server:
@@ -471,15 +496,15 @@ impl CloudBuilder {
             &mut rng,
             &customer_identity,
             &controller_identity,
-            "customer",
-            "controller",
+            CUSTOMER_ENDPOINT,
+            &controller_node(0).endpoint(),
         )?;
         let ctrl_as = make_pair(
             &mut rng,
             &controller_identity,
             &attserver_identity,
-            "controller",
-            "attserver",
+            &controller_node(0).endpoint(),
+            &as_node(0).endpoint(),
         )?;
         let mut as_server = BTreeMap::new();
         let mut server_identities = BTreeMap::new();
@@ -493,23 +518,110 @@ impl CloudBuilder {
                     &mut rng,
                     &attserver_identity,
                     &server_chan_identity,
-                    "attserver",
+                    &as_node(0).endpoint(),
                     &id.to_string(),
                 )?,
             );
             server_identities.insert(*id, server_chan_identity);
         }
+        // --- Replicated control plane (opt-in). Every extra key and
+        // channel below is provisioned strictly AFTER the complete
+        // default sequence above, so the dormant topology (K=1, N=1)
+        // draws a byte-identical RNG stream to the unreplicated cloud.
+        let (k, n) = self.control_plane;
+        let mut ctrl_signing = Vec::new();
+        let mut controller_identities = vec![controller_identity];
+        let mut attserver_identities = vec![attserver_identity];
+        let mut as_pool = Vec::new();
+        for _ in 1..k {
+            // Standby controller instance: its own protocol signing key
+            // (customers pin the instance that served them) and its own
+            // channel identity.
+            ctrl_signing.push(SigningKey::generate(&mut rng));
+            controller_identities.push(SigningKey::generate(&mut rng));
+        }
+        for _ in 1..n {
+            // Pool replica: a fully independent appraiser — own
+            // identity, own privacy CA (no shared-key shortcut), own
+            // evidence/AVK caches, warmed independently.
+            let mut replica = AttestationServer::new(&mut rng);
+            if self.avk_cert_cache {
+                replica.enable_avk_cert_cache();
+            }
+            for node in servers.values() {
+                replica.register_cloud_server(node.identity_key());
+            }
+            attserver_identities.push(SigningKey::generate(&mut rng));
+            as_pool.push(replica);
+        }
+        let mut cust_ctrl_links = vec![cust_ctrl];
+        for (i, ctrl_chan) in controller_identities.iter().enumerate().skip(1) {
+            cust_ctrl_links.push(make_pair(
+                &mut rng,
+                &customer_identity,
+                ctrl_chan,
+                CUSTOMER_ENDPOINT,
+                &controller_node(i as u32).endpoint(),
+            )?);
+        }
+        // The controller↔AS mesh, row-major by controller instance;
+        // entry (0, 0) is the default link handshaken above.
+        let mut ctrl_as_links = Vec::with_capacity(k as usize * n as usize);
+        let mut default_ctrl_as = Some(ctrl_as);
+        for (i, ctrl_chan) in controller_identities.iter().enumerate() {
+            for (r, as_chan) in attserver_identities.iter().enumerate() {
+                if i == 0 && r == 0 {
+                    if let Some(pair) = default_ctrl_as.take() {
+                        ctrl_as_links.push(pair);
+                    }
+                    continue;
+                }
+                ctrl_as_links.push(make_pair(
+                    &mut rng,
+                    ctrl_chan,
+                    as_chan,
+                    &controller_node(i as u32).endpoint(),
+                    &as_node(r as u32).endpoint(),
+                )?);
+            }
+        }
+        let mut as_server_links: BTreeMap<(u32, ServerId), ChannelPair> = as_server
+            .into_iter()
+            .map(|(id, pair)| ((0u32, id), pair))
+            .collect();
+        for (r, as_chan) in attserver_identities.iter().enumerate().skip(1) {
+            for (id, server_chan) in server_identities.iter() {
+                as_server_links.insert(
+                    (r as u32, *id),
+                    make_pair(
+                        &mut rng,
+                        as_chan,
+                        server_chan,
+                        &as_node(r as u32).endpoint(),
+                        &id.to_string(),
+                    )?,
+                );
+            }
+        }
         Ok(Cloud {
             rng,
             controller,
             attserver,
+            as_pool,
+            ctrl_signing,
+            topology: ControlPlaneTopology::new(k, n),
             servers,
             network: SimNetwork::default(),
-            cust_ctrl,
-            ctrl_as,
-            as_server,
+            links: ControlLinks {
+                cust_ctrl: cust_ctrl_links,
+                ctrl_as: ctrl_as_links,
+                replicas: n.max(1),
+                as_server: as_server_links,
+            },
+            stale_links: std::collections::BTreeSet::new(),
             latency: self.latency,
             retry: self.retry,
+            control_retry: self.control_retry.unwrap_or(self.retry),
             escalation_threshold: self.escalation_threshold.max(1),
             stats: ProtocolStats::default(),
             wall_clock_us: 0,
@@ -526,8 +638,8 @@ impl CloudBuilder {
             auto_response_failures: 0,
             identities: ChannelIdentities {
                 customer: customer_identity,
-                controller: controller_identity,
-                attserver: attserver_identity,
+                controllers: controller_identities,
+                attservers: attserver_identities,
                 servers: server_identities,
             },
             outages: None,

@@ -235,9 +235,14 @@ impl Cloud {
         if self.outages.is_some() {
             let server_ids: Vec<ServerId> = self.servers.keys().copied().collect();
             let now = self.wall_clock_us;
+            let control_nodes = self.topology.control_nodes();
             let batch = match self.outages.as_mut() {
                 Some(model) => {
                     model.prime(server_ids, now);
+                    // Control-plane churn draws strictly after the
+                    // server draws (and only when its MTBF knob is set),
+                    // so existing seeded schedules are unchanged.
+                    model.prime_control_plane(control_nodes, now);
                     model.drain_due(end)
                 }
                 None => Vec::new(),

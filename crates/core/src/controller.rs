@@ -270,12 +270,24 @@ impl CloudController {
         nonce1: [u8; 32],
         scratch: &mut EncodeScratch,
     ) -> CustomerReportMsg {
+        Self::certify_customer_report_keyed(&self.identity, vid, property, status, nonce1, scratch)
+    }
+
+    /// [`Self::certify_customer_report_with`] under an explicit signing
+    /// key. A replicated control plane gives every controller instance
+    /// its own long-term key, so the customer pins the instance that
+    /// served the session — a standby cannot impersonate the primary.
+    pub fn certify_customer_report_keyed(
+        key: &SigningKey,
+        vid: Vid,
+        property: SecurityProperty,
+        status: HealthStatus,
+        nonce1: [u8; 32],
+        scratch: &mut EncodeScratch,
+    ) -> CustomerReportMsg {
         let vid_bytes = vid.0.to_be_bytes();
         let (prop_bytes, status_bytes) = scratch.encode_pair(&property, &status);
-        let quote = Quote::create(
-            &self.identity,
-            &[&vid_bytes, prop_bytes, status_bytes, &nonce1],
-        );
+        let quote = Quote::create(key, &[&vid_bytes, prop_bytes, status_bytes, &nonce1]);
         CustomerReportMsg {
             vid,
             property,
@@ -283,6 +295,12 @@ impl CloudController {
             nonce1,
             quote,
         }
+    }
+
+    /// The controller's long-term signing key (SKc), for the session
+    /// layer's per-instance message-6 certification.
+    pub(crate) fn signing_key(&self) -> &SigningKey {
+        &self.identity
     }
 
     /// Customer-side verification of message 6.

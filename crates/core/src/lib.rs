@@ -11,6 +11,9 @@
 //!   Response Module.
 //! * [`attestation`] — the Attestation Server: Property Interpretation
 //!   Module, Property Certification Module and the [`pca`] privacy CA.
+//! * [`controlplane`] — the replicated control-plane topology: `K`
+//!   sharded controller instances with deterministic failover and an
+//!   `N`-replica Attestation-Server pool with health-gated selection.
 //! * [`server`] — CloudMonatt-secure cloud servers: hypervisor simulator,
 //!   Monitor Module and hardware Trust Module (Figure 2).
 //! * [`messages`] — the six attestation protocol messages of Figure 3.
@@ -50,6 +53,7 @@ pub(crate) mod arena;
 pub mod attestation;
 pub mod cloud;
 pub mod controller;
+pub mod controlplane;
 pub(crate) mod engine;
 pub mod error;
 pub mod interpret;
@@ -69,6 +73,7 @@ pub use cloud::{
     SubscriptionHealth, VmRequest, WorkloadSpec,
 };
 pub use controller::{CloudController, ResponseAction, ServerInfo, VmLifecycle, VmRecord};
+pub use controlplane::{ControlPlaneStats, ControlPlaneTopology, RouteTag};
 pub use error::CloudError;
 pub use interpret::{analyze_intervals, IntervalAnalysis, ReferenceDb, DEFAULT_WINDOW_US};
 pub use latency::{LatencyParams, RetryPolicy};

@@ -11,6 +11,7 @@
 //! rejects a term that declares the wrong obligation for a hop
 //! (see `crate::protocol::compile`).
 
+use crate::controlplane::RouteTag;
 use crate::measurements::{Measurement, MeasurementSpec};
 use crate::types::{HealthStatus, SecurityProperty, ServerId, Vid};
 use monatt_crypto::schnorr::{Signature, VerifyingKey};
@@ -308,6 +309,47 @@ impl Wire for CustomerReportMsg {
     }
 }
 
+/// Byte length of an encoded [`RouteTag`] trailer (three `u32`s).
+pub const ROUTE_TAG_LEN: usize = 12;
+
+/// Routing metadata for a replicated control plane: which shard,
+/// controller instance and AS replica a record was admitted against.
+/// Appended as a fixed-size *trailer* after the message encoding —
+/// and only when the topology is non-dormant, so the default K=1/N=1
+/// wire format (and therefore the payload-length-driven latency model)
+/// is byte-identical to the unreplicated cloud.
+impl Wire for RouteTag {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u32(self.shard);
+        w.put_u32(self.controller);
+        w.put_u32(self.replica);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(RouteTag {
+            shard: r.get_u32()?,
+            controller: r.get_u32()?,
+            replica: r.get_u32()?,
+        })
+    }
+}
+
+/// Appends the fixed-size routing trailer to an encoded message.
+pub fn append_route_tag(wire: &mut Vec<u8>, tag: RouteTag) {
+    wire.extend_from_slice(&tag.to_wire());
+}
+
+/// Splits the routing trailer off a received payload, returning the
+/// message body and the decoded tag. `None` if the payload is too
+/// short or the trailer does not parse — a misrouted or mangled
+/// record, never served.
+pub fn split_route_tag(payload: &[u8]) -> Option<(&[u8], RouteTag)> {
+    let body_len = payload.len().checked_sub(ROUTE_TAG_LEN)?;
+    let (body, trailer) = payload.split_at(body_len);
+    let tag = RouteTag::from_wire(trailer).ok()?;
+    Some((body, tag))
+}
+
 /// The fields covered by quote Q1, in protocol order.
 pub fn q1_fields<'a>(
     vid_bytes: &'a [u8],
@@ -416,6 +458,29 @@ mod tests {
             quote,
         };
         assert_eq!(CustomerReportMsg::from_wire(&m6.to_wire()).unwrap(), m6);
+    }
+
+    #[test]
+    fn route_tag_roundtrips_as_a_trailer() {
+        let m1 = CustomerRequest {
+            vid: Vid(9),
+            property: SecurityProperty::RuntimeIntegrity,
+            nonce1: [4; 32],
+        };
+        let tag = RouteTag {
+            shard: 3,
+            controller: 5,
+            replica: 2,
+        };
+        let mut wire = m1.to_wire();
+        let bare_len = wire.len();
+        append_route_tag(&mut wire, tag);
+        assert_eq!(wire.len(), bare_len + ROUTE_TAG_LEN);
+        let (body, decoded) = split_route_tag(&wire).unwrap();
+        assert_eq!(decoded, tag);
+        assert_eq!(CustomerRequest::from_wire(body).unwrap(), m1);
+        // Too-short payloads are rejected, not sliced out of bounds.
+        assert!(split_route_tag(&wire[..ROUTE_TAG_LEN - 1]).is_none());
     }
 
     #[test]

@@ -51,9 +51,12 @@ pub struct Transition {
 /// * A **renewal process** ([`OutageModel::mtbf`]) gives every cloud
 ///   server an alternating up/down lifetime: up-times draw uniformly
 ///   from `[MTBF/2, 3·MTBF/2]`, down-times from `[MTTR/2, 3·MTTR/2]`,
-///   all from the model's private DRBG. Only servers churn
-///   stochastically — taking the Controller or Attestation Server down
-///   is a deliberate act, so it stays scripted-only.
+///   all from the model's private DRBG. Control-plane nodes (controller
+///   instances and AS replicas) do not churn by default — taking them
+///   down is a deliberate act — but an explicit
+///   [`OutageModel::control_plane_mtbf`] opts them into their own
+///   renewal process with separate means, drawn *after* all server
+///   draws so enabling it never shifts the server schedule.
 ///
 /// Transitions only fire inside [`crate::Cloud::run`]; between runs the
 /// schedule simply waits.
@@ -62,10 +65,15 @@ pub struct OutageModel {
     rng: Drbg,
     mtbf_us: Option<u64>,
     mttr_us: u64,
+    /// Control-plane renewal means (controller instances, AS replicas).
+    cp_mtbf_us: Option<u64>,
+    cp_mttr_us: u64,
     /// Pending transitions, unsorted; `drain_due` orders the due ones.
     pending: Vec<Transition>,
     /// Whether the renewal process has drawn its first crash times.
     primed: bool,
+    /// Same, for the control-plane renewal process.
+    cp_primed: bool,
 }
 
 impl OutageModel {
@@ -77,8 +85,11 @@ impl OutageModel {
             rng: Drbg::from_seed(seed ^ 0xC8A5_4EC0_DEAD_BEA7),
             mtbf_us: None,
             mttr_us: 0,
+            cp_mtbf_us: None,
+            cp_mttr_us: 0,
             pending: Vec::new(),
             primed: false,
+            cp_primed: false,
         }
     }
 
@@ -88,6 +99,18 @@ impl OutageModel {
     pub fn mtbf(mut self, mtbf_us: u64, mttr_us: u64) -> Self {
         self.mtbf_us = Some(mtbf_us.max(1));
         self.mttr_us = mttr_us.max(1);
+        self
+    }
+
+    /// Gives every *control-plane* node (controller instances and AS
+    /// replicas of the cloud's [`crate::ControlPlaneTopology`]) its own
+    /// MTBF/MTTR renewal schedule, separate from the server means.
+    /// Control-plane crashes are rarer and repairs faster in practice;
+    /// keeping the knobs apart lets the chaos bench churn both layers
+    /// at realistic, independent rates.
+    pub fn control_plane_mtbf(mut self, mtbf_us: u64, mttr_us: u64) -> Self {
+        self.cp_mtbf_us = Some(mtbf_us.max(1));
+        self.cp_mttr_us = mttr_us.max(1);
         self
     }
 
@@ -140,6 +163,36 @@ impl OutageModel {
         }
     }
 
+    /// Draws the first crash time for every control-plane node, in the
+    /// deterministic order the topology enumerates them (controllers
+    /// first, then AS replicas). Idempotent like [`OutageModel::prime`];
+    /// a no-op unless [`OutageModel::control_plane_mtbf`] was set, so
+    /// existing server-churn seeds draw an identical stream. Called
+    /// after `prime` so control-plane draws always follow the full
+    /// server draw prefix.
+    pub(crate) fn prime_control_plane<I: IntoIterator<Item = NodeId>>(
+        &mut self,
+        nodes: I,
+        now_us: u64,
+    ) {
+        if self.cp_primed {
+            return;
+        }
+        self.cp_primed = true;
+        let Some(mtbf) = self.cp_mtbf_us else {
+            return;
+        };
+        for node in nodes {
+            let at_us = now_us.saturating_add(self.lifetime(mtbf));
+            self.pending.push(Transition {
+                at_us,
+                node,
+                down: true,
+                stochastic: true,
+            });
+        }
+    }
+
     /// Removes and returns every pending transition due strictly before
     /// `horizon_us`, ordered by `(at_us, node, down)` so same-instant
     /// transitions schedule deterministically. Transitions at or past
@@ -167,10 +220,16 @@ impl OutageModel {
     /// The chained transition lands in `pending`; the caller drains it
     /// (if due within its horizon) via [`OutageModel::drain_due`].
     pub(crate) fn chain(&mut self, node: NodeId, went_down: bool, now_us: u64) {
-        let mean = if went_down {
-            self.mttr_us
+        let control_plane = !matches!(node, NodeId::Server(_));
+        let (mtbf, mttr) = if control_plane {
+            (self.cp_mtbf_us, self.cp_mttr_us)
         } else {
-            match self.mtbf_us {
+            (self.mtbf_us, self.mttr_us)
+        };
+        let mean = if went_down {
+            mttr
+        } else {
+            match mtbf {
                 Some(m) => m,
                 None => return,
             }
@@ -199,8 +258,15 @@ pub struct OutageStats {
     /// Node recovery transitions applied.
     pub recoveries: u64,
     /// Secure channels re-established after a recovery (stale session
-    /// keys never resume across a crash).
+    /// keys never resume across a crash). Re-keying is *lazy*: a
+    /// recovery only marks the node's channels stale, and each channel
+    /// re-handshakes on its first post-recovery use, so this counts
+    /// performed handshakes, not recovered nodes.
     pub rehandshakes: u64,
+    /// Channel re-handshakes deferred at recovery time (marked stale,
+    /// to be re-keyed on first use). Deferring avoids a synchronized
+    /// handshake burst when churn recovers many nodes at once.
+    pub deferred_rekeys: u64,
     /// In-flight sessions failed fast with [`crate::CloudError::NodeDown`].
     pub node_down_failures: u64,
     /// VMs migrated off a crashed server onto a live one.
@@ -308,6 +374,41 @@ mod tests {
         assert!(!rec[0].down);
         let downtime = rec[0].at_us - due[0].at_us;
         assert!((50_000..=150_000).contains(&downtime), "{downtime}");
+    }
+
+    #[test]
+    fn control_plane_renewal_is_opt_in_and_separately_paced() {
+        // Without the knob, priming control-plane nodes draws nothing:
+        // server-only seeds see an identical stream.
+        let mut server_only = OutageModel::new(11).mtbf(1_000_000, 100_000);
+        server_only.prime([ServerId(0)], 0);
+        server_only.prime_control_plane([NodeId::Controller, NodeId::AttestationServer], 0);
+        assert_eq!(server_only.drain_due(u64::MAX).len(), 1);
+
+        let mut model = OutageModel::new(11)
+            .mtbf(1_000_000, 100_000)
+            .control_plane_mtbf(4_000_000, 50_000);
+        model.prime([ServerId(0)], 0);
+        model.prime_control_plane([NodeId::Controller, NodeId::AsReplica(1)], 0);
+        model.prime_control_plane([NodeId::Controller, NodeId::AsReplica(1)], 0); // idempotent
+        let due = model.drain_due(u64::MAX);
+        assert_eq!(due.len(), 3);
+        let cp: Vec<_> = due
+            .iter()
+            .filter(|t| !matches!(t.node, NodeId::Server(_)))
+            .collect();
+        assert_eq!(cp.len(), 2);
+        for t in &cp {
+            assert!(t.down && t.stochastic);
+            assert!((2_000_000..=6_000_000).contains(&t.at_us), "{}", t.at_us);
+        }
+        // A fired control-plane crash chains a recovery on the
+        // control-plane MTTR, not the server one.
+        model.chain(NodeId::AsReplica(1), true, 4_000_000);
+        let rec = model.drain_due(u64::MAX);
+        assert_eq!(rec.len(), 1);
+        let downtime = rec[0].at_us - 4_000_000;
+        assert!((25_000..=75_000).contains(&downtime), "{downtime}");
     }
 
     #[test]

@@ -235,6 +235,10 @@ impl Cloud {
         spawn: crate::session::ChildSpawn,
     ) -> Result<SessionId, CloudError> {
         self.admit_session()?;
+        // Children route independently of the parent: the route is
+        // re-resolved at spawn time so a child admitted after a
+        // control-plane failover lands on the live owner.
+        let route = self.topology.route_for(spawn.vid);
         let (sid, session) = self
             .sessions
             .alloc_with(AttestSession::vacant)
@@ -242,6 +246,7 @@ impl Cloud {
         session.reset(
             spawn.vid,
             spawn.server,
+            route,
             spawn.property,
             spawn.image,
             spawn.program,

@@ -30,13 +30,13 @@
 
 use super::compile::{Charge, Op};
 use crate::attestation::AttestationServer;
-use crate::cloud::Cloud;
+use crate::cloud::{attserver_at, Cloud};
 use crate::controller::CloudController;
 use crate::error::CloudError;
 use crate::measurements::MeasurementSpec;
 use crate::messages::{
-    AttestationReportMsg, ControllerForward, CustomerReportMsg, CustomerRequest, MeasureRequest,
-    MeasureResponse,
+    append_route_tag, split_route_tag, AttestationReportMsg, ControllerForward, CustomerReportMsg,
+    CustomerRequest, MeasureRequest, MeasureResponse,
 };
 use crate::protocol::{MsgKind, NonceSlot};
 use crate::session::{lost_session, malformed, CloudEvent, PendingMsg4, SessionEvent, SessionId};
@@ -169,7 +169,7 @@ impl Cloud {
                 };
                 session.msg = MsgKind::Msg1;
                 request.encode_into(&mut session.wire);
-                self.transmit_attempt(sid, charge)
+                self.stamp_and_transmit(sid, charge)
             }
             MsgKind::Msg2 => {
                 let session = self.sessions.get_mut(sid).ok_or_else(lost_session)?;
@@ -181,21 +181,25 @@ impl Cloud {
                 };
                 session.msg = MsgKind::Msg2;
                 fwd.encode_into(&mut session.wire);
-                self.transmit_attempt(sid, charge)
+                self.stamp_and_transmit(sid, charge)
             }
             MsgKind::Msg3 => {
-                let (req_vid, req_property, nonce3) = {
+                let (req_vid, req_property, nonce3, replica) = {
                     let session = self.sessions.get(sid).ok_or_else(lost_session)?;
-                    (session.req_vid, session.req_property, session.nonce3)
+                    (
+                        session.req_vid,
+                        session.req_property,
+                        session.nonce3,
+                        session.route.replica,
+                    )
                 };
-                let measure_req =
-                    self.attserver
-                        .build_measure_request(req_vid, req_property, nonce3);
+                let measure_req = attserver_at(&mut self.attserver, &mut self.as_pool, replica)
+                    .build_measure_request(req_vid, req_property, nonce3);
                 let session = self.sessions.get_mut(sid).ok_or_else(lost_session)?;
                 session.spec = Some(measure_req.spec);
                 session.msg = MsgKind::Msg3;
                 measure_req.encode_into(&mut session.wire);
-                self.transmit_attempt(sid, charge)
+                self.stamp_and_transmit(sid, charge)
             }
             MsgKind::Msg4 => {
                 // The measurement-window close: collect measurements,
@@ -228,10 +232,10 @@ impl Cloud {
                 let session = self.sessions.get_mut(sid).ok_or_else(lost_session)?;
                 session.msg = MsgKind::Msg4;
                 msg4.encode_into(&mut session.wire);
-                self.transmit_attempt(sid, charge)
+                self.stamp_and_transmit(sid, charge)
             }
             MsgKind::Msg5 => {
-                let (vid, server, property, nonce2, status) = {
+                let (vid, server, property, nonce2, status, replica) = {
                     let session = self.sessions.get_mut(sid).ok_or_else(lost_session)?;
                     let status = session.status.take().ok_or_else(lost_session)?;
                     (
@@ -240,40 +244,56 @@ impl Cloud {
                         session.property,
                         session.nonce2,
                         status,
+                        session.route.replica,
                     )
                 };
-                let report_msg = self.attserver.certify_report_with(
-                    vid,
-                    server,
-                    property,
-                    status,
-                    nonce2,
-                    &mut self.quote_scratch,
-                );
+                let report_msg = attserver_at(&mut self.attserver, &mut self.as_pool, replica)
+                    .certify_report_with(
+                        vid,
+                        server,
+                        property,
+                        status,
+                        nonce2,
+                        &mut self.quote_scratch,
+                    );
                 let session = self.sessions.get_mut(sid).ok_or_else(lost_session)?;
                 session.msg = MsgKind::Msg5;
                 report_msg.encode_into(&mut session.wire);
-                self.transmit_attempt(sid, charge)
+                self.stamp_and_transmit(sid, charge)
             }
             MsgKind::Msg6 => {
-                let (vid, property, nonce1, status) = {
+                let (vid, property, nonce1, status, instance) = {
                     let session = self.sessions.get_mut(sid).ok_or_else(lost_session)?;
                     let status = session.status.take().ok_or_else(lost_session)?;
-                    (session.vid, session.property, session.nonce1, status)
+                    (
+                        session.vid,
+                        session.property,
+                        session.nonce1,
+                        status,
+                        session.route.controller,
+                    )
                 };
-                let customer_report = self.controller.certify_customer_report_with(
-                    vid,
-                    property,
-                    status,
-                    nonce1,
-                    &mut self.quote_scratch,
-                );
+                let customer_report = self.certify_msg6(instance, vid, property, status, nonce1);
                 let session = self.sessions.get_mut(sid).ok_or_else(lost_session)?;
                 session.msg = MsgKind::Msg6;
                 customer_report.encode_into(&mut session.wire);
-                self.transmit_attempt(sid, charge)
+                self.stamp_and_transmit(sid, charge)
             }
         }
+    }
+
+    /// Stamps the session's route tag onto the just-encoded record and
+    /// transmits it. The tag rides only a replicated control plane: the
+    /// dormant topology (K=1, N=1) puts exactly the unrouted protocol's
+    /// bytes on the wire, so the latency model and golden trace are
+    /// untouched by default.
+    fn stamp_and_transmit(&mut self, sid: SessionId, charge: u64) -> Result<(), CloudError> {
+        if !self.topology.is_dormant() {
+            let session = self.sessions.get_mut(sid).ok_or_else(lost_session)?;
+            let route = session.route;
+            append_route_tag(&mut session.wire, route);
+        }
+        self.transmit_attempt(sid, charge)
     }
 
     /// The receive side of the current `Hop` op: decode `bytes` per the
@@ -286,6 +306,28 @@ impl Cloud {
         msg: MsgKind,
         bytes: &[u8],
     ) -> Result<(), CloudError> {
+        // On a replicated control plane every record carries its route
+        // tag as a trailer: strip it and reject a record whose tag does
+        // not match the session's pinned route (a misrouted record is
+        // evidence of a broken shard-ownership invariant, not noise).
+        let bytes = if self.topology.is_dormant() {
+            bytes
+        } else {
+            // The trailer is public routing metadata (shard/instance/
+            // replica indices), not authenticator material — the sealed
+            // channel already authenticated the whole record.
+            let (body, wire_route) =
+                split_route_tag(bytes).ok_or_else(|| CloudError::ProtocolFailure {
+                    reason: "record missing control-plane route tag".into(),
+                })?;
+            let session = self.sessions.get(sid).ok_or_else(lost_session)?;
+            if wire_route != session.route {
+                return Err(CloudError::ProtocolFailure {
+                    reason: "record misrouted across the control plane".into(),
+                });
+            }
+            body
+        };
         match msg {
             MsgKind::Msg1 => {
                 // The controller reads the customer's request.
@@ -320,13 +362,13 @@ impl Cloud {
                 // Q2, nonce N2 echo).
                 let report_msg =
                     AttestationReportMsg::from_wire(bytes).map_err(|e| malformed("report", e))?;
-                let nonce2 = {
+                let (nonce2, replica) = {
                     let session = self.sessions.get(sid).ok_or_else(lost_session)?;
-                    session.nonce2
+                    (session.nonce2, session.route.replica)
                 };
                 AttestationServer::verify_report_msg_with(
                     &report_msg,
-                    &self.attserver.identity_key(),
+                    &self.attserver_identity_key(replica),
                     nonce2,
                     &mut self.quote_scratch,
                 )?;
@@ -339,13 +381,13 @@ impl Cloud {
                 // nonce N1 echo).
                 let report_msg = CustomerReportMsg::from_wire(bytes)
                     .map_err(|e| malformed("customer report", e))?;
-                let nonce1 = {
+                let (nonce1, instance) = {
                     let session = self.sessions.get(sid).ok_or_else(lost_session)?;
-                    session.nonce1
+                    (session.nonce1, session.route.controller)
                 };
                 CloudController::verify_customer_report_with(
                     &report_msg,
-                    &self.controller.identity_key(),
+                    &self.controller_identity_key(instance),
                     nonce1,
                     &mut self.quote_scratch,
                 )?;
@@ -410,7 +452,7 @@ impl Cloud {
         sid: SessionId,
         msg4: MeasureResponse,
     ) -> Result<(), CloudError> {
-        let (vid, server, property, expected_image, spec, nonce3) = {
+        let (vid, server, property, expected_image, spec, nonce3, replica) = {
             let session = self.sessions.get(sid).ok_or_else(lost_session)?;
             let spec = session.spec.ok_or_else(lost_session)?;
             (
@@ -420,15 +462,20 @@ impl Cloud {
                 session.expected_image,
                 spec,
                 session.nonce3,
+                session.route.replica,
             )
         };
-        self.attserver
-            .validate_response_with(&msg4, vid, spec, nonce3, &mut self.quote_scratch)?;
-        let status = self
-            .attserver
+        attserver_at(&mut self.attserver, &mut self.as_pool, replica).validate_response_with(
+            &msg4,
+            vid,
+            spec,
+            nonce3,
+            &mut self.quote_scratch,
+        )?;
+        let status = attserver_at(&mut self.attserver, &mut self.as_pool, replica)
             .interpret_response(property, &msg4, expected_image);
         if let Some(ttl) = self.evidence_ttl_us {
-            self.attserver.evidence_insert(
+            attserver_at(&mut self.attserver, &mut self.as_pool, replica).evidence_insert(
                 vid,
                 property,
                 server,
@@ -476,68 +523,89 @@ impl Cloud {
                     spec,
                     s.nonce2,
                     s.nonce3,
+                    s.route.replica,
                 )
             }),
             _ => None,
         }));
-        // The item list borrows each parked response, so it cannot
-        // outlive this frame as a persistent scratch: one batch-sized
-        // allocation per window flush, amortized across every Msg4 in
-        // the batch. The zero-alloc harness pins the non-batched warm
-        // configuration to exactly zero.
-        let items: Vec<crate::attestation::BatchValidationItem<'_>> = pending
-            .iter()
-            .zip(meta.iter())
-            .filter_map(|(p, m)| {
-                m.map(
-                    |(vid, _, _, _, spec, _, nonce3)| crate::attestation::BatchValidationItem {
-                        response: &p.msg4,
-                        expected_vid: vid,
-                        expected_spec: spec,
-                        expected_nonce3: nonce3,
-                    },
-                )
-            })
-            .collect(); // #[allow(monatt::alloc_freedom)] lifetime-bound, amortized per batch
-        let verdicts = self
-            .attserver
-            // Batch validation assembles lifetime-bound signature slices
-            // internally; its allocations are likewise per flush, not
-            // per message. #[allow(monatt::alloc_freedom)]
-            .validate_response_batch(&items, &mut self.quote_scratch);
-        let mut verdicts = verdicts.into_iter();
-        for (p, m) in pending.iter().zip(meta.iter()) {
-            let Some((vid, server, property, expected_image, _, _, _)) = *m else {
-                continue;
-            };
-            let Some(verdict) = verdicts.next() else {
-                break;
-            };
-            // The session leaves the batch before its fate is decided:
-            // whatever happens next (advance, typed failure), a
-            // straggler duplicate of its message 4 must be treated as a
-            // fresh receive, not a batch member.
-            if let Some(session) = self.sessions.get_mut(p.sid) {
-                session.in_batch = false;
-            }
-            if let Err(e) = verdict {
-                self.finish_session(p.sid, Err(e));
+        // Partition the batch by serving AS replica: each replica
+        // verifies only its own slice, under its own identity (replicas
+        // share no keys). Replica indices are scanned in ascending
+        // order without collecting them (the flush path stays free of
+        // per-partition allocations); the dormant pool (N=1) yields
+        // exactly one group in entry order — byte-identical to the
+        // single-AS flush.
+        let max_replica = meta.iter().filter_map(|m| m.map(|t| t.7)).max();
+        for replica in 0..=max_replica.unwrap_or(0) {
+            if max_replica.is_none() || !meta.iter().any(|m| m.map(|t| t.7) == Some(replica)) {
                 continue;
             }
-            let status = self
-                .attserver
-                .interpret_response(property, &p.msg4, expected_image);
-            if let Some(ttl) = self.evidence_ttl_us {
-                self.attserver
-                    .evidence_insert(vid, property, server, status.clone(), now + ttl);
-            }
-            let Some(session) = self.sessions.get_mut(p.sid) else {
-                continue;
-            };
-            session.status = Some(status);
-            let wait = now - p.arrived_at_us;
-            if let Err(e) = self.advance_session(p.sid, wait) {
-                self.finish_session(p.sid, Err(e));
+            // The item list borrows each parked response, so it cannot
+            // outlive this frame as a persistent scratch: one batch-sized
+            // allocation per window flush, amortized across every Msg4 in
+            // the batch. The zero-alloc harness pins the non-batched warm
+            // configuration to exactly zero.
+            let items: Vec<crate::attestation::BatchValidationItem<'_>> = pending
+                .iter()
+                .zip(meta.iter())
+                .filter_map(|(p, m)| {
+                    m.filter(|t| t.7 == replica)
+                        .map(|(vid, _, _, _, spec, _, nonce3, _)| {
+                            crate::attestation::BatchValidationItem {
+                                response: &p.msg4,
+                                expected_vid: vid,
+                                expected_spec: spec,
+                                expected_nonce3: nonce3,
+                            }
+                        })
+                })
+                .collect(); // #[allow(monatt::alloc_freedom)] lifetime-bound, amortized per batch
+            let verdicts = attserver_at(&mut self.attserver, &mut self.as_pool, replica)
+                // Batch validation assembles lifetime-bound signature slices
+                // internally; its allocations are likewise per flush, not
+                // per message. #[allow(monatt::alloc_freedom)]
+                .validate_response_batch(&items, &mut self.quote_scratch);
+            let mut verdicts = verdicts.into_iter();
+            for (p, m) in pending.iter().zip(meta.iter()) {
+                let Some((vid, server, property, expected_image, _, _, _, r)) = *m else {
+                    continue;
+                };
+                if r != replica {
+                    continue;
+                }
+                let Some(verdict) = verdicts.next() else {
+                    break;
+                };
+                // The session leaves the batch before its fate is decided:
+                // whatever happens next (advance, typed failure), a
+                // straggler duplicate of its message 4 must be treated as a
+                // fresh receive, not a batch member.
+                if let Some(session) = self.sessions.get_mut(p.sid) {
+                    session.in_batch = false;
+                }
+                if let Err(e) = verdict {
+                    self.finish_session(p.sid, Err(e));
+                    continue;
+                }
+                let status = attserver_at(&mut self.attserver, &mut self.as_pool, replica)
+                    .interpret_response(property, &p.msg4, expected_image);
+                if let Some(ttl) = self.evidence_ttl_us {
+                    attserver_at(&mut self.attserver, &mut self.as_pool, replica).evidence_insert(
+                        vid,
+                        property,
+                        server,
+                        status.clone(),
+                        now + ttl,
+                    );
+                }
+                let Some(session) = self.sessions.get_mut(p.sid) else {
+                    continue;
+                };
+                session.status = Some(status);
+                let wait = now - p.arrived_at_us;
+                if let Err(e) = self.advance_session(p.sid, wait) {
+                    self.finish_session(p.sid, Err(e));
+                }
             }
         }
         // Hand the drained buffer's capacity back for the next batch

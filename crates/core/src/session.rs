@@ -46,15 +46,17 @@
 //!
 //! [`RetryPolicy`]: crate::latency::RetryPolicy
 
-use crate::cloud::{ChannelPair, Cloud};
+use crate::cloud::{refresh_stale_link, Cloud, ControlLinks, LinkKey};
+use crate::controlplane::{as_node, controller_node, RouteTag};
 use crate::error::CloudError;
+use crate::latency::RetryPolicy;
 use crate::measurements::MeasurementSpec;
 use crate::messages::MeasureResponse;
 use crate::protocol::compile::ProgramId;
 use crate::protocol::MsgKind;
 use crate::types::{HealthStatus, Image, NodeId, SecurityProperty, ServerId, Vid};
 use monatt_net::channel::{ChannelError, SecureChannel};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeSet;
 
 pub(crate) use crate::arena::SessionId;
 
@@ -138,7 +140,9 @@ pub(crate) struct PendingMsg4 {
 }
 
 /// A batch entry's expectations, re-read from its live session at flush
-/// time: (vid, server, property, image, spec, nonce2, nonce3).
+/// time: (vid, server, property, image, spec, nonce2, nonce3, replica).
+/// The replica index partitions the flush — each AS replica validates
+/// only its own sessions' responses.
 pub(crate) type Msg4Meta = (
     Vid,
     ServerId,
@@ -147,6 +151,7 @@ pub(crate) type Msg4Meta = (
     MeasurementSpec,
     [u8; 32],
     [u8; 32],
+    u32,
 );
 
 /// Who consumes the session's outcome.
@@ -199,6 +204,10 @@ pub(crate) struct ChildSpawn {
 pub(crate) struct AttestSession {
     pub(crate) vid: Vid,
     pub(crate) server: ServerId,
+    /// Control-plane route pinned at admission: which shard/controller
+    /// instance and AS replica this session's hops go to. A crashed
+    /// route node fails the session fast; re-admission re-routes.
+    pub(crate) route: RouteTag,
     pub(crate) property: SecurityProperty,
     pub(crate) expected_image: Image,
     pub(crate) origin: SessionOrigin,
@@ -295,6 +304,7 @@ impl AttestSession {
         AttestSession {
             vid: Vid(0),
             server: ServerId(0),
+            route: RouteTag::default(),
             property: SecurityProperty::StartupIntegrity,
             expected_image: Image::Cirros,
             origin: SessionOrigin::Api,
@@ -334,10 +344,12 @@ impl AttestSession {
     /// in place so a recycled slot's buffer capacity survives. The
     /// caller then enters the program's first op, which encodes the
     /// opening hop into `wire`.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn reset(
         &mut self,
         vid: Vid,
         server: ServerId,
+        route: RouteTag,
         property: SecurityProperty,
         expected_image: Image,
         program: ProgramId,
@@ -345,6 +357,7 @@ impl AttestSession {
     ) {
         self.vid = vid;
         self.server = server;
+        self.route = route;
         self.property = property;
         self.expected_image = expected_image;
         self.origin = origin;
@@ -398,7 +411,7 @@ impl AttestSession {
         if self.fork_outstanding > 0 {
             return false;
         }
-        hop_nodes(self.msg, self.server).contains(&node)
+        hop_nodes(self.msg, self.route, self.server).contains(&node)
     }
 }
 
@@ -422,50 +435,98 @@ fn duplicate_not_rejected(peer: &str, outcome: Result<(), ChannelError>) -> Clou
     }
 }
 
-/// Resolves a hop's message kind to its (sender, receiver) channel
-/// halves. The mapping mirrors Figure 3: Kx for messages 1/6, Ky for
-/// 2/5, Kz for 3/4.
-pub(crate) fn hop_channels<'a>(
-    msg: MsgKind,
-    cust_ctrl: &'a mut ChannelPair,
-    ctrl_as: &'a mut ChannelPair,
-    as_server: &'a mut BTreeMap<ServerId, ChannelPair>,
-    server: ServerId,
-) -> Result<(&'a mut SecureChannel, &'a mut SecureChannel), CloudError> {
+/// The secure link a hop travels: the session's routed controller
+/// instance and AS replica select the mesh edge. The single source of
+/// endpoint resolution — protocol code never names a link by string.
+pub(crate) fn link_for(msg: MsgKind, route: RouteTag, server: ServerId) -> LinkKey {
     match msg {
-        MsgKind::Msg1 => Ok((&mut cust_ctrl.initiator, &mut cust_ctrl.responder)),
-        MsgKind::Msg2 => Ok((&mut ctrl_as.initiator, &mut ctrl_as.responder)),
+        MsgKind::Msg1 | MsgKind::Msg6 => LinkKey::CustCtrl(route.controller),
+        MsgKind::Msg2 | MsgKind::Msg5 => LinkKey::CtrlAs(route.controller, route.replica),
+        MsgKind::Msg3 | MsgKind::Msg4 => LinkKey::AsServer(route.replica, server),
+    }
+}
+
+/// Resolves a hop's message kind to its (sender, receiver) channel
+/// halves on the session's routed link. The mapping mirrors Figure 3:
+/// Kx for messages 1/6, Ky for 2/5, Kz for 3/4.
+pub(crate) fn hop_channels(
+    msg: MsgKind,
+    links: &mut ControlLinks,
+    route: RouteTag,
+    server: ServerId,
+) -> Result<(&mut SecureChannel, &mut SecureChannel), CloudError> {
+    match msg {
+        MsgKind::Msg1 | MsgKind::Msg6 => {
+            let pair = links
+                .cust_ctrl_mut(route.controller)
+                .ok_or_else(lost_session)?;
+            Ok(match msg {
+                MsgKind::Msg1 => (&mut pair.initiator, &mut pair.responder),
+                _ => (&mut pair.responder, &mut pair.initiator),
+            })
+        }
+        MsgKind::Msg2 | MsgKind::Msg5 => {
+            let pair = links
+                .ctrl_as_mut(route.controller, route.replica)
+                .ok_or_else(lost_session)?;
+            Ok(match msg {
+                MsgKind::Msg2 => (&mut pair.initiator, &mut pair.responder),
+                _ => (&mut pair.responder, &mut pair.initiator),
+            })
+        }
         MsgKind::Msg3 | MsgKind::Msg4 => {
-            let pair = as_server
-                .get_mut(&server)
+            let pair = links
+                .as_server_mut(route.replica, server)
                 .ok_or(CloudError::UnknownServer(server))?;
             Ok(match msg {
                 MsgKind::Msg3 => (&mut pair.initiator, &mut pair.responder),
                 _ => (&mut pair.responder, &mut pair.initiator),
             })
         }
-        MsgKind::Msg5 => Ok((&mut ctrl_as.responder, &mut ctrl_as.initiator)),
-        MsgKind::Msg6 => Ok((&mut cust_ctrl.responder, &mut cust_ctrl.initiator)),
     }
 }
 
 /// The cloud-side nodes a protocol hop depends on (the customer
-/// endpoint is assumed reliable). If any of them is crashed, the hop
-/// cannot make progress and the session fails fast.
-pub(crate) fn hop_nodes(msg: MsgKind, server: ServerId) -> [NodeId; 2] {
+/// endpoint is assumed reliable), resolved through the session's
+/// route. If any of them is crashed, the hop cannot make progress and
+/// the session fails fast.
+pub(crate) fn hop_nodes(msg: MsgKind, route: RouteTag, server: ServerId) -> [NodeId; 2] {
+    let ctrl = controller_node(route.controller);
+    let attsrv = as_node(route.replica);
     match msg {
         // The controller terminates both customer-facing hops.
-        MsgKind::Msg1 | MsgKind::Msg6 => [NodeId::Controller, NodeId::Controller],
-        MsgKind::Msg2 | MsgKind::Msg5 => [NodeId::Controller, NodeId::AttestationServer],
-        MsgKind::Msg3 | MsgKind::Msg4 => [NodeId::AttestationServer, NodeId::Server(server)],
+        MsgKind::Msg1 | MsgKind::Msg6 => [ctrl, ctrl],
+        MsgKind::Msg2 | MsgKind::Msg5 => [ctrl, attsrv],
+        MsgKind::Msg3 | MsgKind::Msg4 => [attsrv, NodeId::Server(server)],
     }
 }
 
 /// The first crashed node (if any) the hop depends on.
-fn down_node_for(down: &BTreeSet<NodeId>, msg: MsgKind, server: ServerId) -> Option<NodeId> {
-    hop_nodes(msg, server)
+fn down_node_for(
+    down: &BTreeSet<NodeId>,
+    msg: MsgKind,
+    route: RouteTag,
+    server: ServerId,
+) -> Option<NodeId> {
+    hop_nodes(msg, route, server)
         .into_iter()
         .find(|n| down.contains(n))
+}
+
+/// The retransmission ladder a hop runs on: control-plane hops
+/// (messages 1, 2, 5, 6 — customer/controller/AS processing) use the
+/// control-plane policy, the data-plane measurement hops (3, 4) the
+/// data-plane one. The two default to the same ladder, so an
+/// unconfigured cloud draws an identical backoff stream.
+pub(crate) fn retry_policy_for(
+    msg: MsgKind,
+    data: RetryPolicy,
+    control: RetryPolicy,
+) -> RetryPolicy {
+    match msg {
+        MsgKind::Msg3 | MsgKind::Msg4 => data,
+        _ => control,
+    }
 }
 
 impl Cloud {
@@ -500,11 +561,15 @@ impl Cloud {
         // the session only needs them.
         let server = record.server;
         let image = record.image;
+        // Pin the control-plane route while `self` is still whole: the
+        // session keeps it for life (a mid-session crash fails fast and
+        // re-admits on a fresh route — state never migrates).
+        let route = self.topology.route_for(vid);
         let (sid, session) = self
             .sessions
             .alloc_with(AttestSession::vacant)
             .ok_or_else(lost_session)?;
-        session.reset(vid, server, property, image, program, origin);
+        session.reset(vid, server, route, property, image, program, origin);
         self.spawn_prepared(sid)
     }
 
@@ -520,6 +585,7 @@ impl Cloud {
     ) -> Result<SessionId, CloudError> {
         self.admit_session()?;
         let program = self.programs.fig3_internal;
+        let route = self.topology.route_for(vid);
         let (sid, session) = self
             .sessions
             .alloc_with(AttestSession::vacant)
@@ -527,6 +593,7 @@ impl Cloud {
         session.reset(
             vid,
             server,
+            route,
             property,
             expected_image,
             program,
@@ -618,9 +685,11 @@ impl Cloud {
             rng,
             stats,
             retry,
-            cust_ctrl,
-            ctrl_as,
-            as_server,
+            control_retry,
+            links,
+            stale_links,
+            identities,
+            outage_stats,
             engine,
             wall_clock_us,
             down,
@@ -632,9 +701,17 @@ impl Cloud {
         // Fail fast when a node this hop depends on is crashed —
         // checked before any RNG draw or transmission, so the session
         // does not burn the retransmission ladder against a black hole.
-        if let Some(node) = down_node_for(down, session.msg, session.server) {
+        if let Some(node) = down_node_for(down, session.msg, session.route, session.server) {
             return Err(CloudError::NodeDown { node });
         }
+        // Lazy re-keying: a link marked stale by a node recovery is
+        // re-handshaken here, at its first post-recovery use, instead
+        // of in a synchronized burst at the recovery instant.
+        let link = link_for(session.msg, session.route, session.server);
+        if stale_links.remove(&link) {
+            refresh_stale_link(rng, identities, links, outage_stats, link);
+        }
+        let policy = retry_policy_for(session.msg, *retry, *control_retry);
         // Session events shard by target server (routing only — never
         // affects pop order; see `crate::engine`).
         let shard_key = session.server.0 as u64;
@@ -642,12 +719,11 @@ impl Cloud {
         session.attempt += 1;
         if session.attempt > 1 {
             stats.retries += 1;
-            offset += retry.backoff_us(session.attempt - 1, rng);
+            offset += policy.backoff_us(session.attempt - 1, rng);
         }
         session.elapsed_us += offset;
         let generation = session.generation;
-        let (send, recv) =
-            hop_channels(session.msg, cust_ctrl, ctrl_as, as_server, session.server)?;
+        let (send, recv) = hop_channels(session.msg, links, session.route, session.server)?;
         // Seal once per hop: retransmits resend the byte-identical
         // record, so the receiver's anti-replay window deduplicates a
         // late first copy arriving after a retransmit was processed.
@@ -670,9 +746,9 @@ impl Cloud {
                 // timing out.
                 stats.drops_seen += 1;
                 stats.timeouts += 1;
-                session.elapsed_us += retry.timeout_us;
+                session.elapsed_us += policy.timeout_us;
                 engine.schedule(
-                    now + offset + retry.timeout_us,
+                    now + offset + policy.timeout_us,
                     shard_key,
                     CloudEvent::Session {
                         sid,
@@ -680,7 +756,7 @@ impl Cloud {
                     },
                 );
             }
-            true if delivery.latency_us > retry.timeout_us && retry.max_attempts > 1 => {
+            true if delivery.latency_us > policy.timeout_us && policy.max_attempts > 1 => {
                 // Delivered, but past the sender's loss-detection
                 // timeout: the sender retransmits first. Park the late
                 // record unopened until its arrival instant — by then a
@@ -688,7 +764,7 @@ impl Cloud {
                 // it bounces as a duplicate; only if every retransmit
                 // was lost too does it save the hop.
                 stats.timeouts += 1;
-                session.elapsed_us += retry.timeout_us;
+                session.elapsed_us += policy.timeout_us;
                 let copies = if delivery.duplicated { 2 } else { 1 };
                 for _ in 0..copies {
                     session
@@ -704,7 +780,7 @@ impl Cloud {
                     );
                 }
                 engine.schedule(
-                    now + offset + retry.timeout_us,
+                    now + offset + policy.timeout_us,
                     shard_key,
                     CloudEvent::Session {
                         sid,
@@ -745,10 +821,10 @@ impl Cloud {
                     // times out.
                     stats.auth_failures += 1;
                     stats.timeouts += 1;
-                    session.elapsed_us += delivery.latency_us + retry.timeout_us;
+                    session.elapsed_us += delivery.latency_us + policy.timeout_us;
                     session.last_auth_failure = Some(e);
                     engine.schedule(
-                        now + offset + delivery.latency_us + retry.timeout_us,
+                        now + offset + delivery.latency_us + policy.timeout_us,
                         shard_key,
                         CloudEvent::Session {
                             sid,
@@ -849,9 +925,10 @@ impl Cloud {
     /// A loss-detection timeout fired: retry within budget, otherwise
     /// fail with the blocking implementation's exact classification.
     fn step_retry(&mut self, sid: SessionId, generation: u32) -> Result<(), CloudError> {
-        let max_attempts = self.retry.max_attempts.max(1);
-        let exhausted = {
+        let (max_attempts, exhausted) = {
             let session = self.sessions.get(sid).ok_or_else(lost_session)?;
+            let policy = retry_policy_for(session.msg, self.retry, self.control_retry);
+            let max_attempts = policy.max_attempts.max(1);
             if session.generation != generation {
                 // The hop this timer belonged to already completed (a
                 // late arrival saved it): nothing to retransmit.
@@ -861,14 +938,14 @@ impl Cloud {
             // cover even the next loss-detection timeout, abort now
             // instead of burning the rest of the retry ladder.
             if let Some((budget_us, expires_at)) = session.deadline {
-                if self.wall_clock_us.saturating_add(self.retry.timeout_us) > expires_at {
+                if self.wall_clock_us.saturating_add(policy.timeout_us) > expires_at {
                     return Err(CloudError::DeadlineExceeded {
                         budget_us,
                         elapsed_us: session.elapsed_us,
                     });
                 }
             }
-            session.attempt >= max_attempts
+            (max_attempts, session.attempt >= max_attempts)
         };
         if !exhausted {
             return self.transmit_attempt(sid, 0);
@@ -893,15 +970,10 @@ impl Cloud {
     #[cold]
     fn exhaustion_error(&mut self, sid: SessionId, max_attempts: u32) -> Result<(), CloudError> {
         let Cloud {
-            sessions,
-            cust_ctrl,
-            ctrl_as,
-            as_server,
-            ..
+            sessions, links, ..
         } = self;
         let session = sessions.get(sid).ok_or_else(lost_session)?;
-        let (send, recv) =
-            hop_channels(session.msg, cust_ctrl, ctrl_as, as_server, session.server)?;
+        let (send, recv) = hop_channels(session.msg, links, session.route, session.server)?;
         Err(match &session.last_auth_failure {
             Some(e) => CloudError::ProtocolFailure {
                 reason: format!(
@@ -928,9 +1000,7 @@ impl Cloud {
             let Cloud {
                 sessions,
                 stats,
-                cust_ctrl,
-                ctrl_as,
-                as_server,
+                links,
                 ..
             } = self;
             let session = sessions.get_mut(sid).ok_or_else(lost_session)?;
@@ -940,7 +1010,7 @@ impl Cloud {
                 return Ok(());
             };
             let (msg, _, record) = session.late.remove(pos);
-            let (_, recv) = hop_channels(msg, cust_ctrl, ctrl_as, as_server, session.server)?;
+            let (_, recv) = hop_channels(msg, links, session.route, session.server)?;
             match recv.open(b"", &record) {
                 Err(ChannelError::DuplicateRecord) => {
                     // A retransmit already carried this sequence number

@@ -31,6 +31,13 @@ impl fmt::Display for ServerId {
 /// The `Display` form matches the secure-channel peer names used on the
 /// simulated network ("controller", "attserver", "server-N"), so a
 /// crashed node and its black-holed network endpoint share one name.
+///
+/// With a replicated control plane (see [`crate::controlplane`]),
+/// controller instance 0 and AS replica 0 keep the legacy
+/// `Controller`/`AttestationServer` variants; standby instances get the
+/// `ControllerReplica`/`AsReplica` variants (never constructed with
+/// index 0 — [`crate::controlplane::controller_node`] and
+/// [`crate::controlplane::as_node`] normalize).
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum NodeId {
     /// The Cloud Controller (equivalently, the link to it).
@@ -39,6 +46,10 @@ pub enum NodeId {
     AttestationServer,
     /// One cloud server.
     Server(ServerId),
+    /// A standby Cloud Controller instance (index ≥ 1).
+    ControllerReplica(u32),
+    /// A standby Attestation Server replica (index ≥ 1).
+    AsReplica(u32),
 }
 
 impl NodeId {
@@ -55,6 +66,8 @@ impl fmt::Display for NodeId {
             NodeId::Controller => f.write_str("controller"),
             NodeId::AttestationServer => f.write_str("attserver"),
             NodeId::Server(id) => write!(f, "{id}"),
+            NodeId::ControllerReplica(i) => write!(f, "controller-{i}"),
+            NodeId::AsReplica(r) => write!(f, "attserver-{r}"),
         }
     }
 }
@@ -347,6 +360,8 @@ mod tests {
         // A server node's endpoint name matches the channel peer name
         // the builder assigns (`ServerId`'s Display).
         assert_eq!(NodeId::Server(ServerId(2)).endpoint(), "server-2");
+        assert_eq!(NodeId::ControllerReplica(1).to_string(), "controller-1");
+        assert_eq!(NodeId::AsReplica(2).endpoint(), "attserver-2");
         assert_eq!(Flavor::Large.to_string(), "large");
         assert_eq!(Image::Ubuntu.to_string(), "ubuntu");
         assert_eq!(

@@ -132,7 +132,14 @@ impl Default for Config {
             ]),
             secret_flow_idents: strings(&["exp", "exponent", "secret", "scalar", "state"]),
             panic_crates: strings(&["core", "net", "crypto", "tpm"]),
-            panic_files: strings(&["crates/hypervisor/src/wheel.rs"]),
+            // `controlplane.rs` is already inside the `core` scope; it
+            // is pinned here explicitly as well so the failover routing
+            // kernel stays panic-checked even if the crate-level scope
+            // is ever narrowed.
+            panic_files: strings(&[
+                "crates/hypervisor/src/wheel.rs",
+                "crates/core/src/controlplane.rs",
+            ]),
             kernel_index_crates: strings(&["crypto"]),
             skip_crates: strings(&["rand-shim", "proptest-shim", "criterion-shim", "lint"]),
             det_crates: strings(&["core", "net", "hypervisor", "crypto", "tpm"]),

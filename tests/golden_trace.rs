@@ -169,6 +169,21 @@ fn degenerate_msg4_batching_trace_is_byte_identical() {
 }
 
 #[test]
+fn dormant_control_plane_trace_is_byte_identical() {
+    // Explicitly configuring the replicated control plane at its
+    // dormant size (one controller instance, one AS replica) must be
+    // indistinguishable from never configuring it: no extra key
+    // material is drawn, no route tag rides the wire (so the
+    // payload-length latency model sees identical bytes), and the
+    // control-plane retry ladder defaults to the data-plane one.
+    assert_eq!(
+        scenario_trace_with(|b| b.control_plane(1, 1)),
+        FIXTURE,
+        "K=1/N=1 control plane diverged"
+    );
+}
+
+#[test]
 fn sharded_engine_trace_is_byte_identical() {
     // Sharding the event engine is structural only: the global sequence
     // counter and least-(due, seq) merge make the pop order — and hence
